@@ -1,0 +1,211 @@
+//! Forwarding-plane availability (§III-B: "The availability of an f-local
+//! stabilizing system is high...").
+//!
+//! The control plane's job is to keep the *data plane* working: a packet
+//! at node `v` follows parent pointers hop by hop and is delivered when it
+//! reaches the destination, black-holed at a routeless node, or caught in
+//! a loop. Sampling the fraction of nodes with a working path during
+//! recovery quantifies the availability claim the paper makes informally.
+
+use lsrp_graph::{Distance, Graph, NodeId, RouteTable};
+
+use crate::sim_trait::RoutingSimulation;
+
+/// What happens to a packet injected at one node on a snapshot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PacketFate {
+    /// Reached the destination in this many hops.
+    Delivered {
+        /// Forwarding hops taken.
+        hops: usize,
+    },
+    /// Hit a node with no route (infinite distance / self parent / dead
+    /// link) and was dropped.
+    BlackHoled {
+        /// Where the packet died.
+        at: NodeId,
+    },
+    /// Exceeded the hop budget — it is circulating in a loop.
+    Looped,
+}
+
+/// Forwards one packet from `from` toward `dest` on a route-table
+/// snapshot, following parent pointers across up edges only.
+pub fn forward_packet(
+    table: &RouteTable,
+    graph: &Graph,
+    from: NodeId,
+    dest: NodeId,
+    max_hops: usize,
+) -> PacketFate {
+    let mut at = from;
+    let mut hops = 0;
+    loop {
+        if at == dest {
+            return PacketFate::Delivered { hops };
+        }
+        if hops >= max_hops {
+            return PacketFate::Looped;
+        }
+        let Some(entry) = table.entry(at) else {
+            return PacketFate::BlackHoled { at };
+        };
+        let next = entry.parent;
+        if next == at || entry.distance == Distance::Infinite || !graph.has_edge(at, next) {
+            return PacketFate::BlackHoled { at };
+        }
+        at = next;
+        hops += 1;
+    }
+}
+
+/// The fraction of up nodes whose packet currently reaches the
+/// destination (the destination itself counts as delivered).
+pub fn availability(table: &RouteTable, graph: &Graph, dest: NodeId) -> f64 {
+    let nodes: Vec<NodeId> = graph.nodes().collect();
+    if nodes.is_empty() {
+        return 1.0;
+    }
+    let max_hops = 4 * nodes.len();
+    let delivered = nodes
+        .iter()
+        .filter(|&&v| {
+            matches!(
+                forward_packet(table, graph, v, dest, max_hops),
+                PacketFate::Delivered { .. }
+            )
+        })
+        .count();
+    delivered as f64 / nodes.len() as f64
+}
+
+/// Availability sampled through a recovery.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AvailabilityTrace {
+    /// `(time, availability)` samples, one per sampling interval.
+    pub samples: Vec<(f64, f64)>,
+    /// Worst instantaneous availability observed.
+    pub min: f64,
+    /// Time-averaged availability over the recovery window.
+    pub mean: f64,
+    /// Total simulated seconds during which availability was below 1.
+    pub degraded_time: f64,
+    /// Integrated unavailability `∫ (1 − a(t)) dt` — "availability-seconds
+    /// lost", the window-length-independent damage measure.
+    pub lost: f64,
+}
+
+/// Steps `sim` until quiescence (or `horizon`), sampling forwarding-plane
+/// availability every `sample_every` simulated seconds. Call right after
+/// injecting a fault.
+pub fn measure_availability<S: RoutingSimulation + ?Sized>(
+    sim: &mut S,
+    horizon: f64,
+    sample_every: f64,
+) -> AvailabilityTrace {
+    assert!(sample_every > 0.0, "sampling interval must be positive");
+    let dest = sim.destination();
+    let mut samples = Vec::new();
+    let mut next_sample = sim.now().seconds();
+    let take = |sim: &S, t: f64, samples: &mut Vec<(f64, f64)>| {
+        samples.push((t, availability(&sim.route_table(), sim.graph(), dest)));
+    };
+    take(sim, next_sample, &mut samples);
+    next_sample += sample_every;
+    while let Some(t) = sim.step() {
+        if t.seconds() > horizon {
+            break;
+        }
+        while t.seconds() >= next_sample {
+            take(sim, next_sample, &mut samples);
+            next_sample += sample_every;
+        }
+    }
+    take(sim, sim.now().seconds(), &mut samples);
+    let min = samples.iter().map(|&(_, a)| a).fold(1.0, f64::min);
+    let mean = samples.iter().map(|&(_, a)| a).sum::<f64>() / samples.len() as f64;
+    let degraded_time = samples
+        .windows(2)
+        .filter(|w| w[0].1 < 1.0)
+        .map(|w| w[1].0 - w[0].0)
+        .sum();
+    let lost = samples
+        .windows(2)
+        .map(|w| (1.0 - w[0].1) * (w[1].0 - w[0].0))
+        .sum();
+    AvailabilityTrace {
+        samples,
+        min,
+        mean,
+        degraded_time,
+        lost,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lsrp_core::LsrpSimulation;
+    use lsrp_graph::{generators, RouteEntry};
+
+    fn v(i: u32) -> NodeId {
+        NodeId::new(i)
+    }
+
+    #[test]
+    fn packets_follow_parents() {
+        let g = generators::path(4, 1);
+        let t = RouteTable::legitimate(&g, v(0));
+        assert_eq!(
+            forward_packet(&t, &g, v(3), v(0), 16),
+            PacketFate::Delivered { hops: 3 }
+        );
+        assert_eq!(
+            forward_packet(&t, &g, v(0), v(0), 16),
+            PacketFate::Delivered { hops: 0 }
+        );
+    }
+
+    #[test]
+    fn black_holes_and_loops_are_detected() {
+        let g = generators::path(4, 1);
+        let mut t = RouteTable::legitimate(&g, v(0));
+        t.insert(v(2), RouteEntry::no_route(v(2)));
+        assert_eq!(
+            forward_packet(&t, &g, v(3), v(0), 16),
+            PacketFate::BlackHoled { at: v(2) }
+        );
+        // 2-loop between v2 and v3.
+        t.insert(v(2), RouteEntry::new(Distance::Finite(1), v(3)));
+        t.insert(v(3), RouteEntry::new(Distance::Finite(2), v(2)));
+        assert_eq!(forward_packet(&t, &g, v(3), v(0), 16), PacketFate::Looped);
+        // A parent not connected by an up edge black-holes too.
+        t.insert(v(3), RouteEntry::new(Distance::Finite(2), v(1)));
+        assert_eq!(
+            forward_packet(&t, &g, v(3), v(0), 16),
+            PacketFate::BlackHoled { at: v(3) }
+        );
+    }
+
+    #[test]
+    fn availability_of_legitimate_table_is_one() {
+        let g = generators::grid(4, 4, 1);
+        let t = RouteTable::legitimate(&g, v(0));
+        assert_eq!(availability(&t, &g, v(0)), 1.0);
+    }
+
+    #[test]
+    fn availability_dips_and_recovers_through_a_fault() {
+        let mut sim = LsrpSimulation::builder(generators::grid(5, 5, 1), v(0)).build();
+        sim.corrupt_parent(v(12), v(12)); // black-hole the center
+        let trace = measure_availability(&mut sim as &mut dyn RoutingSimulation, 100_000.0, 1.0);
+        assert!(trace.min < 1.0, "the corruption must be visible");
+        assert_eq!(
+            trace.samples.last().unwrap().1,
+            1.0,
+            "full availability restored"
+        );
+        assert!(trace.degraded_time > 0.0);
+        assert!(trace.mean > trace.min);
+    }
+}

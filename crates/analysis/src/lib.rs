@@ -1,0 +1,34 @@
+//! Metrics and the experiment harness for the LSRP reproduction.
+//!
+//! The paper's quantitative claims are about four quantities, all measured
+//! here from engine traces, uniformly across LSRP and the baselines:
+//!
+//! * **stabilization time** — last protocol-variable change after a fault;
+//! * **perturbed / contaminated node sets** and the **range of
+//!   contamination** (§III-A);
+//! * **loop episodes** — whether, when and for how long routing loops
+//!   existed (Theorems 3–4);
+//! * **control overhead** — messages and action executions (§VI-B).
+//!
+//! The [`RoutingSimulation`] trait adapts [`lsrp_core::LsrpSimulation`],
+//! [`lsrp_baselines::DbfSimulation`] and
+//! [`lsrp_baselines::DualSimulation`] to one measurement interface, so
+//! every experiment runs identically against all three protocols.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod forwarding;
+pub mod loops;
+pub mod measure;
+pub mod sim_trait;
+pub mod table;
+pub mod timeline;
+pub mod waves;
+
+pub use crate::forwarding::{measure_availability, AvailabilityTrace, PacketFate};
+pub use crate::loops::{measure_loop_breakage, LoopBreakage};
+pub use crate::measure::{measure_recovery, RecoveryMetrics};
+pub use crate::sim_trait::RoutingSimulation;
+pub use crate::table::Table;
+pub use crate::waves::{track_containment, wave_stats, ContainmentEpisode, WaveStats};

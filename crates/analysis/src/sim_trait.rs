@@ -1,0 +1,503 @@
+//! The unified simulation interface experiments are written against.
+
+use lsrp_baselines::{DbfSimulation, DualSimulation, PvSimulation};
+use lsrp_core::LsrpSimulation;
+use lsrp_graph::{Distance, Graph, GraphError, NodeId, RouteTable, Weight};
+use lsrp_sim::{RunReport, SimTime, Trace};
+
+/// The operations every routing-protocol simulation exposes to the
+/// measurement harness. Implemented for LSRP, DBF and DUAL-lite.
+pub trait RoutingSimulation {
+    /// Short protocol name for tables ("LSRP", "DBF", "DUAL").
+    fn name(&self) -> &'static str;
+
+    /// The destination node.
+    fn destination(&self) -> NodeId;
+
+    /// The current topology.
+    fn graph(&self) -> &Graph;
+
+    /// The current `(d, p)` table.
+    fn route_table(&self) -> RouteTable;
+
+    /// Nodes currently involved in a containment wave (`ghost.v` for LSRP;
+    /// *active* nodes for DUAL; empty for protocols without containment).
+    fn containment_set(&self) -> std::collections::BTreeSet<NodeId> {
+        std::collections::BTreeSet::new()
+    }
+
+    /// Whether routes match Dijkstra ground truth on the current topology.
+    fn routes_correct(&self) -> bool;
+
+    /// The execution trace.
+    fn trace(&self) -> &Trace;
+
+    /// Clears the trace (before the measured phase).
+    fn reset_trace(&mut self);
+
+    /// Current simulated time.
+    fn now(&self) -> SimTime;
+
+    /// Processes one event; `None` when the queue is empty.
+    fn step(&mut self) -> Option<SimTime>;
+
+    /// Runs until settled or `horizon`.
+    fn run_to_quiescence(&mut self, horizon: f64) -> RunReport;
+
+    /// Runs all events up to time `t`.
+    fn run_until(&mut self, t: f64);
+
+    /// Corrupts a node's advertised distance in place.
+    fn corrupt_distance(&mut self, v: NodeId, d: Distance);
+
+    /// Poisons `at`'s mirror of `about` with an advertised distance (the
+    /// "neighbors have learned the corrupted value" setup).
+    fn poison_mirror(&mut self, at: NodeId, about: NodeId, d: Distance);
+
+    /// Overwrites a node's route `(d, p)` in place (loop injection).
+    fn inject_route(&mut self, v: NodeId, d: Distance, p: NodeId);
+
+    /// Fail-stops a node.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`GraphError`] for unknown nodes.
+    fn fail_node(&mut self, v: NodeId) -> Result<(), GraphError>;
+
+    /// Fail-stops an edge.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`GraphError`] for unknown edges.
+    fn fail_edge(&mut self, a: NodeId, b: NodeId) -> Result<(), GraphError>;
+
+    /// Joins an edge.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`GraphError`] for invalid joins.
+    fn join_edge(&mut self, a: NodeId, b: NodeId, w: Weight) -> Result<(), GraphError>;
+
+    /// Changes an edge weight.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`GraphError`] for unknown edges.
+    fn set_weight(&mut self, a: NodeId, b: NodeId, w: Weight) -> Result<(), GraphError>;
+}
+
+impl RoutingSimulation for LsrpSimulation {
+    fn name(&self) -> &'static str {
+        "LSRP"
+    }
+
+    fn containment_set(&self) -> std::collections::BTreeSet<NodeId> {
+        self.graph()
+            .nodes()
+            .filter(|&v| self.engine().node(v).is_some_and(|n| n.state().ghost))
+            .collect()
+    }
+
+    fn destination(&self) -> NodeId {
+        self.destination()
+    }
+
+    fn graph(&self) -> &Graph {
+        self.graph()
+    }
+
+    fn route_table(&self) -> RouteTable {
+        self.route_table()
+    }
+
+    fn routes_correct(&self) -> bool {
+        self.routes_correct()
+    }
+
+    fn trace(&self) -> &Trace {
+        self.engine().trace()
+    }
+
+    fn reset_trace(&mut self) {
+        self.engine_mut().reset_trace();
+    }
+
+    fn now(&self) -> SimTime {
+        self.now()
+    }
+
+    fn step(&mut self) -> Option<SimTime> {
+        self.engine_mut().step()
+    }
+
+    fn run_to_quiescence(&mut self, horizon: f64) -> RunReport {
+        self.run_to_quiescence(horizon)
+    }
+
+    fn run_until(&mut self, t: f64) {
+        self.run_until(t);
+    }
+
+    fn corrupt_distance(&mut self, v: NodeId, d: Distance) {
+        self.corrupt_distance(v, d);
+    }
+
+    fn poison_mirror(&mut self, at: NodeId, about: NodeId, d: Distance) {
+        // Forge the rest of the mirror from the target's actual state, as
+        // a received message from `about` would have.
+        let (p, ghost) = self
+            .engine()
+            .node(about)
+            .map_or((about, false), |n| (n.state().p, n.state().ghost));
+        self.corrupt_mirror(at, about, lsrp_core::Mirror { d, p, ghost });
+    }
+
+    fn inject_route(&mut self, v: NodeId, d: Distance, p: NodeId) {
+        self.with_state_mut(v, |s| {
+            s.d = d;
+            s.p = p;
+        });
+    }
+
+    fn fail_node(&mut self, v: NodeId) -> Result<(), GraphError> {
+        self.fail_node(v)
+    }
+
+    fn fail_edge(&mut self, a: NodeId, b: NodeId) -> Result<(), GraphError> {
+        self.fail_edge(a, b)
+    }
+
+    fn join_edge(&mut self, a: NodeId, b: NodeId, w: Weight) -> Result<(), GraphError> {
+        self.join_edge(a, b, w)
+    }
+
+    fn set_weight(&mut self, a: NodeId, b: NodeId, w: Weight) -> Result<(), GraphError> {
+        self.set_weight(a, b, w)
+    }
+}
+
+impl RoutingSimulation for DbfSimulation {
+    fn name(&self) -> &'static str {
+        "DBF"
+    }
+
+    fn destination(&self) -> NodeId {
+        self.destination()
+    }
+
+    fn graph(&self) -> &Graph {
+        self.graph()
+    }
+
+    fn route_table(&self) -> RouteTable {
+        self.route_table()
+    }
+
+    fn routes_correct(&self) -> bool {
+        self.routes_correct()
+    }
+
+    fn trace(&self) -> &Trace {
+        self.engine().trace()
+    }
+
+    fn reset_trace(&mut self) {
+        self.engine_mut().reset_trace();
+    }
+
+    fn now(&self) -> SimTime {
+        self.engine().now()
+    }
+
+    fn step(&mut self) -> Option<SimTime> {
+        self.engine_mut().step()
+    }
+
+    fn run_to_quiescence(&mut self, horizon: f64) -> RunReport {
+        self.run_to_quiescence(horizon)
+    }
+
+    fn run_until(&mut self, t: f64) {
+        self.engine_mut()
+            .run_until(SimTime::new(t))
+            .expect("DBF must not livelock");
+    }
+
+    fn corrupt_distance(&mut self, v: NodeId, d: Distance) {
+        self.corrupt_distance(v, d);
+    }
+
+    fn poison_mirror(&mut self, at: NodeId, about: NodeId, d: Distance) {
+        self.corrupt_mirror(at, about, d);
+    }
+
+    fn inject_route(&mut self, v: NodeId, d: Distance, p: NodeId) {
+        self.engine_mut().with_node_mut(v, |n| {
+            n.d = d;
+            n.p = p;
+            // Make the injected parent look attractive so plain DBF keeps
+            // the loop until values count up past it.
+            n.mirrors.insert(
+                p,
+                d.plus(0).as_finite().map_or(Distance::Infinite, |x| {
+                    Distance::Finite(x.saturating_sub(1))
+                }),
+            );
+        });
+    }
+
+    fn fail_node(&mut self, v: NodeId) -> Result<(), GraphError> {
+        self.fail_node(v)
+    }
+
+    fn fail_edge(&mut self, a: NodeId, b: NodeId) -> Result<(), GraphError> {
+        self.engine_mut().fail_edge(a, b)
+    }
+
+    fn join_edge(&mut self, a: NodeId, b: NodeId, w: Weight) -> Result<(), GraphError> {
+        self.engine_mut().join_edge(a, b, w)
+    }
+
+    fn set_weight(&mut self, a: NodeId, b: NodeId, w: Weight) -> Result<(), GraphError> {
+        self.engine_mut().set_weight(a, b, w)
+    }
+}
+
+impl RoutingSimulation for DualSimulation {
+    fn name(&self) -> &'static str {
+        "DUAL"
+    }
+
+    fn containment_set(&self) -> std::collections::BTreeSet<NodeId> {
+        self.graph()
+            .nodes()
+            .filter(|&v| self.engine().node(v).is_some_and(|n| n.active.is_some()))
+            .collect()
+    }
+
+    fn destination(&self) -> NodeId {
+        self.destination()
+    }
+
+    fn graph(&self) -> &Graph {
+        self.graph()
+    }
+
+    fn route_table(&self) -> RouteTable {
+        self.route_table()
+    }
+
+    fn routes_correct(&self) -> bool {
+        self.routes_correct()
+    }
+
+    fn trace(&self) -> &Trace {
+        self.engine().trace()
+    }
+
+    fn reset_trace(&mut self) {
+        self.engine_mut().reset_trace();
+    }
+
+    fn now(&self) -> SimTime {
+        self.engine().now()
+    }
+
+    fn step(&mut self) -> Option<SimTime> {
+        self.engine_mut().step()
+    }
+
+    fn run_to_quiescence(&mut self, horizon: f64) -> RunReport {
+        self.run_to_quiescence(horizon)
+    }
+
+    fn run_until(&mut self, t: f64) {
+        self.engine_mut()
+            .run_until(SimTime::new(t))
+            .expect("DUAL must not livelock");
+    }
+
+    fn corrupt_distance(&mut self, v: NodeId, d: Distance) {
+        self.corrupt_distance(v, d);
+    }
+
+    fn poison_mirror(&mut self, at: NodeId, about: NodeId, d: Distance) {
+        self.corrupt_mirror(at, about, d);
+    }
+
+    fn inject_route(&mut self, v: NodeId, d: Distance, p: NodeId) {
+        self.engine_mut().with_node_mut(v, |n| {
+            n.d = d;
+            n.succ = p;
+            n.fd = d;
+        });
+    }
+
+    fn fail_node(&mut self, v: NodeId) -> Result<(), GraphError> {
+        self.fail_node(v)
+    }
+
+    fn fail_edge(&mut self, a: NodeId, b: NodeId) -> Result<(), GraphError> {
+        self.engine_mut().fail_edge(a, b)
+    }
+
+    fn join_edge(&mut self, a: NodeId, b: NodeId, w: Weight) -> Result<(), GraphError> {
+        self.engine_mut().join_edge(a, b, w)
+    }
+
+    fn set_weight(&mut self, a: NodeId, b: NodeId, w: Weight) -> Result<(), GraphError> {
+        self.engine_mut().set_weight(a, b, w)
+    }
+}
+
+impl RoutingSimulation for PvSimulation {
+    fn name(&self) -> &'static str {
+        "PV"
+    }
+
+    fn destination(&self) -> NodeId {
+        self.destination()
+    }
+
+    fn graph(&self) -> &Graph {
+        self.graph()
+    }
+
+    fn route_table(&self) -> RouteTable {
+        self.route_table()
+    }
+
+    fn routes_correct(&self) -> bool {
+        self.routes_correct()
+    }
+
+    fn trace(&self) -> &Trace {
+        self.engine().trace()
+    }
+
+    fn reset_trace(&mut self) {
+        self.engine_mut().reset_trace();
+    }
+
+    fn now(&self) -> SimTime {
+        self.engine().now()
+    }
+
+    fn step(&mut self) -> Option<SimTime> {
+        self.engine_mut().step()
+    }
+
+    fn run_to_quiescence(&mut self, horizon: f64) -> RunReport {
+        self.run_to_quiescence(horizon)
+    }
+
+    fn run_until(&mut self, t: f64) {
+        self.engine_mut()
+            .run_until(SimTime::new(t))
+            .expect("path-vector must not livelock");
+    }
+
+    fn corrupt_distance(&mut self, v: NodeId, d: Distance) {
+        self.corrupt_distance(v, d);
+    }
+
+    fn poison_mirror(&mut self, at: NodeId, about: NodeId, d: Distance) {
+        self.corrupt_mirror(at, about, d);
+    }
+
+    fn inject_route(&mut self, v: NodeId, d: Distance, p: NodeId) {
+        // A path-vector "loop injection": the route claims to go through
+        // `p` straight to the destination. The path check then prevents
+        // *new* loops, but the injected parent pointers themselves stand
+        // until updates flush them.
+        let dest = self.destination();
+        self.engine_mut().with_node_mut(v, |n| {
+            n.route = lsrp_baselines::PvRoute {
+                d,
+                path: if p == dest { vec![dest] } else { vec![p, dest] },
+            };
+        });
+    }
+
+    fn fail_node(&mut self, v: NodeId) -> Result<(), GraphError> {
+        self.fail_node(v)
+    }
+
+    fn fail_edge(&mut self, a: NodeId, b: NodeId) -> Result<(), GraphError> {
+        self.engine_mut().fail_edge(a, b)
+    }
+
+    fn join_edge(&mut self, a: NodeId, b: NodeId, w: Weight) -> Result<(), GraphError> {
+        self.engine_mut().join_edge(a, b, w)
+    }
+
+    fn set_weight(&mut self, a: NodeId, b: NodeId, w: Weight) -> Result<(), GraphError> {
+        self.engine_mut().set_weight(a, b, w)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lsrp_baselines::{DbfConfig, DualConfig};
+    use lsrp_graph::generators;
+    use lsrp_sim::EngineConfig;
+
+    fn v(i: u32) -> NodeId {
+        NodeId::new(i)
+    }
+
+    fn all_sims() -> Vec<Box<dyn RoutingSimulation>> {
+        let g = generators::grid(4, 4, 1);
+        vec![
+            Box::new(LsrpSimulation::builder(g.clone(), v(0)).build()),
+            Box::new(DbfSimulation::new(
+                g.clone(),
+                v(0),
+                None,
+                DbfConfig::default(),
+                EngineConfig::default(),
+            )),
+            Box::new(DualSimulation::new(
+                g,
+                v(0),
+                None,
+                DualConfig::default(),
+                EngineConfig::default(),
+            )),
+        ]
+    }
+
+    #[test]
+    fn all_protocols_recover_from_the_same_corruption_via_the_trait() {
+        for mut sim in all_sims() {
+            sim.corrupt_distance(v(10), Distance::ZERO);
+            sim.poison_mirror(v(11), v(10), Distance::ZERO);
+            let report = sim.run_to_quiescence(1_000_000.0);
+            assert!(report.quiescent, "{} did not settle", sim.name());
+            assert!(sim.routes_correct(), "{} wrong routes", sim.name());
+        }
+    }
+
+    #[test]
+    fn trait_exposes_consistent_views() {
+        for sim in all_sims() {
+            assert_eq!(sim.destination(), v(0));
+            assert_eq!(sim.graph().node_count(), 16);
+            assert_eq!(sim.route_table().len(), 16);
+            assert!(sim.routes_correct());
+        }
+    }
+
+    #[test]
+    fn topology_faults_via_the_trait() {
+        for mut sim in all_sims() {
+            sim.fail_edge(v(0), v(1)).unwrap();
+            sim.join_edge(v(0), v(5), 2).unwrap();
+            sim.set_weight(v(0), v(5), 3).unwrap();
+            let report = sim.run_to_quiescence(1_000_000.0);
+            assert!(report.quiescent, "{}", sim.name());
+            assert!(sim.routes_correct(), "{}", sim.name());
+        }
+    }
+}

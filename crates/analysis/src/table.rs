@@ -1,0 +1,121 @@
+//! Minimal markdown table rendering for experiment outputs.
+
+use std::fmt;
+
+/// A markdown table under construction.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with a title and column headers.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            headers: headers.iter().map(|s| (*s).to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (cells are anything displayable).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell count does not match the header count.
+    pub fn row<D: fmt::Display>(&mut self, cells: &[D]) -> &mut Self {
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row width must match headers"
+        );
+        self.rows
+            .push(cells.iter().map(ToString::to_string).collect());
+        self
+    }
+
+    /// Number of data rows so far.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// The table title.
+    pub fn title(&self) -> &str {
+        &self.title
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.chars().count());
+            }
+        }
+        writeln!(f, "### {}", self.title)?;
+        writeln!(f)?;
+        let render = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            write!(f, "|")?;
+            for (w, cell) in widths.iter().zip(cells) {
+                write!(f, " {cell:<w$} |", w = w)?;
+            }
+            writeln!(f)
+        };
+        render(f, &self.headers)?;
+        write!(f, "|")?;
+        for w in &widths {
+            write!(f, "{}|", "-".repeat(w + 2))?;
+        }
+        writeln!(f)?;
+        for row in &self.rows {
+            render(f, row)?;
+        }
+        Ok(())
+    }
+}
+
+/// Formats a float compactly for tables (3 significant decimals, trimmed).
+pub fn fmt_f64(x: f64) -> String {
+    if x == x.trunc() && x.abs() < 1e9 {
+        format!("{x:.0}")
+    } else {
+        format!("{x:.3}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_markdown() {
+        let mut t = Table::new("Demo", &["proto", "time"]);
+        t.row(&["LSRP", "9"]).row(&["DBF", "1234"]);
+        let s = t.to_string();
+        assert!(s.contains("### Demo"));
+        assert!(s.contains("| proto | time |"));
+        assert!(s.contains("| DBF   | 1234 |"));
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_rows_panic() {
+        Table::new("x", &["a", "b"]).row(&["only one"]);
+    }
+
+    #[test]
+    fn float_formatting() {
+        assert_eq!(fmt_f64(9.0), "9");
+        assert_eq!(fmt_f64(9.25), "9.250");
+    }
+}

@@ -1,0 +1,64 @@
+//! Space-time timeline rendering (the paper's Figures 5–6 as text).
+
+use std::fmt::Write as _;
+
+use lsrp_sim::Trace;
+
+/// Renders the non-maintenance actions of a trace as a per-node timeline,
+/// matching the content of the paper's space-time diagrams:
+///
+/// ```text
+/// v9 : C1@8 C2@8
+/// v11: S2@17
+/// ```
+pub fn render_timeline(trace: &Trace) -> String {
+    let timeline = trace.timeline();
+    let width = timeline
+        .keys()
+        .map(|n| n.to_string().len())
+        .max()
+        .unwrap_or(2);
+    let mut out = String::new();
+    for (node, events) in timeline {
+        let _ = write!(out, "{:<width$}:", node.to_string());
+        for (name, t) in events {
+            let _ = write!(out, " {name}@{}", crate::table::fmt_f64(t.seconds()));
+        }
+        out.push('\n');
+    }
+    if out.is_empty() {
+        out.push_str("(no actions)\n");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lsrp_core::{InitialState, LsrpSimulation, TimingConfig};
+    use lsrp_graph::topologies::{fig1_route_table, paper_fig1, v, FIG1_DESTINATION};
+    use lsrp_graph::Distance;
+
+    #[test]
+    fn figure5_timeline_renders() {
+        let mut sim = LsrpSimulation::builder(paper_fig1(), FIG1_DESTINATION)
+            .initial_state(InitialState::Table(fig1_route_table()))
+            .timing(TimingConfig::paper_example(1.0))
+            .build();
+        sim.corrupt_distance(v(9), Distance::Finite(1));
+        sim.run_to_quiescence(1_000.0);
+        let s = render_timeline(sim.engine().trace());
+        assert!(s.contains("v9"));
+        assert!(s.contains("C1@8"));
+        assert!(s.contains("C2@8"));
+    }
+
+    #[test]
+    fn empty_trace_renders_placeholder() {
+        let mut sim = LsrpSimulation::builder(paper_fig1(), FIG1_DESTINATION)
+            .initial_state(InitialState::Table(fig1_route_table()))
+            .build();
+        sim.run_to_quiescence(1_000.0);
+        assert_eq!(render_timeline(sim.engine().trace()), "(no actions)\n");
+    }
+}

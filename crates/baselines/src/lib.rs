@@ -1,0 +1,37 @@
+//! Baseline distance-vector routing protocols for comparison against LSRP.
+//!
+//! The paper argues against two families:
+//!
+//! * **Existing distance-vector protocols** ("based on the distributed
+//!   Bellman-Ford algorithm", §IV-B) — reproduced here as [`DbfNode`]:
+//!   textbook distributed Bellman-Ford over the same simulator substrate
+//!   (mirrors, bounded-delay FIFO links, guard hold-times), with RIP-style
+//!   bounded infinity so count-to-infinity terminates. Figure 2's
+//!   fault-propagation example is reproduced against this protocol.
+//! * **Path-vector routing** — [`PvNode`], a BGP-lite with full-path
+//!   advertisements and the AS-path-style loop check under an MRAI-style
+//!   hold; this is the protocol family of the paper's opening BGP
+//!   example, and it exhibits the same global fault propagation.
+//! * **Loop-free distance-vector protocols (DUAL, LPA)** — represented by
+//!   [`DualNode`], a faithful-in-spirit "DUAL-lite": the Source Node
+//!   Condition feasibility check, passive/active states and diffusing
+//!   query/reply computations, for a single destination. The paper's
+//!   claims about DUAL (fault propagation is global under corruption;
+//!   breaking an existing loop takes time proportional to its length) are
+//!   exercised against it. Deviations from full EIGRP-DUAL are documented
+//!   on the type.
+//!
+//! Both implement [`lsrp_sim::ProtocolNode`], so every measurement
+//! (stabilization time, contamination, message counts) is collected by the
+//! same machinery as for LSRP.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dbf;
+pub mod dual;
+pub mod pathvector;
+
+pub use crate::dbf::{DbfConfig, DbfMsg, DbfNode, DbfSimulation};
+pub use crate::dual::{DualConfig, DualMsg, DualNode, DualSimulation};
+pub use crate::pathvector::{PvConfig, PvNode, PvRoute, PvSimulation};

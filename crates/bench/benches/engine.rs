@@ -1,0 +1,48 @@
+//! Raw engine benchmarks: event throughput of the simulator substrate
+//! (independent of any paper claim; useful for tracking regressions).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use lsrp_core::{InitialState, LsrpSimulation};
+use lsrp_graph::{generators, NodeId};
+
+fn bench_cold_start(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine_cold_start");
+    g.sample_size(10);
+    for w in [8u32, 16] {
+        let n = u64::from(w * w);
+        g.throughput(Throughput::Elements(n));
+        g.bench_with_input(BenchmarkId::new("lsrp_grid", w), &w, |b, &w| {
+            b.iter(|| {
+                let mut sim = LsrpSimulation::builder(generators::grid(w, w, 1), NodeId::new(0))
+                    .initial_state(InitialState::Fresh)
+                    .build();
+                let report = sim.run_to_quiescence(1_000_000.0);
+                assert!(report.quiescent);
+                std::hint::black_box(report.events)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_event_rate(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine_event_rate");
+    g.sample_size(10);
+    g.bench_function("fresh_grid12_events", |b| {
+        b.iter(|| {
+            let mut sim = LsrpSimulation::builder(generators::grid(12, 12, 1), NodeId::new(0))
+                .initial_state(InitialState::Fresh)
+                .build();
+            let mut n = 0u64;
+            while sim.engine_mut().step().is_some() {
+                n += 1;
+            }
+            std::hint::black_box(n)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_cold_start, bench_event_rate);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Criterion benches for the figure reproductions (E1–E4): wall-clock cost
+//! of simulating each worked example end to end.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use lsrp_bench::figures;
+
+fn bench_figures(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figures");
+    g.sample_size(20);
+    g.bench_function("fig2_fig5_all_protocols", |b| {
+        b.iter(|| std::hint::black_box(figures::e1_e2_fig2_vs_fig5()))
+    });
+    g.bench_function("fig6_supercontainment", |b| {
+        b.iter(|| std::hint::black_box(figures::e3_fig6()))
+    });
+    g.bench_function("fig7_edge_density", |b| {
+        b.iter(|| std::hint::black_box(figures::e4_fig7()))
+    });
+    g.bench_function("dependent_sets", |b| {
+        b.iter(|| std::hint::black_box(figures::e4b_dependent_sets()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_figures);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Criterion benches for the control-overhead experiment (E11) and the
+//! wave-ratio sweep (E12).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use lsrp_bench::build::Protocol;
+use lsrp_bench::{scaling, waves};
+
+fn bench_overhead(c: &mut Criterion) {
+    let mut g = c.benchmark_group("overhead_messages");
+    g.sample_size(10);
+    for protocol in [Protocol::Lsrp, Protocol::Dbf, Protocol::Dual] {
+        g.bench_function(format!("{protocol:?}_grid16_p2"), |b| {
+            b.iter(|| std::hint::black_box(scaling::scaling_cell(protocol, 16, 2, 9)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_waves(c: &mut Criterion) {
+    let mut g = c.benchmark_group("wave_speed_ratio");
+    g.sample_size(10);
+    g.bench_function("mistaken_containment_ratio2", |b| {
+        b.iter(|| std::hint::black_box(waves::mistaken_containment_run(2.125)))
+    });
+    g.bench_function("mistaken_stabilization_ratio2", |b| {
+        b.iter(|| std::hint::black_box(waves::mistaken_stabilization_run(2.125)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_overhead, bench_waves);
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! Criterion benches for the theorem experiments (E5–E10): representative
+//! instances of self-stabilization, scaling, concurrent regions, loop
+//! freedom and loop breakage.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use lsrp_bench::build::Protocol;
+use lsrp_bench::{loops_exp, regions_exp, scaling, selfstab};
+
+fn bench_selfstab(c: &mut Criterion) {
+    let mut g = c.benchmark_group("thm1_self_stabilization");
+    g.sample_size(10);
+    for n in [16u32, 32] {
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| std::hint::black_box(selfstab::selfstab_run(n, 1, 2)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_scaling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("thm2_scaling");
+    g.sample_size(10);
+    for p in [1usize, 4, 16] {
+        g.bench_with_input(BenchmarkId::new("lsrp_grid16_p", p), &p, |b, &p| {
+            b.iter(|| std::hint::black_box(scaling::scaling_cell(Protocol::Lsrp, 16, p, 1)))
+        });
+    }
+    g.bench_function("dbf_grid16_p4", |b| {
+        b.iter(|| std::hint::black_box(scaling::scaling_cell(Protocol::Dbf, 16, 4, 1)))
+    });
+    g.finish();
+}
+
+fn bench_regions(c: &mut Criterion) {
+    let mut g = c.benchmark_group("lem2_concurrent_regions");
+    g.sample_size(10);
+    g.bench_function("two_far_regions_ring64", |b| {
+        b.iter(|| std::hint::black_box(regions_exp::multi_region_run(64, 4, &[16, 48], 5)))
+    });
+    g.finish();
+}
+
+fn bench_loops(c: &mut Criterion) {
+    let mut g = c.benchmark_group("thm4_loop_breakage");
+    g.sample_size(10);
+    for l in [8u32, 32] {
+        g.bench_with_input(BenchmarkId::new("lsrp_L", l), &l, |b, &l| {
+            b.iter(|| std::hint::black_box(loops_exp::loop_breakage_run(Protocol::Lsrp, l, 1)))
+        });
+        g.bench_with_input(BenchmarkId::new("dual_L", l), &l, |b, &l| {
+            b.iter(|| std::hint::black_box(loops_exp::loop_breakage_run(Protocol::Dual, l, 1)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_selfstab,
+    bench_scaling,
+    bench_regions,
+    bench_loops
+);
+criterion_main!(benches);

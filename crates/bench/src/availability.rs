@@ -1,0 +1,267 @@
+//! E13 (extension of §III-B's availability claim): forwarding-plane
+//! availability during recovery, and E14: robustness of the containment
+//! shape under the full asynchronous model (jittered delays, drifting
+//! clocks).
+
+use lsrp_analysis::forwarding::measure_availability;
+use lsrp_analysis::{measure_recovery, table::fmt_f64, RoutingSimulation, Table};
+use lsrp_baselines::{
+    DbfConfig, DbfSimulation, DualConfig, DualSimulation, PvConfig, PvSimulation,
+};
+use lsrp_core::{LsrpSimulation, TimingConfig};
+use lsrp_faults::corruption::contiguous_region;
+use lsrp_graph::{generators, Distance, NodeId};
+use lsrp_sim::{ClockConfig, EngineConfig, LinkConfig};
+
+use crate::build::{build, Protocol, ALL_PROTOCOLS};
+use crate::HORIZON;
+
+fn v(i: u32) -> NodeId {
+    NodeId::new(i)
+}
+
+/// One availability run: a *prefix-hijack black hole* — a region of `p`
+/// nodes near the destination claims `(d, p) := (0, self)`, i.e. "I am the
+/// destination", dropping all transit traffic — with the neighborhood
+/// having learned the bogus advertisement. Forwarding availability is
+/// sampled every simulated second until recovery completes.
+pub fn availability_run(
+    protocol: Protocol,
+    w: u32,
+    p: usize,
+    seed: u64,
+) -> lsrp_analysis::AvailabilityTrace {
+    let graph = generators::grid(w, w, 1);
+    let dest = v(0);
+    let region = contiguous_region(&graph, v(w + 1), p, dest);
+    let mut sim = build(protocol, graph.clone(), dest, None, seed);
+    sim.reset_trace();
+    for &node in &region {
+        sim.inject_route(node, Distance::ZERO, node);
+        let ns: Vec<NodeId> = graph.neighbors(node).map(|(k, _)| k).collect();
+        for k in ns {
+            sim.poison_mirror(k, node, Distance::ZERO);
+        }
+    }
+    let trace = measure_availability(sim.as_mut(), HORIZON, 1.0);
+    assert!(sim.routes_correct(), "{protocol:?} did not recover");
+    trace
+}
+
+/// E13 table: availability statistics during recovery.
+pub fn e13_availability(w: u32, p: usize) -> Table {
+    let mut t = Table::new(
+        format!(
+            "E13 — forwarding availability while recovering from a size-{p} prefix-hijack black hole (grid {w}x{w})"
+        ),
+        &[
+            "protocol",
+            "min availability",
+            "degraded seconds",
+            "availability-seconds lost",
+        ],
+    );
+    for protocol in ALL_PROTOCOLS {
+        let a = availability_run(protocol, w, p, 3);
+        t.row(&[
+            format!("{protocol:?}"),
+            format!("{:.3}", a.min),
+            fmt_f64(a.degraded_time),
+            format!("{:.1}", a.lost),
+        ]);
+    }
+    t
+}
+
+/// One E14 run: the E6 scaling cell under jittered link delays and
+/// adversarial (alternating) clock drift, with hold times re-derived for
+/// the harsher model via [`TimingConfig::for_network`].
+pub fn robustness_run(
+    protocol: Protocol,
+    w: u32,
+    p: usize,
+    seed: u64,
+) -> lsrp_analysis::RecoveryMetrics {
+    let rho = 1.5;
+    let link = LinkConfig::jittered(0.5, 1.5);
+    let engine = EngineConfig::default()
+        .with_seed(seed)
+        .with_link(link)
+        .with_clocks(ClockConfig::Alternating { rho });
+    let timing = TimingConfig::for_network(rho, link.delay_max);
+    let graph = generators::grid(w, w, 1);
+    let dest = v(0);
+    let mut sim: Box<dyn RoutingSimulation> = match protocol {
+        Protocol::Lsrp => Box::new(
+            LsrpSimulation::builder(graph.clone(), dest)
+                .timing(timing)
+                .engine_config(engine)
+                .build(),
+        ),
+        Protocol::Dbf => Box::new(DbfSimulation::new(
+            graph.clone(),
+            dest,
+            None,
+            DbfConfig {
+                hold: timing.hd_s,
+                ..DbfConfig::default()
+            },
+            engine,
+        )),
+        Protocol::Dual => Box::new(DualSimulation::new(
+            graph.clone(),
+            dest,
+            None,
+            DualConfig {
+                hold: timing.hd_s,
+                ..DualConfig::default()
+            },
+            engine,
+        )),
+        Protocol::Pv => Box::new(PvSimulation::new(
+            graph.clone(),
+            dest,
+            None,
+            PvConfig {
+                hold: timing.hd_s,
+                ..PvConfig::default()
+            },
+            engine,
+        )),
+    };
+    let region = contiguous_region(&graph, v(w + 1), p, dest);
+    measure_recovery(sim.as_mut(), &region, HORIZON, |s| {
+        for &node in &region {
+            s.corrupt_distance(node, Distance::ZERO);
+            let ns: Vec<NodeId> = graph.neighbors(node).map(|(k, _)| k).collect();
+            for k in ns {
+                s.poison_mirror(k, node, Distance::ZERO);
+            }
+        }
+    })
+}
+
+/// E14 table: containment under the full asynchronous model.
+pub fn e14_robustness(w: u32, sizes: &[usize]) -> Table {
+    let mut t = Table::new(
+        format!(
+            "E14 — containment under jittered delays (d ∈ [0.5, 1.5]) and clock drift (rho = 1.5), grid {w}x{w}"
+        ),
+        &[
+            "protocol",
+            "perturbation p",
+            "stabilization time",
+            "contamination range",
+            "contaminated nodes",
+            "routes correct",
+        ],
+    );
+    for protocol in ALL_PROTOCOLS {
+        for &p in sizes {
+            let m = robustness_run(protocol, w, p, 21);
+            t.row(&[
+                m.protocol.to_string(),
+                p.to_string(),
+                fmt_f64(m.stabilization_time),
+                m.contamination_range.to_string(),
+                m.contaminated.len().to_string(),
+                m.routes_correct.to_string(),
+            ]);
+        }
+    }
+    t
+}
+
+/// One E18 run: recovery from a size-`p` black hole under lossy links —
+/// an ablation of the paper's reliable-channel assumption. LSRP needs the
+/// periodic `SYN` refresh to tolerate loss (a lost broadcast is
+/// re-advertised within one period).
+pub fn lossy_run(loss: f64, w: u32, p: usize, seed: u64) -> lsrp_analysis::RecoveryMetrics {
+    let engine = EngineConfig::default()
+        .with_seed(seed)
+        .with_link(LinkConfig::constant(1.0).with_loss(loss));
+    let timing = TimingConfig::paper_example(1.0).with_syn_period(5.0);
+    let graph = generators::grid(w, w, 1);
+    let dest = v(0);
+    let mut sim = LsrpSimulation::builder(graph.clone(), dest)
+        .timing(timing)
+        .engine_config(engine)
+        .build();
+    let region = contiguous_region(&graph, v(w + 1), p, dest);
+    measure_recovery(
+        &mut sim as &mut dyn RoutingSimulation,
+        &region,
+        HORIZON,
+        |s| {
+            for &node in &region {
+                s.corrupt_distance(node, Distance::ZERO);
+                let ns: Vec<NodeId> = graph.neighbors(node).map(|(k, _)| k).collect();
+                for k in ns {
+                    s.poison_mirror(k, node, Distance::ZERO);
+                }
+            }
+        },
+    )
+}
+
+/// E18 table: LSRP recovery under message loss.
+pub fn e18_message_loss(rates: &[f64]) -> Table {
+    let mut t = Table::new(
+        "E18 — ablation of the reliable-link assumption: LSRP + SYN(5) under message loss (grid 10x10, p = 2)",
+        &[
+            "loss rate",
+            "stabilization time",
+            "contamination range",
+            "protocol actions",
+            "routes correct",
+        ],
+    );
+    for &loss in rates {
+        let m = lossy_run(loss, 10, 2, 5);
+        t.row(&[
+            format!("{:.0}%", loss * 100.0),
+            fmt_f64(m.stabilization_time),
+            m.contamination_range.to_string(),
+            m.actions.to_string(),
+            m.routes_correct.to_string(),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lsrp_stays_nearly_fully_available() {
+        let lsrp = availability_run(Protocol::Lsrp, 10, 2, 1);
+        let dbf = availability_run(Protocol::Dbf, 10, 2, 1);
+        assert!(
+            lsrp.min >= dbf.min,
+            "LSRP min {} vs DBF min {}",
+            lsrp.min,
+            dbf.min
+        );
+        assert!(lsrp.degraded_time < dbf.degraded_time);
+        assert_eq!(lsrp.samples.last().unwrap().1, 1.0);
+        assert_eq!(dbf.samples.last().unwrap().1, 1.0);
+    }
+
+    #[test]
+    fn lsrp_recovers_under_ten_percent_loss() {
+        let m = lossy_run(0.10, 8, 2, 9);
+        assert!(m.quiescent && m.routes_correct, "{m:?}");
+    }
+
+    #[test]
+    fn containment_survives_drift_and_jitter() {
+        let m = robustness_run(Protocol::Lsrp, 10, 2, 5);
+        assert!(m.quiescent && m.routes_correct);
+        assert!(
+            m.contaminated.len() <= 10,
+            "containment lost under drift: {:?}",
+            m.contaminated
+        );
+    }
+}

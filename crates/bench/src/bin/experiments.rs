@@ -1,0 +1,89 @@
+//! Regenerates every figure and analytical claim of the paper and prints
+//! them as markdown (the source of EXPERIMENTS.md).
+//!
+//! Usage: `experiments [e1|e3|e4|e5|e6|e7|e8|e9|e10|e11|e12|all]...`
+//! (default: all).
+
+use std::env;
+
+use lsrp_bench::{
+    availability, figures, loops_exp, multi_exp, overhead, regions_exp, scaling, selfstab, waves,
+};
+
+fn want(args: &[String], id: &str) -> bool {
+    args.is_empty() || args.iter().any(|a| a == id || a == "all")
+}
+
+fn main() {
+    let args: Vec<String> = env::args().skip(1).collect();
+
+    println!("# LSRP reproduction — experiment outputs\n");
+    println!("All times are simulated seconds under the paper-example timing");
+    println!("(`u = 1`, `hd_SC = 1`, `hd_C = 8`, `hd_S = 17`; DBF/DUAL update");
+    println!("hold 17). See DESIGN.md §4 for the experiment index.\n");
+
+    if want(&args, "e1") || want(&args, "e2") {
+        let (table, timelines) = figures::e1_e2_fig2_vs_fig5();
+        println!("{table}");
+        for (title, tl) in timelines {
+            println!("**{title}**\n\n```\n{tl}```\n");
+        }
+        println!("{}", figures::e4b_dependent_sets());
+    }
+    if want(&args, "e3") {
+        let (table, tl) = figures::e3_fig6();
+        println!("{table}");
+        println!("**LSRP timeline (d.v11 := 2)**\n\n```\n{tl}```\n");
+    }
+    if want(&args, "e4") {
+        println!("{}", figures::e4_fig7());
+    }
+    if want(&args, "e5") {
+        println!("{}", selfstab::e5_selfstab(&[16, 32, 64], 10));
+    }
+    if want(&args, "e6") {
+        println!("{}", scaling::e6_scaling(&[8, 16, 24], &[1, 2, 4, 8, 16]));
+    }
+    if want(&args, "e7") {
+        println!("{}", regions_exp::e7_regions(64, 4));
+    }
+    if want(&args, "e8") {
+        println!("{}", loops_exp::e8_loop_freedom(14, 20));
+    }
+    if want(&args, "e9") {
+        println!("{}", loops_exp::e9_loop_breakage(&[4, 8, 16, 32, 64]));
+    }
+    if want(&args, "e10") {
+        println!("{}", scaling::e10_continuous(&[40.0, 120.0, 400.0]));
+    }
+    if want(&args, "e11") {
+        println!("{}", overhead::e11_overhead(&[8, 16, 24], &[2]));
+    }
+    if want(&args, "e12") {
+        println!("{}", waves::e12_wave_ratio(&[1.2, 1.5, 2.125, 4.0, 8.0]));
+    }
+    if want(&args, "e13") {
+        println!("{}", availability::e13_availability(16, 4));
+    }
+    if want(&args, "e14") {
+        println!("{}", availability::e14_robustness(12, &[2, 8]));
+    }
+    if want(&args, "e15") {
+        println!("{}", loops_exp::e15_c2_ablation(14, 30));
+    }
+    if want(&args, "e16") {
+        println!("{}", scaling::e16_route_stability(12, &[1, 4]));
+    }
+    if want(&args, "e17") {
+        println!("{}", waves::e17_containment_depth(&[1, 2, 4, 8, 16]));
+    }
+    if want(&args, "e18") {
+        println!(
+            "{}",
+            availability::e18_message_loss(&[0.0, 0.01, 0.05, 0.10, 0.20])
+        );
+    }
+    if want(&args, "e19") {
+        println!("{}", multi_exp::e19_full_table(8, &[1, 4, 16, 64]));
+    }
+}

@@ -1,0 +1,27 @@
+//! Experiment scenarios regenerating every figure and analytical claim of
+//! the paper.
+//!
+//! Each `eN_*` function runs one experiment from DESIGN.md §4 and returns
+//! markdown [`Table`]s (plus rendered timelines where the paper draws
+//! space-time diagrams). The `experiments` binary prints them all — its
+//! output is the source of EXPERIMENTS.md — and the Criterion benches in
+//! `benches/` time representative instances of the same scenarios.
+//!
+//! [`Table`]: lsrp_analysis::Table
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod availability;
+pub mod build;
+pub mod figures;
+pub mod loops_exp;
+pub mod multi_exp;
+pub mod overhead;
+pub mod regions_exp;
+pub mod scaling;
+pub mod selfstab;
+pub mod waves;
+
+/// The simulated-time horizon used by every experiment run.
+pub const HORIZON: f64 = 5_000_000.0;

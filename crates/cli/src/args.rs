@@ -1,0 +1,377 @@
+//! Hand-rolled argument parsing for the `lsrp` binary.
+
+use std::fmt;
+
+use lsrp_graph::{Distance, NodeId};
+
+/// Which protocol to drive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProtocolChoice {
+    /// The paper's protocol.
+    Lsrp,
+    /// Distributed Bellman-Ford.
+    Dbf,
+    /// DUAL-lite.
+    Dual,
+    /// Path-vector (BGP-lite).
+    Pv,
+}
+
+/// A topology selector, e.g. `grid:8x8`, `ring:32`, `fig1`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TopologySpec {
+    /// `grid:WxH`
+    Grid(u32, u32),
+    /// `ring:N`
+    Ring(u32),
+    /// `path:N`
+    Path(u32),
+    /// `er:N:P` — connected Erdős–Rényi with extra-edge probability `P`.
+    ErdosRenyi(u32, f64),
+    /// `geo:N:R` — connected random geometric with radius `R`.
+    Geometric(u32, f64),
+    /// `ba:N:M` — preferential attachment, `M` edges per newcomer.
+    PreferentialAttachment(u32, u32),
+    /// `lollipop:TAIL:LOOP`
+    Lollipop(u32, u32),
+    /// `fig1` — the paper's Figure-1 network (destination v2).
+    Fig1,
+}
+
+/// A fault selector, e.g. `corrupt:9:1`, `fail-node:5`, `loop:8`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FaultSpec {
+    /// `corrupt:NODE[:D]` — set `d.NODE := D` (default 0) and poison the
+    /// neighborhood's mirrors.
+    Corrupt(NodeId, Distance),
+    /// `fail-node:NODE`
+    FailNode(NodeId),
+    /// `fail-edge:A:B`
+    FailEdge(NodeId, NodeId),
+    /// `join-edge:A:B:W`
+    JoinEdge(NodeId, NodeId, u64),
+    /// `weight:A:B:W`
+    SetWeight(NodeId, NodeId, u64),
+    /// `loop:LEN` — only valid with a `lollipop` topology; injects a
+    /// corrupted-in loop on the ring.
+    Loop,
+}
+
+/// A parsed invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// `run`: drive one protocol through the faults and report metrics.
+    Run {
+        /// Topology to build.
+        topology: TopologySpec,
+        /// Destination node (defaults to the topology's natural root).
+        dest: Option<NodeId>,
+        /// Protocol to run.
+        protocol: ProtocolChoice,
+        /// Faults to inject at time zero.
+        faults: Vec<FaultSpec>,
+        /// Engine seed.
+        seed: u64,
+        /// Print the per-node action timeline.
+        timeline: bool,
+    },
+    /// `compare`: run the same scenario on all three protocols.
+    Compare {
+        /// Topology to build.
+        topology: TopologySpec,
+        /// Destination node.
+        dest: Option<NodeId>,
+        /// Faults to inject.
+        faults: Vec<FaultSpec>,
+        /// Engine seed.
+        seed: u64,
+    },
+    /// `topo`: print topology statistics.
+    Topo {
+        /// Topology to build.
+        topology: TopologySpec,
+        /// Seed for random generators.
+        seed: u64,
+    },
+    /// `help`
+    Help,
+}
+
+/// A parse failure, with a message suitable for direct printing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError(pub String);
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn err(msg: impl Into<String>) -> ParseError {
+    ParseError(msg.into())
+}
+
+fn parse_u32(s: &str, what: &str) -> Result<u32, ParseError> {
+    s.parse().map_err(|_| err(format!("invalid {what}: {s}")))
+}
+
+fn parse_node(s: &str) -> Result<NodeId, ParseError> {
+    let raw = s.strip_prefix('v').unwrap_or(s);
+    Ok(NodeId::new(parse_u32(raw, "node id")?))
+}
+
+impl TopologySpec {
+    /// Parses a `kind[:args]` topology selector.
+    pub fn parse(s: &str) -> Result<Self, ParseError> {
+        let mut parts = s.split(':');
+        let kind = parts.next().unwrap_or_default();
+        let rest: Vec<&str> = parts.collect();
+        match (kind, rest.as_slice()) {
+            ("grid", [wh]) => {
+                let (w, h) = wh
+                    .split_once('x')
+                    .ok_or_else(|| err(format!("grid wants WxH, got {wh}")))?;
+                Ok(TopologySpec::Grid(
+                    parse_u32(w, "grid width")?,
+                    parse_u32(h, "grid height")?,
+                ))
+            }
+            ("ring", [n]) => Ok(TopologySpec::Ring(parse_u32(n, "ring size")?)),
+            ("path", [n]) => Ok(TopologySpec::Path(parse_u32(n, "path size")?)),
+            ("er", [n, p]) => Ok(TopologySpec::ErdosRenyi(
+                parse_u32(n, "node count")?,
+                p.parse()
+                    .map_err(|_| err(format!("invalid probability: {p}")))?,
+            )),
+            ("geo", [n, r]) => Ok(TopologySpec::Geometric(
+                parse_u32(n, "node count")?,
+                r.parse().map_err(|_| err(format!("invalid radius: {r}")))?,
+            )),
+            ("ba", [n, m]) => Ok(TopologySpec::PreferentialAttachment(
+                parse_u32(n, "node count")?,
+                parse_u32(m, "attachment degree")?,
+            )),
+            ("lollipop", [tail, ring]) => Ok(TopologySpec::Lollipop(
+                parse_u32(tail, "tail length")?,
+                parse_u32(ring, "loop length")?,
+            )),
+            ("fig1", []) => Ok(TopologySpec::Fig1),
+            _ => Err(err(format!(
+                "unknown topology '{s}' (try grid:8x8, ring:32, path:16, er:40:0.1, \
+                 geo:60:0.18, ba:50:2, lollipop:2:8, fig1)"
+            ))),
+        }
+    }
+}
+
+impl FaultSpec {
+    /// Parses a `kind[:args]` fault selector.
+    pub fn parse(s: &str) -> Result<Self, ParseError> {
+        let mut parts = s.split(':');
+        let kind = parts.next().unwrap_or_default();
+        let rest: Vec<&str> = parts.collect();
+        match (kind, rest.as_slice()) {
+            ("corrupt", [node]) => Ok(FaultSpec::Corrupt(parse_node(node)?, Distance::ZERO)),
+            ("corrupt", [node, d]) => {
+                let dist = if *d == "inf" {
+                    Distance::Infinite
+                } else {
+                    Distance::Finite(
+                        d.parse()
+                            .map_err(|_| err(format!("invalid distance: {d}")))?,
+                    )
+                };
+                Ok(FaultSpec::Corrupt(parse_node(node)?, dist))
+            }
+            ("fail-node", [node]) => Ok(FaultSpec::FailNode(parse_node(node)?)),
+            ("fail-edge", [a, b]) => Ok(FaultSpec::FailEdge(parse_node(a)?, parse_node(b)?)),
+            ("join-edge", [a, b, w]) => Ok(FaultSpec::JoinEdge(
+                parse_node(a)?,
+                parse_node(b)?,
+                w.parse().map_err(|_| err(format!("invalid weight: {w}")))?,
+            )),
+            ("weight", [a, b, w]) => Ok(FaultSpec::SetWeight(
+                parse_node(a)?,
+                parse_node(b)?,
+                w.parse().map_err(|_| err(format!("invalid weight: {w}")))?,
+            )),
+            ("loop", []) => Ok(FaultSpec::Loop),
+            _ => Err(err(format!(
+                "unknown fault '{s}' (try corrupt:9:1, fail-node:5, fail-edge:0:1, \
+                 join-edge:0:5:2, weight:0:1:3, loop)"
+            ))),
+        }
+    }
+}
+
+impl Command {
+    /// Parses the full argument list (excluding the program name).
+    pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Self, ParseError> {
+        let mut args = args.into_iter().peekable();
+        let sub = args.next().unwrap_or_else(|| "help".to_string());
+        if sub == "help" || sub == "--help" || sub == "-h" {
+            return Ok(Command::Help);
+        }
+
+        let mut topology = None;
+        let mut dest = None;
+        let mut protocol = ProtocolChoice::Lsrp;
+        let mut faults = Vec::new();
+        let mut seed = 0u64;
+        let mut timeline = false;
+
+        while let Some(flag) = args.next() {
+            let mut value = |what: &str| {
+                args.next()
+                    .ok_or_else(|| err(format!("{flag} expects a {what}")))
+            };
+            match flag.as_str() {
+                "--topology" | "-t" => topology = Some(TopologySpec::parse(&value("topology")?)?),
+                "--dest" | "-d" => dest = Some(parse_node(&value("node id")?)?),
+                "--protocol" | "-p" => {
+                    protocol = match value("protocol")?.as_str() {
+                        "lsrp" => ProtocolChoice::Lsrp,
+                        "dbf" => ProtocolChoice::Dbf,
+                        "dual" => ProtocolChoice::Dual,
+                        "pv" => ProtocolChoice::Pv,
+                        other => return Err(err(format!("unknown protocol '{other}'"))),
+                    }
+                }
+                "--fault" | "-f" => faults.push(FaultSpec::parse(&value("fault")?)?),
+                "--seed" | "-s" => {
+                    seed = value("seed")?.parse().map_err(|_| err("invalid seed"))?
+                }
+                "--timeline" => timeline = true,
+                other => return Err(err(format!("unknown flag '{other}'"))),
+            }
+        }
+
+        let topology = topology.ok_or_else(|| err("--topology is required"))?;
+        match sub.as_str() {
+            "run" => Ok(Command::Run {
+                topology,
+                dest,
+                protocol,
+                faults,
+                seed,
+                timeline,
+            }),
+            "compare" => Ok(Command::Compare {
+                topology,
+                dest,
+                faults,
+                seed,
+            }),
+            "topo" => Ok(Command::Topo { topology, seed }),
+            other => Err(err(format!(
+                "unknown command '{other}' (run, compare, topo, help)"
+            ))),
+        }
+    }
+}
+
+/// The help text.
+pub const HELP: &str = "\
+lsrp — drive LSRP (and baselines) through fault scenarios
+
+USAGE:
+  lsrp run     --topology SPEC [--protocol lsrp|dbf|dual|pv] [--dest N]
+               [--fault SPEC]... [--seed N] [--timeline]
+  lsrp compare --topology SPEC [--dest N] [--fault SPEC]... [--seed N]
+  lsrp topo    --topology SPEC [--seed N]
+
+TOPOLOGIES:  grid:8x8  ring:32  path:16  er:40:0.1  geo:60:0.18
+             ba:50:2  lollipop:2:8  fig1
+FAULTS:      corrupt:NODE[:D|inf]  fail-node:N  fail-edge:A:B
+             join-edge:A:B:W  weight:A:B:W  loop  (lollipop only)
+
+EXAMPLES:
+  lsrp run --topology fig1 --protocol lsrp --fault corrupt:9:1 --timeline
+  lsrp compare --topology grid:12x12 --fault corrupt:13:0
+  lsrp run --topology lollipop:2:16 --fault loop --timeline
+";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(str::to_string).collect()
+    }
+
+    #[test]
+    fn parses_a_full_run() {
+        let c = Command::parse(argv(
+            "run --topology grid:8x8 --protocol dbf --dest 3 --fault corrupt:9:1 --fault fail-node:5 --seed 7 --timeline",
+        ))
+        .unwrap();
+        match c {
+            Command::Run {
+                topology,
+                dest,
+                protocol,
+                faults,
+                seed,
+                timeline,
+            } => {
+                assert_eq!(topology, TopologySpec::Grid(8, 8));
+                assert_eq!(dest, Some(NodeId::new(3)));
+                assert_eq!(protocol, ProtocolChoice::Dbf);
+                assert_eq!(faults.len(), 2);
+                assert_eq!(seed, 7);
+                assert!(timeline);
+            }
+            other => panic!("wrong command: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_every_topology_kind() {
+        for (s, expect) in [
+            ("ring:32", TopologySpec::Ring(32)),
+            ("path:16", TopologySpec::Path(16)),
+            ("er:40:0.1", TopologySpec::ErdosRenyi(40, 0.1)),
+            ("geo:60:0.18", TopologySpec::Geometric(60, 0.18)),
+            ("ba:50:2", TopologySpec::PreferentialAttachment(50, 2)),
+            ("lollipop:2:8", TopologySpec::Lollipop(2, 8)),
+            ("fig1", TopologySpec::Fig1),
+        ] {
+            assert_eq!(TopologySpec::parse(s).unwrap(), expect, "{s}");
+        }
+        assert!(TopologySpec::parse("mesh:3").is_err());
+        assert!(TopologySpec::parse("grid:8").is_err());
+    }
+
+    #[test]
+    fn parses_every_fault_kind() {
+        use FaultSpec::*;
+        let v = |i| NodeId::new(i);
+        for (s, expect) in [
+            ("corrupt:9", Corrupt(v(9), Distance::ZERO)),
+            ("corrupt:v9:4", Corrupt(v(9), Distance::Finite(4))),
+            ("corrupt:9:inf", Corrupt(v(9), Distance::Infinite)),
+            ("fail-node:5", FailNode(v(5))),
+            ("fail-edge:0:1", FailEdge(v(0), v(1))),
+            ("join-edge:0:5:2", JoinEdge(v(0), v(5), 2)),
+            ("weight:0:1:3", SetWeight(v(0), v(1), 3)),
+            ("loop", Loop),
+        ] {
+            assert_eq!(FaultSpec::parse(s).unwrap(), expect, "{s}");
+        }
+        assert!(FaultSpec::parse("nuke:1").is_err());
+    }
+
+    #[test]
+    fn helpful_errors() {
+        assert!(Command::parse(argv("run"))
+            .unwrap_err()
+            .0
+            .contains("--topology"));
+        assert!(Command::parse(argv("run --topology")).is_err());
+        assert!(Command::parse(argv("frobnicate --topology fig1")).is_err());
+        assert_eq!(Command::parse(argv("help")).unwrap(), Command::Help);
+        assert_eq!(Command::parse(Vec::new()).unwrap(), Command::Help);
+    }
+}

@@ -1,0 +1,361 @@
+//! Scenario driver: builds topologies and protocols from parsed args,
+//! injects faults, runs and reports.
+
+use std::collections::BTreeSet;
+use std::fmt::Write as _;
+
+use lsrp_analysis::{measure_recovery, table::fmt_f64, timeline, RoutingSimulation, Table};
+use lsrp_baselines::{
+    DbfConfig, DbfSimulation, DualConfig, DualSimulation, PvConfig, PvSimulation,
+};
+use lsrp_core::{InitialState, LsrpSimulation};
+use lsrp_graph::{generators, topologies, Graph, NodeId};
+use lsrp_sim::EngineConfig;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::args::{Command, FaultSpec, ParseError, ProtocolChoice, TopologySpec, HELP};
+
+/// Builds the topology and its natural destination.
+pub fn build_topology(spec: &TopologySpec, seed: u64) -> (Graph, NodeId) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    match *spec {
+        TopologySpec::Grid(w, h) => (generators::grid(w, h, 1), NodeId::new(0)),
+        TopologySpec::Ring(n) => (generators::ring(n, 1), NodeId::new(0)),
+        TopologySpec::Path(n) => (generators::path(n, 1), NodeId::new(0)),
+        TopologySpec::ErdosRenyi(n, p) => (
+            generators::connected_erdos_renyi(n, p, 4, &mut rng),
+            NodeId::new(0),
+        ),
+        TopologySpec::Geometric(n, r) => {
+            (generators::random_geometric(n, r, &mut rng), NodeId::new(0))
+        }
+        TopologySpec::PreferentialAttachment(n, m) => (
+            generators::preferential_attachment(n, m, &mut rng),
+            NodeId::new(0),
+        ),
+        TopologySpec::Lollipop(tail, ring) => (generators::lollipop(tail, ring, 1), NodeId::new(0)),
+        TopologySpec::Fig1 => (topologies::paper_fig1(), topologies::FIG1_DESTINATION),
+    }
+}
+
+fn build_protocol(
+    choice: ProtocolChoice,
+    topo: &TopologySpec,
+    graph: Graph,
+    dest: NodeId,
+    seed: u64,
+) -> Box<dyn RoutingSimulation> {
+    let engine = EngineConfig::default().with_seed(seed);
+    match choice {
+        ProtocolChoice::Lsrp => {
+            let initial = if *topo == TopologySpec::Fig1 {
+                // Start from the figure's chosen tree (v7/v8 via v9).
+                InitialState::Table(topologies::fig1_route_table())
+            } else {
+                InitialState::Legitimate
+            };
+            Box::new(
+                LsrpSimulation::builder(graph, dest)
+                    .initial_state(initial)
+                    .engine_config(engine)
+                    .build(),
+            )
+        }
+        ProtocolChoice::Dbf => Box::new(DbfSimulation::new(
+            graph,
+            dest,
+            None,
+            DbfConfig::default(),
+            engine,
+        )),
+        ProtocolChoice::Dual => Box::new(DualSimulation::new(
+            graph,
+            dest,
+            None,
+            DualConfig::default(),
+            engine,
+        )),
+        ProtocolChoice::Pv => Box::new(PvSimulation::new(
+            graph,
+            dest,
+            None,
+            PvConfig::default(),
+            engine,
+        )),
+    }
+}
+
+/// The nodes a fault spec perturbs, computed from the (pre-fault) graph.
+fn perturbed_by(
+    graph: &lsrp_graph::Graph,
+    spec: &FaultSpec,
+    topo: &TopologySpec,
+) -> Result<BTreeSet<NodeId>, ParseError> {
+    let check_node = |n: NodeId| {
+        graph
+            .has_node(n)
+            .then_some(n)
+            .ok_or_else(|| ParseError(format!("{n} is not in the topology")))
+    };
+    let check_edge = |a: NodeId, b: NodeId| {
+        graph
+            .has_edge(a, b)
+            .then_some(())
+            .ok_or_else(|| ParseError(format!("edge ({a}, {b}) is not in the topology")))
+    };
+    Ok(match *spec {
+        FaultSpec::Corrupt(node, _) => BTreeSet::from([check_node(node)?]),
+        FaultSpec::FailNode(node) => {
+            check_node(node)?;
+            graph.neighbors(node).map(|(k, _)| k).collect()
+        }
+        FaultSpec::FailEdge(a, b) => {
+            check_edge(a, b)?;
+            BTreeSet::from([a, b])
+        }
+        FaultSpec::JoinEdge(a, b, _) => {
+            check_node(a)?;
+            check_node(b)?;
+            BTreeSet::from([a, b])
+        }
+        FaultSpec::SetWeight(a, b, _) => {
+            check_edge(a, b)?;
+            BTreeSet::from([a, b])
+        }
+        FaultSpec::Loop => {
+            let TopologySpec::Lollipop(tail, ring_len) = *topo else {
+                return Err(ParseError(
+                    "--fault loop requires a lollipop topology".to_string(),
+                ));
+            };
+            generators::lollipop_ring(tail, ring_len)
+                .into_iter()
+                .collect()
+        }
+    })
+}
+
+/// Applies one (pre-validated) fault spec.
+fn apply_fault(sim: &mut dyn RoutingSimulation, spec: &FaultSpec, topo: &TopologySpec) {
+    match *spec {
+        FaultSpec::Corrupt(node, d) => {
+            sim.corrupt_distance(node, d);
+            let ns: Vec<NodeId> = sim.graph().neighbors(node).map(|(k, _)| k).collect();
+            for k in ns {
+                sim.poison_mirror(k, node, d);
+            }
+        }
+        FaultSpec::FailNode(node) => sim.fail_node(node).expect("validated"),
+        FaultSpec::FailEdge(a, b) => sim.fail_edge(a, b).expect("validated"),
+        FaultSpec::JoinEdge(a, b, w) => {
+            // Joining an existing edge is a user error surfaced here.
+            if let Err(e) = sim.join_edge(a, b, w) {
+                eprintln!("warning: {e}");
+            }
+        }
+        FaultSpec::SetWeight(a, b, w) => sim.set_weight(a, b, w).expect("validated"),
+        FaultSpec::Loop => {
+            let TopologySpec::Lollipop(tail, ring_len) = *topo else {
+                unreachable!("validated against the topology");
+            };
+            let mut ring = generators::lollipop_ring(tail, ring_len);
+            ring.rotate_left(1);
+            let assignment = lsrp_faults::loops::cycle_assignment(sim.graph(), &ring, 1);
+            for &(node, d, p) in &assignment {
+                sim.inject_route(node, d, p);
+            }
+            for &(node, d, _) in &assignment {
+                let ns: Vec<NodeId> = sim.graph().neighbors(node).map(|(k, _)| k).collect();
+                for k in ns {
+                    sim.poison_mirror(k, node, d);
+                }
+            }
+        }
+    }
+}
+
+fn run_one(
+    choice: ProtocolChoice,
+    topo: &TopologySpec,
+    dest: Option<NodeId>,
+    faults: &[FaultSpec],
+    seed: u64,
+    want_timeline: bool,
+    out: &mut String,
+) -> Result<(), ParseError> {
+    let (graph, natural_dest) = build_topology(topo, seed);
+    let dest = dest.unwrap_or(natural_dest);
+    if !graph.has_node(dest) {
+        return Err(ParseError(format!(
+            "destination {dest} is not in the topology"
+        )));
+    }
+    let mut perturbed = BTreeSet::new();
+    for f in faults {
+        perturbed.extend(perturbed_by(&graph, f, topo)?);
+    }
+
+    let mut sim = build_protocol(choice, topo, graph, dest, seed);
+    sim.run_to_quiescence(1_000_000.0);
+    let metrics = measure_recovery(sim.as_mut(), &perturbed, 5_000_000.0, |s| {
+        for f in faults {
+            apply_fault(s, f, topo);
+        }
+    });
+
+    let mut t = Table::new(
+        format!("{:?} on {:?} (destination {dest})", choice, topo),
+        &["metric", "value"],
+    );
+    t.row(&[
+        "perturbed nodes".to_string(),
+        format!("{}", perturbed.len()),
+    ]);
+    t.row(&[
+        "stabilization time".to_string(),
+        fmt_f64(metrics.stabilization_time),
+    ]);
+    t.row(&[
+        "contaminated nodes".to_string(),
+        metrics.contaminated.len().to_string(),
+    ]);
+    t.row(&[
+        "contamination range".to_string(),
+        metrics.contamination_range.to_string(),
+    ]);
+    t.row(&["actions".to_string(), metrics.actions.to_string()]);
+    t.row(&["messages".to_string(), metrics.messages.to_string()]);
+    t.row(&[
+        "healthy route flaps".to_string(),
+        metrics.healthy_route_flaps.to_string(),
+    ]);
+    t.row(&["quiescent".to_string(), metrics.quiescent.to_string()]);
+    t.row(&[
+        "routes correct".to_string(),
+        metrics.routes_correct.to_string(),
+    ]);
+    let _ = write!(out, "{t}");
+    if want_timeline {
+        let _ = write!(
+            out,
+            "\ntimeline:\n{}",
+            timeline::render_timeline(sim.trace())
+        );
+    }
+    Ok(())
+}
+
+/// Executes a parsed command; returns the report text.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`]-style message for semantic errors (unknown
+/// nodes, fault/topology mismatches).
+pub fn run_command(cmd: &Command) -> Result<String, ParseError> {
+    let mut out = String::new();
+    match cmd {
+        Command::Help => out.push_str(HELP),
+        Command::Topo { topology, seed } => {
+            let (g, dest) = build_topology(topology, *seed);
+            let mut t = Table::new(format!("{topology:?}"), &["metric", "value"]);
+            t.row(&["nodes".to_string(), g.node_count().to_string()]);
+            t.row(&["edges".to_string(), g.edge_count().to_string()]);
+            t.row(&["connected".to_string(), g.is_connected().to_string()]);
+            t.row(&[
+                "hop diameter".to_string(),
+                g.hop_diameter().map_or("-".into(), |d| d.to_string()),
+            ]);
+            t.row(&["natural destination".to_string(), dest.to_string()]);
+            let max_deg = g.nodes().map(|n| g.degree(n)).max().unwrap_or(0);
+            t.row(&["max degree".to_string(), max_deg.to_string()]);
+            let _ = write!(out, "{t}");
+        }
+        Command::Run {
+            topology,
+            dest,
+            protocol,
+            faults,
+            seed,
+            timeline,
+        } => run_one(
+            *protocol, topology, *dest, faults, *seed, *timeline, &mut out,
+        )?,
+        Command::Compare {
+            topology,
+            dest,
+            faults,
+            seed,
+        } => {
+            for p in [
+                ProtocolChoice::Lsrp,
+                ProtocolChoice::Dbf,
+                ProtocolChoice::Dual,
+                ProtocolChoice::Pv,
+            ] {
+                run_one(p, topology, *dest, faults, *seed, false, &mut out)?;
+                out.push('\n');
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::args::Command;
+
+    fn run(s: &str) -> Result<String, ParseError> {
+        let args: Vec<String> = s.split_whitespace().map(str::to_string).collect();
+        run_command(&Command::parse(args)?)
+    }
+
+    #[test]
+    fn topo_reports_statistics() {
+        let out = run("topo --topology grid:4x4").unwrap();
+        assert!(out.contains("| nodes"));
+        assert!(out.contains("16"));
+        assert!(out.contains("true"));
+    }
+
+    #[test]
+    fn fig1_run_reproduces_ideal_containment() {
+        let out = run("run --topology fig1 --fault corrupt:9:1 --timeline").unwrap();
+        let squashed: String = out.split_whitespace().collect::<Vec<_>>().join(" ");
+        assert!(squashed.contains("routes correct | true"), "{out}");
+        assert!(squashed.contains("contaminated nodes | 0"), "{out}");
+        assert!(squashed.contains("healthy route flaps | 0"), "{out}");
+        assert!(out.contains("C1@8"), "{out}");
+    }
+
+    #[test]
+    fn compare_runs_all_three() {
+        let out = run("compare --topology grid:6x6 --fault corrupt:7:0").unwrap();
+        assert!(out.contains("Lsrp on"));
+        assert!(out.contains("Dbf on"));
+        assert!(out.contains("Dual on"));
+    }
+
+    #[test]
+    fn loop_fault_requires_lollipop() {
+        let e = run("run --topology grid:4x4 --fault loop").unwrap_err();
+        assert!(e.0.contains("lollipop"));
+        let out = run("run --topology lollipop:2:8 --fault loop").unwrap();
+        let squashed: String = out.split_whitespace().collect::<Vec<_>>().join(" ");
+        assert!(squashed.contains("routes correct | true"), "{out}");
+    }
+
+    #[test]
+    fn semantic_errors_are_reported() {
+        assert!(run("run --topology path:4 --fault corrupt:99").is_err());
+        assert!(run("run --topology path:4 --dest 99").is_err());
+        assert!(run("run --topology path:4 --fault fail-edge:0:3").is_err());
+    }
+
+    #[test]
+    fn help_prints_usage() {
+        let out = run("help").unwrap();
+        assert!(out.contains("USAGE"));
+    }
+}

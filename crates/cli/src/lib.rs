@@ -1,0 +1,21 @@
+//! Command-line driver for LSRP scenarios.
+//!
+//! ```text
+//! lsrp run --topology grid:8x8 --protocol lsrp --fault corrupt:9:0 --timeline
+//! lsrp run --topology fig1 --protocol dbf --fault corrupt:9:1
+//! lsrp compare --topology grid:12x12 --fault corrupt:13:0
+//! lsrp topo --topology ba:60:2
+//! ```
+//!
+//! Argument parsing is hand-rolled (no extra dependencies); see
+//! [`args::Command::parse`] for the grammar. The library half exists so
+//! the parser and scenario driver are unit-testable.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod args;
+pub mod driver;
+
+pub use crate::args::{Command, FaultSpec, ProtocolChoice, TopologySpec};
+pub use crate::driver::run_command;

@@ -1,0 +1,24 @@
+//! The `lsrp` command-line binary. See `lsrp help`.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cmd = match lsrp_cli::Command::parse(args) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: {e}\n\nrun `lsrp help` for usage");
+            return ExitCode::FAILURE;
+        }
+    };
+    match lsrp_cli::run_command(&cmd) {
+        Ok(out) => {
+            print!("{out}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,446 @@
+//! High-level simulation facade: build an LSRP network, run it, poke it
+//! with faults, and inspect the outcome.
+
+use std::collections::BTreeMap;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use lsrp_graph::{Distance, Graph, GraphError, NodeId, RouteTable, Weight};
+use lsrp_sim::{Engine, EngineConfig, RunReport, SimTime};
+
+use crate::legitimacy;
+use crate::protocol::LsrpNode;
+use crate::state::{LsrpState, Mirror};
+use crate::timing::TimingConfig;
+
+/// How node states are initialized.
+#[derive(Debug, Clone)]
+pub enum InitialState {
+    /// Start at a canonical legitimate state (Dijkstra distances, smallest-
+    /// id parents, consistent mirrors). The usual baseline for fault
+    /// injection.
+    Legitimate,
+    /// Start at a *specific* legitimate (or deliberately illegitimate)
+    /// route table with consistent mirrors — e.g. the paper's Figure 1
+    /// chosen tree.
+    Table(RouteTable),
+    /// Cold start: the destination knows itself, everyone else has no
+    /// route; mirrors are consistent (as after a hello exchange).
+    Fresh,
+    /// Fully arbitrary state — random distances, parents, containment
+    /// flags, timestamps and mirrors — the Theorem 1 setting. Pair with a
+    /// `SYN` period so corrupted mirrors self-stabilize.
+    Arbitrary {
+        /// Seed for the randomized state (independent of the engine seed).
+        seed: u64,
+    },
+}
+
+/// Builder for [`LsrpSimulation`].
+#[derive(Debug, Clone)]
+pub struct LsrpSimulationBuilder {
+    graph: Graph,
+    destination: NodeId,
+    timing: TimingConfig,
+    engine: EngineConfig,
+    initial: InitialState,
+}
+
+impl LsrpSimulationBuilder {
+    /// Sets wave timing (default: [`TimingConfig::paper_example`] with the
+    /// engine's max link delay as `u`).
+    #[must_use]
+    pub fn timing(mut self, timing: TimingConfig) -> Self {
+        self.timing = timing;
+        self
+    }
+
+    /// Sets the engine configuration (links, clocks, seed).
+    #[must_use]
+    pub fn engine_config(mut self, config: EngineConfig) -> Self {
+        self.engine = config;
+        self
+    }
+
+    /// Sets the initial protocol state.
+    #[must_use]
+    pub fn initial_state(mut self, initial: InitialState) -> Self {
+        self.initial = initial;
+        self
+    }
+
+    /// Shortcut for setting the engine seed.
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.engine.seed = seed;
+        self
+    }
+
+    /// Builds the simulation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the timing violates the wave-speed constraints for the
+    /// configured clock drift and link delay, or if the destination is not
+    /// a node of the graph.
+    pub fn build(self) -> LsrpSimulation {
+        assert!(
+            self.graph.has_node(self.destination),
+            "destination {} is not in the graph",
+            self.destination
+        );
+        self.timing
+            .validate(self.engine.clocks.rho(), self.engine.link.delay_max)
+            .expect("LSRP timing must satisfy the wave-speed constraints");
+
+        let mut states = initial_states(&self.graph, self.destination, &self.initial);
+        let timing = self.timing;
+        let destination = self.destination;
+        let engine = Engine::new(self.graph, self.engine, move |id, neighbors| {
+            let mut state = states
+                .remove(&id)
+                .unwrap_or_else(|| LsrpState::fresh(id, destination, neighbors.clone()));
+            state.set_neighbors(neighbors.clone());
+            LsrpNode::new(state, timing)
+        });
+        LsrpSimulation {
+            engine,
+            destination,
+            timing,
+        }
+    }
+}
+
+fn initial_states(
+    graph: &Graph,
+    destination: NodeId,
+    initial: &InitialState,
+) -> BTreeMap<NodeId, LsrpState> {
+    let table = match initial {
+        InitialState::Legitimate => Some(RouteTable::legitimate(graph, destination)),
+        InitialState::Table(t) => Some(t.clone()),
+        InitialState::Fresh => None,
+        InitialState::Arbitrary { seed } => {
+            return arbitrary_states(graph, destination, *seed);
+        }
+    };
+    let mut states = BTreeMap::new();
+    for v in graph.nodes() {
+        let neighbors: BTreeMap<NodeId, Weight> = graph.neighbors(v).collect();
+        let mut s = LsrpState::fresh(v, destination, neighbors);
+        if let Some(t) = &table {
+            if let Some(e) = t.entry(v) {
+                s.d = e.distance;
+                s.p = e.parent;
+            }
+        }
+        states.insert(v, s);
+    }
+    // Consistent mirrors: every node knows its neighbors' actual values.
+    let snapshot: BTreeMap<NodeId, Mirror> = states
+        .iter()
+        .map(|(&v, s)| {
+            (
+                v,
+                Mirror {
+                    d: s.d,
+                    p: s.p,
+                    ghost: s.ghost,
+                },
+            )
+        })
+        .collect();
+    for s in states.values_mut() {
+        let ids: Vec<NodeId> = s.neighbors.keys().copied().collect();
+        for k in ids {
+            s.mirrors.insert(k, snapshot[&k]);
+        }
+    }
+    states
+}
+
+fn arbitrary_states(graph: &Graph, destination: NodeId, seed: u64) -> BTreeMap<NodeId, LsrpState> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let all: Vec<NodeId> = graph.nodes().collect();
+    let max_d = (graph.node_count() as u64) * 2 + 4;
+    let random_distance = |rng: &mut StdRng| -> Distance {
+        if rng.gen_bool(0.1) {
+            Distance::Infinite
+        } else {
+            Distance::Finite(rng.gen_range(0..=max_d))
+        }
+    };
+    let mut states = BTreeMap::new();
+    for v in graph.nodes() {
+        let neighbors: BTreeMap<NodeId, Weight> = graph.neighbors(v).collect();
+        let neighbor_ids: Vec<NodeId> = neighbors.keys().copied().collect();
+        let mut s = LsrpState::fresh(v, destination, neighbors);
+        s.d = random_distance(&mut rng);
+        s.p = {
+            let roll: f64 = rng.gen();
+            if roll < 0.7 && !neighbor_ids.is_empty() {
+                neighbor_ids[rng.gen_range(0..neighbor_ids.len())]
+            } else if roll < 0.9 {
+                v
+            } else {
+                all[rng.gen_range(0..all.len())]
+            }
+        };
+        s.ghost = rng.gen_bool(0.15);
+        s.t_last = rng.gen_range(0.0..1_000.0);
+        for k in neighbor_ids {
+            let m = Mirror {
+                d: random_distance(&mut rng),
+                p: if rng.gen_bool(0.5) { v } else { k },
+                ghost: rng.gen_bool(0.15),
+            };
+            s.mirrors.insert(k, m);
+        }
+        states.insert(v, s);
+    }
+    states
+}
+
+/// A running LSRP network: the engine plus LSRP-specific conveniences.
+#[derive(Debug)]
+pub struct LsrpSimulation {
+    engine: Engine<LsrpNode>,
+    destination: NodeId,
+    timing: TimingConfig,
+}
+
+impl LsrpSimulation {
+    /// Starts building a simulation of `graph` routing toward
+    /// `destination`.
+    pub fn builder(graph: Graph, destination: NodeId) -> LsrpSimulationBuilder {
+        let engine = EngineConfig::default();
+        LsrpSimulationBuilder {
+            graph,
+            destination,
+            timing: TimingConfig::paper_example(engine.link.delay_max),
+            engine,
+            initial: InitialState::Legitimate,
+        }
+    }
+
+    /// The destination node.
+    pub fn destination(&self) -> NodeId {
+        self.destination
+    }
+
+    /// The wave timing in use.
+    pub fn timing(&self) -> &TimingConfig {
+        &self.timing
+    }
+
+    /// The underlying engine (trace, clocks, topology).
+    pub fn engine(&self) -> &Engine<LsrpNode> {
+        &self.engine
+    }
+
+    /// Mutable access to the underlying engine.
+    pub fn engine_mut(&mut self) -> &mut Engine<LsrpNode> {
+        &mut self.engine
+    }
+
+    /// The current topology.
+    pub fn graph(&self) -> &Graph {
+        self.engine.graph()
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.engine.now()
+    }
+
+    /// The settle window used for quiescence detection: zero without a
+    /// `SYN` period (the event queue drains), else long enough that
+    /// periodic refreshes changing nothing cannot keep the run alive.
+    pub fn settle_window(&self) -> f64 {
+        match self.timing.syn_period {
+            Some(p) => 2.0 * p + 1.0,
+            None => 0.0,
+        }
+    }
+
+    /// Runs until the network settles or `horizon` seconds pass.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the engine's event budget is exhausted (a protocol
+    /// livelock — always a bug worth crashing loudly on).
+    pub fn run_to_quiescence(&mut self, horizon: f64) -> RunReport {
+        let settle = self.settle_window();
+        self.engine
+            .run_to_quiescence(SimTime::new(horizon), settle)
+            .expect("LSRP must not livelock")
+    }
+
+    /// Runs for all events up to `until` seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the engine's event budget is exhausted.
+    pub fn run_until(&mut self, until: f64) -> RunReport {
+        self.engine
+            .run_until(SimTime::new(until))
+            .expect("LSRP must not livelock")
+    }
+
+    /// Corrupts `d.v` in place.
+    pub fn corrupt_distance(&mut self, v: NodeId, d: Distance) {
+        self.engine.with_node_mut(v, |n| n.state_mut().d = d);
+    }
+
+    /// Corrupts `p.v` in place.
+    pub fn corrupt_parent(&mut self, v: NodeId, p: NodeId) {
+        self.engine.with_node_mut(v, |n| n.state_mut().p = p);
+    }
+
+    /// Corrupts `ghost.v` in place.
+    pub fn corrupt_ghost(&mut self, v: NodeId, ghost: bool) {
+        self.engine
+            .with_node_mut(v, |n| n.state_mut().ghost = ghost);
+    }
+
+    /// Corrupts `v`'s mirror of neighbor `about` in place (used to model
+    /// "neighbors have already learned the corrupted value" scenarios).
+    pub fn corrupt_mirror(&mut self, v: NodeId, about: NodeId, mirror: Mirror) {
+        self.engine.with_node_mut(v, |n| {
+            n.state_mut().mirrors.insert(about, mirror);
+        });
+    }
+
+    /// Arbitrary in-place state mutation.
+    pub fn with_state_mut(&mut self, v: NodeId, f: impl FnOnce(&mut LsrpState)) {
+        self.engine.with_node_mut(v, |n| f(n.state_mut()));
+    }
+
+    /// Fail-stops a node.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`GraphError`] for unknown nodes.
+    pub fn fail_node(&mut self, v: NodeId) -> Result<(), GraphError> {
+        self.engine.fail_node(v)
+    }
+
+    /// Joins a node with the given edges.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`GraphError`] for invalid joins.
+    pub fn join_node(&mut self, v: NodeId, edges: &[(NodeId, Weight)]) -> Result<(), GraphError> {
+        self.engine.join_node(v, edges)
+    }
+
+    /// Fail-stops an edge.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`GraphError`] for unknown edges.
+    pub fn fail_edge(&mut self, a: NodeId, b: NodeId) -> Result<(), GraphError> {
+        self.engine.fail_edge(a, b)
+    }
+
+    /// Joins an edge.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`GraphError`] for invalid edges.
+    pub fn join_edge(&mut self, a: NodeId, b: NodeId, w: Weight) -> Result<(), GraphError> {
+        self.engine.join_edge(a, b, w)
+    }
+
+    /// Changes an edge weight.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`GraphError`] for unknown edges.
+    pub fn set_weight(&mut self, a: NodeId, b: NodeId, w: Weight) -> Result<(), GraphError> {
+        self.engine.set_weight(a, b, w)
+    }
+
+    /// The current `(d.v, p.v)` table.
+    pub fn route_table(&self) -> RouteTable {
+        self.engine.route_table()
+    }
+
+    /// Whether the legitimate-state predicate `L` holds right now.
+    pub fn is_legitimate(&self) -> bool {
+        legitimacy::is_legitimate(&self.engine)
+    }
+
+    /// Whether every node's route matches Dijkstra ground truth on the
+    /// current topology.
+    pub fn routes_correct(&self) -> bool {
+        self.route_table()
+            .is_correct(self.engine.graph(), self.destination)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lsrp_graph::generators;
+
+    fn v(i: u32) -> NodeId {
+        NodeId::new(i)
+    }
+
+    #[test]
+    fn legitimate_start_is_immediately_quiescent() {
+        let mut sim = LsrpSimulation::builder(generators::grid(4, 4, 1), v(0)).build();
+        let report = sim.run_to_quiescence(1_000.0);
+        assert!(report.quiescent);
+        assert_eq!(sim.engine().trace().total_actions(), 0);
+        assert!(sim.is_legitimate());
+        assert!(sim.routes_correct());
+    }
+
+    #[test]
+    fn fresh_start_converges_to_shortest_paths() {
+        let mut sim = LsrpSimulation::builder(generators::grid(5, 5, 1), v(12))
+            .initial_state(InitialState::Fresh)
+            .build();
+        let report = sim.run_to_quiescence(100_000.0);
+        assert!(report.quiescent);
+        assert!(sim.routes_correct());
+        assert!(sim.is_legitimate());
+    }
+
+    #[test]
+    fn fresh_start_weighted_graph_converges() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let g = generators::connected_erdos_renyi(24, 0.1, 5, &mut rng);
+        let mut sim = LsrpSimulation::builder(g, v(3))
+            .initial_state(InitialState::Fresh)
+            .seed(11)
+            .build();
+        let report = sim.run_to_quiescence(1_000_000.0);
+        assert!(report.quiescent);
+        assert!(sim.routes_correct());
+    }
+
+    #[test]
+    #[should_panic(expected = "destination v9 is not in the graph")]
+    fn missing_destination_panics() {
+        let _ = LsrpSimulation::builder(generators::path(3, 1), v(9)).build();
+    }
+
+    #[test]
+    #[should_panic(expected = "wave-speed constraints")]
+    fn invalid_timing_panics() {
+        let bad = TimingConfig {
+            hd_s: 1.0,
+            hd_c: 1.0,
+            hd_sc: 0.0,
+            hd_c2: 0.0,
+            syn_period: None,
+        };
+        let _ = LsrpSimulation::builder(generators::path(3, 1), v(0))
+            .timing(bad)
+            .build();
+    }
+}

@@ -1,0 +1,238 @@
+//! LSRP per-node state: the protocol variables of Figure 4.
+//!
+//! Per node `v` the protocol maintains:
+//!
+//! * `d.v` — distance to the destination (problem-specific);
+//! * `p.v` — next-hop / parent in the shortest path tree (problem-specific);
+//! * `ghost.v` — whether `v` is involved in a containment wave;
+//! * `t.v` — local-clock time of the last broadcast (drives `SYN1`);
+//! * mirrors `d.k.v`, `p.k.v`, `ghost.k.v` of each neighbor `k`'s latest
+//!   broadcast values.
+//!
+//! All fields are public: the fault model includes arbitrary state
+//! corruption, which experiments perform by mutating this struct directly.
+
+use std::collections::BTreeMap;
+
+use lsrp_graph::{Distance, NodeId, RouteEntry, Weight};
+
+/// A node's view of one neighbor's latest broadcast `(d, p, ghost)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Mirror {
+    /// Mirrored distance `d.k.v`.
+    pub d: Distance,
+    /// Mirrored parent `p.k.v`.
+    pub p: NodeId,
+    /// Mirrored containment flag `ghost.k.v`.
+    pub ghost: bool,
+}
+
+impl Mirror {
+    /// The default mirror for a neighbor `k` nothing has been heard from:
+    /// no route, not in containment.
+    pub fn unknown(k: NodeId) -> Self {
+        Mirror {
+            d: Distance::Infinite,
+            p: k,
+            ghost: false,
+        }
+    }
+}
+
+/// The message LSRP nodes broadcast: the sender's current
+/// `(d, p, ghost)`. The paper's actions broadcast only the variables they
+/// changed; sending the full triple is state-equivalent (see DESIGN.md).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LsrpMsg {
+    /// Sender's distance.
+    pub d: Distance,
+    /// Sender's parent.
+    pub p: NodeId,
+    /// Sender's containment flag.
+    pub ghost: bool,
+}
+
+/// The full protocol state of one LSRP node.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LsrpState {
+    /// This node's id.
+    pub id: NodeId,
+    /// The destination node `dest` every node routes toward.
+    pub dest: NodeId,
+    /// Distance to the destination (`d.v`).
+    pub d: Distance,
+    /// Parent / next-hop (`p.v`); a routeless node points at itself.
+    pub p: NodeId,
+    /// Containment-wave involvement (`ghost.v`).
+    pub ghost: bool,
+    /// Local-clock time of the last broadcast (`t.v`).
+    pub t_last: f64,
+    /// Current neighbor set with edge weights (`N.v`, `w.v.k`).
+    pub neighbors: BTreeMap<NodeId, Weight>,
+    /// Mirrors of neighbor state (`d.k.v`, `p.k.v`, `ghost.k.v`).
+    pub mirrors: BTreeMap<NodeId, Mirror>,
+}
+
+impl LsrpState {
+    /// Fresh state for a node that knows nothing: no route, self parent
+    /// (the destination starts with `d = 0, p = dest` instead).
+    pub fn fresh(id: NodeId, dest: NodeId, neighbors: BTreeMap<NodeId, Weight>) -> Self {
+        let (d, p) = if id == dest {
+            (Distance::ZERO, dest)
+        } else {
+            (Distance::Infinite, id)
+        };
+        LsrpState {
+            id,
+            dest,
+            d,
+            p,
+            ghost: false,
+            t_last: 0.0,
+            neighbors,
+            mirrors: BTreeMap::new(),
+        }
+    }
+
+    /// The mirror of neighbor `k` ([`Mirror::unknown`] if nothing heard).
+    pub fn mirror(&self, k: NodeId) -> Mirror {
+        self.mirrors
+            .get(&k)
+            .copied()
+            .unwrap_or_else(|| Mirror::unknown(k))
+    }
+
+    /// The distance neighbor `k` currently offers this node:
+    /// `d.k.v + w.v.k`, or `∞` if `k` is not a neighbor.
+    pub fn offer(&self, k: NodeId) -> Distance {
+        match self.neighbors.get(&k) {
+            Some(&w) => self.mirror(k).d.plus(w),
+            None => Distance::Infinite,
+        }
+    }
+
+    /// Whether `k` is currently a neighbor.
+    pub fn is_neighbor(&self, k: NodeId) -> bool {
+        self.neighbors.contains_key(&k)
+    }
+
+    /// The broadcast message for the current state.
+    pub fn message(&self) -> LsrpMsg {
+        LsrpMsg {
+            d: self.d,
+            p: self.p,
+            ghost: self.ghost,
+        }
+    }
+
+    /// The problem-specific variables `(d.v, p.v)`.
+    pub fn route_entry(&self) -> RouteEntry {
+        RouteEntry::new(self.d, self.p)
+    }
+
+    /// Updates the mirror of `from` with a received message; returns `true`
+    /// when the mirror actually changed.
+    pub fn absorb(&mut self, from: NodeId, msg: &LsrpMsg) -> bool {
+        let new = Mirror {
+            d: msg.d,
+            p: msg.p,
+            ghost: msg.ghost,
+        };
+        let old = self.mirrors.insert(from, new);
+        old != Some(new)
+    }
+
+    /// Reconciles the neighbor set after a topology change: installs the
+    /// new set and drops mirrors of vanished neighbors.
+    pub fn set_neighbors(&mut self, neighbors: BTreeMap<NodeId, Weight>) {
+        self.mirrors.retain(|k, _| neighbors.contains_key(k));
+        self.neighbors = neighbors;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(i: u32) -> NodeId {
+        NodeId::new(i)
+    }
+
+    fn state() -> LsrpState {
+        let neighbors = BTreeMap::from([(v(1), 2), (v(2), 1)]);
+        LsrpState::fresh(v(0), v(9), neighbors)
+    }
+
+    #[test]
+    fn fresh_non_destination_has_no_route() {
+        let s = state();
+        assert_eq!(s.d, Distance::Infinite);
+        assert_eq!(s.p, v(0));
+        assert!(!s.ghost);
+    }
+
+    #[test]
+    fn fresh_destination_is_rooted() {
+        let s = LsrpState::fresh(v(9), v(9), BTreeMap::new());
+        assert_eq!(s.d, Distance::ZERO);
+        assert_eq!(s.p, v(9));
+    }
+
+    #[test]
+    fn offers_use_mirror_plus_weight() {
+        let mut s = state();
+        assert_eq!(s.offer(v(1)), Distance::Infinite); // unknown mirror
+        assert!(s.absorb(
+            v(1),
+            &LsrpMsg {
+                d: Distance::Finite(3),
+                p: v(9),
+                ghost: false
+            }
+        ));
+        assert_eq!(s.offer(v(1)), Distance::Finite(5));
+        assert_eq!(s.offer(v(42)), Distance::Infinite); // not a neighbor
+    }
+
+    #[test]
+    fn absorb_reports_change_only_when_different() {
+        let mut s = state();
+        let m = LsrpMsg {
+            d: Distance::Finite(1),
+            p: v(9),
+            ghost: true,
+        };
+        assert!(s.absorb(v(2), &m));
+        assert!(!s.absorb(v(2), &m));
+    }
+
+    #[test]
+    fn neighbor_changes_drop_stale_mirrors() {
+        let mut s = state();
+        s.absorb(
+            v(1),
+            &LsrpMsg {
+                d: Distance::ZERO,
+                p: v(1),
+                ghost: false,
+            },
+        );
+        s.set_neighbors(BTreeMap::from([(v(2), 1)]));
+        assert!(!s.is_neighbor(v(1)));
+        assert_eq!(s.mirror(v(1)), Mirror::unknown(v(1)));
+        assert_eq!(s.offer(v(1)), Distance::Infinite);
+    }
+
+    #[test]
+    fn message_reflects_state() {
+        let mut s = state();
+        s.d = Distance::Finite(4);
+        s.p = v(1);
+        s.ghost = true;
+        let m = s.message();
+        assert_eq!(m.d, Distance::Finite(4));
+        assert_eq!(m.p, v(1));
+        assert!(m.ghost);
+        assert_eq!(s.route_entry().distance, Distance::Finite(4));
+    }
+}

@@ -1,0 +1,244 @@
+//! Wave-speed control: the guard hold-times `hd_S`, `hd_C`, `hd_SC` and the
+//! `SYN` refresh period.
+//!
+//! §IV-D of the paper: "To guarantee that containment waves propagate faster
+//! than stabilization waves and that super-containment waves propagate
+//! faster than containment waves in the presence of clock drift as well as
+//! message passing delay, the guard hold-times used in LSRP should be such
+//! that `hd_S > rho * (hd_C + d)`, `hd_C > rho * (hd_SC + d)` and
+//! `hd_SC >= 0`", where `rho` bounds neighbor clock-speed ratios and `d`
+//! bounds message delay.
+
+use std::fmt;
+
+/// Guard hold-times of the three diffusing waves plus the `SYN1` refresh
+/// period (all in local-clock seconds).
+///
+/// ```
+/// use lsrp_core::TimingConfig;
+///
+/// // The worked examples' timing: hd_SC = 1, hd_C = 8, hd_S = 17.
+/// let t = TimingConfig::paper_example(1.0);
+/// assert!(t.validate(1.0, 1.0).is_ok());
+/// // Clock drift tightens the constraints:
+/// assert!(t.validate(2.0, 1.0).is_err());
+/// // Derive a safe timing for the harsher model instead:
+/// assert!(TimingConfig::for_network(2.0, 1.0).validate(2.0, 1.0).is_ok());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimingConfig {
+    /// Stabilization-wave hold-time `hd_S` (actions `S2`).
+    pub hd_s: f64,
+    /// Containment-wave hold-time `hd_C` (action `C1`).
+    pub hd_c: f64,
+    /// Super-containment-wave hold-time `hd_SC` (action `SC`).
+    pub hd_sc: f64,
+    /// Hold-time of the containment shrink-back action `C2`.
+    ///
+    /// The paper specifies 0 (and the Figure 5 walkthrough relies on `C2`
+    /// firing immediately after `C1`), which this reproduction keeps as
+    /// the default. However, with zero hold two siblings of one
+    /// containment tree can shrink back simultaneously and adopt *each
+    /// other* as parent substitutes through mirrors that are stale by one
+    /// message delay, creating a transient routing loop (broken within
+    /// `O(hd_S)`, but violating a strict reading of Theorem 3). Setting
+    /// `hd_c2 > rho * d_max` lets each sibling see the other's
+    /// containment flag before adopting, restoring loop freedom at every
+    /// instant — see DESIGN.md §5 and the `lsrp_never_forms_loops`
+    /// property test.
+    pub hd_c2: f64,
+    /// Period of the `SYN1` mirror refresh; `None` disables periodic
+    /// refresh (mirrors are still refreshed by every action broadcast).
+    /// Self-stabilization from *arbitrary* states (mirror corruption)
+    /// requires `Some(_)`.
+    pub syn_period: Option<f64>,
+}
+
+/// Error returned when hold-times violate the wave-speed constraints.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InvalidTiming {
+    /// Human-readable constraint that failed.
+    reason: &'static str,
+}
+
+impl fmt::Display for InvalidTiming {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid LSRP timing: {}", self.reason)
+    }
+}
+
+impl std::error::Error for InvalidTiming {}
+
+impl TimingConfig {
+    /// The timing of the paper's worked examples (§IV-E): `rho = 1`,
+    /// constant link delay `u`, containment waves twice as fast as
+    /// stabilization waves (`hd_S = 2 hd_C + u`) and super-containment
+    /// waves four times as fast as containment waves
+    /// (`hd_C = 4 hd_SC + 4u`), with `hd_SC = u`:
+    /// `hd_SC = u`, `hd_C = 8u`, `hd_S = 17u`.
+    pub fn paper_example(u: f64) -> Self {
+        let hd_sc = u;
+        let hd_c = 4.0 * hd_sc + 4.0 * u;
+        let hd_s = 2.0 * hd_c + u;
+        TimingConfig {
+            hd_s,
+            hd_c,
+            hd_sc,
+            hd_c2: 0.0,
+            syn_period: None,
+        }
+    }
+
+    /// Derives a valid timing for a network with clock-ratio bound `rho`
+    /// and maximum message delay `d_max`, with a 25% safety margin on each
+    /// constraint.
+    pub fn for_network(rho: f64, d_max: f64) -> Self {
+        assert!(rho >= 1.0, "rho must be at least 1");
+        assert!(d_max > 0.0, "d_max must be positive");
+        let hd_sc = d_max / 2.0;
+        let hd_c = 1.25 * rho * (hd_sc + d_max);
+        let hd_s = 1.25 * rho * (hd_c + d_max);
+        TimingConfig {
+            hd_s,
+            hd_c,
+            hd_sc,
+            hd_c2: 0.0,
+            syn_period: None,
+        }
+    }
+
+    /// Sets `hd_c2 = 1.25 * rho * d_max` (and raises `hd_SC` to the same
+    /// floor), the margins that prevent the sibling shrink-back / recovery
+    /// races (see [`TimingConfig::hd_c2`]) and make Theorem 3's loop
+    /// freedom hold at every instant.
+    #[must_use]
+    pub fn with_strict_loop_freedom(mut self, rho: f64, d_max: f64) -> Self {
+        let floor = 1.25 * rho * d_max;
+        self.hd_c2 = floor;
+        self.hd_sc = self.hd_sc.max(floor);
+        self
+    }
+
+    /// Enables the periodic `SYN1` refresh (builder style).
+    #[must_use]
+    pub fn with_syn_period(mut self, period: f64) -> Self {
+        self.syn_period = Some(period);
+        self
+    }
+
+    /// Scales the `hd_S / hd_C` ratio while keeping `hd_C`, `hd_SC` fixed —
+    /// used by the wave-speed experiment (E12).
+    #[must_use]
+    pub fn with_hd_s(mut self, hd_s: f64) -> Self {
+        self.hd_s = hd_s;
+        self
+    }
+
+    /// Checks the paper's wave-speed constraints against a deployment's
+    /// clock-ratio bound `rho` and maximum message delay `d_max`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidTiming`] naming the violated constraint.
+    // The negated comparisons are deliberate: `!(x >= 0.0)` also rejects
+    // NaN, which a plain `x < 0.0` would accept.
+    #[allow(clippy::neg_cmp_op_on_partial_ord)]
+    pub fn validate(&self, rho: f64, d_max: f64) -> Result<(), InvalidTiming> {
+        if !(self.hd_sc >= 0.0) {
+            return Err(InvalidTiming {
+                reason: "hd_SC must be >= 0",
+            });
+        }
+        if !(self.hd_c2 >= 0.0) {
+            return Err(InvalidTiming {
+                reason: "hd_C2 must be >= 0",
+            });
+        }
+        if !(self.hd_c > rho * (self.hd_c2 + d_max)) {
+            return Err(InvalidTiming {
+                reason: "hd_C must exceed rho * (hd_C2 + d_max) so shrink-back \
+                         stays faster than the containment wave itself",
+            });
+        }
+        if !(self.hd_c > rho * (self.hd_sc + d_max)) {
+            return Err(InvalidTiming {
+                reason: "hd_C must exceed rho * (hd_SC + d_max)",
+            });
+        }
+        if !(self.hd_s > rho * (self.hd_c + d_max)) {
+            return Err(InvalidTiming {
+                reason: "hd_S must exceed rho * (hd_C + d_max)",
+            });
+        }
+        if let Some(p) = self.syn_period {
+            if !(p > 0.0) {
+                return Err(InvalidTiming {
+                    reason: "syn period must be positive",
+                });
+            }
+            // Derived constraint (see DESIGN.md): for loop freedom to
+            // survive *mirror* corruption, a corrupted mirror must be
+            // refreshed before the hd_S hold of a stabilization wave it
+            // falsely enables can elapse.
+            if !(self.hd_s > rho * (p + d_max)) {
+                return Err(InvalidTiming {
+                    reason: "hd_S must exceed rho * (syn_period + d_max) so mirror \
+                             refreshes outrun falsely-enabled stabilization waves",
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Default for TimingConfig {
+    fn default() -> Self {
+        TimingConfig::paper_example(1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_example_satisfies_constraints() {
+        let t = TimingConfig::paper_example(1.0);
+        assert_eq!(t.hd_sc, 1.0);
+        assert_eq!(t.hd_c, 8.0);
+        assert_eq!(t.hd_s, 17.0);
+        t.validate(1.0, 1.0).unwrap();
+    }
+
+    #[test]
+    fn for_network_scales_with_rho_and_delay() {
+        let t = TimingConfig::for_network(1.5, 2.0);
+        t.validate(1.5, 2.0).unwrap();
+        assert!(t.hd_s > t.hd_c && t.hd_c > t.hd_sc);
+    }
+
+    #[test]
+    fn too_fast_stabilization_wave_is_rejected() {
+        let mut t = TimingConfig::paper_example(1.0);
+        t.hd_s = t.hd_c; // stabilization no slower than containment
+        let err = t.validate(1.0, 1.0).unwrap_err();
+        assert!(err.to_string().contains("hd_S"));
+    }
+
+    #[test]
+    fn drift_tightens_constraints() {
+        let t = TimingConfig::paper_example(1.0);
+        // Valid at rho = 1 but not at rho = 2 (17 > 2*(8+1) fails).
+        t.validate(1.0, 1.0).unwrap();
+        assert!(t.validate(2.0, 1.0).is_err());
+    }
+
+    #[test]
+    fn negative_hold_and_bad_syn_rejected() {
+        let mut t = TimingConfig::paper_example(1.0);
+        t.hd_sc = -0.1;
+        assert!(t.validate(1.0, 1.0).is_err());
+        let t = TimingConfig::paper_example(1.0).with_syn_period(0.0);
+        assert!(t.validate(1.0, 1.0).is_err());
+    }
+}

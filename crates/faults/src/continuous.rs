@@ -1,0 +1,94 @@
+//! Recurring faults (Corollary 4 / Theorem 5): the same perturbation keeps
+//! hitting the system at a fixed interval.
+
+use lsrp_core::LsrpSimulation;
+use lsrp_graph::GraphError;
+use lsrp_sim::RunReport;
+
+use crate::plan::FaultPlan;
+
+/// A fault plan that re-occurs every `interval` simulated seconds.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecurringFault {
+    /// The faults applied at each occurrence.
+    pub plan: FaultPlan,
+    /// Interval between consecutive occurrences.
+    pub interval: f64,
+    /// Number of occurrences.
+    pub occurrences: u32,
+}
+
+impl RecurringFault {
+    /// Creates a recurring fault.
+    pub fn new(plan: FaultPlan, interval: f64, occurrences: u32) -> Self {
+        assert!(interval > 0.0, "interval must be positive");
+        RecurringFault {
+            plan,
+            interval,
+            occurrences,
+        }
+    }
+
+    /// Drives `sim` through all occurrences: apply, run for `interval`,
+    /// repeat; then run to quiescence until `horizon`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates topology errors from fault application.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the engine's event budget is exhausted.
+    pub fn drive_lsrp(
+        &self,
+        sim: &mut LsrpSimulation,
+        horizon: f64,
+    ) -> Result<RunReport, GraphError> {
+        for _ in 0..self.occurrences {
+            self.plan.apply_lsrp(sim)?;
+            let next = sim.now().seconds() + self.interval;
+            sim.run_until(next);
+        }
+        Ok(sim.run_to_quiescence(horizon))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::{CorruptionKind, Fault};
+    use lsrp_graph::{generators, Distance, NodeId};
+
+    fn v(i: u32) -> NodeId {
+        NodeId::new(i)
+    }
+
+    #[test]
+    fn recurring_corruption_is_repeatedly_repaired() {
+        let mut sim = LsrpSimulation::builder(generators::grid(4, 4, 1), v(0)).build();
+        let plan = FaultPlan::new().with(Fault::Corrupt {
+            node: v(10),
+            kind: CorruptionKind::Distance(Distance::ZERO),
+        });
+        let rec = RecurringFault::new(plan, 50.0, 4);
+        let report = rec.drive_lsrp(&mut sim, 100_000.0).unwrap();
+        assert!(report.quiescent);
+        assert!(sim.routes_correct());
+        // The corruption was repaired after every occurrence: at least one
+        // containment action per occurrence.
+        let c1s = sim
+            .engine()
+            .trace()
+            .actions
+            .iter()
+            .filter(|r| r.name == "C1" && r.node == v(10))
+            .count();
+        assert!(c1s >= 4, "expected >= 4 containments, got {c1s}");
+    }
+
+    #[test]
+    #[should_panic(expected = "interval must be positive")]
+    fn zero_interval_rejected() {
+        let _ = RecurringFault::new(FaultPlan::new(), 0.0, 1);
+    }
+}

@@ -1,0 +1,32 @@
+//! Fault model and perturbation generators (§II fault model of the paper).
+//!
+//! The paper's fault classes: nodes and edges fail-stop, down nodes and
+//! edges join, node state gets corrupted (any variable — including the
+//! neighbor mirrors — to any value), and edge weights change. This crate
+//! provides:
+//!
+//! * [`Fault`] — a declarative description of one fault, applicable to an
+//!   [`lsrp_core::LsrpSimulation`] (the analysis crate translates the
+//!   protocol-agnostic subset for the baselines);
+//! * [`plan`] — fault plans plus the exact perturbation-size accounting of
+//!   §III (via `lsrp_graph::concepts`);
+//! * [`corruption`] — random corruption generators with a target
+//!   *perturbation region* (contiguous node sets of a chosen size);
+//! * [`regions`] — multi-region perturbations at controlled separations
+//!   (Lemmas 2/3, Corollary 1);
+//! * [`loops`] — corrupted-in routing loops of chosen length (Theorem 4);
+//! * [`continuous`] — recurring-fault processes (Corollary 4, Theorem 5).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod continuous;
+pub mod corruption;
+pub mod fault;
+pub mod loops;
+pub mod plan;
+pub mod regions;
+
+pub use crate::continuous::RecurringFault;
+pub use crate::fault::{CorruptionKind, Fault};
+pub use crate::plan::FaultPlan;

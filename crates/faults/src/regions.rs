@@ -1,0 +1,109 @@
+//! Multi-region perturbations at controlled separation (Lemmas 2–3,
+//! Corollaries 1–2).
+
+use std::collections::BTreeSet;
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use lsrp_graph::{Graph, NodeId};
+
+use crate::corruption::contiguous_region;
+
+/// Picks up to `count` seed nodes that are pairwise at least `min_sep`
+/// hops apart (and at least `min_sep` hops from `exclude`). Returns `None`
+/// when the graph cannot host that many separated seeds.
+pub fn separated_seeds<R: Rng>(
+    graph: &Graph,
+    count: usize,
+    min_sep: usize,
+    exclude: NodeId,
+    rng: &mut R,
+) -> Option<Vec<NodeId>> {
+    let mut candidates: Vec<NodeId> = graph.nodes().filter(|&v| v != exclude).collect();
+    candidates.shuffle(rng);
+    let mut seeds: Vec<NodeId> = Vec::new();
+    let excl_dist = graph.hop_distances(exclude);
+    for c in candidates {
+        if seeds.len() == count {
+            break;
+        }
+        if excl_dist.get(&c).copied().unwrap_or(usize::MAX) < min_sep {
+            continue;
+        }
+        let dist = graph.hop_distances(c);
+        let ok = seeds
+            .iter()
+            .all(|s| dist.get(s).copied().unwrap_or(usize::MAX) >= min_sep);
+        if ok {
+            seeds.push(c);
+        }
+    }
+    (seeds.len() == count).then_some(seeds)
+}
+
+/// Grows one region of `size` nodes around each seed; regions are clipped
+/// to stay disjoint (a node joins the first region that reaches it).
+pub fn regions_around(
+    graph: &Graph,
+    seeds: &[NodeId],
+    size: usize,
+    exclude: NodeId,
+) -> Vec<BTreeSet<NodeId>> {
+    let mut taken: BTreeSet<NodeId> = BTreeSet::new();
+    let mut out = Vec::new();
+    for &s in seeds {
+        let region: BTreeSet<NodeId> = contiguous_region(graph, s, size, exclude)
+            .into_iter()
+            .filter(|v| !taken.contains(v))
+            .collect();
+        taken.extend(region.iter().copied());
+        out.push(region);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lsrp_graph::{generators, regions::half_distance};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn v(i: u32) -> NodeId {
+        NodeId::new(i)
+    }
+
+    #[test]
+    fn seeds_respect_separation() {
+        let g = generators::grid(12, 12, 1);
+        let mut rng = StdRng::seed_from_u64(1);
+        let seeds = separated_seeds(&g, 3, 6, v(0), &mut rng).expect("grid is big enough");
+        assert_eq!(seeds.len(), 3);
+        for i in 0..seeds.len() {
+            let dist = g.hop_distances(seeds[i]);
+            for j in (i + 1)..seeds.len() {
+                assert!(dist[&seeds[j]] >= 6);
+            }
+        }
+    }
+
+    #[test]
+    fn impossible_separation_returns_none() {
+        let g = generators::path(5, 1);
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(separated_seeds(&g, 3, 10, v(0), &mut rng).is_none());
+    }
+
+    #[test]
+    fn regions_are_disjoint_and_separated() {
+        let g = generators::grid(14, 14, 1);
+        let mut rng = StdRng::seed_from_u64(5);
+        let seeds = separated_seeds(&g, 2, 9, v(0), &mut rng).unwrap();
+        let regions = regions_around(&g, &seeds, 4, v(0));
+        assert_eq!(regions.len(), 2);
+        assert!(regions[0].is_disjoint(&regions[1]));
+        let hd = half_distance(&g, &regions[0], &regions[1]).unwrap();
+        assert!(hd >= 0.5 * (9.0 - 2.0 * 4.0), "regions still far apart");
+    }
+}

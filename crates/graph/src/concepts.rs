@@ -1,0 +1,261 @@
+//! The paper's protocol-independent concepts from §III-A: dependency among
+//! nodes and edges, dependent sets, and perturbation size.
+//!
+//! A node *depends* on a set of failing (or joining) nodes and edges when,
+//! after the topology change, the values of its *problem-specific variables*
+//! — for shortest path routing, its distance `d.v` and next-hop `p.v` — can
+//! appear in **no** legitimate state of the new topology, so the node must
+//! change them for the system to stabilize, whichever protocol is used.
+//!
+//! For shortest path routing this is decidable exactly: a node `v` (up in
+//! the new topology) must change iff its current distance differs from the
+//! true shortest distance in the new topology, or its current parent lies on
+//! no shortest path from `v` in the new topology.
+
+use std::collections::BTreeSet;
+
+use crate::graph::Graph;
+use crate::id::NodeId;
+use crate::shortest_path::ShortestPaths;
+use crate::spt::RouteTable;
+
+/// A topology change: the paper's fail-stop / join fault classes plus
+/// weight change (which the paper models as fail-stop of the old-weight
+/// edge followed by join of the new-weight edge).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TopologyChange {
+    /// The topology before the change.
+    pub before: Graph,
+    /// The topology after the change.
+    pub after: Graph,
+}
+
+impl TopologyChange {
+    /// Builds a change description from explicit before/after graphs.
+    pub fn new(before: Graph, after: Graph) -> Self {
+        TopologyChange { before, after }
+    }
+
+    /// Nodes that newly joined (present after, absent before).
+    pub fn joined_nodes(&self) -> BTreeSet<NodeId> {
+        self.after
+            .nodes()
+            .filter(|&v| !self.before.has_node(v))
+            .collect()
+    }
+}
+
+/// The *dependent set* `D_s(V', E')` of Definition 1's construction: the
+/// nodes of the new topology whose current problem-specific variables
+/// (taken from `state`, the route table at the pre-change state `s`) cannot
+/// appear in any legitimate state of the new topology.
+///
+/// Newly joined nodes are always dependent ("we also regard the
+/// newly-joining nodes as dependent on themselves").
+pub fn dependent_set(
+    change: &TopologyChange,
+    destination: NodeId,
+    state: &RouteTable,
+) -> BTreeSet<NodeId> {
+    let sp_new = ShortestPaths::dijkstra(&change.after, destination);
+    let mut dependent = BTreeSet::new();
+    for v in change.after.nodes() {
+        match state.entry(v) {
+            Some(e) => {
+                let ok = e.distance == sp_new.distance(v)
+                    && sp_new.is_legitimate_parent(&change.after, v, e.parent);
+                if !ok {
+                    dependent.insert(v);
+                }
+            }
+            None => {
+                // Newly joined node: dependent on itself.
+                dependent.insert(v);
+            }
+        }
+    }
+    dependent
+}
+
+/// A perturbation: the per-scenario witness of Definition 1. Experiments
+/// always construct faults from a known legitimate state, so the perturbed
+/// node set is `corrupted ∪ dependent` and the perturbation size is its
+/// cardinality.
+///
+/// ```
+/// use lsrp_graph::concepts::{Perturbation, TopologyChange};
+/// use lsrp_graph::topologies::{fig1_route_table, paper_fig1, v, FIG1_DESTINATION};
+///
+/// // The paper's §III-A example: fail-stopping v9 perturbs {v7, v8, v10}.
+/// let before = paper_fig1();
+/// let mut after = before.clone();
+/// after.remove_node(v(9)).expect("v9 exists");
+/// let p = Perturbation::topology(
+///     &TopologyChange::new(before, after),
+///     FIG1_DESTINATION,
+///     &fig1_route_table(),
+/// );
+/// assert_eq!(p.size(), 3);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Perturbation {
+    /// Nodes whose local state was corrupted in place (`C_{s'}` in Def. 1).
+    pub corrupted: BTreeSet<NodeId>,
+    /// Nodes dependent on fail-stopped / joined nodes and edges
+    /// (`D_{s'}` in Def. 1).
+    pub dependent: BTreeSet<NodeId>,
+}
+
+impl Perturbation {
+    /// A perturbation consisting only of in-place state corruption.
+    pub fn corruption<I: IntoIterator<Item = NodeId>>(nodes: I) -> Self {
+        Perturbation {
+            corrupted: nodes.into_iter().collect(),
+            dependent: BTreeSet::new(),
+        }
+    }
+
+    /// A perturbation consisting only of topology-change dependency.
+    pub fn topology(change: &TopologyChange, destination: NodeId, state: &RouteTable) -> Self {
+        Perturbation {
+            corrupted: BTreeSet::new(),
+            dependent: dependent_set(change, destination, state),
+        }
+    }
+
+    /// The perturbed node set `C ∪ D`.
+    pub fn perturbed_nodes(&self) -> BTreeSet<NodeId> {
+        self.corrupted.union(&self.dependent).copied().collect()
+    }
+
+    /// The perturbation size `P(q) = |C ∪ D|`.
+    pub fn size(&self) -> usize {
+        self.perturbed_nodes().len()
+    }
+
+    /// Merges another perturbation into this one (multi-fault scenarios).
+    pub fn merge(&mut self, other: &Perturbation) {
+        self.corrupted.extend(other.corrupted.iter().copied());
+        self.dependent.extend(other.dependent.iter().copied());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topologies::{self, paper_fig1, v, FIG1_DESTINATION};
+
+    fn fig1_state() -> (Graph, RouteTable) {
+        // The paper's examples start from the *chosen* tree drawn in the
+        // figure (v7/v8 route via v9, not via the equal-cost v5).
+        let g = paper_fig1();
+        let t = topologies::fig1_route_table();
+        (g, t)
+    }
+
+    #[test]
+    fn fail_stop_of_v9_perturbs_exactly_v7_v8_v10() {
+        // §III-A: "If node v9 fail-stops, then the perturbation size is 3
+        // and the set of potentially perturbed set of nodes is
+        // {{v7, v8, v10}}".
+        let (g, t) = fig1_state();
+        let mut after = g.clone();
+        after.remove_node(v(9)).unwrap();
+        let p = Perturbation::topology(&TopologyChange::new(g, after), FIG1_DESTINATION, &t);
+        assert_eq!(p.perturbed_nodes(), BTreeSet::from([v(7), v(8), v(10)]));
+        assert_eq!(p.size(), 3);
+    }
+
+    #[test]
+    fn join_of_edge_v2_v9_perturbs_the_paper_seven() {
+        // §III-A: D_s(∅, {(v2, v9)}) = {v9, v7, v8, v6, v1, v10, v3}.
+        let (g, t) = fig1_state();
+        let mut after = g.clone();
+        after.add_edge(v(2), v(9), 1).unwrap();
+        let p = Perturbation::topology(&TopologyChange::new(g, after), FIG1_DESTINATION, &t);
+        assert_eq!(
+            p.perturbed_nodes(),
+            BTreeSet::from([v(9), v(7), v(8), v(6), v(1), v(10), v(3)])
+        );
+        assert_eq!(p.size(), 7);
+    }
+
+    #[test]
+    fn destination_cut_makes_everything_dependent() {
+        // §III-A: failing v11 and edge (v12, v2) strands every node. The
+        // paper's informal listing omits v12; by Definition 1 the isolated
+        // v12 must also invalidate its route, so our set has 13 nodes
+        // (everything except the destination and the dead v11).
+        let (g, t) = fig1_state();
+        let mut after = g.clone();
+        after.remove_node(v(11)).unwrap();
+        after.remove_edge(v(2), v(12)).unwrap();
+        let p = Perturbation::topology(&TopologyChange::new(g, after), FIG1_DESTINATION, &t);
+        let mut expect: BTreeSet<NodeId> = topologies::fig1_nodes();
+        expect.remove(&FIG1_DESTINATION);
+        expect.remove(&v(11));
+        assert_eq!(p.perturbed_nodes(), expect);
+        assert_eq!(p.size(), 12);
+    }
+
+    #[test]
+    fn single_corruption_has_size_one() {
+        // §III-A: "If a state corruption occurs to node v9, then the
+        // perturbation size ... is 1".
+        let p = Perturbation::corruption([v(9)]);
+        assert_eq!(p.size(), 1);
+        assert_eq!(p.perturbed_nodes(), BTreeSet::from([v(9)]));
+    }
+
+    #[test]
+    fn fig7_fail_stop_four_versus_three() {
+        // §VI-A / Proposition 1: denser edges reduce the perturbation size.
+        use crate::topologies::{
+            fig7_dense, fig7_route_table, fig7_sparse, FIG7_CUT, FIG7_DESTINATION,
+        };
+        for (graph, expect) in [
+            (fig7_sparse(), BTreeSet::from([v(4), v(5), v(6), v(7)])),
+            (fig7_dense(), BTreeSet::from([v(4), v(5), v(6)])),
+        ] {
+            let t = fig7_route_table();
+            let mut after = graph.clone();
+            after.remove_node(FIG7_CUT).unwrap();
+            let p =
+                Perturbation::topology(&TopologyChange::new(graph, after), FIG7_DESTINATION, &t);
+            assert_eq!(p.perturbed_nodes(), expect);
+        }
+    }
+
+    #[test]
+    fn weight_change_is_a_topology_change() {
+        let (g, t) = fig1_state();
+        let mut after = g.clone();
+        after.set_weight(v(13), v(9), 3).unwrap();
+        let p = Perturbation::topology(&TopologyChange::new(g, after), FIG1_DESTINATION, &t);
+        // v9's distance grows to 5 (via v13 now 2+3); v7/v8 reroute via v5
+        // keeping 4, v10 degrades to 5 via v7, v1/v3 keep 5 but their
+        // parents v7/v8 stay legitimate, so exactly {v9, v10} change
+        // distance and {v7, v8} change parents.
+        assert_eq!(
+            p.perturbed_nodes(),
+            BTreeSet::from([v(7), v(8), v(9), v(10)])
+        );
+    }
+
+    #[test]
+    fn joined_nodes_are_reported() {
+        let (g, _) = fig1_state();
+        let mut after = g.clone();
+        after.add_edge(v(1), v(99), 1).unwrap();
+        let change = TopologyChange::new(g, after);
+        assert_eq!(change.joined_nodes(), BTreeSet::from([v(99)]));
+    }
+
+    #[test]
+    fn merge_unions_both_parts() {
+        let mut a = Perturbation::corruption([v(1)]);
+        let b = Perturbation::corruption([v(2)]);
+        a.merge(&b);
+        assert_eq!(a.size(), 2);
+    }
+}

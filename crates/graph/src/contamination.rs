@@ -1,0 +1,98 @@
+//! Range of contamination (§III-A).
+//!
+//! A healthy node is *contaminated* when it executes at least one protocol
+//! action during stabilization; the *range of contamination* is the maximum
+//! hop distance from any contaminated node to the perturbed node set,
+//! measured in the topology of the initial state.
+
+use std::collections::BTreeSet;
+
+use crate::graph::Graph;
+use crate::id::NodeId;
+
+/// Computes the range of contamination: the maximum, over contaminated
+/// nodes, of the hop distance to the nearest perturbed node.
+///
+/// Nodes in `contaminated` that also appear in `perturbed` are ignored
+/// (a perturbed node is not "contaminated" — it was faulty to begin with).
+/// Returns 0 when no healthy node was contaminated. Contaminated nodes
+/// unreachable from the perturbed set (possible after partitions) are
+/// reported as `usize::MAX`-free by falling back to the graph's node count
+/// (an upper bound that keeps the metric total).
+pub fn range_of_contamination(
+    graph: &Graph,
+    perturbed: &BTreeSet<NodeId>,
+    contaminated: &BTreeSet<NodeId>,
+) -> usize {
+    if perturbed.is_empty() {
+        // Degenerate: no perturbation — report the spread as 0 only when
+        // nothing acted, otherwise the whole contaminated diameter.
+        return if contaminated.is_empty() {
+            0
+        } else {
+            graph.node_count()
+        };
+    }
+    let dist = graph.hop_distances_from_set(perturbed);
+    contaminated
+        .iter()
+        .filter(|v| !perturbed.contains(v))
+        .map(|v| dist.get(v).copied().unwrap_or(graph.node_count()))
+        .max()
+        .unwrap_or(0)
+}
+
+/// The set of contaminated nodes: healthy (non-perturbed) nodes that acted.
+pub fn contaminated_nodes(
+    perturbed: &BTreeSet<NodeId>,
+    acted: &BTreeSet<NodeId>,
+) -> BTreeSet<NodeId> {
+    acted.difference(perturbed).copied().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    fn v(i: u32) -> NodeId {
+        NodeId::new(i)
+    }
+
+    #[test]
+    fn range_is_zero_when_only_perturbed_nodes_act() {
+        let g = generators::path(5, 1);
+        let perturbed = BTreeSet::from([v(2)]);
+        let acted = BTreeSet::from([v(2)]);
+        let contaminated = contaminated_nodes(&perturbed, &acted);
+        assert!(contaminated.is_empty());
+        assert_eq!(range_of_contamination(&g, &perturbed, &contaminated), 0);
+    }
+
+    #[test]
+    fn range_counts_hops_from_nearest_perturbed_node() {
+        let g = generators::path(8, 1);
+        let perturbed = BTreeSet::from([v(1), v(2)]);
+        let contaminated = BTreeSet::from([v(0), v(5)]);
+        // v0 is 1 hop from v1; v5 is 3 hops from v2.
+        assert_eq!(range_of_contamination(&g, &perturbed, &contaminated), 3);
+    }
+
+    #[test]
+    fn unreachable_contaminated_node_uses_upper_bound() {
+        let mut g = generators::path(3, 1);
+        g.add_node(v(9));
+        let perturbed = BTreeSet::from([v(0)]);
+        let contaminated = BTreeSet::from([v(9)]);
+        assert_eq!(range_of_contamination(&g, &perturbed, &contaminated), 4);
+    }
+
+    #[test]
+    fn empty_perturbation_with_activity_is_flagged() {
+        let g = generators::path(3, 1);
+        let none = BTreeSet::new();
+        assert_eq!(range_of_contamination(&g, &none, &none), 0);
+        let acted = BTreeSet::from([v(1)]);
+        assert_eq!(range_of_contamination(&g, &none, &acted), 3);
+    }
+}

@@ -1,0 +1,427 @@
+//! Deterministic topology generators for experiments and tests.
+//!
+//! All random generators take an explicit RNG so that every experiment in
+//! the repository is reproducible from a seed. Node ids are dense from 0.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::graph::Graph;
+use crate::id::{NodeId, Weight};
+
+fn v(i: u32) -> NodeId {
+    NodeId::new(i)
+}
+
+/// A path `v0 - v1 - ... - v(n-1)` with uniform edge weight.
+///
+/// # Panics
+///
+/// Panics if `n == 0` or `weight == 0`.
+pub fn path(n: u32, weight: Weight) -> Graph {
+    assert!(n > 0, "path needs at least one node");
+    let mut g = Graph::new();
+    g.add_node(v(0));
+    for i in 1..n {
+        g.add_edge(v(i - 1), v(i), weight).expect("fresh edge");
+    }
+    g
+}
+
+/// A ring of `n >= 3` nodes with uniform edge weight.
+///
+/// # Panics
+///
+/// Panics if `n < 3` or `weight == 0`.
+pub fn ring(n: u32, weight: Weight) -> Graph {
+    assert!(n >= 3, "ring needs at least three nodes");
+    let mut g = path(n, weight);
+    g.add_edge(v(n - 1), v(0), weight).expect("fresh edge");
+    g
+}
+
+/// A star: `v0` in the middle, `n - 1` leaves.
+///
+/// # Panics
+///
+/// Panics if `n < 2` or `weight == 0`.
+pub fn star(n: u32, weight: Weight) -> Graph {
+    assert!(n >= 2, "star needs at least two nodes");
+    let mut g = Graph::new();
+    for i in 1..n {
+        g.add_edge(v(0), v(i), weight).expect("fresh edge");
+    }
+    g
+}
+
+/// A complete graph on `n` nodes.
+///
+/// # Panics
+///
+/// Panics if `n < 2` or `weight == 0`.
+pub fn complete(n: u32, weight: Weight) -> Graph {
+    assert!(n >= 2, "complete graph needs at least two nodes");
+    let mut g = Graph::new();
+    for a in 0..n {
+        for b in (a + 1)..n {
+            g.add_edge(v(a), v(b), weight).expect("fresh edge");
+        }
+    }
+    g
+}
+
+/// A `width x height` grid with uniform edge weight; node `(x, y)` has id
+/// `y * width + x`. Grids are the paper's go-to dense-ish topology for
+/// locality experiments (perturbation regions are geometric).
+///
+/// # Panics
+///
+/// Panics if either dimension is zero or `weight == 0`.
+pub fn grid(width: u32, height: u32, weight: Weight) -> Graph {
+    assert!(width > 0 && height > 0, "grid dimensions must be positive");
+    let id = |x: u32, y: u32| v(y * width + x);
+    let mut g = Graph::new();
+    g.add_node(id(0, 0));
+    for y in 0..height {
+        for x in 0..width {
+            if x + 1 < width {
+                g.add_edge(id(x, y), id(x + 1, y), weight)
+                    .expect("fresh edge");
+            }
+            if y + 1 < height {
+                g.add_edge(id(x, y), id(x, y + 1), weight)
+                    .expect("fresh edge");
+            }
+        }
+    }
+    g
+}
+
+/// A balanced `arity`-ary tree with `depth` levels below the root (so
+/// `(arity^(depth+1) - 1) / (arity - 1)` nodes). The root is `v0`.
+/// Trees maximize fault propagation depth (worst case for DBF).
+///
+/// # Panics
+///
+/// Panics if `arity < 2` or `weight == 0`.
+pub fn balanced_tree(arity: u32, depth: u32, weight: Weight) -> Graph {
+    assert!(arity >= 2, "tree arity must be at least 2");
+    let mut g = Graph::new();
+    g.add_node(v(0));
+    let mut next = 1u32;
+    let mut frontier = vec![v(0)];
+    for _ in 0..depth {
+        let mut new_frontier = Vec::new();
+        for parent in frontier {
+            for _ in 0..arity {
+                let child = v(next);
+                next += 1;
+                g.add_edge(parent, child, weight).expect("fresh edge");
+                new_frontier.push(child);
+            }
+        }
+        frontier = new_frontier;
+    }
+    g
+}
+
+/// A uniformly random spanning tree on `n` nodes (random attachment),
+/// with edge weights drawn uniformly from `1..=max_weight`.
+///
+/// # Panics
+///
+/// Panics if `n == 0` or `max_weight == 0`.
+pub fn random_tree<R: Rng>(n: u32, max_weight: Weight, rng: &mut R) -> Graph {
+    assert!(n > 0, "tree needs at least one node");
+    assert!(max_weight > 0, "weights must be positive");
+    let mut g = Graph::new();
+    g.add_node(v(0));
+    for i in 1..n {
+        let parent = rng.gen_range(0..i);
+        let w = rng.gen_range(1..=max_weight);
+        g.add_edge(v(parent), v(i), w).expect("fresh edge");
+    }
+    g
+}
+
+/// A connected Erdős–Rényi-style graph: a random spanning tree plus each
+/// remaining pair independently with probability `p`. Weights uniform in
+/// `1..=max_weight`.
+///
+/// # Panics
+///
+/// Panics if `n == 0`, `max_weight == 0`, or `p` is not in `[0, 1]`.
+pub fn connected_erdos_renyi<R: Rng>(n: u32, p: f64, max_weight: Weight, rng: &mut R) -> Graph {
+    assert!((0.0..=1.0).contains(&p), "probability must be in [0, 1]");
+    let mut g = random_tree(n, max_weight, rng);
+    for a in 0..n {
+        for b in (a + 1)..n {
+            if !g.has_edge(v(a), v(b)) && rng.gen_bool(p) {
+                let w = rng.gen_range(1..=max_weight);
+                g.add_edge(v(a), v(b), w).expect("fresh edge");
+            }
+        }
+    }
+    g
+}
+
+/// A connected random geometric graph: `n` points uniform in the unit
+/// square, edges between points within `radius`, patched to connectivity by
+/// linking each stranded component to its nearest neighbor component. This
+/// mimics the wireless-sensor-network topologies of §VI-A (dense local
+/// connectivity).
+///
+/// Weights are 1 (hop metric, as in sensor networks).
+///
+/// # Panics
+///
+/// Panics if `n == 0` or `radius <= 0`.
+pub fn random_geometric<R: Rng>(n: u32, radius: f64, rng: &mut R) -> Graph {
+    assert!(n > 0, "geometric graph needs at least one node");
+    assert!(radius > 0.0, "radius must be positive");
+    let points: Vec<(f64, f64)> = (0..n)
+        .map(|_| (rng.gen::<f64>(), rng.gen::<f64>()))
+        .collect();
+    let mut g = Graph::new();
+    for i in 0..n {
+        g.add_node(v(i));
+    }
+    let r2 = radius * radius;
+    let d2 = |a: (f64, f64), b: (f64, f64)| {
+        let dx = a.0 - b.0;
+        let dy = a.1 - b.1;
+        dx * dx + dy * dy
+    };
+    for a in 0..n as usize {
+        for b in (a + 1)..n as usize {
+            if d2(points[a], points[b]) <= r2 {
+                g.add_edge(v(a as u32), v(b as u32), 1).expect("fresh edge");
+            }
+        }
+    }
+    // Patch connectivity: repeatedly connect the component containing v0 to
+    // the geometrically closest outside node.
+    loop {
+        let comp = g.component_of(v(0));
+        if comp.len() == n as usize {
+            break;
+        }
+        let mut best: Option<(NodeId, NodeId, f64)> = None;
+        for &a in &comp {
+            for b in g.nodes() {
+                if comp.contains(&b) {
+                    continue;
+                }
+                let d = d2(points[a.raw() as usize], points[b.raw() as usize]);
+                if best.is_none_or(|(_, _, bd)| d < bd) {
+                    best = Some((a, b, d));
+                }
+            }
+        }
+        let (a, b, _) = best.expect("disconnected graph has an outside node");
+        g.add_edge(a, b, 1).expect("fresh edge");
+    }
+    g
+}
+
+/// A ring of length `loop_len` with a "chord" path of `tail_len` nodes
+/// attaching the ring to the destination `v0`:
+///
+/// ```text
+/// v0 - t1 - ... - t_tail - r0 - r1 - ... - r_{L-1} - r0
+/// ```
+///
+/// Used by the loop-breakage experiment (E9): corrupting the ring's parent
+/// pointers creates a routing loop of length `loop_len`.
+///
+/// # Panics
+///
+/// Panics if `loop_len < 3` or `weight == 0`.
+pub fn lollipop(tail_len: u32, loop_len: u32, weight: Weight) -> Graph {
+    assert!(loop_len >= 3, "loop needs at least three nodes");
+    let mut g = path(tail_len + 1, weight); // v0 .. v_tail
+    let first_ring = tail_len + 1;
+    // ring nodes: first_ring .. first_ring + loop_len - 1
+    g.add_edge(v(tail_len), v(first_ring), weight)
+        .expect("fresh edge");
+    for i in 0..loop_len - 1 {
+        g.add_edge(v(first_ring + i), v(first_ring + i + 1), weight)
+            .expect("fresh edge");
+    }
+    g.add_edge(v(first_ring + loop_len - 1), v(first_ring), weight)
+        .expect("fresh edge");
+    g
+}
+
+/// Returns the ids of the ring nodes of a [`lollipop`] graph, in ring order
+/// starting at the attachment point.
+pub fn lollipop_ring(tail_len: u32, loop_len: u32) -> Vec<NodeId> {
+    (0..loop_len).map(|i| v(tail_len + 1 + i)).collect()
+}
+
+/// A Barabási–Albert-style preferential-attachment graph: `n` nodes, each
+/// newcomer attaching to `m` existing nodes chosen with probability
+/// proportional to their degree. Produces the heavy-tailed degree
+/// distributions of Internet-like topologies (hub routers), complementing
+/// the geometric sensor-network model of §VI-A.
+///
+/// Weights are 1.
+///
+/// # Panics
+///
+/// Panics if `m == 0` or `n <= m`.
+pub fn preferential_attachment<R: Rng>(n: u32, m: u32, rng: &mut R) -> Graph {
+    assert!(m >= 1, "each newcomer needs at least one edge");
+    assert!(n > m, "need more nodes than attachment edges");
+    let mut g = complete(m + 1, 1);
+    // Endpoint pool: each node appears once per incident edge, giving
+    // degree-proportional sampling.
+    let mut pool: Vec<NodeId> = g.edges().flat_map(|(a, b, _)| [a, b]).collect();
+    for i in (m + 1)..n {
+        let newcomer = v(i);
+        let mut targets = std::collections::BTreeSet::new();
+        while targets.len() < m as usize {
+            let t = pool[rng.gen_range(0..pool.len())];
+            targets.insert(t);
+        }
+        for t in targets {
+            g.add_edge(newcomer, t, 1).expect("fresh edge");
+            pool.push(newcomer);
+            pool.push(t);
+        }
+    }
+    g
+}
+
+/// Shuffles node labels of a graph (relabeling by a random permutation)
+/// while keeping ids dense. Useful in property tests to rule out
+/// id-ordering artifacts.
+pub fn relabel<R: Rng>(graph: &Graph, rng: &mut R) -> Graph {
+    let nodes: Vec<NodeId> = graph.nodes().collect();
+    let mut perm = nodes.clone();
+    perm.shuffle(rng);
+    let map: std::collections::BTreeMap<NodeId, NodeId> = nodes.iter().copied().zip(perm).collect();
+    let mut g = Graph::new();
+    for n in graph.nodes() {
+        g.add_node(map[&n]);
+    }
+    for (a, b, w) in graph.edges() {
+        g.add_edge(map[&a], map[&b], w)
+            .expect("permutation preserves simple edges");
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn path_and_ring_shapes() {
+        let p = path(5, 2);
+        assert_eq!(p.node_count(), 5);
+        assert_eq!(p.edge_count(), 4);
+        let r = ring(5, 2);
+        assert_eq!(r.edge_count(), 5);
+        assert!(r.is_connected());
+    }
+
+    #[test]
+    fn grid_shape_and_degrees() {
+        let g = grid(3, 4, 1);
+        assert_eq!(g.node_count(), 12);
+        assert_eq!(g.edge_count(), 3 * 3 + 2 * 4); // vertical + horizontal
+        assert_eq!(g.degree(v(0)), 2); // corner
+        assert_eq!(g.degree(v(4)), 4); // interior (1,1)
+    }
+
+    #[test]
+    fn star_and_complete() {
+        let s = star(6, 1);
+        assert_eq!(s.degree(v(0)), 5);
+        let k = complete(5, 1);
+        assert_eq!(k.edge_count(), 10);
+    }
+
+    #[test]
+    fn balanced_tree_node_count() {
+        let t = balanced_tree(2, 3, 1);
+        assert_eq!(t.node_count(), 15);
+        assert_eq!(t.edge_count(), 14);
+        assert!(t.is_connected());
+    }
+
+    #[test]
+    fn random_generators_are_connected_and_deterministic() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let a = connected_erdos_renyi(40, 0.05, 4, &mut rng);
+        assert!(a.is_connected());
+        let mut rng2 = StdRng::seed_from_u64(7);
+        let b = connected_erdos_renyi(40, 0.05, 4, &mut rng2);
+        assert_eq!(a, b, "same seed must give the same graph");
+
+        let mut rng3 = StdRng::seed_from_u64(9);
+        let geo = random_geometric(50, 0.12, &mut rng3);
+        assert!(geo.is_connected());
+        assert_eq!(geo.node_count(), 50);
+    }
+
+    #[test]
+    fn random_tree_is_a_tree() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let t = random_tree(30, 5, &mut rng);
+        assert_eq!(t.edge_count(), 29);
+        assert!(t.is_connected());
+    }
+
+    #[test]
+    fn lollipop_shape() {
+        let g = lollipop(3, 6, 1);
+        // 4 tail nodes (v0..v3) + 6 ring nodes.
+        assert_eq!(g.node_count(), 10);
+        assert_eq!(g.edge_count(), 3 + 1 + 6);
+        let ring = lollipop_ring(3, 6);
+        assert_eq!(ring.len(), 6);
+        assert_eq!(ring[0], v(4));
+        assert!(g.has_edge(ring[5], ring[0]));
+        assert!(g.is_connected());
+    }
+
+    #[test]
+    fn preferential_attachment_is_connected_and_heavy_tailed() {
+        let mut rng = StdRng::seed_from_u64(17);
+        let g = preferential_attachment(120, 2, &mut rng);
+        assert_eq!(g.node_count(), 120);
+        assert!(g.is_connected());
+        // Edge count: complete(3) + 2 per newcomer.
+        assert_eq!(g.edge_count(), 3 + 2 * (120 - 3));
+        // Heavy tail: the max degree dwarfs the minimum attachment degree.
+        let max_deg = g.nodes().map(|n| g.degree(n)).max().unwrap();
+        assert!(max_deg >= 10, "no hub emerged: max degree {max_deg}");
+    }
+
+    #[test]
+    #[should_panic(expected = "more nodes than attachment edges")]
+    fn preferential_attachment_rejects_tiny_n() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let _ = preferential_attachment(2, 2, &mut rng);
+    }
+
+    #[test]
+    fn relabel_preserves_structure() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let g = grid(4, 4, 1);
+        let h = relabel(&g, &mut rng);
+        assert_eq!(h.node_count(), g.node_count());
+        assert_eq!(h.edge_count(), g.edge_count());
+        assert_eq!(h.hop_diameter(), g.hop_diameter());
+    }
+
+    #[test]
+    #[should_panic(expected = "ring needs at least three nodes")]
+    fn tiny_ring_panics() {
+        let _ = ring(2, 1);
+    }
+}

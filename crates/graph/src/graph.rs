@@ -1,0 +1,422 @@
+//! The system graph `G = (V, E, W)`: a mutable, undirected, positively
+//! weighted graph.
+//!
+//! Topology changes (fail-stop, join, weight change — the paper's fault
+//! model in §II) are plain mutations of this structure; the simulator owns a
+//! `Graph` and applies faults to it at runtime.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::fmt;
+
+use crate::id::{NodeId, Weight};
+
+/// Errors returned by [`Graph`] mutations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GraphError {
+    /// Attempted to add an edge from a node to itself.
+    SelfLoop(NodeId),
+    /// Attempted to add an edge with weight zero (the weight function is
+    /// positive).
+    ZeroWeight(NodeId, NodeId),
+    /// The referenced node does not exist.
+    MissingNode(NodeId),
+    /// The referenced edge does not exist.
+    MissingEdge(NodeId, NodeId),
+    /// The edge already exists (use [`Graph::set_weight`] to change it).
+    DuplicateEdge(NodeId, NodeId),
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::SelfLoop(v) => write!(f, "self-loop at {v} is not allowed"),
+            GraphError::ZeroWeight(a, b) => {
+                write!(f, "edge ({a}, {b}) must have positive weight")
+            }
+            GraphError::MissingNode(v) => write!(f, "node {v} does not exist"),
+            GraphError::MissingEdge(a, b) => write!(f, "edge ({a}, {b}) does not exist"),
+            GraphError::DuplicateEdge(a, b) => write!(f, "edge ({a}, {b}) already exists"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+/// An undirected graph with positive integer edge weights.
+///
+/// Node and edge iteration order is deterministic (sorted by id), which keeps
+/// every simulation in this repository reproducible from a seed.
+///
+/// ```
+/// use lsrp_graph::{Graph, NodeId};
+///
+/// # fn main() -> Result<(), lsrp_graph::GraphError> {
+/// let mut g = Graph::new();
+/// let (a, b) = (NodeId::new(0), NodeId::new(1));
+/// g.add_edge(a, b, 3)?;
+/// assert_eq!(g.weight(b, a), Some(3));
+/// g.remove_node(a)?; // fail-stop: drops incident edges too
+/// assert_eq!(g.edge_count(), 0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Graph {
+    adj: BTreeMap<NodeId, BTreeMap<NodeId, Weight>>,
+}
+
+impl Graph {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        Graph::default()
+    }
+
+    /// Adds an isolated node; does nothing if the node already exists.
+    pub fn add_node(&mut self, v: NodeId) {
+        self.adj.entry(v).or_default();
+    }
+
+    /// Adds an undirected edge with the given positive weight, creating the
+    /// endpoints as needed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::SelfLoop`] if `a == b`,
+    /// [`GraphError::ZeroWeight`] if `weight == 0`, and
+    /// [`GraphError::DuplicateEdge`] if the edge already exists.
+    pub fn add_edge(&mut self, a: NodeId, b: NodeId, weight: Weight) -> Result<(), GraphError> {
+        if a == b {
+            return Err(GraphError::SelfLoop(a));
+        }
+        if weight == 0 {
+            return Err(GraphError::ZeroWeight(a, b));
+        }
+        if self.has_edge(a, b) {
+            return Err(GraphError::DuplicateEdge(a, b));
+        }
+        self.adj.entry(a).or_default().insert(b, weight);
+        self.adj.entry(b).or_default().insert(a, weight);
+        Ok(())
+    }
+
+    /// Changes the weight of an existing edge.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::MissingEdge`] if the edge does not exist and
+    /// [`GraphError::ZeroWeight`] if `weight == 0`.
+    pub fn set_weight(&mut self, a: NodeId, b: NodeId, weight: Weight) -> Result<(), GraphError> {
+        if weight == 0 {
+            return Err(GraphError::ZeroWeight(a, b));
+        }
+        if !self.has_edge(a, b) {
+            return Err(GraphError::MissingEdge(a, b));
+        }
+        self.adj
+            .get_mut(&a)
+            .expect("endpoint exists")
+            .insert(b, weight);
+        self.adj
+            .get_mut(&b)
+            .expect("endpoint exists")
+            .insert(a, weight);
+        Ok(())
+    }
+
+    /// Removes an edge.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::MissingEdge`] if the edge does not exist.
+    pub fn remove_edge(&mut self, a: NodeId, b: NodeId) -> Result<(), GraphError> {
+        if !self.has_edge(a, b) {
+            return Err(GraphError::MissingEdge(a, b));
+        }
+        self.adj.get_mut(&a).expect("endpoint exists").remove(&b);
+        self.adj.get_mut(&b).expect("endpoint exists").remove(&a);
+        Ok(())
+    }
+
+    /// Removes a node and all its incident edges (the paper's *fail-stop*).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::MissingNode`] if the node does not exist.
+    pub fn remove_node(&mut self, v: NodeId) -> Result<(), GraphError> {
+        let neighbors = self.adj.remove(&v).ok_or(GraphError::MissingNode(v))?;
+        for n in neighbors.keys() {
+            self.adj.get_mut(n).expect("neighbor exists").remove(&v);
+        }
+        Ok(())
+    }
+
+    /// Returns `true` if the node exists.
+    pub fn has_node(&self, v: NodeId) -> bool {
+        self.adj.contains_key(&v)
+    }
+
+    /// Returns `true` if the edge exists.
+    pub fn has_edge(&self, a: NodeId, b: NodeId) -> bool {
+        self.adj.get(&a).is_some_and(|n| n.contains_key(&b))
+    }
+
+    /// Returns the weight of edge `(a, b)`, if present.
+    pub fn weight(&self, a: NodeId, b: NodeId) -> Option<Weight> {
+        self.adj.get(&a).and_then(|n| n.get(&b)).copied()
+    }
+
+    /// Iterates over all nodes in ascending id order.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.adj.keys().copied()
+    }
+
+    /// Iterates over the neighbors of `v` (with edge weights) in ascending
+    /// id order. Yields nothing for an unknown node.
+    pub fn neighbors(&self, v: NodeId) -> impl Iterator<Item = (NodeId, Weight)> + '_ {
+        self.adj
+            .get(&v)
+            .into_iter()
+            .flat_map(|n| n.iter().map(|(&k, &w)| (k, w)))
+    }
+
+    /// Iterates over undirected edges as `(a, b, w)` with `a < b`.
+    pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId, Weight)> + '_ {
+        self.adj.iter().flat_map(|(&a, n)| {
+            n.iter()
+                .filter(move |(&b, _)| a < b)
+                .map(move |(&b, &w)| (a, b, w))
+        })
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Number of undirected edges.
+    pub fn edge_count(&self) -> usize {
+        self.adj.values().map(BTreeMap::len).sum::<usize>() / 2
+    }
+
+    /// Degree of `v` (0 for an unknown node).
+    pub fn degree(&self, v: NodeId) -> usize {
+        self.adj.get(&v).map_or(0, BTreeMap::len)
+    }
+
+    /// Returns the set of nodes reachable from `from` (including `from`),
+    /// or an empty set if `from` does not exist.
+    pub fn component_of(&self, from: NodeId) -> BTreeSet<NodeId> {
+        let mut seen = BTreeSet::new();
+        if !self.has_node(from) {
+            return seen;
+        }
+        let mut queue = VecDeque::from([from]);
+        seen.insert(from);
+        while let Some(v) = queue.pop_front() {
+            for (n, _) in self.neighbors(v) {
+                if seen.insert(n) {
+                    queue.push_back(n);
+                }
+            }
+        }
+        seen
+    }
+
+    /// Returns `true` when the graph is connected (and non-empty).
+    pub fn is_connected(&self) -> bool {
+        match self.nodes().next() {
+            Some(first) => self.component_of(first).len() == self.node_count(),
+            None => false,
+        }
+    }
+
+    /// Hop (unweighted) distances from `from` to every reachable node.
+    pub fn hop_distances(&self, from: NodeId) -> BTreeMap<NodeId, usize> {
+        let mut dist = BTreeMap::new();
+        if !self.has_node(from) {
+            return dist;
+        }
+        dist.insert(from, 0);
+        let mut queue = VecDeque::from([from]);
+        while let Some(v) = queue.pop_front() {
+            let d = dist[&v];
+            for (n, _) in self.neighbors(v) {
+                if let std::collections::btree_map::Entry::Vacant(e) = dist.entry(n) {
+                    e.insert(d + 1);
+                    queue.push_back(n);
+                }
+            }
+        }
+        dist
+    }
+
+    /// Hop distances from any node of `sources` (multi-source BFS).
+    pub fn hop_distances_from_set(&self, sources: &BTreeSet<NodeId>) -> BTreeMap<NodeId, usize> {
+        let mut dist = BTreeMap::new();
+        let mut queue = VecDeque::new();
+        for &s in sources {
+            if self.has_node(s) {
+                dist.insert(s, 0);
+                queue.push_back(s);
+            }
+        }
+        while let Some(v) = queue.pop_front() {
+            let d = dist[&v];
+            for (n, _) in self.neighbors(v) {
+                if let std::collections::btree_map::Entry::Vacant(e) = dist.entry(n) {
+                    e.insert(d + 1);
+                    queue.push_back(n);
+                }
+            }
+        }
+        dist
+    }
+
+    /// The hop diameter of the graph (longest shortest hop path), or `None`
+    /// for an empty or disconnected graph.
+    pub fn hop_diameter(&self) -> Option<usize> {
+        if !self.is_connected() {
+            return None;
+        }
+        let mut diameter = 0;
+        for v in self.nodes() {
+            let ecc = self.hop_distances(v).into_values().max().unwrap_or(0);
+            diameter = diameter.max(ecc);
+        }
+        Some(diameter)
+    }
+
+    /// Largest node id present, used by generators to mint fresh ids.
+    pub fn max_node_id(&self) -> Option<NodeId> {
+        self.adj.keys().next_back().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(i: u32) -> NodeId {
+        NodeId::new(i)
+    }
+
+    fn triangle() -> Graph {
+        let mut g = Graph::new();
+        g.add_edge(v(0), v(1), 1).unwrap();
+        g.add_edge(v(1), v(2), 2).unwrap();
+        g.add_edge(v(0), v(2), 4).unwrap();
+        g
+    }
+
+    #[test]
+    fn add_edge_is_symmetric() {
+        let g = triangle();
+        assert_eq!(g.weight(v(0), v(1)), Some(1));
+        assert_eq!(g.weight(v(1), v(0)), Some(1));
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.edge_count(), 3);
+    }
+
+    #[test]
+    fn rejects_self_loop_zero_weight_and_duplicates() {
+        let mut g = triangle();
+        assert_eq!(g.add_edge(v(0), v(0), 1), Err(GraphError::SelfLoop(v(0))));
+        assert_eq!(
+            g.add_edge(v(0), v(3), 0),
+            Err(GraphError::ZeroWeight(v(0), v(3)))
+        );
+        assert_eq!(
+            g.add_edge(v(0), v(1), 5),
+            Err(GraphError::DuplicateEdge(v(0), v(1)))
+        );
+    }
+
+    #[test]
+    fn set_weight_updates_both_directions() {
+        let mut g = triangle();
+        g.set_weight(v(0), v(1), 9).unwrap();
+        assert_eq!(g.weight(v(1), v(0)), Some(9));
+        assert_eq!(
+            g.set_weight(v(0), v(3), 1),
+            Err(GraphError::MissingEdge(v(0), v(3)))
+        );
+    }
+
+    #[test]
+    fn remove_node_drops_incident_edges() {
+        let mut g = triangle();
+        g.remove_node(v(1)).unwrap();
+        assert!(!g.has_node(v(1)));
+        assert!(!g.has_edge(v(0), v(1)));
+        assert_eq!(g.edge_count(), 1);
+        assert_eq!(g.remove_node(v(1)), Err(GraphError::MissingNode(v(1))));
+    }
+
+    #[test]
+    fn remove_edge_can_disconnect() {
+        let mut g = Graph::new();
+        g.add_edge(v(0), v(1), 1).unwrap();
+        assert!(g.is_connected());
+        g.remove_edge(v(0), v(1)).unwrap();
+        assert!(!g.is_connected());
+        assert_eq!(
+            g.remove_edge(v(0), v(1)),
+            Err(GraphError::MissingEdge(v(0), v(1)))
+        );
+    }
+
+    #[test]
+    fn neighbors_and_edges_are_sorted() {
+        let g = triangle();
+        let n: Vec<_> = g.neighbors(v(0)).map(|(k, _)| k).collect();
+        assert_eq!(n, vec![v(1), v(2)]);
+        let e: Vec<_> = g.edges().collect();
+        assert_eq!(e, vec![(v(0), v(1), 1), (v(0), v(2), 4), (v(1), v(2), 2)]);
+    }
+
+    #[test]
+    fn hop_distances_and_diameter() {
+        let mut g = Graph::new();
+        for i in 0..4 {
+            g.add_edge(v(i), v(i + 1), 7).unwrap();
+        }
+        let d = g.hop_distances(v(0));
+        assert_eq!(d[&v(4)], 4);
+        assert_eq!(g.hop_diameter(), Some(4));
+    }
+
+    #[test]
+    fn multi_source_bfs() {
+        let mut g = Graph::new();
+        for i in 0..6 {
+            g.add_edge(v(i), v(i + 1), 1).unwrap();
+        }
+        let sources = BTreeSet::from([v(0), v(6)]);
+        let d = g.hop_distances_from_set(&sources);
+        assert_eq!(d[&v(3)], 3);
+        assert_eq!(d[&v(5)], 1);
+    }
+
+    #[test]
+    fn component_of_unknown_node_is_empty() {
+        let g = triangle();
+        assert!(g.component_of(v(42)).is_empty());
+        assert_eq!(g.hop_distances(v(42)).len(), 0);
+    }
+
+    #[test]
+    fn empty_graph_is_not_connected() {
+        let g = Graph::new();
+        assert!(!g.is_connected());
+        assert_eq!(g.hop_diameter(), None);
+    }
+
+    #[test]
+    fn isolated_node_counts() {
+        let mut g = Graph::new();
+        g.add_node(v(5));
+        assert_eq!(g.node_count(), 1);
+        assert_eq!(g.degree(v(5)), 0);
+        assert!(g.is_connected()); // single node is trivially connected
+    }
+}

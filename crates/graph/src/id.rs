@@ -1,0 +1,153 @@
+//! Node identifiers, edge weights and (possibly infinite) distances.
+
+use std::fmt;
+
+/// Unique identifier of a node in a system.
+///
+/// The paper assumes "each node in the system has a unique id"; we use a
+/// compact `u32`. Generators number nodes densely from zero; the paper
+/// reconstruction in [`crate::topologies`] uses ids matching the figure
+/// labels (`v1`..`v14`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct NodeId(u32);
+
+impl NodeId {
+    /// Creates a node id from its raw index.
+    pub const fn new(raw: u32) -> Self {
+        NodeId(raw)
+    }
+
+    /// Returns the raw index of this node id.
+    pub const fn raw(self) -> u32 {
+        self.0
+    }
+
+    /// Returns the node id following this one (used by generators).
+    #[must_use]
+    pub const fn next(self) -> Self {
+        NodeId(self.0 + 1)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+impl From<u32> for NodeId {
+    fn from(raw: u32) -> Self {
+        NodeId(raw)
+    }
+}
+
+/// Edge weight: the paper's weight function `W` is positive; we use positive
+/// integers so that distances compare exactly (no floating-point ties).
+pub type Weight = u64;
+
+/// A distance to the destination: either a finite non-negative integer or
+/// the protocol's `∞` (the value LSRP's action `C2` assigns when no parent
+/// substitute exists, and the legitimate value at nodes with no route).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub enum Distance {
+    /// A finite distance.
+    Finite(u64),
+    /// The protocol infinity (greater than every finite distance).
+    #[default]
+    Infinite,
+}
+
+impl Distance {
+    /// Distance zero (the legitimate distance of the destination itself).
+    pub const ZERO: Distance = Distance::Finite(0);
+
+    /// The protocol infinity.
+    pub const INFINITE: Distance = Distance::Infinite;
+
+    /// Creates a finite distance.
+    pub const fn finite(value: u64) -> Self {
+        Distance::Finite(value)
+    }
+
+    /// Returns the finite value, or `None` when infinite.
+    pub const fn as_finite(self) -> Option<u64> {
+        match self {
+            Distance::Finite(v) => Some(v),
+            Distance::Infinite => None,
+        }
+    }
+
+    /// Returns `true` when this distance is the protocol infinity.
+    pub const fn is_infinite(self) -> bool {
+        matches!(self, Distance::Infinite)
+    }
+
+    /// Adds an edge weight to this distance; `∞ + w = ∞`.
+    ///
+    /// Saturates on (absurdly large) finite overflow rather than wrapping so
+    /// that corrupted states cannot panic the simulator.
+    #[must_use]
+    pub fn plus(self, weight: Weight) -> Self {
+        match self {
+            Distance::Finite(v) => match v.checked_add(weight) {
+                Some(sum) => Distance::Finite(sum),
+                None => Distance::Infinite,
+            },
+            Distance::Infinite => Distance::Infinite,
+        }
+    }
+}
+
+impl fmt::Display for Distance {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Distance::Finite(v) => write!(f, "{v}"),
+            Distance::Infinite => write!(f, "∞"),
+        }
+    }
+}
+
+impl From<u64> for Distance {
+    fn from(value: u64) -> Self {
+        Distance::Finite(value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_id_roundtrip_and_display() {
+        let v = NodeId::new(9);
+        assert_eq!(v.raw(), 9);
+        assert_eq!(v.to_string(), "v9");
+        assert_eq!(NodeId::from(9u32), v);
+        assert_eq!(v.next(), NodeId::new(10));
+    }
+
+    #[test]
+    fn distance_ordering_places_infinity_last() {
+        assert!(Distance::Finite(u64::MAX - 1) < Distance::Infinite);
+        assert!(Distance::Finite(3) < Distance::Finite(4));
+        assert_eq!(Distance::ZERO, Distance::Finite(0));
+    }
+
+    #[test]
+    fn distance_plus_saturates_and_propagates_infinity() {
+        assert_eq!(Distance::Finite(3).plus(4), Distance::Finite(7));
+        assert_eq!(Distance::Infinite.plus(4), Distance::Infinite);
+        assert_eq!(Distance::Finite(u64::MAX).plus(1), Distance::Infinite);
+    }
+
+    #[test]
+    fn distance_display() {
+        assert_eq!(Distance::Finite(5).to_string(), "5");
+        assert_eq!(Distance::Infinite.to_string(), "∞");
+    }
+
+    #[test]
+    fn distance_default_is_infinite() {
+        assert_eq!(Distance::default(), Distance::Infinite);
+    }
+}

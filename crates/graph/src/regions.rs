@@ -1,0 +1,112 @@
+//! Perturbed regions (§III-B): maximal contiguous sets of perturbed nodes,
+//! and the half-distance between regions that governs whether their
+//! stabilizations proceed independently (Lemma 2 / Corollary 1).
+
+use std::collections::{BTreeSet, VecDeque};
+
+use crate::graph::Graph;
+use crate::id::NodeId;
+
+/// Splits a perturbed node set into *perturbed regions*: connected
+/// components of the subgraph induced on the perturbed nodes (in the given
+/// topology). Regions are returned largest-first, ties broken by smallest
+/// member id, each region sorted.
+pub fn perturbed_regions(graph: &Graph, perturbed: &BTreeSet<NodeId>) -> Vec<BTreeSet<NodeId>> {
+    let mut remaining: BTreeSet<NodeId> = perturbed
+        .iter()
+        .copied()
+        .filter(|&v| graph.has_node(v))
+        .collect();
+    let mut regions = Vec::new();
+    while let Some(&seed) = remaining.iter().next() {
+        let mut region = BTreeSet::from([seed]);
+        remaining.remove(&seed);
+        let mut queue = VecDeque::from([seed]);
+        while let Some(v) = queue.pop_front() {
+            for (n, _) in graph.neighbors(v) {
+                if remaining.remove(&n) {
+                    region.insert(n);
+                    queue.push_back(n);
+                }
+            }
+        }
+        regions.push(region);
+    }
+    regions.sort_by(|a, b| {
+        b.len()
+            .cmp(&a.len())
+            .then_with(|| a.iter().next().cmp(&b.iter().next()))
+    });
+    regions
+}
+
+/// The half-distance between two regions: half the minimum hop distance
+/// from a node of `a` to a node of `b` (§V, before Corollary 1). Returns
+/// `None` when the regions do not reach each other.
+pub fn half_distance(graph: &Graph, a: &BTreeSet<NodeId>, b: &BTreeSet<NodeId>) -> Option<f64> {
+    let dist = graph.hop_distances_from_set(a);
+    b.iter()
+        .filter_map(|v| dist.get(v).copied())
+        .min()
+        .map(|d| d as f64 / 2.0)
+}
+
+/// The size of the largest perturbed region (`MAXP` in Theorem 2).
+pub fn max_region_size(regions: &[BTreeSet<NodeId>]) -> usize {
+    regions.first().map_or(0, BTreeSet::len)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    fn v(i: u32) -> NodeId {
+        NodeId::new(i)
+    }
+
+    #[test]
+    fn contiguous_perturbation_is_one_region() {
+        let g = generators::path(10, 1);
+        let p = BTreeSet::from([v(3), v(4), v(5)]);
+        let r = perturbed_regions(&g, &p);
+        assert_eq!(r.len(), 1);
+        assert_eq!(r[0], p);
+        assert_eq!(max_region_size(&r), 3);
+    }
+
+    #[test]
+    fn gaps_split_regions_largest_first() {
+        let g = generators::path(12, 1);
+        let p = BTreeSet::from([v(0), v(5), v(6), v(7), v(11)]);
+        let r = perturbed_regions(&g, &p);
+        assert_eq!(r.len(), 3);
+        assert_eq!(r[0], BTreeSet::from([v(5), v(6), v(7)]));
+        assert_eq!(max_region_size(&r), 3);
+    }
+
+    #[test]
+    fn half_distance_between_path_regions() {
+        let g = generators::path(11, 1);
+        let a = BTreeSet::from([v(0), v(1)]);
+        let b = BTreeSet::from([v(9), v(10)]);
+        assert_eq!(half_distance(&g, &a, &b), Some(4.0));
+    }
+
+    #[test]
+    fn half_distance_none_when_disconnected() {
+        let mut g = generators::path(3, 1);
+        g.add_node(v(9));
+        let a = BTreeSet::from([v(0)]);
+        let b = BTreeSet::from([v(9)]);
+        assert_eq!(half_distance(&g, &a, &b), None);
+    }
+
+    #[test]
+    fn perturbed_nodes_missing_from_graph_are_ignored() {
+        let g = generators::path(3, 1);
+        let p = BTreeSet::from([v(1), v(77)]);
+        let r = perturbed_regions(&g, &p);
+        assert_eq!(r, vec![BTreeSet::from([v(1)])]);
+    }
+}

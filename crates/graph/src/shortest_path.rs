@@ -1,0 +1,185 @@
+//! Weighted single-destination shortest paths (Dijkstra).
+//!
+//! The destination-rooted shortest-path view is the ground truth every
+//! experiment compares protocol state against: a protocol state is *correct*
+//! when each node's distance equals [`ShortestPaths::distance`] and its
+//! next-hop is one of [`ShortestPaths::parents`].
+
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BinaryHeap};
+
+use crate::graph::Graph;
+use crate::id::{Distance, NodeId};
+
+/// Result of a single-destination shortest-path computation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShortestPaths {
+    destination: NodeId,
+    dist: BTreeMap<NodeId, Distance>,
+}
+
+impl ShortestPaths {
+    /// Runs Dijkstra's algorithm from `destination` over `graph`.
+    ///
+    /// Every node of the graph appears in the result; unreachable nodes get
+    /// [`Distance::Infinite`]. Edge weights are positive by construction of
+    /// [`Graph`], so the classic algorithm applies.
+    pub fn dijkstra(graph: &Graph, destination: NodeId) -> Self {
+        let mut dist: BTreeMap<NodeId, Distance> =
+            graph.nodes().map(|v| (v, Distance::Infinite)).collect();
+        let mut heap = BinaryHeap::new();
+        if graph.has_node(destination) {
+            dist.insert(destination, Distance::ZERO);
+            heap.push(Reverse((0u64, destination)));
+        }
+        while let Some(Reverse((d, v))) = heap.pop() {
+            if dist[&v] != Distance::Finite(d) {
+                continue; // stale entry
+            }
+            for (n, w) in graph.neighbors(v) {
+                let candidate = Distance::Finite(d).plus(w);
+                if candidate < dist[&n] {
+                    dist.insert(n, candidate);
+                    if let Some(c) = candidate.as_finite() {
+                        heap.push(Reverse((c, n)));
+                    }
+                }
+            }
+        }
+        ShortestPaths { destination, dist }
+    }
+
+    /// The destination these distances are rooted at.
+    pub fn destination(&self) -> NodeId {
+        self.destination
+    }
+
+    /// Shortest distance from `v` to the destination
+    /// ([`Distance::Infinite`] for unreachable or unknown nodes).
+    pub fn distance(&self, v: NodeId) -> Distance {
+        self.dist.get(&v).copied().unwrap_or(Distance::Infinite)
+    }
+
+    /// Iterates over `(node, distance)` pairs in ascending node order.
+    pub fn iter(&self) -> impl Iterator<Item = (NodeId, Distance)> + '_ {
+        self.dist.iter().map(|(&v, &d)| (v, d))
+    }
+
+    /// The neighbors of `v` that lie on *some* shortest path from `v` to the
+    /// destination, i.e. all legitimate next-hop choices:
+    /// `{ k ∈ N.v : dist(k) + w(v,k) = dist(v) }`.
+    ///
+    /// Empty for the destination itself and for unreachable nodes.
+    pub fn parents(&self, graph: &Graph, v: NodeId) -> Vec<NodeId> {
+        if v == self.destination {
+            return Vec::new();
+        }
+        let dv = self.distance(v);
+        if dv.is_infinite() {
+            return Vec::new();
+        }
+        graph
+            .neighbors(v)
+            .filter(|&(k, w)| self.distance(k).plus(w) == dv)
+            .map(|(k, _)| k)
+            .collect()
+    }
+
+    /// Returns `true` when `parent` is a legitimate next-hop for `v`
+    /// (per [`Self::parents`]); the destination's only legitimate "parent"
+    /// is itself, and an unreachable node's is itself as well (matching
+    /// LSRP's `p.v := v` convention for routeless nodes).
+    pub fn is_legitimate_parent(&self, graph: &Graph, v: NodeId, parent: NodeId) -> bool {
+        if v == self.destination || self.distance(v).is_infinite() {
+            return parent == v;
+        }
+        match graph.weight(v, parent) {
+            Some(w) => self.distance(parent).plus(w) == self.distance(v),
+            None => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    fn v(i: u32) -> NodeId {
+        NodeId::new(i)
+    }
+
+    #[test]
+    fn dijkstra_on_weighted_triangle() {
+        let mut g = Graph::new();
+        g.add_edge(v(0), v(1), 1).unwrap();
+        g.add_edge(v(1), v(2), 1).unwrap();
+        g.add_edge(v(0), v(2), 5).unwrap();
+        let sp = ShortestPaths::dijkstra(&g, v(0));
+        assert_eq!(sp.distance(v(2)), Distance::Finite(2));
+        assert_eq!(sp.parents(&g, v(2)), vec![v(1)]);
+    }
+
+    #[test]
+    fn unreachable_nodes_are_infinite() {
+        let mut g = Graph::new();
+        g.add_edge(v(0), v(1), 1).unwrap();
+        g.add_node(v(9));
+        let sp = ShortestPaths::dijkstra(&g, v(0));
+        assert!(sp.distance(v(9)).is_infinite());
+        assert!(sp.parents(&g, v(9)).is_empty());
+        assert!(sp.is_legitimate_parent(&g, v(9), v(9)));
+    }
+
+    #[test]
+    fn equal_cost_multipath_reports_all_parents() {
+        // 0 - 1 - 3 and 0 - 2 - 3 with unit weights: v3 has two parents.
+        let mut g = Graph::new();
+        g.add_edge(v(0), v(1), 1).unwrap();
+        g.add_edge(v(0), v(2), 1).unwrap();
+        g.add_edge(v(1), v(3), 1).unwrap();
+        g.add_edge(v(2), v(3), 1).unwrap();
+        let sp = ShortestPaths::dijkstra(&g, v(0));
+        assert_eq!(sp.parents(&g, v(3)), vec![v(1), v(2)]);
+        assert!(sp.is_legitimate_parent(&g, v(3), v(1)));
+        assert!(sp.is_legitimate_parent(&g, v(3), v(2)));
+        assert!(!sp.is_legitimate_parent(&g, v(3), v(0)));
+    }
+
+    #[test]
+    fn destination_parent_is_itself() {
+        let g = generators::ring(5, 1);
+        let sp = ShortestPaths::dijkstra(&g, v(0));
+        assert!(sp.is_legitimate_parent(&g, v(0), v(0)));
+        assert!(!sp.is_legitimate_parent(&g, v(0), v(1)));
+        assert_eq!(sp.distance(v(0)), Distance::ZERO);
+    }
+
+    #[test]
+    fn ring_distances_wrap_both_ways() {
+        let g = generators::ring(6, 1);
+        let sp = ShortestPaths::dijkstra(&g, v(0));
+        assert_eq!(sp.distance(v(3)), Distance::Finite(3));
+        assert_eq!(sp.distance(v(5)), Distance::Finite(1));
+        // v3 is antipodal: both neighbors are legitimate parents.
+        assert_eq!(sp.parents(&g, v(3)).len(), 2);
+    }
+
+    #[test]
+    fn missing_destination_yields_all_infinite() {
+        let mut g = Graph::new();
+        g.add_edge(v(0), v(1), 1).unwrap();
+        let sp = ShortestPaths::dijkstra(&g, v(7));
+        assert!(sp.distance(v(0)).is_infinite());
+        assert!(sp.distance(v(1)).is_infinite());
+    }
+
+    #[test]
+    fn iter_is_sorted_and_complete() {
+        let g = generators::path(4, 2);
+        let sp = ShortestPaths::dijkstra(&g, v(0));
+        let all: Vec<_> = sp.iter().collect();
+        assert_eq!(all.len(), 4);
+        assert_eq!(all[3], (v(3), Distance::Finite(6)));
+    }
+}

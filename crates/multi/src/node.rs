@@ -1,0 +1,268 @@
+//! The per-node multiplexer: one LSRP instance per destination.
+
+use std::collections::BTreeMap;
+
+use lsrp_core::{LsrpMsg, LsrpNode, LsrpState, TimingConfig};
+use lsrp_graph::{NodeId, RouteEntry, Weight};
+use lsrp_sim::{ActionId, Effects, EnabledSet, ProtocolNode};
+
+/// A message of one destination's instance, tagged with that destination.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MultiMsg {
+    /// Which destination's routing computation this belongs to.
+    pub dest: NodeId,
+    /// The inner LSRP payload.
+    pub msg: LsrpMsg,
+}
+
+/// One node running an independent LSRP instance per destination.
+///
+/// Action ids are the inner ids retagged with
+/// [`ActionId::for_instance`]`(dest.raw() + 1)` (instance 0 is reserved
+/// for single-instance protocols), so each instance's guards track their
+/// continuous enablement independently in the engine.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MultiLsrpNode {
+    id: NodeId,
+    instances: BTreeMap<NodeId, LsrpNode>,
+}
+
+fn instance_tag(dest: NodeId) -> u32 {
+    dest.raw() + 1
+}
+
+fn dest_of_tag(instance: u32) -> NodeId {
+    NodeId::new(instance - 1)
+}
+
+impl MultiLsrpNode {
+    /// Creates a node with one instance per destination, each from its own
+    /// initial state.
+    pub fn new(
+        id: NodeId,
+        timing: TimingConfig,
+        states: impl IntoIterator<Item = (NodeId, LsrpState)>,
+    ) -> Self {
+        let instances = states
+            .into_iter()
+            .map(|(dest, state)| {
+                assert_eq!(state.id, id, "instance state must belong to this node");
+                assert_eq!(state.dest, dest, "instance keyed by its destination");
+                (dest, LsrpNode::new(state, timing))
+            })
+            .collect();
+        MultiLsrpNode { id, instances }
+    }
+
+    /// This node's id.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// The destinations this node routes toward.
+    pub fn destinations(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.instances.keys().copied()
+    }
+
+    /// The instance for one destination.
+    pub fn instance(&self, dest: NodeId) -> Option<&LsrpNode> {
+        self.instances.get(&dest)
+    }
+
+    /// Mutable instance access (state-corruption surface).
+    pub fn instance_mut(&mut self, dest: NodeId) -> Option<&mut LsrpNode> {
+        self.instances.get_mut(&dest)
+    }
+
+    /// The route entry toward `dest`.
+    pub fn route_entry_for(&self, dest: NodeId) -> Option<RouteEntry> {
+        self.instances.get(&dest).map(LsrpNode::route_entry)
+    }
+}
+
+impl ProtocolNode for MultiLsrpNode {
+    type Msg = MultiMsg;
+
+    fn enabled_actions(&self, now_local: f64) -> EnabledSet {
+        let mut out = EnabledSet::none();
+        for (&dest, node) in &self.instances {
+            let inner = node.enabled_actions(now_local);
+            let tag = instance_tag(dest);
+            for (id, hold) in inner.actions {
+                let tagged = id.for_instance(tag);
+                match inner.fingerprints.get(&id) {
+                    Some(&fp) => {
+                        out.enable_with_fingerprint(tagged, hold, fp);
+                    }
+                    None => {
+                        out.enable(tagged, hold);
+                    }
+                }
+            }
+            if let Some(w) = inner.wakeup_local {
+                out.wake_at(w);
+            }
+        }
+        out
+    }
+
+    fn execute(&mut self, action: ActionId, now_local: f64, fx: &mut Effects<MultiMsg>) {
+        let dest = dest_of_tag(action.instance);
+        let node = self
+            .instances
+            .get_mut(&dest)
+            .expect("engine only fires actions we reported");
+        let mut inner_fx = Effects::detached();
+        node.execute(action.for_instance(0), now_local, &mut inner_fx);
+        inner_fx.merge_into(fx, |msg| MultiMsg { dest, msg });
+    }
+
+    fn on_receive(
+        &mut self,
+        from: NodeId,
+        msg: &MultiMsg,
+        now_local: f64,
+        fx: &mut Effects<MultiMsg>,
+    ) {
+        let Some(node) = self.instances.get_mut(&msg.dest) else {
+            return; // unknown destination (e.g. mismatched configuration)
+        };
+        let dest = msg.dest;
+        let mut inner_fx = Effects::detached();
+        node.on_receive(from, &msg.msg, now_local, &mut inner_fx);
+        inner_fx.merge_into(fx, |m| MultiMsg { dest, msg: m });
+    }
+
+    fn on_neighbors_changed(
+        &mut self,
+        neighbors: &BTreeMap<NodeId, Weight>,
+        now_local: f64,
+        fx: &mut Effects<MultiMsg>,
+    ) {
+        for (&dest, node) in &mut self.instances {
+            let mut inner_fx = Effects::detached();
+            node.on_neighbors_changed(neighbors, now_local, &mut inner_fx);
+            inner_fx.merge_into(fx, |m| MultiMsg { dest, msg: m });
+        }
+    }
+
+    fn route_entry(&self) -> RouteEntry {
+        // The single-entry view is only meaningful for single-destination
+        // protocols; report the first instance's entry (the facade exposes
+        // per-destination tables instead).
+        self.instances
+            .values()
+            .next()
+            .map_or_else(|| RouteEntry::no_route(self.id), LsrpNode::route_entry)
+    }
+
+    fn in_containment(&self) -> bool {
+        self.instances.values().any(|n| n.state().ghost)
+    }
+
+    fn action_name(action: ActionId) -> &'static str {
+        LsrpNode::action_name(action.for_instance(0))
+    }
+
+    fn is_maintenance(action: ActionId) -> bool {
+        LsrpNode::is_maintenance(action.for_instance(0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lsrp_core::actions;
+
+    fn v(i: u32) -> NodeId {
+        NodeId::new(i)
+    }
+
+    fn two_instance_node() -> MultiLsrpNode {
+        let neighbors = BTreeMap::from([(v(1), 1)]);
+        let timing = TimingConfig::paper_example(1.0);
+        MultiLsrpNode::new(
+            v(0),
+            timing,
+            [
+                (v(0), LsrpState::fresh(v(0), v(0), neighbors.clone())),
+                (v(1), LsrpState::fresh(v(0), v(1), neighbors)),
+            ],
+        )
+    }
+
+    #[test]
+    fn instances_are_tagged_independently() {
+        let mut node = two_instance_node();
+        // Make the v1-instance want an S2 adoption: v1 offers 0 + 1.
+        node.instance_mut(v(1)).unwrap().state_mut().absorb(
+            v(1),
+            &LsrpMsg {
+                d: lsrp_graph::Distance::ZERO,
+                p: v(1),
+                ghost: false,
+            },
+        );
+        let set = node.enabled_actions(0.0);
+        assert_eq!(set.actions.len(), 1);
+        let (id, _) = set.actions[0];
+        assert_eq!(id.kind, actions::S2);
+        assert_eq!(id.instance, instance_tag(v(1)));
+        assert_eq!(id.param, Some(v(1)));
+    }
+
+    #[test]
+    fn execute_routes_to_the_right_instance() {
+        let mut node = two_instance_node();
+        node.instance_mut(v(1)).unwrap().state_mut().absorb(
+            v(1),
+            &LsrpMsg {
+                d: lsrp_graph::Distance::ZERO,
+                p: v(1),
+                ghost: false,
+            },
+        );
+        let action = ActionId::with_param(actions::S2, v(1)).for_instance(instance_tag(v(1)));
+        let mut fx = lsrp_sim::test_support::effects();
+        node.execute(action, 0.0, &mut fx);
+        assert!(fx.var_changed());
+        assert_eq!(
+            node.route_entry_for(v(1)).unwrap().distance,
+            lsrp_graph::Distance::Finite(1)
+        );
+        // The v0-instance is untouched.
+        assert_eq!(
+            node.route_entry_for(v(0)).unwrap().distance,
+            lsrp_graph::Distance::ZERO
+        );
+    }
+
+    #[test]
+    fn receive_is_demultiplexed_by_destination() {
+        let mut node = two_instance_node();
+        let mut fx = lsrp_sim::test_support::effects();
+        node.on_receive(
+            v(1),
+            &MultiMsg {
+                dest: v(1),
+                msg: LsrpMsg {
+                    d: lsrp_graph::Distance::ZERO,
+                    p: v(1),
+                    ghost: false,
+                },
+            },
+            0.0,
+            &mut fx,
+        );
+        assert!(fx.mirror_changed());
+        assert_eq!(
+            node.instance(v(1)).unwrap().state().mirror(v(1)).d,
+            lsrp_graph::Distance::ZERO
+        );
+        assert_eq!(
+            node.instance(v(0)).unwrap().state().mirror(v(1)).d,
+            lsrp_graph::Distance::Infinite,
+            "the other instance's mirrors are untouched"
+        );
+    }
+}

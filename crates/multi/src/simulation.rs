@@ -1,0 +1,326 @@
+//! The multi-destination simulation facade.
+
+use std::collections::BTreeMap;
+
+use lsrp_core::{LsrpState, Mirror, TimingConfig};
+use lsrp_graph::{Distance, Graph, GraphError, NodeId, RouteTable, Weight};
+use lsrp_sim::{Engine, EngineConfig, RunReport, SimTime};
+
+use crate::node::MultiLsrpNode;
+
+/// Builder for [`MultiLsrpSimulation`].
+#[derive(Debug, Clone)]
+pub struct MultiLsrpSimulationBuilder {
+    graph: Graph,
+    destinations: Vec<NodeId>,
+    timing: TimingConfig,
+    engine: EngineConfig,
+}
+
+impl MultiLsrpSimulationBuilder {
+    /// Sets wave timing (shared by all instances).
+    #[must_use]
+    pub fn timing(mut self, timing: TimingConfig) -> Self {
+        self.timing = timing;
+        self
+    }
+
+    /// Sets the engine configuration.
+    #[must_use]
+    pub fn engine_config(mut self, config: EngineConfig) -> Self {
+        self.engine = config;
+        self
+    }
+
+    /// Shortcut for the engine seed.
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.engine.seed = seed;
+        self
+    }
+
+    /// Builds the simulation, every instance starting at its canonical
+    /// legitimate state with consistent mirrors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a destination is not a node of the graph, the destination
+    /// list is empty, or the timing violates the wave-speed constraints.
+    pub fn build(self) -> MultiLsrpSimulation {
+        assert!(
+            !self.destinations.is_empty(),
+            "need at least one destination"
+        );
+        for &d in &self.destinations {
+            assert!(
+                self.graph.has_node(d),
+                "destination {d} is not in the graph"
+            );
+        }
+        self.timing
+            .validate(self.engine.clocks.rho(), self.engine.link.delay_max)
+            .expect("LSRP timing must satisfy the wave-speed constraints");
+
+        // Per destination: the legitimate table, used for states and
+        // consistent mirrors.
+        let tables: BTreeMap<NodeId, RouteTable> = self
+            .destinations
+            .iter()
+            .map(|&d| (d, RouteTable::legitimate(&self.graph, d)))
+            .collect();
+        let destinations = self.destinations.clone();
+        let timing = self.timing;
+        let engine = Engine::new(self.graph, self.engine, move |id, neighbors| {
+            let states = destinations.iter().map(|&dest| {
+                let table = &tables[&dest];
+                let mut s = LsrpState::fresh(id, dest, neighbors.clone());
+                if let Some(e) = table.entry(id) {
+                    s.d = e.distance;
+                    s.p = e.parent;
+                }
+                for k in neighbors.keys() {
+                    let m = table.entry(*k).map_or(Mirror::unknown(*k), |e| Mirror {
+                        d: e.distance,
+                        p: e.parent,
+                        ghost: false,
+                    });
+                    s.mirrors.insert(*k, m);
+                }
+                (dest, s)
+            });
+            MultiLsrpNode::new(id, timing, states)
+        });
+        MultiLsrpSimulation {
+            engine,
+            destinations: self.destinations,
+            timing,
+        }
+    }
+}
+
+/// A running multi-destination LSRP network.
+#[derive(Debug)]
+pub struct MultiLsrpSimulation {
+    engine: Engine<MultiLsrpNode>,
+    destinations: Vec<NodeId>,
+    timing: TimingConfig,
+}
+
+impl MultiLsrpSimulation {
+    /// Starts building a simulation routing toward every destination in
+    /// `destinations`.
+    pub fn builder(graph: Graph, destinations: Vec<NodeId>) -> MultiLsrpSimulationBuilder {
+        let engine = EngineConfig::default();
+        MultiLsrpSimulationBuilder {
+            graph,
+            destinations,
+            timing: TimingConfig::paper_example(engine.link.delay_max),
+            engine,
+        }
+    }
+
+    /// The destinations being routed toward.
+    pub fn destinations(&self) -> &[NodeId] {
+        &self.destinations
+    }
+
+    /// The shared wave timing.
+    pub fn timing(&self) -> &TimingConfig {
+        &self.timing
+    }
+
+    /// The underlying engine.
+    pub fn engine(&self) -> &Engine<MultiLsrpNode> {
+        &self.engine
+    }
+
+    /// Mutable engine access.
+    pub fn engine_mut(&mut self) -> &mut Engine<MultiLsrpNode> {
+        &mut self.engine
+    }
+
+    /// The current topology.
+    pub fn graph(&self) -> &Graph {
+        self.engine.graph()
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.engine.now()
+    }
+
+    /// Runs until the network settles or `horizon` passes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the event budget is exhausted (protocol livelock).
+    pub fn run_to_quiescence(&mut self, horizon: f64) -> RunReport {
+        let settle = match self.timing.syn_period {
+            Some(p) => 2.0 * p + 1.0,
+            None => 0.0,
+        };
+        self.engine
+            .run_to_quiescence(SimTime::new(horizon), settle)
+            .expect("LSRP must not livelock")
+    }
+
+    /// The route table toward one destination.
+    pub fn route_table_for(&self, dest: NodeId) -> RouteTable {
+        self.graph()
+            .nodes()
+            .filter_map(|v| {
+                self.engine
+                    .node(v)
+                    .and_then(|n| n.route_entry_for(dest))
+                    .map(|e| (v, e))
+            })
+            .collect()
+    }
+
+    /// Whether the table toward `dest` matches Dijkstra ground truth.
+    pub fn routes_correct_for(&self, dest: NodeId) -> bool {
+        self.route_table_for(dest).is_correct(self.graph(), dest)
+    }
+
+    /// Whether *every* destination's table is correct.
+    pub fn all_routes_correct(&self) -> bool {
+        self.destinations
+            .iter()
+            .all(|&d| self.routes_correct_for(d))
+    }
+
+    /// Corrupts the distance of `node`'s instance toward `dest`.
+    pub fn corrupt_distance(&mut self, node: NodeId, dest: NodeId, d: Distance) {
+        self.engine.with_node_mut(node, |n| {
+            if let Some(i) = n.instance_mut(dest) {
+                i.state_mut().d = d;
+            }
+        });
+    }
+
+    /// Corrupts the *entire* routing state of `node`: every instance's
+    /// distance and parent set to arbitrary values via `f(dest)`.
+    pub fn corrupt_all_instances(
+        &mut self,
+        node: NodeId,
+        mut f: impl FnMut(NodeId) -> (Distance, NodeId),
+    ) {
+        let dests: Vec<NodeId> = self.destinations.clone();
+        self.engine.with_node_mut(node, |n| {
+            for dest in dests {
+                if let Some(i) = n.instance_mut(dest) {
+                    let (d, p) = f(dest);
+                    let s = i.state_mut();
+                    s.d = d;
+                    s.p = p;
+                }
+            }
+        });
+    }
+
+    /// Fail-stops a node.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`GraphError`] for unknown nodes.
+    pub fn fail_node(&mut self, v: NodeId) -> Result<(), GraphError> {
+        self.destinations.retain(|&d| d != v);
+        self.engine.fail_node(v)
+    }
+
+    /// Joins an edge.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`GraphError`] for invalid edges.
+    pub fn join_edge(&mut self, a: NodeId, b: NodeId, w: Weight) -> Result<(), GraphError> {
+        self.engine.join_edge(a, b, w)
+    }
+
+    /// Fail-stops an edge.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`GraphError`] for unknown edges.
+    pub fn fail_edge(&mut self, a: NodeId, b: NodeId) -> Result<(), GraphError> {
+        self.engine.fail_edge(a, b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lsrp_graph::generators;
+
+    fn v(i: u32) -> NodeId {
+        NodeId::new(i)
+    }
+
+    #[test]
+    fn all_pairs_tables_start_correct_and_quiet() {
+        let g = generators::grid(3, 3, 1);
+        let dests: Vec<NodeId> = g.nodes().collect();
+        let mut sim = MultiLsrpSimulation::builder(g, dests).build();
+        let report = sim.run_to_quiescence(1_000.0);
+        assert!(report.quiescent);
+        assert_eq!(sim.engine().trace().total_actions(), 0);
+        assert!(sim.all_routes_correct());
+    }
+
+    #[test]
+    fn corruption_in_one_tree_leaves_others_untouched() {
+        let g = generators::grid(4, 4, 1);
+        let dests = vec![v(0), v(15)];
+        let mut sim = MultiLsrpSimulation::builder(g, dests).build();
+        sim.corrupt_distance(v(5), v(0), Distance::ZERO);
+        let report = sim.run_to_quiescence(10_000.0);
+        assert!(report.quiescent);
+        assert!(sim.all_routes_correct());
+        // Only the v0-instance acted: every executed action carries the
+        // v0 instance tag.
+        for r in &sim.engine().trace().actions {
+            assert_eq!(r.action.instance, v(0).raw() + 1, "{r:?}");
+        }
+    }
+
+    #[test]
+    fn full_node_corruption_recovers_every_tree() {
+        let g = generators::grid(4, 4, 1);
+        let dests: Vec<NodeId> = vec![v(0), v(3), v(12), v(15)];
+        let mut sim = MultiLsrpSimulation::builder(g, dests).build();
+        sim.corrupt_all_instances(v(5), |_| (Distance::ZERO, v(5)));
+        let report = sim.run_to_quiescence(100_000.0);
+        assert!(report.quiescent);
+        assert!(sim.all_routes_correct());
+    }
+
+    #[test]
+    fn fail_stop_heals_all_remaining_trees() {
+        let g = generators::grid(4, 4, 1);
+        let dests: Vec<NodeId> = vec![v(0), v(15), v(5)];
+        let mut sim = MultiLsrpSimulation::builder(g, dests).build();
+        sim.fail_node(v(5)).unwrap();
+        assert_eq!(sim.destinations(), &[v(0), v(15)]);
+        let report = sim.run_to_quiescence(100_000.0);
+        assert!(report.quiescent);
+        assert!(sim.all_routes_correct());
+    }
+
+    #[test]
+    fn link_churn_updates_every_tree() {
+        let g = generators::grid(3, 3, 1);
+        let dests: Vec<NodeId> = g.nodes().collect();
+        let mut sim = MultiLsrpSimulation::builder(g, dests).build();
+        sim.fail_edge(v(0), v(1)).unwrap();
+        sim.join_edge(v(0), v(4), 1).unwrap();
+        let report = sim.run_to_quiescence(100_000.0);
+        assert!(report.quiescent);
+        assert!(sim.all_routes_correct());
+    }
+
+    #[test]
+    #[should_panic(expected = "need at least one destination")]
+    fn empty_destinations_rejected() {
+        let _ = MultiLsrpSimulation::builder(generators::path(2, 1), vec![]).build();
+    }
+}

@@ -1,0 +1,79 @@
+//! Property tests of the multi-destination composition: per-tree
+//! guarantees survive arbitrary table corruption and churn.
+
+use proptest::prelude::*;
+
+use lsrp_graph::{generators, Distance, NodeId};
+use lsrp_multi::MultiLsrpSimulation;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn v(i: u32) -> NodeId {
+    NodeId::new(i)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Random per-instance distance corruption across random destination
+    /// subsets always re-converges every tree.
+    #[test]
+    fn corrupted_tables_reconverge(
+        n in 6u32..16,
+        extra in 0.0f64..0.25,
+        graph_seed in 0u64..300,
+        state_seed in 0u64..300,
+    ) {
+        let mut rng = StdRng::seed_from_u64(graph_seed);
+        let graph = generators::connected_erdos_renyi(n, extra, 3, &mut rng);
+        let dests: Vec<NodeId> = graph.nodes().step_by(2).collect();
+        let mut sim = MultiLsrpSimulation::builder(graph.clone(), dests.clone()).build();
+
+        let mut rng = StdRng::seed_from_u64(state_seed);
+        let nodes: Vec<NodeId> = graph.nodes().collect();
+        for _ in 0..6 {
+            let node = nodes[rng.gen_range(0..nodes.len())];
+            let dest = dests[rng.gen_range(0..dests.len())];
+            let d = Distance::Finite(rng.gen_range(0..2 * u64::from(n)));
+            sim.corrupt_distance(node, dest, d);
+        }
+        let report = sim.run_to_quiescence(2_000_000.0);
+        prop_assert!(report.quiescent);
+        prop_assert!(sim.all_routes_correct());
+    }
+
+    /// A corruption in one destination's instance never makes another
+    /// destination's instance act.
+    #[test]
+    fn trees_are_isolated(
+        n in 6u32..14,
+        graph_seed in 0u64..300,
+        state_seed in 0u64..300,
+    ) {
+        let mut rng = StdRng::seed_from_u64(graph_seed);
+        let graph = generators::connected_erdos_renyi(n, 0.1, 3, &mut rng);
+        let dest_a = v(0);
+        let dest_b = v(n - 1);
+        prop_assume!(dest_a != dest_b);
+        let mut sim =
+            MultiLsrpSimulation::builder(graph.clone(), vec![dest_a, dest_b]).build();
+        sim.engine_mut().reset_trace();
+
+        let mut rng = StdRng::seed_from_u64(state_seed);
+        let nodes: Vec<NodeId> = graph.nodes().filter(|&x| x != dest_a).collect();
+        let victim = nodes[rng.gen_range(0..nodes.len())];
+        sim.corrupt_distance(victim, dest_a, Distance::ZERO);
+        let report = sim.run_to_quiescence(2_000_000.0);
+        prop_assert!(report.quiescent);
+        prop_assert!(sim.all_routes_correct());
+        for r in &sim.engine().trace().actions {
+            prop_assert_eq!(
+                r.action.instance,
+                dest_a.raw() + 1,
+                "the {} tree must not act: {:?}",
+                dest_b,
+                r
+            );
+        }
+    }
+}

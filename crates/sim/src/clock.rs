@@ -1,0 +1,174 @@
+//! Per-node clocks with bounded relative drift.
+//!
+//! §II of the paper: "There is a clock at each node. The ratio of clock
+//! speeds between any two neighboring nodes in the system is bounded from
+//! above by `rho`, but no extra constraint on the absolute values of clocks
+//! is enforced." We model each clock as an affine function of real
+//! (simulated) time: `local(t) = offset + rate * t` with `rate ∈ [1, rho]`,
+//! which bounds every pairwise ratio by `rho`.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use lsrp_graph::NodeId;
+
+use crate::time::SimTime;
+
+/// One node's clock.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Clock {
+    rate: f64,
+    offset: f64,
+}
+
+impl Clock {
+    /// Creates a clock with the given rate and initial offset.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is not at least 1 or not finite.
+    pub fn new(rate: f64, offset: f64) -> Self {
+        assert!(rate.is_finite() && rate >= 1.0, "clock rate must be >= 1");
+        assert!(offset.is_finite(), "clock offset must be finite");
+        Clock { rate, offset }
+    }
+
+    /// A perfect clock (rate 1, offset 0).
+    pub fn ideal() -> Self {
+        Clock::new(1.0, 0.0)
+    }
+
+    /// The local clock reading at real time `t`.
+    pub fn local(&self, t: SimTime) -> f64 {
+        self.offset + self.rate * t.seconds()
+    }
+
+    /// Real duration corresponding to a local-clock duration (e.g. a guard
+    /// hold-time): `local / rate`.
+    pub fn real_duration(&self, local_duration: f64) -> f64 {
+        local_duration / self.rate
+    }
+
+    /// The real time at which the local clock will read `local`, if in the
+    /// future of `now` (else `now`).
+    pub fn real_time_at_local(&self, local: f64, now: SimTime) -> SimTime {
+        let t = (local - self.offset) / self.rate;
+        if t <= now.seconds() {
+            now
+        } else {
+            SimTime::new(t)
+        }
+    }
+
+    /// This clock's rate.
+    pub fn rate(&self) -> f64 {
+        self.rate
+    }
+}
+
+impl Default for Clock {
+    fn default() -> Self {
+        Clock::ideal()
+    }
+}
+
+/// How the engine assigns clocks to nodes.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum ClockConfig {
+    /// Every node gets an ideal clock (`rho = 1`). This is the setting of
+    /// the paper's worked examples (§IV-E assumes `rho = 1`).
+    #[default]
+    Ideal,
+    /// Each node's rate is drawn uniformly from `[1, rho]` (deterministic
+    /// from the engine seed), exercising the drift-robustness of the wave
+    /// hold-time constraints.
+    Drifting {
+        /// Upper bound `rho >= 1` on the pairwise clock-speed ratio.
+        rho: f64,
+    },
+    /// Even-id nodes run at rate `rho`, odd-id nodes at rate 1 — the
+    /// worst-case adversarial drift pattern, and fully predictable for
+    /// tests.
+    Alternating {
+        /// Upper bound `rho >= 1` on the pairwise clock-speed ratio.
+        rho: f64,
+    },
+}
+
+impl ClockConfig {
+    /// The effective `rho` bound of this configuration.
+    pub fn rho(&self) -> f64 {
+        match *self {
+            ClockConfig::Ideal => 1.0,
+            ClockConfig::Drifting { rho } | ClockConfig::Alternating { rho } => rho,
+        }
+    }
+
+    /// Produces the clock for `node`, deterministically from `seed`.
+    pub fn clock_for(&self, node: NodeId, seed: u64) -> Clock {
+        match *self {
+            ClockConfig::Ideal => Clock::ideal(),
+            ClockConfig::Drifting { rho } => {
+                assert!(rho >= 1.0, "rho must be at least 1");
+                let mut rng = StdRng::seed_from_u64(
+                    seed ^ (u64::from(node.raw()).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+                );
+                let rate = rng.gen_range(1.0..=rho);
+                Clock::new(rate, 0.0)
+            }
+            ClockConfig::Alternating { rho } => {
+                assert!(rho >= 1.0, "rho must be at least 1");
+                if node.raw().is_multiple_of(2) {
+                    Clock::new(rho, 0.0)
+                } else {
+                    Clock::ideal()
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ideal_clock_tracks_real_time() {
+        let c = Clock::ideal();
+        assert_eq!(c.local(SimTime::new(3.5)), 3.5);
+        assert_eq!(c.real_duration(2.0), 2.0);
+    }
+
+    #[test]
+    fn fast_clock_shortens_real_holds() {
+        let c = Clock::new(2.0, 1.0);
+        assert_eq!(c.local(SimTime::new(3.0)), 7.0);
+        assert_eq!(c.real_duration(4.0), 2.0);
+        // local reads 9 at real time (9-1)/2 = 4.
+        assert_eq!(c.real_time_at_local(9.0, SimTime::ZERO), SimTime::new(4.0));
+        // a local reading already in the past clamps to now.
+        assert_eq!(
+            c.real_time_at_local(1.0, SimTime::new(5.0)),
+            SimTime::new(5.0)
+        );
+    }
+
+    #[test]
+    fn drifting_config_is_deterministic_and_bounded() {
+        let cfg = ClockConfig::Drifting { rho: 1.5 };
+        for i in 0..32 {
+            let a = cfg.clock_for(NodeId::new(i), 42);
+            let b = cfg.clock_for(NodeId::new(i), 42);
+            assert_eq!(a, b);
+            assert!(a.rate() >= 1.0 && a.rate() <= 1.5);
+        }
+        assert_eq!(cfg.rho(), 1.5);
+        assert_eq!(ClockConfig::Ideal.rho(), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "clock rate must be >= 1")]
+    fn slow_clock_rejected() {
+        let _ = Clock::new(0.5, 0.0);
+    }
+}

@@ -1,0 +1,182 @@
+//! Engine configuration: link delays, clocks, bookkeeping limits.
+
+use crate::clock::ClockConfig;
+
+/// Message-passing link parameters (§II: "message passing delay along an
+/// edge is bounded from above and from below by `d` and `u`").
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkConfig {
+    /// Lower bound `u > 0` on per-message delay.
+    pub delay_min: f64,
+    /// Upper bound `d >= u` on per-message delay.
+    pub delay_max: f64,
+    /// Per-directed-edge FIFO ordering (default `true`). Mirror
+    /// convergence — a node's view of its neighbor settling to the
+    /// neighbor's *latest* broadcast — requires it (DESIGN.md §5);
+    /// disabling it is an ablation switch that lets jittered links reorder
+    /// messages.
+    pub fifo: bool,
+    /// Independent per-message loss probability (default 0). The paper's
+    /// model assumes reliable links; nonzero loss is a robustness ablation
+    /// — LSRP tolerates it when the periodic `SYN` refresh is enabled,
+    /// since every variable is re-advertised within one period.
+    pub loss_probability: f64,
+}
+
+impl LinkConfig {
+    /// Constant-delay links (the paper's worked examples assume link delay
+    /// is a constant `u`).
+    pub fn constant(delay: f64) -> Self {
+        LinkConfig {
+            delay_min: delay,
+            delay_max: delay,
+            fifo: true,
+            loss_probability: 0.0,
+        }
+    }
+
+    /// Uniformly jittered delay in `[min, max]`.
+    pub fn jittered(min: f64, max: f64) -> Self {
+        LinkConfig {
+            delay_min: min,
+            delay_max: max,
+            fifo: true,
+            loss_probability: 0.0,
+        }
+    }
+
+    /// Disables per-edge FIFO ordering (ablation).
+    #[must_use]
+    pub fn without_fifo(mut self) -> Self {
+        self.fifo = false;
+        self
+    }
+
+    /// Sets an independent per-message loss probability (ablation).
+    #[must_use]
+    pub fn with_loss(mut self, probability: f64) -> Self {
+        self.loss_probability = probability;
+        self
+    }
+
+    /// Validates the bounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bounds are not `0 < min <= max < ∞`.
+    pub fn validate(&self) {
+        assert!(
+            self.delay_min > 0.0 && self.delay_min.is_finite(),
+            "delay_min must be positive and finite"
+        );
+        assert!(
+            self.delay_max >= self.delay_min && self.delay_max.is_finite(),
+            "delay_max must be >= delay_min and finite"
+        );
+        assert!(
+            (0.0..1.0).contains(&self.loss_probability),
+            "loss probability must be in [0, 1)"
+        );
+    }
+}
+
+impl Default for LinkConfig {
+    fn default() -> Self {
+        LinkConfig::constant(1.0)
+    }
+}
+
+/// Full engine configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EngineConfig {
+    /// Link delay bounds.
+    pub link: LinkConfig,
+    /// Clock assignment.
+    pub clocks: ClockConfig,
+    /// Seed for all engine randomness (delays, clock rates).
+    pub seed: u64,
+    /// Hard cap on processed events per `run_*` call; exceeding it is
+    /// reported as [`crate::engine::EngineError::EventBudgetExhausted`]
+    /// (it almost always indicates a zero-hold action livelock in a
+    /// protocol under test).
+    pub max_events: u64,
+    /// Whether to record individual action/variable-change records in the
+    /// trace (counters are always kept).
+    pub record_trace: bool,
+}
+
+impl EngineConfig {
+    /// The configuration of the paper's worked examples: ideal clocks and
+    /// constant unit link delay.
+    pub fn paper_example() -> Self {
+        EngineConfig::default()
+    }
+
+    /// Sets the seed (builder style).
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the link config (builder style).
+    #[must_use]
+    pub fn with_link(mut self, link: LinkConfig) -> Self {
+        self.link = link;
+        self
+    }
+
+    /// Sets the clock config (builder style).
+    #[must_use]
+    pub fn with_clocks(mut self, clocks: ClockConfig) -> Self {
+        self.clocks = clocks;
+        self
+    }
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            link: LinkConfig::default(),
+            clocks: ClockConfig::Ideal,
+            seed: 0,
+            max_events: 50_000_000,
+            record_trace: true,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_link_is_valid() {
+        let l = LinkConfig::constant(1.0);
+        l.validate();
+        assert_eq!(l.delay_min, l.delay_max);
+    }
+
+    #[test]
+    #[should_panic(expected = "delay_min must be positive")]
+    fn zero_delay_rejected() {
+        LinkConfig::constant(0.0).validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "delay_max must be >= delay_min")]
+    fn inverted_bounds_rejected() {
+        LinkConfig::jittered(2.0, 1.0).validate();
+    }
+
+    #[test]
+    fn builder_style_updates() {
+        let c = EngineConfig::paper_example()
+            .with_seed(7)
+            .with_link(LinkConfig::jittered(0.5, 1.5))
+            .with_clocks(ClockConfig::Drifting { rho: 1.2 });
+        assert_eq!(c.seed, 7);
+        assert_eq!(c.link.delay_max, 1.5);
+        assert_eq!(c.clocks.rho(), 1.2);
+    }
+}

@@ -1,0 +1,104 @@
+//! Side-effects of a protocol statement: message sends and
+//! variable-change notes.
+
+use lsrp_graph::NodeId;
+
+/// Where an outgoing message goes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum SendTarget {
+    /// To every current neighbor (the common case — the paper's statements
+    /// all "send msg(...) to N.v").
+    Broadcast,
+    /// To a single neighbor.
+    To(NodeId),
+}
+
+/// Collector for the side-effects of one atomic statement (action execution,
+/// message receipt, or neighbor-change handler).
+#[derive(Debug)]
+pub struct Effects<M> {
+    pub(crate) sends: Vec<(SendTarget, M)>,
+    pub(crate) var_changed: bool,
+    pub(crate) mirror_changed: bool,
+}
+
+impl<M> Effects<M> {
+    pub(crate) fn new() -> Self {
+        Effects {
+            sends: Vec::new(),
+            var_changed: false,
+            mirror_changed: false,
+        }
+    }
+
+    /// Sends `msg` to every current neighbor.
+    pub fn broadcast(&mut self, msg: M) {
+        self.sends.push((SendTarget::Broadcast, msg));
+    }
+
+    /// Sends `msg` to one neighbor. Silently dropped by the engine if the
+    /// edge is not up at send time.
+    pub fn send_to(&mut self, to: NodeId, msg: M) {
+        self.sends.push((SendTarget::To(to), msg));
+    }
+
+    /// Notes that a protocol variable changed value. Stabilization time is
+    /// the last instant any node notes a change, so implementations must
+    /// call this for changes to `d`, `p`, containment flags — but *not* for
+    /// neighbor-mirror refreshes.
+    pub fn note_var_change(&mut self) {
+        self.var_changed = true;
+    }
+
+    /// Whether a variable change was noted.
+    pub fn var_changed(&self) -> bool {
+        self.var_changed
+    }
+
+    /// Notes that a *neighbor mirror* changed value. Mirror changes do not
+    /// count toward stabilization time, but they do count as "effective"
+    /// for quiescence detection — a stale mirror refresh can still enable
+    /// future actions.
+    pub fn note_mirror_change(&mut self) {
+        self.mirror_changed = true;
+    }
+
+    /// Whether a mirror change was noted.
+    pub fn mirror_changed(&self) -> bool {
+        self.mirror_changed
+    }
+
+    /// Creates a detached collector, for *composing* protocols: a wrapper
+    /// node (e.g. the multi-destination multiplexer) runs an inner
+    /// protocol against a detached collector and folds the result into its
+    /// own via [`Effects::merge_into`].
+    pub fn detached() -> Self {
+        Effects::new()
+    }
+
+    /// Folds this collector into `outer`, translating each queued message
+    /// with `wrap` and OR-ing the change flags.
+    pub fn merge_into<N>(self, outer: &mut Effects<N>, mut wrap: impl FnMut(M) -> N) {
+        for (target, msg) in self.sends {
+            outer.sends.push((target, wrap(msg)));
+        }
+        outer.var_changed |= self.var_changed;
+        outer.mirror_changed |= self.mirror_changed;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn collects_sends_and_changes() {
+        let mut fx: Effects<u32> = Effects::new();
+        assert!(!fx.var_changed());
+        fx.broadcast(1);
+        fx.send_to(NodeId::new(3), 2);
+        fx.note_var_change();
+        assert_eq!(fx.sends.len(), 2);
+        assert!(fx.var_changed());
+    }
+}

@@ -1,0 +1,733 @@
+//! The discrete-event engine.
+//!
+//! See the crate docs for the model. The engine owns the topology, one
+//! [`ProtocolNode`] per up node, per-node clocks, the event queue and the
+//! execution trace. Faults are injected *between* runs: drive the engine
+//! with [`Engine::run_until`], mutate state/topology through
+//! [`Engine::with_node_mut`] / [`Engine::fail_node`] / etc., then continue.
+
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BTreeSet, BinaryHeap};
+use std::fmt;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use lsrp_graph::{Graph, GraphError, NodeId, RouteTable, Weight};
+
+use crate::clock::Clock;
+use crate::config::EngineConfig;
+use crate::effects::{Effects, SendTarget};
+use crate::node::{ActionId, ProtocolNode};
+use crate::time::SimTime;
+use crate::trace::{ActionRecord, Trace};
+
+/// Minimum spacing enforced between consecutive deliveries on one directed
+/// edge (FIFO tie-breaking for equal sampled delays).
+const FIFO_EPSILON: f64 = 1e-9;
+
+/// Minimum forward progress enforced on clock wakeups (see the comment at
+/// the scheduling site).
+const WAKEUP_EPSILON: f64 = 1e-9;
+
+/// Errors surfaced by engine runs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum EngineError {
+    /// The per-run event budget was exhausted — almost always a zero-hold
+    /// action livelock in the protocol under test.
+    EventBudgetExhausted {
+        /// Simulated time at which the budget ran out.
+        at: SimTime,
+    },
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::EventBudgetExhausted { at } => {
+                write!(f, "event budget exhausted at {at} (action livelock?)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+/// Cumulative counts of processed events by kind — cheap diagnostics for
+/// spotting pathological schedules (e.g. wakeup storms).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EventCounts {
+    /// Message deliveries processed.
+    pub deliveries: u64,
+    /// Guard timers processed (fired or stale).
+    pub guard_timers: u64,
+    /// Guard timers that actually executed an action.
+    pub guard_fires: u64,
+    /// Wakeups processed.
+    pub wakeups: u64,
+}
+
+/// Outcome of a run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RunReport {
+    /// Simulated time when the run stopped.
+    pub end: SimTime,
+    /// Whether the system was quiescent at the end (no in-flight message
+    /// and no enabled guard would ever change state again; for
+    /// window-based detection, nothing effective happened for the settle
+    /// window).
+    pub quiescent: bool,
+    /// The last time an *effective* event occurred (a protocol-variable or
+    /// mirror change, or a non-maintenance action execution).
+    pub last_effective: SimTime,
+    /// Events processed during this run.
+    pub events: u64,
+}
+
+#[derive(Debug)]
+enum Event<M> {
+    Deliver {
+        from: NodeId,
+        to: NodeId,
+        msg: M,
+    },
+    GuardTimer {
+        node: NodeId,
+        action: ActionId,
+        generation: u64,
+    },
+    Wakeup {
+        node: NodeId,
+    },
+}
+
+struct QueueEntry<M> {
+    time: SimTime,
+    seq: u64,
+    event: Event<M>,
+}
+
+impl<M> PartialEq for QueueEntry<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<M> Eq for QueueEntry<M> {}
+impl<M> PartialOrd for QueueEntry<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for QueueEntry<M> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.time.cmp(&other.time).then(self.seq.cmp(&other.seq))
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct GuardTrack {
+    generation: u64,
+    fingerprint: u64,
+}
+
+/// Factory producing a protocol node from its id and initial neighbor map.
+type NodeFactory<P> = Box<dyn FnMut(NodeId, &BTreeMap<NodeId, Weight>) -> P>;
+
+/// The discrete-event simulator for one protocol over one topology.
+pub struct Engine<P: ProtocolNode> {
+    graph: Graph,
+    config: EngineConfig,
+    nodes: BTreeMap<NodeId, P>,
+    clocks: BTreeMap<NodeId, Clock>,
+    queue: BinaryHeap<Reverse<QueueEntry<P::Msg>>>,
+    guards: BTreeMap<NodeId, BTreeMap<ActionId, GuardTrack>>,
+    pending_wakeup: BTreeMap<NodeId, SimTime>,
+    fifo_last: BTreeMap<(NodeId, NodeId), SimTime>,
+    inflight: u64,
+    event_counts: EventCounts,
+    trace: Trace,
+    rng: StdRng,
+    now: SimTime,
+    seq: u64,
+    generation: u64,
+    last_effective: SimTime,
+    factory: NodeFactory<P>,
+}
+
+impl<P: ProtocolNode> fmt::Debug for Engine<P> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Engine")
+            .field("now", &self.now)
+            .field("nodes", &self.nodes.len())
+            .field("inflight", &self.inflight)
+            .field("queued_events", &self.queue.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl<P: ProtocolNode> Engine<P> {
+    /// Creates an engine over `graph`, instantiating one protocol node per
+    /// graph node via `factory` (which receives the node id and its initial
+    /// neighbor/weight map). Guards are evaluated immediately, so actions
+    /// enabled at the initial state start their hold timers at time 0.
+    pub fn new(
+        graph: Graph,
+        config: EngineConfig,
+        factory: impl FnMut(NodeId, &BTreeMap<NodeId, Weight>) -> P + 'static,
+    ) -> Self {
+        config.link.validate();
+        let mut engine = Engine {
+            graph,
+            rng: StdRng::seed_from_u64(config.seed),
+            config,
+            nodes: BTreeMap::new(),
+            clocks: BTreeMap::new(),
+            queue: BinaryHeap::new(),
+            guards: BTreeMap::new(),
+            pending_wakeup: BTreeMap::new(),
+            fifo_last: BTreeMap::new(),
+            inflight: 0,
+            event_counts: EventCounts::default(),
+            trace: Trace::new(),
+            now: SimTime::ZERO,
+            seq: 0,
+            generation: 0,
+            last_effective: SimTime::ZERO,
+            factory: Box::new(factory),
+        };
+        let ids: Vec<NodeId> = engine.graph.nodes().collect();
+        for v in ids {
+            engine.spawn_node(v);
+        }
+        let ids: Vec<NodeId> = engine.graph.nodes().collect();
+        for v in ids {
+            engine.reevaluate(v);
+        }
+        engine
+    }
+
+    fn spawn_node(&mut self, v: NodeId) {
+        let neighbors: BTreeMap<NodeId, Weight> = self.graph.neighbors(v).collect();
+        let node = (self.factory)(v, &neighbors);
+        self.nodes.insert(v, node);
+        self.clocks
+            .insert(v, self.config.clocks.clock_for(v, self.config.seed));
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The current topology.
+    pub fn graph(&self) -> &Graph {
+        self.graph_ref()
+    }
+
+    fn graph_ref(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// The execution trace so far.
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// Clears the trace (counters and records) — typically right after a
+    /// warm-up phase, so measurements cover only the perturbation.
+    pub fn reset_trace(&mut self) {
+        self.trace.reset();
+    }
+
+    /// Read access to a protocol node.
+    pub fn node(&self, v: NodeId) -> Option<&P> {
+        self.nodes.get(&v)
+    }
+
+    /// Mutates a node's state in place (the *state corruption* fault class)
+    /// and re-evaluates its guards. Does nothing for unknown nodes.
+    pub fn with_node_mut(&mut self, v: NodeId, f: impl FnOnce(&mut P)) {
+        if let Some(node) = self.nodes.get_mut(&v) {
+            f(node);
+            self.mark_effective();
+            self.reevaluate(v);
+        }
+    }
+
+    /// The current route table (each node's `(d.v, p.v)`).
+    pub fn route_table(&self) -> RouteTable {
+        self.nodes
+            .iter()
+            .map(|(&v, n)| (v, n.route_entry()))
+            .collect()
+    }
+
+    /// Whether any node is currently involved in a containment wave.
+    pub fn any_in_containment(&self) -> bool {
+        self.nodes.values().any(ProtocolNode::in_containment)
+    }
+
+    /// Number of messages currently in flight.
+    pub fn inflight_messages(&self) -> u64 {
+        self.inflight
+    }
+
+    /// Whether any non-maintenance guard is currently enabled somewhere.
+    pub fn any_enabled_non_maintenance(&self) -> bool {
+        self.guards
+            .values()
+            .any(|g| g.keys().any(|&a| !P::is_maintenance(a)))
+    }
+
+    /// The last time an effective event occurred.
+    pub fn last_effective(&self) -> SimTime {
+        self.last_effective
+    }
+
+    /// Processed-event counts by kind (see [`EventCounts`]).
+    pub fn event_counts(&self) -> EventCounts {
+        self.event_counts
+    }
+
+    // ------------------------------------------------------------------
+    // Topology faults (fail-stop / join / weight change).
+    // ------------------------------------------------------------------
+
+    /// Fail-stops a node: removes it and its edges; neighbors observe the
+    /// change. In-flight messages to or from it are lost.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::MissingNode`] for unknown nodes.
+    pub fn fail_node(&mut self, v: NodeId) -> Result<(), GraphError> {
+        let neighbors: Vec<NodeId> = self.graph.neighbors(v).map(|(n, _)| n).collect();
+        self.graph.remove_node(v)?;
+        self.nodes.remove(&v);
+        self.clocks.remove(&v);
+        self.guards.remove(&v);
+        self.pending_wakeup.remove(&v);
+        self.mark_effective();
+        for n in neighbors {
+            self.notify_neighbors_changed(n);
+        }
+        Ok(())
+    }
+
+    /// Joins a new node with the given edges; it and its neighbors observe
+    /// the change.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`GraphError`] if the node exists or an edge is invalid.
+    pub fn join_node(&mut self, v: NodeId, edges: &[(NodeId, Weight)]) -> Result<(), GraphError> {
+        if self.graph.has_node(v) {
+            return Err(GraphError::DuplicateEdge(v, v));
+        }
+        self.graph.add_node(v);
+        for &(n, w) in edges {
+            if let Err(e) = self.graph.add_edge(v, n, w) {
+                let _ = self.graph.remove_node(v);
+                return Err(e);
+            }
+        }
+        self.spawn_node(v);
+        self.mark_effective();
+        self.notify_neighbors_changed(v);
+        for &(n, _) in edges {
+            self.notify_neighbors_changed(n);
+        }
+        Ok(())
+    }
+
+    /// Fail-stops an edge.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::MissingEdge`] for unknown edges.
+    pub fn fail_edge(&mut self, a: NodeId, b: NodeId) -> Result<(), GraphError> {
+        self.graph.remove_edge(a, b)?;
+        self.mark_effective();
+        self.notify_neighbors_changed(a);
+        self.notify_neighbors_changed(b);
+        Ok(())
+    }
+
+    /// Joins an edge between existing nodes.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`GraphError`] on invalid endpoints/weight.
+    pub fn join_edge(&mut self, a: NodeId, b: NodeId, w: Weight) -> Result<(), GraphError> {
+        if !self.graph.has_node(a) {
+            return Err(GraphError::MissingNode(a));
+        }
+        if !self.graph.has_node(b) {
+            return Err(GraphError::MissingNode(b));
+        }
+        self.graph.add_edge(a, b, w)?;
+        self.mark_effective();
+        self.notify_neighbors_changed(a);
+        self.notify_neighbors_changed(b);
+        Ok(())
+    }
+
+    /// Changes an edge weight.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`GraphError`] for unknown edges or zero weight.
+    pub fn set_weight(&mut self, a: NodeId, b: NodeId, w: Weight) -> Result<(), GraphError> {
+        self.graph.set_weight(a, b, w)?;
+        self.mark_effective();
+        self.notify_neighbors_changed(a);
+        self.notify_neighbors_changed(b);
+        Ok(())
+    }
+
+    fn notify_neighbors_changed(&mut self, v: NodeId) {
+        if !self.nodes.contains_key(&v) {
+            return;
+        }
+        let neighbors: BTreeMap<NodeId, Weight> = self.graph.neighbors(v).collect();
+        let now_local = self.clocks[&v].local(self.now);
+        let mut fx = Effects::new();
+        self.nodes
+            .get_mut(&v)
+            .expect("checked above")
+            .on_neighbors_changed(&neighbors, now_local, &mut fx);
+        self.apply_effects(v, fx, None);
+        self.reevaluate(v);
+    }
+
+    // ------------------------------------------------------------------
+    // Running.
+    // ------------------------------------------------------------------
+
+    /// The time of the earliest queued event, if any.
+    pub fn next_event_time(&self) -> Option<SimTime> {
+        self.queue.peek().map(|Reverse(e)| e.time)
+    }
+
+    /// Processes exactly one event (the earliest) and returns its time —
+    /// the hook fine-grained observers (e.g. the loop monitor checking
+    /// every intermediate state) are built on. Returns `None` when the
+    /// queue is empty.
+    pub fn step(&mut self) -> Option<SimTime> {
+        let Reverse(entry) = self.queue.pop()?;
+        self.now = self.now.max(entry.time);
+        let t = self.now;
+        self.dispatch(entry.event);
+        Some(t)
+    }
+
+    /// Processes all events up to and including `until`, then advances the
+    /// clock to `until`.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::EventBudgetExhausted`] if the configured event budget
+    /// runs out.
+    pub fn run_until(&mut self, until: SimTime) -> Result<RunReport, EngineError> {
+        let mut events = 0u64;
+        while let Some(Reverse(entry)) = self.queue.peek() {
+            if entry.time > until {
+                break;
+            }
+            if events >= self.config.max_events {
+                return Err(EngineError::EventBudgetExhausted { at: self.now });
+            }
+            let Reverse(entry) = self.queue.pop().expect("peeked");
+            self.now = self.now.max(entry.time);
+            self.dispatch(entry.event);
+            events += 1;
+        }
+        self.now = self.now.max(until);
+        Ok(RunReport {
+            end: self.now,
+            quiescent: self.queue.is_empty(),
+            last_effective: self.last_effective,
+            events,
+        })
+    }
+
+    /// Runs until the system settles or `horizon` passes.
+    ///
+    /// With `settle = 0` (appropriate when no periodic maintenance action
+    /// is configured), the run ends when the event queue drains. With
+    /// `settle > 0`, the run ends once no *effective* event (state or
+    /// mirror change, or non-maintenance execution) has occurred for
+    /// `settle` simulated seconds — use a window larger than
+    /// `rho * syn_period + delay_max` so periodic refreshes that change
+    /// nothing do not keep the system "live".
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::EventBudgetExhausted`] if the event budget runs out.
+    pub fn run_to_quiescence(
+        &mut self,
+        horizon: SimTime,
+        settle: f64,
+    ) -> Result<RunReport, EngineError> {
+        let mut events = 0u64;
+        loop {
+            let Some(Reverse(next)) = self.queue.peek() else {
+                // Queue drained: truly quiescent.
+                return Ok(RunReport {
+                    end: self.now,
+                    quiescent: true,
+                    last_effective: self.last_effective,
+                    events,
+                });
+            };
+            if settle > 0.0
+                && next.time.seconds() > self.last_effective.seconds() + settle
+                && !self.any_enabled_non_maintenance()
+            {
+                // Nothing effective for a whole settle window and no
+                // (possibly long-hold) protocol action pending: any
+                // remaining events are maintenance refreshes whose
+                // payloads already match the receivers' mirrors (a
+                // divergent mirror would have produced an effective
+                // refresh within the window — callers must use
+                // settle > rho * syn_period + delay_max).
+                self.now = self.now.max(self.last_effective + settle);
+                return Ok(RunReport {
+                    end: self.now,
+                    quiescent: true,
+                    last_effective: self.last_effective,
+                    events,
+                });
+            }
+            if next.time > horizon {
+                self.now = horizon;
+                return Ok(RunReport {
+                    end: self.now,
+                    quiescent: false,
+                    last_effective: self.last_effective,
+                    events,
+                });
+            }
+            if events >= self.config.max_events {
+                return Err(EngineError::EventBudgetExhausted { at: self.now });
+            }
+            let Reverse(entry) = self.queue.pop().expect("peeked");
+            self.now = self.now.max(entry.time);
+            self.dispatch(entry.event);
+            events += 1;
+        }
+    }
+
+    fn dispatch(&mut self, event: Event<P::Msg>) {
+        match event {
+            Event::Deliver { from, to, msg } => {
+                self.event_counts.deliveries += 1;
+                self.inflight -= 1;
+                if !self.graph.has_edge(from, to) || !self.nodes.contains_key(&to) {
+                    self.trace.messages_dropped += 1;
+                    return;
+                }
+                self.trace.messages_delivered += 1;
+                let now_local = self.clocks[&to].local(self.now);
+                let mut fx = Effects::new();
+                self.nodes
+                    .get_mut(&to)
+                    .expect("checked above")
+                    .on_receive(from, &msg, now_local, &mut fx);
+                self.apply_effects(to, fx, None);
+                self.reevaluate(to);
+            }
+            Event::GuardTimer {
+                node,
+                action,
+                generation,
+            } => {
+                self.event_counts.guard_timers += 1;
+                let Some(track) = self.guards.get(&node).and_then(|g| g.get(&action)) else {
+                    return; // guard was disabled in the meantime
+                };
+                if track.generation != generation {
+                    return; // guard was disabled and re-enabled later
+                }
+                // Continuously enabled for the hold-time: execute.
+                self.event_counts.guard_fires += 1;
+                self.guards.get_mut(&node).expect("tracked").remove(&action);
+                let now_local = self.clocks[&node].local(self.now);
+                let mut fx = Effects::new();
+                self.nodes
+                    .get_mut(&node)
+                    .expect("tracked node exists")
+                    .execute(action, now_local, &mut fx);
+                self.apply_effects(node, fx, Some(action));
+                self.reevaluate(node);
+            }
+            Event::Wakeup { node } => {
+                self.event_counts.wakeups += 1;
+                // Only the wakeup matching the pending schedule is live;
+                // anything else is a stale duplicate (superseded by an
+                // earlier re-request) and must NOT re-evaluate — a stale
+                // wakeup that re-evaluates pushes yet another wakeup, and
+                // duplicates then multiply exponentially (a "wakeup
+                // storm", caught by the determinism test under drifting
+                // clocks).
+                match self.pending_wakeup.get(&node) {
+                    Some(&t) if t == self.now => {
+                        self.pending_wakeup.remove(&node);
+                        if self.nodes.contains_key(&node) {
+                            self.reevaluate(node);
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+
+    fn apply_effects(&mut self, from: NodeId, fx: Effects<P::Msg>, action: Option<ActionId>) {
+        let effective =
+            fx.var_changed || fx.mirror_changed || action.is_some_and(|a| !P::is_maintenance(a));
+        if let Some(a) = action {
+            self.trace.record_action(
+                ActionRecord {
+                    time: self.now,
+                    node: from,
+                    action: a,
+                    name: P::action_name(a),
+                    maintenance: P::is_maintenance(a),
+                    var_changed: fx.var_changed,
+                },
+                self.config.record_trace,
+            );
+        } else if fx.var_changed {
+            self.trace.record_receive_change(self.now, from);
+        }
+        if effective {
+            self.mark_effective();
+        }
+        for (target, msg) in fx.sends {
+            match target {
+                SendTarget::Broadcast => {
+                    let neighbors: Vec<NodeId> =
+                        self.graph.neighbors(from).map(|(n, _)| n).collect();
+                    for n in neighbors {
+                        self.schedule_delivery(from, n, msg.clone());
+                    }
+                }
+                SendTarget::To(n) => {
+                    if self.graph.has_edge(from, n) {
+                        self.schedule_delivery(from, n, msg.clone());
+                    }
+                }
+            }
+        }
+    }
+
+    fn schedule_delivery(&mut self, from: NodeId, to: NodeId, msg: P::Msg) {
+        self.trace.messages_sent += 1;
+        *self.trace.sent_counts.entry(from).or_insert(0) += 1;
+        if self.config.link.loss_probability > 0.0
+            && self.rng.gen_bool(self.config.link.loss_probability)
+        {
+            self.trace.messages_dropped += 1;
+            return;
+        }
+        let delay = if self.config.link.delay_min == self.config.link.delay_max {
+            self.config.link.delay_min
+        } else {
+            self.rng
+                .gen_range(self.config.link.delay_min..=self.config.link.delay_max)
+        };
+        let mut at = self.now + delay;
+        if self.config.link.fifo {
+            if let Some(&last) = self.fifo_last.get(&(from, to)) {
+                if at <= last {
+                    at = last + FIFO_EPSILON;
+                }
+            }
+            self.fifo_last.insert((from, to), at);
+        }
+        self.inflight += 1;
+        self.push(at, Event::Deliver { from, to, msg });
+    }
+
+    fn push(&mut self, time: SimTime, event: Event<P::Msg>) {
+        self.seq += 1;
+        self.queue.push(Reverse(QueueEntry {
+            time,
+            seq: self.seq,
+            event,
+        }));
+    }
+
+    fn mark_effective(&mut self) {
+        self.last_effective = self.now;
+    }
+
+    /// Re-evaluates the guards of `v` against its current state, updating
+    /// continuous-enablement tracking and (re)scheduling hold timers and
+    /// wakeups.
+    fn reevaluate(&mut self, v: NodeId) {
+        let Some(node) = self.nodes.get(&v) else {
+            return;
+        };
+        let clock = self.clocks[&v];
+        let now_local = clock.local(self.now);
+        let set = node.enabled_actions(now_local);
+        let enabled_ids: BTreeSet<ActionId> = set.actions.iter().map(|&(id, _)| id).collect();
+        let tracked = self.guards.entry(v).or_default();
+        // An action stays "continuously enabled" only while its guard is
+        // true AND its fingerprint (the values the guard witnesses) is
+        // unchanged; otherwise the hold restarts.
+        tracked.retain(|id, track| {
+            enabled_ids.contains(id)
+                && set
+                    .fingerprints
+                    .get(id)
+                    .copied()
+                    .unwrap_or(track.fingerprint)
+                    == track.fingerprint
+        });
+        let mut to_schedule: Vec<(ActionId, SimTime, u64)> = Vec::new();
+        for (id, hold) in set.actions {
+            if let std::collections::btree_map::Entry::Vacant(e) = tracked.entry(id) {
+                self.generation += 1;
+                let generation = self.generation;
+                let fingerprint = set.fingerprints.get(&id).copied().unwrap_or(0);
+                e.insert(GuardTrack {
+                    generation,
+                    fingerprint,
+                });
+                let fire = self.now + clock.real_duration(hold.max(0.0));
+                to_schedule.push((id, fire, generation));
+            }
+        }
+        for (id, fire, generation) in to_schedule {
+            self.push(
+                fire,
+                Event::GuardTimer {
+                    node: v,
+                    action: id,
+                    generation,
+                },
+            );
+        }
+        if let Some(wl) = set.wakeup_local {
+            // Strictly in the future: when the requested local reading is
+            // within one f64 ulp of "now", the guard can evaluate
+            // not-yet-due while the real-time conversion rounds to now —
+            // an infinite zero-progress wakeup loop unless we force a
+            // minimal advance.
+            let mut t = clock.real_time_at_local(wl, self.now);
+            if t <= self.now {
+                t = self.now + WAKEUP_EPSILON;
+            }
+            let earlier_pending = self
+                .pending_wakeup
+                .get(&v)
+                .is_some_and(|&pending| pending <= t && pending > self.now);
+            if !earlier_pending {
+                self.pending_wakeup.insert(v, t);
+                self.push(t, Event::Wakeup { node: v });
+            }
+        }
+    }
+}

@@ -1,0 +1,56 @@
+//! Discrete-event message-passing simulator implementing the paper's system
+//! and computation model (§II).
+//!
+//! The model this engine realizes:
+//!
+//! * **Nodes with local clocks.** Each node has a clock; the ratio of clock
+//!   speeds between any two neighbors is bounded by `rho`
+//!   ([`ClockConfig`]). Guard hold-times elapse on the *local* clock.
+//! * **Guarded actions with hold-times.** A protocol is a set of actions
+//!   `guard --hold--> statement`. An action executes at time `t` only if its
+//!   guard was continuously enabled from `t - hold` to `t` (measured on the
+//!   node's clock); the statement runs atomically and may broadcast
+//!   messages. The engine re-evaluates guards after every local state
+//!   change and tracks continuous enablement exactly.
+//! * **Reliable FIFO links with bounded delay.** Message delay is drawn
+//!   uniformly from `[delay_min, delay_max]` per message
+//!   ([`LinkConfig`]), with per-directed-edge FIFO ordering enforced (see
+//!   DESIGN.md for why mirror convergence needs it).
+//! * **Dynamic topology.** Nodes and edges can fail-stop and join at
+//!   runtime; in-flight messages on dead links are lost; nodes observe
+//!   neighbor-set changes (the usual link-layer detection assumption).
+//!
+//! Protocols implement [`ProtocolNode`]; the engine ([`Engine`]) owns a
+//! topology, a node instance per up node, the event queue and an execution
+//! [`Trace`] used by the analysis crate to measure stabilization time and
+//! contamination.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod clock;
+pub mod config;
+pub mod effects;
+pub mod engine;
+pub mod node;
+pub mod time;
+pub mod trace;
+
+#[doc(hidden)]
+pub mod test_support {
+    //! Helpers for unit-testing `ProtocolNode` implementations outside the
+    //! engine (constructing an [`crate::Effects`] directly).
+
+    /// Creates an empty effects collector.
+    pub fn effects<M>() -> crate::Effects<M> {
+        crate::Effects::new()
+    }
+}
+
+pub use crate::clock::{Clock, ClockConfig};
+pub use crate::config::{EngineConfig, LinkConfig};
+pub use crate::effects::Effects;
+pub use crate::engine::{Engine, EngineError, EventCounts, RunReport};
+pub use crate::node::{ActionId, EnabledSet, ProtocolNode};
+pub use crate::time::SimTime;
+pub use crate::trace::{ActionRecord, Trace};

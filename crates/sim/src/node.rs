@@ -1,0 +1,206 @@
+//! The protocol-node abstraction: guarded actions with hold-times.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use lsrp_graph::{NodeId, RouteEntry, Weight};
+
+use crate::effects::Effects;
+
+/// Identifies one (possibly parameterized) guarded action of a protocol.
+///
+/// LSRP's action `S2`, for instance, is parameterized by the neighbor `k`
+/// the stabilization wave would be propagated from; each `(S2, k)` pair
+/// tracks its own continuous-enablement interval.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ActionId {
+    /// Protocol-defined action kind (e.g. "S2").
+    pub kind: u8,
+    /// Protocol-instance tag, for multiplexed protocols (e.g. one LSRP
+    /// instance per destination); 0 for single-instance protocols.
+    pub instance: u32,
+    /// Optional node parameter.
+    pub param: Option<NodeId>,
+}
+
+impl ActionId {
+    /// An unparameterized action.
+    pub const fn plain(kind: u8) -> Self {
+        ActionId {
+            kind,
+            instance: 0,
+            param: None,
+        }
+    }
+
+    /// An action parameterized by a neighbor.
+    pub const fn with_param(kind: u8, param: NodeId) -> Self {
+        ActionId {
+            kind,
+            instance: 0,
+            param: Some(param),
+        }
+    }
+
+    /// Retags this action with a protocol-instance id (builder style).
+    #[must_use]
+    pub const fn for_instance(mut self, instance: u32) -> Self {
+        self.instance = instance;
+        self
+    }
+}
+
+impl fmt::Display for ActionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.instance != 0 {
+            write!(f, "[{}]", self.instance)?;
+        }
+        match self.param {
+            Some(p) => write!(f, "#{}({p})", self.kind),
+            None => write!(f, "#{}", self.kind),
+        }
+    }
+}
+
+/// What a node reports when its guards are (re-)evaluated.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct EnabledSet {
+    /// Currently enabled actions with their guard hold-times (in *local
+    /// clock* units). The engine executes an action once it has been
+    /// continuously enabled for its hold-time.
+    pub actions: Vec<(ActionId, f64)>,
+    /// Optional guard *fingerprints*: when an enabled action's fingerprint
+    /// differs from the one recorded when its hold started, the engine
+    /// restarts the hold — the guard is "the same" only while the values
+    /// it witnesses are. This models route-advertisement timers that
+    /// re-arm when the candidate route changes (BGP's
+    /// MinRouteAdvertisementInterval behaves this way), and is what makes
+    /// LSRP's loop freedom robust to mid-hold mirror updates (DESIGN.md
+    /// §5). Actions without a fingerprint never restart.
+    pub fingerprints: std::collections::BTreeMap<ActionId, u64>,
+    /// If some guard is a function of the local clock (e.g. LSRP's
+    /// periodic `SYN1`), the earliest local-clock reading at which guards
+    /// should be re-evaluated even if no event arrives.
+    pub wakeup_local: Option<f64>,
+}
+
+impl EnabledSet {
+    /// An empty set (nothing enabled, no wakeup).
+    pub fn none() -> Self {
+        EnabledSet::default()
+    }
+
+    /// Adds an enabled action (builder style).
+    pub fn enable(&mut self, id: ActionId, hold_local: f64) -> &mut Self {
+        self.actions.push((id, hold_local));
+        self
+    }
+
+    /// Adds an enabled action whose hold restarts whenever `fingerprint`
+    /// changes between guard evaluations.
+    pub fn enable_with_fingerprint(
+        &mut self,
+        id: ActionId,
+        hold_local: f64,
+        fingerprint: u64,
+    ) -> &mut Self {
+        self.actions.push((id, hold_local));
+        self.fingerprints.insert(id, fingerprint);
+        self
+    }
+
+    /// Requests a wakeup at the given local-clock reading (keeps the
+    /// earliest if called repeatedly).
+    pub fn wake_at(&mut self, local: f64) -> &mut Self {
+        self.wakeup_local = Some(match self.wakeup_local {
+            Some(w) => w.min(local),
+            None => local,
+        });
+        self
+    }
+}
+
+/// A protocol's per-node state machine.
+///
+/// Implementations hold the node's variables (including neighbor mirrors)
+/// and express the protocol as guarded actions. The engine guarantees:
+///
+/// * [`ProtocolNode::enabled_actions`] is called after every local state
+///   change (action execution, message receipt, neighbor change, wakeup);
+/// * an action is executed only after its guard was continuously enabled
+///   for its hold-time on the local clock;
+/// * [`ProtocolNode::on_receive`] runs atomically per message;
+/// * statements' sends are delivered reliably (while the edge stays up)
+///   with bounded delay and per-edge FIFO order.
+pub trait ProtocolNode {
+    /// Message payload exchanged between neighbors.
+    type Msg: Clone + fmt::Debug;
+
+    /// Evaluates all guards against the current state. `now_local` is the
+    /// node's clock reading.
+    fn enabled_actions(&self, now_local: f64) -> EnabledSet;
+
+    /// Executes the statement of `action` atomically. Implementations must
+    /// call [`Effects::note_var_change`] whenever a *protocol variable*
+    /// (for routing: distance, parent, containment flag) changes value —
+    /// this is what stabilization-time measurement keys on.
+    fn execute(&mut self, action: ActionId, now_local: f64, fx: &mut Effects<Self::Msg>);
+
+    /// Handles a received message (a zero-hold receive action).
+    fn on_receive(
+        &mut self,
+        from: NodeId,
+        msg: &Self::Msg,
+        now_local: f64,
+        fx: &mut Effects<Self::Msg>,
+    );
+
+    /// Informs the node of its current neighbor set (called once at start
+    /// and again after every topology change affecting it). Implementations
+    /// should drop mirrors of vanished neighbors.
+    fn on_neighbors_changed(
+        &mut self,
+        neighbors: &BTreeMap<NodeId, Weight>,
+        now_local: f64,
+        fx: &mut Effects<Self::Msg>,
+    );
+
+    /// The node's current problem-specific variables `(d.v, p.v)`.
+    fn route_entry(&self) -> RouteEntry;
+
+    /// Whether the node is currently involved in a containment wave
+    /// (`ghost.v` for LSRP; `false` for protocols without containment).
+    fn in_containment(&self) -> bool {
+        false
+    }
+
+    /// Human-readable name of an action kind (for traces and timelines).
+    fn action_name(action: ActionId) -> &'static str;
+
+    /// Maintenance actions (LSRP's `SYN1`) are excluded from contamination
+    /// accounting, matching the paper's examples which count only
+    /// `S1/S2/C1/C2/SC` executions.
+    fn is_maintenance(action: ActionId) -> bool;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn action_id_display() {
+        assert_eq!(ActionId::plain(3).to_string(), "#3");
+        assert_eq!(
+            ActionId::with_param(2, NodeId::new(7)).to_string(),
+            "#2(v7)"
+        );
+    }
+
+    #[test]
+    fn enabled_set_builder() {
+        let mut s = EnabledSet::none();
+        s.enable(ActionId::plain(1), 2.0).wake_at(9.0).wake_at(5.0);
+        assert_eq!(s.actions.len(), 1);
+        assert_eq!(s.wakeup_local, Some(5.0));
+    }
+}

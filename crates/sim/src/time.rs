@@ -1,0 +1,119 @@
+//! Simulated time.
+//!
+//! Time is a non-negative `f64` in abstract "seconds". All comparisons go
+//! through [`f64::total_cmp`], making [`SimTime`] totally ordered so it can
+//! key the event queue deterministically.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A point in simulated time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimTime(f64);
+
+impl SimTime {
+    /// Time zero (simulation start).
+    pub const ZERO: SimTime = SimTime(0.0);
+
+    /// Creates a time from raw seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seconds` is NaN or negative.
+    pub fn new(seconds: f64) -> Self {
+        assert!(
+            seconds >= 0.0 && !seconds.is_nan(),
+            "sim time must be a non-negative number, got {seconds}"
+        );
+        SimTime(seconds)
+    }
+
+    /// Raw seconds.
+    pub const fn seconds(self) -> f64 {
+        self.0
+    }
+
+    /// Elapsed seconds since `earlier` (saturating at 0).
+    pub fn since(self, earlier: SimTime) -> f64 {
+        (self.0 - earlier.0).max(0.0)
+    }
+}
+
+impl Eq for SimTime {}
+
+impl PartialOrd for SimTime {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for SimTime {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+impl Add<f64> for SimTime {
+    type Output = SimTime;
+
+    fn add(self, rhs: f64) -> SimTime {
+        SimTime::new(self.0 + rhs)
+    }
+}
+
+impl AddAssign<f64> for SimTime {
+    fn add_assign(&mut self, rhs: f64) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for SimTime {
+    type Output = f64;
+
+    fn sub(self, rhs: SimTime) -> f64 {
+        self.0 - rhs.0
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}s", self.0)
+    }
+}
+
+impl Default for SimTime {
+    fn default() -> Self {
+        SimTime::ZERO
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_is_total_and_sane() {
+        let a = SimTime::new(1.0);
+        let b = SimTime::new(2.0);
+        assert!(a < b);
+        assert_eq!(a.max(b), b);
+        assert_eq!(SimTime::ZERO, SimTime::default());
+    }
+
+    #[test]
+    fn arithmetic() {
+        let t = SimTime::new(1.5) + 0.5;
+        assert_eq!(t, SimTime::new(2.0));
+        assert_eq!(t - SimTime::new(0.5), 1.5);
+        assert_eq!(SimTime::new(1.0).since(SimTime::new(3.0)), 0.0);
+        let mut u = SimTime::ZERO;
+        u += 2.0;
+        assert_eq!(u.seconds(), 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_time_panics() {
+        let _ = SimTime::new(-1.0);
+    }
+}

@@ -1,0 +1,58 @@
+//! Full routing tables: every node routes to every other node — one LSRP
+//! instance per destination multiplexed over the shared links — and a
+//! corrupted router perturbs each destination tree locally and
+//! concurrently.
+//!
+//! Run with `cargo run --release --example full_mesh_routing`.
+
+use lsrp::graph::{generators, Distance, NodeId};
+use lsrp::multi::MultiLsrpSimulation;
+
+fn main() {
+    let graph = generators::grid(5, 5, 1);
+    let destinations: Vec<NodeId> = graph.nodes().collect();
+    let n = destinations.len();
+    println!("all-pairs routing on a 5x5 grid: {n} destination trees\n");
+
+    let mut sim = MultiLsrpSimulation::builder(graph, destinations).build();
+    let report = sim.run_to_quiescence(1_000.0);
+    assert!(report.quiescent && sim.all_routes_correct());
+    println!("all {n} trees correct at start; 0 actions executed");
+
+    // A router's whole routing table is corrupted: every instance now
+    // claims distance 0 (an all-prefix hijack).
+    let victim = NodeId::new(12);
+    println!(
+        "\ncorrupting {victim}'s entire routing table (d := 0 toward all {n} destinations)..."
+    );
+    sim.corrupt_all_instances(victim, |_| (Distance::ZERO, victim));
+
+    let t0 = sim.now();
+    sim.engine_mut().reset_trace();
+    let report = sim.run_to_quiescence(100_000.0);
+    assert!(report.quiescent);
+
+    let acted = sim.engine().trace().acted_nodes_since(t0);
+    let actions = sim.engine().trace().total_actions();
+    println!(
+        "recovered in {:.0} simulated seconds: {} actions, all at {} node(s): {:?}",
+        report.last_effective.since(t0),
+        actions,
+        acted.len(),
+        acted
+    );
+    println!("all {n} trees correct again: {}", sim.all_routes_correct());
+
+    // Show one recovered row of the table.
+    print!("\n{victim}'s recovered table (first 6 destinations): ");
+    for &d in sim.destinations().iter().take(6) {
+        let e = sim
+            .engine()
+            .node(victim)
+            .unwrap()
+            .route_entry_for(d)
+            .unwrap();
+        print!("→{d}:{e} ");
+    }
+    println!();
+}

@@ -1,0 +1,48 @@
+//! Quickstart: build an LSRP network, corrupt a node, watch local
+//! stabilization happen.
+//!
+//! Run with `cargo run --example quickstart`.
+
+use lsrp::analysis::timeline::render_timeline;
+use lsrp::core::LsrpSimulation;
+use lsrp::graph::{generators, Distance, NodeId};
+
+fn main() {
+    // A 6x6 grid routing toward the corner node v0.
+    let destination = NodeId::new(0);
+    let graph = generators::grid(6, 6, 1);
+    let mut sim = LsrpSimulation::builder(graph, destination).build();
+
+    // The network starts at a legitimate state: nothing to do.
+    let report = sim.run_to_quiescence(1_000.0);
+    assert!(report.quiescent);
+    println!(
+        "steady state reached; routes correct: {}",
+        sim.routes_correct()
+    );
+
+    // Corrupt the distance of the center node to 0 — it now claims to be
+    // as close to the destination as the destination itself, the classic
+    // black-hole misconfiguration.
+    let victim = NodeId::new(14);
+    println!("\ncorrupting d.{victim} := 0 ...");
+    sim.corrupt_distance(victim, Distance::ZERO);
+
+    let report = sim.run_to_quiescence(10_000.0);
+    println!(
+        "stabilized: quiescent={} routes_correct={} (simulated {}s)",
+        report.quiescent,
+        sim.routes_correct(),
+        report.last_effective
+    );
+
+    // LSRP's containment wave fixed the corruption at the victim itself:
+    // the timeline shows actions at v14 only.
+    println!(
+        "\nwho executed protocol actions:\n{}",
+        render_timeline(sim.engine().trace())
+    );
+
+    let entry = sim.route_table().entry(victim).expect("victim is up");
+    println!("v14's route: {entry}");
+}

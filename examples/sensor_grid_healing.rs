@@ -1,0 +1,76 @@
+//! Self-healing in a wireless-sensor-style network (§VI-A of the paper):
+//! a dense random-geometric topology collects data toward a sink; nodes
+//! die and join, and LSRP heals routes locally each time.
+//!
+//! Run with `cargo run --example sensor_grid_healing`.
+
+use lsrp::core::LsrpSimulation;
+use lsrp::graph::{generators, NodeId};
+use lsrp_sim::SimTime;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(2026);
+    // 80 sensors scattered in the unit square; radios reach 0.18.
+    let graph = generators::random_geometric(80, 0.18, &mut rng);
+    let sink = NodeId::new(0);
+    println!(
+        "sensor field: {} nodes, {} links, hop diameter {:?}",
+        graph.node_count(),
+        graph.edge_count(),
+        graph.hop_diameter()
+    );
+
+    let mut sim = LsrpSimulation::builder(graph, sink).build();
+    sim.run_to_quiescence(10_000.0);
+    assert!(sim.routes_correct());
+
+    // Batteries die: kill five random sensors, one by one.
+    let mut alive: Vec<NodeId> = sim.graph().nodes().filter(|&v| v != sink).collect();
+    for round in 0..5 {
+        let idx = rng.gen_range(0..alive.len());
+        let dead = alive.swap_remove(idx);
+        let t0 = sim.now();
+        sim.engine_mut().reset_trace();
+        sim.fail_node(dead).expect("sensor was alive");
+        let report = sim.run_to_quiescence(100_000.0);
+        let acted = sim.engine().trace().acted_nodes_since(t0);
+        println!(
+            "round {round}: {dead} died -> healed in {:>6.1}s, {} nodes adjusted, routes correct: {}",
+            report.last_effective.since(t0),
+            acted.len(),
+            sim.routes_correct(),
+        );
+    }
+
+    // A maintenance crew adds a fresh sensor near the sink.
+    let new_id = NodeId::new(1_000);
+    let neighbors: Vec<_> = sim
+        .graph()
+        .neighbors(sink)
+        .take(2)
+        .map(|(k, _)| (k, 1))
+        .chain(std::iter::once((sink, 1)))
+        .collect();
+    sim.engine_mut().reset_trace();
+    let t0 = sim.now();
+    sim.join_node(new_id, &neighbors).expect("fresh id");
+    let report = sim.run_to_quiescence(100_000.0);
+    let entry = sim.route_table().entry(new_id).expect("joined");
+    println!(
+        "\njoined {new_id} next to the sink -> integrated in {:.1}s with route {entry}",
+        report.last_effective.since(t0)
+    );
+    assert!(sim.routes_correct());
+
+    // Final health check: every sensor routes to the sink on a shortest
+    // path, and the network is quiescent.
+    println!(
+        "\nfinal: {} sensors, routes correct: {}, quiescent: {}",
+        sim.graph().node_count(),
+        sim.routes_correct(),
+        report.quiescent
+    );
+    let _ = SimTime::ZERO;
+}

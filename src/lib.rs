@@ -1,0 +1,41 @@
+//! # lsrp — Local Stabilization in Shortest Path Routing
+//!
+//! A from-scratch Rust reproduction of *Arora & Zhang, "LSRP: Local
+//! Stabilization in Shortest Path Routing" (DSN 2003)*.
+//!
+//! This facade crate re-exports the whole workspace so examples, integration
+//! tests and downstream users can depend on a single crate:
+//!
+//! * [`graph`] — topologies, shortest paths, and the paper's §III concepts
+//!   (perturbation size, dependent sets, contamination range).
+//! * [`sim`] — the discrete-event message-passing engine with drifting
+//!   clocks, bounded link delays and guard hold-time action semantics.
+//! * [`core`] — the LSRP protocol itself (stabilization / containment /
+//!   super-containment waves).
+//! * [`baselines`] — distributed Bellman-Ford and DUAL-lite comparators.
+//! * [`faults`] — fault injection: corruption, fail-stop, join, churn,
+//!   loop injection, continuous faults.
+//! * [`analysis`] — metrics and the experiment harness regenerating the
+//!   paper's figures and claims.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use lsrp::core::LsrpSimulation;
+//! use lsrp::graph::generators;
+//! use lsrp::graph::NodeId;
+//!
+//! let graph = generators::grid(4, 4, 1);
+//! let mut sim = LsrpSimulation::builder(graph, NodeId::new(0)).build();
+//! let report = sim.run_to_quiescence(10_000.0);
+//! assert!(report.quiescent);
+//! assert!(sim.route_table().is_correct(sim.graph(), NodeId::new(0)));
+//! ```
+
+pub use lsrp_analysis as analysis;
+pub use lsrp_baselines as baselines;
+pub use lsrp_core as core;
+pub use lsrp_faults as faults;
+pub use lsrp_graph as graph;
+pub use lsrp_multi as multi;
+pub use lsrp_sim as sim;

@@ -1,0 +1,81 @@
+//! Multi-destination end-to-end: the full-routing-table composition keeps
+//! LSRP's guarantees per destination tree, concurrently.
+
+use lsrp::graph::{generators, Distance, NodeId};
+use lsrp::multi::MultiLsrpSimulation;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn v(i: u32) -> NodeId {
+    NodeId::new(i)
+}
+
+#[test]
+fn all_pairs_on_a_weighted_random_graph() {
+    let mut rng = StdRng::seed_from_u64(404);
+    let graph = generators::connected_erdos_renyi(18, 0.12, 4, &mut rng);
+    let destinations: Vec<NodeId> = graph.nodes().collect();
+    let mut sim = MultiLsrpSimulation::builder(graph, destinations).build();
+    let report = sim.run_to_quiescence(10_000.0);
+    assert!(report.quiescent);
+    assert!(sim.all_routes_correct());
+    assert_eq!(sim.engine().trace().total_actions(), 0);
+}
+
+#[test]
+fn concurrent_perturbations_of_different_trees_stay_independent() {
+    let graph = generators::grid(6, 6, 1);
+    let dests = vec![v(0), v(35)];
+    let mut sim = MultiLsrpSimulation::builder(graph, dests).build();
+    sim.engine_mut().reset_trace();
+
+    // Opposite corners' trees corrupted at different nodes simultaneously.
+    sim.corrupt_distance(v(7), v(0), Distance::ZERO);
+    sim.corrupt_distance(v(28), v(35), Distance::ZERO);
+    let report = sim.run_to_quiescence(100_000.0);
+    assert!(report.quiescent);
+    assert!(sim.all_routes_correct());
+
+    // Each instance's actions stayed at its own corrupted node.
+    for r in &sim.engine().trace().actions {
+        match r.action.instance {
+            1 => assert_eq!(r.node, v(7), "v0-tree action strayed: {r:?}"),
+            36 => assert_eq!(r.node, v(28), "v35-tree action strayed: {r:?}"),
+            other => panic!("unexpected instance tag {other}: {r:?}"),
+        }
+    }
+}
+
+#[test]
+fn random_table_corruption_storm_across_trees() {
+    let mut rng = StdRng::seed_from_u64(7_777);
+    let graph = generators::grid(5, 5, 1);
+    let dests: Vec<NodeId> = graph.nodes().step_by(3).collect();
+    let mut sim = MultiLsrpSimulation::builder(graph.clone(), dests.clone()).build();
+    for round in 0..8 {
+        let nodes: Vec<NodeId> = graph.nodes().collect();
+        let victim = nodes[rng.gen_range(0..nodes.len())];
+        let dest = dests[rng.gen_range(0..dests.len())];
+        sim.corrupt_distance(victim, dest, Distance::Finite(rng.gen_range(0..30)));
+        let report = sim.run_to_quiescence(1_000_000.0);
+        assert!(report.quiescent, "round {round}");
+        assert!(sim.all_routes_correct(), "round {round}");
+    }
+}
+
+#[test]
+fn link_failure_heals_every_tree_simultaneously() {
+    let graph = generators::ring(12, 1);
+    let dests: Vec<NodeId> = graph.nodes().collect();
+    let mut sim = MultiLsrpSimulation::builder(graph, dests).build();
+    sim.fail_edge(v(0), v(11)).unwrap();
+    let report = sim.run_to_quiescence(1_000_000.0);
+    assert!(report.quiescent);
+    assert!(sim.all_routes_correct());
+    // The ring is now a path: v0..v11 distances reflect that in, e.g.,
+    // the v0 tree.
+    assert_eq!(
+        sim.route_table_for(v(0)).entry(v(11)).unwrap().distance,
+        Distance::Finite(11)
+    );
+}

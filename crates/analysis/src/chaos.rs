@@ -1,0 +1,428 @@
+//! Chaos campaigns: seeded adversarial runs judged by online monitors.
+//!
+//! A *campaign* replays N independent chaos runs against one topology.
+//! Each run derives everything — the stochastic fault schedule (via
+//! [`lsrp_faults::FaultProcess`]), the engine's link-delay and loss
+//! randomness, and hence every monitor verdict — from a single `u64`
+//! seed, so:
+//!
+//! * the same seed reproduces the same violations **byte for byte** (the
+//!   campaign [`report`](ChaosCampaign::report) is deterministic text);
+//! * a violating run can be handed to [`minimize_run`], which replays
+//!   candidate subsequences under the original seed and ddmin-shrinks the
+//!   schedule to a 1-minimal reproduction;
+//! * the shrunken reproduction serializes as a [`ReproCase`] — a small
+//!   text artifact embedding topology spec, seed and schedule — suitable
+//!   for checking in as a regression test and replaying with
+//!   [`replay_repro`].
+//!
+//! The run protocol: build the simulation with the run's seed, let it
+//! reach its fault-free fixpoint (monitors must judge *recovery*, not
+//! cold-start convergence), then drive the fault schedule one engine
+//! event at a time through [`run_monitored`] with the
+//! [`standard_monitors`] set.
+
+use std::fmt::Write as _;
+
+use lsrp_core::LsrpSimulation;
+use lsrp_faults::{FaultProcess, FaultSchedule, ScheduleParseError};
+use lsrp_graph::{Graph, NodeId};
+use lsrp_sim::EngineConfig;
+
+use crate::monitor::{run_monitored, standard_monitors, MonitorReport, Violation};
+
+/// Everything one chaos run needs besides its seed.
+#[derive(Debug, Clone)]
+pub struct ChaosConfig {
+    /// The stochastic fault process generating each run's schedule.
+    pub process: FaultProcess,
+    /// Faults are drawn within this many seconds after initial
+    /// convergence.
+    pub fault_window: f64,
+    /// Hard stop for each run (simulated seconds).
+    pub horizon: f64,
+    /// Link/clock configuration shared by all runs (the per-run seed is
+    /// substituted in).
+    pub engine: EngineConfig,
+    /// Optional wave-timing override, applied *without* the builder's
+    /// wave-speed validation. `None` uses the default (paper) timing.
+    /// Setting a deliberately broken hierarchy (e.g. `hd_c >= hd_s`) is
+    /// how the harness proves the wave-order monitor catches
+    /// misconfiguration.
+    pub timing: Option<lsrp_core::TimingConfig>,
+}
+
+impl Default for ChaosConfig {
+    fn default() -> Self {
+        ChaosConfig {
+            process: FaultProcess::standard(),
+            fault_window: 600.0,
+            horizon: 100_000.0,
+            engine: EngineConfig::default(),
+            timing: None,
+        }
+    }
+}
+
+/// One completed chaos run.
+#[derive(Debug, Clone)]
+pub struct ChaosRun {
+    /// The run's seed (schedule generation and engine randomness).
+    pub seed: u64,
+    /// The generated fault schedule (absolute sim times).
+    pub schedule: FaultSchedule,
+    /// The monitored outcome.
+    pub report: MonitorReport,
+}
+
+impl ChaosRun {
+    /// Whether any monitor fired.
+    pub fn violating(&self) -> bool {
+        !self.report.violations.is_empty()
+    }
+}
+
+/// A finished campaign over one topology.
+#[derive(Debug, Clone)]
+pub struct ChaosCampaign {
+    /// Topology spec string (opaque here; the CLI resolves it).
+    pub topology: String,
+    /// Destination used by every run.
+    pub destination: NodeId,
+    /// All runs, in seed order.
+    pub runs: Vec<ChaosRun>,
+}
+
+impl ChaosCampaign {
+    /// The violating runs.
+    pub fn violating(&self) -> impl Iterator<Item = &ChaosRun> {
+        self.runs.iter().filter(|r| r.violating())
+    }
+
+    /// Renders the campaign as deterministic text: same topology, seeds
+    /// and config produce the identical string, byte for byte.
+    pub fn report(&self) -> String {
+        let mut out = String::new();
+        let bad = self.violating().count();
+        let _ = writeln!(
+            out,
+            "chaos campaign: topology {} destination {} runs {} violating {}",
+            self.topology,
+            self.destination,
+            self.runs.len(),
+            bad
+        );
+        for run in &self.runs {
+            let _ = writeln!(
+                out,
+                "run seed={} faults={} events={} end={} quiescent={} violations={}",
+                run.seed,
+                run.schedule.len(),
+                run.report.events,
+                run.report.end,
+                run.report.quiescent,
+                run.report.violations.len()
+            );
+            for v in &run.report.violations {
+                let _ = writeln!(out, "  {v}");
+            }
+        }
+        out
+    }
+}
+
+/// Builds the run's simulation, settles it to the fault-free fixpoint and
+/// returns it (all randomness seeded by `seed`).
+fn settled_sim(
+    graph: &Graph,
+    destination: NodeId,
+    config: &ChaosConfig,
+    seed: u64,
+) -> LsrpSimulation {
+    let mut builder = LsrpSimulation::builder(graph.clone(), destination)
+        .engine_config(config.engine.clone().with_seed(seed));
+    if let Some(timing) = config.timing {
+        builder = builder.timing_unchecked(timing);
+    }
+    let mut sim = builder.build();
+    sim.run_to_quiescence(config.horizon);
+    sim
+}
+
+/// Replays `schedule` under `seed` with the standard monitor set and
+/// returns the monitored outcome. This is the single entry point used by
+/// campaigns, the minimizer and repro-case replay, which is what makes
+/// their verdicts agree.
+pub fn replay(
+    graph: &Graph,
+    destination: NodeId,
+    config: &ChaosConfig,
+    seed: u64,
+    schedule: &FaultSchedule,
+) -> MonitorReport {
+    let mut sim = settled_sim(graph, destination, config, seed);
+    let timing = *sim.timing();
+    let mut monitors = standard_monitors(&timing, graph.node_count());
+    run_monitored(&mut sim, schedule, config.horizon, &mut monitors)
+}
+
+/// Runs one seeded chaos run: generates the schedule from the fault
+/// process (offset past initial convergence) and replays it.
+pub fn chaos_run(graph: &Graph, destination: NodeId, config: &ChaosConfig, seed: u64) -> ChaosRun {
+    // The schedule must start after the fault-free fixpoint; the settle
+    // time is deterministic per seed, so probe it with a throwaway sim.
+    let t0 = settled_sim(graph, destination, config, seed)
+        .now()
+        .seconds();
+    let raw = config
+        .process
+        .generate(graph, destination, config.fault_window, seed);
+    let mut schedule = FaultSchedule::new();
+    for e in &raw.events {
+        schedule.push(t0 + e.at, e.fault.clone());
+    }
+    let report = replay(graph, destination, config, seed, &schedule);
+    ChaosRun {
+        seed,
+        schedule,
+        report,
+    }
+}
+
+/// Runs a campaign of `runs` chaos runs with seeds `base_seed..`.
+pub fn chaos_campaign(
+    graph: &Graph,
+    destination: NodeId,
+    topology: &str,
+    config: &ChaosConfig,
+    base_seed: u64,
+    runs: u32,
+) -> ChaosCampaign {
+    ChaosCampaign {
+        topology: topology.to_string(),
+        destination,
+        runs: (0..u64::from(runs))
+            .map(|i| chaos_run(graph, destination, config, base_seed + i))
+            .collect(),
+    }
+}
+
+/// Shrinks a violating run's schedule to a 1-minimal subsequence that
+/// still reproduces a violation of the same kind as the run's first one.
+///
+/// Returns the minimized schedule and the violation it reproduces.
+///
+/// # Panics
+///
+/// Panics if `run` has no violations, or if its full schedule no longer
+/// reproduces one (a seed/config mismatch with the original campaign).
+pub fn minimize_run(
+    graph: &Graph,
+    destination: NodeId,
+    config: &ChaosConfig,
+    run: &ChaosRun,
+) -> (FaultSchedule, Violation) {
+    let kind = run
+        .report
+        .violations
+        .first()
+        .expect("minimize_run needs a violating run")
+        .kind;
+    let minimized = lsrp_faults::shrink_schedule(&run.schedule, |candidate| {
+        replay(graph, destination, config, run.seed, candidate)
+            .violations
+            .iter()
+            .any(|v| v.kind == kind)
+    });
+    let violation = replay(graph, destination, config, run.seed, &minimized)
+        .violations
+        .into_iter()
+        .find(|v| v.kind == kind)
+        .expect("shrinker only accepts reproducing candidates");
+    (minimized, violation)
+}
+
+// ---------------------------------------------------------------------
+// Repro cases.
+// ---------------------------------------------------------------------
+
+/// A self-contained, replayable reproduction of a violation: topology
+/// spec, destination, seed and (usually minimized) fault schedule, with a
+/// line-oriented text form for checking into a test suite.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReproCase {
+    /// Topology spec string (e.g. `grid:4x4`); resolved by the caller.
+    pub topology: String,
+    /// Seed for the topology *generator* (random topologies only depend
+    /// on it; it usually differs from the run seed in a campaign).
+    pub topology_seed: u64,
+    /// Destination node.
+    pub destination: NodeId,
+    /// The violating run's seed.
+    pub seed: u64,
+    /// The fault schedule to replay.
+    pub schedule: FaultSchedule,
+}
+
+impl ReproCase {
+    /// Serializes to the replayable text form.
+    pub fn to_text(&self) -> String {
+        format!(
+            "# lsrp chaos repro\ntopology {}\ntopology-seed {}\ndestination {}\nseed {}\nschedule\n{}",
+            self.topology,
+            self.topology_seed,
+            self.destination,
+            self.seed,
+            self.schedule.to_text()
+        )
+    }
+
+    /// Parses the text form produced by [`ReproCase::to_text`].
+    pub fn parse(text: &str) -> Result<ReproCase, ScheduleParseError> {
+        let mut topology = None;
+        let mut topology_seed = None;
+        let mut destination = None;
+        let mut seed = None;
+        let mut schedule_lines = Vec::new();
+        let mut in_schedule = false;
+        for (idx, line) in text.lines().enumerate() {
+            let lineno = idx + 1;
+            let bad = |message: &str| ScheduleParseError {
+                line: lineno,
+                message: message.to_string(),
+            };
+            if in_schedule {
+                schedule_lines.push(line);
+                continue;
+            }
+            let trimmed = line.trim();
+            if trimmed.is_empty() || trimmed.starts_with('#') {
+                continue;
+            }
+            match trimmed.split_once(' ') {
+                _ if trimmed == "schedule" => in_schedule = true,
+                Some(("topology", v)) => topology = Some(v.trim().to_string()),
+                Some(("topology-seed", v)) => {
+                    topology_seed =
+                        Some(v.trim().parse().map_err(|_| bad("invalid topology seed"))?);
+                }
+                Some(("destination", v)) => {
+                    let raw = v.trim().strip_prefix('v').unwrap_or(v.trim());
+                    destination = Some(NodeId::new(
+                        raw.parse().map_err(|_| bad("invalid destination"))?,
+                    ));
+                }
+                Some(("seed", v)) => {
+                    seed = Some(v.trim().parse().map_err(|_| bad("invalid seed"))?);
+                }
+                _ => return Err(bad("expected topology/destination/seed/schedule")),
+            }
+        }
+        let missing = |line: usize, message: &str| ScheduleParseError {
+            line,
+            message: message.to_string(),
+        };
+        Ok(ReproCase {
+            topology: topology.ok_or_else(|| missing(1, "missing topology line"))?,
+            topology_seed: topology_seed.unwrap_or(0),
+            destination: destination.ok_or_else(|| missing(1, "missing destination line"))?,
+            seed: seed.ok_or_else(|| missing(1, "missing seed line"))?,
+            schedule: FaultSchedule::parse(&schedule_lines.join("\n"))?,
+        })
+    }
+}
+
+/// Replays a repro case against an already-resolved graph and returns the
+/// monitored outcome.
+pub fn replay_repro(graph: &Graph, config: &ChaosConfig, repro: &ReproCase) -> MonitorReport {
+    replay(
+        graph,
+        repro.destination,
+        config,
+        repro.seed,
+        &repro.schedule,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lsrp_graph::generators;
+
+    fn v(i: u32) -> NodeId {
+        NodeId::new(i)
+    }
+
+    fn small_config() -> ChaosConfig {
+        ChaosConfig {
+            process: FaultProcess {
+                link_flaps: 1,
+                node_churn: 1,
+                partitions: 0,
+                corruptions: 2,
+                min_outage: 20.0,
+                max_outage: 60.0,
+            },
+            fault_window: 300.0,
+            horizon: 100_000.0,
+            engine: EngineConfig::default(),
+            timing: None,
+        }
+    }
+
+    #[test]
+    fn same_seed_gives_a_byte_identical_report() {
+        let g = generators::grid(3, 3, 1);
+        let cfg = small_config();
+        let a = chaos_campaign(&g, v(0), "grid:3x3", &cfg, 7, 3);
+        let b = chaos_campaign(&g, v(0), "grid:3x3", &cfg, 7, 3);
+        assert_eq!(a.report(), b.report());
+        let c = chaos_campaign(&g, v(0), "grid:3x3", &cfg, 8, 3);
+        assert_ne!(a.report(), c.report(), "different seeds, different runs");
+    }
+
+    #[test]
+    fn standard_chaos_on_a_grid_is_clean() {
+        // LSRP under its own guarantees: the standard fault process on a
+        // healthy grid must not trip any monitor.
+        let g = generators::grid(3, 3, 1);
+        let campaign = chaos_campaign(&g, v(0), "grid:3x3", &small_config(), 1, 3);
+        for run in &campaign.runs {
+            assert!(run.report.quiescent, "seed {} did not settle", run.seed);
+            assert!(
+                !run.violating(),
+                "seed {} violated: {:?}",
+                run.seed,
+                run.report.violations
+            );
+        }
+    }
+
+    #[test]
+    fn repro_case_round_trips() {
+        let g = generators::path(4, 1);
+        let cfg = small_config();
+        let run = chaos_run(&g, v(0), &cfg, 3);
+        let repro = ReproCase {
+            topology: "path:4".to_string(),
+            topology_seed: 0,
+            destination: v(0),
+            seed: 3,
+            schedule: run.schedule.clone(),
+        };
+        let parsed = ReproCase::parse(&repro.to_text()).expect("round trip");
+        assert_eq!(parsed, repro);
+        // And the parsed case replays to the original verdict.
+        let replayed = replay_repro(&g, &cfg, &parsed);
+        assert_eq!(replayed.violations, run.report.violations);
+        assert_eq!(replayed.events, run.report.events);
+    }
+
+    #[test]
+    fn repro_parse_rejects_garbage() {
+        assert!(ReproCase::parse("topology grid:3x3\nseed 1\nschedule\n").is_err());
+        assert!(ReproCase::parse("destination v0\nseed 1\nschedule\n").is_err());
+        let err = ReproCase::parse("topology g\ndestination v0\nseed x\nschedule\n").unwrap_err();
+        assert_eq!(err.line, 3);
+    }
+}

@@ -18,17 +18,27 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod forwarding;
 pub mod loops;
 pub mod measure;
+pub mod monitor;
 pub mod sim_trait;
 pub mod table;
 pub mod timeline;
 pub mod waves;
 
+pub use crate::chaos::{
+    chaos_campaign, chaos_run, minimize_run, replay, replay_repro, ChaosCampaign, ChaosConfig,
+    ChaosRun, ReproCase,
+};
 pub use crate::forwarding::{measure_availability, AvailabilityTrace, PacketFate};
 pub use crate::loops::{measure_loop_breakage, LoopBreakage};
 pub use crate::measure::{measure_recovery, RecoveryMetrics};
+pub use crate::monitor::{
+    run_monitored, standard_monitors, ContaminationMonitor, ConvergenceMonitor, LoopMonitor,
+    Monitor, MonitorReport, Violation, ViolationKind, WaveOrderMonitor,
+};
 pub use crate::sim_trait::RoutingSimulation;
 pub use crate::table::Table;
 pub use crate::waves::{track_containment, wave_stats, ContainmentEpisode, WaveStats};

@@ -38,9 +38,7 @@ pub fn full_table_run(w: u32, dests: usize, seed: u64) -> (u64, u64, f64, usize)
 /// E19 table: sweep the number of destination trees.
 pub fn e19_full_table(w: u32, dest_counts: &[usize]) -> Table {
     let mut t = Table::new(
-        format!(
-            "E19 — multi-destination LSRP: hijack of one router's entire table (grid {w}x{w})"
-        ),
+        format!("E19 — multi-destination LSRP: hijack of one router's entire table (grid {w}x{w})"),
         &[
             "destination trees",
             "actions",
@@ -70,7 +68,10 @@ mod tests {
     fn work_scales_with_trees_but_stays_at_the_victim() {
         let (a4, _, _, n4) = full_table_run(6, 4, 1);
         let (a16, _, _, n16) = full_table_run(6, 16, 1);
-        assert!(a16 > a4 * 2, "actions should grow with trees: {a4} -> {a16}");
+        assert!(
+            a16 > a4 * 2,
+            "actions should grow with trees: {a4} -> {a16}"
+        );
         assert_eq!(n4, 1, "only the victim acts");
         assert_eq!(n16, 1, "only the victim acts");
     }

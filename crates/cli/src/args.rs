@@ -38,6 +38,22 @@ pub enum TopologySpec {
     Fig1,
 }
 
+impl fmt::Display for TopologySpec {
+    /// The canonical spec string; `TopologySpec::parse` round-trips it.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TopologySpec::Grid(w, h) => write!(f, "grid:{w}x{h}"),
+            TopologySpec::Ring(n) => write!(f, "ring:{n}"),
+            TopologySpec::Path(n) => write!(f, "path:{n}"),
+            TopologySpec::ErdosRenyi(n, p) => write!(f, "er:{n}:{p}"),
+            TopologySpec::Geometric(n, r) => write!(f, "geo:{n}:{r}"),
+            TopologySpec::PreferentialAttachment(n, m) => write!(f, "ba:{n}:{m}"),
+            TopologySpec::Lollipop(tail, ring) => write!(f, "lollipop:{tail}:{ring}"),
+            TopologySpec::Fig1 => write!(f, "fig1"),
+        }
+    }
+}
+
 /// A fault selector, e.g. `corrupt:9:1`, `fail-node:5`, `loop:8`.
 #[derive(Debug, Clone, PartialEq)]
 pub enum FaultSpec {
@@ -92,6 +108,20 @@ pub enum Command {
         topology: TopologySpec,
         /// Seed for random generators.
         seed: u64,
+    },
+    /// `chaos`: run seeded adversarial campaigns with online invariant
+    /// monitors, minimizing any violating schedule.
+    Chaos {
+        /// Topology to build.
+        topology: TopologySpec,
+        /// Destination node.
+        dest: Option<NodeId>,
+        /// Base seed; run `i` uses `seed + i`.
+        seed: u64,
+        /// Number of independent runs.
+        runs: u32,
+        /// Per-run simulated-time budget.
+        horizon: f64,
     },
     /// `help`
     Help,
@@ -221,6 +251,8 @@ impl Command {
         let mut faults = Vec::new();
         let mut seed = 0u64;
         let mut timeline = false;
+        let mut runs = 5u32;
+        let mut horizon = 100_000.0f64;
 
         while let Some(flag) = args.next() {
             let mut value = |what: &str| {
@@ -244,6 +276,22 @@ impl Command {
                     seed = value("seed")?.parse().map_err(|_| err("invalid seed"))?
                 }
                 "--timeline" => timeline = true,
+                "--runs" | "-n" => {
+                    runs = value("run count")?
+                        .parse()
+                        .map_err(|_| err("invalid run count"))?;
+                    if runs == 0 {
+                        return Err(err("--runs must be at least 1"));
+                    }
+                }
+                "--horizon" => {
+                    horizon = value("horizon")?
+                        .parse()
+                        .map_err(|_| err("invalid horizon"))?;
+                    if !(horizon > 0.0 && horizon.is_finite()) {
+                        return Err(err("--horizon must be positive and finite"));
+                    }
+                }
                 other => return Err(err(format!("unknown flag '{other}'"))),
             }
         }
@@ -265,8 +313,15 @@ impl Command {
                 seed,
             }),
             "topo" => Ok(Command::Topo { topology, seed }),
+            "chaos" => Ok(Command::Chaos {
+                topology,
+                dest,
+                seed,
+                runs,
+                horizon,
+            }),
             other => Err(err(format!(
-                "unknown command '{other}' (run, compare, topo, help)"
+                "unknown command '{other}' (run, compare, topo, chaos, help)"
             ))),
         }
     }
@@ -281,16 +336,25 @@ USAGE:
                [--fault SPEC]... [--seed N] [--timeline]
   lsrp compare --topology SPEC [--dest N] [--fault SPEC]... [--seed N]
   lsrp topo    --topology SPEC [--seed N]
+  lsrp chaos   --topology SPEC [--dest N] [--seed N] [--runs N]
+               [--horizon T]
 
 TOPOLOGIES:  grid:8x8  ring:32  path:16  er:40:0.1  geo:60:0.18
              ba:50:2  lollipop:2:8  fig1
 FAULTS:      corrupt:NODE[:D|inf]  fail-node:N  fail-edge:A:B
              join-edge:A:B:W  weight:A:B:W  loop  (lollipop only)
 
+`chaos` replays seeded random fault campaigns (link flaps, node churn,
+partition-and-heal, state corruption) with online invariant monitors
+(convergence, contamination radius, wave-speed order, loop freedom);
+violating schedules are delta-minimized and printed as replayable repro
+cases.
+
 EXAMPLES:
   lsrp run --topology fig1 --protocol lsrp --fault corrupt:9:1 --timeline
   lsrp compare --topology grid:12x12 --fault corrupt:13:0
   lsrp run --topology lollipop:2:16 --fault loop --timeline
+  lsrp chaos --topology grid:6x6 --runs 10 --seed 1
 ";
 
 #[cfg(test)]

@@ -4,7 +4,7 @@
 use std::collections::BTreeSet;
 use std::fmt::Write as _;
 
-use lsrp_analysis::{measure_recovery, table::fmt_f64, timeline, RoutingSimulation, Table};
+use lsrp_analysis::{chaos, measure_recovery, table::fmt_f64, timeline, RoutingSimulation, Table};
 use lsrp_baselines::{
     DbfConfig, DbfSimulation, DualConfig, DualSimulation, PvConfig, PvSimulation,
 };
@@ -281,6 +281,44 @@ pub fn run_command(cmd: &Command) -> Result<String, ParseError> {
         } => run_one(
             *protocol, topology, *dest, faults, *seed, *timeline, &mut out,
         )?,
+        Command::Chaos {
+            topology,
+            dest,
+            seed,
+            runs,
+            horizon,
+        } => {
+            let (graph, natural_dest) = build_topology(topology, *seed);
+            let dest = dest.unwrap_or(natural_dest);
+            if !graph.has_node(dest) {
+                return Err(ParseError(format!(
+                    "destination {dest} is not in the topology"
+                )));
+            }
+            let config = chaos::ChaosConfig {
+                horizon: *horizon,
+                ..chaos::ChaosConfig::default()
+            };
+            let campaign =
+                chaos::chaos_campaign(&graph, dest, &topology.to_string(), &config, *seed, *runs);
+            out.push_str(&campaign.report());
+            for run in campaign.violating() {
+                let (minimized, violation) = chaos::minimize_run(&graph, dest, &config, run);
+                let repro = chaos::ReproCase {
+                    topology: topology.to_string(),
+                    topology_seed: *seed,
+                    destination: dest,
+                    seed: run.seed,
+                    schedule: minimized,
+                };
+                let _ = write!(
+                    out,
+                    "\nminimized repro for seed {} ({violation}):\n{}",
+                    run.seed,
+                    repro.to_text()
+                );
+            }
+        }
         Command::Compare {
             topology,
             dest,
@@ -357,5 +395,32 @@ mod tests {
     fn help_prints_usage() {
         let out = run("help").unwrap();
         assert!(out.contains("USAGE"));
+        assert!(out.contains("chaos"));
+    }
+
+    #[test]
+    fn chaos_campaign_on_a_grid_reports_clean_runs() {
+        let out = run("chaos --topology grid:3x3 --runs 2 --seed 1").unwrap();
+        assert!(
+            out.contains("chaos campaign: topology grid:3x3 destination v0 runs 2 violating 0"),
+            "{out}"
+        );
+        assert!(out.contains("run seed=1"), "{out}");
+        assert!(out.contains("run seed=2"), "{out}");
+        assert!(!out.contains("minimized repro"), "{out}");
+    }
+
+    #[test]
+    fn chaos_report_is_reproducible() {
+        let a = run("chaos --topology grid:3x3 --runs 2 --seed 9").unwrap();
+        let b = run("chaos --topology grid:3x3 --runs 2 --seed 9").unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn chaos_rejects_bad_flags() {
+        assert!(run("chaos --topology grid:3x3 --runs 0").is_err());
+        assert!(run("chaos --topology grid:3x3 --horizon -5").is_err());
+        assert!(run("chaos --topology grid:3x3 --dest 99").is_err());
     }
 }

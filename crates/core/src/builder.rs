@@ -43,6 +43,7 @@ pub struct LsrpSimulationBuilder {
     graph: Graph,
     destination: NodeId,
     timing: TimingConfig,
+    timing_unchecked: bool,
     engine: EngineConfig,
     initial: InitialState,
 }
@@ -53,6 +54,20 @@ impl LsrpSimulationBuilder {
     #[must_use]
     pub fn timing(mut self, timing: TimingConfig) -> Self {
         self.timing = timing;
+        self
+    }
+
+    /// Sets wave timing *without* `build()`'s wave-speed validation.
+    ///
+    /// This exists for the adversarial harness: deliberately
+    /// misconfigured waves (e.g. a containment hold time at or above the
+    /// stabilization hold time) break the paper's containment guarantees,
+    /// and the invariant monitors are expected to catch that. Production
+    /// configurations should go through [`timing`](Self::timing).
+    #[must_use]
+    pub fn timing_unchecked(mut self, timing: TimingConfig) -> Self {
+        self.timing = timing;
+        self.timing_unchecked = true;
         self
     }
 
@@ -90,9 +105,11 @@ impl LsrpSimulationBuilder {
             "destination {} is not in the graph",
             self.destination
         );
-        self.timing
-            .validate(self.engine.clocks.rho(), self.engine.link.delay_max)
-            .expect("LSRP timing must satisfy the wave-speed constraints");
+        if !self.timing_unchecked {
+            self.timing
+                .validate(self.engine.clocks.rho(), self.engine.link.delay_max)
+                .expect("LSRP timing must satisfy the wave-speed constraints");
+        }
 
         let mut states = initial_states(&self.graph, self.destination, &self.initial);
         let timing = self.timing;
@@ -219,6 +236,7 @@ impl LsrpSimulation {
             graph,
             destination,
             timing: TimingConfig::paper_example(engine.link.delay_max),
+            timing_unchecked: false,
             engine,
             initial: InitialState::Legitimate,
         }

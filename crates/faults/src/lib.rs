@@ -15,7 +15,12 @@
 //! * [`regions`] — multi-region perturbations at controlled separations
 //!   (Lemmas 2/3, Corollary 1);
 //! * [`loops`] — corrupted-in routing loops of chosen length (Theorem 4);
-//! * [`continuous`] — recurring-fault processes (Corollary 4, Theorem 5).
+//! * [`continuous`] — recurring-fault processes (Corollary 4, Theorem 5);
+//! * [`schedule`] — time-ordered fault schedules with a replayable text
+//!   serialization, applied best-effort (chaos campaigns);
+//! * [`process`] — seeded stochastic fault processes (link flaps, node
+//!   churn, partition-and-heal, corruptions) generating schedules;
+//! * [`shrink`] — delta-debugging minimization of violating schedules.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -25,8 +30,14 @@ pub mod corruption;
 pub mod fault;
 pub mod loops;
 pub mod plan;
+pub mod process;
 pub mod regions;
+pub mod schedule;
+pub mod shrink;
 
 pub use crate::continuous::RecurringFault;
 pub use crate::fault::{CorruptionKind, Fault};
 pub use crate::plan::FaultPlan;
+pub use crate::process::FaultProcess;
+pub use crate::schedule::{FaultSchedule, ScheduleParseError, TimedFault};
+pub use crate::shrink::shrink_schedule;

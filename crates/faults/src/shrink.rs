@@ -1,0 +1,140 @@
+//! Delta-debugging minimization of fault schedules.
+//!
+//! Given a schedule whose replay violates some invariant and a predicate
+//! that replays a candidate and reports whether the violation persists,
+//! [`shrink_schedule`] runs the classic ddmin loop over the schedule's
+//! events, returning a 1-minimal subsequence: removing any single
+//! remaining event makes the violation disappear. Best-effort application
+//! (see [`crate::schedule`]) guarantees every candidate subsequence is
+//! runnable, which is what makes the search sound.
+
+use crate::schedule::FaultSchedule;
+
+/// Minimizes `schedule` with respect to `still_fails`.
+///
+/// `still_fails` must be deterministic (replay candidates under the same
+/// seed and topology as the original violation) and is invoked many times;
+/// each call typically re-runs a simulation.
+///
+/// # Panics
+///
+/// Panics if the full schedule does not itself satisfy `still_fails` —
+/// minimizing a passing schedule indicates the caller lost track of the
+/// reproduction conditions.
+pub fn shrink_schedule<F>(schedule: &FaultSchedule, mut still_fails: F) -> FaultSchedule
+where
+    F: FnMut(&FaultSchedule) -> bool,
+{
+    assert!(
+        still_fails(schedule),
+        "the full schedule must reproduce the violation before shrinking"
+    );
+    let mut current: Vec<usize> = (0..schedule.len()).collect();
+    let mut granularity = 2usize;
+    while current.len() >= 2 {
+        let chunk = current.len().div_ceil(granularity);
+        let mut reduced = false;
+        let mut start = 0;
+        while start < current.len() {
+            let end = (start + chunk).min(current.len());
+            // Candidate: everything except current[start..end].
+            let complement: Vec<usize> = current[..start]
+                .iter()
+                .chain(&current[end..])
+                .copied()
+                .collect();
+            if !complement.is_empty() && still_fails(&schedule.subsequence(&complement)) {
+                current = complement;
+                granularity = granularity.saturating_sub(1).max(2);
+                reduced = true;
+                break;
+            }
+            start = end;
+        }
+        if !reduced {
+            if granularity >= current.len() {
+                break; // 1-minimal: no single event can be removed
+            }
+            granularity = (granularity * 2).min(current.len());
+        }
+    }
+    schedule.subsequence(&current)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::Fault;
+    use lsrp_graph::NodeId;
+
+    fn v(i: u32) -> NodeId {
+        NodeId::new(i)
+    }
+
+    fn schedule_of(n: u32) -> FaultSchedule {
+        (0..n).fold(FaultSchedule::new(), |s, i| {
+            s.with(f64::from(i), Fault::FailNode(v(i)))
+        })
+    }
+
+    fn nodes_of(s: &FaultSchedule) -> Vec<u32> {
+        s.events
+            .iter()
+            .map(|e| match e.fault {
+                Fault::FailNode(n) => n.raw(),
+                _ => unreachable!(),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn shrinks_to_the_single_culprit() {
+        let full = schedule_of(20);
+        let mut runs = 0u32;
+        let min = shrink_schedule(&full, |cand| {
+            runs += 1;
+            nodes_of(cand).contains(&13)
+        });
+        assert_eq!(nodes_of(&min), vec![13]);
+        assert!(
+            runs < 60,
+            "ddmin should need far fewer runs than 2^20 ({runs})"
+        );
+    }
+
+    #[test]
+    fn keeps_interacting_pairs() {
+        // The violation needs BOTH events 3 and 11: the minimum is exactly
+        // that pair, in schedule order.
+        let full = schedule_of(16);
+        let min = shrink_schedule(&full, |cand| {
+            let n = nodes_of(cand);
+            n.contains(&3) && n.contains(&11)
+        });
+        assert_eq!(nodes_of(&min), vec![3, 11]);
+    }
+
+    #[test]
+    fn result_is_one_minimal() {
+        // Violation: at least 3 events with even node ids.
+        let full = schedule_of(12);
+        let min = shrink_schedule(&full, |cand| {
+            nodes_of(cand).iter().filter(|n| *n % 2 == 0).count() >= 3
+        });
+        assert_eq!(min.len(), 3, "exactly three events survive: {min:?}");
+        for drop in 0..min.len() {
+            let keep: Vec<usize> = (0..min.len()).filter(|&i| i != drop).collect();
+            let n = nodes_of(&min.subsequence(&keep));
+            assert!(
+                n.iter().filter(|x| *x % 2 == 0).count() < 3,
+                "dropping event {drop} should break the repro"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "must reproduce the violation")]
+    fn refuses_a_passing_schedule() {
+        let _ = shrink_schedule(&schedule_of(4), |_| false);
+    }
+}

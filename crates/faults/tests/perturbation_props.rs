@@ -1,0 +1,100 @@
+//! Property tests for [`FaultPlan::perturbation`] (Definition 1).
+//!
+//! The candidate faults are *independent*: state corruptions of distinct
+//! non-destination nodes plus fail-stops of distinct edges. Within that
+//! family two structural properties of the perturbation accounting hold:
+//!
+//! * **Monotonicity** — adding faults to a plan can only grow the
+//!   perturbation. Corruptions union in directly; edge removals only
+//!   lengthen shortest paths, and by the triangle inequality a node whose
+//!   entry has gone stale (wrong distance, or an illegitimate parent) can
+//!   never be healed by removing further edges.
+//! * **Permutation invariance** — independent faults commute: the
+//!   perturbed *region* depends on the set of faults, not the order they
+//!   are listed in.
+
+use lsrp_faults::{CorruptionKind, Fault, FaultPlan};
+use lsrp_graph::{generators, Distance, Graph, NodeId, RouteTable};
+use proptest::{proptest, ProptestConfig};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+fn v(i: u32) -> NodeId {
+    NodeId::new(i)
+}
+
+/// The fixed arena: a 4x4 unit grid rooted at v0 with its canonical
+/// legitimate table.
+fn arena() -> (Graph, NodeId, RouteTable) {
+    let g = generators::grid(4, 4, 1);
+    let dest = v(0);
+    let table = RouteTable::legitimate(&g, dest);
+    (g, dest, table)
+}
+
+/// The candidate pool: one independent fault per bit of the subset mask.
+fn pool(graph: &Graph) -> Vec<Fault> {
+    let mut out: Vec<Fault> = graph
+        .edges()
+        .map(|(a, b, _)| Fault::FailEdge(a, b))
+        .collect();
+    for n in [5u32, 7, 10, 15] {
+        out.push(Fault::Corrupt {
+            node: v(n),
+            kind: CorruptionKind::Distance(Distance::Finite(u64::from(n))),
+        });
+    }
+    assert!(out.len() <= 64, "subset masks are u64s");
+    out
+}
+
+fn plan_of(pool: &[Fault], mask: u64) -> FaultPlan {
+    pool.iter()
+        .enumerate()
+        .filter(|&(i, _)| mask & (1 << i) != 0)
+        .map(|(_, f)| f.clone())
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn perturbation_size_is_monotone_under_adding_faults(
+        superset in 0u64..(1 << 28),
+        submask in 0u64..u64::MAX,
+    ) {
+        let (g, dest, table) = arena();
+        let pool = pool(&g);
+        let subset = superset & submask;
+        let small = plan_of(&pool, subset)
+            .perturbation(&g, dest, &table)
+            .expect("distinct removals are always valid");
+        let large = plan_of(&pool, superset)
+            .perturbation(&g, dest, &table)
+            .expect("distinct removals are always valid");
+        proptest::prop_assert!(
+            small.perturbed_nodes().is_subset(&large.perturbed_nodes()),
+            "region must be monotone: {subset:b} vs {superset:b}"
+        );
+        proptest::prop_assert!(small.size() <= large.size());
+    }
+
+    #[test]
+    fn permuting_independent_faults_preserves_the_region(
+        mask in 0u64..(1 << 28),
+        shuffle_seed in 0u64..u64::MAX,
+    ) {
+        let (g, dest, table) = arena();
+        let pool = pool(&g);
+        let ordered = plan_of(&pool, mask);
+        let mut shuffled = ordered.faults.clone();
+        shuffled.shuffle(&mut StdRng::seed_from_u64(shuffle_seed));
+        let permuted: FaultPlan = shuffled.into_iter().collect();
+        let a = ordered.perturbation(&g, dest, &table).expect("valid plan");
+        let b = permuted.perturbation(&g, dest, &table).expect("valid plan");
+        proptest::prop_assert_eq!(a.perturbed_nodes(), b.perturbed_nodes());
+        proptest::prop_assert_eq!(a.size(), b.size());
+    }
+}

@@ -1,6 +1,94 @@
-//! Engine configuration: link delays, clocks, bookkeeping limits.
+//! Engine configuration: link delays, loss/duplication models, clocks,
+//! bookkeeping limits.
 
 use crate::clock::ClockConfig;
+
+/// Parameters of the two-state Gilbert–Elliott bursty-loss channel.
+///
+/// Each directed edge carries an independent two-state Markov chain
+/// (`good` / `bad`). The chain advances one step per message sent on the
+/// edge, *before* the loss draw for that message; the message is then lost
+/// with `loss_good` or `loss_bad` according to the current state. With
+/// `loss_bad` near 1 and small transition probabilities this produces the
+/// correlated loss bursts that i.i.d. loss cannot: long clean stretches
+/// punctuated by windows where nearly every message on the edge dies.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GilbertElliott {
+    /// Per-message probability of moving `good -> bad`.
+    pub p_good_to_bad: f64,
+    /// Per-message probability of moving `bad -> good`.
+    pub p_bad_to_good: f64,
+    /// Loss probability while in the `good` state.
+    pub loss_good: f64,
+    /// Loss probability while in the `bad` state.
+    pub loss_bad: f64,
+}
+
+impl GilbertElliott {
+    /// Validates all four probabilities.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any parameter is NaN or outside `[0, 1]`.
+    pub fn validate(&self) {
+        for (name, p) in [
+            ("p_good_to_bad", self.p_good_to_bad),
+            ("p_bad_to_good", self.p_bad_to_good),
+            ("loss_good", self.loss_good),
+            ("loss_bad", self.loss_bad),
+        ] {
+            assert!(!p.is_nan(), "Gilbert-Elliott {name} must not be NaN");
+            assert!(
+                (0.0..=1.0).contains(&p),
+                "Gilbert-Elliott {name} must be in [0, 1]"
+            );
+        }
+    }
+}
+
+/// Per-message loss model for links.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LossModel {
+    /// Independent per-message loss with the given probability (the classic
+    /// ablation; `Iid(0.0)` is the paper's reliable-link model).
+    Iid(f64),
+    /// Bursty loss from a per-directed-edge two-state Markov chain.
+    GilbertElliott(GilbertElliott),
+}
+
+impl LossModel {
+    /// Validates the model parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any probability is NaN or outside `[0, 1]`.
+    pub fn validate(&self) {
+        match self {
+            LossModel::Iid(p) => {
+                assert!(!p.is_nan(), "loss probability must not be NaN");
+                assert!(
+                    (0.0..=1.0).contains(p),
+                    "loss probability must be in [0, 1]"
+                );
+            }
+            LossModel::GilbertElliott(ge) => ge.validate(),
+        }
+    }
+
+    /// Whether this model can never lose a message.
+    pub fn is_lossless(&self) -> bool {
+        match self {
+            LossModel::Iid(p) => *p == 0.0,
+            LossModel::GilbertElliott(ge) => ge.loss_good == 0.0 && ge.loss_bad == 0.0,
+        }
+    }
+}
+
+impl Default for LossModel {
+    fn default() -> Self {
+        LossModel::Iid(0.0)
+    }
+}
 
 /// Message-passing link parameters (§II: "message passing delay along an
 /// edge is bounded from above and from below by `d` and `u`").
@@ -16,11 +104,15 @@ pub struct LinkConfig {
     /// disabling it is an ablation switch that lets jittered links reorder
     /// messages.
     pub fifo: bool,
-    /// Independent per-message loss probability (default 0). The paper's
-    /// model assumes reliable links; nonzero loss is a robustness ablation
-    /// — LSRP tolerates it when the periodic `SYN` refresh is enabled,
-    /// since every variable is re-advertised within one period.
-    pub loss_probability: f64,
+    /// Per-message loss model (default lossless). The paper's model
+    /// assumes reliable links; loss is a robustness ablation — LSRP
+    /// tolerates it when the periodic `SYN` refresh is enabled, since
+    /// every variable is re-advertised within one period.
+    pub loss: LossModel,
+    /// Per-message duplication probability (default 0). A duplicated
+    /// message is delivered twice, each copy with its own sampled delay
+    /// (FIFO ordering, when on, still applies to both copies).
+    pub duplicate_probability: f64,
 }
 
 impl LinkConfig {
@@ -31,7 +123,8 @@ impl LinkConfig {
             delay_min: delay,
             delay_max: delay,
             fifo: true,
-            loss_probability: 0.0,
+            loss: LossModel::default(),
+            duplicate_probability: 0.0,
         }
     }
 
@@ -41,7 +134,8 @@ impl LinkConfig {
             delay_min: min,
             delay_max: max,
             fifo: true,
-            loss_probability: 0.0,
+            loss: LossModel::default(),
+            duplicate_probability: 0.0,
         }
     }
 
@@ -55,7 +149,21 @@ impl LinkConfig {
     /// Sets an independent per-message loss probability (ablation).
     #[must_use]
     pub fn with_loss(mut self, probability: f64) -> Self {
-        self.loss_probability = probability;
+        self.loss = LossModel::Iid(probability);
+        self
+    }
+
+    /// Sets a Gilbert–Elliott bursty loss model (adversarial conditions).
+    #[must_use]
+    pub fn with_bursty_loss(mut self, model: GilbertElliott) -> Self {
+        self.loss = LossModel::GilbertElliott(model);
+        self
+    }
+
+    /// Sets a per-message duplication probability (adversarial conditions).
+    #[must_use]
+    pub fn with_duplication(mut self, probability: f64) -> Self {
+        self.duplicate_probability = probability;
         self
     }
 
@@ -63,8 +171,12 @@ impl LinkConfig {
     ///
     /// # Panics
     ///
-    /// Panics if the bounds are not `0 < min <= max < ∞`.
+    /// Panics if the delay bounds are not `0 < min <= max < ∞` (NaN bounds
+    /// are rejected explicitly), or if any loss/duplication probability is
+    /// NaN or outside `[0, 1]`.
     pub fn validate(&self) {
+        assert!(!self.delay_min.is_nan(), "delay_min must not be NaN");
+        assert!(!self.delay_max.is_nan(), "delay_max must not be NaN");
         assert!(
             self.delay_min > 0.0 && self.delay_min.is_finite(),
             "delay_min must be positive and finite"
@@ -73,9 +185,14 @@ impl LinkConfig {
             self.delay_max >= self.delay_min && self.delay_max.is_finite(),
             "delay_max must be >= delay_min and finite"
         );
+        self.loss.validate();
         assert!(
-            (0.0..1.0).contains(&self.loss_probability),
-            "loss probability must be in [0, 1)"
+            !self.duplicate_probability.is_nan(),
+            "duplicate_probability must not be NaN"
+        );
+        assert!(
+            (0.0..=1.0).contains(&self.duplicate_probability),
+            "duplicate_probability must be in [0, 1]"
         );
     }
 }
@@ -167,6 +284,71 @@ mod tests {
     #[should_panic(expected = "delay_max must be >= delay_min")]
     fn inverted_bounds_rejected() {
         LinkConfig::jittered(2.0, 1.0).validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "delay_min must not be NaN")]
+    fn nan_delay_min_rejected() {
+        LinkConfig::jittered(f64::NAN, 1.0).validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "delay_max must not be NaN")]
+    fn nan_delay_max_rejected() {
+        LinkConfig::jittered(1.0, f64::NAN).validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "loss probability must not be NaN")]
+    fn nan_loss_rejected() {
+        LinkConfig::constant(1.0).with_loss(f64::NAN).validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "loss probability must be in [0, 1]")]
+    fn out_of_range_loss_rejected() {
+        LinkConfig::constant(1.0).with_loss(1.5).validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate_probability must not be NaN")]
+    fn nan_duplication_rejected() {
+        LinkConfig::constant(1.0)
+            .with_duplication(f64::NAN)
+            .validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "Gilbert-Elliott loss_bad must not be NaN")]
+    fn nan_gilbert_elliott_rejected() {
+        LinkConfig::constant(1.0)
+            .with_bursty_loss(GilbertElliott {
+                p_good_to_bad: 0.1,
+                p_bad_to_good: 0.2,
+                loss_good: 0.0,
+                loss_bad: f64::NAN,
+            })
+            .validate();
+    }
+
+    #[test]
+    fn total_loss_is_now_a_valid_probability() {
+        // p = 1.0 is deliberately allowed (chaos campaigns use it to model
+        // a blackholed link without touching the topology).
+        LinkConfig::constant(1.0).with_loss(1.0).validate();
+    }
+
+    #[test]
+    fn lossless_predicate() {
+        assert!(LossModel::Iid(0.0).is_lossless());
+        assert!(!LossModel::Iid(0.2).is_lossless());
+        assert!(LossModel::GilbertElliott(GilbertElliott {
+            p_good_to_bad: 0.5,
+            p_bad_to_good: 0.5,
+            loss_good: 0.0,
+            loss_bad: 0.0,
+        })
+        .is_lossless());
     }
 
     #[test]

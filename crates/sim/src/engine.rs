@@ -16,7 +16,7 @@ use rand::{Rng, SeedableRng};
 use lsrp_graph::{Graph, GraphError, NodeId, RouteTable, Weight};
 
 use crate::clock::Clock;
-use crate::config::EngineConfig;
+use crate::config::{EngineConfig, LossModel};
 use crate::effects::{Effects, SendTarget};
 use crate::node::{ActionId, ProtocolNode};
 use crate::time::SimTime;
@@ -143,6 +143,9 @@ pub struct Engine<P: ProtocolNode> {
     guards: BTreeMap<NodeId, BTreeMap<ActionId, GuardTrack>>,
     pending_wakeup: BTreeMap<NodeId, SimTime>,
     fifo_last: BTreeMap<(NodeId, NodeId), SimTime>,
+    /// Per-directed-edge Gilbert–Elliott chain state (`true` = bad/burst).
+    /// Lazily populated; edges absent from the map are in the good state.
+    ge_bad: BTreeMap<(NodeId, NodeId), bool>,
     inflight: u64,
     event_counts: EventCounts,
     trace: Trace,
@@ -186,6 +189,7 @@ impl<P: ProtocolNode> Engine<P> {
             guards: BTreeMap::new(),
             pending_wakeup: BTreeMap::new(),
             fifo_last: BTreeMap::new(),
+            ge_bad: BTreeMap::new(),
             inflight: 0,
             event_counts: EventCounts::default(),
             trace: Trace::new(),
@@ -523,7 +527,7 @@ impl<P: ProtocolNode> Engine<P> {
                 self.event_counts.deliveries += 1;
                 self.inflight -= 1;
                 if !self.graph.has_edge(from, to) || !self.nodes.contains_key(&to) {
-                    self.trace.messages_dropped += 1;
+                    self.trace.dropped_dead_receiver += 1;
                     return;
                 }
                 self.trace.messages_delivered += 1;
@@ -624,12 +628,53 @@ impl<P: ProtocolNode> Engine<P> {
     fn schedule_delivery(&mut self, from: NodeId, to: NodeId, msg: P::Msg) {
         self.trace.messages_sent += 1;
         *self.trace.sent_counts.entry(from).or_insert(0) += 1;
-        if self.config.link.loss_probability > 0.0
-            && self.rng.gen_bool(self.config.link.loss_probability)
-        {
-            self.trace.messages_dropped += 1;
+        let loss_probability = match self.config.link.loss {
+            LossModel::Iid(p) => p,
+            LossModel::GilbertElliott(ge) => {
+                // Advance the edge's chain one step, then lose by state.
+                let bad = self.ge_bad.entry((from, to)).or_insert(false);
+                let flip = if *bad {
+                    ge.p_bad_to_good
+                } else {
+                    ge.p_good_to_bad
+                };
+                if flip > 0.0 && self.rng.gen_bool(flip) {
+                    *bad = !*bad;
+                }
+                if *bad {
+                    ge.loss_bad
+                } else {
+                    ge.loss_good
+                }
+            }
+        };
+        if loss_probability > 0.0 && self.rng.gen_bool(loss_probability) {
+            self.trace.dropped_lossy_link += 1;
             return;
         }
+        let duplicate = self.config.link.duplicate_probability > 0.0
+            && self.rng.gen_bool(self.config.link.duplicate_probability);
+        if duplicate {
+            self.trace.messages_duplicated += 1;
+            let at = self.link_arrival_time(from, to);
+            self.inflight += 1;
+            self.push(
+                at,
+                Event::Deliver {
+                    from,
+                    to,
+                    msg: msg.clone(),
+                },
+            );
+        }
+        let at = self.link_arrival_time(from, to);
+        self.inflight += 1;
+        self.push(at, Event::Deliver { from, to, msg });
+    }
+
+    /// Samples one copy's arrival time: uniform delay in the configured
+    /// bounds, bumped past the edge's previous delivery when FIFO is on.
+    fn link_arrival_time(&mut self, from: NodeId, to: NodeId) -> SimTime {
         let delay = if self.config.link.delay_min == self.config.link.delay_max {
             self.config.link.delay_min
         } else {
@@ -645,8 +690,7 @@ impl<P: ProtocolNode> Engine<P> {
             }
             self.fifo_last.insert((from, to), at);
         }
-        self.inflight += 1;
-        self.push(at, Event::Deliver { from, to, msg });
+        at
     }
 
     fn push(&mut self, time: SimTime, event: Event<P::Msg>) {

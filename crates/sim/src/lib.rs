@@ -15,7 +15,10 @@
 //! * **Reliable FIFO links with bounded delay.** Message delay is drawn
 //!   uniformly from `[delay_min, delay_max]` per message
 //!   ([`LinkConfig`]), with per-directed-edge FIFO ordering enforced (see
-//!   DESIGN.md for why mirror convergence needs it).
+//!   DESIGN.md for why mirror convergence needs it). As adversarial
+//!   ablations, links can also lose messages (i.i.d. or Gilbert–Elliott
+//!   bursty loss, [`LossModel`]) and duplicate them
+//!   ([`LinkConfig::duplicate_probability`]).
 //! * **Dynamic topology.** Nodes and edges can fail-stop and join at
 //!   runtime; in-flight messages on dead links are lost; nodes observe
 //!   neighbor-set changes (the usual link-layer detection assumption).
@@ -48,7 +51,7 @@ pub mod test_support {
 }
 
 pub use crate::clock::{Clock, ClockConfig};
-pub use crate::config::{EngineConfig, LinkConfig};
+pub use crate::config::{EngineConfig, GilbertElliott, LinkConfig, LossModel};
 pub use crate::effects::Effects;
 pub use crate::engine::{Engine, EngineError, EventCounts, RunReport};
 pub use crate::node::{ActionId, EnabledSet, ProtocolNode};

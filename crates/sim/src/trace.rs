@@ -42,8 +42,15 @@ pub struct Trace {
     pub messages_sent: u64,
     /// Total messages delivered.
     pub messages_delivered: u64,
-    /// Messages dropped because their edge or endpoint went down.
-    pub messages_dropped: u64,
+    /// Messages dropped by the link's loss model (i.i.d. or bursty).
+    pub dropped_lossy_link: u64,
+    /// Messages dropped because their edge or receiving endpoint was gone
+    /// at delivery time (fail-stop faults racing in-flight traffic).
+    pub dropped_dead_receiver: u64,
+    /// Extra copies delivered by the link's duplication model. When the
+    /// queue is drained, `messages_delivered + messages_dropped() ==
+    /// messages_sent + messages_duplicated`.
+    pub messages_duplicated: u64,
     /// Per-node count of non-maintenance action executions.
     pub action_counts: BTreeMap<NodeId, u64>,
     /// Per-node count of maintenance action executions.
@@ -62,6 +69,11 @@ impl Trace {
     /// an experiment).
     pub fn reset(&mut self) {
         *self = Trace::default();
+    }
+
+    /// Total messages dropped, over all causes.
+    pub fn messages_dropped(&self) -> u64 {
+        self.dropped_lossy_link + self.dropped_dead_receiver
     }
 
     /// Nodes that executed at least one non-maintenance action at or after

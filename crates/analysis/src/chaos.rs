@@ -24,7 +24,7 @@
 
 use std::fmt::Write as _;
 
-use lsrp_core::LsrpSimulation;
+use lsrp_core::{LsrpSimulation, LsrpSimulationExt};
 use lsrp_faults::{FaultProcess, FaultSchedule, ScheduleParseError};
 use lsrp_graph::{Graph, NodeId};
 use lsrp_sim::EngineConfig;

@@ -145,7 +145,7 @@ pub fn measure_availability<S: RoutingSimulation + ?Sized>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use lsrp_core::LsrpSimulation;
+    use lsrp_core::{LsrpSimulation, LsrpSimulationExt};
     use lsrp_graph::{generators, RouteEntry};
 
     fn v(i: u32) -> NodeId {

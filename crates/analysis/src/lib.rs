@@ -23,6 +23,7 @@ pub mod forwarding;
 pub mod loops;
 pub mod measure;
 pub mod monitor;
+pub mod parallel;
 pub mod sim_trait;
 pub mod table;
 pub mod timeline;
@@ -39,6 +40,7 @@ pub use crate::monitor::{
     run_monitored, standard_monitors, ContaminationMonitor, ConvergenceMonitor, LoopMonitor,
     Monitor, MonitorReport, Violation, ViolationKind, WaveOrderMonitor,
 };
+pub use crate::parallel::{chaos_campaign_with_jobs, run_sharded};
 pub use crate::sim_trait::RoutingSimulation;
 pub use crate::table::Table;
 pub use crate::waves::{track_containment, wave_stats, ContainmentEpisode, WaveStats};

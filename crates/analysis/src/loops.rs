@@ -95,7 +95,7 @@ pub fn inject_and_measure<S: RoutingSimulation + ?Sized>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use lsrp_core::LsrpSimulation;
+    use lsrp_core::{LsrpSimulation, LsrpSimulationExt};
     use lsrp_graph::generators;
 
     fn v(i: u32) -> NodeId {

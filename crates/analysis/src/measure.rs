@@ -47,7 +47,7 @@ pub struct RecoveryMetrics {
 /// ```
 /// use std::collections::BTreeSet;
 /// use lsrp_analysis::measure_recovery;
-/// use lsrp_core::LsrpSimulation;
+/// use lsrp_core::{LsrpSimulation, LsrpSimulationExt};
 /// use lsrp_graph::{generators, Distance, NodeId};
 ///
 /// let victim = NodeId::new(4);
@@ -128,7 +128,7 @@ pub fn measure_recovery<S: RoutingSimulation + ?Sized>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use lsrp_core::LsrpSimulation;
+    use lsrp_core::{LsrpSimulation, LsrpSimulationExt};
     use lsrp_graph::{generators, Distance};
 
     fn v(i: u32) -> NodeId {
@@ -163,7 +163,7 @@ mod tests {
     fn healthy_route_flaps_are_counted() {
         // The Figure-2 scenario on DBF: v6 flaps into the corrupted
         // subtree and back (2 flaps); under LSRP no healthy node moves.
-        use lsrp_baselines::{DbfConfig, DbfSimulation};
+        use lsrp_baselines::{BaselineSimulation, DbfConfig, DbfSimulation};
         use lsrp_graph::topologies::{fig1_route_table, paper_fig1, FIG1_DESTINATION};
         let inject = |s: &mut dyn crate::RoutingSimulation| {
             s.corrupt_distance(v(9), Distance::Finite(1));

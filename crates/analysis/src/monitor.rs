@@ -695,6 +695,7 @@ pub fn standard_monitors(timing: &lsrp_core::TimingConfig, n: usize) -> Vec<Box<
 #[cfg(test)]
 mod tests {
     use super::*;
+    use lsrp_core::LsrpSimulationExt;
     use lsrp_faults::CorruptionKind;
     use lsrp_graph::{generators, Distance};
 

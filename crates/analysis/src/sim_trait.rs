@@ -1,12 +1,14 @@
 //! The unified simulation interface experiments are written against.
 
-use lsrp_baselines::{DbfSimulation, DualSimulation, PvSimulation};
-use lsrp_core::LsrpSimulation;
 use lsrp_graph::{Distance, Graph, GraphError, NodeId, RouteTable, Weight};
-use lsrp_sim::{RunReport, SimTime, Trace};
+use lsrp_sim::{HarnessProtocol, RunReport, SimHarness, SimTime, Trace};
 
 /// The operations every routing-protocol simulation exposes to the
-/// measurement harness. Implemented for LSRP, DBF and DUAL-lite.
+/// measurement harness.
+///
+/// Implemented once, for every [`SimHarness`]: any protocol with a
+/// [`HarnessProtocol`] impl (LSRP, DBF, DUAL-lite, PV, multi-destination
+/// LSRP) gets this interface for free.
 pub trait RoutingSimulation {
     /// Short protocol name for tables ("LSRP", "DBF", "DUAL").
     fn name(&self) -> &'static str;
@@ -86,360 +88,91 @@ pub trait RoutingSimulation {
     fn set_weight(&mut self, a: NodeId, b: NodeId, w: Weight) -> Result<(), GraphError>;
 }
 
-impl RoutingSimulation for LsrpSimulation {
+impl<P: HarnessProtocol> RoutingSimulation for SimHarness<P> {
     fn name(&self) -> &'static str {
-        "LSRP"
+        P::NAME
+    }
+
+    fn destination(&self) -> NodeId {
+        SimHarness::destination(self)
+    }
+
+    fn graph(&self) -> &Graph {
+        SimHarness::graph(self)
+    }
+
+    fn route_table(&self) -> RouteTable {
+        SimHarness::route_table(self)
     }
 
     fn containment_set(&self) -> std::collections::BTreeSet<NodeId> {
-        self.graph()
-            .nodes()
-            .filter(|&v| self.engine().node(v).is_some_and(|n| n.state().ghost))
-            .collect()
-    }
-
-    fn destination(&self) -> NodeId {
-        self.destination()
-    }
-
-    fn graph(&self) -> &Graph {
-        self.graph()
-    }
-
-    fn route_table(&self) -> RouteTable {
-        self.route_table()
+        SimHarness::containment_set(self)
     }
 
     fn routes_correct(&self) -> bool {
-        self.routes_correct()
+        SimHarness::routes_correct(self)
     }
 
     fn trace(&self) -> &Trace {
-        self.engine().trace()
+        SimHarness::trace(self)
     }
 
     fn reset_trace(&mut self) {
-        self.engine_mut().reset_trace();
+        SimHarness::reset_trace(self);
     }
 
     fn now(&self) -> SimTime {
-        self.now()
+        SimHarness::now(self)
     }
 
     fn step(&mut self) -> Option<SimTime> {
-        self.engine_mut().step()
+        SimHarness::step(self)
     }
 
     fn run_to_quiescence(&mut self, horizon: f64) -> RunReport {
-        self.run_to_quiescence(horizon)
+        SimHarness::run_to_quiescence(self, horizon)
     }
 
     fn run_until(&mut self, t: f64) {
-        self.run_until(t);
+        SimHarness::run_until(self, t);
     }
 
     fn corrupt_distance(&mut self, v: NodeId, d: Distance) {
-        self.corrupt_distance(v, d);
+        SimHarness::corrupt_distance(self, v, d);
     }
 
     fn poison_mirror(&mut self, at: NodeId, about: NodeId, d: Distance) {
-        // Forge the rest of the mirror from the target's actual state, as
-        // a received message from `about` would have.
-        let (p, ghost) = self
-            .engine()
-            .node(about)
-            .map_or((about, false), |n| (n.state().p, n.state().ghost));
-        self.corrupt_mirror(at, about, lsrp_core::Mirror { d, p, ghost });
+        SimHarness::poison_mirror(self, at, about, d);
     }
 
     fn inject_route(&mut self, v: NodeId, d: Distance, p: NodeId) {
-        self.with_state_mut(v, |s| {
-            s.d = d;
-            s.p = p;
-        });
+        SimHarness::inject_route(self, v, d, p);
     }
 
     fn fail_node(&mut self, v: NodeId) -> Result<(), GraphError> {
-        self.fail_node(v)
+        SimHarness::fail_node(self, v)
     }
 
     fn fail_edge(&mut self, a: NodeId, b: NodeId) -> Result<(), GraphError> {
-        self.fail_edge(a, b)
+        SimHarness::fail_edge(self, a, b)
     }
 
     fn join_edge(&mut self, a: NodeId, b: NodeId, w: Weight) -> Result<(), GraphError> {
-        self.join_edge(a, b, w)
+        SimHarness::join_edge(self, a, b, w)
     }
 
     fn set_weight(&mut self, a: NodeId, b: NodeId, w: Weight) -> Result<(), GraphError> {
-        self.set_weight(a, b, w)
-    }
-}
-
-impl RoutingSimulation for DbfSimulation {
-    fn name(&self) -> &'static str {
-        "DBF"
-    }
-
-    fn destination(&self) -> NodeId {
-        self.destination()
-    }
-
-    fn graph(&self) -> &Graph {
-        self.graph()
-    }
-
-    fn route_table(&self) -> RouteTable {
-        self.route_table()
-    }
-
-    fn routes_correct(&self) -> bool {
-        self.routes_correct()
-    }
-
-    fn trace(&self) -> &Trace {
-        self.engine().trace()
-    }
-
-    fn reset_trace(&mut self) {
-        self.engine_mut().reset_trace();
-    }
-
-    fn now(&self) -> SimTime {
-        self.engine().now()
-    }
-
-    fn step(&mut self) -> Option<SimTime> {
-        self.engine_mut().step()
-    }
-
-    fn run_to_quiescence(&mut self, horizon: f64) -> RunReport {
-        self.run_to_quiescence(horizon)
-    }
-
-    fn run_until(&mut self, t: f64) {
-        self.engine_mut()
-            .run_until(SimTime::new(t))
-            .expect("DBF must not livelock");
-    }
-
-    fn corrupt_distance(&mut self, v: NodeId, d: Distance) {
-        self.corrupt_distance(v, d);
-    }
-
-    fn poison_mirror(&mut self, at: NodeId, about: NodeId, d: Distance) {
-        self.corrupt_mirror(at, about, d);
-    }
-
-    fn inject_route(&mut self, v: NodeId, d: Distance, p: NodeId) {
-        self.engine_mut().with_node_mut(v, |n| {
-            n.d = d;
-            n.p = p;
-            // Make the injected parent look attractive so plain DBF keeps
-            // the loop until values count up past it.
-            n.mirrors.insert(
-                p,
-                d.plus(0).as_finite().map_or(Distance::Infinite, |x| {
-                    Distance::Finite(x.saturating_sub(1))
-                }),
-            );
-        });
-    }
-
-    fn fail_node(&mut self, v: NodeId) -> Result<(), GraphError> {
-        self.fail_node(v)
-    }
-
-    fn fail_edge(&mut self, a: NodeId, b: NodeId) -> Result<(), GraphError> {
-        self.engine_mut().fail_edge(a, b)
-    }
-
-    fn join_edge(&mut self, a: NodeId, b: NodeId, w: Weight) -> Result<(), GraphError> {
-        self.engine_mut().join_edge(a, b, w)
-    }
-
-    fn set_weight(&mut self, a: NodeId, b: NodeId, w: Weight) -> Result<(), GraphError> {
-        self.engine_mut().set_weight(a, b, w)
-    }
-}
-
-impl RoutingSimulation for DualSimulation {
-    fn name(&self) -> &'static str {
-        "DUAL"
-    }
-
-    fn containment_set(&self) -> std::collections::BTreeSet<NodeId> {
-        self.graph()
-            .nodes()
-            .filter(|&v| self.engine().node(v).is_some_and(|n| n.active.is_some()))
-            .collect()
-    }
-
-    fn destination(&self) -> NodeId {
-        self.destination()
-    }
-
-    fn graph(&self) -> &Graph {
-        self.graph()
-    }
-
-    fn route_table(&self) -> RouteTable {
-        self.route_table()
-    }
-
-    fn routes_correct(&self) -> bool {
-        self.routes_correct()
-    }
-
-    fn trace(&self) -> &Trace {
-        self.engine().trace()
-    }
-
-    fn reset_trace(&mut self) {
-        self.engine_mut().reset_trace();
-    }
-
-    fn now(&self) -> SimTime {
-        self.engine().now()
-    }
-
-    fn step(&mut self) -> Option<SimTime> {
-        self.engine_mut().step()
-    }
-
-    fn run_to_quiescence(&mut self, horizon: f64) -> RunReport {
-        self.run_to_quiescence(horizon)
-    }
-
-    fn run_until(&mut self, t: f64) {
-        self.engine_mut()
-            .run_until(SimTime::new(t))
-            .expect("DUAL must not livelock");
-    }
-
-    fn corrupt_distance(&mut self, v: NodeId, d: Distance) {
-        self.corrupt_distance(v, d);
-    }
-
-    fn poison_mirror(&mut self, at: NodeId, about: NodeId, d: Distance) {
-        self.corrupt_mirror(at, about, d);
-    }
-
-    fn inject_route(&mut self, v: NodeId, d: Distance, p: NodeId) {
-        self.engine_mut().with_node_mut(v, |n| {
-            n.d = d;
-            n.succ = p;
-            n.fd = d;
-        });
-    }
-
-    fn fail_node(&mut self, v: NodeId) -> Result<(), GraphError> {
-        self.fail_node(v)
-    }
-
-    fn fail_edge(&mut self, a: NodeId, b: NodeId) -> Result<(), GraphError> {
-        self.engine_mut().fail_edge(a, b)
-    }
-
-    fn join_edge(&mut self, a: NodeId, b: NodeId, w: Weight) -> Result<(), GraphError> {
-        self.engine_mut().join_edge(a, b, w)
-    }
-
-    fn set_weight(&mut self, a: NodeId, b: NodeId, w: Weight) -> Result<(), GraphError> {
-        self.engine_mut().set_weight(a, b, w)
-    }
-}
-
-impl RoutingSimulation for PvSimulation {
-    fn name(&self) -> &'static str {
-        "PV"
-    }
-
-    fn destination(&self) -> NodeId {
-        self.destination()
-    }
-
-    fn graph(&self) -> &Graph {
-        self.graph()
-    }
-
-    fn route_table(&self) -> RouteTable {
-        self.route_table()
-    }
-
-    fn routes_correct(&self) -> bool {
-        self.routes_correct()
-    }
-
-    fn trace(&self) -> &Trace {
-        self.engine().trace()
-    }
-
-    fn reset_trace(&mut self) {
-        self.engine_mut().reset_trace();
-    }
-
-    fn now(&self) -> SimTime {
-        self.engine().now()
-    }
-
-    fn step(&mut self) -> Option<SimTime> {
-        self.engine_mut().step()
-    }
-
-    fn run_to_quiescence(&mut self, horizon: f64) -> RunReport {
-        self.run_to_quiescence(horizon)
-    }
-
-    fn run_until(&mut self, t: f64) {
-        self.engine_mut()
-            .run_until(SimTime::new(t))
-            .expect("path-vector must not livelock");
-    }
-
-    fn corrupt_distance(&mut self, v: NodeId, d: Distance) {
-        self.corrupt_distance(v, d);
-    }
-
-    fn poison_mirror(&mut self, at: NodeId, about: NodeId, d: Distance) {
-        self.corrupt_mirror(at, about, d);
-    }
-
-    fn inject_route(&mut self, v: NodeId, d: Distance, p: NodeId) {
-        // A path-vector "loop injection": the route claims to go through
-        // `p` straight to the destination. The path check then prevents
-        // *new* loops, but the injected parent pointers themselves stand
-        // until updates flush them.
-        let dest = self.destination();
-        self.engine_mut().with_node_mut(v, |n| {
-            n.route = lsrp_baselines::PvRoute {
-                d,
-                path: if p == dest { vec![dest] } else { vec![p, dest] },
-            };
-        });
-    }
-
-    fn fail_node(&mut self, v: NodeId) -> Result<(), GraphError> {
-        self.fail_node(v)
-    }
-
-    fn fail_edge(&mut self, a: NodeId, b: NodeId) -> Result<(), GraphError> {
-        self.engine_mut().fail_edge(a, b)
-    }
-
-    fn join_edge(&mut self, a: NodeId, b: NodeId, w: Weight) -> Result<(), GraphError> {
-        self.engine_mut().join_edge(a, b, w)
-    }
-
-    fn set_weight(&mut self, a: NodeId, b: NodeId, w: Weight) -> Result<(), GraphError> {
-        self.engine_mut().set_weight(a, b, w)
+        SimHarness::set_weight(self, a, b, w)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use lsrp_baselines::{DbfConfig, DualConfig};
+    use lsrp_baselines::{
+        BaselineSimulation, DbfConfig, DbfSimulation, DualConfig, DualSimulation,
+    };
+    use lsrp_core::{LsrpSimulation, LsrpSimulationExt};
     use lsrp_graph::generators;
     use lsrp_sim::EngineConfig;
 

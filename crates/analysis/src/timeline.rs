@@ -35,7 +35,7 @@ pub fn render_timeline(trace: &Trace) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use lsrp_core::{InitialState, LsrpSimulation, TimingConfig};
+    use lsrp_core::{InitialState, LsrpSimulation, LsrpSimulationExt, TimingConfig};
     use lsrp_graph::topologies::{fig1_route_table, paper_fig1, v, FIG1_DESTINATION};
     use lsrp_graph::Distance;
 

@@ -144,7 +144,7 @@ pub fn wave_stats(episodes: &[ContainmentEpisode]) -> WaveStats {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use lsrp_core::{InitialState, LsrpSimulation, TimingConfig};
+    use lsrp_core::{InitialState, LsrpSimulation, LsrpSimulationExt, TimingConfig};
     use lsrp_graph::topologies::{fig1_route_table, paper_fig1, v, FIG1_DESTINATION};
     use lsrp_graph::{generators, Distance};
 

@@ -10,7 +10,7 @@ use lsrp_analysis::chaos::{
 use lsrp_analysis::monitor::{
     run_monitored, standard_monitors, Monitor, ViolationKind, WaveOrderMonitor,
 };
-use lsrp_core::{InitialState, LsrpSimulation, Mirror, TimingConfig};
+use lsrp_core::{InitialState, LsrpSimulation, LsrpSimulationExt, Mirror, TimingConfig};
 use lsrp_faults::{CorruptionKind, Fault, FaultProcess, FaultSchedule};
 use lsrp_graph::{generators, topologies, Distance, NodeId};
 

@@ -20,10 +20,13 @@
 
 use std::collections::BTreeMap;
 
-use lsrp_graph::{Distance, Graph, GraphError, NodeId, RouteTable, Weight};
+use lsrp_graph::{Distance, Graph, NodeId, RouteTable, Weight};
 use lsrp_sim::{
-    ActionId, Effects, EnabledSet, Engine, EngineConfig, ProtocolNode, RunReport, SimTime,
+    ActionId, Effects, EnabledSet, Engine, EngineConfig, ForgedAdvert, HarnessProtocol,
+    ProtocolNode, SimHarness,
 };
+
+use crate::BaselineSimulation;
 
 /// Configuration for [`DbfNode`].
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -220,17 +223,43 @@ impl ProtocolNode for DbfNode {
     }
 }
 
-/// Convenience facade mirroring `lsrp_core::LsrpSimulation` for DBF.
-#[derive(Debug)]
-pub struct DbfSimulation {
-    engine: Engine<DbfNode>,
-    destination: NodeId,
+impl HarnessProtocol for DbfNode {
+    const NAME: &'static str = "DBF";
+    type Meta = ();
+
+    fn corrupt_distance(&mut self, d: Distance, _dest: NodeId) {
+        self.d = d;
+    }
+
+    fn poison_mirror(&mut self, about: NodeId, advert: ForgedAdvert, _dest: NodeId) {
+        self.mirrors.insert(about, advert.d);
+    }
+
+    fn inject_route(&mut self, d: Distance, p: NodeId, _dest: NodeId) {
+        self.d = d;
+        self.p = p;
+        // Make the injected parent look attractive so plain DBF keeps
+        // the loop until values count up past it.
+        self.mirrors.insert(
+            p,
+            d.plus(0).as_finite().map_or(Distance::Infinite, |x| {
+                Distance::Finite(x.saturating_sub(1))
+            }),
+        );
+    }
 }
 
-impl DbfSimulation {
+/// Convenience facade mirroring `lsrp_core::LsrpSimulation` for DBF: the
+/// generic harness specialized to [`DbfNode`] (construct it via
+/// [`BaselineSimulation::new`]).
+pub type DbfSimulation = SimHarness<DbfNode>;
+
+impl BaselineSimulation for DbfSimulation {
+    type Config = DbfConfig;
+
     /// Builds a DBF network starting from the given route table (or the
     /// canonical legitimate one when `None`), with consistent mirrors.
-    pub fn new(
+    fn new(
         graph: Graph,
         destination: NodeId,
         initial: Option<RouteTable>,
@@ -260,74 +289,7 @@ impl DbfSimulation {
             }
             node
         });
-        DbfSimulation {
-            engine,
-            destination,
-        }
-    }
-
-    /// The underlying engine.
-    pub fn engine(&self) -> &Engine<DbfNode> {
-        &self.engine
-    }
-
-    /// Mutable engine access.
-    pub fn engine_mut(&mut self) -> &mut Engine<DbfNode> {
-        &mut self.engine
-    }
-
-    /// The destination.
-    pub fn destination(&self) -> NodeId {
-        self.destination
-    }
-
-    /// Current topology.
-    pub fn graph(&self) -> &Graph {
-        self.engine.graph()
-    }
-
-    /// Current routes.
-    pub fn route_table(&self) -> RouteTable {
-        self.engine.route_table()
-    }
-
-    /// Whether routes match Dijkstra ground truth.
-    pub fn routes_correct(&self) -> bool {
-        self.route_table()
-            .is_correct(self.engine.graph(), self.destination)
-    }
-
-    /// Corrupts a node's advertised distance.
-    pub fn corrupt_distance(&mut self, v: NodeId, d: Distance) {
-        self.engine.with_node_mut(v, |n| n.d = d);
-    }
-
-    /// Corrupts `v`'s mirror of neighbor `about`.
-    pub fn corrupt_mirror(&mut self, v: NodeId, about: NodeId, d: Distance) {
-        self.engine.with_node_mut(v, |n| {
-            n.mirrors.insert(about, d);
-        });
-    }
-
-    /// Fail-stops a node.
-    ///
-    /// # Errors
-    ///
-    /// Propagates [`GraphError`] for unknown nodes.
-    pub fn fail_node(&mut self, v: NodeId) -> Result<(), GraphError> {
-        self.engine.fail_node(v)
-    }
-
-    /// Runs until quiescent (see [`Engine::run_to_quiescence`]).
-    ///
-    /// # Panics
-    ///
-    /// Panics on event-budget exhaustion.
-    pub fn run_to_quiescence(&mut self, horizon: f64) -> RunReport {
-        let settle = 0.0; // no periodic maintenance unless configured
-        self.engine
-            .run_to_quiescence(SimTime::new(horizon), settle)
-            .expect("DBF must not livelock")
+        DbfSimulation::from_parts(engine, destination, 0.0, ())
     }
 }
 
@@ -335,6 +297,7 @@ impl DbfSimulation {
 mod tests {
     use super::*;
     use lsrp_graph::generators;
+    use lsrp_sim::SimTime;
 
     fn v(i: u32) -> NodeId {
         NodeId::new(i)
@@ -390,7 +353,7 @@ mod tests {
         // (the Figure 2 effect), then everything recovers.
         let mut s = sim(generators::path(5, 1), v(0));
         s.corrupt_distance(v(1), Distance::ZERO);
-        s.corrupt_mirror(v(2), v(1), Distance::ZERO);
+        s.poison_mirror(v(2), v(1), Distance::ZERO);
         let report = s.run_to_quiescence(10_000.0);
         assert!(report.quiescent);
         assert!(s.routes_correct());

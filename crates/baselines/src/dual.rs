@@ -29,10 +29,13 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 
-use lsrp_graph::{Distance, Graph, GraphError, NodeId, RouteTable, Weight};
+use lsrp_graph::{Distance, Graph, NodeId, RouteTable, Weight};
 use lsrp_sim::{
-    ActionId, Effects, EnabledSet, Engine, EngineConfig, ProtocolNode, RunReport, SimTime,
+    ActionId, Effects, EnabledSet, Engine, EngineConfig, ForgedAdvert, HarnessProtocol,
+    ProtocolNode, SimHarness,
 };
+
+use crate::BaselineSimulation;
 
 /// Configuration for [`DualNode`].
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -407,18 +410,38 @@ impl ProtocolNode for DualNode {
     }
 }
 
-/// Convenience facade mirroring `lsrp_core::LsrpSimulation` for
-/// DUAL-lite.
-#[derive(Debug)]
-pub struct DualSimulation {
-    engine: Engine<DualNode>,
-    destination: NodeId,
+impl HarnessProtocol for DualNode {
+    const NAME: &'static str = "DUAL";
+    type Meta = ();
+
+    fn corrupt_distance(&mut self, d: Distance, _dest: NodeId) {
+        // Keep `fd` consistent with the corrupted value, the worst case
+        // for containment: the corruption is feasible.
+        self.d = d;
+        self.fd = d;
+    }
+
+    fn poison_mirror(&mut self, about: NodeId, advert: ForgedAdvert, _dest: NodeId) {
+        self.mirrors.insert(about, advert.d);
+    }
+
+    fn inject_route(&mut self, d: Distance, p: NodeId, _dest: NodeId) {
+        self.d = d;
+        self.succ = p;
+        self.fd = d;
+    }
 }
 
-impl DualSimulation {
+/// Convenience facade mirroring `lsrp_core::LsrpSimulation` for
+/// DUAL-lite.
+pub type DualSimulation = SimHarness<DualNode>;
+
+impl BaselineSimulation for DualSimulation {
+    type Config = DualConfig;
+
     /// Builds a DUAL network starting from the given route table (or the
     /// canonical legitimate one), with consistent mirrors and `fd = d`.
-    pub fn new(
+    fn new(
         graph: Graph,
         destination: NodeId,
         initial: Option<RouteTable>,
@@ -448,77 +471,7 @@ impl DualSimulation {
             }
             node
         });
-        DualSimulation {
-            engine,
-            destination,
-        }
-    }
-
-    /// The underlying engine.
-    pub fn engine(&self) -> &Engine<DualNode> {
-        &self.engine
-    }
-
-    /// Mutable engine access.
-    pub fn engine_mut(&mut self) -> &mut Engine<DualNode> {
-        &mut self.engine
-    }
-
-    /// The destination.
-    pub fn destination(&self) -> NodeId {
-        self.destination
-    }
-
-    /// Current topology.
-    pub fn graph(&self) -> &Graph {
-        self.engine.graph()
-    }
-
-    /// Current routes.
-    pub fn route_table(&self) -> RouteTable {
-        self.engine.route_table()
-    }
-
-    /// Whether routes match Dijkstra ground truth.
-    pub fn routes_correct(&self) -> bool {
-        self.route_table()
-            .is_correct(self.engine.graph(), self.destination)
-    }
-
-    /// Corrupts a node's distance (keeping `fd` consistent with the
-    /// corrupted value, the worst case for containment).
-    pub fn corrupt_distance(&mut self, v: NodeId, d: Distance) {
-        self.engine.with_node_mut(v, |n| {
-            n.d = d;
-            n.fd = d;
-        });
-    }
-
-    /// Corrupts `v`'s mirror of neighbor `about`.
-    pub fn corrupt_mirror(&mut self, v: NodeId, about: NodeId, d: Distance) {
-        self.engine.with_node_mut(v, |n| {
-            n.mirrors.insert(about, d);
-        });
-    }
-
-    /// Fail-stops a node.
-    ///
-    /// # Errors
-    ///
-    /// Propagates [`GraphError`] for unknown nodes.
-    pub fn fail_node(&mut self, v: NodeId) -> Result<(), GraphError> {
-        self.engine.fail_node(v)
-    }
-
-    /// Runs until quiescent.
-    ///
-    /// # Panics
-    ///
-    /// Panics on event-budget exhaustion.
-    pub fn run_to_quiescence(&mut self, horizon: f64) -> RunReport {
-        self.engine
-            .run_to_quiescence(SimTime::new(horizon), 0.0)
-            .expect("DUAL must not livelock")
+        DualSimulation::from_parts(engine, destination, 0.0, ())
     }
 }
 
@@ -526,6 +479,7 @@ impl DualSimulation {
 mod tests {
     use super::*;
     use lsrp_graph::generators;
+    use lsrp_sim::SimTime;
 
     fn v(i: u32) -> NodeId {
         NodeId::new(i)
@@ -615,7 +569,7 @@ mod tests {
         // passes the feasibility check and contaminates downstream nodes.
         let mut s = sim(generators::path(6, 1), v(0));
         s.corrupt_distance(v(1), Distance::ZERO);
-        s.corrupt_mirror(v(2), v(1), Distance::ZERO);
+        s.poison_mirror(v(2), v(1), Distance::ZERO);
         let report = s.run_to_quiescence(1_000_000.0);
         assert!(report.quiescent);
         assert!(s.routes_correct());

@@ -28,9 +28,34 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use lsrp_graph::{Graph, NodeId, RouteTable};
+use lsrp_sim::EngineConfig;
+
 pub mod dbf;
 pub mod dual;
 pub mod pathvector;
+
+/// Uniform constructor for the baseline simulations.
+///
+/// Every baseline harness (`DbfSimulation`, `DualSimulation`,
+/// `PvSimulation`) is a [`lsrp_sim::SimHarness`] type alias; this trait
+/// gives them the common `new(graph, destination, initial, config,
+/// engine_config)` entry point the CLI and analysis crates construct them
+/// through.
+pub trait BaselineSimulation {
+    /// Protocol-specific tuning knobs.
+    type Config: Default;
+
+    /// Builds a network starting from the given route table (or the
+    /// canonical legitimate one when `initial` is `None`).
+    fn new(
+        graph: Graph,
+        destination: NodeId,
+        initial: Option<RouteTable>,
+        config: Self::Config,
+        engine_config: EngineConfig,
+    ) -> Self;
+}
 
 pub use crate::dbf::{DbfConfig, DbfMsg, DbfNode, DbfSimulation};
 pub use crate::dual::{DualConfig, DualMsg, DualNode, DualSimulation};

@@ -17,10 +17,13 @@
 
 use std::collections::BTreeMap;
 
-use lsrp_graph::{Distance, Graph, GraphError, NodeId, RouteTable, Weight};
+use lsrp_graph::{Distance, Graph, NodeId, RouteTable, Weight};
 use lsrp_sim::{
-    ActionId, Effects, EnabledSet, Engine, EngineConfig, ProtocolNode, RunReport, SimTime,
+    ActionId, Effects, EnabledSet, Engine, EngineConfig, ForgedAdvert, HarnessProtocol,
+    ProtocolNode, SimHarness,
 };
+
+use crate::BaselineSimulation;
 
 /// Configuration for [`PvNode`].
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -200,18 +203,59 @@ impl ProtocolNode for PvNode {
     }
 }
 
-/// Convenience facade for path-vector networks.
-#[derive(Debug)]
-pub struct PvSimulation {
-    engine: Engine<PvNode>,
-    destination: NodeId,
+impl HarnessProtocol for PvNode {
+    const NAME: &'static str = "PV";
+    type Meta = ();
+
+    fn corrupt_distance(&mut self, d: Distance, dest: NodeId) {
+        // A bogus short route claiming direct adjacency to the
+        // destination (the classic hijack).
+        self.route = PvRoute {
+            d,
+            path: if self.id == dest {
+                Vec::new()
+            } else {
+                vec![dest]
+            },
+        };
+    }
+
+    fn poison_mirror(&mut self, about: NodeId, advert: ForgedAdvert, dest: NodeId) {
+        self.mirrors.insert(
+            about,
+            PvRoute {
+                d: advert.d,
+                path: if about == dest {
+                    Vec::new()
+                } else {
+                    vec![dest]
+                },
+            },
+        );
+    }
+
+    fn inject_route(&mut self, d: Distance, p: NodeId, dest: NodeId) {
+        // A path-vector "loop injection": the route claims to go through
+        // `p` straight to the destination. The path check then prevents
+        // *new* loops, but the injected parent pointers themselves stand
+        // until updates flush them.
+        self.route = PvRoute {
+            d,
+            path: if p == dest { vec![dest] } else { vec![p, dest] },
+        };
+    }
 }
 
-impl PvSimulation {
+/// Convenience facade for path-vector networks.
+pub type PvSimulation = SimHarness<PvNode>;
+
+impl BaselineSimulation for PvSimulation {
+    type Config = PvConfig;
+
     /// Builds a path-vector network at the legitimate state implied by the
     /// given route table (paths reconstructed by following parents), with
     /// consistent mirrors.
-    pub fn new(
+    fn new(
         graph: Graph,
         destination: NodeId,
         initial: Option<RouteTable>,
@@ -280,91 +324,7 @@ impl PvSimulation {
             }
             node
         });
-        PvSimulation {
-            engine,
-            destination,
-        }
-    }
-
-    /// The underlying engine.
-    pub fn engine(&self) -> &Engine<PvNode> {
-        &self.engine
-    }
-
-    /// Mutable engine access.
-    pub fn engine_mut(&mut self) -> &mut Engine<PvNode> {
-        &mut self.engine
-    }
-
-    /// The destination.
-    pub fn destination(&self) -> NodeId {
-        self.destination
-    }
-
-    /// Current topology.
-    pub fn graph(&self) -> &Graph {
-        self.engine.graph()
-    }
-
-    /// Current routes.
-    pub fn route_table(&self) -> RouteTable {
-        self.engine.route_table()
-    }
-
-    /// Whether routes match Dijkstra ground truth.
-    pub fn routes_correct(&self) -> bool {
-        self.route_table()
-            .is_correct(self.engine.graph(), self.destination)
-    }
-
-    /// Corrupts a node's advertised route to a bogus short one claiming
-    /// direct adjacency to the destination (the classic hijack).
-    pub fn corrupt_distance(&mut self, v: NodeId, d: Distance) {
-        let dest = self.destination;
-        self.engine.with_node_mut(v, |n| {
-            n.route = PvRoute {
-                d,
-                path: if v == dest { Vec::new() } else { vec![dest] },
-            };
-        });
-    }
-
-    /// Poisons `at`'s mirror of `about` with a short bogus route.
-    pub fn corrupt_mirror(&mut self, at: NodeId, about: NodeId, d: Distance) {
-        let dest = self.destination;
-        self.engine.with_node_mut(at, |n| {
-            n.mirrors.insert(
-                about,
-                PvRoute {
-                    d,
-                    path: if about == dest {
-                        Vec::new()
-                    } else {
-                        vec![dest]
-                    },
-                },
-            );
-        });
-    }
-
-    /// Fail-stops a node.
-    ///
-    /// # Errors
-    ///
-    /// Propagates [`GraphError`] for unknown nodes.
-    pub fn fail_node(&mut self, v: NodeId) -> Result<(), GraphError> {
-        self.engine.fail_node(v)
-    }
-
-    /// Runs until quiescent.
-    ///
-    /// # Panics
-    ///
-    /// Panics on event-budget exhaustion.
-    pub fn run_to_quiescence(&mut self, horizon: f64) -> RunReport {
-        self.engine
-            .run_to_quiescence(SimTime::new(horizon), 0.0)
-            .expect("path-vector must not livelock")
+        PvSimulation::from_parts(engine, destination, 0.0, ())
     }
 }
 
@@ -372,6 +332,7 @@ impl PvSimulation {
 mod tests {
     use super::*;
     use lsrp_graph::generators;
+    use lsrp_sim::SimTime;
 
     fn v(i: u32) -> NodeId {
         NodeId::new(i)
@@ -408,7 +369,7 @@ mod tests {
     fn hijack_propagates_then_recovers() {
         let mut s = sim(generators::path(6, 1), v(0));
         s.corrupt_distance(v(1), Distance::ZERO);
-        s.corrupt_mirror(v(2), v(1), Distance::ZERO);
+        s.poison_mirror(v(2), v(1), Distance::ZERO);
         let report = s.run_to_quiescence(1_000_000.0);
         assert!(report.quiescent);
         assert!(s.routes_correct());
@@ -487,7 +448,7 @@ mod tests {
             s.corrupt_distance(victim, Distance::ZERO);
             let ns: Vec<NodeId> = graph.neighbors(victim).map(|(k, _)| k).collect();
             for k in ns {
-                s.corrupt_mirror(k, victim, Distance::ZERO);
+                s.poison_mirror(k, victim, Distance::ZERO);
             }
             let report = s.run_to_quiescence(1_000_000.0);
             assert!(report.quiescent);

@@ -12,7 +12,7 @@
 
 use std::collections::BTreeSet;
 
-use lsrp_baselines::{DbfConfig, DbfSimulation};
+use lsrp_baselines::{BaselineSimulation, DbfConfig, DbfSimulation};
 use lsrp_graph::topologies::{fig1_route_table, paper_fig1, v, FIG1_DESTINATION};
 use lsrp_graph::{contamination, Distance, NodeId};
 use lsrp_sim::{EngineConfig, SimTime};
@@ -29,8 +29,8 @@ fn fig2_sim() -> DbfSimulation {
 
 fn corrupt_v9(sim: &mut DbfSimulation) {
     sim.corrupt_distance(v(9), Distance::Finite(1));
-    sim.corrupt_mirror(v(7), v(9), Distance::Finite(1));
-    sim.corrupt_mirror(v(8), v(9), Distance::Finite(1));
+    sim.poison_mirror(v(7), v(9), Distance::Finite(1));
+    sim.poison_mirror(v(8), v(9), Distance::Finite(1));
 }
 
 #[test]
@@ -137,7 +137,7 @@ fn dbf_stabilization_scales_with_tree_depth_not_perturbation() {
         let mut sim =
             DbfSimulation::new(g, v(0), None, DbfConfig::default(), EngineConfig::default());
         sim.corrupt_distance(v(1), Distance::ZERO);
-        sim.corrupt_mirror(v(2), v(1), Distance::ZERO);
+        sim.poison_mirror(v(2), v(1), Distance::ZERO);
         let report = sim.run_to_quiescence(1_000_000.0);
         assert!(report.quiescent);
         assert!(sim.routes_correct());

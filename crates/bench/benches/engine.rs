@@ -1,10 +1,41 @@
-//! Raw engine benchmarks: event throughput of the simulator substrate
-//! (independent of any paper claim; useful for tracking regressions).
+//! Raw engine benchmarks: event and delivery throughput of the simulator
+//! substrate (independent of any paper claim; useful for tracking
+//! regressions).
+//!
+//! The timed scenarios are the same fixed-seed builds the `perf_smoke`
+//! binary measures (`lsrp_bench::engine_perf`): the benign Fig. 1 cold
+//! start and a 200-node grid, both with a counters-only sink.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 
-use lsrp_core::{InitialState, LsrpSimulation};
+use lsrp_bench::engine_perf::{fig1_sim, grid200_sim};
+use lsrp_core::{InitialState, LsrpSimulation, LsrpSimulationExt};
 use lsrp_graph::{generators, NodeId};
+
+fn bench_delivery_throughput(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine_delivery_throughput");
+    g.sample_size(10);
+    for (name, build) in [
+        ("fig1_benign", fig1_sim as fn() -> LsrpSimulation),
+        ("grid200_benign", grid200_sim),
+    ] {
+        // Calibrate throughput to the scenario's deterministic delivery
+        // count, so Criterion reports deliveries/sec.
+        let mut probe = build();
+        assert!(probe.run_to_quiescence(1_000_000.0).quiescent);
+        let deliveries = probe.stats().messages_delivered;
+        g.throughput(Throughput::Elements(deliveries));
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let mut sim = build();
+                let report = sim.run_to_quiescence(1_000_000.0);
+                assert!(report.quiescent);
+                std::hint::black_box(sim.stats().messages_delivered)
+            })
+        });
+    }
+    g.finish();
+}
 
 fn bench_cold_start(c: &mut Criterion) {
     let mut g = c.benchmark_group("engine_cold_start");
@@ -44,5 +75,10 @@ fn bench_event_rate(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_cold_start, bench_event_rate);
+criterion_group!(
+    benches,
+    bench_delivery_throughput,
+    bench_cold_start,
+    bench_event_rate
+);
 criterion_main!(benches);

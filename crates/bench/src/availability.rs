@@ -6,9 +6,10 @@
 use lsrp_analysis::forwarding::measure_availability;
 use lsrp_analysis::{measure_recovery, table::fmt_f64, RoutingSimulation, Table};
 use lsrp_baselines::{
-    DbfConfig, DbfSimulation, DualConfig, DualSimulation, PvConfig, PvSimulation,
+    BaselineSimulation, DbfConfig, DbfSimulation, DualConfig, DualSimulation, PvConfig,
+    PvSimulation,
 };
-use lsrp_core::{LsrpSimulation, TimingConfig};
+use lsrp_core::{LsrpSimulation, LsrpSimulationExt, TimingConfig};
 use lsrp_faults::corruption::contiguous_region;
 use lsrp_graph::{generators, Distance, NodeId};
 use lsrp_sim::{ClockConfig, EngineConfig, LinkConfig};

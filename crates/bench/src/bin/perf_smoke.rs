@@ -1,0 +1,40 @@
+//! CI perf-smoke: run the fixed-seed engine throughput scenarios, write
+//! `BENCH_engine.json` at the repository root, and fail if events/sec
+//! falls below a deliberately generous floor.
+//!
+//! The floor is ~20x below the throughput measured on an unremarkable
+//! development container, so it only trips on order-of-magnitude
+//! regressions (an accidental O(n) scan on the hot path, a deep clone per
+//! broadcast fan-out copy), never on machine noise.
+
+use std::path::Path;
+
+use lsrp_bench::engine_perf::{measure_all, to_json};
+
+/// Generous events/sec floor; see module docs.
+const EVENTS_PER_SEC_FLOOR: f64 = 20_000.0;
+
+fn main() {
+    let results = measure_all();
+    let doc = to_json(&results);
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_engine.json");
+    std::fs::write(&path, &doc).expect("write BENCH_engine.json");
+    print!("{doc}");
+    let mut failed = false;
+    for r in &results {
+        let ok = r.events_per_sec >= EVENTS_PER_SEC_FLOOR;
+        eprintln!(
+            "perf-smoke {}: {:.0} events/sec (floor {EVENTS_PER_SEC_FLOOR:.0}), \
+             peak queue {} — {}",
+            r.scenario,
+            r.events_per_sec,
+            r.peak_queue_depth,
+            if ok { "ok" } else { "BELOW FLOOR" },
+        );
+        failed |= !ok;
+    }
+    if failed {
+        eprintln!("perf-smoke: engine throughput regressed past the generous floor");
+        std::process::exit(1);
+    }
+}

@@ -5,9 +5,10 @@
 
 use lsrp_analysis::RoutingSimulation;
 use lsrp_baselines::{
-    DbfConfig, DbfSimulation, DualConfig, DualSimulation, PvConfig, PvSimulation,
+    BaselineSimulation, DbfConfig, DbfSimulation, DualConfig, DualSimulation, PvConfig,
+    PvSimulation,
 };
-use lsrp_core::{InitialState, LsrpSimulation, TimingConfig};
+use lsrp_core::{InitialState, LsrpSimulation, LsrpSimulationExt, TimingConfig};
 use lsrp_graph::{Graph, NodeId, RouteTable};
 use lsrp_sim::EngineConfig;
 

@@ -1,0 +1,177 @@
+//! Raw engine throughput: events/sec and queue pressure of the simulator
+//! substrate itself, independent of any paper claim.
+//!
+//! Two fixed-seed scenarios are measured — the benign cold start on the
+//! paper's Fig. 1 topology and a 200-node grid — with a counters-only
+//! [`SinkKind::CountsOnly`] sink so trace retention does not dominate the
+//! measurement. [`EngineStats`] supplies the event totals and the peak
+//! queue depth; wall-clock time comes from [`std::time::Instant`].
+//!
+//! The `perf_smoke` binary runs these scenarios, writes the results to
+//! `BENCH_engine.json` at the repository root, and fails if throughput
+//! drops below a deliberately generous floor — a regression tripwire, not
+//! a precise benchmark (Criterion's `benches/engine.rs` covers timing).
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+use lsrp_core::{InitialState, LsrpSimulation, LsrpSimulationExt};
+use lsrp_graph::{generators, topologies, NodeId};
+use lsrp_sim::{EngineConfig, SinkKind};
+
+/// The fixed seed every throughput scenario runs under.
+pub const PERF_SEED: u64 = 42;
+
+/// Throughput measured for one scenario.
+#[derive(Debug, Clone)]
+pub struct EnginePerf {
+    /// Scenario name (`fig1_benign`, `grid200_benign`).
+    pub scenario: &'static str,
+    /// Total engine events processed across all iterations.
+    pub events: u64,
+    /// Messages delivered across all iterations.
+    pub messages_delivered: u64,
+    /// High-water mark of the event queue over all iterations.
+    pub peak_queue_depth: usize,
+    /// Wall-clock seconds spent inside the event loop.
+    pub elapsed_secs: f64,
+    /// Events per wall-clock second.
+    pub events_per_sec: f64,
+    /// Delivered messages per wall-clock second.
+    pub deliveries_per_sec: f64,
+}
+
+fn engine_config() -> EngineConfig {
+    EngineConfig::default()
+        .with_seed(PERF_SEED)
+        .with_sink(SinkKind::CountsOnly)
+}
+
+/// The benign Fig. 1 cold start (14 nodes, fresh state to quiescence).
+pub fn fig1_sim() -> LsrpSimulation {
+    LsrpSimulation::builder(topologies::paper_fig1(), topologies::FIG1_DESTINATION)
+        .initial_state(InitialState::Fresh)
+        .engine_config(engine_config())
+        .build()
+}
+
+/// The 200-node grid cold start (20x10, fresh state to quiescence).
+pub fn grid200_sim() -> LsrpSimulation {
+    LsrpSimulation::builder(generators::grid(20, 10, 1), NodeId::new(0))
+        .initial_state(InitialState::Fresh)
+        .engine_config(engine_config())
+        .build()
+}
+
+/// Runs `build()` to quiescence `iters` times, timing only the event loop,
+/// and aggregates events, deliveries and queue pressure.
+///
+/// # Panics
+///
+/// Panics if any iteration fails to reach quiescence.
+pub fn measure(
+    scenario: &'static str,
+    iters: u32,
+    build: impl Fn() -> LsrpSimulation,
+) -> EnginePerf {
+    let mut events = 0u64;
+    let mut delivered = 0u64;
+    let mut peak = 0usize;
+    let mut elapsed = Duration::ZERO;
+    for _ in 0..iters {
+        let mut sim = build();
+        let start = Instant::now();
+        let report = sim.run_to_quiescence(1_000_000.0);
+        elapsed += start.elapsed();
+        assert!(report.quiescent, "{scenario} must settle");
+        let stats = sim.stats();
+        events += stats.total_events();
+        delivered += stats.messages_delivered;
+        peak = peak.max(stats.peak_queue_depth);
+    }
+    let secs = elapsed.as_secs_f64().max(f64::MIN_POSITIVE);
+    EnginePerf {
+        scenario,
+        events,
+        messages_delivered: delivered,
+        peak_queue_depth: peak,
+        elapsed_secs: secs,
+        events_per_sec: events as f64 / secs,
+        deliveries_per_sec: delivered as f64 / secs,
+    }
+}
+
+/// Runs both throughput scenarios with iteration counts sized for a
+/// sub-second smoke run.
+pub fn measure_all() -> Vec<EnginePerf> {
+    vec![
+        measure("fig1_benign", 20, fig1_sim),
+        measure("grid200_benign", 3, grid200_sim),
+    ]
+}
+
+/// Renders the measurements as the `BENCH_engine.json` document.
+#[must_use]
+pub fn to_json(results: &[EnginePerf]) -> String {
+    let mut out = String::from("{\n");
+    let _ = writeln!(out, "  \"bench\": \"engine\",");
+    let _ = writeln!(out, "  \"seed\": {PERF_SEED},");
+    out.push_str("  \"scenarios\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        out.push_str("    {");
+        let _ = write!(
+            out,
+            "\"name\": \"{}\", \"events\": {}, \"messages_delivered\": {}, \
+             \"peak_queue_depth\": {}, \"elapsed_secs\": {:.6}, \
+             \"events_per_sec\": {:.1}, \"deliveries_per_sec\": {:.1}",
+            r.scenario,
+            r.events,
+            r.messages_delivered,
+            r.peak_queue_depth,
+            r.elapsed_secs,
+            r.events_per_sec,
+            r.deliveries_per_sec,
+        );
+        out.push_str(if i + 1 == results.len() {
+            "}\n"
+        } else {
+            "},\n"
+        });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scenarios_settle_and_count_events() {
+        let r = measure("fig1_benign", 2, fig1_sim);
+        assert!(r.events > 0);
+        assert!(r.messages_delivered > 0);
+        assert!(r.peak_queue_depth > 0);
+        assert!(r.events_per_sec > 0.0);
+    }
+
+    #[test]
+    fn event_totals_are_seed_deterministic() {
+        let a = measure("grid200_benign", 1, grid200_sim);
+        let b = measure("grid200_benign", 1, grid200_sim);
+        assert_eq!(a.events, b.events);
+        assert_eq!(a.messages_delivered, b.messages_delivered);
+        assert_eq!(a.peak_queue_depth, b.peak_queue_depth);
+    }
+
+    #[test]
+    fn json_document_is_well_formed_enough() {
+        let doc = to_json(&measure_all());
+        assert!(doc.starts_with("{\n"));
+        assert!(doc.ends_with("}\n"));
+        assert!(doc.contains("\"fig1_benign\""));
+        assert!(doc.contains("\"grid200_benign\""));
+        assert!(doc.contains("\"peak_queue_depth\""));
+        assert_eq!(doc.matches('{').count(), doc.matches('}').count());
+    }
+}

@@ -3,6 +3,7 @@
 use std::collections::BTreeSet;
 
 use lsrp_analysis::{measure_recovery, table::fmt_f64, timeline, RoutingSimulation, Table};
+use lsrp_core::LsrpSimulationExt;
 use lsrp_faults::FaultPlan;
 use lsrp_graph::concepts::{Perturbation, TopologyChange};
 use lsrp_graph::topologies::{

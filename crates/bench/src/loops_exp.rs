@@ -3,7 +3,7 @@
 
 use lsrp_analysis::loops::inject_and_measure;
 use lsrp_analysis::{measure_loop_breakage, table::fmt_f64, RoutingSimulation, Table};
-use lsrp_core::{InitialState, LsrpSimulation, TimingConfig};
+use lsrp_core::{InitialState, LsrpSimulation, LsrpSimulationExt, TimingConfig};
 use lsrp_graph::{generators, Distance, NodeId};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};

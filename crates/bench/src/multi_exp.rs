@@ -4,7 +4,7 @@
 
 use lsrp_analysis::{table::fmt_f64, Table};
 use lsrp_graph::{generators, Distance, NodeId};
-use lsrp_multi::MultiLsrpSimulation;
+use lsrp_multi::{MultiLsrpSimulation, MultiLsrpSimulationExt};
 
 use crate::HORIZON;
 

@@ -4,8 +4,10 @@
 
 use std::collections::BTreeSet;
 
-use lsrp_analysis::{measure_recovery, table::fmt_f64, RecoveryMetrics, RoutingSimulation, Table};
-use lsrp_core::LsrpSimulation;
+use lsrp_analysis::{
+    measure_recovery, run_sharded, table::fmt_f64, RecoveryMetrics, RoutingSimulation, Table,
+};
+use lsrp_core::{LsrpSimulation, LsrpSimulationExt};
 use lsrp_faults::corruption::contiguous_region;
 use lsrp_faults::{CorruptionKind, Fault, FaultPlan, RecurringFault};
 use lsrp_graph::{generators, Distance, NodeId};
@@ -73,6 +75,10 @@ pub fn apply_plan_generic(sim: &mut dyn RoutingSimulation, plan: &FaultPlan) {
 
 /// E6 headline table: sweep perturbation size at fixed network size, and
 /// network size at fixed perturbation size.
+///
+/// Every `(protocol, width, p)` cell is a pure function of its inputs, so
+/// the sweep fans out over [`run_sharded`] worker threads and merges back
+/// in cell order — the table is byte-identical to the serial sweep.
 pub fn e6_scaling(widths: &[u32], sizes: &[usize]) -> Table {
     let mut t = Table::new(
         "E6 — Theorem 2: stabilization scales with perturbation size, not network size",
@@ -86,22 +92,33 @@ pub fn e6_scaling(widths: &[u32], sizes: &[usize]) -> Table {
             "messages",
         ],
     );
+    let mut cells = Vec::new();
     for &protocol in &ALL_PROTOCOLS {
         for &w in widths {
             for &p in sizes {
-                let m = scaling_cell(protocol, w, p, 42 + u64::from(w));
-                assert!(m.quiescent && m.routes_correct, "{protocol:?} w={w} p={p}");
-                t.row(&[
-                    m.protocol.to_string(),
-                    format!("{}", w * w),
-                    p.to_string(),
-                    fmt_f64(m.stabilization_time),
-                    m.contamination_range.to_string(),
-                    m.contaminated.len().to_string(),
-                    m.messages.to_string(),
-                ]);
+                cells.push((protocol, w, p));
             }
         }
+    }
+    let jobs = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let results = {
+        let cells = cells.clone();
+        run_sharded(jobs, cells.len(), move |i| {
+            let (protocol, w, p) = cells[i];
+            scaling_cell(protocol, w, p, 42 + u64::from(w))
+        })
+    };
+    for ((protocol, w, p), m) in cells.into_iter().zip(results) {
+        assert!(m.quiescent && m.routes_correct, "{protocol:?} w={w} p={p}");
+        t.row(&[
+            m.protocol.to_string(),
+            format!("{}", w * w),
+            p.to_string(),
+            fmt_f64(m.stabilization_time),
+            m.contamination_range.to_string(),
+            m.contaminated.len().to_string(),
+            m.messages.to_string(),
+        ]);
     }
     t
 }
@@ -186,6 +203,16 @@ pub fn e10_continuous(intervals: &[f64]) -> Table {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn sharded_e6_sweep_is_reproducible() {
+        // The sweep fans out over worker threads; the rendered table must
+        // not depend on scheduling.
+        let a = e6_scaling(&[6], &[1]).to_string();
+        let b = e6_scaling(&[6], &[1]).to_string();
+        assert_eq!(a, b);
+        assert!(a.contains("LSRP"));
+    }
 
     #[test]
     fn lsrp_containment_is_local_and_dbf_is_not() {

@@ -1,7 +1,7 @@
 //! E5 (Theorem 1): self-stabilization from fully arbitrary states.
 
 use lsrp_analysis::{table::fmt_f64, Table};
-use lsrp_core::{InitialState, LsrpSimulation, TimingConfig};
+use lsrp_core::{InitialState, LsrpSimulation, LsrpSimulationExt, TimingConfig};
 use lsrp_graph::{generators, NodeId};
 use rand::rngs::StdRng;
 use rand::SeedableRng;

@@ -9,8 +9,8 @@
 
 use std::collections::BTreeSet;
 
-use lsrp_analysis::{measure_recovery, table::fmt_f64, RoutingSimulation, Table};
-use lsrp_core::{InitialState, LsrpSimulation, TimingConfig};
+use lsrp_analysis::{measure_recovery, table::fmt_f64, Table};
+use lsrp_core::{InitialState, LsrpSimulation, LsrpSimulationExt, TimingConfig};
 use lsrp_graph::topologies::{fig1_route_table, paper_fig1, v, FIG1_DESTINATION};
 use lsrp_graph::{generators, Distance, NodeId};
 
@@ -134,7 +134,6 @@ pub fn containment_depth_run(p: usize) -> (usize, usize, f64) {
         sim.corrupt_distance(node, d);
         let ns: Vec<NodeId> = graph.neighbors(node).map(|(k, _)| k).collect();
         for k in ns {
-            use lsrp_analysis::RoutingSimulation as _;
             sim.poison_mirror(k, node, d);
         }
     }

@@ -122,6 +122,9 @@ pub enum Command {
         runs: u32,
         /// Per-run simulated-time budget.
         horizon: f64,
+        /// Worker threads running the campaign (results are merged in
+        /// seed order, so the report is identical for every value).
+        jobs: usize,
     },
     /// `help`
     Help,
@@ -253,6 +256,7 @@ impl Command {
         let mut timeline = false;
         let mut runs = 5u32;
         let mut horizon = 100_000.0f64;
+        let mut jobs = 1usize;
 
         while let Some(flag) = args.next() {
             let mut value = |what: &str| {
@@ -282,6 +286,14 @@ impl Command {
                         .map_err(|_| err("invalid run count"))?;
                     if runs == 0 {
                         return Err(err("--runs must be at least 1"));
+                    }
+                }
+                "--jobs" | "-j" => {
+                    jobs = value("job count")?
+                        .parse()
+                        .map_err(|_| err("invalid job count"))?;
+                    if jobs == 0 {
+                        return Err(err("--jobs must be at least 1"));
                     }
                 }
                 "--horizon" => {
@@ -319,6 +331,7 @@ impl Command {
                 seed,
                 runs,
                 horizon,
+                jobs,
             }),
             other => Err(err(format!(
                 "unknown command '{other}' (run, compare, topo, chaos, help)"
@@ -336,7 +349,7 @@ USAGE:
                [--fault SPEC]... [--seed N] [--timeline]
   lsrp compare --topology SPEC [--dest N] [--fault SPEC]... [--seed N]
   lsrp topo    --topology SPEC [--seed N]
-  lsrp chaos   --topology SPEC [--dest N] [--seed N] [--runs N]
+  lsrp chaos   --topology SPEC [--dest N] [--seed N] [--runs N] [--jobs N]
                [--horizon T]
 
 TOPOLOGIES:  grid:8x8  ring:32  path:16  er:40:0.1  geo:60:0.18

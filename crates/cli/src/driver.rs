@@ -6,9 +6,10 @@ use std::fmt::Write as _;
 
 use lsrp_analysis::{chaos, measure_recovery, table::fmt_f64, timeline, RoutingSimulation, Table};
 use lsrp_baselines::{
-    DbfConfig, DbfSimulation, DualConfig, DualSimulation, PvConfig, PvSimulation,
+    BaselineSimulation, DbfConfig, DbfSimulation, DualConfig, DualSimulation, PvConfig,
+    PvSimulation,
 };
-use lsrp_core::{InitialState, LsrpSimulation};
+use lsrp_core::{InitialState, LsrpSimulation, LsrpSimulationExt};
 use lsrp_graph::{generators, topologies, Graph, NodeId};
 use lsrp_sim::EngineConfig;
 use rand::rngs::StdRng;
@@ -287,6 +288,7 @@ pub fn run_command(cmd: &Command) -> Result<String, ParseError> {
             seed,
             runs,
             horizon,
+            jobs,
         } => {
             let (graph, natural_dest) = build_topology(topology, *seed);
             let dest = dest.unwrap_or(natural_dest);
@@ -299,8 +301,15 @@ pub fn run_command(cmd: &Command) -> Result<String, ParseError> {
                 horizon: *horizon,
                 ..chaos::ChaosConfig::default()
             };
-            let campaign =
-                chaos::chaos_campaign(&graph, dest, &topology.to_string(), &config, *seed, *runs);
+            let campaign = lsrp_analysis::chaos_campaign_with_jobs(
+                &graph,
+                dest,
+                &topology.to_string(),
+                &config,
+                *seed,
+                *runs,
+                *jobs,
+            );
             out.push_str(&campaign.report());
             for run in campaign.violating() {
                 let (minimized, violation) = chaos::minimize_run(&graph, dest, &config, run);
@@ -422,5 +431,18 @@ mod tests {
         assert!(run("chaos --topology grid:3x3 --runs 0").is_err());
         assert!(run("chaos --topology grid:3x3 --horizon -5").is_err());
         assert!(run("chaos --topology grid:3x3 --dest 99").is_err());
+        assert!(run("chaos --topology grid:3x3 --jobs 0").is_err());
+    }
+
+    #[test]
+    fn chaos_parallel_report_is_byte_identical_to_serial() {
+        let serial = run("chaos --topology grid:3x3 --runs 4 --seed 5 --jobs 1").unwrap();
+        for jobs in [2, 4] {
+            let parallel = run(&format!(
+                "chaos --topology grid:3x3 --runs 4 --seed 5 --jobs {jobs}"
+            ))
+            .unwrap();
+            assert_eq!(serial, parallel, "jobs={jobs}");
+        }
     }
 }

@@ -6,13 +6,18 @@ use std::collections::BTreeMap;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use lsrp_graph::{Distance, Graph, GraphError, NodeId, RouteTable, Weight};
-use lsrp_sim::{Engine, EngineConfig, RunReport, SimTime};
+use lsrp_graph::{Distance, Graph, NodeId, RouteTable, Weight};
+use lsrp_sim::{Engine, EngineConfig, SimHarness};
 
 use crate::legitimacy;
 use crate::protocol::LsrpNode;
 use crate::state::{LsrpState, Mirror};
 use crate::timing::TimingConfig;
+
+/// A running LSRP network: the generic harness specialized to LSRP, with
+/// the wave timing as its metadata. LSRP-specific conveniences live in
+/// [`LsrpSimulationExt`].
+pub type LsrpSimulation = SimHarness<LsrpNode>;
 
 /// How node states are initialized.
 #[derive(Debug, Clone)]
@@ -121,11 +126,14 @@ impl LsrpSimulationBuilder {
             state.set_neighbors(neighbors.clone());
             LsrpNode::new(state, timing)
         });
-        LsrpSimulation {
-            engine,
-            destination,
-            timing,
-        }
+        // Settle window for quiescence detection: zero without a `SYN`
+        // period (the event queue drains), else long enough that periodic
+        // refreshes changing nothing cannot keep the run alive.
+        let settle = match timing.syn_period {
+            Some(p) => 2.0 * p + 1.0,
+            None => 0.0,
+        };
+        LsrpSimulation::from_parts(engine, destination, settle, timing)
     }
 }
 
@@ -219,18 +227,36 @@ fn arbitrary_states(graph: &Graph, destination: NodeId, seed: u64) -> BTreeMap<N
     states
 }
 
-/// A running LSRP network: the engine plus LSRP-specific conveniences.
-#[derive(Debug)]
-pub struct LsrpSimulation {
-    engine: Engine<LsrpNode>,
-    destination: NodeId,
-    timing: TimingConfig,
-}
-
-impl LsrpSimulation {
+/// LSRP-specific conveniences on [`LsrpSimulation`] (the generic
+/// [`SimHarness`] methods — running, route tables, fault injection — are
+/// inherent; import this trait for the LSRP-only extras).
+pub trait LsrpSimulationExt {
     /// Starts building a simulation of `graph` routing toward
     /// `destination`.
-    pub fn builder(graph: Graph, destination: NodeId) -> LsrpSimulationBuilder {
+    fn builder(graph: Graph, destination: NodeId) -> LsrpSimulationBuilder;
+
+    /// The wave timing in use.
+    fn timing(&self) -> &TimingConfig;
+
+    /// Whether the legitimate-state predicate `L` holds right now.
+    fn is_legitimate(&self) -> bool;
+
+    /// Corrupts `p.v` in place.
+    fn corrupt_parent(&mut self, v: NodeId, p: NodeId);
+
+    /// Corrupts `ghost.v` in place.
+    fn corrupt_ghost(&mut self, v: NodeId, ghost: bool);
+
+    /// Corrupts `v`'s mirror of neighbor `about` in place (used to model
+    /// "neighbors have already learned the corrupted value" scenarios).
+    fn corrupt_mirror(&mut self, v: NodeId, about: NodeId, mirror: Mirror);
+
+    /// Arbitrary in-place state mutation.
+    fn with_state_mut(&mut self, v: NodeId, f: impl FnOnce(&mut LsrpState));
+}
+
+impl LsrpSimulationExt for LsrpSimulation {
+    fn builder(graph: Graph, destination: NodeId) -> LsrpSimulationBuilder {
         let engine = EngineConfig::default();
         LsrpSimulationBuilder {
             graph,
@@ -242,159 +268,31 @@ impl LsrpSimulation {
         }
     }
 
-    /// The destination node.
-    pub fn destination(&self) -> NodeId {
-        self.destination
+    fn timing(&self) -> &TimingConfig {
+        self.meta()
     }
 
-    /// The wave timing in use.
-    pub fn timing(&self) -> &TimingConfig {
-        &self.timing
+    fn is_legitimate(&self) -> bool {
+        legitimacy::is_legitimate(self.engine())
     }
 
-    /// The underlying engine (trace, clocks, topology).
-    pub fn engine(&self) -> &Engine<LsrpNode> {
-        &self.engine
+    fn corrupt_parent(&mut self, v: NodeId, p: NodeId) {
+        self.engine_mut().with_node_mut(v, |n| n.state_mut().p = p);
     }
 
-    /// Mutable access to the underlying engine.
-    pub fn engine_mut(&mut self) -> &mut Engine<LsrpNode> {
-        &mut self.engine
-    }
-
-    /// The current topology.
-    pub fn graph(&self) -> &Graph {
-        self.engine.graph()
-    }
-
-    /// Current simulated time.
-    pub fn now(&self) -> SimTime {
-        self.engine.now()
-    }
-
-    /// The settle window used for quiescence detection: zero without a
-    /// `SYN` period (the event queue drains), else long enough that
-    /// periodic refreshes changing nothing cannot keep the run alive.
-    pub fn settle_window(&self) -> f64 {
-        match self.timing.syn_period {
-            Some(p) => 2.0 * p + 1.0,
-            None => 0.0,
-        }
-    }
-
-    /// Runs until the network settles or `horizon` seconds pass.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the engine's event budget is exhausted (a protocol
-    /// livelock — always a bug worth crashing loudly on).
-    pub fn run_to_quiescence(&mut self, horizon: f64) -> RunReport {
-        let settle = self.settle_window();
-        self.engine
-            .run_to_quiescence(SimTime::new(horizon), settle)
-            .expect("LSRP must not livelock")
-    }
-
-    /// Runs for all events up to `until` seconds.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the engine's event budget is exhausted.
-    pub fn run_until(&mut self, until: f64) -> RunReport {
-        self.engine
-            .run_until(SimTime::new(until))
-            .expect("LSRP must not livelock")
-    }
-
-    /// Corrupts `d.v` in place.
-    pub fn corrupt_distance(&mut self, v: NodeId, d: Distance) {
-        self.engine.with_node_mut(v, |n| n.state_mut().d = d);
-    }
-
-    /// Corrupts `p.v` in place.
-    pub fn corrupt_parent(&mut self, v: NodeId, p: NodeId) {
-        self.engine.with_node_mut(v, |n| n.state_mut().p = p);
-    }
-
-    /// Corrupts `ghost.v` in place.
-    pub fn corrupt_ghost(&mut self, v: NodeId, ghost: bool) {
-        self.engine
+    fn corrupt_ghost(&mut self, v: NodeId, ghost: bool) {
+        self.engine_mut()
             .with_node_mut(v, |n| n.state_mut().ghost = ghost);
     }
 
-    /// Corrupts `v`'s mirror of neighbor `about` in place (used to model
-    /// "neighbors have already learned the corrupted value" scenarios).
-    pub fn corrupt_mirror(&mut self, v: NodeId, about: NodeId, mirror: Mirror) {
-        self.engine.with_node_mut(v, |n| {
+    fn corrupt_mirror(&mut self, v: NodeId, about: NodeId, mirror: Mirror) {
+        self.engine_mut().with_node_mut(v, |n| {
             n.state_mut().mirrors.insert(about, mirror);
         });
     }
 
-    /// Arbitrary in-place state mutation.
-    pub fn with_state_mut(&mut self, v: NodeId, f: impl FnOnce(&mut LsrpState)) {
-        self.engine.with_node_mut(v, |n| f(n.state_mut()));
-    }
-
-    /// Fail-stops a node.
-    ///
-    /// # Errors
-    ///
-    /// Propagates [`GraphError`] for unknown nodes.
-    pub fn fail_node(&mut self, v: NodeId) -> Result<(), GraphError> {
-        self.engine.fail_node(v)
-    }
-
-    /// Joins a node with the given edges.
-    ///
-    /// # Errors
-    ///
-    /// Propagates [`GraphError`] for invalid joins.
-    pub fn join_node(&mut self, v: NodeId, edges: &[(NodeId, Weight)]) -> Result<(), GraphError> {
-        self.engine.join_node(v, edges)
-    }
-
-    /// Fail-stops an edge.
-    ///
-    /// # Errors
-    ///
-    /// Propagates [`GraphError`] for unknown edges.
-    pub fn fail_edge(&mut self, a: NodeId, b: NodeId) -> Result<(), GraphError> {
-        self.engine.fail_edge(a, b)
-    }
-
-    /// Joins an edge.
-    ///
-    /// # Errors
-    ///
-    /// Propagates [`GraphError`] for invalid edges.
-    pub fn join_edge(&mut self, a: NodeId, b: NodeId, w: Weight) -> Result<(), GraphError> {
-        self.engine.join_edge(a, b, w)
-    }
-
-    /// Changes an edge weight.
-    ///
-    /// # Errors
-    ///
-    /// Propagates [`GraphError`] for unknown edges.
-    pub fn set_weight(&mut self, a: NodeId, b: NodeId, w: Weight) -> Result<(), GraphError> {
-        self.engine.set_weight(a, b, w)
-    }
-
-    /// The current `(d.v, p.v)` table.
-    pub fn route_table(&self) -> RouteTable {
-        self.engine.route_table()
-    }
-
-    /// Whether the legitimate-state predicate `L` holds right now.
-    pub fn is_legitimate(&self) -> bool {
-        legitimacy::is_legitimate(&self.engine)
-    }
-
-    /// Whether every node's route matches Dijkstra ground truth on the
-    /// current topology.
-    pub fn routes_correct(&self) -> bool {
-        self.route_table()
-            .is_correct(self.engine.graph(), self.destination)
+    fn with_state_mut(&mut self, v: NodeId, f: impl FnOnce(&mut LsrpState)) {
+        self.engine_mut().with_node_mut(v, |n| f(n.state_mut()));
     }
 }
 

@@ -71,7 +71,7 @@ pub fn is_legitimate(engine: &Engine<LsrpNode>) -> bool {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::builder::LsrpSimulation;
+    use crate::builder::{LsrpSimulation, LsrpSimulationExt};
     use lsrp_graph::generators;
     use lsrp_sim::SimTime;
 

@@ -15,7 +15,7 @@
 //! # Quick example
 //!
 //! ```
-//! use lsrp_core::LsrpSimulation;
+//! use lsrp_core::{LsrpSimulation, LsrpSimulationExt};
 //! use lsrp_graph::{generators, Distance, NodeId};
 //!
 //! let dest = NodeId::new(0);
@@ -43,7 +43,7 @@ pub mod protocol;
 pub mod state;
 pub mod timing;
 
-pub use crate::builder::{InitialState, LsrpSimulation, LsrpSimulationBuilder};
+pub use crate::builder::{InitialState, LsrpSimulation, LsrpSimulationBuilder, LsrpSimulationExt};
 pub use crate::protocol::{actions, LsrpNode};
 pub use crate::state::{LsrpMsg, LsrpState, Mirror};
 pub use crate::timing::{InvalidTiming, TimingConfig};

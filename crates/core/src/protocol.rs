@@ -14,10 +14,10 @@
 use std::collections::BTreeMap;
 
 use lsrp_graph::{Distance, NodeId, RouteEntry, Weight};
-use lsrp_sim::{ActionId, Effects, EnabledSet, ProtocolNode};
+use lsrp_sim::{ActionId, Effects, EnabledSet, ForgedAdvert, HarnessProtocol, ProtocolNode};
 
 use crate::predicates;
-use crate::state::{LsrpMsg, LsrpState};
+use crate::state::{LsrpMsg, LsrpState, Mirror};
 use crate::timing::TimingConfig;
 
 /// Action kind tags (the `kind` field of [`ActionId`]).
@@ -290,6 +290,31 @@ impl ProtocolNode for LsrpNode {
 
     fn is_maintenance(action: ActionId) -> bool {
         action.kind == actions::SYN1
+    }
+}
+
+impl HarnessProtocol for LsrpNode {
+    const NAME: &'static str = "LSRP";
+    type Meta = TimingConfig;
+
+    fn corrupt_distance(&mut self, d: Distance, _dest: NodeId) {
+        self.state.d = d;
+    }
+
+    fn poison_mirror(&mut self, about: NodeId, advert: ForgedAdvert, _dest: NodeId) {
+        self.state.mirrors.insert(
+            about,
+            Mirror {
+                d: advert.d,
+                p: advert.parent,
+                ghost: advert.ghost,
+            },
+        );
+    }
+
+    fn inject_route(&mut self, d: Distance, p: NodeId, _dest: NodeId) {
+        self.state.d = d;
+        self.state.p = p;
     }
 }
 

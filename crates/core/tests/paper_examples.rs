@@ -6,7 +6,7 @@
 //! `hd_S = 2 hd_C + u = 17`.
 
 use lsrp_core::InitialState;
-use lsrp_core::{LsrpSimulation, Mirror, TimingConfig};
+use lsrp_core::{LsrpSimulation, LsrpSimulationExt, Mirror, TimingConfig};
 use lsrp_graph::topologies::{fig1_route_table, paper_fig1, v, FIG1_DESTINATION};
 use lsrp_graph::Distance;
 use lsrp_sim::SimTime;

@@ -11,7 +11,7 @@
 
 use proptest::prelude::*;
 
-use lsrp_core::{InitialState, LsrpSimulation, TimingConfig};
+use lsrp_core::{InitialState, LsrpSimulation, LsrpSimulationExt, TimingConfig};
 use lsrp_graph::{generators, Distance, NodeId};
 use rand::rngs::StdRng;
 use rand::SeedableRng;

@@ -57,6 +57,7 @@ impl RecurringFault {
 mod tests {
     use super::*;
     use crate::fault::{CorruptionKind, Fault};
+    use lsrp_core::LsrpSimulationExt;
     use lsrp_graph::{generators, Distance, NodeId};
 
     fn v(i: u32) -> NodeId {

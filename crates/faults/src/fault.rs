@@ -3,7 +3,7 @@
 
 use std::fmt;
 
-use lsrp_core::{LsrpSimulation, Mirror};
+use lsrp_core::{LsrpSimulation, LsrpSimulationExt, Mirror};
 use lsrp_graph::{Distance, GraphError, NodeId, Weight};
 
 /// In-place corruption of one node's state.

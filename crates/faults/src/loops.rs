@@ -71,7 +71,7 @@ pub fn loop_plan(graph: &Graph, cycle: &[NodeId], base: u64) -> FaultPlan {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use lsrp_core::{InitialState, LsrpSimulation};
+    use lsrp_core::{InitialState, LsrpSimulation, LsrpSimulationExt};
     use lsrp_graph::generators;
 
     fn v(i: u32) -> NodeId {

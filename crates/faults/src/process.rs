@@ -400,7 +400,7 @@ mod tests {
 
     #[test]
     fn generated_schedules_replay_against_a_simulation() {
-        use lsrp_core::LsrpSimulation;
+        use lsrp_core::{LsrpSimulation, LsrpSimulationExt};
         let g = generators::grid(3, 3, 1);
         let p = FaultProcess::standard();
         let s = p.generate(&g, v(0), 300.0, 42);

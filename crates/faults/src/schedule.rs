@@ -347,6 +347,7 @@ fn parse_fault(text: &str) -> Result<Fault, String> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use lsrp_core::LsrpSimulationExt;
     use lsrp_graph::generators;
 
     fn v(i: u32) -> NodeId {

@@ -19,7 +19,7 @@
 //!
 //! ```
 //! use lsrp_graph::{generators, NodeId};
-//! use lsrp_multi::MultiLsrpSimulation;
+//! use lsrp_multi::{MultiLsrpSimulation, MultiLsrpSimulationExt};
 //!
 //! let graph = generators::grid(3, 3, 1);
 //! let destinations: Vec<NodeId> = graph.nodes().collect();
@@ -36,4 +36,6 @@ pub mod node;
 pub mod simulation;
 
 pub use crate::node::{MultiLsrpNode, MultiMsg};
-pub use crate::simulation::{MultiLsrpSimulation, MultiLsrpSimulationBuilder};
+pub use crate::simulation::{
+    MultiLsrpSimulation, MultiLsrpSimulationBuilder, MultiLsrpSimulationExt, MultiMeta,
+};

@@ -3,10 +3,44 @@
 use std::collections::BTreeMap;
 
 use lsrp_core::{LsrpState, Mirror, TimingConfig};
-use lsrp_graph::{Distance, Graph, GraphError, NodeId, RouteTable, Weight};
-use lsrp_sim::{Engine, EngineConfig, RunReport, SimTime};
+use lsrp_graph::{Distance, Graph, NodeId, RouteTable};
+use lsrp_sim::{Engine, EngineConfig, ForgedAdvert, HarnessProtocol, SimHarness};
 
 use crate::node::MultiLsrpNode;
+
+/// Metadata carried by the multi-destination harness: the configured
+/// destination list plus the shared wave timing.
+#[derive(Debug, Clone)]
+pub struct MultiMeta {
+    /// The destinations configured at build time (failed destinations are
+    /// filtered out by [`MultiLsrpSimulationExt::destinations`]).
+    pub destinations: Vec<NodeId>,
+    /// The shared wave timing.
+    pub timing: TimingConfig,
+}
+
+impl HarnessProtocol for MultiLsrpNode {
+    const NAME: &'static str = "LSRP-MULTI";
+    type Meta = MultiMeta;
+
+    fn corrupt_distance(&mut self, d: Distance, dest: NodeId) {
+        if let Some(i) = self.instance_mut(dest) {
+            i.corrupt_distance(d, dest);
+        }
+    }
+
+    fn poison_mirror(&mut self, about: NodeId, advert: ForgedAdvert, dest: NodeId) {
+        if let Some(i) = self.instance_mut(dest) {
+            i.poison_mirror(about, advert, dest);
+        }
+    }
+
+    fn inject_route(&mut self, d: Distance, p: NodeId, dest: NodeId) {
+        if let Some(i) = self.instance_mut(dest) {
+            i.inject_route(d, p, dest);
+        }
+    }
+}
 
 /// Builder for [`MultiLsrpSimulation`].
 #[derive(Debug, Clone)]
@@ -90,26 +124,68 @@ impl MultiLsrpSimulationBuilder {
             });
             MultiLsrpNode::new(id, timing, states)
         });
-        MultiLsrpSimulation {
+        let settle = match timing.syn_period {
+            Some(p) => 2.0 * p + 1.0,
+            None => 0.0,
+        };
+        // The harness's single destination is the primary (lowest id); the
+        // full list lives in the metadata.
+        let primary = *self
+            .destinations
+            .iter()
+            .min()
+            .expect("destination list is non-empty");
+        MultiLsrpSimulation::from_parts(
             engine,
-            destinations: self.destinations,
-            timing,
-        }
+            primary,
+            settle,
+            MultiMeta {
+                destinations: self.destinations,
+                timing,
+            },
+        )
     }
 }
 
 /// A running multi-destination LSRP network.
-#[derive(Debug)]
-pub struct MultiLsrpSimulation {
-    engine: Engine<MultiLsrpNode>,
-    destinations: Vec<NodeId>,
-    timing: TimingConfig,
-}
+///
+/// The harness's single-destination surface (`destination()`,
+/// `route_table()`, `corrupt_distance()`, …) targets the *primary*
+/// destination — the lowest configured id; the per-destination surface
+/// lives on [`MultiLsrpSimulationExt`].
+pub type MultiLsrpSimulation = SimHarness<MultiLsrpNode>;
 
-impl MultiLsrpSimulation {
+/// Multi-destination operations of [`MultiLsrpSimulation`].
+pub trait MultiLsrpSimulationExt {
     /// Starts building a simulation routing toward every destination in
     /// `destinations`.
-    pub fn builder(graph: Graph, destinations: Vec<NodeId>) -> MultiLsrpSimulationBuilder {
+    fn builder(graph: Graph, destinations: Vec<NodeId>) -> MultiLsrpSimulationBuilder;
+
+    /// The destinations being routed toward (failed ones excluded).
+    fn destinations(&self) -> Vec<NodeId>;
+
+    /// The shared wave timing.
+    fn timing(&self) -> &TimingConfig;
+
+    /// The route table toward one destination.
+    fn route_table_for(&self, dest: NodeId) -> RouteTable;
+
+    /// Whether the table toward `dest` matches Dijkstra ground truth.
+    fn routes_correct_for(&self, dest: NodeId) -> bool;
+
+    /// Whether *every* destination's table is correct.
+    fn all_routes_correct(&self) -> bool;
+
+    /// Corrupts the distance of `node`'s instance toward `dest`.
+    fn corrupt_instance_distance(&mut self, node: NodeId, dest: NodeId, d: Distance);
+
+    /// Corrupts the *entire* routing state of `node`: every instance's
+    /// distance and parent set to arbitrary values via `f(dest)`.
+    fn corrupt_all_instances(&mut self, node: NodeId, f: impl FnMut(NodeId) -> (Distance, NodeId));
+}
+
+impl MultiLsrpSimulationExt for MultiLsrpSimulation {
+    fn builder(graph: Graph, destinations: Vec<NodeId>) -> MultiLsrpSimulationBuilder {
         let engine = EngineConfig::default();
         MultiLsrpSimulationBuilder {
             graph,
@@ -119,57 +195,24 @@ impl MultiLsrpSimulation {
         }
     }
 
-    /// The destinations being routed toward.
-    pub fn destinations(&self) -> &[NodeId] {
-        &self.destinations
+    fn destinations(&self) -> Vec<NodeId> {
+        self.meta()
+            .destinations
+            .iter()
+            .copied()
+            .filter(|&d| self.graph().has_node(d))
+            .collect()
     }
 
-    /// The shared wave timing.
-    pub fn timing(&self) -> &TimingConfig {
-        &self.timing
+    fn timing(&self) -> &TimingConfig {
+        &self.meta().timing
     }
 
-    /// The underlying engine.
-    pub fn engine(&self) -> &Engine<MultiLsrpNode> {
-        &self.engine
-    }
-
-    /// Mutable engine access.
-    pub fn engine_mut(&mut self) -> &mut Engine<MultiLsrpNode> {
-        &mut self.engine
-    }
-
-    /// The current topology.
-    pub fn graph(&self) -> &Graph {
-        self.engine.graph()
-    }
-
-    /// Current simulated time.
-    pub fn now(&self) -> SimTime {
-        self.engine.now()
-    }
-
-    /// Runs until the network settles or `horizon` passes.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the event budget is exhausted (protocol livelock).
-    pub fn run_to_quiescence(&mut self, horizon: f64) -> RunReport {
-        let settle = match self.timing.syn_period {
-            Some(p) => 2.0 * p + 1.0,
-            None => 0.0,
-        };
-        self.engine
-            .run_to_quiescence(SimTime::new(horizon), settle)
-            .expect("LSRP must not livelock")
-    }
-
-    /// The route table toward one destination.
-    pub fn route_table_for(&self, dest: NodeId) -> RouteTable {
+    fn route_table_for(&self, dest: NodeId) -> RouteTable {
         self.graph()
             .nodes()
             .filter_map(|v| {
-                self.engine
+                self.engine()
                     .node(v)
                     .and_then(|n| n.route_entry_for(dest))
                     .map(|e| (v, e))
@@ -177,36 +220,31 @@ impl MultiLsrpSimulation {
             .collect()
     }
 
-    /// Whether the table toward `dest` matches Dijkstra ground truth.
-    pub fn routes_correct_for(&self, dest: NodeId) -> bool {
+    fn routes_correct_for(&self, dest: NodeId) -> bool {
         self.route_table_for(dest).is_correct(self.graph(), dest)
     }
 
-    /// Whether *every* destination's table is correct.
-    pub fn all_routes_correct(&self) -> bool {
-        self.destinations
+    fn all_routes_correct(&self) -> bool {
+        self.destinations()
             .iter()
             .all(|&d| self.routes_correct_for(d))
     }
 
-    /// Corrupts the distance of `node`'s instance toward `dest`.
-    pub fn corrupt_distance(&mut self, node: NodeId, dest: NodeId, d: Distance) {
-        self.engine.with_node_mut(node, |n| {
+    fn corrupt_instance_distance(&mut self, node: NodeId, dest: NodeId, d: Distance) {
+        self.engine_mut().with_node_mut(node, |n| {
             if let Some(i) = n.instance_mut(dest) {
                 i.state_mut().d = d;
             }
         });
     }
 
-    /// Corrupts the *entire* routing state of `node`: every instance's
-    /// distance and parent set to arbitrary values via `f(dest)`.
-    pub fn corrupt_all_instances(
+    fn corrupt_all_instances(
         &mut self,
         node: NodeId,
         mut f: impl FnMut(NodeId) -> (Distance, NodeId),
     ) {
-        let dests: Vec<NodeId> = self.destinations.clone();
-        self.engine.with_node_mut(node, |n| {
+        let dests = self.destinations();
+        self.engine_mut().with_node_mut(node, |n| {
             for dest in dests {
                 if let Some(i) = n.instance_mut(dest) {
                     let (d, p) = f(dest);
@@ -216,34 +254,6 @@ impl MultiLsrpSimulation {
                 }
             }
         });
-    }
-
-    /// Fail-stops a node.
-    ///
-    /// # Errors
-    ///
-    /// Propagates [`GraphError`] for unknown nodes.
-    pub fn fail_node(&mut self, v: NodeId) -> Result<(), GraphError> {
-        self.destinations.retain(|&d| d != v);
-        self.engine.fail_node(v)
-    }
-
-    /// Joins an edge.
-    ///
-    /// # Errors
-    ///
-    /// Propagates [`GraphError`] for invalid edges.
-    pub fn join_edge(&mut self, a: NodeId, b: NodeId, w: Weight) -> Result<(), GraphError> {
-        self.engine.join_edge(a, b, w)
-    }
-
-    /// Fail-stops an edge.
-    ///
-    /// # Errors
-    ///
-    /// Propagates [`GraphError`] for unknown edges.
-    pub fn fail_edge(&mut self, a: NodeId, b: NodeId) -> Result<(), GraphError> {
-        self.engine.fail_edge(a, b)
     }
 }
 
@@ -272,7 +282,7 @@ mod tests {
         let g = generators::grid(4, 4, 1);
         let dests = vec![v(0), v(15)];
         let mut sim = MultiLsrpSimulation::builder(g, dests).build();
-        sim.corrupt_distance(v(5), v(0), Distance::ZERO);
+        sim.corrupt_instance_distance(v(5), v(0), Distance::ZERO);
         let report = sim.run_to_quiescence(10_000.0);
         assert!(report.quiescent);
         assert!(sim.all_routes_correct());
@@ -300,7 +310,7 @@ mod tests {
         let dests: Vec<NodeId> = vec![v(0), v(15), v(5)];
         let mut sim = MultiLsrpSimulation::builder(g, dests).build();
         sim.fail_node(v(5)).unwrap();
-        assert_eq!(sim.destinations(), &[v(0), v(15)]);
+        assert_eq!(sim.destinations(), vec![v(0), v(15)]);
         let report = sim.run_to_quiescence(100_000.0);
         assert!(report.quiescent);
         assert!(sim.all_routes_correct());

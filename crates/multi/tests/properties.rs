@@ -4,7 +4,7 @@
 use proptest::prelude::*;
 
 use lsrp_graph::{generators, Distance, NodeId};
-use lsrp_multi::MultiLsrpSimulation;
+use lsrp_multi::{MultiLsrpSimulation, MultiLsrpSimulationExt};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -35,7 +35,7 @@ proptest! {
             let node = nodes[rng.gen_range(0..nodes.len())];
             let dest = dests[rng.gen_range(0..dests.len())];
             let d = Distance::Finite(rng.gen_range(0..2 * u64::from(n)));
-            sim.corrupt_distance(node, dest, d);
+            sim.corrupt_instance_distance(node, dest, d);
         }
         let report = sim.run_to_quiescence(2_000_000.0);
         prop_assert!(report.quiescent);
@@ -62,7 +62,7 @@ proptest! {
         let mut rng = StdRng::seed_from_u64(state_seed);
         let nodes: Vec<NodeId> = graph.nodes().filter(|&x| x != dest_a).collect();
         let victim = nodes[rng.gen_range(0..nodes.len())];
-        sim.corrupt_distance(victim, dest_a, Distance::ZERO);
+        sim.corrupt_instance_distance(victim, dest_a, Distance::ZERO);
         let report = sim.run_to_quiescence(2_000_000.0);
         prop_assert!(report.quiescent);
         prop_assert!(sim.all_routes_correct());

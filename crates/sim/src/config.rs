@@ -2,6 +2,7 @@
 //! bookkeeping limits.
 
 use crate::clock::ClockConfig;
+use crate::sink::SinkKind;
 
 /// Parameters of the two-state Gilbert–Elliott bursty-loss channel.
 ///
@@ -220,6 +221,10 @@ pub struct EngineConfig {
     /// Whether to record individual action/variable-change records in the
     /// trace (counters are always kept).
     pub record_trace: bool,
+    /// Which [`crate::sink::TraceSink`] the engine writes its
+    /// observability stream through. Sink choice never affects simulation
+    /// behavior, only what is recorded.
+    pub sink: SinkKind,
 }
 
 impl EngineConfig {
@@ -249,6 +254,13 @@ impl EngineConfig {
         self.clocks = clocks;
         self
     }
+
+    /// Sets the trace sink kind (builder style).
+    #[must_use]
+    pub fn with_sink(mut self, sink: SinkKind) -> Self {
+        self.sink = sink;
+        self
+    }
 }
 
 impl Default for EngineConfig {
@@ -259,6 +271,7 @@ impl Default for EngineConfig {
             seed: 0,
             max_events: 50_000_000,
             record_trace: true,
+            sink: SinkKind::Full,
         }
     }
 }

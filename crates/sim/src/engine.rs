@@ -1,14 +1,23 @@
 //! The discrete-event engine.
 //!
 //! See the crate docs for the model. The engine owns the topology, one
-//! [`ProtocolNode`] per up node, per-node clocks, the event queue and the
-//! execution trace. Faults are injected *between* runs: drive the engine
-//! with [`Engine::run_until`], mutate state/topology through
-//! [`Engine::with_node_mut`] / [`Engine::fail_node`] / etc., then continue.
+//! [`ProtocolNode`] per up node, per-node clocks, the event queue and a
+//! pluggable [`TraceSink`] for the execution trace. Faults are injected
+//! *between* runs: drive the engine with [`Engine::run_until`], mutate
+//! state/topology through [`Engine::with_node_mut`] /
+//! [`Engine::fail_node`] / etc., then continue.
+//!
+//! Per-node bookkeeping (protocol state, clock, guard tracking, pending
+//! wakeup) lives in one dense [`NodeSlots`] slab indexed by raw node id;
+//! per-directed-edge link state (FIFO front, Gilbert–Elliott chain state)
+//! lives in one [`EdgeSlots`] map. Broadcast payloads are shared: each
+//! send allocates one `Arc` and every queue entry holds a handle, so
+//! fan-out never deep-copies the message.
 
 use std::cmp::Reverse;
 use std::collections::{BTreeMap, BTreeSet, BinaryHeap};
 use std::fmt;
+use std::sync::Arc;
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -19,16 +28,24 @@ use crate::clock::Clock;
 use crate::config::{EngineConfig, LossModel};
 use crate::effects::{Effects, SendTarget};
 use crate::node::{ActionId, ProtocolNode};
+use crate::sink::TraceSink;
+use crate::slots::{EdgeSlots, NodeSlots};
 use crate::time::SimTime;
 use crate::trace::{ActionRecord, Trace};
 
-/// Minimum spacing enforced between consecutive deliveries on one directed
-/// edge (FIFO tie-breaking for equal sampled delays).
-const FIFO_EPSILON: f64 = 1e-9;
-
-/// Minimum forward progress enforced on clock wakeups (see the comment at
-/// the scheduling site).
-const WAKEUP_EPSILON: f64 = 1e-9;
+/// What [`Engine::trace`] returns when the configured sink keeps no trace.
+static EMPTY_TRACE: Trace = Trace {
+    actions: Vec::new(),
+    var_changes: Vec::new(),
+    messages_sent: 0,
+    messages_delivered: 0,
+    dropped_lossy_link: 0,
+    dropped_dead_receiver: 0,
+    messages_duplicated: 0,
+    action_counts: BTreeMap::new(),
+    maintenance_counts: BTreeMap::new(),
+    sent_counts: BTreeMap::new(),
+};
 
 /// Errors surfaced by engine runs.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -67,6 +84,35 @@ pub struct EventCounts {
     pub wakeups: u64,
 }
 
+/// Always-on engine health statistics, independent of the configured
+/// [`TraceSink`] — a handful of scalar counters the hot path maintains
+/// unconditionally, so throughput reports exist even when the sink
+/// records nothing.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Processed events by kind.
+    pub events: EventCounts,
+    /// Messages handed to links (per-fan-out copy).
+    pub messages_sent: u64,
+    /// Messages delivered to live receivers.
+    pub messages_delivered: u64,
+    /// Extra copies scheduled by the duplication model.
+    pub messages_duplicated: u64,
+    /// Messages dropped by the loss model.
+    pub dropped_lossy_link: u64,
+    /// Messages dropped on dead edges/receivers.
+    pub dropped_dead_receiver: u64,
+    /// High-water mark of the event-queue length.
+    pub peak_queue_depth: usize,
+}
+
+impl EngineStats {
+    /// Total events processed (deliveries + guard timers + wakeups).
+    pub fn total_events(&self) -> u64 {
+        self.events.deliveries + self.events.guard_timers + self.events.wakeups
+    }
+}
+
 /// Outcome of a run.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RunReport {
@@ -89,7 +135,7 @@ enum Event<M> {
     Deliver {
         from: NodeId,
         to: NodeId,
-        msg: M,
+        msg: Arc<M>,
     },
     GuardTimer {
         node: NodeId,
@@ -130,6 +176,28 @@ struct GuardTrack {
     fingerprint: u64,
 }
 
+/// Everything the engine keeps per live node, stored densely by id.
+struct Slot<P> {
+    node: P,
+    clock: Clock,
+    guards: BTreeMap<ActionId, GuardTrack>,
+    /// The live wakeup, if any: its scheduled real time plus the local
+    /// reading the node asked to be re-evaluated at.
+    pending_wakeup: Option<(SimTime, f64)>,
+}
+
+/// Per-directed-edge link state.
+#[derive(Debug, Clone, Copy, Default)]
+struct LinkState {
+    /// Scheduled arrival of the most recent delivery on this edge (FIFO
+    /// ordering clamps later arrivals to at least this time; the `(time,
+    /// seq)` queue key then preserves send order among equal times).
+    fifo_last: Option<SimTime>,
+    /// Gilbert–Elliott chain state (`true` = bad/burst). Edges never sent
+    /// on are in the good state.
+    ge_bad: bool,
+}
+
 /// Factory producing a protocol node from its id and initial neighbor map.
 type NodeFactory<P> = Box<dyn FnMut(NodeId, &BTreeMap<NodeId, Weight>) -> P>;
 
@@ -137,31 +205,27 @@ type NodeFactory<P> = Box<dyn FnMut(NodeId, &BTreeMap<NodeId, Weight>) -> P>;
 pub struct Engine<P: ProtocolNode> {
     graph: Graph,
     config: EngineConfig,
-    nodes: BTreeMap<NodeId, P>,
-    clocks: BTreeMap<NodeId, Clock>,
+    slots: NodeSlots<Slot<P>>,
     queue: BinaryHeap<Reverse<QueueEntry<P::Msg>>>,
-    guards: BTreeMap<NodeId, BTreeMap<ActionId, GuardTrack>>,
-    pending_wakeup: BTreeMap<NodeId, SimTime>,
-    fifo_last: BTreeMap<(NodeId, NodeId), SimTime>,
-    /// Per-directed-edge Gilbert–Elliott chain state (`true` = bad/burst).
-    /// Lazily populated; edges absent from the map are in the good state.
-    ge_bad: BTreeMap<(NodeId, NodeId), bool>,
+    links: EdgeSlots<LinkState>,
     inflight: u64,
-    event_counts: EventCounts,
-    trace: Trace,
+    stats: EngineStats,
+    sink: Box<dyn TraceSink>,
     rng: StdRng,
     now: SimTime,
     seq: u64,
     generation: u64,
     last_effective: SimTime,
     factory: NodeFactory<P>,
+    /// Reusable neighbor buffer for broadcast fan-out.
+    scratch: Vec<NodeId>,
 }
 
 impl<P: ProtocolNode> fmt::Debug for Engine<P> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("Engine")
             .field("now", &self.now)
-            .field("nodes", &self.nodes.len())
+            .field("nodes", &self.slots.len())
             .field("inflight", &self.inflight)
             .field("queued_events", &self.queue.len())
             .finish_non_exhaustive()
@@ -182,28 +246,24 @@ impl<P: ProtocolNode> Engine<P> {
         let mut engine = Engine {
             graph,
             rng: StdRng::seed_from_u64(config.seed),
+            sink: config.sink.build(),
             config,
-            nodes: BTreeMap::new(),
-            clocks: BTreeMap::new(),
+            slots: NodeSlots::new(),
             queue: BinaryHeap::new(),
-            guards: BTreeMap::new(),
-            pending_wakeup: BTreeMap::new(),
-            fifo_last: BTreeMap::new(),
-            ge_bad: BTreeMap::new(),
+            links: EdgeSlots::new(),
             inflight: 0,
-            event_counts: EventCounts::default(),
-            trace: Trace::new(),
+            stats: EngineStats::default(),
             now: SimTime::ZERO,
             seq: 0,
             generation: 0,
             last_effective: SimTime::ZERO,
             factory: Box::new(factory),
+            scratch: Vec::new(),
         };
         let ids: Vec<NodeId> = engine.graph.nodes().collect();
-        for v in ids {
+        for &v in &ids {
             engine.spawn_node(v);
         }
-        let ids: Vec<NodeId> = engine.graph.nodes().collect();
         for v in ids {
             engine.reevaluate(v);
         }
@@ -213,9 +273,15 @@ impl<P: ProtocolNode> Engine<P> {
     fn spawn_node(&mut self, v: NodeId) {
         let neighbors: BTreeMap<NodeId, Weight> = self.graph.neighbors(v).collect();
         let node = (self.factory)(v, &neighbors);
-        self.nodes.insert(v, node);
-        self.clocks
-            .insert(v, self.config.clocks.clock_for(v, self.config.seed));
+        self.slots.insert(
+            v,
+            Slot {
+                node,
+                clock: self.config.clocks.clock_for(v, self.config.seed),
+                guards: BTreeMap::new(),
+                pending_wakeup: None,
+            },
+        );
     }
 
     /// Current simulated time.
@@ -225,34 +291,43 @@ impl<P: ProtocolNode> Engine<P> {
 
     /// The current topology.
     pub fn graph(&self) -> &Graph {
-        self.graph_ref()
-    }
-
-    fn graph_ref(&self) -> &Graph {
         &self.graph
     }
 
-    /// The execution trace so far.
+    /// The execution trace so far. When the configured sink keeps no trace
+    /// ([`crate::sink::CountsOnly`] / [`crate::sink::NullSink`]), this is a
+    /// permanently empty trace — use [`Engine::stats`] for counters that
+    /// are always maintained.
     pub fn trace(&self) -> &Trace {
-        &self.trace
+        self.sink.trace().unwrap_or(&EMPTY_TRACE)
+    }
+
+    /// The configured trace sink.
+    pub fn sink(&self) -> &dyn TraceSink {
+        self.sink.as_ref()
+    }
+
+    /// Replaces the trace sink (e.g. to stop recording after a warm-up).
+    pub fn set_sink(&mut self, sink: Box<dyn TraceSink>) {
+        self.sink = sink;
     }
 
     /// Clears the trace (counters and records) — typically right after a
     /// warm-up phase, so measurements cover only the perturbation.
     pub fn reset_trace(&mut self) {
-        self.trace.reset();
+        self.sink.reset();
     }
 
     /// Read access to a protocol node.
     pub fn node(&self, v: NodeId) -> Option<&P> {
-        self.nodes.get(&v)
+        self.slots.get(v).map(|s| &s.node)
     }
 
     /// Mutates a node's state in place (the *state corruption* fault class)
     /// and re-evaluates its guards. Does nothing for unknown nodes.
     pub fn with_node_mut(&mut self, v: NodeId, f: impl FnOnce(&mut P)) {
-        if let Some(node) = self.nodes.get_mut(&v) {
-            f(node);
+        if let Some(slot) = self.slots.get_mut(v) {
+            f(&mut slot.node);
             self.mark_effective();
             self.reevaluate(v);
         }
@@ -260,15 +335,15 @@ impl<P: ProtocolNode> Engine<P> {
 
     /// The current route table (each node's `(d.v, p.v)`).
     pub fn route_table(&self) -> RouteTable {
-        self.nodes
+        self.slots
             .iter()
-            .map(|(&v, n)| (v, n.route_entry()))
+            .map(|(v, s)| (v, s.node.route_entry()))
             .collect()
     }
 
     /// Whether any node is currently involved in a containment wave.
     pub fn any_in_containment(&self) -> bool {
-        self.nodes.values().any(ProtocolNode::in_containment)
+        self.slots.values().any(|s| s.node.in_containment())
     }
 
     /// Number of messages currently in flight.
@@ -278,9 +353,9 @@ impl<P: ProtocolNode> Engine<P> {
 
     /// Whether any non-maintenance guard is currently enabled somewhere.
     pub fn any_enabled_non_maintenance(&self) -> bool {
-        self.guards
+        self.slots
             .values()
-            .any(|g| g.keys().any(|&a| !P::is_maintenance(a)))
+            .any(|s| s.guards.keys().any(|&a| !P::is_maintenance(a)))
     }
 
     /// The last time an effective event occurred.
@@ -290,7 +365,12 @@ impl<P: ProtocolNode> Engine<P> {
 
     /// Processed-event counts by kind (see [`EventCounts`]).
     pub fn event_counts(&self) -> EventCounts {
-        self.event_counts
+        self.stats.events
+    }
+
+    /// Always-on engine health statistics (see [`EngineStats`]).
+    pub fn stats(&self) -> EngineStats {
+        self.stats
     }
 
     // ------------------------------------------------------------------
@@ -306,10 +386,7 @@ impl<P: ProtocolNode> Engine<P> {
     pub fn fail_node(&mut self, v: NodeId) -> Result<(), GraphError> {
         let neighbors: Vec<NodeId> = self.graph.neighbors(v).map(|(n, _)| n).collect();
         self.graph.remove_node(v)?;
-        self.nodes.remove(&v);
-        self.clocks.remove(&v);
-        self.guards.remove(&v);
-        self.pending_wakeup.remove(&v);
+        self.slots.remove(v);
         self.mark_effective();
         for n in neighbors {
             self.notify_neighbors_changed(n);
@@ -389,15 +466,13 @@ impl<P: ProtocolNode> Engine<P> {
     }
 
     fn notify_neighbors_changed(&mut self, v: NodeId) {
-        if !self.nodes.contains_key(&v) {
-            return;
-        }
         let neighbors: BTreeMap<NodeId, Weight> = self.graph.neighbors(v).collect();
-        let now_local = self.clocks[&v].local(self.now);
+        let Some(slot) = self.slots.get_mut(v) else {
+            return;
+        };
+        let now_local = slot.clock.local(self.now);
         let mut fx = Effects::new();
-        self.nodes
-            .get_mut(&v)
-            .expect("checked above")
+        slot.node
             .on_neighbors_changed(&neighbors, now_local, &mut fx);
         self.apply_effects(v, fx, None);
         self.reevaluate(v);
@@ -524,19 +599,19 @@ impl<P: ProtocolNode> Engine<P> {
     fn dispatch(&mut self, event: Event<P::Msg>) {
         match event {
             Event::Deliver { from, to, msg } => {
-                self.event_counts.deliveries += 1;
+                self.stats.events.deliveries += 1;
                 self.inflight -= 1;
-                if !self.graph.has_edge(from, to) || !self.nodes.contains_key(&to) {
-                    self.trace.dropped_dead_receiver += 1;
+                if !self.graph.has_edge(from, to) || !self.slots.contains(to) {
+                    self.stats.dropped_dead_receiver += 1;
+                    self.sink.count_dropped_dead();
                     return;
                 }
-                self.trace.messages_delivered += 1;
-                let now_local = self.clocks[&to].local(self.now);
+                self.stats.messages_delivered += 1;
+                self.sink.count_delivered();
+                let slot = self.slots.get_mut(to).expect("checked above");
+                let now_local = slot.clock.local(self.now);
                 let mut fx = Effects::new();
-                self.nodes
-                    .get_mut(&to)
-                    .expect("checked above")
-                    .on_receive(from, &msg, now_local, &mut fx);
+                slot.node.on_receive(from, msg.as_ref(), now_local, &mut fx);
                 self.apply_effects(to, fx, None);
                 self.reevaluate(to);
             }
@@ -545,27 +620,27 @@ impl<P: ProtocolNode> Engine<P> {
                 action,
                 generation,
             } => {
-                self.event_counts.guard_timers += 1;
-                let Some(track) = self.guards.get(&node).and_then(|g| g.get(&action)) else {
+                self.stats.events.guard_timers += 1;
+                let Some(slot) = self.slots.get_mut(node) else {
+                    return; // node failed in the meantime
+                };
+                let Some(track) = slot.guards.get(&action) else {
                     return; // guard was disabled in the meantime
                 };
                 if track.generation != generation {
                     return; // guard was disabled and re-enabled later
                 }
                 // Continuously enabled for the hold-time: execute.
-                self.event_counts.guard_fires += 1;
-                self.guards.get_mut(&node).expect("tracked").remove(&action);
-                let now_local = self.clocks[&node].local(self.now);
+                self.stats.events.guard_fires += 1;
+                slot.guards.remove(&action);
+                let now_local = slot.clock.local(self.now);
                 let mut fx = Effects::new();
-                self.nodes
-                    .get_mut(&node)
-                    .expect("tracked node exists")
-                    .execute(action, now_local, &mut fx);
+                slot.node.execute(action, now_local, &mut fx);
                 self.apply_effects(node, fx, Some(action));
                 self.reevaluate(node);
             }
             Event::Wakeup { node } => {
-                self.event_counts.wakeups += 1;
+                self.stats.events.wakeups += 1;
                 // Only the wakeup matching the pending schedule is live;
                 // anything else is a stale duplicate (superseded by an
                 // earlier re-request) and must NOT re-evaluate — a stale
@@ -573,12 +648,13 @@ impl<P: ProtocolNode> Engine<P> {
                 // duplicates then multiply exponentially (a "wakeup
                 // storm", caught by the determinism test under drifting
                 // clocks).
-                match self.pending_wakeup.get(&node) {
-                    Some(&t) if t == self.now => {
-                        self.pending_wakeup.remove(&node);
-                        if self.nodes.contains_key(&node) {
-                            self.reevaluate(node);
-                        }
+                let Some(slot) = self.slots.get_mut(node) else {
+                    return;
+                };
+                match slot.pending_wakeup {
+                    Some((t, wl)) if t == self.now => {
+                        slot.pending_wakeup = None;
+                        self.reevaluate_floored(node, Some(wl));
                     }
                     _ => {}
                 }
@@ -590,7 +666,7 @@ impl<P: ProtocolNode> Engine<P> {
         let effective =
             fx.var_changed || fx.mirror_changed || action.is_some_and(|a| !P::is_maintenance(a));
         if let Some(a) = action {
-            self.trace.record_action(
+            self.sink.record_action(
                 ActionRecord {
                     time: self.now,
                     node: from,
@@ -602,7 +678,7 @@ impl<P: ProtocolNode> Engine<P> {
                 self.config.record_trace,
             );
         } else if fx.var_changed {
-            self.trace.record_receive_change(self.now, from);
+            self.sink.record_receive_change(self.now, from);
         }
         if effective {
             self.mark_effective();
@@ -610,38 +686,43 @@ impl<P: ProtocolNode> Engine<P> {
         for (target, msg) in fx.sends {
             match target {
                 SendTarget::Broadcast => {
-                    let neighbors: Vec<NodeId> =
-                        self.graph.neighbors(from).map(|(n, _)| n).collect();
-                    for n in neighbors {
-                        self.schedule_delivery(from, n, msg.clone());
+                    // One allocation per send: every fan-out copy holds a
+                    // handle to the same payload.
+                    let msg = Arc::new(msg);
+                    let mut scratch = std::mem::take(&mut self.scratch);
+                    scratch.extend(self.graph.neighbors(from).map(|(n, _)| n));
+                    for &n in &scratch {
+                        self.schedule_delivery(from, n, Arc::clone(&msg));
                     }
+                    scratch.clear();
+                    self.scratch = scratch;
                 }
                 SendTarget::To(n) => {
                     if self.graph.has_edge(from, n) {
-                        self.schedule_delivery(from, n, msg.clone());
+                        self.schedule_delivery(from, n, Arc::new(msg));
                     }
                 }
             }
         }
     }
 
-    fn schedule_delivery(&mut self, from: NodeId, to: NodeId, msg: P::Msg) {
-        self.trace.messages_sent += 1;
-        *self.trace.sent_counts.entry(from).or_insert(0) += 1;
+    fn schedule_delivery(&mut self, from: NodeId, to: NodeId, msg: Arc<P::Msg>) {
+        self.stats.messages_sent += 1;
+        self.sink.count_sent(from);
         let loss_probability = match self.config.link.loss {
             LossModel::Iid(p) => p,
             LossModel::GilbertElliott(ge) => {
                 // Advance the edge's chain one step, then lose by state.
-                let bad = self.ge_bad.entry((from, to)).or_insert(false);
-                let flip = if *bad {
+                let state = self.links.entry(from, to);
+                let flip = if state.ge_bad {
                     ge.p_bad_to_good
                 } else {
                     ge.p_good_to_bad
                 };
                 if flip > 0.0 && self.rng.gen_bool(flip) {
-                    *bad = !*bad;
+                    state.ge_bad = !state.ge_bad;
                 }
-                if *bad {
+                if state.ge_bad {
                     ge.loss_bad
                 } else {
                     ge.loss_good
@@ -649,13 +730,15 @@ impl<P: ProtocolNode> Engine<P> {
             }
         };
         if loss_probability > 0.0 && self.rng.gen_bool(loss_probability) {
-            self.trace.dropped_lossy_link += 1;
+            self.stats.dropped_lossy_link += 1;
+            self.sink.count_dropped_lossy();
             return;
         }
         let duplicate = self.config.link.duplicate_probability > 0.0
             && self.rng.gen_bool(self.config.link.duplicate_probability);
         if duplicate {
-            self.trace.messages_duplicated += 1;
+            self.stats.messages_duplicated += 1;
+            self.sink.count_duplicated();
             let at = self.link_arrival_time(from, to);
             self.inflight += 1;
             self.push(
@@ -663,7 +746,7 @@ impl<P: ProtocolNode> Engine<P> {
                 Event::Deliver {
                     from,
                     to,
-                    msg: msg.clone(),
+                    msg: Arc::clone(&msg),
                 },
             );
         }
@@ -673,7 +756,9 @@ impl<P: ProtocolNode> Engine<P> {
     }
 
     /// Samples one copy's arrival time: uniform delay in the configured
-    /// bounds, bumped past the edge's previous delivery when FIFO is on.
+    /// bounds, clamped to the edge's previous delivery when FIFO is on.
+    /// Equal arrival times are fine — the `(time, seq)` queue key delivers
+    /// them in send order.
     fn link_arrival_time(&mut self, from: NodeId, to: NodeId) -> SimTime {
         let delay = if self.config.link.delay_min == self.config.link.delay_max {
             self.config.link.delay_min
@@ -683,12 +768,11 @@ impl<P: ProtocolNode> Engine<P> {
         };
         let mut at = self.now + delay;
         if self.config.link.fifo {
-            if let Some(&last) = self.fifo_last.get(&(from, to)) {
-                if at <= last {
-                    at = last + FIFO_EPSILON;
-                }
+            let state = self.links.entry(from, to);
+            if let Some(last) = state.fifo_last {
+                at = at.max(last);
             }
-            self.fifo_last.insert((from, to), at);
+            state.fifo_last = Some(at);
         }
         at
     }
@@ -700,6 +784,7 @@ impl<P: ProtocolNode> Engine<P> {
             seq: self.seq,
             event,
         }));
+        self.stats.peak_queue_depth = self.stats.peak_queue_depth.max(self.queue.len());
     }
 
     fn mark_effective(&mut self) {
@@ -710,14 +795,29 @@ impl<P: ProtocolNode> Engine<P> {
     /// continuous-enablement tracking and (re)scheduling hold timers and
     /// wakeups.
     fn reevaluate(&mut self, v: NodeId) {
-        let Some(node) = self.nodes.get(&v) else {
+        self.reevaluate_floored(v, None);
+    }
+
+    /// [`Engine::reevaluate`], with the node's local clock reading floored
+    /// to `floor` when given. Used when a wakeup fires: the node asked to
+    /// be re-evaluated at local reading `wl`, but the conversion back from
+    /// real time can round a hair *below* `wl`, leaving the guard still
+    /// "not yet due" and re-requesting the same wakeup forever. Flooring
+    /// the reading to the requested value guarantees the guard sees the
+    /// instant it asked for.
+    fn reevaluate_floored(&mut self, v: NodeId, floor: Option<f64>) {
+        let Some(slot) = self.slots.get(v) else {
             return;
         };
-        let clock = self.clocks[&v];
-        let now_local = clock.local(self.now);
-        let set = node.enabled_actions(now_local);
+        let clock = slot.clock;
+        let mut now_local = clock.local(self.now);
+        if let Some(f) = floor {
+            now_local = now_local.max(f);
+        }
+        let set = slot.node.enabled_actions(now_local);
         let enabled_ids: BTreeSet<ActionId> = set.actions.iter().map(|&(id, _)| id).collect();
-        let tracked = self.guards.entry(v).or_default();
+        let slot = self.slots.get_mut(v).expect("checked above");
+        let tracked = &mut slot.guards;
         // An action stays "continuously enabled" only while its guard is
         // true AND its fingerprint (the values the guard witnesses) is
         // unchanged; otherwise the hold restarts.
@@ -755,21 +855,17 @@ impl<P: ProtocolNode> Engine<P> {
             );
         }
         if let Some(wl) = set.wakeup_local {
-            // Strictly in the future: when the requested local reading is
-            // within one f64 ulp of "now", the guard can evaluate
-            // not-yet-due while the real-time conversion rounds to now —
-            // an infinite zero-progress wakeup loop unless we force a
-            // minimal advance.
-            let mut t = clock.real_time_at_local(wl, self.now);
-            if t <= self.now {
-                t = self.now + WAKEUP_EPSILON;
-            }
-            let earlier_pending = self
+            // `real_time_at_local` never returns a time before `now`; a
+            // wakeup may therefore land *at* `now` (same instant, later in
+            // `(time, seq)` order), where the floored re-evaluation above
+            // guarantees progress instead of an epsilon nudge.
+            let t = clock.real_time_at_local(wl, self.now);
+            let slot = self.slots.get_mut(v).expect("checked above");
+            let earlier_pending = slot
                 .pending_wakeup
-                .get(&v)
-                .is_some_and(|&pending| pending <= t && pending > self.now);
+                .is_some_and(|(pending, _)| pending <= t && pending >= self.now);
             if !earlier_pending {
-                self.pending_wakeup.insert(v, t);
+                slot.pending_wakeup = Some((t, wl));
                 self.push(t, Event::Wakeup { node: v });
             }
         }

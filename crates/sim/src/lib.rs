@@ -35,7 +35,10 @@ pub mod clock;
 pub mod config;
 pub mod effects;
 pub mod engine;
+pub mod harness;
 pub mod node;
+pub mod sink;
+pub mod slots;
 pub mod time;
 pub mod trace;
 
@@ -53,7 +56,10 @@ pub mod test_support {
 pub use crate::clock::{Clock, ClockConfig};
 pub use crate::config::{EngineConfig, GilbertElliott, LinkConfig, LossModel};
 pub use crate::effects::Effects;
-pub use crate::engine::{Engine, EngineError, EventCounts, RunReport};
+pub use crate::engine::{Engine, EngineError, EngineStats, EventCounts, RunReport};
+pub use crate::harness::{ForgedAdvert, HarnessProtocol, SimHarness};
 pub use crate::node::{ActionId, EnabledSet, ProtocolNode};
+pub use crate::sink::{CountsOnly, FullTrace, NullSink, SinkKind, TraceSink};
+pub use crate::slots::{EdgeSlots, NodeSlots};
 pub use crate::time::SimTime;
 pub use crate::trace::{ActionRecord, Trace};

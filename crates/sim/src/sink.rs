@@ -1,0 +1,278 @@
+//! Pluggable trace sinks: where the engine's observability stream goes.
+//!
+//! Analysis code (monitors, measurements, timelines) wants the full
+//! [`Trace`] — per-action records, per-node counters, variable-change
+//! times. Benchmarks want cheap counters. Raw throughput runs want
+//! nothing at all. The engine therefore writes its observability stream
+//! through a [`TraceSink`]:
+//!
+//! * [`FullTrace`] (an alias for [`Trace`]) — everything; the default, and
+//!   what every monitor and measurement in `lsrp-analysis` consumes.
+//! * [`CountsOnly`] — scalar counters only; no per-action records, no
+//!   per-node maps, no allocation on the hot path.
+//! * [`NullSink`] — discards everything.
+//!
+//! Engine-health statistics (event counts by kind, message totals, peak
+//! queue depth — see [`crate::engine::EngineStats`]) are *not* routed
+//! through the sink: they are a handful of scalar increments the engine
+//! always maintains, so throughput reports exist even with a [`NullSink`].
+
+use lsrp_graph::NodeId;
+
+use crate::time::SimTime;
+use crate::trace::{ActionRecord, Trace};
+
+/// A consumer of the engine's observability stream.
+///
+/// The engine calls these hooks from its hot path; implementations decide
+/// what to retain. `Send` is required so whole engines can run inside
+/// worker threads of the parallel campaign executor.
+pub trait TraceSink: Send {
+    /// An action executed. `keep_records` mirrors
+    /// [`crate::EngineConfig::record_trace`]: when `false`, sinks should
+    /// keep counters but drop per-action records.
+    fn record_action(&mut self, rec: ActionRecord, keep_records: bool);
+
+    /// A receive handler changed a protocol variable at `time` on `node`.
+    fn record_receive_change(&mut self, time: SimTime, node: NodeId);
+
+    /// A message was handed to a link by `from`.
+    fn count_sent(&mut self, from: NodeId);
+
+    /// A message was delivered to a live receiver.
+    fn count_delivered(&mut self);
+
+    /// A message was dropped by the link's loss model.
+    fn count_dropped_lossy(&mut self);
+
+    /// A message was dropped because its edge or receiver was gone.
+    fn count_dropped_dead(&mut self);
+
+    /// An extra copy was scheduled by the link's duplication model.
+    fn count_duplicated(&mut self);
+
+    /// Clears everything recorded so far.
+    fn reset(&mut self);
+
+    /// The full trace, if this sink keeps one (only [`FullTrace`] does).
+    fn trace(&self) -> Option<&Trace> {
+        None
+    }
+
+    /// The scalar counters, if this sink is a [`CountsOnly`].
+    fn counts(&self) -> Option<&CountsOnly> {
+        None
+    }
+}
+
+/// The full-fidelity sink: [`Trace`] itself.
+pub type FullTrace = Trace;
+
+impl TraceSink for Trace {
+    fn record_action(&mut self, rec: ActionRecord, keep_records: bool) {
+        Trace::record_action(self, rec, keep_records);
+    }
+
+    fn record_receive_change(&mut self, time: SimTime, node: NodeId) {
+        Trace::record_receive_change(self, time, node);
+    }
+
+    fn count_sent(&mut self, from: NodeId) {
+        self.messages_sent += 1;
+        *self.sent_counts.entry(from).or_insert(0) += 1;
+    }
+
+    fn count_delivered(&mut self) {
+        self.messages_delivered += 1;
+    }
+
+    fn count_dropped_lossy(&mut self) {
+        self.dropped_lossy_link += 1;
+    }
+
+    fn count_dropped_dead(&mut self) {
+        self.dropped_dead_receiver += 1;
+    }
+
+    fn count_duplicated(&mut self) {
+        self.messages_duplicated += 1;
+    }
+
+    fn reset(&mut self) {
+        Trace::reset(self);
+    }
+
+    fn trace(&self) -> Option<&Trace> {
+        Some(self)
+    }
+}
+
+/// A sink retaining scalar counters only — no records, no per-node maps.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CountsOnly {
+    /// Non-maintenance actions executed.
+    pub actions: u64,
+    /// Maintenance actions executed.
+    pub maintenance_actions: u64,
+    /// Protocol-variable changes noted (in actions or receive handlers).
+    pub var_changes: u64,
+    /// Messages handed to links.
+    pub messages_sent: u64,
+    /// Messages delivered.
+    pub messages_delivered: u64,
+    /// Messages dropped by the loss model.
+    pub dropped_lossy_link: u64,
+    /// Messages dropped on dead edges/receivers.
+    pub dropped_dead_receiver: u64,
+    /// Extra copies scheduled by the duplication model.
+    pub messages_duplicated: u64,
+}
+
+impl TraceSink for CountsOnly {
+    fn record_action(&mut self, rec: ActionRecord, _keep_records: bool) {
+        if rec.maintenance {
+            self.maintenance_actions += 1;
+        } else {
+            self.actions += 1;
+        }
+        if rec.var_changed {
+            self.var_changes += 1;
+        }
+    }
+
+    fn record_receive_change(&mut self, _time: SimTime, _node: NodeId) {
+        self.var_changes += 1;
+    }
+
+    fn count_sent(&mut self, _from: NodeId) {
+        self.messages_sent += 1;
+    }
+
+    fn count_delivered(&mut self) {
+        self.messages_delivered += 1;
+    }
+
+    fn count_dropped_lossy(&mut self) {
+        self.dropped_lossy_link += 1;
+    }
+
+    fn count_dropped_dead(&mut self) {
+        self.dropped_dead_receiver += 1;
+    }
+
+    fn count_duplicated(&mut self) {
+        self.messages_duplicated += 1;
+    }
+
+    fn reset(&mut self) {
+        *self = CountsOnly::default();
+    }
+
+    fn counts(&self) -> Option<&CountsOnly> {
+        Some(self)
+    }
+}
+
+/// A sink that discards everything (raw-throughput runs).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NullSink;
+
+impl TraceSink for NullSink {
+    fn record_action(&mut self, _rec: ActionRecord, _keep_records: bool) {}
+    fn record_receive_change(&mut self, _time: SimTime, _node: NodeId) {}
+    fn count_sent(&mut self, _from: NodeId) {}
+    fn count_delivered(&mut self) {}
+    fn count_dropped_lossy(&mut self) {}
+    fn count_dropped_dead(&mut self) {}
+    fn count_duplicated(&mut self) {}
+    fn reset(&mut self) {}
+}
+
+/// Which sink an engine is configured with (see
+/// [`crate::EngineConfig::sink`]).
+///
+/// Sink choice never affects simulation behavior — event order, RNG
+/// draws, route tables and [`crate::engine::EngineStats`] are identical
+/// across kinds; only what is *recorded* differs.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum SinkKind {
+    /// Full [`Trace`] (the default; required by analysis and monitors).
+    #[default]
+    Full,
+    /// Scalar counters only ([`CountsOnly`]).
+    CountsOnly,
+    /// Record nothing ([`NullSink`]).
+    Null,
+}
+
+impl SinkKind {
+    /// Builds a fresh sink of this kind.
+    pub fn build(self) -> Box<dyn TraceSink> {
+        match self {
+            SinkKind::Full => Box::new(Trace::new()),
+            SinkKind::CountsOnly => Box::new(CountsOnly::default()),
+            SinkKind::Null => Box::new(NullSink),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::ActionId;
+
+    fn rec(maintenance: bool, var_changed: bool) -> ActionRecord {
+        ActionRecord {
+            time: SimTime::new(1.0),
+            node: NodeId::new(3),
+            action: ActionId::plain(0),
+            name: "A",
+            maintenance,
+            var_changed,
+        }
+    }
+
+    #[test]
+    fn counts_only_tracks_scalars() {
+        let mut s = CountsOnly::default();
+        s.record_action(rec(false, true), true);
+        s.record_action(rec(true, false), true);
+        s.record_receive_change(SimTime::new(2.0), NodeId::new(1));
+        s.count_sent(NodeId::new(1));
+        s.count_delivered();
+        s.count_duplicated();
+        s.count_dropped_lossy();
+        s.count_dropped_dead();
+        assert_eq!(s.actions, 1);
+        assert_eq!(s.maintenance_actions, 1);
+        assert_eq!(s.var_changes, 2);
+        assert_eq!(s.messages_sent, 1);
+        assert_eq!(s.messages_delivered, 1);
+        assert_eq!(s.messages_duplicated, 1);
+        assert_eq!(s.dropped_lossy_link, 1);
+        assert_eq!(s.dropped_dead_receiver, 1);
+        s.reset();
+        assert_eq!(s, CountsOnly::default());
+    }
+
+    #[test]
+    fn full_trace_sink_matches_trace_semantics() {
+        let mut t = Trace::new();
+        TraceSink::record_action(&mut t, rec(false, true), true);
+        TraceSink::count_sent(&mut t, NodeId::new(3));
+        assert_eq!(t.actions.len(), 1);
+        assert_eq!(t.total_actions(), 1);
+        assert_eq!(t.messages_sent, 1);
+        assert_eq!(t.sent_counts[&NodeId::new(3)], 1);
+        assert!(TraceSink::trace(&t).is_some());
+        assert!(TraceSink::counts(&t).is_none());
+    }
+
+    #[test]
+    fn kinds_build_the_right_sink() {
+        assert!(SinkKind::Full.build().trace().is_some());
+        assert!(SinkKind::CountsOnly.build().counts().is_some());
+        let null = SinkKind::Null.build();
+        assert!(null.trace().is_none() && null.counts().is_none());
+    }
+}

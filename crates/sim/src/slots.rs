@@ -1,0 +1,198 @@
+//! Dense, `NodeId`-indexed storage for per-node and per-edge engine state.
+//!
+//! The engine's hot path touches per-node bookkeeping (protocol state,
+//! clock, guard tracking, pending wakeups) on every event. Keyed
+//! `BTreeMap`s pay a pointer chase per lookup; topologies in this
+//! repository use compact ids (`0..n` from the generators), so a plain
+//! vector indexed by [`NodeId::raw`] is both smaller and faster. The two
+//! containers here keep the *deterministic ascending-id iteration order*
+//! the maps provided — every consumer of engine iteration order (route
+//! tables, quiescence checks, trace reports) relies on it.
+
+use std::collections::BTreeMap;
+
+use lsrp_graph::NodeId;
+
+/// A dense map from [`NodeId`] to `T`, backed by `Vec<Option<T>>`.
+///
+/// Slots grow on insert to cover the largest id seen; removal leaves a
+/// hole (`None`) so ids can re-join later (fail-stop + join). Iteration
+/// is always in ascending id order.
+#[derive(Debug, Clone)]
+pub struct NodeSlots<T> {
+    slots: Vec<Option<T>>,
+    len: usize,
+}
+
+impl<T> Default for NodeSlots<T> {
+    fn default() -> Self {
+        NodeSlots::new()
+    }
+}
+
+impl<T> NodeSlots<T> {
+    /// An empty map.
+    pub fn new() -> Self {
+        NodeSlots {
+            slots: Vec::new(),
+            len: 0,
+        }
+    }
+
+    /// Number of occupied slots.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no slot is occupied.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Whether `id` is present.
+    pub fn contains(&self, id: NodeId) -> bool {
+        self.get(id).is_some()
+    }
+
+    /// Read access to the slot of `id`.
+    pub fn get(&self, id: NodeId) -> Option<&T> {
+        self.slots.get(id.raw() as usize).and_then(Option::as_ref)
+    }
+
+    /// Write access to the slot of `id`.
+    pub fn get_mut(&mut self, id: NodeId) -> Option<&mut T> {
+        self.slots
+            .get_mut(id.raw() as usize)
+            .and_then(Option::as_mut)
+    }
+
+    /// Inserts (or replaces) the slot of `id`, returning the old value.
+    pub fn insert(&mut self, id: NodeId, value: T) -> Option<T> {
+        let idx = id.raw() as usize;
+        if idx >= self.slots.len() {
+            self.slots.resize_with(idx + 1, || None);
+        }
+        let old = self.slots[idx].replace(value);
+        if old.is_none() {
+            self.len += 1;
+        }
+        old
+    }
+
+    /// Removes and returns the slot of `id`.
+    pub fn remove(&mut self, id: NodeId) -> Option<T> {
+        let old = self.slots.get_mut(id.raw() as usize).and_then(Option::take);
+        if old.is_some() {
+            self.len -= 1;
+        }
+        old
+    }
+
+    /// Iterates occupied slots in ascending id order.
+    pub fn iter(&self) -> impl Iterator<Item = (NodeId, &T)> {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.as_ref().map(|t| (NodeId::new(i as u32), t)))
+    }
+
+    /// Iterates occupied slots mutably in ascending id order.
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = (NodeId, &mut T)> {
+        self.slots
+            .iter_mut()
+            .enumerate()
+            .filter_map(|(i, s)| s.as_mut().map(|t| (NodeId::new(i as u32), t)))
+    }
+
+    /// Iterates occupied values in ascending id order.
+    pub fn values(&self) -> impl Iterator<Item = &T> {
+        self.slots.iter().filter_map(Option::as_ref)
+    }
+}
+
+/// A map from directed edges `(from, to)` to `T`, dense in `from`.
+///
+/// The `from` side is a vector indexed by [`NodeId::raw`] (every live node
+/// sends on its edges constantly); the `to` side stays a small ordered map
+/// (a node's degree is tiny compared to `n`). Iteration order — ascending
+/// `from`, then ascending `to` — is deterministic.
+#[derive(Debug, Clone, Default)]
+pub struct EdgeSlots<T> {
+    rows: Vec<BTreeMap<NodeId, T>>,
+}
+
+impl<T> EdgeSlots<T> {
+    /// An empty map.
+    pub fn new() -> Self {
+        EdgeSlots { rows: Vec::new() }
+    }
+
+    /// Read access to the state of edge `(from, to)`.
+    pub fn get(&self, from: NodeId, to: NodeId) -> Option<&T> {
+        self.rows.get(from.raw() as usize).and_then(|r| r.get(&to))
+    }
+}
+
+impl<T: Default> EdgeSlots<T> {
+    /// Write access to the state of edge `(from, to)`, inserting a default
+    /// value first if absent.
+    pub fn entry(&mut self, from: NodeId, to: NodeId) -> &mut T {
+        let idx = from.raw() as usize;
+        if idx >= self.rows.len() {
+            self.rows.resize_with(idx + 1, BTreeMap::new);
+        }
+        self.rows[idx].entry(to).or_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(i: u32) -> NodeId {
+        NodeId::new(i)
+    }
+
+    #[test]
+    fn node_slots_insert_get_remove() {
+        let mut s = NodeSlots::new();
+        assert!(s.is_empty());
+        assert_eq!(s.insert(v(3), "c"), None);
+        assert_eq!(s.insert(v(1), "a"), None);
+        assert_eq!(s.insert(v(1), "b"), Some("a"));
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.get(v(1)), Some(&"b"));
+        assert!(s.contains(v(3)));
+        assert!(!s.contains(v(0)));
+        assert_eq!(s.remove(v(3)), Some("c"));
+        assert_eq!(s.remove(v(3)), None);
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn node_slots_iterate_in_ascending_id_order() {
+        let mut s = NodeSlots::new();
+        for i in [5u32, 0, 9, 2] {
+            s.insert(v(i), i);
+        }
+        let order: Vec<u32> = s.iter().map(|(id, _)| id.raw()).collect();
+        assert_eq!(order, vec![0, 2, 5, 9]);
+        let values: Vec<u32> = s.values().copied().collect();
+        assert_eq!(values, vec![0, 2, 5, 9]);
+        for (_, t) in s.iter_mut() {
+            *t += 1;
+        }
+        assert_eq!(s.get(v(5)), Some(&6));
+    }
+
+    #[test]
+    fn edge_slots_default_and_entry() {
+        let mut e: EdgeSlots<bool> = EdgeSlots::new();
+        assert_eq!(e.get(v(1), v(2)), None);
+        *e.entry(v(1), v(2)) = true;
+        assert_eq!(e.get(v(1), v(2)), Some(&true));
+        assert_eq!(e.get(v(2), v(1)), None);
+        *e.entry(v(0), v(7)) |= false;
+        assert_eq!(e.get(v(0), v(7)), Some(&false));
+    }
+}

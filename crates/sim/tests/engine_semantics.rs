@@ -636,3 +636,105 @@ fn event_budget_catches_livelocks() {
     assert!(matches!(err, EngineError::EventBudgetExhausted { .. }));
     assert!(err.to_string().contains("event budget"));
 }
+
+// ---------------------------------------------------------------------
+// Toy protocol 6: a clone-counting payload proving zero-clone broadcast.
+// ---------------------------------------------------------------------
+
+static PAYLOAD_CLONES: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize::new(0);
+
+/// A payload whose Clone impl counts. The engine shares one `Arc` across
+/// the whole fan-out, so a broadcast must never deep-clone it.
+#[derive(Debug)]
+struct CountedPayload(#[allow(dead_code)] [u8; 64]);
+
+impl Clone for CountedPayload {
+    fn clone(&self) -> Self {
+        PAYLOAD_CLONES.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+        CountedPayload(self.0)
+    }
+}
+
+#[derive(Debug)]
+struct Hub {
+    id: NodeId,
+    fired: bool,
+    got: u32,
+}
+
+impl ProtocolNode for Hub {
+    type Msg = CountedPayload;
+
+    fn enabled_actions(&self, _now_local: f64) -> EnabledSet {
+        let mut set = EnabledSet::none();
+        if self.id == v(0) && !self.fired {
+            set.enable(BCAST, 0.0);
+        }
+        set
+    }
+
+    fn execute(&mut self, _action: ActionId, _now_local: f64, fx: &mut Effects<CountedPayload>) {
+        self.fired = true;
+        fx.note_var_change();
+        fx.broadcast(CountedPayload([7; 64]));
+    }
+
+    fn on_receive(
+        &mut self,
+        _from: NodeId,
+        _msg: &CountedPayload,
+        _now_local: f64,
+        _fx: &mut Effects<CountedPayload>,
+    ) {
+        self.got += 1;
+    }
+
+    fn on_neighbors_changed(
+        &mut self,
+        _neighbors: &BTreeMap<NodeId, Weight>,
+        _now_local: f64,
+        _fx: &mut Effects<CountedPayload>,
+    ) {
+    }
+
+    fn route_entry(&self) -> RouteEntry {
+        RouteEntry::no_route(self.id)
+    }
+
+    fn action_name(_action: ActionId) -> &'static str {
+        "BCAST"
+    }
+
+    fn is_maintenance(_action: ActionId) -> bool {
+        false
+    }
+}
+
+#[test]
+fn broadcast_shares_one_payload_across_the_whole_fanout() {
+    // Star with 63 leaves: the hub's single broadcast becomes 63
+    // deliveries, yet the payload is allocated once and never cloned.
+    let fanout = 63;
+    let mut e = Engine::new(
+        generators::star(fanout + 1, 1),
+        EngineConfig::default(),
+        |id, _| Hub {
+            id,
+            fired: false,
+            got: 0,
+        },
+    );
+    let report = e.run_to_quiescence(SimTime::new(100.0), 0.0).unwrap();
+    assert!(report.quiescent);
+    let stats = e.stats();
+    assert_eq!(stats.messages_sent, u64::from(fanout));
+    assert_eq!(stats.messages_delivered, u64::from(fanout));
+    for leaf in 1..=fanout {
+        assert_eq!(e.node(v(leaf)).unwrap().got, 1);
+    }
+    assert_eq!(
+        PAYLOAD_CLONES.load(std::sync::atomic::Ordering::SeqCst),
+        0,
+        "broadcast must not deep-clone the payload"
+    );
+}

@@ -8,8 +8,8 @@
 use std::collections::BTreeSet;
 
 use lsrp::analysis::RoutingSimulation;
-use lsrp::baselines::{DbfConfig, DbfSimulation};
-use lsrp::core::LsrpSimulation;
+use lsrp::baselines::{BaselineSimulation, DbfConfig, DbfSimulation};
+use lsrp::core::{LsrpSimulation, LsrpSimulationExt};
 use lsrp::graph::{generators, Distance, NodeId};
 use lsrp_sim::EngineConfig;
 use rand::rngs::StdRng;

@@ -6,7 +6,7 @@
 //! Run with `cargo run --release --example full_mesh_routing`.
 
 use lsrp::graph::{generators, Distance, NodeId};
-use lsrp::multi::MultiLsrpSimulation;
+use lsrp::multi::{MultiLsrpSimulation, MultiLsrpSimulationExt};
 
 fn main() {
     let graph = generators::grid(5, 5, 1);

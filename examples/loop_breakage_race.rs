@@ -5,8 +5,8 @@
 
 use lsrp::analysis::loops::inject_and_measure;
 use lsrp::analysis::RoutingSimulation;
-use lsrp::baselines::{DbfConfig, DbfSimulation, DualConfig, DualSimulation};
-use lsrp::core::LsrpSimulation;
+use lsrp::baselines::{BaselineSimulation, DbfConfig, DbfSimulation, DualConfig, DualSimulation};
+use lsrp::core::{LsrpSimulation, LsrpSimulationExt};
 use lsrp::graph::{generators, NodeId};
 use lsrp_sim::EngineConfig;
 

@@ -4,7 +4,7 @@
 //! Run with `cargo run --example quickstart`.
 
 use lsrp::analysis::timeline::render_timeline;
-use lsrp::core::LsrpSimulation;
+use lsrp::core::{LsrpSimulation, LsrpSimulationExt};
 use lsrp::graph::{generators, Distance, NodeId};
 
 fn main() {

@@ -4,7 +4,7 @@
 //!
 //! Run with `cargo run --example sensor_grid_healing`.
 
-use lsrp::core::LsrpSimulation;
+use lsrp::core::{LsrpSimulation, LsrpSimulationExt};
 use lsrp::graph::{generators, NodeId};
 use lsrp_sim::SimTime;
 use rand::rngs::StdRng;

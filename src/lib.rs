@@ -21,7 +21,7 @@
 //! # Quickstart
 //!
 //! ```
-//! use lsrp::core::LsrpSimulation;
+//! use lsrp::core::{LsrpSimulation, LsrpSimulationExt};
 //! use lsrp::graph::generators;
 //! use lsrp::graph::NodeId;
 //!

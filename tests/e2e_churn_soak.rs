@@ -3,7 +3,7 @@
 //! fault the system must re-converge to correct shortest paths, and with
 //! the strict-loop-freedom timing, no routing loop may ever appear.
 
-use lsrp::core::{InitialState, LsrpSimulation, TimingConfig};
+use lsrp::core::{InitialState, LsrpSimulation, LsrpSimulationExt, TimingConfig};
 use lsrp::graph::{generators, Distance, NodeId};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};

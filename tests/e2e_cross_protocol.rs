@@ -6,8 +6,8 @@
 use std::collections::BTreeSet;
 
 use lsrp::analysis::{measure_recovery, RoutingSimulation};
-use lsrp::baselines::{DbfConfig, DbfSimulation, DualConfig, DualSimulation};
-use lsrp::core::LsrpSimulation;
+use lsrp::baselines::{BaselineSimulation, DbfConfig, DbfSimulation, DualConfig, DualSimulation};
+use lsrp::core::{LsrpSimulation, LsrpSimulationExt};
 use lsrp::graph::{generators, Distance, NodeId};
 use lsrp_sim::EngineConfig;
 

@@ -3,10 +3,11 @@
 
 use std::collections::BTreeSet;
 
+use lsrp::analysis::{chaos_campaign, chaos_campaign_with_jobs, ChaosConfig};
 use lsrp::analysis::{measure_recovery, RoutingSimulation};
-use lsrp::core::{InitialState, LsrpSimulation, TimingConfig};
+use lsrp::core::{InitialState, LsrpSimulation, LsrpSimulationExt, TimingConfig};
 use lsrp::graph::{generators, Distance, NodeId};
-use lsrp_sim::{ClockConfig, EngineConfig, LinkConfig};
+use lsrp_sim::{ClockConfig, EngineConfig, LinkConfig, SinkKind};
 
 fn v(i: u32) -> NodeId {
     NodeId::new(i)
@@ -51,6 +52,83 @@ fn different_seeds_differ() {
     let (a1, _) = run_once(7);
     let (a2, _) = run_once(8);
     assert_ne!(a1, a2);
+}
+
+#[test]
+fn sink_choice_never_changes_the_simulation() {
+    // The trace sink is pure observability: the same seeded run under
+    // Full / CountsOnly / Null sinks must produce identical engine
+    // statistics, identical final tables, and identical end times — only
+    // what is *recorded* differs.
+    let run_with = |sink: SinkKind| {
+        let engine = EngineConfig::default()
+            .with_seed(23)
+            .with_link(LinkConfig::jittered(0.5, 1.5))
+            .with_clocks(ClockConfig::Drifting { rho: 1.4 })
+            .with_sink(sink);
+        let mut sim = LsrpSimulation::builder(generators::grid(6, 6, 1), v(0))
+            .timing(TimingConfig::for_network(1.4, 1.5).with_syn_period(4.0))
+            .initial_state(InitialState::Arbitrary { seed: 5 })
+            .engine_config(engine)
+            .build();
+        let report = sim.run_to_quiescence(1_000_000.0);
+        assert!(report.quiescent);
+        let stats = sim.stats();
+        (
+            report.end,
+            format!("{:?}", sim.route_table()),
+            format!("{stats:?}"),
+            sim.engine().sink().counts().copied(),
+            sim.engine().sink().trace().map(|t| {
+                (
+                    t.total_actions(),
+                    t.messages_sent,
+                    t.messages_delivered,
+                    t.dropped_lossy_link,
+                    t.dropped_dead_receiver,
+                    t.messages_duplicated,
+                )
+            }),
+        )
+    };
+    let (end_f, table_f, stats_f, counts_f, trace_f) = run_with(SinkKind::Full);
+    let (end_c, table_c, stats_c, counts_c, trace_c) = run_with(SinkKind::CountsOnly);
+    let (end_n, table_n, stats_n, counts_n, trace_n) = run_with(SinkKind::Null);
+    assert_eq!(end_f, end_c);
+    assert_eq!(end_f, end_n);
+    assert_eq!(table_f, table_c);
+    assert_eq!(table_f, table_n);
+    assert_eq!(stats_f, stats_c, "EngineStats must not depend on the sink");
+    assert_eq!(stats_f, stats_n);
+    // Retention differs exactly as advertised: only Full keeps a trace,
+    // only CountsOnly exposes counters, Null keeps nothing — but where a
+    // number exists in both, it agrees.
+    let (actions, sent, delivered, lossy, dead, dup) = trace_f.expect("full sink keeps a trace");
+    assert!(trace_c.is_none() && trace_n.is_none());
+    assert!(counts_f.is_none() && counts_n.is_none());
+    let counts = counts_c.expect("counts-only sink keeps counters");
+    assert_eq!(counts.actions, actions);
+    assert_eq!(counts.messages_sent, sent);
+    assert_eq!(counts.messages_delivered, delivered);
+    assert_eq!(counts.dropped_lossy_link, lossy);
+    assert_eq!(counts.dropped_dead_receiver, dead);
+    assert_eq!(counts.messages_duplicated, dup);
+    assert!(sent > 0 && delivered > 0);
+}
+
+#[test]
+fn parallel_campaign_matches_serial_byte_for_byte() {
+    let g = generators::grid(4, 4, 1);
+    let config = ChaosConfig::default();
+    let serial = chaos_campaign(&g, v(0), "grid:4x4", &config, 7, 6);
+    for jobs in [2, 5] {
+        let parallel = chaos_campaign_with_jobs(&g, v(0), "grid:4x4", &config, 7, 6, jobs);
+        assert_eq!(
+            serial.report(),
+            parallel.report(),
+            "campaign report must not depend on worker count (jobs={jobs})"
+        );
+    }
 }
 
 #[test]

@@ -2,7 +2,7 @@
 //! LSRP's guarantees per destination tree, concurrently.
 
 use lsrp::graph::{generators, Distance, NodeId};
-use lsrp::multi::MultiLsrpSimulation;
+use lsrp::multi::{MultiLsrpSimulation, MultiLsrpSimulationExt};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -30,8 +30,8 @@ fn concurrent_perturbations_of_different_trees_stay_independent() {
     sim.engine_mut().reset_trace();
 
     // Opposite corners' trees corrupted at different nodes simultaneously.
-    sim.corrupt_distance(v(7), v(0), Distance::ZERO);
-    sim.corrupt_distance(v(28), v(35), Distance::ZERO);
+    sim.corrupt_instance_distance(v(7), v(0), Distance::ZERO);
+    sim.corrupt_instance_distance(v(28), v(35), Distance::ZERO);
     let report = sim.run_to_quiescence(100_000.0);
     assert!(report.quiescent);
     assert!(sim.all_routes_correct());
@@ -56,7 +56,7 @@ fn random_table_corruption_storm_across_trees() {
         let nodes: Vec<NodeId> = graph.nodes().collect();
         let victim = nodes[rng.gen_range(0..nodes.len())];
         let dest = dests[rng.gen_range(0..dests.len())];
-        sim.corrupt_distance(victim, dest, Distance::Finite(rng.gen_range(0..30)));
+        sim.corrupt_instance_distance(victim, dest, Distance::Finite(rng.gen_range(0..30)));
         let report = sim.run_to_quiescence(1_000_000.0);
         assert!(report.quiescent, "round {round}");
         assert!(sim.all_routes_correct(), "round {round}");

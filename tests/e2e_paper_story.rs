@@ -6,8 +6,8 @@
 use std::collections::BTreeSet;
 
 use lsrp::analysis::{measure_recovery, RoutingSimulation};
-use lsrp::baselines::{DbfConfig, DbfSimulation};
-use lsrp::core::{InitialState, LsrpSimulation, TimingConfig};
+use lsrp::baselines::{BaselineSimulation, DbfConfig, DbfSimulation};
+use lsrp::core::{InitialState, LsrpSimulation, LsrpSimulationExt, TimingConfig};
 use lsrp::graph::topologies::{fig1_route_table, paper_fig1, v, FIG1_DESTINATION};
 use lsrp::graph::Distance;
 use lsrp_sim::EngineConfig;

@@ -1,0 +1,138 @@
+//! Offline vendored stand-in for the `threadpool` crate.
+//!
+//! Provides the subset of the 1.8 API this workspace uses: a fixed-size
+//! pool of worker threads consuming boxed closures from a shared
+//! [`std::sync::mpsc`] channel. Dropping the pool closes the channel and
+//! joins every worker, so all submitted jobs finish before `drop` returns.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// A fixed-size pool of worker threads.
+#[derive(Debug)]
+pub struct ThreadPool {
+    sender: Option<Sender<Job>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ThreadPool {
+    /// Creates a pool with `num_threads` workers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_threads` is zero.
+    #[must_use]
+    pub fn new(num_threads: usize) -> Self {
+        assert!(num_threads > 0, "thread pool needs at least one worker");
+        let (sender, receiver) = channel::<Job>();
+        let receiver = Arc::new(Mutex::new(receiver));
+        let workers = (0..num_threads)
+            .map(|_| {
+                let receiver = Arc::clone(&receiver);
+                std::thread::spawn(move || worker_loop(&receiver))
+            })
+            .collect();
+        ThreadPool {
+            sender: Some(sender),
+            workers,
+        }
+    }
+
+    /// The number of worker threads.
+    #[must_use]
+    pub fn max_count(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Submits a job; it runs on the first idle worker.
+    pub fn execute<F>(&self, job: F)
+    where
+        F: FnOnce() + Send + 'static,
+    {
+        self.sender
+            .as_ref()
+            .expect("sender lives until drop")
+            .send(Box::new(job))
+            .expect("workers outlive the sender");
+    }
+
+    /// Blocks until all submitted jobs have finished, consuming the pool.
+    /// (The real crate's `join` keeps the pool alive; the workspace only
+    /// ever joins once, at the end.)
+    pub fn join(self) {
+        drop(self);
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        // Closing the channel makes every worker's recv() fail once the
+        // queue drains; then join each.
+        drop(self.sender.take());
+        for w in self.workers.drain(..) {
+            // A panicked job already poisoned the run; surface it.
+            if let Err(e) = w.join() {
+                std::panic::resume_unwind(e);
+            }
+        }
+    }
+}
+
+fn worker_loop(receiver: &Arc<Mutex<Receiver<Job>>>) {
+    loop {
+        // Holding the lock only to receive keeps other workers free to
+        // pick up jobs concurrently.
+        let job = match receiver.lock() {
+            Ok(guard) => guard.recv(),
+            Err(_) => return, // a worker panicked while holding the lock
+        };
+        match job {
+            Ok(job) => job(),
+            Err(_) => return, // channel closed: pool is shutting down
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn runs_every_job_before_drop_returns() {
+        let counter = Arc::new(AtomicUsize::new(0));
+        let pool = ThreadPool::new(4);
+        for _ in 0..100 {
+            let counter = Arc::clone(&counter);
+            pool.execute(move || {
+                counter.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        pool.join();
+        assert_eq!(counter.load(Ordering::SeqCst), 100);
+    }
+
+    #[test]
+    fn single_worker_runs_jobs_in_submission_order() {
+        let order = Arc::new(Mutex::new(Vec::new()));
+        let pool = ThreadPool::new(1);
+        for i in 0..10 {
+            let order = Arc::clone(&order);
+            pool.execute(move || order.lock().unwrap().push(i));
+        }
+        pool.join();
+        assert_eq!(*order.lock().unwrap(), (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_workers_rejected() {
+        let _ = ThreadPool::new(0);
+    }
+}

@@ -34,7 +34,7 @@ pub use crate::chaos::{
     ChaosRun, ReproCase,
 };
 pub use crate::forwarding::{measure_availability, AvailabilityTrace, PacketFate};
-pub use crate::loops::{measure_loop_breakage, LoopBreakage};
+pub use crate::loops::{measure_loop_breakage, LoopBreakage, LoopScreen};
 pub use crate::measure::{measure_recovery, RecoveryMetrics};
 pub use crate::monitor::{
     run_monitored, standard_monitors, ContaminationMonitor, ConvergenceMonitor, LoopMonitor,

@@ -1,8 +1,116 @@
 //! Loop-episode measurement (Theorems 3–4, Corollary 3).
 
-use lsrp_graph::NodeId;
+use std::collections::{BTreeMap, BTreeSet};
+
+use lsrp_graph::{Distance, NodeId, RouteEntry};
+use lsrp_sim::{RouteDelta, RouteView};
 
 use crate::sim_trait::RoutingSimulation;
+
+/// Incremental routing-loop detector over the engine's route-delta feed.
+///
+/// Gives the same yes/no answer as
+/// [`RouteTable::has_routing_loop`](lsrp_graph::RouteTable::has_routing_loop)
+/// — walking parent pointers with the destination and `∞`-distance entries
+/// treated as roots — but only walks from nodes whose entry *changed* since
+/// the last check. Soundness: a parent-pointer cycle exists iff its members'
+/// entries form it, so any cycle born since a loop-free check contains at
+/// least one changed node, and the walk starting there goes around it.
+/// After a positive answer the next check re-walks every node (`force_full`):
+/// a persisting cycle's members may never change again, so the dirty-only
+/// screen must not be trusted until the table is proven loop-free once more.
+///
+/// Per-check cost is O(dirty + nodes visited); with no changes it is O(1).
+#[derive(Debug)]
+pub struct LoopScreen {
+    dest: NodeId,
+    /// Mirror of the view's `(d, p)` projection, kept current via `absorb`.
+    entries: BTreeMap<NodeId, RouteEntry>,
+    /// Nodes whose entry changed since the last check.
+    dirty: BTreeSet<NodeId>,
+    /// Walk stamps: `stamps[v] == w` means walk `w` visited `v`.
+    stamps: BTreeMap<NodeId, u64>,
+    next_walk: u64,
+    force_full: bool,
+}
+
+impl LoopScreen {
+    /// A screen over `view`'s current contents; the first check walks every
+    /// node.
+    pub fn new(dest: NodeId, view: &RouteView) -> Self {
+        LoopScreen {
+            dest,
+            entries: view.iter().map(|(v, e)| (v, e.route)).collect(),
+            dirty: BTreeSet::new(),
+            stamps: BTreeMap::new(),
+            next_walk: 1,
+            force_full: true,
+        }
+    }
+
+    /// Folds a batch of route deltas into the mirror. Removals cannot
+    /// create a cycle (nobody else's parent changed), so only live entries
+    /// are marked dirty.
+    pub fn absorb(&mut self, deltas: &[RouteDelta]) {
+        for d in deltas {
+            match d.new {
+                Some(e) => {
+                    self.entries.insert(d.node, e.route);
+                    self.dirty.insert(d.node);
+                }
+                None => {
+                    self.entries.remove(&d.node);
+                    self.dirty.remove(&d.node);
+                }
+            }
+        }
+    }
+
+    /// Whether the mirrored table currently has a routing loop. Clears the
+    /// dirty set.
+    pub fn has_loop(&mut self) -> bool {
+        let starts: Vec<NodeId> = if self.force_full {
+            self.entries.keys().copied().collect()
+        } else {
+            std::mem::take(&mut self.dirty).into_iter().collect()
+        };
+        self.dirty.clear();
+        let round_floor = self.next_walk;
+        let found = starts
+            .into_iter()
+            .any(|u| self.walk_finds_cycle(u, round_floor));
+        self.force_full = found;
+        found
+    }
+
+    /// Follows parent pointers from `start` until a root, a node cleared by
+    /// an earlier walk of this round, or a revisit on the current path (a
+    /// cycle). Mirrors the canonical detector's scrubbing: the destination,
+    /// missing entries, `∞` distances and self-parents all terminate.
+    fn walk_finds_cycle(&mut self, start: NodeId, round_floor: u64) -> bool {
+        let walk = self.next_walk;
+        self.next_walk += 1;
+        let mut cur = start;
+        loop {
+            match self.stamps.get(&cur) {
+                Some(&s) if s == walk => return true,
+                Some(&s) if s >= round_floor => return false,
+                _ => {}
+            }
+            self.stamps.insert(cur, walk);
+            if cur == self.dest {
+                return false;
+            }
+            let Some(&e) = self.entries.get(&cur) else {
+                return false;
+            };
+            if e.distance == Distance::Infinite || e.parent == cur {
+                return false;
+            }
+            cur = e.parent;
+        }
+    }
+}
 
 /// Outcome of a loop-breakage measurement.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -30,7 +138,12 @@ pub fn measure_loop_breakage<S: RoutingSimulation + ?Sized>(
 ) -> LoopBreakage {
     let dest = sim.destination();
     let t0 = sim.now().seconds();
-    let mut looped = sim.route_table().has_routing_loop(dest);
+    // Loop presence is tracked incrementally from the route-delta feed —
+    // O(changes) per event instead of rebuilding and re-walking the full
+    // table. The measurement owns the log: it trims behind itself.
+    let mut cursor = sim.route_cursor();
+    let mut screen = LoopScreen::new(dest, sim.route_view());
+    let mut looped = screen.has_loop();
     let loop_injected = looped;
     let mut episodes = u32::from(looped);
     let mut episode_start = t0;
@@ -41,7 +154,18 @@ pub fn measure_loop_breakage<S: RoutingSimulation + ?Sized>(
         if t.seconds() > horizon {
             break;
         }
-        let now_looped = sim.route_table().has_routing_loop(dest);
+        let deltas = sim.route_deltas_since(cursor);
+        let consumed = deltas.len();
+        screen.absorb(deltas);
+        cursor = cursor.advanced(consumed);
+        sim.trim_route_deltas(cursor);
+        // An existing loop persists untouched while nothing changes; a
+        // loop-free table stays loop-free the same way (both O(1) here).
+        let now_looped = if looped && consumed == 0 {
+            true
+        } else {
+            screen.has_loop()
+        };
         match (looped, now_looped) {
             (false, true) => {
                 episodes += 1;

@@ -69,11 +69,16 @@ pub fn measure_recovery<S: RoutingSimulation + ?Sized>(
     inject(sim);
     // Step event by event so healthy nodes' next-hop changes (route
     // flaps) can be counted, then fall through to quiescence detection.
+    // Flaps come from the engine's route-delta log — O(changes) per event
+    // instead of rebuilding and diffing the full table — against a parent
+    // snapshot taken right after injection. The measurement owns the log
+    // for its duration: it trims behind itself every step.
     let mut parents: std::collections::BTreeMap<NodeId, NodeId> = sim
         .route_table()
         .iter()
         .map(|(v, e)| (v, e.parent))
         .collect();
+    let mut cursor = sim.route_cursor();
     let mut healthy_route_flaps = 0u64;
     // Routes cannot flap once protocol variables stop changing; a long
     // quiet gap ends the stepping phase even when periodic maintenance
@@ -87,20 +92,27 @@ pub fn measure_recovery<S: RoutingSimulation + ?Sized>(
         if t.seconds() > horizon || t.seconds() > last_change + FLAP_SETTLE {
             break;
         }
-        for (v, e) in sim.route_table().iter() {
-            match parents.get_mut(&v) {
-                Some(old) if *old != e.parent => {
-                    if !perturbed.contains(&v) {
+        let deltas = sim.route_deltas_since(cursor);
+        let consumed = deltas.len();
+        for delta in deltas {
+            // Removals keep the snapshot entry, exactly like the old
+            // full-table diff (a downed node simply stops appearing).
+            let Some(new) = delta.new else { continue };
+            match parents.get_mut(&delta.node) {
+                Some(old) if *old != new.route.parent => {
+                    if !perturbed.contains(&delta.node) {
                         healthy_route_flaps += 1;
                     }
-                    *old = e.parent;
+                    *old = new.route.parent;
                 }
                 Some(_) => {}
                 None => {
-                    parents.insert(v, e.parent);
+                    parents.insert(delta.node, new.route.parent);
                 }
             }
         }
+        cursor = cursor.advanced(consumed);
+        sim.trim_route_deltas(cursor);
     }
     let report = sim.run_to_quiescence(horizon);
     let acted = sim.trace().acted_nodes_since(t0);

@@ -29,7 +29,7 @@
 //! seed, so it can be replayed (and delta-minimized) rather than trusted
 //! blindly.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::fmt;
 
 use lsrp_core::legitimacy::lg_holds;
@@ -37,7 +37,9 @@ use lsrp_core::LsrpSimulation;
 use lsrp_faults::schedule::FaultSchedule;
 use lsrp_faults::Fault;
 use lsrp_graph::{Graph, NodeId};
-use lsrp_sim::SimTime;
+use lsrp_sim::{RouteCursor, SimTime};
+
+use crate::loops::LoopScreen;
 
 /// Which monitored guarantee broke.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
@@ -123,10 +125,32 @@ pub trait Monitor {
 
 /// Checks that the system is legitimate again within `deadline` simulated
 /// seconds of the most recent fault (and at the end of the run).
+///
+/// The illegitimate-node set is maintained incrementally from the engine's
+/// route-delta feed: `lg.v` depends only on `v`'s own `(d, p, ghost)`, its
+/// incident edge weights and its neighbors' actual distances, so a change
+/// at `u` can only flip legitimacy at `u` and `u`'s graph neighbors —
+/// O(changes · degree) per check instead of re-deriving `lg` for every
+/// node. Faults may change the topology (weights, adjacency), so any fault
+/// forces one full rebuild at the next check. Verdicts are identical to
+/// [`ConvergenceMonitor::full_rescan`], the pre-incremental reference mode.
 #[derive(Debug)]
 pub struct ConvergenceMonitor {
     deadline: f64,
     last_fault: Option<f64>,
+    full_rescan: bool,
+    tracker: Option<LegitimacyTracker>,
+}
+
+/// The incrementally-maintained illegitimate set (see
+/// [`ConvergenceMonitor`]).
+#[derive(Debug)]
+struct LegitimacyTracker {
+    cursor: RouteCursor,
+    illegitimate: BTreeSet<NodeId>,
+    /// Set by faults (the topology may have changed under `lg`): the next
+    /// check rebuilds from scratch.
+    rebuild: bool,
 }
 
 impl ConvergenceMonitor {
@@ -138,23 +162,71 @@ impl ConvergenceMonitor {
         ConvergenceMonitor {
             deadline,
             last_fault: None,
+            full_rescan: false,
+            tracker: None,
         }
     }
 
-    fn illegitimate_nodes(sim: &LsrpSimulation) -> Vec<NodeId> {
+    /// Reference mode: identical verdicts, but every check re-derives `lg`
+    /// for every node (kept for the incremental-equivalence tests).
+    pub fn full_rescan(deadline: f64) -> Self {
+        ConvergenceMonitor {
+            full_rescan: true,
+            ..Self::new(deadline)
+        }
+    }
+
+    fn node_is_illegitimate(sim: &LsrpSimulation, v: NodeId) -> bool {
         let engine = sim.engine();
+        engine
+            .node(v)
+            .is_none_or(|n| n.state().ghost || !lg_holds(engine, v))
+    }
+
+    fn illegitimate_nodes(sim: &LsrpSimulation) -> Vec<NodeId> {
         sim.graph()
             .nodes()
-            .filter(|&v| {
-                engine
-                    .node(v)
-                    .is_none_or(|n| n.state().ghost || !lg_holds(engine, v))
-            })
+            .filter(|&v| Self::node_is_illegitimate(sim, v))
             .collect()
     }
 
+    /// The current illegitimate nodes, ascending — incrementally when the
+    /// delta feed is available, by full scan otherwise.
+    fn current_illegitimate(&mut self, sim: &LsrpSimulation) -> Vec<NodeId> {
+        let view = sim.engine().route_view();
+        if self.full_rescan || !view.is_logging() {
+            return Self::illegitimate_nodes(sim);
+        }
+        let tracker = self.tracker.get_or_insert_with(|| LegitimacyTracker {
+            cursor: view.cursor(),
+            illegitimate: BTreeSet::new(),
+            rebuild: true,
+        });
+        if tracker.rebuild {
+            tracker.illegitimate = Self::illegitimate_nodes(sim).into_iter().collect();
+            tracker.cursor = view.cursor();
+            tracker.rebuild = false;
+        } else {
+            let deltas = view.deltas_since(tracker.cursor);
+            tracker.cursor = tracker.cursor.advanced(deltas.len());
+            let graph = sim.graph();
+            for d in deltas {
+                for v in std::iter::once(d.node).chain(graph.neighbors(d.node).map(|(k, _)| k)) {
+                    if !graph.has_node(v) {
+                        tracker.illegitimate.remove(&v);
+                    } else if Self::node_is_illegitimate(sim, v) {
+                        tracker.illegitimate.insert(v);
+                    } else {
+                        tracker.illegitimate.remove(&v);
+                    }
+                }
+            }
+        }
+        tracker.illegitimate.iter().copied().collect()
+    }
+
     fn check(&mut self, sim: &LsrpSimulation, out: &mut Vec<Violation>) {
-        let bad = Self::illegitimate_nodes(sim);
+        let bad = self.current_illegitimate(sim);
         if bad.is_empty() {
             self.last_fault = None; // converged; re-arm on the next fault
         } else {
@@ -186,6 +258,9 @@ impl Monitor for ConvergenceMonitor {
         _out: &mut Vec<Violation>,
     ) {
         self.last_fault = Some(at.seconds());
+        if let Some(tracker) = &mut self.tracker {
+            tracker.rebuild = true;
+        }
     }
 
     fn on_event(&mut self, sim: &LsrpSimulation, out: &mut Vec<Violation>) {
@@ -212,6 +287,13 @@ impl Monitor for ConvergenceMonitor {
 /// Checks that every node acting during recovery lies within
 /// `factor * p + slack` hops of the perturbed region, where `p` is the
 /// number of perturbed nodes accumulated since the first fault.
+///
+/// The hop-distance map to the perturbed region is maintained
+/// incrementally: growing the source set can only *shrink* distances, and
+/// `dist(S ∪ S') = min(dist(S), dist(S'))` pointwise, so each fault runs a
+/// BFS seeded only from its newly perturbed nodes, relaxing against the
+/// existing map — O(improved region) per fault instead of a full
+/// multi-source BFS, with an identical resulting map.
 #[derive(Debug)]
 pub struct ContaminationMonitor {
     factor: f64,
@@ -288,9 +370,29 @@ impl Monitor for ContaminationMonitor {
             self.episode_start = at.seconds();
         }
         let graph = sim.graph();
-        self.perturbed.extend(Self::epicenter(fault, graph));
+        let fresh: Vec<NodeId> = Self::epicenter(fault, graph)
+            .into_iter()
+            .filter(|&v| self.perturbed.insert(v))
+            .collect();
         let baseline = self.baseline.as_ref().expect("set above");
-        self.distances = baseline.hop_distances_from_set(&self.perturbed);
+        // Decrease-only relaxation from the new sources; nodes absent from
+        // the map stay "unreachable" exactly as in the from-scratch BFS.
+        let mut queue = VecDeque::new();
+        for &s in &fresh {
+            if baseline.has_node(s) && self.distances.get(&s).is_none_or(|&d| d > 0) {
+                self.distances.insert(s, 0);
+                queue.push_back(s);
+            }
+        }
+        while let Some(u) = queue.pop_front() {
+            let d = self.distances[&u];
+            for (n, _) in baseline.neighbors(u) {
+                if self.distances.get(&n).is_none_or(|&cur| cur > d + 1) {
+                    self.distances.insert(n, d + 1);
+                    queue.push_back(n);
+                }
+            }
+        }
     }
 
     fn on_event(&mut self, sim: &LsrpSimulation, out: &mut Vec<Violation>) {
@@ -501,12 +603,24 @@ impl Monitor for WaveOrderMonitor {
 
 /// Checks that routing loops do not outlive the Θ(ℓ) removal window after
 /// the most recent fault.
+///
+/// Each check first runs an incremental [`LoopScreen`] over the engine's
+/// route-delta feed — parent-pointer walks only from nodes whose entry
+/// changed since the last check, O(changes) instead of cloning and
+/// re-walking the full table. Only when the screen reports a cycle does
+/// the monitor fall back to the canonical
+/// [`find_routing_loops`](lsrp_graph::RouteTable::find_routing_loops), so
+/// reported [`Violation`]s (cycle membership, order, detail) are
+/// bit-identical to [`LoopMonitor::full_rescan`], the pre-incremental
+/// reference mode.
 #[derive(Debug)]
 pub struct LoopMonitor {
     window: f64,
     check_interval: f64,
     last_fault: Option<f64>,
     next_check: f64,
+    full_rescan: bool,
+    screen: Option<(RouteCursor, LoopScreen)>,
 }
 
 impl LoopMonitor {
@@ -521,10 +635,40 @@ impl LoopMonitor {
             check_interval,
             last_fault: None,
             next_check: 0.0,
+            full_rescan: false,
+            screen: None,
         }
     }
 
+    /// Reference mode: identical verdicts, but every check clones and
+    /// walks the full table (kept for the incremental-equivalence tests).
+    pub fn full_rescan(window: f64, check_interval: f64) -> Self {
+        LoopMonitor {
+            full_rescan: true,
+            ..Self::new(window, check_interval)
+        }
+    }
+
+    /// Whether the table *might* have a loop: exact via the incremental
+    /// screen when the delta feed is on, conservatively `true` otherwise.
+    fn suspicious(&mut self, sim: &LsrpSimulation) -> bool {
+        let view = sim.engine().route_view();
+        if self.full_rescan || !view.is_logging() {
+            return true;
+        }
+        let (cursor, screen) = self
+            .screen
+            .get_or_insert_with(|| (view.cursor(), LoopScreen::new(sim.destination(), view)));
+        let deltas = view.deltas_since(*cursor);
+        *cursor = cursor.advanced(deltas.len());
+        screen.absorb(deltas);
+        screen.has_loop()
+    }
+
     fn check(&mut self, sim: &LsrpSimulation, out: &mut Vec<Violation>) {
+        if !self.suspicious(sim) {
+            return;
+        }
         let table = sim.route_table();
         let loops = table.find_routing_loops(sim.destination());
         if let Some(cycle) = loops.first() {
@@ -635,6 +779,10 @@ pub fn run_monitored(
             }
         }
     }
+    // Monitors only ever see `&LsrpSimulation`, so arm the route-delta
+    // feed here (it needs `&mut` once); they then take their own cursors
+    // from the view lazily.
+    let _ = sim.route_cursor();
     let mut violations = Vec::new();
     let mut events = 0u64;
     for ev in &schedule.events {

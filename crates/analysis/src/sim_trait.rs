@@ -1,7 +1,9 @@
 //! The unified simulation interface experiments are written against.
 
 use lsrp_graph::{Distance, Graph, GraphError, NodeId, RouteTable, Weight};
-use lsrp_sim::{HarnessProtocol, RunReport, SimHarness, SimTime, Trace};
+use lsrp_sim::{
+    HarnessProtocol, RouteCursor, RouteDelta, RouteView, RunReport, SimHarness, SimTime, Trace,
+};
 
 /// The operations every routing-protocol simulation exposes to the
 /// measurement harness.
@@ -21,6 +23,25 @@ pub trait RoutingSimulation {
 
     /// The current `(d, p)` table.
     fn route_table(&self) -> RouteTable;
+
+    /// The engine-maintained dense route view (always current; see
+    /// [`lsrp_sim::view`]).
+    fn route_view(&self) -> &RouteView;
+
+    /// Turns route-delta logging on (idempotent) and returns the current
+    /// change cursor — the entry point for O(changes) measurement.
+    fn route_cursor(&mut self) -> RouteCursor;
+
+    /// Every route delta recorded after `cursor`, oldest first. Continue
+    /// from `cursor.advanced(slice.len())`.
+    ///
+    /// # Panics
+    ///
+    /// Panics for cursors that were trimmed past.
+    fn route_deltas_since(&self, cursor: RouteCursor) -> &[RouteDelta];
+
+    /// Discards route deltas every consumer has advanced past.
+    fn trim_route_deltas(&mut self, cursor: RouteCursor);
 
     /// Nodes currently involved in a containment wave (`ghost.v` for LSRP;
     /// *active* nodes for DUAL; empty for protocols without containment).
@@ -103,6 +124,22 @@ impl<P: HarnessProtocol> RoutingSimulation for SimHarness<P> {
 
     fn route_table(&self) -> RouteTable {
         SimHarness::route_table(self)
+    }
+
+    fn route_view(&self) -> &RouteView {
+        SimHarness::route_view(self)
+    }
+
+    fn route_cursor(&mut self) -> RouteCursor {
+        SimHarness::route_cursor(self)
+    }
+
+    fn route_deltas_since(&self, cursor: RouteCursor) -> &[RouteDelta] {
+        SimHarness::route_deltas_since(self, cursor)
+    }
+
+    fn trim_route_deltas(&mut self, cursor: RouteCursor) {
+        SimHarness::trim_route_deltas(self, cursor);
     }
 
     fn containment_set(&self) -> std::collections::BTreeSet<NodeId> {

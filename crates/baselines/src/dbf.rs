@@ -146,6 +146,11 @@ impl ProtocolNode for DbfNode {
 
     fn enabled_actions(&self, now_local: f64) -> EnabledSet {
         let mut set = EnabledSet::none();
+        self.enabled_actions_into(now_local, &mut set);
+        set
+    }
+
+    fn enabled_actions_into(&self, now_local: f64, set: &mut EnabledSet) {
         if self.target() != (self.d, self.p) {
             set.enable(B1, self.config.hold);
         }
@@ -156,7 +161,6 @@ impl ProtocolNode for DbfNode {
                 set.wake_at(self.t_last + period);
             }
         }
-        set
     }
 
     fn execute(&mut self, action: ActionId, now_local: f64, fx: &mut Effects<DbfMsg>) {

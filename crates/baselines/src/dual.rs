@@ -257,6 +257,11 @@ impl ProtocolNode for DualNode {
 
     fn enabled_actions(&self, now_local: f64) -> EnabledSet {
         let mut set = EnabledSet::none();
+        self.enabled_actions_into(now_local, &mut set);
+        set
+    }
+
+    fn enabled_actions_into(&self, now_local: f64, set: &mut EnabledSet) {
         match &self.active {
             Some(a) => {
                 // Stuck-in-active escape: wake up at the timeout.
@@ -273,7 +278,6 @@ impl ProtocolNode for DualNode {
                 }
             }
         }
-        set
     }
 
     fn execute(&mut self, action: ActionId, now_local: f64, fx: &mut Effects<DualMsg>) {

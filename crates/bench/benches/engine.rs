@@ -8,9 +8,12 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 
-use lsrp_bench::engine_perf::{fig1_sim, grid200_sim};
+use lsrp_analysis::{run_monitored, standard_monitors};
+use lsrp_bench::engine_perf::{fig1_sim, grid200_sim, PERF_SEED};
 use lsrp_core::{InitialState, LsrpSimulation, LsrpSimulationExt};
+use lsrp_faults::{FaultProcess, FaultSchedule};
 use lsrp_graph::{generators, NodeId};
+use lsrp_sim::EngineConfig;
 
 fn bench_delivery_throughput(c: &mut Criterion) {
     let mut g = c.benchmark_group("engine_delivery_throughput");
@@ -75,10 +78,58 @@ fn bench_event_rate(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_monitored_chaos(c: &mut Criterion) {
+    // The observation-plane benchmark: a fully-monitored chaos run on a
+    // 10x10 grid (the perf_smoke `chaos_monitored` scenario), timing the
+    // engine *and* the standard monitors' per-event work.
+    let graph = generators::grid(10, 10, 1);
+    let dest = NodeId::new(0);
+    let horizon = 100_000.0;
+    // Calibrate throughput from one probe run (seed-deterministic).
+    let setup = || {
+        let mut sim = LsrpSimulation::builder(graph.clone(), dest)
+            .initial_state(InitialState::Fresh)
+            .engine_config(EngineConfig::default().with_seed(PERF_SEED))
+            .build();
+        sim.run_to_quiescence(horizon);
+        let t0 = sim.now().seconds();
+        let raw = FaultProcess::standard().generate(&graph, dest, 600.0, PERF_SEED);
+        let mut schedule = FaultSchedule::new();
+        for e in &raw.events {
+            schedule.push(t0 + e.at, e.fault.clone());
+        }
+        (sim, schedule)
+    };
+    let (mut probe_sim, probe_schedule) = setup();
+    let timing = *probe_sim.timing();
+    let mut probe_monitors = standard_monitors(&timing, graph.node_count());
+    let probe = run_monitored(
+        &mut probe_sim,
+        &probe_schedule,
+        horizon,
+        &mut probe_monitors,
+    );
+
+    let mut g = c.benchmark_group("engine_monitored_chaos");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(probe.events));
+    g.bench_function("grid100_standard_monitors", |b| {
+        b.iter(|| {
+            let (mut sim, schedule) = setup();
+            let mut monitors = standard_monitors(&timing, graph.node_count());
+            let report = run_monitored(&mut sim, &schedule, horizon, &mut monitors);
+            assert_eq!(report.events, probe.events, "chaos runs are seed-pinned");
+            std::hint::black_box(report.violations.len())
+        })
+    });
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_delivery_throughput,
     bench_cold_start,
-    bench_event_rate
+    bench_event_rate,
+    bench_monitored_chaos
 );
 criterion_main!(benches);

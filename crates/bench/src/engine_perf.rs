@@ -12,11 +12,14 @@
 //! drops below a deliberately generous floor — a regression tripwire, not
 //! a precise benchmark (Criterion's `benches/engine.rs` covers timing).
 
+use std::collections::BTreeSet;
 use std::fmt::Write as _;
 use std::time::{Duration, Instant};
 
+use lsrp_analysis::{measure_recovery, run_monitored, standard_monitors};
 use lsrp_core::{InitialState, LsrpSimulation, LsrpSimulationExt};
-use lsrp_graph::{generators, topologies, NodeId};
+use lsrp_faults::{FaultProcess, FaultSchedule};
+use lsrp_graph::{generators, topologies, Distance, NodeId};
 use lsrp_sim::{EngineConfig, SinkKind};
 
 /// The fixed seed every throughput scenario runs under.
@@ -63,6 +66,104 @@ pub fn grid200_sim() -> LsrpSimulation {
         .build()
 }
 
+/// A fully-monitored chaos run: the standard fault process on a 10x10
+/// grid judged by [`standard_monitors`], timing only the monitored phase.
+/// This is the observation-plane benchmark — it measures the engine *and*
+/// the monitors' per-event work, the regime the incremental route view
+/// exists for.
+///
+/// # Panics
+///
+/// Panics if the schedule-generation plumbing produces an empty run.
+pub fn measure_chaos_monitored(iters: u32) -> EnginePerf {
+    let graph = generators::grid(10, 10, 1);
+    let dest = NodeId::new(0);
+    let horizon = 100_000.0;
+    let mut events = 0u64;
+    let mut delivered = 0u64;
+    let mut peak = 0usize;
+    let mut elapsed = Duration::ZERO;
+    for i in 0..iters {
+        let seed = PERF_SEED + u64::from(i);
+        let mut sim = LsrpSimulation::builder(graph.clone(), dest)
+            .initial_state(InitialState::Fresh)
+            .engine_config(EngineConfig::default().with_seed(seed))
+            .build();
+        sim.run_to_quiescence(horizon);
+        let t0 = sim.now().seconds();
+        let raw = FaultProcess::standard().generate(&graph, dest, 600.0, seed);
+        let mut schedule = FaultSchedule::new();
+        for e in &raw.events {
+            schedule.push(t0 + e.at, e.fault.clone());
+        }
+        let timing = *sim.timing();
+        let mut monitors = standard_monitors(&timing, graph.node_count());
+        let delivered_before = sim.stats().messages_delivered;
+        let start = Instant::now();
+        let report = run_monitored(&mut sim, &schedule, horizon, &mut monitors);
+        elapsed += start.elapsed();
+        assert!(report.events > 0, "chaos run must process events");
+        events += report.events;
+        delivered += sim.stats().messages_delivered - delivered_before;
+        peak = peak.max(sim.stats().peak_queue_depth);
+    }
+    let secs = elapsed.as_secs_f64().max(f64::MIN_POSITIVE);
+    EnginePerf {
+        scenario: "chaos_monitored",
+        events,
+        messages_delivered: delivered,
+        peak_queue_depth: peak,
+        elapsed_secs: secs,
+        events_per_sec: events as f64 / secs,
+        deliveries_per_sec: delivered as f64 / secs,
+    }
+}
+
+/// A [`measure_recovery`] sweep over corruption sites on a 12x12 grid,
+/// timing only the measured recoveries (the flap-counting loop is the
+/// historical O(events × N) hotspot).
+///
+/// # Panics
+///
+/// Panics if any recovery fails to settle.
+pub fn measure_recovery_grid(iters: u32) -> EnginePerf {
+    let victims = [5u32, 40, 77, 143];
+    let mut events = 0u64;
+    let mut delivered = 0u64;
+    let mut peak = 0usize;
+    let mut elapsed = Duration::ZERO;
+    for _ in 0..iters {
+        for &victim in &victims {
+            let mut sim = LsrpSimulation::builder(generators::grid(12, 12, 1), NodeId::new(0))
+                .initial_state(InitialState::Legitimate)
+                .engine_config(EngineConfig::default().with_seed(PERF_SEED))
+                .build();
+            let before = sim.stats();
+            let perturbed = BTreeSet::from([NodeId::new(victim)]);
+            let start = Instant::now();
+            let m = measure_recovery(&mut sim, &perturbed, 100_000.0, |s| {
+                s.corrupt_distance(NodeId::new(victim), Distance::ZERO);
+            });
+            elapsed += start.elapsed();
+            assert!(m.quiescent, "recovery from v{victim} must settle");
+            let stats = sim.stats();
+            events += stats.total_events() - before.total_events();
+            delivered += stats.messages_delivered - before.messages_delivered;
+            peak = peak.max(stats.peak_queue_depth);
+        }
+    }
+    let secs = elapsed.as_secs_f64().max(f64::MIN_POSITIVE);
+    EnginePerf {
+        scenario: "measure_recovery_grid",
+        events,
+        messages_delivered: delivered,
+        peak_queue_depth: peak,
+        elapsed_secs: secs,
+        events_per_sec: events as f64 / secs,
+        deliveries_per_sec: delivered as f64 / secs,
+    }
+}
+
 /// Runs `build()` to quiescence `iters` times, timing only the event loop,
 /// and aggregates events, deliveries and queue pressure.
 ///
@@ -107,6 +208,8 @@ pub fn measure_all() -> Vec<EnginePerf> {
     vec![
         measure("fig1_benign", 20, fig1_sim),
         measure("grid200_benign", 3, grid200_sim),
+        measure_chaos_monitored(4),
+        measure_recovery_grid(6),
     ]
 }
 

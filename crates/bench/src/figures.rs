@@ -229,11 +229,7 @@ pub fn e4b_dependent_sets() -> Table {
             {
                 let mut after = g.clone();
                 after.add_edge(v(2), v(9), 1).expect("edge is new");
-                Perturbation::topology(
-                    &TopologyChange::new(g.clone(), after),
-                    FIG1_DESTINATION,
-                    &table,
-                )
+                Perturbation::topology(&TopologyChange::new(g, after), FIG1_DESTINATION, &table)
             },
             "{v9, v7, v8, v6, v1, v10, v3}, size 7",
         ),

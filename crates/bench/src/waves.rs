@@ -65,7 +65,7 @@ pub fn mistaken_containment_run(ratio: f64) -> (usize, usize, f64) {
 pub fn mistaken_stabilization_run(ratio: f64) -> (usize, f64) {
     let graph = generators::path(24, 1);
     let dest = NodeId::new(0);
-    let mut sim = LsrpSimulation::builder(graph.clone(), dest)
+    let mut sim = LsrpSimulation::builder(graph, dest)
         .timing(timing_with_ratio(ratio))
         .build();
     let region: Vec<NodeId> = (2..5).map(NodeId::new).collect();

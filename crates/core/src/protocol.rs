@@ -113,8 +113,15 @@ impl ProtocolNode for LsrpNode {
     type Msg = LsrpMsg;
 
     fn enabled_actions(&self, now_local: f64) -> EnabledSet {
-        let s = &self.state;
         let mut set = EnabledSet::none();
+        self.enabled_actions_into(now_local, &mut set);
+        set
+    }
+
+    // The guard logic lives in the buffer-filling variant: the engine
+    // re-evaluates guards after every event with a reusable buffer.
+    fn enabled_actions_into(&self, now_local: f64, set: &mut EnabledSet) {
+        let s = &self.state;
 
         // S1: MP.v ∧ p.v ≠ v, hold 0.
         if predicates::mp(s) && s.p != s.id {
@@ -172,8 +179,6 @@ impl ProtocolNode for LsrpNode {
                 set.wake_at(s.t_last + period);
             }
         }
-
-        set
     }
 
     fn execute(&mut self, action: ActionId, now_local: f64, fx: &mut Effects<LsrpMsg>) {

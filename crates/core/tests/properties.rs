@@ -95,7 +95,7 @@ proptest! {
             0 => {
                 let nodes: Vec<NodeId> = graph.nodes().filter(|&x| x != dest).collect();
                 let dead = nodes[rng.gen_range(0..nodes.len())];
-                let mut after = graph.clone();
+                let mut after = graph;
                 after.remove_node(dead).unwrap();
                 if after.is_connected() {
                     sim.fail_node(dead).unwrap();

@@ -24,6 +24,8 @@ pub enum GraphError {
     MissingEdge(NodeId, NodeId),
     /// The edge already exists (use [`Graph::set_weight`] to change it).
     DuplicateEdge(NodeId, NodeId),
+    /// The node already exists (joins require a fresh id).
+    DuplicateNode(NodeId),
 }
 
 impl fmt::Display for GraphError {
@@ -36,6 +38,7 @@ impl fmt::Display for GraphError {
             GraphError::MissingNode(v) => write!(f, "node {v} does not exist"),
             GraphError::MissingEdge(a, b) => write!(f, "edge ({a}, {b}) does not exist"),
             GraphError::DuplicateEdge(a, b) => write!(f, "edge ({a}, {b}) already exists"),
+            GraphError::DuplicateNode(v) => write!(f, "node {v} already exists"),
         }
     }
 }
@@ -328,6 +331,18 @@ mod tests {
         assert_eq!(
             g.add_edge(v(0), v(1), 5),
             Err(GraphError::DuplicateEdge(v(0), v(1)))
+        );
+    }
+
+    #[test]
+    fn error_display_names_the_offender() {
+        assert_eq!(
+            GraphError::DuplicateNode(v(7)).to_string(),
+            "node v7 already exists"
+        );
+        assert_eq!(
+            GraphError::DuplicateEdge(v(1), v(2)).to_string(),
+            "edge (v1, v2) already exists"
         );
     }
 

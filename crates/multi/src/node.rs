@@ -85,13 +85,21 @@ impl ProtocolNode for MultiLsrpNode {
 
     fn enabled_actions(&self, now_local: f64) -> EnabledSet {
         let mut out = EnabledSet::none();
+        self.enabled_actions_into(now_local, &mut out);
+        out
+    }
+
+    fn enabled_actions_into(&self, now_local: f64, out: &mut EnabledSet) {
+        // One inner buffer reused across all instances.
+        let mut inner = EnabledSet::none();
         for (&dest, node) in &self.instances {
-            let inner = node.enabled_actions(now_local);
+            inner.clear();
+            node.enabled_actions_into(now_local, &mut inner);
             let tag = instance_tag(dest);
-            for (id, hold) in inner.actions {
+            for &(id, hold) in &inner.actions {
                 let tagged = id.for_instance(tag);
-                match inner.fingerprints.get(&id) {
-                    Some(&fp) => {
+                match inner.fingerprint_of(id) {
+                    Some(fp) => {
                         out.enable_with_fingerprint(tagged, hold, fp);
                     }
                     None => {
@@ -103,7 +111,6 @@ impl ProtocolNode for MultiLsrpNode {
                 out.wake_at(w);
             }
         }
-        out
     }
 
     fn execute(&mut self, action: ActionId, now_local: f64, fx: &mut Effects<MultiMsg>) {

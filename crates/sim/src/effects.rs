@@ -22,6 +22,12 @@ pub struct Effects<M> {
     pub(crate) mirror_changed: bool,
 }
 
+impl<M> Default for Effects<M> {
+    fn default() -> Self {
+        Effects::new()
+    }
+}
+
 impl<M> Effects<M> {
     pub(crate) fn new() -> Self {
         Effects {
@@ -29,6 +35,14 @@ impl<M> Effects<M> {
             var_changed: false,
             mirror_changed: false,
         }
+    }
+
+    /// Empties the collector while keeping the send buffer's allocation —
+    /// the engine reuses one collector across events.
+    pub(crate) fn clear(&mut self) {
+        self.sends.clear();
+        self.var_changed = false;
+        self.mirror_changed = false;
     }
 
     /// Sends `msg` to every current neighbor.

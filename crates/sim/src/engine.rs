@@ -15,7 +15,7 @@
 //! fan-out never deep-copies the message.
 
 use std::cmp::Reverse;
-use std::collections::{BTreeMap, BTreeSet, BinaryHeap};
+use std::collections::{BTreeMap, BinaryHeap};
 use std::fmt;
 use std::sync::Arc;
 
@@ -27,11 +27,12 @@ use lsrp_graph::{Graph, GraphError, NodeId, RouteTable, Weight};
 use crate::clock::Clock;
 use crate::config::{EngineConfig, LossModel};
 use crate::effects::{Effects, SendTarget};
-use crate::node::{ActionId, ProtocolNode};
+use crate::node::{ActionId, EnabledSet, ProtocolNode};
 use crate::sink::TraceSink;
 use crate::slots::{EdgeSlots, NodeSlots};
 use crate::time::SimTime;
 use crate::trace::{ActionRecord, Trace};
+use crate::view::{RouteCursor, RouteDelta, RouteView, ViewEntry};
 
 /// What [`Engine::trace`] returns when the configured sink keeps no trace.
 static EMPTY_TRACE: Trace = Trace {
@@ -181,6 +182,11 @@ struct Slot<P> {
     node: P,
     clock: Clock,
     guards: BTreeMap<ActionId, GuardTrack>,
+    /// The node's current neighbor/weight map, cached from the graph and
+    /// rebuilt only on topology changes — broadcast fan-out, single-sends
+    /// and delivery liveness checks read it instead of re-querying (or
+    /// re-collecting) graph adjacency per message.
+    neighbors: BTreeMap<NodeId, Weight>,
     /// The live wakeup, if any: its scheduled real time plus the local
     /// reading the node asked to be re-evaluated at.
     pending_wakeup: Option<(SimTime, f64)>,
@@ -219,6 +225,21 @@ pub struct Engine<P: ProtocolNode> {
     factory: NodeFactory<P>,
     /// Reusable neighbor buffer for broadcast fan-out.
     scratch: Vec<NodeId>,
+    /// Reusable effects collector — one per engine, cleared between
+    /// events, so the hot path never allocates a fresh send buffer.
+    fx_scratch: Effects<P::Msg>,
+    /// Reusable guard-evaluation buffer for [`Engine::reevaluate_floored`].
+    enabled_scratch: EnabledSet,
+    /// Reusable hold-timer scheduling buffer for
+    /// [`Engine::reevaluate_floored`].
+    schedule_scratch: Vec<(ActionId, SimTime, u64)>,
+    /// Count of currently tracked non-maintenance guards, maintained at
+    /// every guard insert/removal so
+    /// [`Engine::any_enabled_non_maintenance`] is O(1) instead of a scan
+    /// over every node's guard map.
+    enabled_non_maintenance: usize,
+    /// The always-current dense route view (see [`crate::view`]).
+    view: RouteView,
 }
 
 impl<P: ProtocolNode> fmt::Debug for Engine<P> {
@@ -259,6 +280,11 @@ impl<P: ProtocolNode> Engine<P> {
             last_effective: SimTime::ZERO,
             factory: Box::new(factory),
             scratch: Vec::new(),
+            fx_scratch: Effects::new(),
+            enabled_scratch: EnabledSet::none(),
+            schedule_scratch: Vec::new(),
+            enabled_non_maintenance: 0,
+            view: RouteView::default(),
         };
         let ids: Vec<NodeId> = engine.graph.nodes().collect();
         for &v in &ids {
@@ -273,12 +299,20 @@ impl<P: ProtocolNode> Engine<P> {
     fn spawn_node(&mut self, v: NodeId) {
         let neighbors: BTreeMap<NodeId, Weight> = self.graph.neighbors(v).collect();
         let node = (self.factory)(v, &neighbors);
+        self.view.record(
+            v,
+            Some(ViewEntry {
+                route: node.route_entry(),
+                containment: node.in_containment(),
+            }),
+        );
         self.slots.insert(
             v,
             Slot {
                 node,
                 clock: self.config.clocks.clock_for(v, self.config.seed),
                 guards: BTreeMap::new(),
+                neighbors,
                 pending_wakeup: None,
             },
         );
@@ -328,17 +362,54 @@ impl<P: ProtocolNode> Engine<P> {
     pub fn with_node_mut(&mut self, v: NodeId, f: impl FnOnce(&mut P)) {
         if let Some(slot) = self.slots.get_mut(v) {
             f(&mut slot.node);
+            self.refresh_view(v);
             self.mark_effective();
             self.reevaluate(v);
         }
     }
 
-    /// The current route table (each node's `(d.v, p.v)`).
+    /// The current route table (each node's `(d.v, p.v)`), served from the
+    /// maintained [`RouteView`] — identical to rebuilding from the nodes.
     pub fn route_table(&self) -> RouteTable {
-        self.slots
-            .iter()
-            .map(|(v, s)| (v, s.node.route_entry()))
-            .collect()
+        self.view.to_table()
+    }
+
+    /// The engine-maintained dense route view.
+    pub fn route_view(&self) -> &RouteView {
+        &self.view
+    }
+
+    /// Turns route-delta logging on (idempotent) and returns the current
+    /// change cursor — the entry point for O(changes) consumers; see
+    /// [`crate::view`] for the cursor contract.
+    pub fn route_cursor(&mut self) -> RouteCursor {
+        self.view.enable_logging();
+        self.view.cursor()
+    }
+
+    /// Every route delta recorded after `cursor`, oldest first.
+    ///
+    /// # Panics
+    ///
+    /// Panics for cursors that were trimmed past (see
+    /// [`RouteView::deltas_since`]).
+    pub fn route_deltas_since(&self, cursor: RouteCursor) -> &[RouteDelta] {
+        self.view.deltas_since(cursor)
+    }
+
+    /// Discards route deltas every consumer has advanced past.
+    pub fn trim_route_deltas(&mut self, cursor: RouteCursor) {
+        self.view.trim(cursor);
+    }
+
+    /// Re-syncs `v`'s view entry from its protocol node (no-op when
+    /// nothing observable changed).
+    fn refresh_view(&mut self, v: NodeId) {
+        let new = self.slots.get(v).map(|s| ViewEntry {
+            route: s.node.route_entry(),
+            containment: s.node.in_containment(),
+        });
+        self.view.record(v, new);
     }
 
     /// Whether any node is currently involved in a containment wave.
@@ -352,10 +423,18 @@ impl<P: ProtocolNode> Engine<P> {
     }
 
     /// Whether any non-maintenance guard is currently enabled somewhere.
+    /// O(1): the engine maintains the count at every guard insert/removal.
     pub fn any_enabled_non_maintenance(&self) -> bool {
-        self.slots
-            .values()
-            .any(|s| s.guards.keys().any(|&a| !P::is_maintenance(a)))
+        debug_assert_eq!(
+            self.enabled_non_maintenance,
+            self.slots
+                .values()
+                .flat_map(|s| s.guards.keys())
+                .filter(|&&a| !P::is_maintenance(a))
+                .count(),
+            "non-maintenance guard counter drifted"
+        );
+        self.enabled_non_maintenance > 0
     }
 
     /// The last time an effective event occurred.
@@ -386,7 +465,14 @@ impl<P: ProtocolNode> Engine<P> {
     pub fn fail_node(&mut self, v: NodeId) -> Result<(), GraphError> {
         let neighbors: Vec<NodeId> = self.graph.neighbors(v).map(|(n, _)| n).collect();
         self.graph.remove_node(v)?;
-        self.slots.remove(v);
+        if let Some(slot) = self.slots.remove(v) {
+            self.enabled_non_maintenance -= slot
+                .guards
+                .keys()
+                .filter(|&&a| !P::is_maintenance(a))
+                .count();
+        }
+        self.view.record(v, None);
         self.mark_effective();
         for n in neighbors {
             self.notify_neighbors_changed(n);
@@ -402,7 +488,7 @@ impl<P: ProtocolNode> Engine<P> {
     /// Returns a [`GraphError`] if the node exists or an edge is invalid.
     pub fn join_node(&mut self, v: NodeId, edges: &[(NodeId, Weight)]) -> Result<(), GraphError> {
         if self.graph.has_node(v) {
-            return Err(GraphError::DuplicateEdge(v, v));
+            return Err(GraphError::DuplicateNode(v));
         }
         self.graph.add_node(v);
         for &(n, w) in edges {
@@ -466,15 +552,22 @@ impl<P: ProtocolNode> Engine<P> {
     }
 
     fn notify_neighbors_changed(&mut self, v: NodeId) {
-        let neighbors: BTreeMap<NodeId, Weight> = self.graph.neighbors(v).collect();
         let Some(slot) = self.slots.get_mut(v) else {
             return;
         };
+        // Re-sync the slot's neighbor cache, then hand the node a
+        // reference to it — no per-call map rebuild on the protocol side.
+        slot.neighbors.clear();
+        slot.neighbors.extend(self.graph.neighbors(v));
         let now_local = slot.clock.local(self.now);
-        let mut fx = Effects::new();
-        slot.node
-            .on_neighbors_changed(&neighbors, now_local, &mut fx);
-        self.apply_effects(v, fx, None);
+        let mut fx = std::mem::take(&mut self.fx_scratch);
+        let Slot {
+            node, neighbors, ..
+        } = slot;
+        node.on_neighbors_changed(neighbors, now_local, &mut fx);
+        self.apply_effects(v, &mut fx, None);
+        fx.clear();
+        self.fx_scratch = fx;
         self.reevaluate(v);
     }
 
@@ -601,18 +694,26 @@ impl<P: ProtocolNode> Engine<P> {
             Event::Deliver { from, to, msg } => {
                 self.stats.events.deliveries += 1;
                 self.inflight -= 1;
-                if !self.graph.has_edge(from, to) || !self.slots.contains(to) {
+                // Liveness check via the receiver's cached neighbor map:
+                // one dense-slot lookup instead of a graph adjacency query
+                // per delivery (the cache is re-synced on topology change).
+                let Some(slot) = self
+                    .slots
+                    .get_mut(to)
+                    .filter(|s| s.neighbors.contains_key(&from))
+                else {
                     self.stats.dropped_dead_receiver += 1;
                     self.sink.count_dropped_dead();
                     return;
-                }
+                };
                 self.stats.messages_delivered += 1;
                 self.sink.count_delivered();
-                let slot = self.slots.get_mut(to).expect("checked above");
                 let now_local = slot.clock.local(self.now);
-                let mut fx = Effects::new();
+                let mut fx = std::mem::take(&mut self.fx_scratch);
                 slot.node.on_receive(from, msg.as_ref(), now_local, &mut fx);
-                self.apply_effects(to, fx, None);
+                self.apply_effects(to, &mut fx, None);
+                fx.clear();
+                self.fx_scratch = fx;
                 self.reevaluate(to);
             }
             Event::GuardTimer {
@@ -633,10 +734,15 @@ impl<P: ProtocolNode> Engine<P> {
                 // Continuously enabled for the hold-time: execute.
                 self.stats.events.guard_fires += 1;
                 slot.guards.remove(&action);
+                if !P::is_maintenance(action) {
+                    self.enabled_non_maintenance -= 1;
+                }
                 let now_local = slot.clock.local(self.now);
-                let mut fx = Effects::new();
+                let mut fx = std::mem::take(&mut self.fx_scratch);
                 slot.node.execute(action, now_local, &mut fx);
-                self.apply_effects(node, fx, Some(action));
+                self.apply_effects(node, &mut fx, Some(action));
+                fx.clear();
+                self.fx_scratch = fx;
                 self.reevaluate(node);
             }
             Event::Wakeup { node } => {
@@ -662,7 +768,7 @@ impl<P: ProtocolNode> Engine<P> {
         }
     }
 
-    fn apply_effects(&mut self, from: NodeId, fx: Effects<P::Msg>, action: Option<ActionId>) {
+    fn apply_effects(&mut self, from: NodeId, fx: &mut Effects<P::Msg>, action: Option<ActionId>) {
         let effective =
             fx.var_changed || fx.mirror_changed || action.is_some_and(|a| !P::is_maintenance(a));
         if let Some(a) = action {
@@ -682,15 +788,19 @@ impl<P: ProtocolNode> Engine<P> {
         }
         if effective {
             self.mark_effective();
+            self.refresh_view(from);
         }
-        for (target, msg) in fx.sends {
+        for (target, msg) in fx.sends.drain(..) {
             match target {
                 SendTarget::Broadcast => {
                     // One allocation per send: every fan-out copy holds a
-                    // handle to the same payload.
+                    // handle to the same payload. Fan-out reads the
+                    // sender's cached neighbor map, not graph adjacency.
                     let msg = Arc::new(msg);
                     let mut scratch = std::mem::take(&mut self.scratch);
-                    scratch.extend(self.graph.neighbors(from).map(|(n, _)| n));
+                    if let Some(slot) = self.slots.get(from) {
+                        scratch.extend(slot.neighbors.keys().copied());
+                    }
                     for &n in &scratch {
                         self.schedule_delivery(from, n, Arc::clone(&msg));
                     }
@@ -698,7 +808,11 @@ impl<P: ProtocolNode> Engine<P> {
                     self.scratch = scratch;
                 }
                 SendTarget::To(n) => {
-                    if self.graph.has_edge(from, n) {
+                    if self
+                        .slots
+                        .get(from)
+                        .is_some_and(|s| s.neighbors.contains_key(&n))
+                    {
                         self.schedule_delivery(from, n, Arc::new(msg));
                     }
                 }
@@ -814,37 +928,43 @@ impl<P: ProtocolNode> Engine<P> {
         if let Some(f) = floor {
             now_local = now_local.max(f);
         }
-        let set = slot.node.enabled_actions(now_local);
-        let enabled_ids: BTreeSet<ActionId> = set.actions.iter().map(|&(id, _)| id).collect();
+        let mut set = std::mem::take(&mut self.enabled_scratch);
+        set.clear();
+        slot.node.enabled_actions_into(now_local, &mut set);
+        let counter = &mut self.enabled_non_maintenance;
         let slot = self.slots.get_mut(v).expect("checked above");
         let tracked = &mut slot.guards;
         // An action stays "continuously enabled" only while its guard is
         // true AND its fingerprint (the values the guard witnesses) is
-        // unchanged; otherwise the hold restarts.
+        // unchanged; otherwise the hold restarts. Guard sets are a
+        // handful of entries, so membership and fingerprint lookups are
+        // linear scans — no per-call set allocation.
         tracked.retain(|id, track| {
-            enabled_ids.contains(id)
-                && set
-                    .fingerprints
-                    .get(id)
-                    .copied()
-                    .unwrap_or(track.fingerprint)
-                    == track.fingerprint
+            let keep = set.is_enabled(*id)
+                && set.fingerprint_of(*id).unwrap_or(track.fingerprint) == track.fingerprint;
+            if !keep && !P::is_maintenance(*id) {
+                *counter -= 1;
+            }
+            keep
         });
-        let mut to_schedule: Vec<(ActionId, SimTime, u64)> = Vec::new();
-        for (id, hold) in set.actions {
+        let mut to_schedule = std::mem::take(&mut self.schedule_scratch);
+        for &(id, hold) in &set.actions {
             if let std::collections::btree_map::Entry::Vacant(e) = tracked.entry(id) {
                 self.generation += 1;
                 let generation = self.generation;
-                let fingerprint = set.fingerprints.get(&id).copied().unwrap_or(0);
+                let fingerprint = set.fingerprint_of(id).unwrap_or(0);
                 e.insert(GuardTrack {
                     generation,
                     fingerprint,
                 });
+                if !P::is_maintenance(id) {
+                    *counter += 1;
+                }
                 let fire = self.now + clock.real_duration(hold.max(0.0));
                 to_schedule.push((id, fire, generation));
             }
         }
-        for (id, fire, generation) in to_schedule {
+        for &(id, fire, generation) in &to_schedule {
             self.push(
                 fire,
                 Event::GuardTimer {
@@ -854,6 +974,8 @@ impl<P: ProtocolNode> Engine<P> {
                 },
             );
         }
+        to_schedule.clear();
+        self.schedule_scratch = to_schedule;
         if let Some(wl) = set.wakeup_local {
             // `real_time_at_local` never returns a time before `now`; a
             // wakeup may therefore land *at* `now` (same instant, later in
@@ -869,5 +991,7 @@ impl<P: ProtocolNode> Engine<P> {
                 self.push(t, Event::Wakeup { node: v });
             }
         }
+        set.clear();
+        self.enabled_scratch = set;
     }
 }

@@ -19,6 +19,7 @@ use crate::engine::{Engine, EngineStats, RunReport};
 use crate::node::ProtocolNode;
 use crate::time::SimTime;
 use crate::trace::Trace;
+use crate::view::{RouteCursor, RouteDelta, RouteView};
 
 /// A forged route advertisement, as planted into a node's mirror of a
 /// neighbor by the *mirror poisoning* fault class.
@@ -139,6 +140,31 @@ impl<P: HarnessProtocol> SimHarness<P> {
     /// The current route table.
     pub fn route_table(&self) -> RouteTable {
         self.engine.route_table()
+    }
+
+    /// The engine-maintained dense route view.
+    pub fn route_view(&self) -> &RouteView {
+        self.engine.route_view()
+    }
+
+    /// Turns route-delta logging on (idempotent) and returns the current
+    /// change cursor (see [`crate::view`]).
+    pub fn route_cursor(&mut self) -> RouteCursor {
+        self.engine.route_cursor()
+    }
+
+    /// Every route delta recorded after `cursor`, oldest first.
+    ///
+    /// # Panics
+    ///
+    /// Panics for cursors that were trimmed past.
+    pub fn route_deltas_since(&self, cursor: RouteCursor) -> &[RouteDelta] {
+        self.engine.route_deltas_since(cursor)
+    }
+
+    /// Discards route deltas every consumer has advanced past.
+    pub fn trim_route_deltas(&mut self, cursor: RouteCursor) {
+        self.engine.trim_route_deltas(cursor);
     }
 
     /// Whether every node's `(d, p)` is correct for the current topology.

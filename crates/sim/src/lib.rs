@@ -41,6 +41,7 @@ pub mod sink;
 pub mod slots;
 pub mod time;
 pub mod trace;
+pub mod view;
 
 #[doc(hidden)]
 pub mod test_support {
@@ -63,3 +64,4 @@ pub use crate::sink::{CountsOnly, FullTrace, NullSink, SinkKind, TraceSink};
 pub use crate::slots::{EdgeSlots, NodeSlots};
 pub use crate::time::SimTime;
 pub use crate::trace::{ActionRecord, Trace};
+pub use crate::view::{RouteCursor, RouteDelta, RouteView, ViewEntry};

@@ -76,8 +76,10 @@ pub struct EnabledSet {
     /// re-arm when the candidate route changes (BGP's
     /// MinRouteAdvertisementInterval behaves this way), and is what makes
     /// LSRP's loop freedom robust to mid-hold mirror updates (DESIGN.md
-    /// §5). Actions without a fingerprint never restart.
-    pub fingerprints: std::collections::BTreeMap<ActionId, u64>,
+    /// §5). Actions without a fingerprint never restart. Stored as a flat
+    /// list (guard sets are tiny, and clearing keeps its capacity — see
+    /// [`EnabledSet::clear`]); look up with [`EnabledSet::fingerprint_of`].
+    pub fingerprints: Vec<(ActionId, u64)>,
     /// If some guard is a function of the local clock (e.g. LSRP's
     /// periodic `SYN1`), the earliest local-clock reading at which guards
     /// should be re-evaluated even if no event arrives.
@@ -88,6 +90,14 @@ impl EnabledSet {
     /// An empty set (nothing enabled, no wakeup).
     pub fn none() -> Self {
         EnabledSet::default()
+    }
+
+    /// Empties the set while keeping its allocations, so one `EnabledSet`
+    /// can be refilled per guard evaluation ([`ProtocolNode::enabled_actions_into`]).
+    pub fn clear(&mut self) {
+        self.actions.clear();
+        self.fingerprints.clear();
+        self.wakeup_local = None;
     }
 
     /// Adds an enabled action (builder style).
@@ -105,8 +115,21 @@ impl EnabledSet {
         fingerprint: u64,
     ) -> &mut Self {
         self.actions.push((id, hold_local));
-        self.fingerprints.insert(id, fingerprint);
+        self.fingerprints.push((id, fingerprint));
         self
+    }
+
+    /// The fingerprint recorded for `id`, if any.
+    pub fn fingerprint_of(&self, id: ActionId) -> Option<u64> {
+        self.fingerprints
+            .iter()
+            .find(|&&(fid, _)| fid == id)
+            .map(|&(_, fp)| fp)
+    }
+
+    /// Whether `id` is among the enabled actions.
+    pub fn is_enabled(&self, id: ActionId) -> bool {
+        self.actions.iter().any(|&(aid, _)| aid == id)
     }
 
     /// Requests a wakeup at the given local-clock reading (keeps the
@@ -139,6 +162,15 @@ pub trait ProtocolNode {
     /// Evaluates all guards against the current state. `now_local` is the
     /// node's clock reading.
     fn enabled_actions(&self, now_local: f64) -> EnabledSet;
+
+    /// [`ProtocolNode::enabled_actions`], writing into a caller-provided
+    /// (cleared) set. The engine re-evaluates guards after every event and
+    /// calls this with a reusable buffer; protocols should override it
+    /// with their actual guard logic (and implement `enabled_actions` by
+    /// delegation) so the hot path allocates nothing.
+    fn enabled_actions_into(&self, now_local: f64, out: &mut EnabledSet) {
+        *out = self.enabled_actions(now_local);
+    }
 
     /// Executes the statement of `action` atomically. Implementations must
     /// call [`Effects::note_var_change`] whenever a *protocol variable*

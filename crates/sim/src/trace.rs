@@ -78,12 +78,21 @@ impl Trace {
 
     /// Nodes that executed at least one non-maintenance action at or after
     /// `since`.
+    ///
+    /// When `since` predates the whole (time-ordered) record — the common
+    /// case, measurements reset the trace and then ask from their start
+    /// time — the answer is served straight from the per-node counters
+    /// instead of re-scanning the action vector.
     pub fn acted_nodes_since(&self, since: SimTime) -> BTreeSet<NodeId> {
-        self.actions
-            .iter()
-            .filter(|r| !r.maintenance && r.time >= since)
-            .map(|r| r.node)
-            .collect()
+        match self.actions.first() {
+            Some(first) if first.time >= since => self.action_counts.keys().copied().collect(),
+            _ => self
+                .actions
+                .iter()
+                .filter(|r| !r.maintenance && r.time >= since)
+                .map(|r| r.node)
+                .collect(),
+        }
     }
 
     /// The last time a protocol variable changed at or after `since`
@@ -173,6 +182,25 @@ mod tests {
             t.acted_nodes_since(SimTime::new(2.5)),
             BTreeSet::from([NodeId::new(3)])
         );
+    }
+
+    #[test]
+    fn acted_nodes_fast_path_matches_the_scan() {
+        let mut t = Trace::new();
+        t.record_action(rec(1.0, 1, false, true), true);
+        t.record_action(rec(2.0, 2, true, false), true);
+        t.record_action(rec(3.0, 1, false, false), true);
+        t.record_action(rec(4.0, 5, false, false), true);
+        for since in [0.0, 1.0, 2.5, 9.0] {
+            let since = SimTime::new(since);
+            let scanned: BTreeSet<NodeId> = t
+                .actions
+                .iter()
+                .filter(|r| !r.maintenance && r.time >= since)
+                .map(|r| r.node)
+                .collect();
+            assert_eq!(t.acted_nodes_since(since), scanned, "since {since}");
+        }
     }
 
     #[test]

@@ -360,6 +360,16 @@ fn joining_a_node_mid_run_integrates_it() {
 }
 
 #[test]
+fn joining_an_existing_node_reports_a_duplicate_node() {
+    let mut e = flood_engine(2, 1.0, EngineConfig::default());
+    assert_eq!(
+        e.join_node(v(1), &[(v(0), 1)]),
+        Err(lsrp_graph::GraphError::DuplicateNode(v(1)))
+    );
+    assert!(e.node(v(1)).is_some(), "failed join must not disturb v1");
+}
+
+#[test]
 fn weight_change_notifies_endpoints() {
     let mut e = flood_engine(2, 1.0, EngineConfig::default());
     e.set_weight(v(0), v(1), 9).unwrap();

@@ -23,6 +23,7 @@ pub mod forwarding;
 pub mod loops;
 pub mod measure;
 pub mod monitor;
+pub mod multi_chaos;
 pub mod parallel;
 pub mod sim_trait;
 pub mod table;
@@ -39,6 +40,10 @@ pub use crate::measure::{measure_recovery, RecoveryMetrics};
 pub use crate::monitor::{
     run_monitored, standard_monitors, ContaminationMonitor, ConvergenceMonitor, LoopMonitor,
     Monitor, MonitorReport, Violation, ViolationKind, WaveOrderMonitor,
+};
+pub use crate::multi_chaos::{
+    multi_chaos_campaign, multi_chaos_campaign_with_jobs, multi_chaos_run, MultiChaosCampaign,
+    MultiChaosRun,
 };
 pub use crate::parallel::{chaos_campaign_with_jobs, run_sharded};
 pub use crate::sim_trait::RoutingSimulation;

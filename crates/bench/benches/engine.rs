@@ -9,7 +9,9 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 
 use lsrp_analysis::{run_monitored, standard_monitors};
-use lsrp_bench::engine_perf::{fig1_sim, grid200_sim, PERF_SEED};
+use lsrp_bench::engine_perf::{
+    allpairs_grid_reference_sim, allpairs_grid_sim, fig1_sim, grid200_sim, PERF_SEED,
+};
 use lsrp_core::{InitialState, LsrpSimulation, LsrpSimulationExt};
 use lsrp_faults::{FaultProcess, FaultSchedule};
 use lsrp_graph::{generators, NodeId};
@@ -125,11 +127,58 @@ fn bench_monitored_chaos(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_allpairs_grid(c: &mut Criterion) {
+    // The multi-destination plane benchmark: full-table corruption at one
+    // node of an all-pairs 6x6 grid (1296 instances), dense plane vs the
+    // pre-dense reference. Throughput is calibrated to delivered protocol
+    // adverts so the two are comparable despite batching.
+    let mut g = c.benchmark_group("engine_allpairs_grid");
+    g.sample_size(10);
+
+    let mut probe = allpairs_grid_sim();
+    assert!(probe.run_to_quiescence(1_000_000.0).quiescent);
+    let dense_adverts = probe.stats().adverts_delivered;
+    g.throughput(Throughput::Elements(dense_adverts));
+    g.bench_function("dense_batched", |b| {
+        b.iter(|| {
+            let mut sim = allpairs_grid_sim();
+            let report = sim.run_to_quiescence(1_000_000.0);
+            assert!(report.quiescent);
+            assert_eq!(
+                sim.stats().adverts_delivered,
+                dense_adverts,
+                "allpairs runs are seed-pinned"
+            );
+            std::hint::black_box(sim.stats().messages_delivered)
+        })
+    });
+
+    let mut probe = allpairs_grid_reference_sim();
+    assert!(probe.run_to_quiescence(1_000_000.0).quiescent);
+    let ref_adverts = probe.stats().adverts_delivered;
+    g.throughput(Throughput::Elements(ref_adverts));
+    g.bench_function("reference_unbatched", |b| {
+        b.iter(|| {
+            let mut sim = allpairs_grid_reference_sim();
+            let report = sim.run_to_quiescence(1_000_000.0);
+            assert!(report.quiescent);
+            assert_eq!(
+                sim.stats().adverts_delivered,
+                ref_adverts,
+                "allpairs runs are seed-pinned"
+            );
+            std::hint::black_box(sim.stats().messages_delivered)
+        })
+    });
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_delivery_throughput,
     bench_cold_start,
     bench_event_rate,
-    bench_monitored_chaos
+    bench_monitored_chaos,
+    bench_allpairs_grid
 );
 criterion_main!(benches);

@@ -2,7 +2,8 @@
 //! them as markdown (the source of EXPERIMENTS.md).
 //!
 //! Usage: `experiments [e1|e3|e4|e5|e6|e7|e8|e9|e10|e11|e12|all]...`
-//! (default: all).
+//! (default: all). `e6 --destinations N|all-pairs` runs the E6 sweep on
+//! the dense multi-destination plane instead of the single-tree one.
 
 use std::env;
 
@@ -14,8 +15,34 @@ fn want(args: &[String], id: &str) -> bool {
     args.is_empty() || args.iter().any(|a| a == id || a == "all")
 }
 
+/// Parses a trailing `--destinations N|all-pairs` flag (for the E6 multi
+/// sweep) out of `args`, returning `Some(None)` for all-pairs and
+/// `Some(Some(n))` for a count. Exits with a message on a bad value.
+fn take_destinations(args: &mut Vec<String>) -> Option<Option<usize>> {
+    let i = args.iter().position(|a| a == "--destinations")?;
+    args.remove(i);
+    let value = if i < args.len() {
+        args.remove(i)
+    } else {
+        eprintln!("--destinations wants a value: N or all-pairs");
+        std::process::exit(2);
+    };
+    match value.as_str() {
+        "all-pairs" | "all" => Some(None),
+        n => match n.parse::<usize>() {
+            Ok(n) if n >= 1 => Some(Some(n)),
+            _ => {
+                eprintln!("invalid destination count: {n} (want N or all-pairs)");
+                std::process::exit(2);
+            }
+        },
+    }
+}
+
 fn main() {
-    let args: Vec<String> = env::args().skip(1).collect();
+    let mut args: Vec<String> = env::args().skip(1).collect();
+    let destinations = take_destinations(&mut args);
+    let args = args;
 
     println!("# LSRP reproduction — experiment outputs\n");
     println!("All times are simulated seconds under the paper-example timing");
@@ -42,7 +69,15 @@ fn main() {
         println!("{}", selfstab::e5_selfstab(&[16, 32, 64], 10));
     }
     if want(&args, "e6") {
-        println!("{}", scaling::e6_scaling(&[8, 16, 24], &[1, 2, 4, 8, 16]));
+        if let Some(dests) = destinations {
+            let jobs = std::thread::available_parallelism().map_or(1, |n| n.get());
+            println!(
+                "{}",
+                scaling::e6_scaling_multi(&[8, 12], &[1, 2, 4], dests, jobs)
+            );
+        } else {
+            println!("{}", scaling::e6_scaling(&[8, 16, 24], &[1, 2, 4, 8, 16]));
+        }
     }
     if want(&args, "e7") {
         println!("{}", regions_exp::e7_regions(64, 4));

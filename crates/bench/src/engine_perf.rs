@@ -19,7 +19,11 @@ use std::time::{Duration, Instant};
 use lsrp_analysis::{measure_recovery, run_monitored, standard_monitors};
 use lsrp_core::{InitialState, LsrpSimulation, LsrpSimulationExt};
 use lsrp_faults::{FaultProcess, FaultSchedule};
-use lsrp_graph::{generators, topologies, Distance, NodeId};
+use lsrp_graph::{generators, topologies, Distance, Graph, NodeId};
+use lsrp_multi::{
+    MultiLsrpSimulation, MultiLsrpSimulationExt, ReferenceMultiSimulation,
+    ReferenceMultiSimulationExt,
+};
 use lsrp_sim::{EngineConfig, SinkKind};
 
 /// The fixed seed every throughput scenario runs under.
@@ -34,6 +38,11 @@ pub struct EnginePerf {
     pub events: u64,
     /// Messages delivered across all iterations.
     pub messages_delivered: u64,
+    /// Protocol adverts delivered across all iterations (equals
+    /// `messages_delivered` for single-destination scenarios; larger for
+    /// the batched multi-destination plane, where one wire message
+    /// carries many adverts).
+    pub adverts_delivered: u64,
     /// High-water mark of the event queue over all iterations.
     pub peak_queue_depth: usize,
     /// Wall-clock seconds spent inside the event loop.
@@ -112,6 +121,7 @@ pub fn measure_chaos_monitored(iters: u32) -> EnginePerf {
         scenario: "chaos_monitored",
         events,
         messages_delivered: delivered,
+        adverts_delivered: delivered,
         peak_queue_depth: peak,
         elapsed_secs: secs,
         events_per_sec: events as f64 / secs,
@@ -157,6 +167,7 @@ pub fn measure_recovery_grid(iters: u32) -> EnginePerf {
         scenario: "measure_recovery_grid",
         events,
         messages_delivered: delivered,
+        adverts_delivered: delivered,
         peak_queue_depth: peak,
         elapsed_secs: secs,
         events_per_sec: events as f64 / secs,
@@ -195,6 +206,7 @@ pub fn measure(
         scenario,
         events,
         messages_delivered: delivered,
+        adverts_delivered: delivered,
         peak_queue_depth: peak,
         elapsed_secs: secs,
         events_per_sec: events as f64 / secs,
@@ -202,7 +214,87 @@ pub fn measure(
     }
 }
 
-/// Runs both throughput scenarios with iteration counts sized for a
+/// The all-pairs grid scenario's fixed inputs: a 6x6 unit grid with every
+/// node a destination (1296 protocol instances) and a full-table
+/// corruption at a central node.
+fn allpairs_parts() -> (Graph, Vec<NodeId>, NodeId) {
+    let graph = generators::grid(6, 6, 1);
+    let dests: Vec<NodeId> = graph.nodes().collect();
+    (graph, dests, NodeId::new(14))
+}
+
+/// The all-pairs grid scenario on the dense plane: legitimate start,
+/// corrupt every instance at the victim, run to quiescence.
+pub fn allpairs_grid_sim() -> MultiLsrpSimulation {
+    let (graph, dests, victim) = allpairs_parts();
+    let mut sim = MultiLsrpSimulation::builder(graph, dests)
+        .engine_config(engine_config())
+        .build();
+    sim.corrupt_all_instances(victim, |d| (Distance::Finite(1), d));
+    sim
+}
+
+/// The same scenario on the pre-dense reference plane (per-destination
+/// wire messages, full guard scans) — the baseline the batching and
+/// dirty-scheduling wins are quoted against.
+pub fn allpairs_grid_reference_sim() -> ReferenceMultiSimulation {
+    let (graph, dests, victim) = allpairs_parts();
+    let mut sim = ReferenceMultiSimulation::reference(graph, dests, engine_config());
+    sim.corrupt_all_instances(victim, |d| (Distance::Finite(1), d));
+    sim
+}
+
+fn measure_allpairs<S>(
+    scenario: &'static str,
+    iters: u32,
+    build: impl Fn() -> lsrp_sim::SimHarness<S>,
+) -> EnginePerf
+where
+    S: lsrp_sim::HarnessProtocol,
+{
+    let mut events = 0u64;
+    let mut delivered = 0u64;
+    let mut adverts = 0u64;
+    let mut peak = 0usize;
+    let mut elapsed = Duration::ZERO;
+    for _ in 0..iters {
+        let mut sim = build();
+        let start = Instant::now();
+        let report = sim.run_to_quiescence(1_000_000.0);
+        elapsed += start.elapsed();
+        assert!(report.quiescent, "{scenario} must settle");
+        let stats = sim.stats();
+        events += stats.total_events();
+        delivered += stats.messages_delivered;
+        adverts += stats.adverts_delivered;
+        peak = peak.max(stats.peak_queue_depth);
+    }
+    let secs = elapsed.as_secs_f64().max(f64::MIN_POSITIVE);
+    EnginePerf {
+        scenario,
+        events,
+        messages_delivered: delivered,
+        adverts_delivered: adverts,
+        peak_queue_depth: peak,
+        elapsed_secs: secs,
+        events_per_sec: events as f64 / secs,
+        deliveries_per_sec: delivered as f64 / secs,
+    }
+}
+
+/// The dense multi-destination plane under full-table corruption on the
+/// all-pairs grid (batched adverts, dirty-instance scans).
+pub fn measure_allpairs_grid(iters: u32) -> EnginePerf {
+    measure_allpairs("allpairs_grid", iters, allpairs_grid_sim)
+}
+
+/// The pre-dense baseline of the same scenario (one wire message per
+/// advert, O(destinations) scans).
+pub fn measure_allpairs_grid_reference(iters: u32) -> EnginePerf {
+    measure_allpairs("allpairs_grid_ref", iters, allpairs_grid_reference_sim)
+}
+
+/// Runs every throughput scenario with iteration counts sized for a
 /// sub-second smoke run.
 pub fn measure_all() -> Vec<EnginePerf> {
     vec![
@@ -210,6 +302,8 @@ pub fn measure_all() -> Vec<EnginePerf> {
         measure("grid200_benign", 3, grid200_sim),
         measure_chaos_monitored(4),
         measure_recovery_grid(6),
+        measure_allpairs_grid(3),
+        measure_allpairs_grid_reference(1),
     ]
 }
 
@@ -225,11 +319,13 @@ pub fn to_json(results: &[EnginePerf]) -> String {
         let _ = write!(
             out,
             "\"name\": \"{}\", \"events\": {}, \"messages_delivered\": {}, \
+             \"adverts_delivered\": {}, \
              \"peak_queue_depth\": {}, \"elapsed_secs\": {:.6}, \
              \"events_per_sec\": {:.1}, \"deliveries_per_sec\": {:.1}",
             r.scenario,
             r.events,
             r.messages_delivered,
+            r.adverts_delivered,
             r.peak_queue_depth,
             r.elapsed_secs,
             r.events_per_sec,
@@ -274,7 +370,29 @@ mod tests {
         assert!(doc.ends_with("}\n"));
         assert!(doc.contains("\"fig1_benign\""));
         assert!(doc.contains("\"grid200_benign\""));
+        assert!(doc.contains("\"allpairs_grid\""));
+        assert!(doc.contains("\"allpairs_grid_ref\""));
         assert!(doc.contains("\"peak_queue_depth\""));
+        assert!(doc.contains("\"adverts_delivered\""));
         assert_eq!(doc.matches('{').count(), doc.matches('}').count());
+    }
+
+    #[test]
+    fn batching_beats_the_per_destination_baseline() {
+        let dense = measure_allpairs_grid(1);
+        let baseline = measure_allpairs_grid_reference(1);
+        // Identical protocol work on both planes: one advert per wire
+        // message on the baseline, many per message on the dense plane.
+        assert_eq!(
+            baseline.adverts_delivered, baseline.messages_delivered,
+            "baseline carries one advert per message"
+        );
+        assert!(
+            dense.messages_delivered < baseline.messages_delivered,
+            "batching must reduce delivered messages ({} vs {})",
+            dense.messages_delivered,
+            baseline.messages_delivered
+        );
+        assert!(dense.adverts_delivered > dense.messages_delivered);
     }
 }

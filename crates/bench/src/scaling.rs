@@ -11,6 +11,7 @@ use lsrp_core::{LsrpSimulation, LsrpSimulationExt};
 use lsrp_faults::corruption::contiguous_region;
 use lsrp_faults::{CorruptionKind, Fault, FaultPlan, RecurringFault};
 use lsrp_graph::{generators, Distance, NodeId};
+use lsrp_multi::{MultiLsrpSimulation, MultiLsrpSimulationExt};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -123,6 +124,95 @@ pub fn e6_scaling(widths: &[u32], sizes: &[usize]) -> Table {
     t
 }
 
+/// One multi-destination scaling cell on the dense plane: a contiguous
+/// region of `p` nodes near the corner has *every* instance table
+/// hijacked, and the run is judged on all `dests` trees at once.
+///
+/// Returns (stabilization time, messages delivered, adverts delivered,
+/// acting nodes).
+fn multi_scaling_cell(width: u32, p: usize, dests: usize, seed: u64) -> (f64, u64, u64, usize) {
+    let graph = generators::grid(width, width, 1);
+    let destinations: Vec<NodeId> = graph.nodes().take(dests).collect();
+    let region = contiguous_region(&graph, v(width + 1), p, v(0));
+    assert_eq!(region.len(), p, "grid too small for p = {p}");
+    let mut sim = MultiLsrpSimulation::builder(graph, destinations)
+        .seed(seed)
+        .build();
+    sim.engine_mut().reset_trace();
+    let t0 = sim.now();
+    for &node in &region {
+        sim.corrupt_all_instances(node, |_| (Distance::ZERO, node));
+    }
+    let report = sim.run_to_quiescence(HORIZON);
+    assert!(report.quiescent && sim.all_routes_correct());
+    let trace = sim.engine().trace();
+    let stab = trace
+        .last_var_change_since(t0)
+        .map_or(0.0, |t| t.seconds() - t0.seconds());
+    let acting = trace.acted_nodes_since(t0).len();
+    let stats = sim.engine().stats();
+    (
+        stab,
+        stats.messages_delivered,
+        stats.adverts_delivered,
+        acting,
+    )
+}
+
+/// E6 on the dense multi-destination plane: the perturbation-size sweep
+/// with every node running one LSRP instance per destination over the
+/// batched wire. `dests` of `None` means all-pairs (one tree per node).
+///
+/// Cells are pure functions of their inputs and fan out over `jobs`
+/// worker threads via [`run_sharded`]; results merge back in cell order,
+/// so the table is byte-identical for every `jobs` value.
+pub fn e6_scaling_multi(
+    widths: &[u32],
+    sizes: &[usize],
+    dests: Option<usize>,
+    jobs: usize,
+) -> Table {
+    let label = dests.map_or_else(|| "all-pairs".to_string(), |n| n.to_string());
+    let mut t = Table::new(
+        format!("E6 (multi) — perturbation-size sweep, dense plane, destinations {label}"),
+        &[
+            "n (grid)",
+            "destination trees",
+            "perturbation p",
+            "stabilization time",
+            "messages delivered",
+            "adverts delivered",
+            "acting nodes",
+        ],
+    );
+    let mut cells = Vec::new();
+    for &w in widths {
+        let trees = dests.unwrap_or((w * w) as usize).min((w * w) as usize);
+        for &p in sizes {
+            cells.push((w, p, trees));
+        }
+    }
+    let results = {
+        let cells = cells.clone();
+        run_sharded(jobs, cells.len(), move |i| {
+            let (w, p, trees) = cells[i];
+            multi_scaling_cell(w, p, trees, 42 + u64::from(w))
+        })
+    };
+    for ((w, p, trees), (stab, messages, adverts, acting)) in cells.into_iter().zip(results) {
+        t.row(&[
+            format!("{}", w * w),
+            trees.to_string(),
+            p.to_string(),
+            fmt_f64(stab),
+            messages.to_string(),
+            adverts.to_string(),
+            acting.to_string(),
+        ]);
+    }
+    t
+}
+
 /// E16 — route stability (§I, §IV-B): next-hop flaps at *healthy* nodes
 /// during recovery. The paper singles out route flapping as "a severe
 /// kind of routing instability" that fault propagation causes; LSRP's
@@ -212,6 +302,24 @@ mod tests {
         let b = e6_scaling(&[6], &[1]).to_string();
         assert_eq!(a, b);
         assert!(a.contains("LSRP"));
+    }
+
+    #[test]
+    fn sharded_multi_e6_sweep_is_byte_identical_to_serial() {
+        let serial = e6_scaling_multi(&[4], &[1, 2], Some(3), 1).to_string();
+        for jobs in [2, 5] {
+            let sharded = e6_scaling_multi(&[4], &[1, 2], Some(3), jobs).to_string();
+            assert_eq!(serial, sharded, "jobs={jobs}");
+        }
+        assert!(serial.contains("destinations 3"), "{serial}");
+    }
+
+    #[test]
+    fn multi_e6_all_pairs_runs_one_tree_per_node() {
+        let t = e6_scaling_multi(&[3], &[1], None, 2).to_string();
+        assert!(t.contains("all-pairs"), "{t}");
+        // 3x3 grid, all-pairs: 9 destination trees.
+        assert!(t.contains("| 9"), "{t}");
     }
 
     #[test]

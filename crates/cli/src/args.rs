@@ -54,6 +54,33 @@ impl fmt::Display for TopologySpec {
     }
 }
 
+/// How many routing destinations a multi-destination campaign maintains.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DestinationsSpec {
+    /// `--destinations N` — the `N` lowest node ids.
+    Count(u32),
+    /// `--destinations all-pairs` — every node is a destination.
+    AllPairs,
+}
+
+impl DestinationsSpec {
+    /// Parses `N` or `all-pairs`.
+    pub fn parse(s: &str) -> Result<Self, ParseError> {
+        if s == "all-pairs" || s == "all" {
+            return Ok(DestinationsSpec::AllPairs);
+        }
+        let n: u32 = s.parse().map_err(|_| {
+            err(format!(
+                "invalid destination count: {s} (want N or all-pairs)"
+            ))
+        })?;
+        if n == 0 {
+            return Err(err("--destinations must be at least 1"));
+        }
+        Ok(DestinationsSpec::Count(n))
+    }
+}
+
 /// A fault selector, e.g. `corrupt:9:1`, `fail-node:5`, `loop:8`.
 #[derive(Debug, Clone, PartialEq)]
 pub enum FaultSpec {
@@ -125,6 +152,9 @@ pub enum Command {
         /// Worker threads running the campaign (results are merged in
         /// seed order, so the report is identical for every value).
         jobs: usize,
+        /// Route toward many destinations (the dense multi-destination
+        /// plane) instead of the single `--dest`.
+        destinations: Option<DestinationsSpec>,
     },
     /// `help`
     Help,
@@ -257,6 +287,7 @@ impl Command {
         let mut runs = 5u32;
         let mut horizon = 100_000.0f64;
         let mut jobs = 1usize;
+        let mut destinations = None;
 
         while let Some(flag) = args.next() {
             let mut value = |what: &str| {
@@ -296,6 +327,9 @@ impl Command {
                         return Err(err("--jobs must be at least 1"));
                     }
                 }
+                "--destinations" | "-D" => {
+                    destinations = Some(DestinationsSpec::parse(&value("destination count")?)?);
+                }
                 "--horizon" => {
                     horizon = value("horizon")?
                         .parse()
@@ -309,6 +343,9 @@ impl Command {
         }
 
         let topology = topology.ok_or_else(|| err("--topology is required"))?;
+        if destinations.is_some() && sub != "chaos" {
+            return Err(err("--destinations is only valid with `lsrp chaos`"));
+        }
         match sub.as_str() {
             "run" => Ok(Command::Run {
                 topology,
@@ -332,6 +369,7 @@ impl Command {
                 runs,
                 horizon,
                 jobs,
+                destinations,
             }),
             other => Err(err(format!(
                 "unknown command '{other}' (run, compare, topo, chaos, help)"
@@ -350,7 +388,7 @@ USAGE:
   lsrp compare --topology SPEC [--dest N] [--fault SPEC]... [--seed N]
   lsrp topo    --topology SPEC [--seed N]
   lsrp chaos   --topology SPEC [--dest N] [--seed N] [--runs N] [--jobs N]
-               [--horizon T]
+               [--horizon T] [--destinations N|all-pairs]
 
 TOPOLOGIES:  grid:8x8  ring:32  path:16  er:40:0.1  geo:60:0.18
              ba:50:2  lollipop:2:8  fig1
@@ -361,13 +399,17 @@ FAULTS:      corrupt:NODE[:D|inf]  fail-node:N  fail-edge:A:B
 partition-and-heal, state corruption) with online invariant monitors
 (convergence, contamination radius, wave-speed order, loop freedom);
 violating schedules are delta-minimized and printed as replayable repro
-cases.
+cases. With `--destinations N` (the N lowest node ids) or
+`--destinations all-pairs`, the campaign instead drives the dense
+multi-destination plane — one LSRP instance per destination over batched
+adverts — and judges quiescence plus per-tree route correctness.
 
 EXAMPLES:
   lsrp run --topology fig1 --protocol lsrp --fault corrupt:9:1 --timeline
   lsrp compare --topology grid:12x12 --fault corrupt:13:0
   lsrp run --topology lollipop:2:16 --fault loop --timeline
   lsrp chaos --topology grid:6x6 --runs 10 --seed 1
+  lsrp chaos --topology grid:6x6 --destinations all-pairs --runs 5 --jobs 4
 ";
 
 #[cfg(test)]
@@ -438,6 +480,31 @@ mod tests {
             assert_eq!(FaultSpec::parse(s).unwrap(), expect, "{s}");
         }
         assert!(FaultSpec::parse("nuke:1").is_err());
+    }
+
+    #[test]
+    fn parses_chaos_destinations() {
+        let c = Command::parse(argv(
+            "chaos --topology grid:4x4 --destinations all-pairs --runs 2",
+        ))
+        .unwrap();
+        match c {
+            Command::Chaos { destinations, .. } => {
+                assert_eq!(destinations, Some(DestinationsSpec::AllPairs));
+            }
+            other => panic!("wrong command: {other:?}"),
+        }
+        let c = Command::parse(argv("chaos --topology grid:4x4 -D 5")).unwrap();
+        match c {
+            Command::Chaos { destinations, .. } => {
+                assert_eq!(destinations, Some(DestinationsSpec::Count(5)));
+            }
+            other => panic!("wrong command: {other:?}"),
+        }
+        assert!(Command::parse(argv("chaos --topology grid:4x4 --destinations 0")).is_err());
+        assert!(Command::parse(argv("chaos --topology grid:4x4 --destinations x")).is_err());
+        // Only chaos understands the flag.
+        assert!(Command::parse(argv("run --topology grid:4x4 --destinations 3")).is_err());
     }
 
     #[test]

@@ -15,7 +15,9 @@ use lsrp_sim::EngineConfig;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use crate::args::{Command, FaultSpec, ParseError, ProtocolChoice, TopologySpec, HELP};
+use crate::args::{
+    Command, DestinationsSpec, FaultSpec, ParseError, ProtocolChoice, TopologySpec, HELP,
+};
 
 /// Builds the topology and its natural destination.
 pub fn build_topology(spec: &TopologySpec, seed: u64) -> (Graph, NodeId) {
@@ -289,6 +291,7 @@ pub fn run_command(cmd: &Command) -> Result<String, ParseError> {
             runs,
             horizon,
             jobs,
+            destinations,
         } => {
             let (graph, natural_dest) = build_topology(topology, *seed);
             let dest = dest.unwrap_or(natural_dest);
@@ -301,6 +304,34 @@ pub fn run_command(cmd: &Command) -> Result<String, ParseError> {
                 horizon: *horizon,
                 ..chaos::ChaosConfig::default()
             };
+            if let Some(spec) = destinations {
+                // Multi-destination campaign on the dense plane: verdicts
+                // are quiescence + per-tree route correctness; there is no
+                // monitor minimizer on this path.
+                let dests: Vec<NodeId> = match *spec {
+                    DestinationsSpec::AllPairs => graph.nodes().collect(),
+                    DestinationsSpec::Count(n) => {
+                        if n as usize > graph.node_count() {
+                            return Err(ParseError(format!(
+                                "--destinations {n} exceeds the topology's {} nodes",
+                                graph.node_count()
+                            )));
+                        }
+                        graph.nodes().take(n as usize).collect()
+                    }
+                };
+                let campaign = lsrp_analysis::multi_chaos_campaign_with_jobs(
+                    &graph,
+                    &dests,
+                    &topology.to_string(),
+                    &config,
+                    *seed,
+                    *runs,
+                    *jobs,
+                );
+                out.push_str(&campaign.report());
+                return Ok(out);
+            }
             let campaign = lsrp_analysis::chaos_campaign_with_jobs(
                 &graph,
                 dest,
@@ -444,5 +475,39 @@ mod tests {
             .unwrap();
             assert_eq!(serial, parallel, "jobs={jobs}");
         }
+    }
+
+    #[test]
+    fn multi_chaos_campaign_reports_clean_runs() {
+        let out =
+            run("chaos --topology grid:3x3 --destinations all-pairs --runs 2 --seed 1").unwrap();
+        assert!(
+            out.contains(
+                "multi chaos campaign: topology grid:3x3 destinations 9 runs 2 violating 0"
+            ),
+            "{out}"
+        );
+        assert!(out.contains("routes_correct=true"), "{out}");
+        let counted = run("chaos --topology grid:3x3 --destinations 3 --runs 1 --seed 1").unwrap();
+        assert!(counted.contains("destinations 3"), "{counted}");
+    }
+
+    #[test]
+    fn multi_chaos_parallel_report_is_byte_identical_to_serial() {
+        let serial =
+            run("chaos --topology grid:3x3 --destinations 4 --runs 3 --seed 5 --jobs 1").unwrap();
+        for jobs in [2, 4] {
+            let parallel = run(&format!(
+                "chaos --topology grid:3x3 --destinations 4 --runs 3 --seed 5 --jobs {jobs}"
+            ))
+            .unwrap();
+            assert_eq!(serial, parallel, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn multi_chaos_rejects_too_many_destinations() {
+        let e = run("chaos --topology grid:3x3 --destinations 99 --runs 1").unwrap_err();
+        assert!(e.0.contains("exceeds"), "{e:?}");
     }
 }

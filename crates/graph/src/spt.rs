@@ -95,6 +95,13 @@ impl RouteTable {
         self.entries.remove(&v)
     }
 
+    /// Empties the table (scratch-table reuse: consumers that snapshot
+    /// per-destination tables repeatedly refill one table instead of
+    /// building a new one per call).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+
     /// Returns the entry of `v`, if present.
     pub fn entry(&self, v: NodeId) -> Option<RouteEntry> {
         self.entries.get(&v).copied()

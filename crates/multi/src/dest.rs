@@ -1,0 +1,131 @@
+//! Destination interning: the shared [`DestTable`] maps between graph
+//! [`NodeId`]s and contiguous [`DestId`] indices.
+//!
+//! Every node of a multi-destination simulation shares one `Arc<DestTable>`
+//! built at construction time, so per-destination state can live in dense
+//! `Vec`s indexed by `DestId` (no per-event `BTreeMap` walks) and wire
+//! messages can tag adverts with a 4-byte index instead of a node id that
+//! each receiver would have to re-resolve.
+
+use std::fmt;
+use std::sync::Arc;
+
+use lsrp_graph::NodeId;
+
+/// Index of one destination in the shared [`DestTable`]: contiguous in
+/// `0..table.len()`, ordered like the destinations' node ids.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct DestId(u32);
+
+impl DestId {
+    /// The dense index (usable directly as a `Vec` index).
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    pub(crate) fn from_index(i: usize) -> Self {
+        DestId(u32::try_from(i).expect("destination count fits in u32"))
+    }
+}
+
+impl fmt::Display for DestId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "d{}", self.0)
+    }
+}
+
+/// The interned destination set of one simulation: sorted by node id,
+/// deduplicated, and shared (via [`Arc`]) by every node.
+///
+/// Sorting is load-bearing twice over: `DestId` order equals node-id order
+/// (so dense iteration reproduces the destination order the pre-dense
+/// plane's `BTreeMap` iterated in), and the id↔index map is a binary
+/// search over one contiguous slice instead of a tree walk.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DestTable {
+    dests: Vec<NodeId>,
+}
+
+impl DestTable {
+    /// Interns `dests` (sorted + deduplicated) into a shared table.
+    pub fn new(dests: impl IntoIterator<Item = NodeId>) -> Arc<Self> {
+        let mut dests: Vec<NodeId> = dests.into_iter().collect();
+        dests.sort_unstable();
+        dests.dedup();
+        Arc::new(DestTable { dests })
+    }
+
+    /// Number of interned destinations.
+    pub fn len(&self) -> usize {
+        self.dests.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.dests.is_empty()
+    }
+
+    /// The node id of one interned destination.
+    pub fn node_of(&self, id: DestId) -> NodeId {
+        self.dests[id.index()]
+    }
+
+    /// The dense id of a destination node, if it is interned.
+    pub fn id_of(&self, node: NodeId) -> Option<DestId> {
+        self.dests.binary_search(&node).ok().map(DestId::from_index)
+    }
+
+    /// The *primary* destination: the lowest interned node id. The
+    /// single-destination facade of the multi plane reports this
+    /// destination's routes.
+    pub fn primary(&self) -> Option<NodeId> {
+        self.dests.first().copied()
+    }
+
+    /// Iterates `(dense id, node id)` pairs in `DestId` order.
+    pub fn iter(&self) -> impl Iterator<Item = (DestId, NodeId)> + '_ {
+        self.dests
+            .iter()
+            .enumerate()
+            .map(|(i, &n)| (DestId::from_index(i), n))
+    }
+
+    /// The interned node ids, ascending.
+    pub fn nodes(&self) -> &[NodeId] {
+        &self.dests
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(i: u32) -> NodeId {
+        NodeId::new(i)
+    }
+
+    #[test]
+    fn interning_sorts_and_dedups() {
+        let t = DestTable::new([v(5), v(1), v(5), v(3)]);
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.nodes(), &[v(1), v(3), v(5)]);
+        assert_eq!(t.primary(), Some(v(1)));
+    }
+
+    #[test]
+    fn id_of_inverts_node_of() {
+        let t = DestTable::new([v(10), v(2), v(7)]);
+        for (id, node) in t.iter() {
+            assert_eq!(t.id_of(node), Some(id));
+            assert_eq!(t.node_of(id), node);
+        }
+        assert_eq!(t.id_of(v(3)), None);
+    }
+
+    #[test]
+    fn empty_table() {
+        let t = DestTable::new([]);
+        assert!(t.is_empty());
+        assert_eq!(t.primary(), None);
+    }
+}

@@ -32,10 +32,16 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod dest;
 pub mod node;
+pub mod reference;
 pub mod simulation;
 
-pub use crate::node::{MultiLsrpNode, MultiMsg};
+pub use crate::dest::{DestId, DestTable};
+pub use crate::node::{dest_of_tag, instance_tag, MultiLsrpNode, MultiMsg, FLUSH};
+pub use crate::reference::{
+    ReferenceMultiNode, ReferenceMultiSimulation, ReferenceMultiSimulationExt,
+};
 pub use crate::simulation::{
     MultiLsrpSimulation, MultiLsrpSimulationBuilder, MultiLsrpSimulationExt, MultiMeta,
 };

@@ -1,15 +1,19 @@
 //! The multi-destination simulation facade.
 
+use std::cell::RefCell;
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 use lsrp_core::{LsrpState, Mirror, TimingConfig};
-use lsrp_graph::{Distance, Graph, NodeId, RouteTable};
+use lsrp_graph::{Distance, Graph, NodeId, RouteTable, Weight};
 use lsrp_sim::{Engine, EngineConfig, ForgedAdvert, HarnessProtocol, SimHarness};
 
+use crate::dest::DestTable;
 use crate::node::MultiLsrpNode;
 
 /// Metadata carried by the multi-destination harness: the configured
-/// destination list plus the shared wave timing.
+/// destination list, the shared wave timing, the interned destination
+/// table, and a scratch route table reused by per-destination snapshots.
 #[derive(Debug, Clone)]
 pub struct MultiMeta {
     /// The destinations configured at build time (failed destinations are
@@ -17,6 +21,28 @@ pub struct MultiMeta {
     pub destinations: Vec<NodeId>,
     /// The shared wave timing.
     pub timing: TimingConfig,
+    dest_table: Arc<DestTable>,
+    /// Reused by [`MultiLsrpSimulationExt::routes_correct_for`] and
+    /// friends so repeated correctness checks refill one table instead of
+    /// rebuilding a fresh one per call.
+    scratch: RefCell<RouteTable>,
+}
+
+impl MultiMeta {
+    pub(crate) fn new(destinations: Vec<NodeId>, timing: TimingConfig) -> Self {
+        let dest_table = DestTable::new(destinations.iter().copied());
+        MultiMeta {
+            destinations,
+            timing,
+            dest_table,
+            scratch: RefCell::new(RouteTable::new()),
+        }
+    }
+
+    /// The interned destination table shared by every node.
+    pub fn dest_table(&self) -> &Arc<DestTable> {
+        &self.dest_table
+    }
 }
 
 impl HarnessProtocol for MultiLsrpNode {
@@ -95,34 +121,59 @@ impl MultiLsrpSimulationBuilder {
             .validate(self.engine.clocks.rho(), self.engine.link.delay_max)
             .expect("LSRP timing must satisfy the wave-speed constraints");
 
-        // Per destination: the legitimate table, used for states and
-        // consistent mirrors.
-        let tables: BTreeMap<NodeId, RouteTable> = self
-            .destinations
+        let meta = MultiMeta::new(self.destinations, self.timing);
+        let dest_table = Arc::clone(meta.dest_table());
+        // Per destination (in DestId order): the legitimate table, used
+        // for states and consistent mirrors. The prepared states are
+        // consumed on first spawn — a node (re)joining later starts
+        // *fresh*, so it recomputes, broadcasts, and its neighbors learn
+        // it exists (matching the single-destination builder).
+        let tables: Vec<RouteTable> = dest_table
+            .nodes()
             .iter()
-            .map(|&d| (d, RouteTable::legitimate(&self.graph, d)))
+            .map(|&d| RouteTable::legitimate(&self.graph, d))
             .collect();
-        let destinations = self.destinations.clone();
+        let mut prepared: BTreeMap<NodeId, Vec<LsrpState>> = self
+            .graph
+            .nodes()
+            .map(|id| {
+                let neighbors: BTreeMap<NodeId, Weight> = self.graph.neighbors(id).collect();
+                let states = dest_table
+                    .iter()
+                    .map(|(di, dest)| {
+                        let table = &tables[di.index()];
+                        let mut s = LsrpState::fresh(id, dest, neighbors.clone());
+                        if let Some(e) = table.entry(id) {
+                            s.d = e.distance;
+                            s.p = e.parent;
+                        }
+                        for k in neighbors.keys() {
+                            let m = table.entry(*k).map_or(Mirror::unknown(*k), |e| Mirror {
+                                d: e.distance,
+                                p: e.parent,
+                                ghost: false,
+                            });
+                            s.mirrors.insert(*k, m);
+                        }
+                        s
+                    })
+                    .collect();
+                (id, states)
+            })
+            .collect();
         let timing = self.timing;
         let engine = Engine::new(self.graph, self.engine, move |id, neighbors| {
-            let states = destinations.iter().map(|&dest| {
-                let table = &tables[&dest];
-                let mut s = LsrpState::fresh(id, dest, neighbors.clone());
-                if let Some(e) = table.entry(id) {
-                    s.d = e.distance;
-                    s.p = e.parent;
-                }
-                for k in neighbors.keys() {
-                    let m = table.entry(*k).map_or(Mirror::unknown(*k), |e| Mirror {
-                        d: e.distance,
-                        p: e.parent,
-                        ghost: false,
-                    });
-                    s.mirrors.insert(*k, m);
-                }
-                (dest, s)
+            let states: Vec<LsrpState> = prepared.remove(&id).unwrap_or_else(|| {
+                dest_table
+                    .iter()
+                    .map(|(_, dest)| LsrpState::fresh(id, dest, neighbors.clone()))
+                    .collect()
             });
-            MultiLsrpNode::new(id, timing, states)
+            let states = states.into_iter().map(|mut s| {
+                s.set_neighbors(neighbors.clone());
+                s
+            });
+            MultiLsrpNode::new(id, timing, Arc::clone(&dest_table), states)
         });
         let settle = match timing.syn_period {
             Some(p) => 2.0 * p + 1.0,
@@ -130,20 +181,11 @@ impl MultiLsrpSimulationBuilder {
         };
         // The harness's single destination is the primary (lowest id); the
         // full list lives in the metadata.
-        let primary = *self
-            .destinations
-            .iter()
-            .min()
+        let primary = meta
+            .dest_table()
+            .primary()
             .expect("destination list is non-empty");
-        MultiLsrpSimulation::from_parts(
-            engine,
-            primary,
-            settle,
-            MultiMeta {
-                destinations: self.destinations,
-                timing,
-            },
-        )
+        MultiLsrpSimulation::from_parts(engine, primary, settle, meta)
     }
 }
 
@@ -168,6 +210,11 @@ pub trait MultiLsrpSimulationExt {
     fn timing(&self) -> &TimingConfig;
 
     /// The route table toward one destination.
+    ///
+    /// The primary destination is served straight from the engine's dense
+    /// [`lsrp_sim::RouteView`] (maintained incrementally, no per-node
+    /// walk); other destinations are snapshot through the cached scratch
+    /// table in [`MultiMeta`].
     fn route_table_for(&self, dest: NodeId) -> RouteTable;
 
     /// Whether the table toward `dest` matches Dijkstra ground truth.
@@ -209,19 +256,20 @@ impl MultiLsrpSimulationExt for MultiLsrpSimulation {
     }
 
     fn route_table_for(&self, dest: NodeId) -> RouteTable {
-        self.graph()
-            .nodes()
-            .filter_map(|v| {
-                self.engine()
-                    .node(v)
-                    .and_then(|n| n.route_entry_for(dest))
-                    .map(|e| (v, e))
-            })
-            .collect()
+        if dest == self.destination() {
+            // The facade `route_entry()` reports the primary destination
+            // (satellite fix above), so the engine's view *is* this table.
+            return self.engine().route_table();
+        }
+        let mut t = self.meta().scratch.borrow_mut();
+        fill_table(self, dest, &mut t);
+        t.clone()
     }
 
     fn routes_correct_for(&self, dest: NodeId) -> bool {
-        self.route_table_for(dest).is_correct(self.graph(), dest)
+        let mut t = self.meta().scratch.borrow_mut();
+        fill_table(self, dest, &mut t);
+        t.is_correct(self.graph(), dest)
     }
 
     fn all_routes_correct(&self) -> bool {
@@ -257,6 +305,18 @@ impl MultiLsrpSimulationExt for MultiLsrpSimulation {
     }
 }
 
+/// Refills `out` with the current per-node entries toward `dest` in one
+/// dense pass over the engine's slots.
+fn fill_table(sim: &MultiLsrpSimulation, dest: NodeId, out: &mut RouteTable) {
+    out.clear();
+    out.extend(sim.graph().nodes().filter_map(|v| {
+        sim.engine()
+            .node(v)
+            .and_then(|n| n.route_entry_for(dest))
+            .map(|e| (v, e))
+    }));
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -286,11 +346,110 @@ mod tests {
         let report = sim.run_to_quiescence(10_000.0);
         assert!(report.quiescent);
         assert!(sim.all_routes_correct());
-        // Only the v0-instance acted: every executed action carries the
-        // v0 instance tag.
-        for r in &sim.engine().trace().actions {
+        // Only the v0-instance acted: every executed protocol action
+        // carries the v0 instance tag (maintenance records — the batch
+        // FLUSH — are transport, not protocol steps).
+        for r in sim
+            .engine()
+            .trace()
+            .actions
+            .iter()
+            .filter(|r| !r.maintenance)
+        {
             assert_eq!(r.action.instance, v(0).raw() + 1, "{r:?}");
         }
+    }
+
+    #[test]
+    fn snapshot_paths_match_the_naive_rebuild() {
+        // Satellite: route_table_for serves the primary from the engine's
+        // RouteView and the rest through the cached scratch table; both
+        // must equal a per-node rebuild.
+        let g = generators::grid(4, 4, 1);
+        let dests = vec![v(0), v(7), v(15)];
+        let mut sim = MultiLsrpSimulation::builder(g, dests).build();
+        sim.corrupt_all_instances(v(5), |_| (Distance::ZERO, v(5)));
+        assert!(sim.run_to_quiescence(100_000.0).quiescent);
+        for d in sim.destinations() {
+            let naive: RouteTable = sim
+                .graph()
+                .nodes()
+                .filter_map(|n| {
+                    sim.engine()
+                        .node(n)
+                        .and_then(|node| node.route_entry_for(d))
+                        .map(|e| (n, e))
+                })
+                .collect();
+            assert_eq!(sim.route_table_for(d), naive, "dest {d}");
+            assert_eq!(
+                sim.routes_correct_for(d),
+                naive.is_correct(sim.graph(), d),
+                "dest {d}"
+            );
+        }
+    }
+
+    #[test]
+    fn scans_are_o_dirty_not_o_destinations() {
+        // Acceptance pin: a single-instance corruption on a node routing
+        // toward many destinations must not evaluate (or execute) the
+        // other instances' guards. With no other activity, the recovery
+        // work is *identical* whatever the destination count, so the
+        // instance-evaluation ledger must match exactly between a 4- and
+        // a 16-destination run of the same fault.
+        let evals_after_recovery = |dests: Vec<NodeId>| {
+            let g = generators::grid(4, 4, 1);
+            let mut sim = MultiLsrpSimulation::builder(g, dests).build();
+            assert!(sim.run_to_quiescence(10_000.0).quiescent);
+            let total = |s: &MultiLsrpSimulation| -> u64 {
+                s.graph()
+                    .nodes()
+                    .map(|n| s.engine().node(n).unwrap().instance_evals())
+                    .sum()
+            };
+            let baseline = total(&sim);
+            sim.corrupt_instance_distance(v(5), v(0), Distance::ZERO);
+            assert!(sim.run_to_quiescence(10_000.0).quiescent);
+            assert!(sim.all_routes_correct());
+            // No foreign-tag protocol action executed anywhere.
+            for r in sim
+                .engine()
+                .trace()
+                .actions
+                .iter()
+                .filter(|r| !r.maintenance)
+            {
+                assert_eq!(r.action.instance, v(0).raw() + 1, "{r:?}");
+            }
+            total(&sim) - baseline
+        };
+        let few = evals_after_recovery(vec![v(0), v(3), v(12), v(15)]);
+        let many = evals_after_recovery((0..16).map(v).collect());
+        assert_eq!(
+            few, many,
+            "recovery cost must depend on dirty instances, not the destination count"
+        );
+        assert!(few > 0, "the corrupted tree did recover");
+    }
+
+    #[test]
+    fn batching_ledger_counts_messages_and_adverts() {
+        let g = generators::grid(4, 4, 1);
+        let dests: Vec<NodeId> = (0..16).map(v).collect();
+        let mut sim = MultiLsrpSimulation::builder(g, dests).build();
+        sim.corrupt_all_instances(v(5), |_| (Distance::ZERO, v(5)));
+        assert!(sim.run_to_quiescence(100_000.0).quiescent);
+        assert!(sim.all_routes_correct());
+        let stats = sim.stats();
+        assert!(
+            stats.adverts_sent > stats.messages_sent,
+            "all-instance recovery batches several adverts per wire message \
+             (adverts {} vs messages {})",
+            stats.adverts_sent,
+            stats.messages_sent
+        );
+        assert!(stats.adverts_delivered > stats.messages_delivered);
     }
 
     #[test]

@@ -13,6 +13,64 @@ pub(crate) enum SendTarget {
     To(NodeId),
 }
 
+/// Staging area for *batched* sends.
+///
+/// Wrapper protocols that multiplex many inner instances over one link
+/// (e.g. the multi-destination plane, one LSRP instance per destination)
+/// stage at most one advert per instance key here instead of emitting a
+/// wire message per instance, then flush the whole batch as a *single*
+/// broadcast via [`Effects::send_batched`] — one engine delivery event per
+/// neighbor amortizes across every staged instance.
+///
+/// Staging is latest-wins per key: re-staging a key replaces its message
+/// in place (keeping its position). That is equivalent to sending both
+/// copies over a FIFO link, because the inner receive action is
+/// last-writer-wins mirror absorption and no event can interleave between
+/// two same-instant deliveries from the same sender.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SendBatch<K, M> {
+    entries: Vec<(K, M)>,
+}
+
+impl<K, M> Default for SendBatch<K, M> {
+    fn default() -> Self {
+        SendBatch {
+            entries: Vec::new(),
+        }
+    }
+}
+
+impl<K: PartialEq + Copy, M> SendBatch<K, M> {
+    /// An empty batch.
+    pub fn new() -> Self {
+        SendBatch::default()
+    }
+
+    /// Number of staged adverts (at most one per key).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether nothing is staged.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Stages an advert for `key`, replacing (latest-wins) any advert
+    /// already staged for it.
+    pub fn stage(&mut self, key: K, msg: M) {
+        match self.entries.iter_mut().find(|(k, _)| *k == key) {
+            Some((_, slot)) => *slot = msg,
+            None => self.entries.push((key, msg)),
+        }
+    }
+
+    /// Takes the staged adverts out, leaving the batch empty.
+    pub fn take(&mut self) -> Vec<(K, M)> {
+        std::mem::take(&mut self.entries)
+    }
+}
+
 /// Collector for the side-effects of one atomic statement (action execution,
 /// message receipt, or neighbor-change handler).
 #[derive(Debug)]
@@ -99,6 +157,49 @@ impl<M> Effects<M> {
         outer.var_changed |= self.var_changed;
         outer.mirror_changed |= self.mirror_changed;
     }
+
+    /// Folds this (detached) collector into `outer` for a *batching*
+    /// wrapper: every broadcast is staged into `batch` under `key`
+    /// (latest-wins) instead of being queued as its own wire message, and
+    /// the change flags are OR-ed into `outer`. The wrapper later flushes
+    /// the batch with [`Effects::send_batched`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on targeted sends — batching wrappers multiplex
+    /// broadcast-only protocols (one batch per (sender, neighbor) pair
+    /// falls out of broadcasting the batch).
+    pub fn merge_batched_into<N, K: PartialEq + Copy>(
+        self,
+        outer: &mut Effects<N>,
+        batch: &mut SendBatch<K, M>,
+        key: K,
+    ) {
+        for (target, msg) in self.sends {
+            match target {
+                SendTarget::Broadcast => batch.stage(key, msg),
+                SendTarget::To(n) => {
+                    panic!("merge_batched_into supports broadcast-only inner protocols (got a targeted send to {n})")
+                }
+            }
+        }
+        outer.var_changed |= self.var_changed;
+        outer.mirror_changed |= self.mirror_changed;
+    }
+
+    /// Flushes `batch` as one broadcast wire message: `pack` turns the
+    /// drained `(key, advert)` list into the wrapper's message type. No-op
+    /// when the batch is empty.
+    pub fn send_batched<K: PartialEq + Copy, I>(
+        &mut self,
+        batch: &mut SendBatch<K, I>,
+        pack: impl FnOnce(Vec<(K, I)>) -> M,
+    ) {
+        if batch.is_empty() {
+            return;
+        }
+        self.broadcast(pack(batch.take()));
+    }
 }
 
 #[cfg(test)]
@@ -114,5 +215,51 @@ mod tests {
         fx.note_var_change();
         assert_eq!(fx.sends.len(), 2);
         assert!(fx.var_changed());
+    }
+
+    #[test]
+    fn staging_is_latest_wins_and_keeps_position() {
+        let mut batch: SendBatch<u32, &str> = SendBatch::new();
+        batch.stage(7, "old");
+        batch.stage(9, "other");
+        batch.stage(7, "new");
+        assert_eq!(batch.len(), 2);
+        assert_eq!(batch.take(), vec![(7, "new"), (9, "other")]);
+        assert!(batch.is_empty());
+    }
+
+    #[test]
+    fn batched_merge_stages_broadcasts_and_flush_sends_one_message() {
+        let mut outer: Effects<Vec<(u32, &str)>> = Effects::new();
+        let mut batch = SendBatch::new();
+
+        let mut inner: Effects<&str> = Effects::detached();
+        inner.broadcast("a");
+        inner.note_var_change();
+        inner.merge_batched_into(&mut outer, &mut batch, 1);
+
+        let mut inner: Effects<&str> = Effects::detached();
+        inner.broadcast("b");
+        inner.merge_batched_into(&mut outer, &mut batch, 2);
+
+        assert!(outer.sends.is_empty(), "staged, not sent");
+        assert!(outer.var_changed());
+        outer.send_batched(&mut batch, |adverts| adverts);
+        assert_eq!(outer.sends.len(), 1);
+        assert_eq!(outer.sends[0].0, SendTarget::Broadcast);
+        assert_eq!(outer.sends[0].1, vec![(1, "a"), (2, "b")]);
+        // Flushing an empty batch emits nothing.
+        outer.send_batched(&mut batch, |adverts| adverts);
+        assert_eq!(outer.sends.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "broadcast-only")]
+    fn batched_merge_rejects_targeted_sends() {
+        let mut outer: Effects<Vec<(u32, u8)>> = Effects::new();
+        let mut batch = SendBatch::new();
+        let mut inner: Effects<u8> = Effects::detached();
+        inner.send_to(NodeId::new(4), 1);
+        inner.merge_batched_into(&mut outer, &mut batch, 1);
     }
 }

@@ -97,6 +97,14 @@ pub struct EngineStats {
     pub messages_sent: u64,
     /// Messages delivered to live receivers.
     pub messages_delivered: u64,
+    /// Protocol-level adverts handed to links. Batching protocols pack
+    /// many adverts into one wire message ([`ProtocolNode::advert_count`]),
+    /// so this can exceed `messages_sent`; for unbatched protocols the two
+    /// are equal.
+    pub adverts_sent: u64,
+    /// Protocol-level adverts delivered to live receivers (the batched
+    /// analogue of `messages_delivered`).
+    pub adverts_delivered: u64,
     /// Extra copies scheduled by the duplication model.
     pub messages_duplicated: u64,
     /// Messages dropped by the loss model.
@@ -707,6 +715,7 @@ impl<P: ProtocolNode> Engine<P> {
                     return;
                 };
                 self.stats.messages_delivered += 1;
+                self.stats.adverts_delivered += P::advert_count(msg.as_ref());
                 self.sink.count_delivered();
                 let now_local = slot.clock.local(self.now);
                 let mut fx = std::mem::take(&mut self.fx_scratch);
@@ -822,6 +831,7 @@ impl<P: ProtocolNode> Engine<P> {
 
     fn schedule_delivery(&mut self, from: NodeId, to: NodeId, msg: Arc<P::Msg>) {
         self.stats.messages_sent += 1;
+        self.stats.adverts_sent += P::advert_count(msg.as_ref());
         self.sink.count_sent(from);
         let loss_probability = match self.config.link.loss {
             LossModel::Iid(p) => p,

@@ -56,7 +56,7 @@ pub mod test_support {
 
 pub use crate::clock::{Clock, ClockConfig};
 pub use crate::config::{EngineConfig, GilbertElliott, LinkConfig, LossModel};
-pub use crate::effects::Effects;
+pub use crate::effects::{Effects, SendBatch};
 pub use crate::engine::{Engine, EngineError, EngineStats, EventCounts, RunReport};
 pub use crate::harness::{ForgedAdvert, HarnessProtocol, SimHarness};
 pub use crate::node::{ActionId, EnabledSet, ProtocolNode};

@@ -197,6 +197,15 @@ pub trait ProtocolNode {
         fx: &mut Effects<Self::Msg>,
     );
 
+    /// How many protocol-level adverts one wire message carries. Batching
+    /// wrappers (one message = many per-instance adverts) override this
+    /// with the batch length so [`crate::EngineStats`]' ledger can count
+    /// both wire messages and inner adverts; unbatched protocols carry
+    /// exactly one.
+    fn advert_count(_msg: &Self::Msg) -> u64 {
+        1
+    }
+
     /// The node's current problem-specific variables `(d.v, p.v)`.
     fn route_entry(&self) -> RouteEntry;
 

@@ -133,7 +133,7 @@ impl ChaosCampaign {
 
 /// Builds the run's simulation, settles it to the fault-free fixpoint and
 /// returns it (all randomness seeded by `seed`).
-fn settled_sim(
+pub(crate) fn settled_sim(
     graph: &Graph,
     destination: NodeId,
     config: &ChaosConfig,

@@ -25,12 +25,25 @@ pub enum PacketFate {
         /// Where the packet died.
         at: NodeId,
     },
-    /// Exceeded the hop budget — it is circulating in a loop.
-    Looped,
+    /// Entered a true parent-pointer cycle (proved by revisiting a node,
+    /// not inferred from a spent budget).
+    Looped {
+        /// Length of the cycle in hops.
+        cycle_len: usize,
+    },
+    /// The hop budget ran out on a long-but-finite path — distinct from a
+    /// proven cycle. With any budget `>= 3 * graph size` this cannot
+    /// happen on a snapshot (paths without cycles are simple).
+    HopBudgetExceeded,
 }
 
 /// Forwards one packet from `from` toward `dest` on a route-table
 /// snapshot, following parent pointers across up edges only.
+///
+/// Cycles are detected with Brent's algorithm in O(1) extra memory: a
+/// checkpoint node is re-planted at power-of-two hop counts, and since
+/// the snapshot makes the next hop a pure function of the current node,
+/// revisiting the checkpoint proves a cycle and yields its exact length.
 pub fn forward_packet(
     table: &RouteTable,
     graph: &Graph,
@@ -40,12 +53,15 @@ pub fn forward_packet(
 ) -> PacketFate {
     let mut at = from;
     let mut hops = 0;
+    let mut checkpoint = from;
+    let mut lap = 0usize;
+    let mut power = 1usize;
     loop {
         if at == dest {
             return PacketFate::Delivered { hops };
         }
         if hops >= max_hops {
-            return PacketFate::Looped;
+            return PacketFate::HopBudgetExceeded;
         }
         let Some(entry) = table.entry(at) else {
             return PacketFate::BlackHoled { at };
@@ -53,6 +69,15 @@ pub fn forward_packet(
         let next = entry.parent;
         if next == at || entry.distance == Distance::Infinite || !graph.has_edge(at, next) {
             return PacketFate::BlackHoled { at };
+        }
+        if next == checkpoint {
+            return PacketFate::Looped { cycle_len: lap + 1 };
+        }
+        lap += 1;
+        if lap == power {
+            checkpoint = next;
+            power = power.saturating_mul(2);
+            lap = 0;
         }
         at = next;
         hops += 1;
@@ -175,15 +200,52 @@ mod tests {
             forward_packet(&t, &g, v(3), v(0), 16),
             PacketFate::BlackHoled { at: v(2) }
         );
-        // 2-loop between v2 and v3.
+        // 2-loop between v2 and v3: detected as a cycle with its length,
+        // well before the hop budget is spent.
         t.insert(v(2), RouteEntry::new(Distance::Finite(1), v(3)));
         t.insert(v(3), RouteEntry::new(Distance::Finite(2), v(2)));
-        assert_eq!(forward_packet(&t, &g, v(3), v(0), 16), PacketFate::Looped);
+        assert_eq!(
+            forward_packet(&t, &g, v(3), v(0), 16),
+            PacketFate::Looped { cycle_len: 2 }
+        );
         // A parent not connected by an up edge black-holes too.
         t.insert(v(3), RouteEntry::new(Distance::Finite(2), v(1)));
         assert_eq!(
             forward_packet(&t, &g, v(3), v(0), 16),
             PacketFate::BlackHoled { at: v(3) }
+        );
+    }
+
+    #[test]
+    fn long_cycles_report_their_exact_length() {
+        // Ring parents all pointing clockwise toward a dest that is not on
+        // the ring's tree: a pure n-cycle.
+        let n = 7;
+        let g = generators::ring(n, 1);
+        let mut t = RouteTable::legitimate(&g, v(0));
+        for i in 0..n {
+            t.insert(v(i), RouteEntry::new(Distance::Finite(1), v((i + 1) % n)));
+        }
+        // Destination outside the table's reach: every start loops.
+        for start in 0..n {
+            let fate = forward_packet(&t, &g, v(start), v(99), 4 * n as usize);
+            assert_eq!(fate, PacketFate::Looped { cycle_len: 7 }, "start {start}");
+        }
+    }
+
+    #[test]
+    fn budget_overflow_is_distinct_from_a_proven_cycle() {
+        // A long-but-finite path with a budget too small to finish: the
+        // old conflated `Looped` would have cried loop here.
+        let g = generators::path(12, 1);
+        let t = RouteTable::legitimate(&g, v(0));
+        assert_eq!(
+            forward_packet(&t, &g, v(11), v(0), 4),
+            PacketFate::HopBudgetExceeded
+        );
+        assert_eq!(
+            forward_packet(&t, &g, v(11), v(0), 11),
+            PacketFate::Delivered { hops: 11 }
         );
     }
 

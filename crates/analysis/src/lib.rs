@@ -28,6 +28,7 @@ pub mod parallel;
 pub mod sim_trait;
 pub mod table;
 pub mod timeline;
+pub mod traffic;
 pub mod waves;
 
 pub use crate::chaos::{
@@ -48,4 +49,10 @@ pub use crate::multi_chaos::{
 pub use crate::parallel::{chaos_campaign_with_jobs, run_sharded};
 pub use crate::sim_trait::RoutingSimulation;
 pub use crate::table::Table;
+pub use crate::traffic::{
+    multi_traffic_campaign, multi_traffic_campaign_with_jobs, multi_traffic_run,
+    run_traffic_monitored, traffic_campaign, traffic_campaign_with_jobs, traffic_run,
+    AvailabilityMonitor, MultiTrafficCampaign, MultiTrafficRun, TrafficCampaign, TrafficConfig,
+    TrafficMode, TrafficRun, TrafficSummary, WorkloadDriver, WorkloadKind, WorkloadSpec,
+};
 pub use crate::waves::{track_containment, wave_stats, ContainmentEpisode, WaveStats};

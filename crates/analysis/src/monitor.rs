@@ -52,6 +52,9 @@ pub enum ViolationKind {
     WaveOrderInversion,
     /// A routing loop outlived its removal window.
     PersistentLoop,
+    /// Data-plane delivery collapsed below the configured floor during a
+    /// traffic run (see [`crate::traffic::TrafficConfig`]).
+    AvailabilityCollapse,
 }
 
 impl fmt::Display for ViolationKind {
@@ -61,6 +64,7 @@ impl fmt::Display for ViolationKind {
             ViolationKind::ContaminationExceeded => "contamination-exceeded",
             ViolationKind::WaveOrderInversion => "wave-order-inversion",
             ViolationKind::PersistentLoop => "persistent-loop",
+            ViolationKind::AvailabilityCollapse => "availability-collapse",
         };
         f.write_str(s)
     }

@@ -105,7 +105,7 @@ impl MultiChaosCampaign {
 /// already excludes the destination from churn in the single-destination
 /// campaigns (a fail-stopped destination has no recovery obligation to
 /// judge), and with many destinations the same contract applies to each.
-fn apply_multi(fault: &Fault, sim: &mut MultiLsrpSimulation, ordinal: usize) {
+pub(crate) fn apply_multi(fault: &Fault, sim: &mut MultiLsrpSimulation, ordinal: usize) {
     let dests = sim.destinations();
     if let Fault::FailNode(v) = fault {
         if dests.contains(v) {

@@ -57,8 +57,7 @@ pub fn run_sharded<T: Send + 'static>(
         .collect()
 }
 
-/// [`chaos_campaign`](crate::chaos::chaos_campaign) sharded over `jobs`
-/// worker threads.
+/// [`chaos_campaign`] sharded over `jobs` worker threads.
 ///
 /// Runs are keyed by seed (`base_seed..base_seed + runs`) and merged in
 /// seed order, so the campaign — and its [`ChaosCampaign::report`] — is

@@ -8,13 +8,13 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 
-use lsrp_analysis::{run_monitored, standard_monitors};
+use lsrp_analysis::{run_monitored, standard_monitors, WorkloadDriver, WorkloadSpec};
 use lsrp_bench::engine_perf::{
     allpairs_grid_reference_sim, allpairs_grid_sim, fig1_sim, grid200_sim, PERF_SEED,
 };
 use lsrp_core::{InitialState, LsrpSimulation, LsrpSimulationExt};
 use lsrp_faults::{FaultProcess, FaultSchedule};
-use lsrp_graph::{generators, NodeId};
+use lsrp_graph::{generators, Distance, NodeId};
 use lsrp_sim::EngineConfig;
 
 fn bench_delivery_throughput(c: &mut Criterion) {
@@ -173,12 +173,67 @@ fn bench_allpairs_grid(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_traffic_grid(c: &mut Criterion) {
+    // The live data-plane benchmark: the perf_smoke `traffic_grid`
+    // scenario — an aggregated Poisson workload forwarding on a 10x10
+    // grid while a mid-run corruption recovers. Throughput is calibrated
+    // to the packets the weighted probes represent.
+    let graph = generators::grid(10, 10, 1);
+    let dest = NodeId::new(0);
+    let victim = NodeId::new(55);
+    let duration = 300.0;
+    let run = |graph: &lsrp_graph::Graph| {
+        let mut sim = LsrpSimulation::builder(graph.clone(), dest)
+            .initial_state(InitialState::Legitimate)
+            .engine_config(EngineConfig::default().with_seed(PERF_SEED))
+            .build();
+        sim.run_to_quiescence(100_000.0);
+        let t0 = sim.now().seconds();
+        let spec = WorkloadSpec::default();
+        let mut workload = WorkloadDriver::new(&spec, graph, &[dest], t0, duration, PERF_SEED);
+        workload.ensure_scheduled(sim.engine_mut(), t0 + duration / 2.0);
+        sim.run_until(t0 + duration / 2.0);
+        sim.corrupt_distance(victim, Distance::ZERO);
+        workload.ensure_scheduled(sim.engine_mut(), f64::INFINITY);
+        loop {
+            let drained = !sim.engine().any_enabled_non_maintenance()
+                && sim.engine().inflight_messages() == 0
+                && sim.engine().packets_in_flight() == 0;
+            if drained {
+                break;
+            }
+            let next = sim
+                .engine()
+                .next_event_time()
+                .expect("undrained planes imply pending events");
+            sim.run_until(next.seconds() + 50.0);
+        }
+        sim.stats().traffic
+    };
+
+    let probe = run(&graph);
+    assert_eq!(probe.completed(), probe.injected, "packets must drain");
+
+    let mut g = c.benchmark_group("engine_traffic_grid");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(probe.injected));
+    g.bench_function("grid100_aggregated_workload", |b| {
+        b.iter(|| {
+            let counts = run(&graph);
+            assert_eq!(counts.injected, probe.injected, "runs are seed-pinned");
+            std::hint::black_box(counts.delivered)
+        })
+    });
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_delivery_throughput,
     bench_cold_start,
     bench_event_rate,
     bench_monitored_chaos,
+    bench_traffic_grid,
     bench_allpairs_grid
 );
 criterion_main!(benches);

@@ -8,7 +8,8 @@
 use std::env;
 
 use lsrp_bench::{
-    availability, figures, loops_exp, multi_exp, overhead, regions_exp, scaling, selfstab, waves,
+    availability, figures, loops_exp, multi_exp, overhead, regions_exp, scaling, selfstab,
+    traffic_exp, waves,
 };
 
 fn want(args: &[String], id: &str) -> bool {
@@ -120,5 +121,8 @@ fn main() {
     }
     if want(&args, "e19") {
         println!("{}", multi_exp::e19_full_table(8, &[1, 4, 16, 64]));
+    }
+    if want(&args, "e20") {
+        println!("{}", traffic_exp::e20_live_availability(12, &[1, 2, 4, 8]));
     }
 }

@@ -4,7 +4,7 @@
 //! Two fixed-seed scenarios are measured — the benign cold start on the
 //! paper's Fig. 1 topology and a 200-node grid — with a counters-only
 //! [`SinkKind::CountsOnly`] sink so trace retention does not dominate the
-//! measurement. [`EngineStats`] supplies the event totals and the peak
+//! measurement. [`EngineStats`](lsrp_sim::EngineStats) supplies the event totals and the peak
 //! queue depth; wall-clock time comes from [`std::time::Instant`].
 //!
 //! The `perf_smoke` binary runs these scenarios, writes the results to
@@ -16,7 +16,9 @@ use std::collections::BTreeSet;
 use std::fmt::Write as _;
 use std::time::{Duration, Instant};
 
-use lsrp_analysis::{measure_recovery, run_monitored, standard_monitors};
+use lsrp_analysis::{
+    measure_recovery, run_monitored, standard_monitors, WorkloadDriver, WorkloadSpec,
+};
 use lsrp_core::{InitialState, LsrpSimulation, LsrpSimulationExt};
 use lsrp_faults::{FaultProcess, FaultSchedule};
 use lsrp_graph::{generators, topologies, Distance, Graph, NodeId};
@@ -214,6 +216,85 @@ pub fn measure(
     }
 }
 
+/// The live data plane under recovery: an aggregated Poisson workload
+/// (64 flows at 25 pkt/s each over 5 s sampling lanes, ~480k represented
+/// packets per iteration) forwards on a 10x10 grid while a mid-run
+/// zero-distance corruption recovers. Times workload scheduling plus the
+/// event loop; packets hop on the same queue as protocol messages.
+///
+/// # Panics
+///
+/// Panics if the run fails to drain both planes.
+pub fn measure_traffic_grid(iters: u32) -> EnginePerf {
+    let graph = generators::grid(10, 10, 1);
+    let dest = NodeId::new(0);
+    let victim = NodeId::new(55);
+    let duration = 300.0;
+    let mut events = 0u64;
+    let mut delivered = 0u64;
+    let mut peak = 0usize;
+    let mut elapsed = Duration::ZERO;
+    for i in 0..iters {
+        let seed = PERF_SEED + u64::from(i);
+        let mut sim = LsrpSimulation::builder(graph.clone(), dest)
+            .initial_state(InitialState::Legitimate)
+            .engine_config(
+                EngineConfig::default()
+                    .with_seed(seed)
+                    .with_sink(SinkKind::CountsOnly),
+            )
+            .build();
+        sim.run_to_quiescence(100_000.0);
+        let t0 = sim.now().seconds();
+        let spec = WorkloadSpec::default();
+        let mut workload = WorkloadDriver::new(&spec, &graph, &[dest], t0, duration, seed);
+        let before = sim.stats();
+        let start = Instant::now();
+        workload.ensure_scheduled(sim.engine_mut(), t0 + duration / 2.0);
+        sim.run_until(t0 + duration / 2.0);
+        sim.corrupt_distance(victim, Distance::ZERO);
+        workload.ensure_scheduled(sim.engine_mut(), f64::INFINITY);
+        // `run_to_quiescence` would settle-skip past queued packet
+        // events, so drive in slices until both planes drain.
+        loop {
+            let drained = !sim.engine().any_enabled_non_maintenance()
+                && sim.engine().inflight_messages() == 0
+                && sim.engine().packets_in_flight() == 0;
+            if drained {
+                break;
+            }
+            let next = sim
+                .engine()
+                .next_event_time()
+                .expect("undrained planes imply pending events");
+            sim.run_until(next.seconds() + 50.0);
+        }
+        elapsed += start.elapsed();
+        let counts = sim.stats().traffic;
+        assert!(counts.injected > 0, "workload must inject");
+        assert_eq!(
+            counts.completed(),
+            counts.injected,
+            "every packet must complete"
+        );
+        let stats = sim.stats();
+        events += stats.total_events() - before.total_events();
+        delivered += stats.messages_delivered - before.messages_delivered;
+        peak = peak.max(stats.peak_queue_depth);
+    }
+    let secs = elapsed.as_secs_f64().max(f64::MIN_POSITIVE);
+    EnginePerf {
+        scenario: "traffic_grid",
+        events,
+        messages_delivered: delivered,
+        adverts_delivered: delivered,
+        peak_queue_depth: peak,
+        elapsed_secs: secs,
+        events_per_sec: events as f64 / secs,
+        deliveries_per_sec: delivered as f64 / secs,
+    }
+}
+
 /// The all-pairs grid scenario's fixed inputs: a 6x6 unit grid with every
 /// node a destination (1296 protocol instances) and a full-table
 /// corruption at a central node.
@@ -302,6 +383,7 @@ pub fn measure_all() -> Vec<EnginePerf> {
         measure("grid200_benign", 3, grid200_sim),
         measure_chaos_monitored(4),
         measure_recovery_grid(6),
+        measure_traffic_grid(3),
         measure_allpairs_grid(3),
         measure_allpairs_grid_reference(1),
     ]
@@ -370,6 +452,7 @@ mod tests {
         assert!(doc.ends_with("}\n"));
         assert!(doc.contains("\"fig1_benign\""));
         assert!(doc.contains("\"grid200_benign\""));
+        assert!(doc.contains("\"traffic_grid\""));
         assert!(doc.contains("\"allpairs_grid\""));
         assert!(doc.contains("\"allpairs_grid_ref\""));
         assert!(doc.contains("\"peak_queue_depth\""));

@@ -22,6 +22,7 @@ pub mod overhead;
 pub mod regions_exp;
 pub mod scaling;
 pub mod selfstab;
+pub mod traffic_exp;
 pub mod waves;
 
 /// The simulated-time horizon used by every experiment run.

@@ -2,6 +2,7 @@
 
 use std::fmt;
 
+use lsrp_analysis::traffic::WorkloadKind;
 use lsrp_graph::{Distance, NodeId};
 
 /// Which protocol to drive.
@@ -156,6 +157,34 @@ pub enum Command {
         /// plane) instead of the single `--dest`.
         destinations: Option<DestinationsSpec>,
     },
+    /// `traffic`: a chaos campaign with live packet forwarding riding the
+    /// same engine — workload generators inject packets that hop against
+    /// the live route tables while faults land, and the run is judged on
+    /// data-plane availability as well as the control-plane monitors.
+    Traffic {
+        /// Topology to build.
+        topology: TopologySpec,
+        /// Destination node.
+        dest: Option<NodeId>,
+        /// Base seed; run `i` uses `seed + i`.
+        seed: u64,
+        /// Number of independent runs.
+        runs: u32,
+        /// Per-run simulated-time budget.
+        horizon: f64,
+        /// Worker threads (reports are byte-identical for every value).
+        jobs: usize,
+        /// Route toward many destinations instead of the single `--dest`.
+        destinations: Option<DestinationsSpec>,
+        /// Traffic shape.
+        workload: WorkloadKind,
+        /// Number of flows (ignored by `all-pairs`).
+        flows: usize,
+        /// Injection duration in simulated seconds.
+        duration: f64,
+        /// Exact per-packet injection instead of aggregated sampling.
+        exact: bool,
+    },
     /// `help`
     Help,
 }
@@ -288,6 +317,10 @@ impl Command {
         let mut horizon = 100_000.0f64;
         let mut jobs = 1usize;
         let mut destinations = None;
+        let mut workload = WorkloadKind::Poisson;
+        let mut flows = 64usize;
+        let mut duration = 600.0f64;
+        let mut exact = false;
 
         while let Some(flag) = args.next() {
             let mut value = |what: &str| {
@@ -338,13 +371,40 @@ impl Command {
                         return Err(err("--horizon must be positive and finite"));
                     }
                 }
+                "--workload" | "-w" => {
+                    let w = value("workload")?;
+                    workload = WorkloadKind::parse(&w).ok_or_else(|| {
+                        err(format!(
+                            "unknown workload '{w}' (try poisson, all-pairs, hotspot)"
+                        ))
+                    })?;
+                }
+                "--flows" => {
+                    flows = value("flow count")?
+                        .parse()
+                        .map_err(|_| err("invalid flow count"))?;
+                    if flows == 0 {
+                        return Err(err("--flows must be at least 1"));
+                    }
+                }
+                "--duration" => {
+                    duration = value("duration")?
+                        .parse()
+                        .map_err(|_| err("invalid duration"))?;
+                    if !(duration > 0.0 && duration.is_finite()) {
+                        return Err(err("--duration must be positive and finite"));
+                    }
+                }
+                "--exact" => exact = true,
                 other => return Err(err(format!("unknown flag '{other}'"))),
             }
         }
 
         let topology = topology.ok_or_else(|| err("--topology is required"))?;
-        if destinations.is_some() && sub != "chaos" {
-            return Err(err("--destinations is only valid with `lsrp chaos`"));
+        if destinations.is_some() && sub != "chaos" && sub != "traffic" {
+            return Err(err(
+                "--destinations is only valid with `lsrp chaos` or `lsrp traffic`",
+            ));
         }
         match sub.as_str() {
             "run" => Ok(Command::Run {
@@ -371,8 +431,21 @@ impl Command {
                 jobs,
                 destinations,
             }),
+            "traffic" => Ok(Command::Traffic {
+                topology,
+                dest,
+                seed,
+                runs,
+                horizon,
+                jobs,
+                destinations,
+                workload,
+                flows,
+                duration,
+                exact,
+            }),
             other => Err(err(format!(
-                "unknown command '{other}' (run, compare, topo, chaos, help)"
+                "unknown command '{other}' (run, compare, topo, chaos, traffic, help)"
             ))),
         }
     }
@@ -389,6 +462,10 @@ USAGE:
   lsrp topo    --topology SPEC [--seed N]
   lsrp chaos   --topology SPEC [--dest N] [--seed N] [--runs N] [--jobs N]
                [--horizon T] [--destinations N|all-pairs]
+  lsrp traffic --topology SPEC [--dest N] [--seed N] [--runs N] [--jobs N]
+               [--horizon T] [--destinations N|all-pairs]
+               [--workload poisson|all-pairs|hotspot] [--flows N]
+               [--duration T] [--exact]
 
 TOPOLOGIES:  grid:8x8  ring:32  path:16  er:40:0.1  geo:60:0.18
              ba:50:2  lollipop:2:8  fig1
@@ -404,12 +481,23 @@ cases. With `--destinations N` (the N lowest node ids) or
 multi-destination plane — one LSRP instance per destination over batched
 adverts — and judges quiescence plus per-tree route correctness.
 
+`traffic` runs the same chaos campaigns with live packet forwarding on
+the same engine: seeded workloads (Poisson flows, all-pairs probes, or a
+hotspot pattern) inject packets that hop against the live route tables
+while faults land. By default flows are sampled as weighted probes, so
+millions of represented packets per run stay cheap; `--exact` injects
+one probe per packet instead. Each run reports delivery fractions,
+per-fate drop counts, the worst availability window, the worst routable
+fraction, and path stretch against shortest paths.
+
 EXAMPLES:
   lsrp run --topology fig1 --protocol lsrp --fault corrupt:9:1 --timeline
   lsrp compare --topology grid:12x12 --fault corrupt:13:0
   lsrp run --topology lollipop:2:16 --fault loop --timeline
   lsrp chaos --topology grid:6x6 --runs 10 --seed 1
   lsrp chaos --topology grid:6x6 --destinations all-pairs --runs 5 --jobs 4
+  lsrp traffic --topology grid:6x6 --runs 5 --workload hotspot --jobs 4
+  lsrp traffic --topology grid:4x4 --destinations 4 --workload all-pairs
 ";
 
 #[cfg(test)]
@@ -503,8 +591,55 @@ mod tests {
         }
         assert!(Command::parse(argv("chaos --topology grid:4x4 --destinations 0")).is_err());
         assert!(Command::parse(argv("chaos --topology grid:4x4 --destinations x")).is_err());
-        // Only chaos understands the flag.
+        // Only chaos and traffic understand the flag.
         assert!(Command::parse(argv("run --topology grid:4x4 --destinations 3")).is_err());
+    }
+
+    #[test]
+    fn parses_traffic_flags() {
+        let c = Command::parse(argv(
+            "traffic --topology grid:4x4 --workload hotspot --flows 8 --duration 90 --exact --jobs 2",
+        ))
+        .unwrap();
+        match c {
+            Command::Traffic {
+                workload,
+                flows,
+                duration,
+                exact,
+                jobs,
+                destinations,
+                ..
+            } => {
+                assert_eq!(workload, WorkloadKind::Hotspot);
+                assert_eq!(flows, 8);
+                assert_eq!(duration, 90.0);
+                assert!(exact);
+                assert_eq!(jobs, 2);
+                assert_eq!(destinations, None);
+            }
+            other => panic!("wrong command: {other:?}"),
+        }
+        let c = Command::parse(argv(
+            "traffic --topology grid:4x4 --destinations 3 --workload all-pairs",
+        ))
+        .unwrap();
+        match c {
+            Command::Traffic {
+                workload,
+                destinations,
+                exact,
+                ..
+            } => {
+                assert_eq!(workload, WorkloadKind::AllPairs);
+                assert_eq!(destinations, Some(DestinationsSpec::Count(3)));
+                assert!(!exact);
+            }
+            other => panic!("wrong command: {other:?}"),
+        }
+        assert!(Command::parse(argv("traffic --topology grid:4x4 --workload bursty")).is_err());
+        assert!(Command::parse(argv("traffic --topology grid:4x4 --flows 0")).is_err());
+        assert!(Command::parse(argv("traffic --topology grid:4x4 --duration -3")).is_err());
     }
 
     #[test]

@@ -359,6 +359,80 @@ pub fn run_command(cmd: &Command) -> Result<String, ParseError> {
                 );
             }
         }
+        Command::Traffic {
+            topology,
+            dest,
+            seed,
+            runs,
+            horizon,
+            jobs,
+            destinations,
+            workload,
+            flows,
+            duration,
+            exact,
+        } => {
+            let (graph, natural_dest) = build_topology(topology, *seed);
+            let dest = dest.unwrap_or(natural_dest);
+            if !graph.has_node(dest) {
+                return Err(ParseError(format!(
+                    "destination {dest} is not in the topology"
+                )));
+            }
+            let config = lsrp_analysis::TrafficConfig {
+                chaos: chaos::ChaosConfig {
+                    horizon: *horizon,
+                    ..chaos::ChaosConfig::default()
+                },
+                workload: lsrp_analysis::WorkloadSpec {
+                    kind: *workload,
+                    mode: if *exact {
+                        lsrp_analysis::TrafficMode::Exact
+                    } else {
+                        lsrp_analysis::TrafficMode::default()
+                    },
+                    flows: *flows,
+                    ..lsrp_analysis::WorkloadSpec::default()
+                },
+                duration: *duration,
+                ..lsrp_analysis::TrafficConfig::default()
+            };
+            if let Some(spec) = destinations {
+                let dests: Vec<NodeId> = match *spec {
+                    DestinationsSpec::AllPairs => graph.nodes().collect(),
+                    DestinationsSpec::Count(n) => {
+                        if n as usize > graph.node_count() {
+                            return Err(ParseError(format!(
+                                "--destinations {n} exceeds the topology's {} nodes",
+                                graph.node_count()
+                            )));
+                        }
+                        graph.nodes().take(n as usize).collect()
+                    }
+                };
+                let campaign = lsrp_analysis::multi_traffic_campaign_with_jobs(
+                    &graph,
+                    &dests,
+                    &topology.to_string(),
+                    &config,
+                    *seed,
+                    *runs,
+                    *jobs,
+                );
+                out.push_str(&campaign.report());
+                return Ok(out);
+            }
+            let campaign = lsrp_analysis::traffic_campaign_with_jobs(
+                &graph,
+                dest,
+                &topology.to_string(),
+                &config,
+                *seed,
+                *runs,
+                *jobs,
+            );
+            out.push_str(&campaign.report());
+        }
         Command::Compare {
             topology,
             dest,
@@ -509,5 +583,51 @@ mod tests {
     fn multi_chaos_rejects_too_many_destinations() {
         let e = run("chaos --topology grid:3x3 --destinations 99 --runs 1").unwrap_err();
         assert!(e.0.contains("exceeds"), "{e:?}");
+    }
+
+    #[test]
+    fn traffic_campaign_reports_delivery() {
+        let out =
+            run("traffic --topology grid:3x3 --runs 1 --seed 3 --flows 8 --duration 80").unwrap();
+        assert!(
+            out.contains("traffic campaign: topology grid:3x3 destination v0 runs 1"),
+            "{out}"
+        );
+        assert!(out.contains("injected="), "{out}");
+        assert!(out.contains("mean_stretch="), "{out}");
+    }
+
+    #[test]
+    fn traffic_parallel_report_is_byte_identical_to_serial() {
+        let base = "traffic --topology grid:3x3 --runs 2 --seed 5 --flows 8 --duration 80";
+        let serial = run(&format!("{base} --jobs 1")).unwrap();
+        for jobs in [2, 4] {
+            let parallel = run(&format!("{base} --jobs {jobs}")).unwrap();
+            assert_eq!(serial, parallel, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn multi_traffic_campaign_reports_per_tree_verdicts() {
+        let out = run(
+            "traffic --topology grid:3x3 --destinations 2 --runs 1 --seed 2 \
+             --flows 6 --duration 80 --workload all-pairs",
+        )
+        .unwrap();
+        assert!(
+            out.contains("multi traffic campaign: topology grid:3x3 destinations 2 runs 1"),
+            "{out}"
+        );
+        assert!(out.contains("routes_correct=true"), "{out}");
+        assert!(out.contains("injected="), "{out}");
+    }
+
+    #[test]
+    fn traffic_rejects_bad_flags() {
+        assert!(run("traffic --topology grid:3x3 --flows 0").is_err());
+        assert!(run("traffic --topology grid:3x3 --duration -1").is_err());
+        assert!(run("traffic --topology grid:3x3 --workload bursty").is_err());
+        assert!(run("traffic --topology grid:3x3 --dest 99 --runs 1").is_err());
+        assert!(run("traffic --topology grid:3x3 --destinations 99 --runs 1").is_err());
     }
 }

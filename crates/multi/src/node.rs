@@ -439,6 +439,12 @@ impl ProtocolNode for MultiLsrpNode {
             .map_or_else(|| RouteEntry::no_route(self.id), LsrpNode::route_entry)
     }
 
+    fn route_entry_toward(&self, dest: NodeId) -> Option<RouteEntry> {
+        // Per-hop data-plane lookup: packets toward any configured
+        // destination follow that destination's own tree.
+        self.route_entry_for(dest)
+    }
+
     fn in_containment(&self) -> bool {
         // Called by the engine's view refresh *before* guards re-evaluate,
         // so sync dirty instances' ghost flags lazily (O(dirty)).

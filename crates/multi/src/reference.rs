@@ -153,6 +153,10 @@ impl ProtocolNode for ReferenceMultiNode {
             .map_or_else(|| RouteEntry::no_route(self.id), LsrpNode::route_entry)
     }
 
+    fn route_entry_toward(&self, dest: NodeId) -> Option<RouteEntry> {
+        self.route_entry_for(dest)
+    }
+
     fn in_containment(&self) -> bool {
         self.instances.values().any(|n| n.state().ghost)
     }

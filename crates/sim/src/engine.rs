@@ -22,7 +22,7 @@ use std::sync::Arc;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use lsrp_graph::{Graph, GraphError, NodeId, RouteTable, Weight};
+use lsrp_graph::{Distance, Graph, GraphError, NodeId, RouteTable, Weight};
 
 use crate::clock::Clock;
 use crate::config::{EngineConfig, LossModel};
@@ -32,6 +32,7 @@ use crate::sink::TraceSink;
 use crate::slots::{EdgeSlots, NodeSlots};
 use crate::time::SimTime;
 use crate::trace::{ActionRecord, Trace};
+use crate::traffic::{Packet, PacketRecord, PacketStatus, TrafficCounts};
 use crate::view::{RouteCursor, RouteDelta, RouteView, ViewEntry};
 
 /// What [`Engine::trace`] returns when the configured sink keeps no trace.
@@ -83,6 +84,9 @@ pub struct EventCounts {
     pub guard_fires: u64,
     /// Wakeups processed.
     pub wakeups: u64,
+    /// Data-plane packet hops processed (one per `PacketHop` event, not
+    /// weighted by flow aggregation).
+    pub packet_hops: u64,
 }
 
 /// Always-on engine health statistics, independent of the configured
@@ -113,12 +117,18 @@ pub struct EngineStats {
     pub dropped_dead_receiver: u64,
     /// High-water mark of the event-queue length.
     pub peak_queue_depth: usize,
+    /// Weighted data-plane packet counters (see [`TrafficCounts`]).
+    pub traffic: TrafficCounts,
 }
 
 impl EngineStats {
-    /// Total events processed (deliveries + guard timers + wakeups).
+    /// Total events processed (deliveries + guard timers + wakeups +
+    /// packet hops).
     pub fn total_events(&self) -> u64 {
-        self.events.deliveries + self.events.guard_timers + self.events.wakeups
+        self.events.deliveries
+            + self.events.guard_timers
+            + self.events.wakeups
+            + self.events.packet_hops
     }
 }
 
@@ -153,6 +163,9 @@ enum Event<M> {
     },
     Wakeup {
         node: NodeId,
+    },
+    PacketHop {
+        packet: Packet,
     },
 }
 
@@ -248,6 +261,15 @@ pub struct Engine<P: ProtocolNode> {
     enabled_non_maintenance: usize,
     /// The always-current dense route view (see [`crate::view`]).
     view: RouteView,
+    /// Dedicated data-plane RNG. Packet delays and loss draw from this
+    /// stream (never from `rng`) and Gilbert–Elliott chains are read
+    /// without being advanced, so the control-plane trajectory is
+    /// byte-identical with and without traffic.
+    rng_traffic: StdRng,
+    /// Packet probes currently queued (unweighted).
+    packets_in_flight: u64,
+    /// Completed packets awaiting [`Engine::drain_completed_packets`].
+    completed_packets: Vec<PacketRecord>,
 }
 
 impl<P: ProtocolNode> fmt::Debug for Engine<P> {
@@ -275,6 +297,9 @@ impl<P: ProtocolNode> Engine<P> {
         let mut engine = Engine {
             graph,
             rng: StdRng::seed_from_u64(config.seed),
+            // Domain-separated from the control-plane stream: same seed,
+            // different generator, so traffic never perturbs convergence.
+            rng_traffic: StdRng::seed_from_u64(config.seed ^ 0x5452_4146_4643_u64),
             sink: config.sink.build(),
             config,
             slots: NodeSlots::new(),
@@ -293,6 +318,8 @@ impl<P: ProtocolNode> Engine<P> {
             schedule_scratch: Vec::new(),
             enabled_non_maintenance: 0,
             view: RouteView::default(),
+            packets_in_flight: 0,
+            completed_packets: Vec::new(),
         };
         let ids: Vec<NodeId> = engine.graph.nodes().collect();
         for &v in &ids {
@@ -458,6 +485,149 @@ impl<P: ProtocolNode> Engine<P> {
     /// Always-on engine health statistics (see [`EngineStats`]).
     pub fn stats(&self) -> EngineStats {
         self.stats
+    }
+
+    // ------------------------------------------------------------------
+    // Data plane: the packet lane.
+    // ------------------------------------------------------------------
+
+    /// Injects a packet probe at the current time. `weight` is the number
+    /// of real packets the probe represents (flow aggregation; use 1 for
+    /// exact per-packet runs) and `ttl` the hop budget.
+    ///
+    /// # Panics
+    ///
+    /// Panics on zero `weight` (a probe representing nothing is a bug in
+    /// the workload generator, not a droppable packet).
+    pub fn inject_packet(&mut self, src: NodeId, dest: NodeId, ttl: u32, weight: u64) {
+        self.inject_packet_at(self.now, src, dest, ttl, weight);
+    }
+
+    /// [`Engine::inject_packet`] at a future time (clamped to now), so
+    /// workload generators can schedule a whole sampling window ahead of
+    /// the event loop.
+    ///
+    /// # Panics
+    ///
+    /// Panics on zero `weight`.
+    pub fn inject_packet_at(
+        &mut self,
+        at: SimTime,
+        src: NodeId,
+        dest: NodeId,
+        ttl: u32,
+        weight: u64,
+    ) {
+        assert!(weight > 0, "packet probes must represent >= 1 packet");
+        let at = at.max(self.now);
+        self.stats.traffic.injected += weight;
+        self.packets_in_flight += 1;
+        self.push(
+            at,
+            Event::PacketHop {
+                packet: Packet::new(src, dest, ttl, weight, at),
+            },
+        );
+    }
+
+    /// Packet probes currently queued (unweighted count).
+    pub fn packets_in_flight(&self) -> u64 {
+        self.packets_in_flight
+    }
+
+    /// Takes every packet completed since the last drain, in completion
+    /// order. Consumers driving traffic should drain regularly — records
+    /// accumulate until taken.
+    pub fn drain_completed_packets(&mut self) -> Vec<PacketRecord> {
+        std::mem::take(&mut self.completed_packets)
+    }
+
+    fn complete_packet(&mut self, p: Packet, status: PacketStatus) {
+        self.packets_in_flight -= 1;
+        let t = &mut self.stats.traffic;
+        let w = p.weight;
+        match status {
+            PacketStatus::Delivered => {
+                t.delivered += w;
+                t.delivered_hops += w * u64::from(p.hops);
+            }
+            PacketStatus::BlackHoled { .. } => t.black_holed += w,
+            PacketStatus::LinkDown { .. } => t.link_down += w,
+            PacketStatus::Looped { .. } => t.looped += w,
+            PacketStatus::TtlExpired => t.ttl_expired += w,
+            PacketStatus::Lost { .. } => t.lost += w,
+        }
+        self.completed_packets.push(PacketRecord {
+            src: p.src,
+            dest: p.dest,
+            status,
+            hops: p.hops,
+            cost: p.cost,
+            weight: w,
+            injected_at: p.injected_at,
+            completed_at: self.now,
+        });
+    }
+
+    /// The loss probability a packet faces on `from -> to` right now.
+    /// Reads the Gilbert–Elliott chain state without advancing it — the
+    /// chain belongs to the control plane's message stream.
+    fn packet_loss_probability(&self, from: NodeId, to: NodeId) -> f64 {
+        match self.config.link.loss {
+            LossModel::Iid(p) => p,
+            LossModel::GilbertElliott(ge) => {
+                let bad = self.links.get(from, to).is_some_and(|s| s.ge_bad);
+                if bad {
+                    ge.loss_bad
+                } else {
+                    ge.loss_good
+                }
+            }
+        }
+    }
+
+    /// One data-plane hop: the packet has arrived at `p.at`; deliver it,
+    /// drop it, or forward it one hop along the live route table.
+    fn dispatch_packet(&mut self, mut p: Packet) {
+        self.stats.events.packet_hops += 1;
+        // The node holding the packet fail-stopped while it was in flight.
+        let Some(slot) = self.slots.get(p.at) else {
+            return self.complete_packet(p, PacketStatus::LinkDown { at: p.at });
+        };
+        if p.at == p.dest {
+            return self.complete_packet(p, PacketStatus::Delivered);
+        }
+        // Next hop from the node's *live* route state toward this packet's
+        // destination (multi-destination planes override the lookup).
+        let next = match slot.node.route_entry_toward(p.dest) {
+            Some(e) if e.distance != Distance::Infinite && e.parent != p.at => e.parent,
+            _ => return self.complete_packet(p, PacketStatus::BlackHoled { at: p.at }),
+        };
+        // The route may point across an edge that no longer exists.
+        let Some(&edge_weight) = slot.neighbors.get(&next) else {
+            return self.complete_packet(p, PacketStatus::LinkDown { at: p.at });
+        };
+        if p.hops >= p.ttl {
+            return self.complete_packet(p, PacketStatus::TtlExpired);
+        }
+        if let Some(cycle_len) = p.brent_step(next) {
+            return self.complete_packet(p, PacketStatus::Looped { cycle_len });
+        }
+        let loss = self.packet_loss_probability(p.at, next);
+        if loss > 0.0 && self.rng_traffic.gen_bool(loss) {
+            return self.complete_packet(p, PacketStatus::Lost { at: p.at });
+        }
+        let delay = if self.config.link.delay_min == self.config.link.delay_max {
+            self.config.link.delay_min
+        } else {
+            self.rng_traffic
+                .gen_range(self.config.link.delay_min..=self.config.link.delay_max)
+        };
+        p.at = next;
+        p.hops += 1;
+        p.cost += edge_weight;
+        let at = self.now + delay;
+        self.push(at, Event::PacketHop { packet: p });
     }
 
     // ------------------------------------------------------------------
@@ -774,6 +944,7 @@ impl<P: ProtocolNode> Engine<P> {
                     _ => {}
                 }
             }
+            Event::PacketHop { packet } => self.dispatch_packet(packet),
         }
     }
 

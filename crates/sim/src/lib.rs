@@ -41,6 +41,7 @@ pub mod sink;
 pub mod slots;
 pub mod time;
 pub mod trace;
+pub mod traffic;
 pub mod view;
 
 #[doc(hidden)]
@@ -64,4 +65,5 @@ pub use crate::sink::{CountsOnly, FullTrace, NullSink, SinkKind, TraceSink};
 pub use crate::slots::{EdgeSlots, NodeSlots};
 pub use crate::time::SimTime;
 pub use crate::trace::{ActionRecord, Trace};
+pub use crate::traffic::{Packet, PacketRecord, PacketStatus, TrafficCounts};
 pub use crate::view::{RouteCursor, RouteDelta, RouteView, ViewEntry};

@@ -209,6 +209,17 @@ pub trait ProtocolNode {
     /// The node's current problem-specific variables `(d.v, p.v)`.
     fn route_entry(&self) -> RouteEntry;
 
+    /// The node's route entry toward an arbitrary destination — the
+    /// per-hop lookup the engine's data-plane packet lane forwards on.
+    /// Single-destination protocols compute one tree and route everything
+    /// along it, so the default ignores `dest`; multi-destination wrappers
+    /// override this with their per-instance lookup. `None` means the node
+    /// holds no state at all for that destination (packets black-hole).
+    fn route_entry_toward(&self, dest: NodeId) -> Option<RouteEntry> {
+        let _ = dest;
+        Some(self.route_entry())
+    }
+
     /// Whether the node is currently involved in a containment wave
     /// (`ghost.v` for LSRP; `false` for protocols without containment).
     fn in_containment(&self) -> bool {

@@ -1,0 +1,239 @@
+//! Data-plane packet types for the engine's packet lane.
+//!
+//! Packets travel *inside* the event queue: each hop is an
+//! `Event::PacketHop` dispatched at the packet's arrival time, looking up
+//! the next hop in the receiving node's **live** route table
+//! ([`crate::node::ProtocolNode::route_entry_toward`]) — so traffic
+//! experiences control-plane convergence, containment waves and topology
+//! faults exactly as they unfold, not as a post-hoc snapshot probe.
+//!
+//! Two invariants keep the lane composable with everything built on the
+//! engine's determinism contract:
+//!
+//! 1. **Control-plane isolation.** Packet forwarding draws randomness
+//!    (link delays, loss) from a *dedicated* traffic RNG and reads — but
+//!    never advances — the Gilbert–Elliott link chains. A run with traffic
+//!    produces the byte-identical control-plane trajectory as the same run
+//!    without, which is what makes live availability comparable to
+//!    snapshot probes on frozen states.
+//! 2. **Flow aggregation.** A packet carries a `weight`: the number of
+//!    real packets the probe stands for. Workloads representing millions
+//!    of packets sample each flow periodically with the accumulated weight
+//!    instead of enqueueing every packet (exact per-packet mode is
+//!    `weight = 1`). All traffic counters are weighted.
+//!
+//! Loop detection is Brent's algorithm carried in O(1) state per packet
+//! (a checkpoint node plus a power-of-two lap counter): on a frozen route
+//! table a revisit to the checkpoint proves a true forwarding cycle and
+//! yields its exact length. Under live churn the tables shift beneath the
+//! packet, so a reported cycle is "the packet re-entered its recorded
+//! loop" — the practical data-plane signal — while TTL stays the backstop.
+
+use lsrp_graph::NodeId;
+
+use crate::time::SimTime;
+
+/// A packet in flight. Created by [`crate::engine::Engine::inject_packet`];
+/// lives inside `Event::PacketHop` queue entries until it completes.
+#[derive(Debug, Clone, Copy)]
+pub struct Packet {
+    /// Originating node.
+    pub src: NodeId,
+    /// Destination node.
+    pub dest: NodeId,
+    /// Node the packet is currently arriving at.
+    pub at: NodeId,
+    /// Hops taken so far.
+    pub hops: u32,
+    /// Hop budget; the packet expires when `hops` would exceed it.
+    pub ttl: u32,
+    /// How many real packets this probe represents (flow aggregation).
+    pub weight: u64,
+    /// Sum of traversed edge weights (for stretch vs `shortest_path`).
+    pub cost: u64,
+    /// Injection time.
+    pub injected_at: SimTime,
+    /// Brent checkpoint: the node a revisit of which proves a cycle.
+    checkpoint: NodeId,
+    /// Hops taken since the checkpoint was planted.
+    lap: u32,
+    /// Current power-of-two lap limit; reaching it re-plants the checkpoint.
+    power: u32,
+}
+
+impl Packet {
+    pub(crate) fn new(src: NodeId, dest: NodeId, ttl: u32, weight: u64, at: SimTime) -> Self {
+        Packet {
+            src,
+            dest,
+            at: src,
+            hops: 0,
+            ttl,
+            weight,
+            cost: 0,
+            injected_at: at,
+            checkpoint: src,
+            lap: 0,
+            power: 1,
+        }
+    }
+
+    /// Advances Brent's cycle detector for a hop onto `next`. Returns the
+    /// cycle length if `next` closes a detected cycle.
+    pub(crate) fn brent_step(&mut self, next: NodeId) -> Option<u32> {
+        if next == self.checkpoint {
+            return Some(self.lap + 1);
+        }
+        self.lap += 1;
+        if self.lap == self.power {
+            self.checkpoint = next;
+            self.power = self.power.saturating_mul(2);
+            self.lap = 0;
+        }
+        None
+    }
+}
+
+/// How a packet's journey ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PacketStatus {
+    /// Reached its destination.
+    Delivered,
+    /// A node on the path had no usable route toward the destination (no
+    /// entry, infinite distance, or a self-parent short of the
+    /// destination).
+    BlackHoled {
+        /// The routeless node.
+        at: NodeId,
+    },
+    /// The route pointed across a link that is down, or the node holding
+    /// the packet fail-stopped before forwarding it.
+    LinkDown {
+        /// Where the packet died.
+        at: NodeId,
+    },
+    /// The packet re-entered a forwarding cycle (Brent detection).
+    Looped {
+        /// Length of the detected cycle in hops.
+        cycle_len: u32,
+    },
+    /// The hop budget ran out before any other fate.
+    TtlExpired,
+    /// The loss model dropped the packet on a link.
+    Lost {
+        /// The node that transmitted the lost copy.
+        at: NodeId,
+    },
+}
+
+/// One completed packet, drained via
+/// [`crate::engine::Engine::drain_completed_packets`].
+#[derive(Debug, Clone, Copy)]
+pub struct PacketRecord {
+    /// Originating node.
+    pub src: NodeId,
+    /// Destination node.
+    pub dest: NodeId,
+    /// How the journey ended.
+    pub status: PacketStatus,
+    /// Hops taken.
+    pub hops: u32,
+    /// Sum of traversed edge weights.
+    pub cost: u64,
+    /// Real packets represented (flow aggregation weight).
+    pub weight: u64,
+    /// Injection time.
+    pub injected_at: SimTime,
+    /// Completion time (delivery, drop or expiry).
+    pub completed_at: SimTime,
+}
+
+impl PacketRecord {
+    /// End-to-end latency in simulated seconds.
+    pub fn latency(&self) -> f64 {
+        self.completed_at.since(self.injected_at)
+    }
+}
+
+/// Always-on, weighted data-plane counters (a field of
+/// [`crate::engine::EngineStats`]). Every count is in *represented*
+/// packets — a probe of weight `w` moves each counter by `w`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TrafficCounts {
+    /// Packets injected.
+    pub injected: u64,
+    /// Packets delivered to their destination.
+    pub delivered: u64,
+    /// Packets dropped at a routeless node.
+    pub black_holed: u64,
+    /// Packets that died on a down link or a failed node.
+    pub link_down: u64,
+    /// Packets that entered a detected forwarding cycle.
+    pub looped: u64,
+    /// Packets whose hop budget expired.
+    pub ttl_expired: u64,
+    /// Packets dropped by the link loss model.
+    pub lost: u64,
+    /// Total hops taken by delivered packets (for mean hop count).
+    pub delivered_hops: u64,
+}
+
+impl TrafficCounts {
+    /// Packets that completed, by any fate.
+    pub fn completed(&self) -> u64 {
+        self.delivered
+            + self.black_holed
+            + self.link_down
+            + self.looped
+            + self.ttl_expired
+            + self.lost
+    }
+
+    /// Delivered fraction of completed packets (1.0 when none completed).
+    pub fn delivered_fraction(&self) -> f64 {
+        let done = self.completed();
+        if done == 0 {
+            1.0
+        } else {
+            self.delivered as f64 / done as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn brent_detects_a_two_cycle() {
+        let a = NodeId::new(1);
+        let b = NodeId::new(2);
+        let c = NodeId::new(3);
+        let mut p = Packet::new(a, NodeId::new(9), 64, 1, SimTime::ZERO);
+        // a -> b -> c -> b -> c -> ... checkpoint lands inside the cycle.
+        assert_eq!(p.brent_step(b), None);
+        assert_eq!(p.brent_step(c), None);
+        let mut hops = 0;
+        let len = loop {
+            if let Some(len) = p.brent_step(if hops % 2 == 0 { b } else { c }) {
+                break len;
+            }
+            hops += 1;
+            assert!(hops < 32, "cycle never detected");
+        };
+        assert_eq!(len, 2);
+    }
+
+    #[test]
+    fn weighted_counts_aggregate() {
+        let c = TrafficCounts {
+            injected: 10,
+            delivered: 6,
+            black_holed: 2,
+            lost: 2,
+            ..TrafficCounts::default()
+        };
+        assert_eq!(c.completed(), 10);
+        assert!((c.delivered_fraction() - 0.6).abs() < 1e-12);
+    }
+}

@@ -101,6 +101,13 @@ pub trait RoutingSimulation {
     /// Propagates [`GraphError`] for invalid joins.
     fn join_edge(&mut self, a: NodeId, b: NodeId, w: Weight) -> Result<(), GraphError>;
 
+    /// Joins (or rejoins) a node with the given edges to live neighbors.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`GraphError`] for invalid joins.
+    fn join_node(&mut self, v: NodeId, edges: &[(NodeId, Weight)]) -> Result<(), GraphError>;
+
     /// Changes an edge weight.
     ///
     /// # Errors
@@ -196,6 +203,10 @@ impl<P: HarnessProtocol> RoutingSimulation for SimHarness<P> {
 
     fn join_edge(&mut self, a: NodeId, b: NodeId, w: Weight) -> Result<(), GraphError> {
         SimHarness::join_edge(self, a, b, w)
+    }
+
+    fn join_node(&mut self, v: NodeId, edges: &[(NodeId, Weight)]) -> Result<(), GraphError> {
+        SimHarness::join_node(self, v, edges)
     }
 
     fn set_weight(&mut self, a: NodeId, b: NodeId, w: Weight) -> Result<(), GraphError> {

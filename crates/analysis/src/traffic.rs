@@ -36,8 +36,8 @@ use lsrp_graph::shortest_path::ShortestPaths;
 use lsrp_graph::{Distance, Graph, NodeId};
 use lsrp_multi::{MultiLsrpSimulation, MultiLsrpSimulationExt};
 use lsrp_sim::{
-    Engine, HarnessProtocol, PacketRecord, PacketStatus, ProtocolNode, RouteCursor, SimHarness,
-    SimTime, TrafficCounts,
+    CongAlgKind, CongestionCounts, Engine, FlowConfig, HarnessProtocol, PacketRecord, PacketStatus,
+    ProtocolNode, RouteCursor, SimHarness, SimTime, TrafficCounts,
 };
 
 use crate::chaos::ChaosConfig;
@@ -127,8 +127,11 @@ struct Flow {
     src: NodeId,
     dest: NodeId,
     rate: f64,
-    /// Next exact-mode arrival time (absolute).
+    /// Next exact-mode arrival time (absolute); with a transport, the
+    /// Go-Back-N flow's start time.
     next_at: f64,
+    /// Transport mode: whether the Go-Back-N flow has been started.
+    started: bool,
     /// Per-flow RNG so each arrival stream is independent of scheduling
     /// chunk boundaries and of every other flow.
     rng: StdRng,
@@ -153,6 +156,10 @@ pub struct WorkloadDriver {
     /// Aggregate mode: index of the next sampling tick.
     next_tick: u64,
     ttl: u32,
+    /// When set, each workload flow becomes one stateful Go-Back-N
+    /// transfer under this congestion algorithm instead of a stream of
+    /// fire-and-forget probes (see [`WorkloadDriver::with_transport`]).
+    transport: Option<CongAlgKind>,
 }
 
 impl WorkloadDriver {
@@ -214,6 +221,7 @@ impl WorkloadDriver {
                     dest,
                     rate: spec.rate,
                     next_at: start,
+                    started: false,
                     rng: StdRng::seed_from_u64(
                         seed.wrapping_mul(0x9e37_79b9_7f4a_7c15)
                             .wrapping_add(i as u64),
@@ -231,7 +239,20 @@ impl WorkloadDriver {
             scheduled_until: start,
             next_tick: 0,
             ttl: (4 * graph.node_count() as u32).max(8),
+            transport: None,
         }
+    }
+
+    /// Promotes every workload flow to a stateful Go-Back-N transfer
+    /// under `cc` (retransmission, windowing, the congestion lane's ECN
+    /// echo). Each transfer starts at its flow's first Poisson arrival
+    /// and carries the same represented payload the probe stream would
+    /// have offered: `ceil(duration / sample_every)` segments of the
+    /// aggregate probe weight, or `ceil(rate x duration)` weight-1
+    /// segments in exact mode. Degenerate same-node flows are skipped.
+    pub fn with_transport(mut self, cc: CongAlgKind) -> Self {
+        self.transport = Some(cc);
+        self
     }
 
     /// Number of flows in the workload.
@@ -252,6 +273,46 @@ impl WorkloadDriver {
     pub fn ensure_scheduled<P: ProtocolNode>(&mut self, engine: &mut Engine<P>, upto: f64) {
         let upto = upto.min(self.end);
         if self.scheduled_until >= upto {
+            return;
+        }
+        if let Some(cc) = self.transport {
+            // Go-Back-N transport: one flow start per workload flow, at
+            // its first arrival time. The flow drives itself through the
+            // event queue from there — nothing else to schedule.
+            let duration = self.end - self.start;
+            let (segments, seg_weight) = match self.mode {
+                TrafficMode::Aggregate { sample_every } => (
+                    ((duration / sample_every).ceil() as u64).max(1),
+                    ((self.flows.first().map_or(1.0, |f| f.rate) * sample_every).round() as u64)
+                        .max(1),
+                ),
+                TrafficMode::Exact => (
+                    ((self.flows.first().map_or(1.0, |f| f.rate) * duration).ceil() as u64).max(1),
+                    1,
+                ),
+            };
+            for f in &mut self.flows {
+                if f.started || f.next_at >= upto {
+                    continue;
+                }
+                f.started = true;
+                if f.src == f.dest {
+                    continue;
+                }
+                engine.start_flow_at(
+                    SimTime::new(f.next_at),
+                    f.src,
+                    f.dest,
+                    FlowConfig {
+                        segments,
+                        seg_weight,
+                        ttl: self.ttl,
+                        cc,
+                        ..FlowConfig::default()
+                    },
+                );
+            }
+            self.scheduled_until = upto;
             return;
         }
         match self.mode {
@@ -314,6 +375,10 @@ pub struct AvailabilityMonitor {
     routeless: BTreeSet<NodeId>,
     live_nodes: usize,
     min_routable_fraction: f64,
+    flows_completed: u64,
+    flows_aborted: u64,
+    fct_sum: f64,
+    fct_max: f64,
 }
 
 impl AvailabilityMonitor {
@@ -339,6 +404,10 @@ impl AvailabilityMonitor {
             routeless: BTreeSet::new(),
             live_nodes: 0,
             min_routable_fraction: 1.0,
+            flows_completed: 0,
+            flows_aborted: 0,
+            fct_sum: 0.0,
+            fct_max: 0.0,
         }
     }
 
@@ -408,6 +477,19 @@ impl AvailabilityMonitor {
                 self.absorb(graph, rec);
             }
         }
+        // Flow completions (O(changes), like the packet ledger): flow
+        // completion times feed the FCT aggregate, aborts are counted
+        // separately.
+        for f in sim.engine_mut().drain_completed_flows() {
+            if f.completed() {
+                self.flows_completed += 1;
+                let fct = f.completion_time();
+                self.fct_sum += fct;
+                self.fct_max = self.fct_max.max(fct);
+            } else {
+                self.flows_aborted += 1;
+            }
+        }
     }
 
     fn note_routable(&mut self) {
@@ -461,11 +543,16 @@ impl AvailabilityMonitor {
     }
 
     /// Closes the final partial window and renders the summary from the
-    /// engine's weighted traffic counters.
-    pub fn finish(&mut self, counts: TrafficCounts) -> TrafficSummary {
+    /// engine's weighted traffic and congestion counters.
+    pub fn finish(
+        &mut self,
+        counts: TrafficCounts,
+        congestion: CongestionCounts,
+    ) -> TrafficSummary {
         self.close_window();
         TrafficSummary {
             counts,
+            congestion,
             min_window_availability: self.min_window_availability,
             windows: self.windows,
             mean_stretch: if self.stretch_den > 0 {
@@ -475,6 +562,14 @@ impl AvailabilityMonitor {
             },
             max_stretch: self.max_stretch,
             min_routable_fraction: self.min_routable_fraction,
+            flows_completed: self.flows_completed,
+            flows_aborted: self.flows_aborted,
+            mean_fct: if self.flows_completed > 0 {
+                self.fct_sum / self.flows_completed as f64
+            } else {
+                0.0
+            },
+            max_fct: self.fct_max,
         }
     }
 }
@@ -497,6 +592,18 @@ pub struct TrafficSummary {
     /// Worst live fraction of nodes holding a finite route (from the
     /// RouteView delta log; primary destination on multi planes).
     pub min_routable_fraction: f64,
+    /// Congestion-lane counters (zero on the unlimited lane): peak queue
+    /// depth, ECN marks, pause frames, flow goodput and retransmissions.
+    pub congestion: CongestionCounts,
+    /// Go-Back-N flows that acknowledged every segment.
+    pub flows_completed: u64,
+    /// Go-Back-N flows aborted with unacknowledged segments (an endpoint
+    /// fail-stopped).
+    pub flows_aborted: u64,
+    /// Mean flow completion time over completed flows (0 if none).
+    pub mean_fct: f64,
+    /// Worst flow completion time.
+    pub max_fct: f64,
 }
 
 impl TrafficSummary {
@@ -505,11 +612,25 @@ impl TrafficSummary {
         self.counts.delivered_fraction()
     }
 
+    /// Weighted flow goodput fraction: acked payload over offered payload
+    /// (1.0 when no flows ran). Retransmissions never count toward the
+    /// numerator.
+    pub fn goodput_fraction(&self) -> f64 {
+        if self.congestion.flow_offered_weight == 0 {
+            1.0
+        } else {
+            self.congestion.flow_acked_weight as f64 / self.congestion.flow_offered_weight as f64
+        }
+    }
+
     /// One deterministic report fragment (appended to campaign run lines).
+    /// Extended append-only: the PR-5 prefix is stable, congestion-lane
+    /// fields follow it.
     fn report_fragment(&self) -> String {
         let c = &self.counts;
+        let g = &self.congestion;
         format!(
-            "injected={} delivered={} frac={:.6} blackholed={} linkdown={} looped={} ttl={} lost={} min_window={:.6} min_routable={:.6} mean_stretch={:.6} max_stretch={:.6}",
+            "injected={} delivered={} frac={:.6} blackholed={} linkdown={} looped={} ttl={} lost={} min_window={:.6} min_routable={:.6} mean_stretch={:.6} max_stretch={:.6} qdrop={} qpeak={} marks={} pauses={} goodput={:.6} retx={} flow_timeouts={} flows_done={} flows_aborted={} fct_mean={:.6} fct_max={:.6}",
             c.injected,
             c.delivered,
             self.delivered_fraction(),
@@ -522,6 +643,17 @@ impl TrafficSummary {
             self.min_routable_fraction,
             self.mean_stretch,
             self.max_stretch,
+            c.queue_dropped,
+            g.peak_port_occupancy,
+            g.ecn_marks,
+            g.pause_frames,
+            self.goodput_fraction(),
+            g.flow_retransmit_weight,
+            g.flow_timeouts,
+            self.flows_completed,
+            self.flows_aborted,
+            self.mean_fct,
+            self.max_fct,
         )
     }
 }
@@ -547,6 +679,11 @@ pub struct TrafficConfig {
     /// reports an [`ViolationKind::AvailabilityCollapse`] violation.
     /// `0.0` (the default) never fires.
     pub availability_floor: f64,
+    /// When set, workload flows run as Go-Back-N transfers under this
+    /// congestion algorithm instead of fire-and-forget probes (the
+    /// congestion lane itself is configured on
+    /// `chaos.engine.congestion`).
+    pub transport: Option<CongAlgKind>,
 }
 
 impl Default for TrafficConfig {
@@ -557,6 +694,7 @@ impl Default for TrafficConfig {
             duration: 600.0,
             window: 20.0,
             availability_floor: 0.0,
+            transport: None,
         }
     }
 }
@@ -630,6 +768,7 @@ pub fn run_traffic_monitored(
                         if !sim.engine().any_enabled_non_maintenance()
                             && sim.engine().inflight_messages() == 0
                             && sim.engine().packets_in_flight() == 0
+                            && sim.engine().flows_active() == 0
                         {
                             return false;
                         }
@@ -664,6 +803,7 @@ pub fn run_traffic_monitored(
         if !sim.engine().any_enabled_non_maintenance()
             && sim.engine().inflight_messages() == 0
             && sim.engine().packets_in_flight() == 0
+            && sim.engine().flows_active() == 0
         {
             break;
         }
@@ -680,12 +820,13 @@ pub fn run_traffic_monitored(
     }
     let quiescent = !sim.engine().any_enabled_non_maintenance()
         && sim.engine().inflight_messages() == 0
-        && sim.engine().packets_in_flight() == 0;
+        && sim.engine().packets_in_flight() == 0
+        && sim.engine().flows_active() == 0;
     for m in monitors {
         m.finish(sim, &mut violations);
     }
     avail.observe(sim);
-    let summary = avail.finish(sim.stats().traffic);
+    let summary = avail.finish(sim.stats().traffic, sim.stats().congestion);
     (
         MonitorReport {
             violations,
@@ -726,6 +867,9 @@ pub fn traffic_run(
         config.duration,
         seed,
     );
+    if let Some(cc) = config.transport {
+        workload = workload.with_transport(cc);
+    }
     let mut avail = AvailabilityMonitor::new(config.window);
     let (mut report, traffic) = run_traffic_monitored(
         &mut sim,
@@ -898,6 +1042,9 @@ pub fn multi_traffic_run(
         config.duration,
         seed,
     );
+    if let Some(cc) = config.transport {
+        workload = workload.with_transport(cc);
+    }
     let mut avail = AvailabilityMonitor::new(config.window);
     avail.arm(&mut sim);
     let horizon = config.chaos.horizon;
@@ -917,7 +1064,8 @@ pub fn multi_traffic_run(
     loop {
         let drained = !sim.engine().any_enabled_non_maintenance()
             && sim.engine().inflight_messages() == 0
-            && sim.engine().packets_in_flight() == 0;
+            && sim.engine().packets_in_flight() == 0
+            && sim.engine().flows_active() == 0;
         if drained {
             break;
         }
@@ -934,8 +1082,9 @@ pub fn multi_traffic_run(
     avail.observe(&mut sim);
     let quiescent = !sim.engine().any_enabled_non_maintenance()
         && sim.engine().inflight_messages() == 0
-        && sim.engine().packets_in_flight() == 0;
-    let traffic = avail.finish(sim.stats().traffic);
+        && sim.engine().packets_in_flight() == 0
+        && sim.engine().flows_active() == 0;
+    let traffic = avail.finish(sim.stats().traffic, sim.stats().congestion);
     MultiTrafficRun {
         seed,
         schedule,
@@ -1135,7 +1284,7 @@ mod tests {
         }
         sim.run_until(t0 + 1_000.0);
         avail.observe(&mut sim);
-        let s = avail.finish(sim.stats().traffic);
+        let s = avail.finish(sim.stats().traffic, sim.stats().congestion);
         assert_eq!(s.counts.delivered, 90);
         assert!((s.delivered_fraction() - 1.0).abs() < 1e-12);
         assert!((s.min_window_availability - 1.0).abs() < 1e-12);
@@ -1152,14 +1301,98 @@ mod tests {
         // Cut the path 0-1-2-3 between 1 and 2: nodes 2,3 lose their
         // route; the monitor's minimum must see 0.5 via deltas only.
         let g = generators::path(4, 1);
-        let mut sim = LsrpSimulation::builder(g.clone(), v(0)).build();
+        let mut sim = LsrpSimulation::builder(g, v(0)).build();
         sim.run_to_quiescence(10_000.0);
         let mut avail = AvailabilityMonitor::new(5.0);
         avail.arm(&mut sim);
         sim.fail_edge(v(1), v(2)).unwrap();
         sim.run_to_quiescence(100_000.0);
         avail.observe(&mut sim);
-        let s = avail.finish(sim.stats().traffic);
+        let s = avail.finish(sim.stats().traffic, sim.stats().congestion);
         assert!((s.min_routable_fraction - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn transport_mode_runs_flows_to_full_goodput() {
+        // Go-Back-N transport over a congested engine: every workload
+        // flow completes, goodput is full, and the congested report
+        // fields are populated.
+        let g = generators::grid(3, 3, 1);
+        let config = TrafficConfig {
+            workload: WorkloadSpec {
+                flows: 6,
+                rate: 5.0,
+                ..WorkloadSpec::default()
+            },
+            duration: 60.0,
+            transport: Some(CongAlgKind::Aimd {
+                initial: 4,
+                max: 64,
+            }),
+            chaos: ChaosConfig {
+                engine: lsrp_sim::EngineConfig::default()
+                    .with_congestion(lsrp_sim::CongestionConfig::limited(50.0, 200)),
+                process: lsrp_faults::FaultProcess {
+                    link_flaps: 0,
+                    node_churn: 0,
+                    partitions: 0,
+                    corruptions: 0,
+                    ..ChaosConfig::default().process
+                },
+                ..ChaosConfig::default()
+            },
+            ..TrafficConfig::default()
+        };
+        let run = traffic_run(&g, v(0), &config, 7);
+        assert!(run.report.quiescent, "flows drained before the horizon");
+        let s = &run.traffic;
+        assert!(s.flows_completed > 0);
+        assert_eq!(s.flows_aborted, 0);
+        assert!((s.goodput_fraction() - 1.0).abs() < 1e-12);
+        assert!(s.mean_fct > 0.0);
+        assert!(s.max_fct >= s.mean_fct);
+        assert!(s.congestion.flow_offered_weight > 0);
+        let line = s.report_fragment();
+        assert!(line.contains("qdrop="));
+        assert!(line.contains("goodput=1.000000"));
+        assert!(line.contains("fct_mean="));
+    }
+
+    #[test]
+    fn transport_scheduling_is_chunk_independent_too() {
+        // Flow starts are pinned to arrival times via start_flow_at, so
+        // chunked scheduling cannot move them: identical counters.
+        let g = generators::grid(3, 3, 1);
+        let spec = WorkloadSpec {
+            flows: 5,
+            rate: 2.0,
+            ..WorkloadSpec::default()
+        };
+        let run = |chunks: &[f64]| {
+            let mut sim = LsrpSimulation::builder(g.clone(), v(0))
+                .engine_config(
+                    lsrp_sim::EngineConfig::default()
+                        .with_congestion(lsrp_sim::CongestionConfig::limited(20.0, 100)),
+                )
+                .build();
+            sim.run_to_quiescence(10_000.0);
+            let t0 = sim.now().seconds();
+            let mut w = WorkloadDriver::new(&spec, &g, &[v(0)], t0, 40.0, 11)
+                .with_transport(CongAlgKind::FixedWindow { window: 4 });
+            for &c in chunks {
+                w.ensure_scheduled(sim.engine_mut(), t0 + c);
+                sim.run_until(t0 + c);
+            }
+            w.ensure_scheduled(sim.engine_mut(), f64::INFINITY);
+            sim.run_until(t0 + 10_000.0);
+            assert!(w.done());
+            assert_eq!(sim.engine().flows_active(), 0);
+            (sim.stats().traffic, sim.stats().congestion)
+        };
+        let one = run(&[100.0]);
+        let many = run(&[3.0, 9.0, 21.0, 100.0]);
+        assert_eq!(one, many);
+        assert!(one.1.flow_acked_weight > 0);
+        assert_eq!(one.1.flow_acked_weight, one.1.flow_offered_weight);
     }
 }

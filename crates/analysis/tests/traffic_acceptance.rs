@@ -156,7 +156,7 @@ fn frozen_partitioned_path_matches_snapshot_probe() {
     // with the stranded half black-holing at themselves.
     let g = generators::path(8, 2);
     let dest = v(0);
-    let mut sim = LsrpSimulation::builder(g.clone(), dest).build();
+    let mut sim = LsrpSimulation::builder(g, dest).build();
     sim.run_to_quiescence(1_000_000.0);
     sim.fail_edge(v(3), v(4)).unwrap();
     sim.run_to_quiescence(1_000_000.0);
@@ -171,7 +171,7 @@ fn frozen_ring_with_failed_node_matches_snapshot_probe() {
     // routes just got longer. Fractions and per-node fates must agree.
     let g = generators::ring(7, 1);
     let dest = v(0);
-    let mut sim = LsrpSimulation::builder(g.clone(), dest).build();
+    let mut sim = LsrpSimulation::builder(g, dest).build();
     sim.run_to_quiescence(1_000_000.0);
     sim.fail_node(v(2)).unwrap();
     sim.run_to_quiescence(1_000_000.0);

@@ -8,8 +8,8 @@
 use std::env;
 
 use lsrp_bench::{
-    availability, figures, loops_exp, multi_exp, overhead, regions_exp, scaling, selfstab,
-    traffic_exp, waves,
+    availability, congestion_exp, figures, loops_exp, multi_exp, overhead, regions_exp, scaling,
+    selfstab, traffic_exp, waves,
 };
 
 fn want(args: &[String], id: &str) -> bool {
@@ -124,5 +124,11 @@ fn main() {
     }
     if want(&args, "e20") {
         println!("{}", traffic_exp::e20_live_availability(12, &[1, 2, 4, 8]));
+    }
+    if want(&args, "e21") {
+        println!(
+            "{}",
+            congestion_exp::e21_congested_recovery(8, &[1, 2, 4, 8])
+        );
     }
 }

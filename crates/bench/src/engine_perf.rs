@@ -17,7 +17,7 @@ use std::fmt::Write as _;
 use std::time::{Duration, Instant};
 
 use lsrp_analysis::{
-    measure_recovery, run_monitored, standard_monitors, WorkloadDriver, WorkloadSpec,
+    measure_recovery, run_monitored, standard_monitors, WorkloadDriver, WorkloadKind, WorkloadSpec,
 };
 use lsrp_core::{InitialState, LsrpSimulation, LsrpSimulationExt};
 use lsrp_faults::{FaultProcess, FaultSchedule};
@@ -26,7 +26,7 @@ use lsrp_multi::{
     MultiLsrpSimulation, MultiLsrpSimulationExt, ReferenceMultiSimulation,
     ReferenceMultiSimulationExt,
 };
-use lsrp_sim::{EngineConfig, SinkKind};
+use lsrp_sim::{CongAlgKind, CongestionConfig, EngineConfig, SinkKind};
 
 /// The fixed seed every throughput scenario runs under.
 pub const PERF_SEED: u64 = 42;
@@ -295,6 +295,94 @@ pub fn measure_traffic_grid(iters: u32) -> EnginePerf {
     }
 }
 
+/// The congestion lane under recovery: the same 10x10 grid and mid-run
+/// corruption as [`measure_traffic_grid`], but with finite-rate links,
+/// bounded drop-tail port queues and the workload promoted to Go-Back-N
+/// flows under AIMD — so the measured regime includes serialization
+/// events, queue drops and retransmission timers, the congestion lane's
+/// own event classes.
+///
+/// # Panics
+///
+/// Panics if the run fails to drain both planes or loses packets from
+/// the conservation ledger.
+pub fn measure_traffic_congested(iters: u32) -> EnginePerf {
+    let graph = generators::grid(10, 10, 1);
+    let dest = NodeId::new(0);
+    let victim = NodeId::new(55);
+    let duration = 300.0;
+    let mut events = 0u64;
+    let mut delivered = 0u64;
+    let mut peak = 0usize;
+    let mut elapsed = Duration::ZERO;
+    for i in 0..iters {
+        let seed = PERF_SEED + u64::from(i);
+        let mut sim = LsrpSimulation::builder(graph.clone(), dest)
+            .initial_state(InitialState::Legitimate)
+            .engine_config(
+                EngineConfig::default()
+                    .with_seed(seed)
+                    .with_sink(SinkKind::CountsOnly)
+                    .with_congestion(CongestionConfig::limited(400.0, 2_000)),
+            )
+            .build();
+        sim.run_to_quiescence(100_000.0);
+        let t0 = sim.now().seconds();
+        let spec = WorkloadSpec {
+            kind: WorkloadKind::Hotspot,
+            ..WorkloadSpec::default()
+        };
+        let mut workload = WorkloadDriver::new(&spec, &graph, &[dest], t0, duration, seed)
+            .with_transport(CongAlgKind::Aimd {
+                initial: 4,
+                max: 64,
+            });
+        let before = sim.stats();
+        let start = Instant::now();
+        workload.ensure_scheduled(sim.engine_mut(), t0 + duration / 2.0);
+        sim.run_until(t0 + duration / 2.0);
+        sim.corrupt_distance(victim, Distance::ZERO);
+        workload.ensure_scheduled(sim.engine_mut(), f64::INFINITY);
+        loop {
+            let drained = !sim.engine().any_enabled_non_maintenance()
+                && sim.engine().inflight_messages() == 0
+                && sim.engine().packets_in_flight() == 0
+                && sim.engine().flows_active() == 0;
+            if drained {
+                break;
+            }
+            let next = sim
+                .engine()
+                .next_event_time()
+                .expect("undrained planes imply pending events");
+            sim.run_until(next.seconds() + 50.0);
+        }
+        elapsed += start.elapsed();
+        let counts = sim.stats().traffic;
+        assert!(counts.injected > 0, "workload must inject");
+        assert_eq!(
+            counts.completed(),
+            counts.injected,
+            "every packet must complete"
+        );
+        let stats = sim.stats();
+        events += stats.total_events() - before.total_events();
+        delivered += stats.messages_delivered - before.messages_delivered;
+        peak = peak.max(stats.peak_queue_depth);
+    }
+    let secs = elapsed.as_secs_f64().max(f64::MIN_POSITIVE);
+    EnginePerf {
+        scenario: "traffic_congested",
+        events,
+        messages_delivered: delivered,
+        adverts_delivered: delivered,
+        peak_queue_depth: peak,
+        elapsed_secs: secs,
+        events_per_sec: events as f64 / secs,
+        deliveries_per_sec: delivered as f64 / secs,
+    }
+}
+
 /// The all-pairs grid scenario's fixed inputs: a 6x6 unit grid with every
 /// node a destination (1296 protocol instances) and a full-table
 /// corruption at a central node.
@@ -384,6 +472,7 @@ pub fn measure_all() -> Vec<EnginePerf> {
         measure_chaos_monitored(4),
         measure_recovery_grid(6),
         measure_traffic_grid(3),
+        measure_traffic_congested(2),
         measure_allpairs_grid(3),
         measure_allpairs_grid_reference(1),
     ]
@@ -453,6 +542,7 @@ mod tests {
         assert!(doc.contains("\"fig1_benign\""));
         assert!(doc.contains("\"grid200_benign\""));
         assert!(doc.contains("\"traffic_grid\""));
+        assert!(doc.contains("\"traffic_congested\""));
         assert!(doc.contains("\"allpairs_grid\""));
         assert!(doc.contains("\"allpairs_grid_ref\""));
         assert!(doc.contains("\"peak_queue_depth\""));

@@ -14,6 +14,7 @@
 
 pub mod availability;
 pub mod build;
+pub mod congestion_exp;
 pub mod engine_perf;
 pub mod figures;
 pub mod loops_exp;

@@ -69,7 +69,12 @@ pub fn apply_plan_generic(sim: &mut dyn RoutingSimulation, plan: &FaultPlan) {
             Fault::FailEdge(a, b) => sim.fail_edge(*a, *b).expect("edge exists"),
             Fault::JoinEdge(a, b, w) => sim.join_edge(*a, *b, *w).expect("edge is new"),
             Fault::SetWeight(a, b, w) => sim.set_weight(*a, *b, *w).expect("edge exists"),
-            Fault::JoinNode { .. } => unimplemented!("generic joins are not used by experiments"),
+            Fault::JoinNode { node, edges } => {
+                // Best-effort: a rejoin can race earlier faults in the same
+                // plan (a listed neighbor may itself have failed), so an
+                // invalid join is skipped rather than aborting the plan.
+                let _ = sim.join_node(*node, edges);
+            }
         }
     }
 }

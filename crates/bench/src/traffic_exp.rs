@@ -90,7 +90,7 @@ pub fn live_availability_run(w: u32, p: usize, seed: u64) -> TrafficSummary {
     }
     avail.observe(&mut sim);
     assert!(sim.routes_correct(), "LSRP must recover from the hijack");
-    avail.finish(sim.stats().traffic)
+    avail.finish(sim.stats().traffic, sim.stats().congestion)
 }
 
 /// E20 table: live availability during recovery as the perturbation

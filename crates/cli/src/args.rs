@@ -4,6 +4,7 @@ use std::fmt;
 
 use lsrp_analysis::traffic::WorkloadKind;
 use lsrp_graph::{Distance, NodeId};
+use lsrp_sim::{CongAlgKind, DisciplineKind};
 
 /// Which protocol to drive.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -184,6 +185,16 @@ pub enum Command {
         duration: f64,
         /// Exact per-packet injection instead of aggregated sampling.
         exact: bool,
+        /// Link serialization rate in weighted packets per second;
+        /// `None` keeps links infinitely fast (the congestion lane off).
+        link_rate: Option<f64>,
+        /// Per-port egress queue capacity in weighted packets.
+        queue_cap: Option<u64>,
+        /// Queue discipline for bounded ports.
+        discipline: DisciplineKind,
+        /// Promote flows to stateful Go-Back-N transfers under this
+        /// congestion-control algorithm.
+        cc: Option<CongAlgKind>,
     },
     /// `help`
     Help,
@@ -321,6 +332,11 @@ impl Command {
         let mut flows = 64usize;
         let mut duration = 600.0f64;
         let mut exact = false;
+        let mut link_rate = None;
+        let mut queue_cap = None;
+        let mut discipline = DisciplineKind::DropTail;
+        let mut discipline_set = false;
+        let mut cc = None;
 
         while let Some(flag) = args.next() {
             let mut value = |what: &str| {
@@ -396,6 +412,41 @@ impl Command {
                     }
                 }
                 "--exact" => exact = true,
+                "--link-rate" => {
+                    let r: f64 = value("rate")?
+                        .parse()
+                        .map_err(|_| err("invalid link rate"))?;
+                    if !(r > 0.0 && r.is_finite()) {
+                        return Err(err("--link-rate must be positive and finite"));
+                    }
+                    link_rate = Some(r);
+                }
+                "--queue-cap" => {
+                    let c: u64 = value("capacity")?
+                        .parse()
+                        .map_err(|_| err("invalid queue capacity"))?;
+                    if c == 0 {
+                        return Err(err("--queue-cap must be at least 1"));
+                    }
+                    queue_cap = Some(c);
+                }
+                "--discipline" => {
+                    let d = value("discipline")?;
+                    discipline = DisciplineKind::parse(&d).ok_or_else(|| {
+                        err(format!(
+                            "unknown discipline '{d}' (try drop-tail, ecn, pause)"
+                        ))
+                    })?;
+                    discipline_set = true;
+                }
+                "--cc" => {
+                    let a = value("congestion control")?;
+                    cc = Some(CongAlgKind::parse(&a).ok_or_else(|| {
+                        err(format!(
+                            "unknown congestion control '{a}' (try fixed, aimd)"
+                        ))
+                    })?);
+                }
                 other => return Err(err(format!("unknown flag '{other}'"))),
             }
         }
@@ -404,6 +455,19 @@ impl Command {
         if destinations.is_some() && sub != "chaos" && sub != "traffic" {
             return Err(err(
                 "--destinations is only valid with `lsrp chaos` or `lsrp traffic`",
+            ));
+        }
+        if (link_rate.is_some() || queue_cap.is_some() || discipline_set || cc.is_some())
+            && sub != "traffic"
+        {
+            return Err(err(
+                "--link-rate/--queue-cap/--discipline/--cc are only valid with `lsrp traffic`",
+            ));
+        }
+        if (queue_cap.is_some() || discipline_set) && link_rate.is_none() {
+            return Err(err(
+                "--queue-cap and --discipline need --link-rate (the congestion lane is off \
+                 while links are infinitely fast)",
             ));
         }
         match sub.as_str() {
@@ -443,6 +507,10 @@ impl Command {
                 flows,
                 duration,
                 exact,
+                link_rate,
+                queue_cap,
+                discipline,
+                cc,
             }),
             other => Err(err(format!(
                 "unknown command '{other}' (run, compare, topo, chaos, traffic, help)"
@@ -465,7 +533,8 @@ USAGE:
   lsrp traffic --topology SPEC [--dest N] [--seed N] [--runs N] [--jobs N]
                [--horizon T] [--destinations N|all-pairs]
                [--workload poisson|all-pairs|hotspot] [--flows N]
-               [--duration T] [--exact]
+               [--duration T] [--exact] [--link-rate R] [--queue-cap C]
+               [--discipline drop-tail|ecn|pause] [--cc fixed|aimd]
 
 TOPOLOGIES:  grid:8x8  ring:32  path:16  er:40:0.1  geo:60:0.18
              ba:50:2  lollipop:2:8  fig1
@@ -490,6 +559,16 @@ one probe per packet instead. Each run reports delivery fractions,
 per-fate drop counts, the worst availability window, the worst routable
 fraction, and path stretch against shortest paths.
 
+With `--link-rate R` the data plane turns congestion-realistic: links
+serialize at R weighted packets per second, `--queue-cap C` bounds each
+egress port at C weighted packets under the chosen `--discipline`
+(drop-tail drops, ecn marks early, pause backpressures upstream), and
+queue drops, ECN marks, pause frames and peak queue depth join the
+report. `--cc` additionally promotes every workload flow to a stateful
+Go-Back-N transfer with retransmit timers and exponential backoff under
+fixed-window or AIMD congestion control, adding weighted goodput,
+retransmissions, timeouts and flow-completion times.
+
 EXAMPLES:
   lsrp run --topology fig1 --protocol lsrp --fault corrupt:9:1 --timeline
   lsrp compare --topology grid:12x12 --fault corrupt:13:0
@@ -498,6 +577,8 @@ EXAMPLES:
   lsrp chaos --topology grid:6x6 --destinations all-pairs --runs 5 --jobs 4
   lsrp traffic --topology grid:6x6 --runs 5 --workload hotspot --jobs 4
   lsrp traffic --topology grid:4x4 --destinations 4 --workload all-pairs
+  lsrp traffic --topology grid:6x6 --workload hotspot --link-rate 400
+               --queue-cap 1500 --cc aimd
 ";
 
 #[cfg(test)]
@@ -640,6 +721,71 @@ mod tests {
         assert!(Command::parse(argv("traffic --topology grid:4x4 --workload bursty")).is_err());
         assert!(Command::parse(argv("traffic --topology grid:4x4 --flows 0")).is_err());
         assert!(Command::parse(argv("traffic --topology grid:4x4 --duration -3")).is_err());
+    }
+
+    #[test]
+    fn parses_congestion_flags() {
+        let c = Command::parse(argv(
+            "traffic --topology grid:4x4 --link-rate 400 --queue-cap 1500 --discipline ecn --cc aimd",
+        ))
+        .unwrap();
+        match c {
+            Command::Traffic {
+                link_rate,
+                queue_cap,
+                discipline,
+                cc,
+                ..
+            } => {
+                assert_eq!(link_rate, Some(400.0));
+                assert_eq!(queue_cap, Some(1500));
+                assert_eq!(discipline, DisciplineKind::Ecn { mark_at: 0.5 });
+                assert_eq!(
+                    cc,
+                    Some(CongAlgKind::Aimd {
+                        initial: 4,
+                        max: 64
+                    })
+                );
+            }
+            other => panic!("wrong command: {other:?}"),
+        }
+        // The lane stays off by default, and --cc works on its own.
+        let c = Command::parse(argv("traffic --topology grid:4x4 --cc fixed")).unwrap();
+        match c {
+            Command::Traffic {
+                link_rate,
+                queue_cap,
+                cc,
+                ..
+            } => {
+                assert_eq!(link_rate, None);
+                assert_eq!(queue_cap, None);
+                assert_eq!(cc, Some(CongAlgKind::FixedWindow { window: 8 }));
+            }
+            other => panic!("wrong command: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_bad_congestion_flags() {
+        assert!(Command::parse(argv("traffic --topology grid:4x4 --link-rate 0")).is_err());
+        assert!(Command::parse(argv("traffic --topology grid:4x4 --link-rate -2")).is_err());
+        assert!(Command::parse(argv(
+            "traffic --topology grid:4x4 --link-rate 10 --queue-cap 0"
+        ))
+        .is_err());
+        assert!(Command::parse(argv(
+            "traffic --topology grid:4x4 --link-rate 10 --discipline red"
+        ))
+        .is_err());
+        assert!(Command::parse(argv("traffic --topology grid:4x4 --cc cubic")).is_err());
+        // Queue knobs without a finite rate are dead configuration.
+        assert!(Command::parse(argv("traffic --topology grid:4x4 --queue-cap 100")).is_err());
+        assert!(Command::parse(argv("traffic --topology grid:4x4 --discipline ecn")).is_err());
+        // The flags belong to `traffic` alone.
+        assert!(Command::parse(argv("chaos --topology grid:4x4 --link-rate 10")).is_err());
+        assert!(Command::parse(argv("run --topology grid:4x4 --cc aimd")).is_err());
     }
 
     #[test]

@@ -11,7 +11,7 @@ use lsrp_baselines::{
 };
 use lsrp_core::{InitialState, LsrpSimulation, LsrpSimulationExt};
 use lsrp_graph::{generators, topologies, Graph, NodeId};
-use lsrp_sim::EngineConfig;
+use lsrp_sim::{CongestionConfig, EngineConfig};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -371,6 +371,10 @@ pub fn run_command(cmd: &Command) -> Result<String, ParseError> {
             flows,
             duration,
             exact,
+            link_rate,
+            queue_cap,
+            discipline,
+            cc,
         } => {
             let (graph, natural_dest) = build_topology(topology, *seed);
             let dest = dest.unwrap_or(natural_dest);
@@ -382,8 +386,14 @@ pub fn run_command(cmd: &Command) -> Result<String, ParseError> {
             let config = lsrp_analysis::TrafficConfig {
                 chaos: chaos::ChaosConfig {
                     horizon: *horizon,
+                    engine: EngineConfig::default().with_congestion(CongestionConfig {
+                        link_rate: *link_rate,
+                        queue_capacity: *queue_cap,
+                        discipline: *discipline,
+                    }),
                     ..chaos::ChaosConfig::default()
                 },
+                transport: *cc,
                 workload: lsrp_analysis::WorkloadSpec {
                     kind: *workload,
                     mode: if *exact {
@@ -600,6 +610,30 @@ mod tests {
     #[test]
     fn traffic_parallel_report_is_byte_identical_to_serial() {
         let base = "traffic --topology grid:3x3 --runs 2 --seed 5 --flows 8 --duration 80";
+        let serial = run(&format!("{base} --jobs 1")).unwrap();
+        for jobs in [2, 4] {
+            let parallel = run(&format!("{base} --jobs {jobs}")).unwrap();
+            assert_eq!(serial, parallel, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn congested_traffic_campaign_reports_the_congestion_lane() {
+        let out = run(
+            "traffic --topology grid:3x3 --runs 1 --seed 3 --flows 6 --duration 80 \
+             --link-rate 200 --queue-cap 2000 --cc aimd",
+        )
+        .unwrap();
+        assert!(out.contains("qdrop="), "{out}");
+        assert!(out.contains("qpeak="), "{out}");
+        assert!(out.contains("goodput="), "{out}");
+        assert!(out.contains("fct_mean="), "{out}");
+    }
+
+    #[test]
+    fn congested_traffic_parallel_report_is_byte_identical_to_serial() {
+        let base = "traffic --topology grid:3x3 --runs 2 --seed 5 --flows 6 --duration 80 \
+                    --link-rate 200 --queue-cap 2000 --discipline ecn --cc aimd";
         let serial = run(&format!("{base} --jobs 1")).unwrap();
         for jobs in [2, 4] {
             let parallel = run(&format!("{base} --jobs {jobs}")).unwrap();

@@ -2,6 +2,7 @@
 //! bookkeeping limits.
 
 use crate::clock::ClockConfig;
+use crate::congestion::CongestionConfig;
 use crate::sink::SinkKind;
 
 /// Parameters of the two-state Gilbert–Elliott bursty-loss channel.
@@ -225,6 +226,11 @@ pub struct EngineConfig {
     /// observability stream through. Sink choice never affects simulation
     /// behavior, only what is recorded.
     pub sink: SinkKind,
+    /// Data-plane resource limits (link rate, port queue bound,
+    /// discipline). The default is the unlimited PR-5 lane; the control
+    /// plane never reads this, so zero-traffic trajectories are identical
+    /// for every setting.
+    pub congestion: CongestionConfig,
 }
 
 impl EngineConfig {
@@ -261,6 +267,13 @@ impl EngineConfig {
         self.sink = sink;
         self
     }
+
+    /// Sets the data-plane congestion limits (builder style).
+    #[must_use]
+    pub fn with_congestion(mut self, congestion: CongestionConfig) -> Self {
+        self.congestion = congestion;
+        self
+    }
 }
 
 impl Default for EngineConfig {
@@ -272,6 +285,7 @@ impl Default for EngineConfig {
             max_events: 50_000_000,
             record_trace: true,
             sink: SinkKind::Full,
+            congestion: CongestionConfig::default(),
         }
     }
 }
@@ -373,5 +387,14 @@ mod tests {
         assert_eq!(c.seed, 7);
         assert_eq!(c.link.delay_max, 1.5);
         assert_eq!(c.clocks.rho(), 1.2);
+    }
+
+    #[test]
+    fn congestion_defaults_to_the_unlimited_lane() {
+        let c = EngineConfig::default();
+        assert!(!c.congestion.enabled());
+        let c = c.with_congestion(CongestionConfig::limited(50.0, 32));
+        assert_eq!(c.congestion.link_rate, Some(50.0));
+        assert_eq!(c.congestion.queue_capacity, Some(32));
     }
 }

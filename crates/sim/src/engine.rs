@@ -26,7 +26,9 @@ use lsrp_graph::{Distance, Graph, GraphError, NodeId, RouteTable, Weight};
 
 use crate::clock::Clock;
 use crate::config::{EngineConfig, LossModel};
+use crate::congestion::{CongestionCounts, PortState, QueueDiscipline, QueuedPacket};
 use crate::effects::{Effects, SendTarget};
+use crate::flow::{FlowConfig, FlowRecord, FlowState, FlowTag};
 use crate::node::{ActionId, EnabledSet, ProtocolNode};
 use crate::sink::TraceSink;
 use crate::slots::{EdgeSlots, NodeSlots};
@@ -87,6 +89,12 @@ pub struct EventCounts {
     /// Data-plane packet hops processed (one per `PacketHop` event, not
     /// weighted by flow aggregation).
     pub packet_hops: u64,
+    /// Port serialization completions processed (congestion lane).
+    pub port_drains: u64,
+    /// Flow ACK arrivals processed (congestion lane).
+    pub flow_acks: u64,
+    /// Flow retransmit timers processed, stale or live (congestion lane).
+    pub flow_timers: u64,
 }
 
 /// Always-on engine health statistics, independent of the configured
@@ -119,16 +127,22 @@ pub struct EngineStats {
     pub peak_queue_depth: usize,
     /// Weighted data-plane packet counters (see [`TrafficCounts`]).
     pub traffic: TrafficCounts,
+    /// Congestion-lane counters: queue highs, marks, pauses, flow goodput
+    /// (see [`CongestionCounts`]). All zero while the lane is disabled.
+    pub congestion: CongestionCounts,
 }
 
 impl EngineStats {
     /// Total events processed (deliveries + guard timers + wakeups +
-    /// packet hops).
+    /// packet hops + port drains + flow events).
     pub fn total_events(&self) -> u64 {
         self.events.deliveries
             + self.events.guard_timers
             + self.events.wakeups
             + self.events.packet_hops
+            + self.events.port_drains
+            + self.events.flow_acks
+            + self.events.flow_timers
     }
 }
 
@@ -166,6 +180,24 @@ enum Event<M> {
     },
     PacketHop {
         packet: Packet,
+    },
+    /// The head of port `(from, to)` finished serializing (congestion
+    /// lane): release it onto the wire and start the next one.
+    PortDrain {
+        from: NodeId,
+        to: NodeId,
+    },
+    /// A cumulative Go-Back-N ACK reaches the flow's sender.
+    FlowAck {
+        flow: u32,
+        ack: u64,
+        marked: bool,
+    },
+    /// A flow's retransmit timer fires (stale unless the generation
+    /// matches the flow's live one — same idiom as `GuardTimer`).
+    FlowTimer {
+        flow: u32,
+        generation: u64,
     },
 }
 
@@ -268,8 +300,24 @@ pub struct Engine<P: ProtocolNode> {
     rng_traffic: StdRng,
     /// Packet probes currently queued (unweighted).
     packets_in_flight: u64,
+    /// Represented packets currently in flight (weighted): the exact gap
+    /// between `traffic.injected` and `traffic.completed()`, maintained
+    /// independently so packet conservation is a checkable invariant.
+    packets_in_flight_weight: u64,
     /// Completed packets awaiting [`Engine::drain_completed_packets`].
     completed_packets: Vec<PacketRecord>,
+    /// Per-directed-edge egress queues (congestion lane; empty while the
+    /// lane is disabled).
+    ports: EdgeSlots<PortState>,
+    /// The instantiated queue discipline.
+    discipline: Box<dyn QueueDiscipline>,
+    /// All flows ever started, indexed by flow id (terminal flows keep
+    /// their slot so ids stay stable).
+    flows: Vec<FlowState>,
+    /// Flows not yet completed or aborted.
+    active_flows: usize,
+    /// Finished flows awaiting [`Engine::drain_completed_flows`].
+    completed_flows: Vec<FlowRecord>,
 }
 
 impl<P: ProtocolNode> fmt::Debug for Engine<P> {
@@ -294,6 +342,8 @@ impl<P: ProtocolNode> Engine<P> {
         factory: impl FnMut(NodeId, &BTreeMap<NodeId, Weight>) -> P + 'static,
     ) -> Self {
         config.link.validate();
+        config.congestion.validate();
+        let discipline = config.congestion.discipline.build();
         let mut engine = Engine {
             graph,
             rng: StdRng::seed_from_u64(config.seed),
@@ -319,7 +369,13 @@ impl<P: ProtocolNode> Engine<P> {
             enabled_non_maintenance: 0,
             view: RouteView::default(),
             packets_in_flight: 0,
+            packets_in_flight_weight: 0,
             completed_packets: Vec::new(),
+            ports: EdgeSlots::new(),
+            discipline,
+            flows: Vec::new(),
+            active_flows: 0,
+            completed_flows: Vec::new(),
         };
         let ids: Vec<NodeId> = engine.graph.nodes().collect();
         for &v in &ids {
@@ -522,6 +578,7 @@ impl<P: ProtocolNode> Engine<P> {
         let at = at.max(self.now);
         self.stats.traffic.injected += weight;
         self.packets_in_flight += 1;
+        self.packets_in_flight_weight += weight;
         self.push(
             at,
             Event::PacketHop {
@@ -535,6 +592,13 @@ impl<P: ProtocolNode> Engine<P> {
         self.packets_in_flight
     }
 
+    /// Represented packets currently in flight (weighted). Packet
+    /// conservation — `injected == completed() + packets_in_flight_weight`
+    /// at every instant — is an engine invariant the congestion tests pin.
+    pub fn packets_in_flight_weight(&self) -> u64 {
+        self.packets_in_flight_weight
+    }
+
     /// Takes every packet completed since the last drain, in completion
     /// order. Consumers driving traffic should drain regularly — records
     /// accumulate until taken.
@@ -544,6 +608,7 @@ impl<P: ProtocolNode> Engine<P> {
 
     fn complete_packet(&mut self, p: Packet, status: PacketStatus) {
         self.packets_in_flight -= 1;
+        self.packets_in_flight_weight -= p.weight;
         let t = &mut self.stats.traffic;
         let w = p.weight;
         match status {
@@ -556,6 +621,7 @@ impl<P: ProtocolNode> Engine<P> {
             PacketStatus::Looped { .. } => t.looped += w,
             PacketStatus::TtlExpired => t.ttl_expired += w,
             PacketStatus::Lost { .. } => t.lost += w,
+            PacketStatus::QueueDropped { .. } => t.queue_dropped += w,
         }
         self.completed_packets.push(PacketRecord {
             src: p.src,
@@ -566,7 +632,15 @@ impl<P: ProtocolNode> Engine<P> {
             weight: w,
             injected_at: p.injected_at,
             completed_at: self.now,
+            marked: p.marked,
+            flow: p.flow,
         });
+        // A delivered flow segment reaches the Go-Back-N receiver.
+        if status == PacketStatus::Delivered {
+            if let Some(tag) = p.flow {
+                self.flow_on_delivery(tag, p.marked, p.injected_at);
+            }
+        }
     }
 
     /// The loss probability a packet faces on `from -> to` right now.
@@ -623,11 +697,389 @@ impl<P: ProtocolNode> Engine<P> {
             self.rng_traffic
                 .gen_range(self.config.link.delay_min..=self.config.link.delay_max)
         };
+        // `upstream` is the node that forwarded the packet *into* `p.at` —
+        // the port a PFC pause frame from here must silence.
+        let upstream = p.came_from;
+        let from = p.at;
+        p.came_from = Some(from);
         p.at = next;
         p.hops += 1;
         p.cost += edge_weight;
+        if self.config.congestion.enabled() {
+            // Congestion lane: the packet must first win a slot in the
+            // egress queue of port `(from, next)` and serialize at the
+            // link rate; the propagation delay starts when serialization
+            // completes. Loss and delay were drawn above, in the same RNG
+            // order as the unlimited lane.
+            self.enqueue_packet(from, next, upstream, p, delay);
+        } else {
+            // Unlimited PR-5 lane: a hop is one propagation delay.
+            let at = self.now + delay;
+            self.push(at, Event::PacketHop { packet: p });
+        }
+    }
+
+    /// Admits a forwarded packet into the egress queue of port
+    /// `(from, to)` under the configured discipline, scheduling a drain
+    /// when the port is idle (congestion lane only).
+    fn enqueue_packet(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        upstream: Option<NodeId>,
+        mut p: Packet,
+        prop_delay: f64,
+    ) {
+        let capacity = self.config.congestion.queue_capacity;
+        let rate = self
+            .config
+            .congestion
+            .link_rate
+            .expect("enqueue_packet requires a finite link rate");
+        let occupancy = self.ports.get(from, to).map_or(0, |s| s.occupancy);
+        let verdict = self.discipline.admit(occupancy, p.weight, capacity);
+        if verdict.pause_upstream > 0.0 {
+            // Backpressure one hop upstream (802.3x-style pause quanta);
+            // packets injected *at* `from` have no upstream port to pause.
+            if let Some(u) = upstream {
+                self.stats.congestion.pause_frames += 1;
+                let port = self.ports.entry(u, from);
+                let base = port.paused_until.max(self.now);
+                port.paused_until = base + verdict.pause_upstream;
+            }
+        }
+        if !verdict.admit {
+            return self.complete_packet(p, PacketStatus::QueueDropped { at: from });
+        }
+        if verdict.mark {
+            p.marked = true;
+            self.stats.congestion.ecn_marks += p.weight;
+        }
+        let ser = p.weight as f64 / rate;
+        let port = self.ports.entry(from, to);
+        port.occupancy += p.weight;
+        debug_assert!(
+            capacity.is_none_or(|cap| port.occupancy <= cap),
+            "port occupancy exceeded capacity — discipline bug"
+        );
+        port.queue.push_back(QueuedPacket {
+            packet: p,
+            prop_delay,
+        });
+        let occupancy = port.occupancy;
+        let idle = !port.draining;
+        let start = port.paused_until.max(self.now);
+        if idle {
+            port.draining = true;
+        }
+        self.stats.congestion.peak_port_occupancy =
+            self.stats.congestion.peak_port_occupancy.max(occupancy);
+        if idle {
+            // The arriving packet is the head: it finishes serializing
+            // one `weight / rate` after the port is free to transmit.
+            self.push(start + ser, Event::PortDrain { from, to });
+        }
+    }
+
+    /// The head of port `(from, to)` finished serializing: release it
+    /// onto the wire (its propagation delay starts now) and schedule the
+    /// next serialization, honoring any PFC pause in force.
+    fn drain_port(&mut self, from: NodeId, to: NodeId) {
+        let rate = self
+            .config
+            .congestion
+            .link_rate
+            .expect("port drain on an unlimited link");
+        let alive = self
+            .slots
+            .get(from)
+            .is_some_and(|s| s.neighbors.contains_key(&to));
+        let port = self.ports.entry(from, to);
+        if port.queue.is_empty() {
+            port.draining = false;
+            return;
+        }
+        if !alive {
+            // The transmitting node or the edge died while packets were
+            // queued: nothing will ever serialize again — flush the whole
+            // queue as link-down losses.
+            let flushed = std::mem::take(&mut port.queue);
+            port.occupancy = 0;
+            port.draining = false;
+            for q in flushed {
+                self.complete_packet(q.packet, PacketStatus::LinkDown { at: from });
+            }
+            return;
+        }
+        if self.now < port.paused_until {
+            // Paused mid-queue: defer the head's release to the pause
+            // horizon (pause frames arriving later extend it again).
+            let t = port.paused_until;
+            self.push(t, Event::PortDrain { from, to });
+            return;
+        }
+        let q = port.queue.pop_front().expect("checked non-empty");
+        port.occupancy -= q.packet.weight;
+        let next_ser = port.queue.front().map(|h| h.packet.weight as f64 / rate);
+        if next_ser.is_none() {
+            port.draining = false;
+        }
+        if let Some(ser) = next_ser {
+            self.push(self.now + ser, Event::PortDrain { from, to });
+        }
+        self.push(
+            self.now + q.prop_delay,
+            Event::PacketHop { packet: q.packet },
+        );
+    }
+
+    // ------------------------------------------------------------------
+    // Data plane: Go-Back-N flows.
+    // ------------------------------------------------------------------
+
+    /// Starts a stateful Go-Back-N flow transferring
+    /// `config.segments` segments of weight `config.seg_weight` from
+    /// `src` to `dest`, returning its id. The initial window is sent
+    /// immediately and the retransmit timer armed; from here the flow
+    /// drives itself through the event queue until every segment is
+    /// cumulatively acknowledged (see [`crate::flow`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an invalid [`FlowConfig`] or `src == dest`.
+    pub fn start_flow(&mut self, src: NodeId, dest: NodeId, config: FlowConfig) -> u32 {
+        self.start_flow_at(self.now, src, dest, config)
+    }
+
+    /// [`Engine::start_flow`] with a future start time: the initial
+    /// window transmits at `at` and the retransmit timer arms relative to
+    /// it. Workload drivers use this to schedule flow starts ahead of the
+    /// event loop, keeping runs independent of scheduling chunk
+    /// boundaries.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an invalid [`FlowConfig`], `src == dest`, or a start
+    /// time in the past.
+    pub fn start_flow_at(
+        &mut self,
+        at: SimTime,
+        src: NodeId,
+        dest: NodeId,
+        config: FlowConfig,
+    ) -> u32 {
+        config.validate();
+        assert!(src != dest, "a flow needs two distinct endpoints");
+        assert!(at >= self.now, "flow start times cannot be in the past");
+        let id = u32::try_from(self.flows.len()).expect("flow ids fit u32");
+        self.stats.congestion.flow_offered_weight += config.segments * config.seg_weight;
+        self.flows.push(FlowState {
+            src,
+            dest,
+            cc: config.cc.build(),
+            base: 0,
+            next_seq: 0,
+            recv_next: 0,
+            rto: config.rto_initial,
+            timer_generation: 1,
+            retransmitted: 0,
+            timeouts: 0,
+            marks: 0,
+            started_at: at,
+            done: false,
+            config,
+        });
+        self.active_flows += 1;
+        self.push(
+            at + config.rto_initial,
+            Event::FlowTimer {
+                flow: id,
+                generation: 1,
+            },
+        );
+        self.flow_pump(id);
+        id
+    }
+
+    /// Flows started but not yet completed or aborted. Traffic loops must
+    /// treat a run with active flows as not-yet-drained, exactly like
+    /// `packets_in_flight() > 0`.
+    pub fn flows_active(&self) -> usize {
+        self.active_flows
+    }
+
+    /// Takes every flow finished since the last drain, in completion
+    /// order.
+    pub fn drain_completed_flows(&mut self) -> Vec<FlowRecord> {
+        std::mem::take(&mut self.completed_flows)
+    }
+
+    /// Cumulative flow goodput: `(acked, offered)` weighted payload over
+    /// every flow ever started. Retransmissions never count — a segment
+    /// contributes to `acked` exactly once, when the cumulative ACK first
+    /// covers it.
+    pub fn flow_goodput(&self) -> (u64, u64) {
+        (
+            self.stats.congestion.flow_acked_weight,
+            self.stats.congestion.flow_offered_weight,
+        )
+    }
+
+    /// A delivered segment reaches the Go-Back-N receiver: advance
+    /// `recv_next` on in-order arrival (out-of-order segments are
+    /// discarded — that is Go-Back-N), then return a cumulative ACK to
+    /// the sender. The ACK's reverse-path delay mirrors the data
+    /// packet's own one-way latency (symmetric-path model); ACKs are
+    /// pure control and not subject to loss or queueing.
+    fn flow_on_delivery(&mut self, tag: FlowTag, marked: bool, injected_at: SimTime) {
+        let Some(f) = self.flows.get_mut(tag.flow as usize) else {
+            return;
+        };
+        if f.done {
+            return;
+        }
+        if tag.seq == f.recv_next {
+            f.recv_next += 1;
+        }
+        let ack = f.recv_next;
+        let delay = self.now.since(injected_at).max(self.config.link.delay_min);
         let at = self.now + delay;
-        self.push(at, Event::PacketHop { packet: p });
+        self.push(
+            at,
+            Event::FlowAck {
+                flow: tag.flow,
+                ack,
+                marked,
+            },
+        );
+    }
+
+    /// A cumulative ACK reaches the sender: slide the window, feed the
+    /// congestion algorithm, restart the retransmit timer while data is
+    /// outstanding, and complete the flow on full coverage.
+    fn flow_on_ack(&mut self, id: u32, ack: u64, marked: bool) {
+        let Some(f) = self.flows.get_mut(id as usize) else {
+            return;
+        };
+        if f.done {
+            return;
+        }
+        if marked {
+            f.marks += 1;
+            f.cc.on_mark();
+        }
+        let mut arm_timer = None;
+        if ack > f.base {
+            let advanced = ack - f.base;
+            f.base = ack;
+            self.stats.congestion.flow_acked_weight += advanced * f.config.seg_weight;
+            for _ in 0..advanced {
+                f.cc.on_ack();
+            }
+            // Fresh evidence of a live path: reset the backoff.
+            f.rto = f.config.rto_initial;
+            f.timer_generation += 1;
+            if f.base >= f.config.segments {
+                return self.finish_flow(id);
+            }
+            arm_timer = Some((f.rto, f.timer_generation));
+        }
+        if let Some((rto, generation)) = arm_timer {
+            let at = self.now + rto;
+            self.push(
+                at,
+                Event::FlowTimer {
+                    flow: id,
+                    generation,
+                },
+            );
+        }
+        self.flow_pump(id);
+    }
+
+    /// The retransmit timer fires: exponential backoff, congestion
+    /// response, and the Go-Back-N resend of everything outstanding.
+    fn flow_on_timer(&mut self, id: u32, generation: u64) {
+        let Some(f) = self.flows.get_mut(id as usize) else {
+            return;
+        };
+        if f.done || f.timer_generation != generation {
+            return;
+        }
+        // An endpoint fail-stopped: the flow can never complete — abort
+        // it instead of backing off forever.
+        if !self.slots.contains(f.src) || !self.slots.contains(f.dest) {
+            return self.finish_flow(id);
+        }
+        f.timeouts += 1;
+        self.stats.congestion.flow_timeouts += 1;
+        f.cc.on_timeout();
+        f.rto = (f.rto * 2.0).min(f.config.rto_max);
+        let outstanding = f.next_seq - f.base;
+        f.retransmitted += outstanding * f.config.seg_weight;
+        self.stats.congestion.flow_retransmit_weight += outstanding * f.config.seg_weight;
+        f.next_seq = f.base;
+        f.timer_generation += 1;
+        let generation = f.timer_generation;
+        let at = self.now + f.rto;
+        self.push(
+            at,
+            Event::FlowTimer {
+                flow: id,
+                generation,
+            },
+        );
+        self.flow_pump(id);
+    }
+
+    /// Transmits segments while the congestion window has room.
+    fn flow_pump(&mut self, id: u32) {
+        loop {
+            let Some(f) = self.flows.get_mut(id as usize) else {
+                return;
+            };
+            if f.done {
+                return;
+            }
+            let limit = (f.base + f.cc.window()).min(f.config.segments);
+            if f.next_seq >= limit {
+                return;
+            }
+            let seq = f.next_seq;
+            f.next_seq += 1;
+            let (src, dest, ttl, weight) = (f.src, f.dest, f.config.ttl, f.config.seg_weight);
+            // Flows scheduled ahead of the event loop transmit their
+            // initial window at the flow's start time, not "now".
+            let t = self.now.max(f.started_at);
+            self.stats.traffic.injected += weight;
+            self.packets_in_flight += 1;
+            self.packets_in_flight_weight += weight;
+            let mut p = Packet::new(src, dest, ttl, weight, t);
+            p.flow = Some(FlowTag { flow: id, seq });
+            self.push(t, Event::PacketHop { packet: p });
+        }
+    }
+
+    /// Terminal transition: records the flow and stales its timer.
+    fn finish_flow(&mut self, id: u32) {
+        let f = &mut self.flows[id as usize];
+        f.done = true;
+        f.timer_generation += 1;
+        let record = FlowRecord {
+            id,
+            src: f.src,
+            dest: f.dest,
+            segments: f.config.segments,
+            seg_weight: f.config.seg_weight,
+            acked_segments: f.base,
+            started_at: f.started_at,
+            finished_at: self.now,
+            retransmitted: f.retransmitted,
+            timeouts: f.timeouts,
+            marks: f.marks,
+        };
+        self.active_flows -= 1;
+        self.completed_flows.push(record);
     }
 
     // ------------------------------------------------------------------
@@ -945,6 +1397,18 @@ impl<P: ProtocolNode> Engine<P> {
                 }
             }
             Event::PacketHop { packet } => self.dispatch_packet(packet),
+            Event::PortDrain { from, to } => {
+                self.stats.events.port_drains += 1;
+                self.drain_port(from, to);
+            }
+            Event::FlowAck { flow, ack, marked } => {
+                self.stats.events.flow_acks += 1;
+                self.flow_on_ack(flow, ack, marked);
+            }
+            Event::FlowTimer { flow, generation } => {
+                self.stats.events.flow_timers += 1;
+                self.flow_on_timer(flow, generation);
+            }
         }
     }
 

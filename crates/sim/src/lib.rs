@@ -33,8 +33,10 @@
 
 pub mod clock;
 pub mod config;
+pub mod congestion;
 pub mod effects;
 pub mod engine;
+pub mod flow;
 pub mod harness;
 pub mod node;
 pub mod sink;
@@ -57,8 +59,13 @@ pub mod test_support {
 
 pub use crate::clock::{Clock, ClockConfig};
 pub use crate::config::{EngineConfig, GilbertElliott, LinkConfig, LossModel};
+pub use crate::congestion::{
+    Admission, CongestionConfig, CongestionCounts, DisciplineKind, DropTail, EcnMarking, PfcPause,
+    QueueDiscipline,
+};
 pub use crate::effects::{Effects, SendBatch};
 pub use crate::engine::{Engine, EngineError, EngineStats, EventCounts, RunReport};
+pub use crate::flow::{Aimd, CongAlg, CongAlgKind, FixedWindow, FlowConfig, FlowRecord, FlowTag};
 pub use crate::harness::{ForgedAdvert, HarnessProtocol, SimHarness};
 pub use crate::node::{ActionId, EnabledSet, ProtocolNode};
 pub use crate::sink::{CountsOnly, FullTrace, NullSink, SinkKind, TraceSink};

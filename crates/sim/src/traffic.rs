@@ -31,6 +31,7 @@
 
 use lsrp_graph::NodeId;
 
+use crate::flow::FlowTag;
 use crate::time::SimTime;
 
 /// A packet in flight. Created by [`crate::engine::Engine::inject_packet`];
@@ -53,6 +54,15 @@ pub struct Packet {
     pub cost: u64,
     /// Injection time.
     pub injected_at: SimTime,
+    /// ECN congestion mark, set by a marking queue discipline on the way
+    /// and echoed on the flow ACK for delivered flow segments.
+    pub marked: bool,
+    /// Flow attribution and Go-Back-N sequence number, for segments sent
+    /// by [`crate::engine::Engine::start_flow`] (plain probes carry none).
+    pub flow: Option<FlowTag>,
+    /// The node that forwarded the packet to `at` (`None` at the source).
+    /// PFC-style pause uses it to find the upstream port to silence.
+    pub(crate) came_from: Option<NodeId>,
     /// Brent checkpoint: the node a revisit of which proves a cycle.
     checkpoint: NodeId,
     /// Hops taken since the checkpoint was planted.
@@ -72,6 +82,9 @@ impl Packet {
             weight,
             cost: 0,
             injected_at: at,
+            marked: false,
+            flow: None,
+            came_from: None,
             checkpoint: src,
             lap: 0,
             power: 1,
@@ -124,6 +137,12 @@ pub enum PacketStatus {
         /// The node that transmitted the lost copy.
         at: NodeId,
     },
+    /// A bounded egress queue overflowed (congestion lane only) and the
+    /// discipline dropped the packet.
+    QueueDropped {
+        /// The node whose port queue was full.
+        at: NodeId,
+    },
 }
 
 /// One completed packet, drained via
@@ -146,6 +165,10 @@ pub struct PacketRecord {
     pub injected_at: SimTime,
     /// Completion time (delivery, drop or expiry).
     pub completed_at: SimTime,
+    /// Whether the packet completed carrying an ECN congestion mark.
+    pub marked: bool,
+    /// Flow attribution for Go-Back-N segments (`None` for plain probes).
+    pub flow: Option<FlowTag>,
 }
 
 impl PacketRecord {
@@ -174,6 +197,10 @@ pub struct TrafficCounts {
     pub ttl_expired: u64,
     /// Packets dropped by the link loss model.
     pub lost: u64,
+    /// Packets dropped by a full egress queue (congestion lane). Kept
+    /// separate from `lost` so overload drops are distinguishable from
+    /// chaos drops in every report.
+    pub queue_dropped: u64,
     /// Total hops taken by delivered packets (for mean hop count).
     pub delivered_hops: u64,
 }
@@ -187,6 +214,7 @@ impl TrafficCounts {
             + self.looped
             + self.ttl_expired
             + self.lost
+            + self.queue_dropped
     }
 
     /// Delivered fraction of completed packets (1.0 when none completed).

@@ -360,6 +360,7 @@ mod tests {
                 node_churn: 1,
                 partitions: 0,
                 corruptions: 2,
+                weight_drifts: 0,
                 min_outage: 20.0,
                 max_outage: 60.0,
             },

@@ -1,24 +1,26 @@
 //! E13 (extension of §III-B's availability claim): forwarding-plane
-//! availability during recovery, and E14: robustness of the containment
+//! availability during recovery, E14: robustness of the containment
 //! shape under the full asynchronous model (jittered delays, drifting
-//! clocks).
+//! clocks), and E18: the reliable-link ablation.
+//!
+//! The tables are wrappers over the checked-in scenario files
+//! (`scenarios/e13_availability.toml`, `e14_robustness.toml`,
+//! `e18_message_loss.toml`); the cell functions delegate to
+//! `lsrp_scenario::cells` so `lsrp run` on the same files is
+//! byte-identical.
 
-use lsrp_analysis::forwarding::measure_availability;
-use lsrp_analysis::{measure_recovery, table::fmt_f64, RoutingSimulation, Table};
-use lsrp_baselines::{
-    BaselineSimulation, DbfConfig, DbfSimulation, DualConfig, DualSimulation, PvConfig,
-    PvSimulation,
+use lsrp_analysis::Table;
+use lsrp_scenario::cells::{
+    recovery_cell, snapshot_hijack_cell, EngineModel, RecoveryCellSpec, RegionFault,
 };
-use lsrp_core::{LsrpSimulation, LsrpSimulationExt, TimingConfig};
-use lsrp_faults::corruption::contiguous_region;
-use lsrp_graph::{generators, Distance, NodeId};
-use lsrp_sim::{ClockConfig, EngineConfig, LinkConfig};
+use lsrp_scenario::run_scenario;
+use lsrp_scenario::schema::{ScenarioBody, SweepValue};
 
-use crate::build::{build, Protocol, ALL_PROTOCOLS};
-use crate::HORIZON;
+use crate::build::Protocol;
+use crate::scaling::load_scenario;
 
-fn v(i: u32) -> NodeId {
-    NodeId::new(i)
+fn default_jobs() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
 }
 
 /// One availability run: a *prefix-hijack black hole* — a region of `p`
@@ -32,145 +34,57 @@ pub fn availability_run(
     p: usize,
     seed: u64,
 ) -> lsrp_analysis::AvailabilityTrace {
-    let graph = generators::grid(w, w, 1);
-    let dest = v(0);
-    let region = contiguous_region(&graph, v(w + 1), p, dest);
-    let mut sim = build(protocol, graph.clone(), dest, None, seed);
-    sim.reset_trace();
-    for &node in &region {
-        sim.inject_route(node, Distance::ZERO, node);
-        let ns: Vec<NodeId> = graph.neighbors(node).map(|(k, _)| k).collect();
-        for k in ns {
-            sim.poison_mirror(k, node, Distance::ZERO);
-        }
-    }
-    let trace = measure_availability(sim.as_mut(), HORIZON, 1.0);
-    assert!(sim.routes_correct(), "{protocol:?} did not recover");
-    trace
+    snapshot_hijack_cell(protocol, w, p, seed, 1.0)
 }
 
 /// E13 table: availability statistics during recovery.
 pub fn e13_availability(w: u32, p: usize) -> Table {
-    let mut t = Table::new(
-        format!(
-            "E13 — forwarding availability while recovering from a size-{p} prefix-hijack black hole (grid {w}x{w})"
-        ),
-        &[
-            "protocol",
-            "min availability",
-            "degraded seconds",
-            "availability-seconds lost",
-        ],
-    );
-    for protocol in ALL_PROTOCOLS {
-        let a = availability_run(protocol, w, p, 3);
-        t.row(&[
-            format!("{protocol:?}"),
-            format!("{:.3}", a.min),
-            fmt_f64(a.degraded_time),
-            format!("{:.1}", a.lost),
-        ]);
+    let mut s = load_scenario(include_str!("../../../scenarios/e13_availability.toml"));
+    if let ScenarioBody::Hijack(h) = &mut s.body {
+        h.width = w;
+        h.p = Some(p);
     }
-    t
+    run_scenario(&s, default_jobs())
+        .expect("e13 scenario runs")
+        .into_table()
 }
 
 /// One E14 run: the E6 scaling cell under jittered link delays and
 /// adversarial (alternating) clock drift, with hold times re-derived for
-/// the harsher model via [`TimingConfig::for_network`].
+/// the harsher model via `TimingConfig::for_network`.
 pub fn robustness_run(
     protocol: Protocol,
     w: u32,
     p: usize,
     seed: u64,
 ) -> lsrp_analysis::RecoveryMetrics {
-    let rho = 1.5;
-    let link = LinkConfig::jittered(0.5, 1.5);
-    let engine = EngineConfig::default()
-        .with_seed(seed)
-        .with_link(link)
-        .with_clocks(ClockConfig::Alternating { rho });
-    let timing = TimingConfig::for_network(rho, link.delay_max);
-    let graph = generators::grid(w, w, 1);
-    let dest = v(0);
-    let mut sim: Box<dyn RoutingSimulation> = match protocol {
-        Protocol::Lsrp => Box::new(
-            LsrpSimulation::builder(graph.clone(), dest)
-                .timing(timing)
-                .engine_config(engine)
-                .build(),
-        ),
-        Protocol::Dbf => Box::new(DbfSimulation::new(
-            graph.clone(),
-            dest,
-            None,
-            DbfConfig {
-                hold: timing.hd_s,
-                ..DbfConfig::default()
-            },
-            engine,
-        )),
-        Protocol::Dual => Box::new(DualSimulation::new(
-            graph.clone(),
-            dest,
-            None,
-            DualConfig {
-                hold: timing.hd_s,
-                ..DualConfig::default()
-            },
-            engine,
-        )),
-        Protocol::Pv => Box::new(PvSimulation::new(
-            graph.clone(),
-            dest,
-            None,
-            PvConfig {
-                hold: timing.hd_s,
-                ..PvConfig::default()
-            },
-            engine,
-        )),
-    };
-    let region = contiguous_region(&graph, v(w + 1), p, dest);
-    measure_recovery(sim.as_mut(), &region, HORIZON, |s| {
-        for &node in &region {
-            s.corrupt_distance(node, Distance::ZERO);
-            let ns: Vec<NodeId> = graph.neighbors(node).map(|(k, _)| k).collect();
-            for k in ns {
-                s.poison_mirror(k, node, Distance::ZERO);
-            }
-        }
+    recovery_cell(&RecoveryCellSpec {
+        protocol,
+        width: w,
+        p,
+        seed,
+        fault: RegionFault::Blackhole,
+        model: EngineModel::Harsh {
+            jitter: (0.5, 1.5),
+            rho: 1.5,
+        },
     })
 }
 
 /// E14 table: containment under the full asynchronous model.
 pub fn e14_robustness(w: u32, sizes: &[usize]) -> Table {
-    let mut t = Table::new(
-        format!(
-            "E14 — containment under jittered delays (d ∈ [0.5, 1.5]) and clock drift (rho = 1.5), grid {w}x{w}"
-        ),
-        &[
-            "protocol",
-            "perturbation p",
-            "stabilization time",
-            "contamination range",
-            "contaminated nodes",
-            "routes correct",
-        ],
-    );
-    for protocol in ALL_PROTOCOLS {
-        for &p in sizes {
-            let m = robustness_run(protocol, w, p, 21);
-            t.row(&[
-                m.protocol.to_string(),
-                p.to_string(),
-                fmt_f64(m.stabilization_time),
-                m.contamination_range.to_string(),
-                m.contaminated.len().to_string(),
-                m.routes_correct.to_string(),
-            ]);
-        }
+    let mut s = load_scenario(include_str!("../../../scenarios/e14_robustness.toml"));
+    if let ScenarioBody::Recovery(r) = &mut s.body {
+        r.width = Some(w);
+        #[allow(clippy::cast_possible_wrap)]
+        r.sweep.set_axis(
+            "p",
+            sizes.iter().map(|&p| SweepValue::Int(p as i64)).collect(),
+        );
     }
-    t
+    run_scenario(&s, default_jobs())
+        .expect("e14 scenario runs")
+        .into_table()
 }
 
 /// One E18 run: recovery from a size-`p` black hole under lossy links —
@@ -178,56 +92,31 @@ pub fn e14_robustness(w: u32, sizes: &[usize]) -> Table {
 /// periodic `SYN` refresh to tolerate loss (a lost broadcast is
 /// re-advertised within one period).
 pub fn lossy_run(loss: f64, w: u32, p: usize, seed: u64) -> lsrp_analysis::RecoveryMetrics {
-    let engine = EngineConfig::default()
-        .with_seed(seed)
-        .with_link(LinkConfig::constant(1.0).with_loss(loss));
-    let timing = TimingConfig::paper_example(1.0).with_syn_period(5.0);
-    let graph = generators::grid(w, w, 1);
-    let dest = v(0);
-    let mut sim = LsrpSimulation::builder(graph.clone(), dest)
-        .timing(timing)
-        .engine_config(engine)
-        .build();
-    let region = contiguous_region(&graph, v(w + 1), p, dest);
-    measure_recovery(
-        &mut sim as &mut dyn RoutingSimulation,
-        &region,
-        HORIZON,
-        |s| {
-            for &node in &region {
-                s.corrupt_distance(node, Distance::ZERO);
-                let ns: Vec<NodeId> = graph.neighbors(node).map(|(k, _)| k).collect();
-                for k in ns {
-                    s.poison_mirror(k, node, Distance::ZERO);
-                }
-            }
+    recovery_cell(&RecoveryCellSpec {
+        protocol: Protocol::Lsrp,
+        width: w,
+        p,
+        seed,
+        fault: RegionFault::Blackhole,
+        model: EngineModel::Lossy {
+            loss,
+            syn_period: 5.0,
         },
-    )
+    })
 }
 
 /// E18 table: LSRP recovery under message loss.
 pub fn e18_message_loss(rates: &[f64]) -> Table {
-    let mut t = Table::new(
-        "E18 — ablation of the reliable-link assumption: LSRP + SYN(5) under message loss (grid 10x10, p = 2)",
-        &[
-            "loss rate",
-            "stabilization time",
-            "contamination range",
-            "protocol actions",
-            "routes correct",
-        ],
-    );
-    for &loss in rates {
-        let m = lossy_run(loss, 10, 2, 5);
-        t.row(&[
-            format!("{:.0}%", loss * 100.0),
-            fmt_f64(m.stabilization_time),
-            m.contamination_range.to_string(),
-            m.actions.to_string(),
-            m.routes_correct.to_string(),
-        ]);
+    let mut s = load_scenario(include_str!("../../../scenarios/e18_message_loss.toml"));
+    if let ScenarioBody::Recovery(r) = &mut s.body {
+        r.sweep.set_axis(
+            "loss",
+            rates.iter().map(|&x| SweepValue::Float(x)).collect(),
+        );
     }
-    t
+    run_scenario(&s, default_jobs())
+        .expect("e18 scenario runs")
+        .into_table()
 }
 
 #[cfg(test)]
@@ -264,5 +153,33 @@ mod tests {
             "containment lost under drift: {:?}",
             m.contaminated
         );
+    }
+
+    #[test]
+    fn scenario_e13_is_byte_identical_to_the_legacy_loop() {
+        use crate::build::ALL_PROTOCOLS;
+        use lsrp_analysis::table::fmt_f64;
+        let (w, p) = (10u32, 2usize);
+        let mut t = Table::new(
+            format!(
+                "E13 — forwarding availability while recovering from a size-{p} prefix-hijack black hole (grid {w}x{w})"
+            ),
+            &[
+                "protocol",
+                "min availability",
+                "degraded seconds",
+                "availability-seconds lost",
+            ],
+        );
+        for protocol in ALL_PROTOCOLS {
+            let a = availability_run(protocol, w, p, 3);
+            t.row(&[
+                format!("{protocol:?}"),
+                format!("{:.3}", a.min),
+                fmt_f64(a.degraded_time),
+                format!("{:.1}", a.lost),
+            ]);
+        }
+        assert_eq!(t.to_string(), e13_availability(w, p).to_string());
     }
 }

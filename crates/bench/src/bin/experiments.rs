@@ -4,13 +4,97 @@
 //! Usage: `experiments [e1|e3|e4|e5|e6|e7|e8|e9|e10|e11|e12|all]...`
 //! (default: all). `e6 --destinations N|all-pairs` runs the E6 sweep on
 //! the dense multi-destination plane instead of the single-tree one.
+//!
+//! Every experiment is driven through its checked-in scenario file in
+//! `scenarios/` — this binary is a dispatcher over the same campaign
+//! compiler `lsrp run` uses, so `lsrp run scenarios/e6_scaling.toml`
+//! prints the E6 block byte-identically.
 
 use std::env;
 
-use lsrp_bench::{
-    availability, congestion_exp, figures, loops_exp, multi_exp, overhead, regions_exp, scaling,
-    selfstab, traffic_exp, waves,
-};
+use lsrp_bench::scenario_runner::BenchRunner;
+use lsrp_scenario::schema::ScenarioBody;
+use lsrp_scenario::{load_str, run_scenario_with, DestinationsSpec, Scenario, ScenarioResult};
+
+/// (answering ids, scenario file) in EXPERIMENTS.md order.
+const EXPERIMENTS: &[(&[&str], &str)] = &[
+    (
+        &["e1", "e2"],
+        include_str!("../../../../scenarios/e1_e2_fig2_vs_fig5.toml"),
+    ),
+    (&["e3"], include_str!("../../../../scenarios/e3_fig6.toml")),
+    (&["e4"], include_str!("../../../../scenarios/e4_fig7.toml")),
+    (
+        &["e5"],
+        include_str!("../../../../scenarios/e5_selfstab.toml"),
+    ),
+    (
+        &["e6"],
+        include_str!("../../../../scenarios/e6_scaling.toml"),
+    ),
+    (
+        &["e7"],
+        include_str!("../../../../scenarios/e7_regions.toml"),
+    ),
+    (
+        &["e8"],
+        include_str!("../../../../scenarios/e8_loop_freedom.toml"),
+    ),
+    (
+        &["e9"],
+        include_str!("../../../../scenarios/e9_loop_breakage.toml"),
+    ),
+    (
+        &["e10"],
+        include_str!("../../../../scenarios/e10_continuous.toml"),
+    ),
+    (
+        &["e11"],
+        include_str!("../../../../scenarios/e11_overhead.toml"),
+    ),
+    (
+        &["e12"],
+        include_str!("../../../../scenarios/e12_wave_ratio.toml"),
+    ),
+    (
+        &["e13"],
+        include_str!("../../../../scenarios/e13_availability.toml"),
+    ),
+    (
+        &["e14"],
+        include_str!("../../../../scenarios/e14_robustness.toml"),
+    ),
+    (
+        &["e15"],
+        include_str!("../../../../scenarios/e15_c2_ablation.toml"),
+    ),
+    (
+        &["e16"],
+        include_str!("../../../../scenarios/e16_route_stability.toml"),
+    ),
+    (
+        &["e17"],
+        include_str!("../../../../scenarios/e17_containment_depth.toml"),
+    ),
+    (
+        &["e18"],
+        include_str!("../../../../scenarios/e18_message_loss.toml"),
+    ),
+    (
+        &["e19"],
+        include_str!("../../../../scenarios/e19_full_table.toml"),
+    ),
+    (
+        &["e20"],
+        include_str!("../../../../scenarios/e20_live_availability.toml"),
+    ),
+    (
+        &["e21"],
+        include_str!("../../../../scenarios/e21_congested_recovery.toml"),
+    ),
+];
+
+const E6_MULTI: &str = include_str!("../../../../scenarios/e6_multi.toml");
 
 fn want(args: &[String], id: &str) -> bool {
     args.is_empty() || args.iter().any(|a| a == id || a == "all")
@@ -40,95 +124,63 @@ fn take_destinations(args: &mut Vec<String>) -> Option<Option<usize>> {
     }
 }
 
+/// Runs one scenario and prints its report; returns the number of failed
+/// expectations.
+fn run_one(s: &Scenario, jobs: usize) -> usize {
+    match run_scenario_with(s, jobs, Some(&BenchRunner)) {
+        Ok(outcome) => {
+            match &outcome.result {
+                ScenarioResult::Table(t) => println!("{t}"),
+                ScenarioResult::Text(text) => print!("{text}"),
+            }
+            for f in &outcome.failures {
+                eprintln!("{}: {f}", s.name);
+            }
+            outcome.failures.len()
+        }
+        Err(e) => {
+            eprintln!("{}: {e}", s.name);
+            std::process::exit(1);
+        }
+    }
+}
+
 fn main() {
     let mut args: Vec<String> = env::args().skip(1).collect();
     let destinations = take_destinations(&mut args);
     let args = args;
+    let jobs = std::thread::available_parallelism().map_or(1, |n| n.get());
 
     println!("# LSRP reproduction — experiment outputs\n");
     println!("All times are simulated seconds under the paper-example timing");
     println!("(`u = 1`, `hd_SC = 1`, `hd_C = 8`, `hd_S = 17`; DBF/DUAL update");
     println!("hold 17). See DESIGN.md §4 for the experiment index.\n");
 
-    if want(&args, "e1") || want(&args, "e2") {
-        let (table, timelines) = figures::e1_e2_fig2_vs_fig5();
-        println!("{table}");
-        for (title, tl) in timelines {
-            println!("**{title}**\n\n```\n{tl}```\n");
+    let mut failed = 0;
+    for (ids, src) in EXPERIMENTS {
+        if !ids.iter().any(|id| want(&args, id)) {
+            continue;
         }
-        println!("{}", figures::e4b_dependent_sets());
-    }
-    if want(&args, "e3") {
-        let (table, tl) = figures::e3_fig6();
-        println!("{table}");
-        println!("**LSRP timeline (d.v11 := 2)**\n\n```\n{tl}```\n");
-    }
-    if want(&args, "e4") {
-        println!("{}", figures::e4_fig7());
-    }
-    if want(&args, "e5") {
-        println!("{}", selfstab::e5_selfstab(&[16, 32, 64], 10));
-    }
-    if want(&args, "e6") {
-        if let Some(dests) = destinations {
-            let jobs = std::thread::available_parallelism().map_or(1, |n| n.get());
-            println!(
-                "{}",
-                scaling::e6_scaling_multi(&[8, 12], &[1, 2, 4], dests, jobs)
-            );
-        } else {
-            println!("{}", scaling::e6_scaling(&[8, 16, 24], &[1, 2, 4, 8, 16]));
+        if ids[0] == "e6" {
+            if let Some(dests) = destinations {
+                let mut s = load_str(E6_MULTI).expect("checked-in scenario parses");
+                if let ScenarioBody::Recovery(r) = &mut s.body {
+                    r.destinations = Some(match dests {
+                        None => DestinationsSpec::AllPairs,
+                        Some(n) => DestinationsSpec::Count(
+                            u32::try_from(n).expect("destination count fits u32"),
+                        ),
+                    });
+                }
+                failed += run_one(&s, jobs);
+                continue;
+            }
         }
+        let s = load_str(src).expect("checked-in scenario parses");
+        failed += run_one(&s, jobs);
     }
-    if want(&args, "e7") {
-        println!("{}", regions_exp::e7_regions(64, 4));
-    }
-    if want(&args, "e8") {
-        println!("{}", loops_exp::e8_loop_freedom(14, 20));
-    }
-    if want(&args, "e9") {
-        println!("{}", loops_exp::e9_loop_breakage(&[4, 8, 16, 32, 64]));
-    }
-    if want(&args, "e10") {
-        println!("{}", scaling::e10_continuous(&[40.0, 120.0, 400.0]));
-    }
-    if want(&args, "e11") {
-        println!("{}", overhead::e11_overhead(&[8, 16, 24], &[2]));
-    }
-    if want(&args, "e12") {
-        println!("{}", waves::e12_wave_ratio(&[1.2, 1.5, 2.125, 4.0, 8.0]));
-    }
-    if want(&args, "e13") {
-        println!("{}", availability::e13_availability(16, 4));
-    }
-    if want(&args, "e14") {
-        println!("{}", availability::e14_robustness(12, &[2, 8]));
-    }
-    if want(&args, "e15") {
-        println!("{}", loops_exp::e15_c2_ablation(14, 30));
-    }
-    if want(&args, "e16") {
-        println!("{}", scaling::e16_route_stability(12, &[1, 4]));
-    }
-    if want(&args, "e17") {
-        println!("{}", waves::e17_containment_depth(&[1, 2, 4, 8, 16]));
-    }
-    if want(&args, "e18") {
-        println!(
-            "{}",
-            availability::e18_message_loss(&[0.0, 0.01, 0.05, 0.10, 0.20])
-        );
-    }
-    if want(&args, "e19") {
-        println!("{}", multi_exp::e19_full_table(8, &[1, 4, 16, 64]));
-    }
-    if want(&args, "e20") {
-        println!("{}", traffic_exp::e20_live_availability(12, &[1, 2, 4, 8]));
-    }
-    if want(&args, "e21") {
-        println!(
-            "{}",
-            congestion_exp::e21_congested_recovery(8, &[1, 2, 4, 8])
-        );
+    if failed > 0 {
+        eprintln!("{failed} expectation(s) failed");
+        std::process::exit(1);
     }
 }

@@ -2,102 +2,18 @@
 //! timing (LSRP's `hd_S` equals the baselines' update hold — all three
 //! model the same MRAI-style advertisement interval — with unit link
 //! delay and ideal clocks unless stated otherwise).
+//!
+//! The builders themselves live in `lsrp_scenario::cells` so scenario
+//! files and the bench crate drive byte-identical experiment cells;
+//! this module re-exports them under the bench crate's historical
+//! paths.
 
-use lsrp_analysis::RoutingSimulation;
-use lsrp_baselines::{
-    BaselineSimulation, DbfConfig, DbfSimulation, DualConfig, DualSimulation, PvConfig,
-    PvSimulation,
-};
-use lsrp_core::{InitialState, LsrpSimulation, LsrpSimulationExt, TimingConfig};
-use lsrp_graph::{Graph, NodeId, RouteTable};
-use lsrp_sim::EngineConfig;
-
-/// The protocols under comparison.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum Protocol {
-    /// The paper's contribution.
-    Lsrp,
-    /// Distributed Bellman-Ford.
-    Dbf,
-    /// DUAL-lite.
-    Dual,
-    /// Path-vector (BGP-lite).
-    Pv,
-}
-
-/// All compared protocols, in presentation order.
-pub const ALL_PROTOCOLS: [Protocol; 4] =
-    [Protocol::Lsrp, Protocol::Dbf, Protocol::Dual, Protocol::Pv];
-
-/// The paper-example wave timing (`u = 1`): `hd_SC = 1, hd_C = 8,
-/// hd_S = 17`.
-pub fn paper_timing() -> TimingConfig {
-    TimingConfig::paper_example(1.0)
-}
-
-/// Builds one protocol over `graph` from a legitimate state (the given
-/// chosen tree, or the canonical one).
-pub fn build(
-    protocol: Protocol,
-    graph: Graph,
-    destination: NodeId,
-    table: Option<RouteTable>,
-    seed: u64,
-) -> Box<dyn RoutingSimulation> {
-    let engine = EngineConfig::default().with_seed(seed);
-    match protocol {
-        Protocol::Lsrp => {
-            let initial = match table {
-                Some(t) => InitialState::Table(t),
-                None => InitialState::Legitimate,
-            };
-            Box::new(
-                LsrpSimulation::builder(graph, destination)
-                    .timing(paper_timing())
-                    .initial_state(initial)
-                    .engine_config(engine)
-                    .build(),
-            )
-        }
-        Protocol::Dbf => Box::new(DbfSimulation::new(
-            graph,
-            destination,
-            table,
-            DbfConfig::default(),
-            engine,
-        )),
-        Protocol::Dual => {
-            // DUAL never counts to infinity, so a high bound is safe — and
-            // needed so long injected loops (E9, L = 64) are not clamped
-            // away; the SIA timeout is raised to keep the diffusing
-            // computation's linear walk visible.
-            let config = DualConfig {
-                infinity: 4096,
-                active_timeout: 20_000.0,
-                ..DualConfig::default()
-            };
-            Box::new(DualSimulation::new(
-                graph,
-                destination,
-                table,
-                config,
-                engine,
-            ))
-        }
-        Protocol::Pv => Box::new(PvSimulation::new(
-            graph,
-            destination,
-            table,
-            PvConfig::default(),
-            engine,
-        )),
-    }
-}
+pub use lsrp_scenario::cells::{build, build_held, paper_timing, Protocol, ALL_PROTOCOLS};
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use lsrp_graph::generators;
+    use lsrp_graph::{generators, NodeId};
 
     #[test]
     fn builders_produce_matching_steady_states() {

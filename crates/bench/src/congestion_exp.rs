@@ -11,21 +11,17 @@
 //! stabilization keeps the collision survivable — after convergence the
 //! transport layer recovers at least 90% weighted goodput, with drop
 //! causes (queue overflow vs black hole) separately accounted.
+//!
+//! The table is a wrapper over `scenarios/e21_congested_recovery.toml`;
+//! the run itself lives in `lsrp_scenario::cells::live_hijack_cell`.
 
-use lsrp_analysis::Table;
-use lsrp_analysis::{
-    AvailabilityMonitor, TrafficSummary, WorkloadDriver, WorkloadKind, WorkloadSpec,
-};
-use lsrp_core::{LsrpSimulation, LsrpSimulationExt};
-use lsrp_faults::corruption::contiguous_region;
-use lsrp_graph::{generators, Distance, NodeId};
-use lsrp_sim::{CongAlgKind, CongestionConfig, EngineConfig, SinkKind};
+use lsrp_analysis::{Table, TrafficSummary, WorkloadKind, WorkloadSpec};
+use lsrp_scenario::cells::{live_hijack_cell, LiveHijackSpec};
+use lsrp_scenario::run_scenario;
+use lsrp_scenario::schema::{ScenarioBody, SweepValue};
+use lsrp_sim::{CongAlgKind, CongestionConfig};
 
-use crate::HORIZON;
-
-fn v(i: u32) -> NodeId {
-    NodeId::new(i)
-}
+use crate::scaling::load_scenario;
 
 /// One congested-recovery run on a `w`x`w` grid: settle, start hotspot
 /// Go-Back-N flows over finite-rate links and bounded drop-tail queues,
@@ -38,120 +34,50 @@ fn v(i: u32) -> NodeId {
 /// Panics if the run fails to drain, leaves incorrect routes, or breaks
 /// packet conservation.
 pub fn congested_recovery_run(w: u32, p: usize, seed: u64) -> TrafficSummary {
-    let graph = generators::grid(w, w, 1);
-    let dest = v(0);
-    let mut sim = LsrpSimulation::builder(graph.clone(), dest)
-        .engine_config(
-            EngineConfig::default()
-                .with_seed(seed)
-                .with_sink(SinkKind::CountsOnly)
-                // Rate 400 weight/s serializes an aggregate segment
-                // (weight 125) in ~0.3 s; capacity 1500 holds 12 of them
-                // — a hotspot crossing one egress port saturates it.
-                .with_congestion(CongestionConfig::limited(400.0, 1_500)),
-        )
-        .build();
-    sim.run_to_quiescence(HORIZON);
-    let t0 = sim.now().seconds();
-
-    let spec = WorkloadSpec {
-        kind: WorkloadKind::Hotspot,
-        flows: 64,
-        ..WorkloadSpec::default()
-    };
-    let mut workload = WorkloadDriver::new(&spec, &graph, &[dest], t0, 240.0, seed).with_transport(
-        CongAlgKind::Aimd {
+    live_hijack_cell(&LiveHijackSpec {
+        width: w,
+        p,
+        seed,
+        workload: WorkloadSpec {
+            kind: WorkloadKind::Hotspot,
+            flows: 64,
+            ..WorkloadSpec::default()
+        },
+        duration: 240.0,
+        prefault: 30.0,
+        window: 10.0,
+        // Rate 400 weight/s serializes an aggregate segment (weight 125)
+        // in ~0.3 s; capacity 1500 holds 12 of them — a hotspot crossing
+        // one egress port saturates it.
+        congestion: Some(CongestionConfig::limited(400.0, 1_500)),
+        transport: Some(CongAlgKind::Aimd {
             initial: 4,
             max: 64,
-        },
-    );
-    let mut avail = AvailabilityMonitor::new(10.0);
-    avail.arm(&mut sim);
-
-    // Clean pre-fault windows: flows ramp and the hotspot queues fill.
-    workload.ensure_scheduled(sim.engine_mut(), t0 + 30.0);
-    sim.run_until(t0 + 30.0);
-    avail.observe(&mut sim);
-
-    // The black hole: a size-`p` region claims to be the destination and
-    // its neighborhood has already learned the bogus advertisement. The
-    // topology is untouched, so flows can always recover by retransmission
-    // once containment completes.
-    let region = contiguous_region(&graph, v(w + 1), p, dest);
-    assert_eq!(region.len(), p, "grid must fit a size-{p} region");
-    for &node in &region {
-        sim.inject_route(node, Distance::ZERO, node);
-        let neighbors: Vec<NodeId> = graph.neighbors(node).map(|(k, _)| k).collect();
-        for k in neighbors {
-            sim.poison_mirror(k, node, Distance::ZERO);
-        }
-    }
-
-    // Drive in slices until the control plane, the packet lane and every
-    // Go-Back-N flow drain (`run_to_quiescence` would settle-skip past
-    // queued data-plane events).
-    workload.ensure_scheduled(sim.engine_mut(), f64::INFINITY);
-    loop {
-        let drained = !sim.engine().any_enabled_non_maintenance()
-            && sim.engine().inflight_messages() == 0
-            && sim.engine().packets_in_flight() == 0
-            && sim.engine().flows_active() == 0;
-        if drained {
-            break;
-        }
-        let next = sim
-            .engine()
-            .next_event_time()
-            .expect("undrained planes imply pending events");
-        sim.run_until(next.seconds() + 50.0);
-        avail.observe(&mut sim);
-    }
-    avail.observe(&mut sim);
-    assert!(sim.routes_correct(), "LSRP must recover from the hijack");
-    let counts = sim.stats().traffic;
-    assert_eq!(
-        counts.completed(),
-        counts.injected,
-        "packet conservation must hold at drain"
-    );
-    assert_eq!(sim.engine().packets_in_flight_weight(), 0);
-    avail.finish(counts, sim.stats().congestion)
+        }),
+    })
+    .summary
 }
 
 /// E21 table: goodput, queue pressure and flow completion times as the
 /// perturbation grows, at fixed network size and fixed offered load.
 pub fn e21_congested_recovery(w: u32, sizes: &[usize]) -> Table {
-    let mut t = Table::new(
-        format!(
-            "E21 — congestion lane: Go-Back-N goodput while LSRP repair waves race hotspot congestion (grid {w}x{w}, finite-rate links, bounded drop-tail queues, AIMD flows, size-p prefix-hijack)"
-        ),
-        &[
-            "perturbation p",
-            "goodput fraction",
-            "queue drops",
-            "blackholed",
-            "peak queue depth",
-            "retransmitted",
-            "flow timeouts",
-            "mean FCT",
-            "max FCT",
-        ],
-    );
-    for &p in sizes {
-        let s = congested_recovery_run(w, p, 11);
-        t.row(&[
-            p.to_string(),
-            format!("{:.4}", s.goodput_fraction()),
-            s.counts.queue_dropped.to_string(),
-            s.counts.black_holed.to_string(),
-            s.congestion.peak_port_occupancy.to_string(),
-            s.congestion.flow_retransmit_weight.to_string(),
-            s.congestion.flow_timeouts.to_string(),
-            format!("{:.1}", s.mean_fct),
-            format!("{:.1}", s.max_fct),
-        ]);
+    let mut s = load_scenario(include_str!(
+        "../../../scenarios/e21_congested_recovery.toml"
+    ));
+    if let ScenarioBody::Hijack(h) = &mut s.body {
+        h.width = w;
+        #[allow(clippy::cast_possible_wrap)]
+        h.sweep.set_axis(
+            "p",
+            sizes.iter().map(|&p| SweepValue::Int(p as i64)).collect(),
+        );
     }
-    t
+    run_scenario(
+        &s,
+        std::thread::available_parallelism().map_or(1, |n| n.get()),
+    )
+    .expect("e21 scenario runs")
+    .into_table()
 }
 
 #[cfg(test)]
@@ -194,5 +120,41 @@ mod tests {
             s.congestion.peak_port_occupancy <= 1_500,
             "queue bound invariant"
         );
+    }
+
+    #[test]
+    fn scenario_e21_is_byte_identical_to_the_legacy_loop() {
+        let (w, sizes) = (8u32, [1usize]);
+        let mut t = Table::new(
+            format!(
+                "E21 — congestion lane: Go-Back-N goodput while LSRP repair waves race hotspot congestion (grid {w}x{w}, finite-rate links, bounded drop-tail queues, AIMD flows, size-p prefix-hijack)"
+            ),
+            &[
+                "perturbation p",
+                "goodput fraction",
+                "queue drops",
+                "blackholed",
+                "peak queue depth",
+                "retransmitted",
+                "flow timeouts",
+                "mean FCT",
+                "max FCT",
+            ],
+        );
+        for &p in &sizes {
+            let s = congested_recovery_run(w, p, 11);
+            t.row(&[
+                p.to_string(),
+                format!("{:.4}", s.goodput_fraction()),
+                s.counts.queue_dropped.to_string(),
+                s.counts.black_holed.to_string(),
+                s.congestion.peak_port_occupancy.to_string(),
+                s.congestion.flow_retransmit_weight.to_string(),
+                s.congestion.flow_timeouts.to_string(),
+                format!("{:.1}", s.mean_fct),
+                format!("{:.1}", s.max_fct),
+            ]);
+        }
+        assert_eq!(t.to_string(), e21_congested_recovery(w, &sizes).to_string());
     }
 }

@@ -383,6 +383,55 @@ pub fn measure_traffic_congested(iters: u32) -> EnginePerf {
     }
 }
 
+/// The scenario-compiled congested recovery (the E21 shape): parses the
+/// checked-in `scenarios/e21_congested_recovery.toml`, expands its sweep
+/// through the campaign compiler's lowering, and times the first (p = 1)
+/// cell — finite-rate links, bounded drop-tail queues, AIMD Go-Back-N
+/// hotspot flows racing a prefix-hijack repair wave. This keeps the
+/// declarative path itself on the perf-smoke tripwire: a regression in
+/// scenario lowering or in the congested live data plane both trip the
+/// floor.
+///
+/// # Panics
+///
+/// Panics if the checked-in scenario fails to parse or lower, or if a
+/// cell breaks packet conservation.
+pub fn measure_traffic_scenario(iters: u32) -> EnginePerf {
+    let s = lsrp_scenario::load_str(include_str!(
+        "../../../scenarios/e21_congested_recovery.toml"
+    ))
+    .expect("checked-in scenario file parses");
+    let lsrp_scenario::ScenarioBody::Hijack(h) = &s.body else {
+        panic!("e21 is a hijack scenario");
+    };
+    let specs = lsrp_scenario::exec::live_hijack_specs(h).expect("e21 lowers to live cells");
+    let spec = specs.first().expect("e21 sweep is non-empty");
+    let mut events = 0u64;
+    let mut delivered = 0u64;
+    let mut peak = 0usize;
+    let mut elapsed = Duration::ZERO;
+    for _ in 0..iters {
+        let start = Instant::now();
+        let out = lsrp_scenario::cells::live_hijack_cell(spec);
+        elapsed += start.elapsed();
+        assert!(out.summary.counts.injected > 0, "workload must inject");
+        events += out.events;
+        delivered += out.messages_delivered;
+        peak = peak.max(out.peak_queue_depth);
+    }
+    let secs = elapsed.as_secs_f64().max(f64::MIN_POSITIVE);
+    EnginePerf {
+        scenario: "traffic_scenario",
+        events,
+        messages_delivered: delivered,
+        adverts_delivered: delivered,
+        peak_queue_depth: peak,
+        elapsed_secs: secs,
+        events_per_sec: events as f64 / secs,
+        deliveries_per_sec: delivered as f64 / secs,
+    }
+}
+
 /// The all-pairs grid scenario's fixed inputs: a 6x6 unit grid with every
 /// node a destination (1296 protocol instances) and a full-table
 /// corruption at a central node.
@@ -473,6 +522,7 @@ pub fn measure_all() -> Vec<EnginePerf> {
         measure_recovery_grid(6),
         measure_traffic_grid(3),
         measure_traffic_congested(2),
+        measure_traffic_scenario(2),
         measure_allpairs_grid(3),
         measure_allpairs_grid_reference(1),
     ]
@@ -543,6 +593,7 @@ mod tests {
         assert!(doc.contains("\"grid200_benign\""));
         assert!(doc.contains("\"traffic_grid\""));
         assert!(doc.contains("\"traffic_congested\""));
+        assert!(doc.contains("\"traffic_scenario\""));
         assert!(doc.contains("\"allpairs_grid\""));
         assert!(doc.contains("\"allpairs_grid_ref\""));
         assert!(doc.contains("\"peak_queue_depth\""));

@@ -22,6 +22,7 @@ pub mod multi_exp;
 pub mod overhead;
 pub mod regions_exp;
 pub mod scaling;
+pub mod scenario_runner;
 pub mod selfstab;
 pub mod traffic_exp;
 pub mod waves;

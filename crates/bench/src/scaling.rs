@@ -1,167 +1,80 @@
 //! E6 (Theorem 2 / Lemma 1): stabilization time and contamination range
 //! scale with the perturbation size, not the network size — and E10
 //! (Corollary 4 / Theorem 5): recurring faults stay contained.
+//!
+//! The sweep tables are thin wrappers over the checked-in scenario
+//! files (`scenarios/e6_scaling.toml` and friends): the wrapper loads
+//! the scenario, narrows its sweep axes to the caller's arguments and
+//! runs it through the campaign compiler — so `lsrp run` on the same
+//! file produces byte-identical output.
 
 use std::collections::BTreeSet;
 
-use lsrp_analysis::{
-    measure_recovery, run_sharded, table::fmt_f64, RecoveryMetrics, RoutingSimulation, Table,
-};
+use lsrp_analysis::{table::fmt_f64, RecoveryMetrics, Table};
 use lsrp_core::{LsrpSimulation, LsrpSimulationExt};
 use lsrp_faults::corruption::contiguous_region;
 use lsrp_faults::{CorruptionKind, Fault, FaultPlan, RecurringFault};
 use lsrp_graph::{generators, Distance, NodeId};
-use lsrp_multi::{MultiLsrpSimulation, MultiLsrpSimulationExt};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use lsrp_scenario::cells::{recovery_cell, EngineModel, RecoveryCellSpec, RegionFault};
+use lsrp_scenario::schema::{Scenario, ScenarioBody, SweepValue};
+use lsrp_scenario::{load_str, run_scenario, DestinationsSpec};
 
-use crate::build::{build, Protocol, ALL_PROTOCOLS};
+pub use lsrp_scenario::cells::apply_plan_generic;
+
+use crate::build::Protocol;
 use crate::HORIZON;
 
 fn v(i: u32) -> NodeId {
     NodeId::new(i)
 }
 
+fn default_jobs() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+pub(crate) fn load_scenario(src: &str) -> Scenario {
+    load_str(src).expect("checked-in scenario file parses")
+}
+
 /// Runs one (protocol, grid width, perturbation size) cell: a contiguous
 /// region near the destination corner is corrupted small (worst case) with
 /// poisoned neighborhood mirrors.
 pub fn scaling_cell(protocol: Protocol, width: u32, p: usize, seed: u64) -> RecoveryMetrics {
-    let graph = generators::grid(width, width, 1);
-    let dest = v(0);
-    // Seed the region at (1, 1): one hop into the grid, so most of the
-    // network is "downstream" — the worst case for fault propagation.
-    let seed_node = v(width + 1);
-    let region = contiguous_region(&graph, seed_node, p, dest);
-    assert_eq!(region.len(), p, "grid too small for p = {p}");
-    let sp = lsrp_graph::shortest_path::ShortestPaths::dijkstra(&graph, dest);
-    let mut sim = build(protocol, graph.clone(), dest, None, seed);
-    let table = sim.route_table();
-    let mut rng = StdRng::seed_from_u64(seed);
-    let plan = lsrp_faults::corruption::corrupt_region_plan(&graph, &region, &sp, &table, &mut rng);
-    measure_recovery(sim.as_mut(), &region, HORIZON, |s| {
-        apply_plan_generic(s, &plan);
+    recovery_cell(&RecoveryCellSpec {
+        protocol,
+        width,
+        p,
+        seed,
+        fault: RegionFault::CorruptPlan,
+        model: EngineModel::Ideal,
     })
-}
-
-/// Applies the protocol-agnostic subset of a fault plan through the
-/// [`RoutingSimulation`] interface.
-pub fn apply_plan_generic(sim: &mut dyn RoutingSimulation, plan: &FaultPlan) {
-    for f in &plan.faults {
-        match f {
-            Fault::Corrupt { node, kind } => match *kind {
-                CorruptionKind::Distance(d) => sim.corrupt_distance(*node, d),
-                CorruptionKind::Parent(p) => {
-                    let d = sim
-                        .route_table()
-                        .entry(*node)
-                        .map_or(Distance::Infinite, |e| e.distance);
-                    sim.inject_route(*node, d, p);
-                }
-                CorruptionKind::MirrorOf { about, mirror } => {
-                    sim.poison_mirror(*node, about, mirror.d);
-                }
-                CorruptionKind::Ghost(_) | CorruptionKind::Timestamp(_) => {
-                    // LSRP-specific variables; no-ops for the baselines and
-                    // unused by the generic experiments.
-                }
-            },
-            Fault::FailNode(n) => sim.fail_node(*n).expect("node exists"),
-            Fault::FailEdge(a, b) => sim.fail_edge(*a, *b).expect("edge exists"),
-            Fault::JoinEdge(a, b, w) => sim.join_edge(*a, *b, *w).expect("edge is new"),
-            Fault::SetWeight(a, b, w) => sim.set_weight(*a, *b, *w).expect("edge exists"),
-            Fault::JoinNode { node, edges } => {
-                // Best-effort: a rejoin can race earlier faults in the same
-                // plan (a listed neighbor may itself have failed), so an
-                // invalid join is skipped rather than aborting the plan.
-                let _ = sim.join_node(*node, edges);
-            }
-        }
-    }
 }
 
 /// E6 headline table: sweep perturbation size at fixed network size, and
 /// network size at fixed perturbation size.
 ///
 /// Every `(protocol, width, p)` cell is a pure function of its inputs, so
-/// the sweep fans out over [`run_sharded`] worker threads and merges back
-/// in cell order — the table is byte-identical to the serial sweep.
+/// the sweep fans out over worker threads and merges back in cell order —
+/// the table is byte-identical to the serial sweep.
 pub fn e6_scaling(widths: &[u32], sizes: &[usize]) -> Table {
-    let mut t = Table::new(
-        "E6 — Theorem 2: stabilization scales with perturbation size, not network size",
-        &[
-            "protocol",
-            "n (grid)",
-            "perturbation p",
-            "stabilization time",
-            "contamination range",
-            "contaminated nodes",
-            "messages",
-        ],
-    );
-    let mut cells = Vec::new();
-    for &protocol in &ALL_PROTOCOLS {
-        for &w in widths {
-            for &p in sizes {
-                cells.push((protocol, w, p));
-            }
-        }
+    let mut s = load_scenario(include_str!("../../../scenarios/e6_scaling.toml"));
+    if let ScenarioBody::Recovery(r) = &mut s.body {
+        r.sweep.set_axis(
+            "width",
+            widths
+                .iter()
+                .map(|&w| SweepValue::Int(i64::from(w)))
+                .collect(),
+        );
+        #[allow(clippy::cast_possible_wrap)]
+        r.sweep.set_axis(
+            "p",
+            sizes.iter().map(|&p| SweepValue::Int(p as i64)).collect(),
+        );
     }
-    let jobs = std::thread::available_parallelism().map_or(1, |n| n.get());
-    let results = {
-        let cells = cells.clone();
-        run_sharded(jobs, cells.len(), move |i| {
-            let (protocol, w, p) = cells[i];
-            scaling_cell(protocol, w, p, 42 + u64::from(w))
-        })
-    };
-    for ((protocol, w, p), m) in cells.into_iter().zip(results) {
-        assert!(m.quiescent && m.routes_correct, "{protocol:?} w={w} p={p}");
-        t.row(&[
-            m.protocol.to_string(),
-            format!("{}", w * w),
-            p.to_string(),
-            fmt_f64(m.stabilization_time),
-            m.contamination_range.to_string(),
-            m.contaminated.len().to_string(),
-            m.messages.to_string(),
-        ]);
-    }
-    t
-}
-
-/// One multi-destination scaling cell on the dense plane: a contiguous
-/// region of `p` nodes near the corner has *every* instance table
-/// hijacked, and the run is judged on all `dests` trees at once.
-///
-/// Returns (stabilization time, messages delivered, adverts delivered,
-/// acting nodes).
-fn multi_scaling_cell(width: u32, p: usize, dests: usize, seed: u64) -> (f64, u64, u64, usize) {
-    let graph = generators::grid(width, width, 1);
-    let destinations: Vec<NodeId> = graph.nodes().take(dests).collect();
-    let region = contiguous_region(&graph, v(width + 1), p, v(0));
-    assert_eq!(region.len(), p, "grid too small for p = {p}");
-    let mut sim = MultiLsrpSimulation::builder(graph, destinations)
-        .seed(seed)
-        .build();
-    sim.engine_mut().reset_trace();
-    let t0 = sim.now();
-    for &node in &region {
-        sim.corrupt_all_instances(node, |_| (Distance::ZERO, node));
-    }
-    let report = sim.run_to_quiescence(HORIZON);
-    assert!(report.quiescent && sim.all_routes_correct());
-    let trace = sim.engine().trace();
-    let stab = trace
-        .last_var_change_since(t0)
-        .map_or(0.0, |t| t.seconds() - t0.seconds());
-    let acting = trace.acted_nodes_since(t0).len();
-    let stats = sim.engine().stats();
-    (
-        stab,
-        stats.messages_delivered,
-        stats.adverts_delivered,
-        acting,
-    )
+    run_scenario(&s, default_jobs())
+        .expect("e6 scenario runs")
+        .into_table()
 }
 
 /// E6 on the dense multi-destination plane: the perturbation-size sweep
@@ -169,53 +82,38 @@ fn multi_scaling_cell(width: u32, p: usize, dests: usize, seed: u64) -> (f64, u6
 /// batched wire. `dests` of `None` means all-pairs (one tree per node).
 ///
 /// Cells are pure functions of their inputs and fan out over `jobs`
-/// worker threads via [`run_sharded`]; results merge back in cell order,
-/// so the table is byte-identical for every `jobs` value.
+/// worker threads; results merge back in cell order, so the table is
+/// byte-identical for every `jobs` value.
 pub fn e6_scaling_multi(
     widths: &[u32],
     sizes: &[usize],
     dests: Option<usize>,
     jobs: usize,
 ) -> Table {
-    let label = dests.map_or_else(|| "all-pairs".to_string(), |n| n.to_string());
-    let mut t = Table::new(
-        format!("E6 (multi) — perturbation-size sweep, dense plane, destinations {label}"),
-        &[
-            "n (grid)",
-            "destination trees",
-            "perturbation p",
-            "stabilization time",
-            "messages delivered",
-            "adverts delivered",
-            "acting nodes",
-        ],
-    );
-    let mut cells = Vec::new();
-    for &w in widths {
-        let trees = dests.unwrap_or((w * w) as usize).min((w * w) as usize);
-        for &p in sizes {
-            cells.push((w, p, trees));
-        }
+    let mut s = load_scenario(include_str!("../../../scenarios/e6_multi.toml"));
+    if let ScenarioBody::Recovery(r) = &mut s.body {
+        r.destinations = match dests {
+            None => Some(DestinationsSpec::AllPairs),
+            Some(n) => Some(DestinationsSpec::Count(
+                u32::try_from(n).expect("destination count fits u32"),
+            )),
+        };
+        r.sweep.set_axis(
+            "width",
+            widths
+                .iter()
+                .map(|&w| SweepValue::Int(i64::from(w)))
+                .collect(),
+        );
+        #[allow(clippy::cast_possible_wrap)]
+        r.sweep.set_axis(
+            "p",
+            sizes.iter().map(|&p| SweepValue::Int(p as i64)).collect(),
+        );
     }
-    let results = {
-        let cells = cells.clone();
-        run_sharded(jobs, cells.len(), move |i| {
-            let (w, p, trees) = cells[i];
-            multi_scaling_cell(w, p, trees, 42 + u64::from(w))
-        })
-    };
-    for ((w, p, trees), (stab, messages, adverts, acting)) in cells.into_iter().zip(results) {
-        t.row(&[
-            format!("{}", w * w),
-            trees.to_string(),
-            p.to_string(),
-            fmt_f64(stab),
-            messages.to_string(),
-            adverts.to_string(),
-            acting.to_string(),
-        ]);
-    }
-    t
+    run_scenario(&s, jobs)
+        .expect("e6 multi scenario runs")
+        .into_table()
 }
 
 /// E16 — route stability (§I, §IV-B): next-hop flaps at *healthy* nodes
@@ -223,28 +121,18 @@ pub fn e6_scaling_multi(
 /// kind of routing instability" that fault propagation causes; LSRP's
 /// containment keeps healthy nodes' routes pinned.
 pub fn e16_route_stability(width: u32, sizes: &[usize]) -> Table {
-    let mut t = Table::new(
-        format!("E16 — route flaps at healthy nodes during recovery (grid {width}x{width})"),
-        &[
-            "protocol",
-            "perturbation p",
-            "healthy-node route flaps",
-            "contaminated nodes",
-        ],
-    );
-    for &protocol in &ALL_PROTOCOLS {
-        for &p in sizes {
-            let m = scaling_cell(protocol, width, p, 31);
-            assert!(m.quiescent && m.routes_correct);
-            t.row(&[
-                m.protocol.to_string(),
-                p.to_string(),
-                m.healthy_route_flaps.to_string(),
-                m.contaminated.len().to_string(),
-            ]);
-        }
+    let mut s = load_scenario(include_str!("../../../scenarios/e16_route_stability.toml"));
+    if let ScenarioBody::Recovery(r) = &mut s.body {
+        r.width = Some(width);
+        #[allow(clippy::cast_possible_wrap)]
+        r.sweep.set_axis(
+            "p",
+            sizes.iter().map(|&p| SweepValue::Int(p as i64)).collect(),
+        );
     }
-    t
+    run_scenario(&s, default_jobs())
+        .expect("e16 scenario runs")
+        .into_table()
 }
 
 /// E10 — Corollary 4 / Theorem 5: a fault recurring with a sufficiently
@@ -298,6 +186,8 @@ pub fn e10_continuous(intervals: &[f64]) -> Table {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::build::ALL_PROTOCOLS;
+    use lsrp_analysis::measure_recovery;
 
     #[test]
     fn sharded_e6_sweep_is_reproducible() {
@@ -307,6 +197,44 @@ mod tests {
         let b = e6_scaling(&[6], &[1]).to_string();
         assert_eq!(a, b);
         assert!(a.contains("LSRP"));
+    }
+
+    #[test]
+    fn scenario_e6_is_byte_identical_to_the_legacy_loop() {
+        // The hand-coded serial loop the scenario file replaced, inlined
+        // verbatim: titles, headers, nesting order and formats.
+        let widths = [6u32];
+        let sizes = [1usize, 2];
+        let mut t = Table::new(
+            "E6 — Theorem 2: stabilization scales with perturbation size, not network size",
+            &[
+                "protocol",
+                "n (grid)",
+                "perturbation p",
+                "stabilization time",
+                "contamination range",
+                "contaminated nodes",
+                "messages",
+            ],
+        );
+        for &protocol in &ALL_PROTOCOLS {
+            for &w in &widths {
+                for &p in &sizes {
+                    let m = scaling_cell(protocol, w, p, 42 + u64::from(w));
+                    assert!(m.quiescent && m.routes_correct, "{protocol:?} w={w} p={p}");
+                    t.row(&[
+                        m.protocol.to_string(),
+                        format!("{}", w * w),
+                        p.to_string(),
+                        fmt_f64(m.stabilization_time),
+                        m.contamination_range.to_string(),
+                        m.contaminated.len().to_string(),
+                        m.messages.to_string(),
+                    ]);
+                }
+            }
+        }
+        assert_eq!(t.to_string(), e6_scaling(&widths, &sizes).to_string());
     }
 
     #[test]

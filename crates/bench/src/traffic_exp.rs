@@ -9,19 +9,16 @@
 //! to the vicinity of a size-`p` perturbation, so availability degrades
 //! with `p` — not with network size — and returns to 1 once containment
 //! completes.
+//!
+//! The table is a wrapper over `scenarios/e20_live_availability.toml`;
+//! the run itself lives in `lsrp_scenario::cells::live_hijack_cell`.
 
-use lsrp_analysis::Table;
-use lsrp_analysis::{AvailabilityMonitor, TrafficSummary, WorkloadDriver, WorkloadSpec};
-use lsrp_core::{LsrpSimulation, LsrpSimulationExt};
-use lsrp_faults::corruption::contiguous_region;
-use lsrp_graph::{generators, Distance, NodeId};
-use lsrp_sim::{EngineConfig, SinkKind};
+use lsrp_analysis::{Table, TrafficSummary, WorkloadSpec};
+use lsrp_scenario::cells::{live_hijack_cell, LiveHijackSpec};
+use lsrp_scenario::run_scenario;
+use lsrp_scenario::schema::{ScenarioBody, SweepValue};
 
-use crate::HORIZON;
-
-fn v(i: u32) -> NodeId {
-    NodeId::new(i)
-}
+use crate::scaling::load_scenario;
 
 /// One live-availability run on a `w`x`w` grid: settle, stream 30 s of
 /// clean traffic, then have a contiguous region of `p` nodes near the
@@ -32,96 +29,43 @@ fn v(i: u32) -> NodeId {
 ///
 /// Panics if the run fails to drain or leaves incorrect routes.
 pub fn live_availability_run(w: u32, p: usize, seed: u64) -> TrafficSummary {
-    let graph = generators::grid(w, w, 1);
-    let dest = v(0);
-    let mut sim = LsrpSimulation::builder(graph.clone(), dest)
-        .engine_config(
-            EngineConfig::default()
-                .with_seed(seed)
-                .with_sink(SinkKind::CountsOnly),
-        )
-        .build();
-    sim.run_to_quiescence(HORIZON);
-    let t0 = sim.now().seconds();
-
-    let spec = WorkloadSpec {
-        flows: 128,
-        ..WorkloadSpec::default()
-    };
-    let mut workload = WorkloadDriver::new(&spec, &graph, &[dest], t0, 240.0, seed);
-    let mut avail = AvailabilityMonitor::new(10.0);
-    avail.arm(&mut sim);
-
-    // Clean pre-fault windows: the availability baseline the fault dents.
-    workload.ensure_scheduled(sim.engine_mut(), t0 + 30.0);
-    sim.run_until(t0 + 30.0);
-    avail.observe(&mut sim);
-
-    // The black hole: a size-`p` region claims to be the destination and
-    // its neighborhood has already learned the bogus advertisement. The
-    // topology is untouched, so the monitor's stretch truth stays valid.
-    let region = contiguous_region(&graph, v(w + 1), p, dest);
-    assert_eq!(region.len(), p, "grid must fit a size-{p} region");
-    for &node in &region {
-        sim.inject_route(node, Distance::ZERO, node);
-        let neighbors: Vec<NodeId> = graph.neighbors(node).map(|(k, _)| k).collect();
-        for k in neighbors {
-            sim.poison_mirror(k, node, Distance::ZERO);
-        }
-    }
-
-    // Keep traffic flowing through the recovery until both planes drain.
-    // `run_to_quiescence` would settle-skip past queued packet events, so
-    // advance in slices.
-    workload.ensure_scheduled(sim.engine_mut(), f64::INFINITY);
-    loop {
-        let drained = !sim.engine().any_enabled_non_maintenance()
-            && sim.engine().inflight_messages() == 0
-            && sim.engine().packets_in_flight() == 0;
-        if drained {
-            break;
-        }
-        let next = sim
-            .engine()
-            .next_event_time()
-            .expect("undrained planes imply pending events");
-        sim.run_until(next.seconds() + 50.0);
-        avail.observe(&mut sim);
-    }
-    avail.observe(&mut sim);
-    assert!(sim.routes_correct(), "LSRP must recover from the hijack");
-    avail.finish(sim.stats().traffic, sim.stats().congestion)
+    live_hijack_cell(&LiveHijackSpec {
+        width: w,
+        p,
+        seed,
+        workload: WorkloadSpec {
+            flows: 128,
+            ..WorkloadSpec::default()
+        },
+        duration: 240.0,
+        prefault: 30.0,
+        window: 10.0,
+        congestion: None,
+        transport: None,
+    })
+    .summary
 }
 
 /// E20 table: live availability during recovery as the perturbation
 /// grows, at fixed network size.
 pub fn e20_live_availability(w: u32, sizes: &[usize]) -> Table {
-    let mut t = Table::new(
-        format!(
-            "E20 — §III-B live: in-flight packet availability while recovering from a size-p prefix-hijack black hole (grid {w}x{w}, aggregated Poisson workload)"
-        ),
-        &[
-            "perturbation p",
-            "delivered fraction",
-            "min window availability",
-            "packets lost",
-            "mean stretch",
-            "max stretch",
-        ],
-    );
-    for &p in sizes {
-        let s = live_availability_run(w, p, 11);
-        let lost = s.counts.injected - s.counts.delivered;
-        t.row(&[
-            p.to_string(),
-            format!("{:.4}", s.delivered_fraction()),
-            format!("{:.4}", s.min_window_availability),
-            lost.to_string(),
-            format!("{:.3}", s.mean_stretch),
-            format!("{:.3}", s.max_stretch),
-        ]);
+    let mut s = load_scenario(include_str!(
+        "../../../scenarios/e20_live_availability.toml"
+    ));
+    if let ScenarioBody::Hijack(h) = &mut s.body {
+        h.width = w;
+        #[allow(clippy::cast_possible_wrap)]
+        h.sweep.set_axis(
+            "p",
+            sizes.iter().map(|&p| SweepValue::Int(p as i64)).collect(),
+        );
     }
-    t
+    run_scenario(
+        &s,
+        std::thread::available_parallelism().map_or(1, |n| n.get()),
+    )
+    .expect("e20 scenario runs")
+    .into_table()
 }
 
 #[cfg(test)]
@@ -147,5 +91,36 @@ mod tests {
             small.delivered_fraction()
         );
         assert_eq!(small.min_routable_fraction, 1.0, "no topology change");
+    }
+
+    #[test]
+    fn scenario_e20_is_byte_identical_to_the_legacy_loop() {
+        let (w, sizes) = (8u32, [1usize]);
+        let mut t = Table::new(
+            format!(
+                "E20 — §III-B live: in-flight packet availability while recovering from a size-p prefix-hijack black hole (grid {w}x{w}, aggregated Poisson workload)"
+            ),
+            &[
+                "perturbation p",
+                "delivered fraction",
+                "min window availability",
+                "packets lost",
+                "mean stretch",
+                "max stretch",
+            ],
+        );
+        for &p in &sizes {
+            let s = live_availability_run(w, p, 11);
+            let lost = s.counts.injected - s.counts.delivered;
+            t.row(&[
+                p.to_string(),
+                format!("{:.4}", s.delivered_fraction()),
+                format!("{:.4}", s.min_window_availability),
+                lost.to_string(),
+                format!("{:.3}", s.mean_stretch),
+                format!("{:.3}", s.max_stretch),
+            ]);
+        }
+        assert_eq!(t.to_string(), e20_live_availability(w, &sizes).to_string());
     }
 }

@@ -1,10 +1,18 @@
 //! Hand-rolled argument parsing for the `lsrp` binary.
+//!
+//! The value vocabulary (`--topology`, `--workload`, `--destinations`,
+//! `--link-rate` range checks, ...) is shared with the scenario-file
+//! loader through [`lsrp_scenario::spec`], so a spelling accepted on the
+//! command line is accepted in a scenario file and vice versa.
 
 use std::fmt;
 
 use lsrp_analysis::traffic::WorkloadKind;
 use lsrp_graph::{Distance, NodeId};
+use lsrp_scenario::spec::{check, parse_cong_alg, parse_discipline, parse_workload};
 use lsrp_sim::{CongAlgKind, DisciplineKind};
+
+pub use lsrp_scenario::{DestinationsSpec, TopologySpec};
 
 /// Which protocol to drive.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -17,70 +25,6 @@ pub enum ProtocolChoice {
     Dual,
     /// Path-vector (BGP-lite).
     Pv,
-}
-
-/// A topology selector, e.g. `grid:8x8`, `ring:32`, `fig1`.
-#[derive(Debug, Clone, PartialEq)]
-pub enum TopologySpec {
-    /// `grid:WxH`
-    Grid(u32, u32),
-    /// `ring:N`
-    Ring(u32),
-    /// `path:N`
-    Path(u32),
-    /// `er:N:P` — connected Erdős–Rényi with extra-edge probability `P`.
-    ErdosRenyi(u32, f64),
-    /// `geo:N:R` — connected random geometric with radius `R`.
-    Geometric(u32, f64),
-    /// `ba:N:M` — preferential attachment, `M` edges per newcomer.
-    PreferentialAttachment(u32, u32),
-    /// `lollipop:TAIL:LOOP`
-    Lollipop(u32, u32),
-    /// `fig1` — the paper's Figure-1 network (destination v2).
-    Fig1,
-}
-
-impl fmt::Display for TopologySpec {
-    /// The canonical spec string; `TopologySpec::parse` round-trips it.
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            TopologySpec::Grid(w, h) => write!(f, "grid:{w}x{h}"),
-            TopologySpec::Ring(n) => write!(f, "ring:{n}"),
-            TopologySpec::Path(n) => write!(f, "path:{n}"),
-            TopologySpec::ErdosRenyi(n, p) => write!(f, "er:{n}:{p}"),
-            TopologySpec::Geometric(n, r) => write!(f, "geo:{n}:{r}"),
-            TopologySpec::PreferentialAttachment(n, m) => write!(f, "ba:{n}:{m}"),
-            TopologySpec::Lollipop(tail, ring) => write!(f, "lollipop:{tail}:{ring}"),
-            TopologySpec::Fig1 => write!(f, "fig1"),
-        }
-    }
-}
-
-/// How many routing destinations a multi-destination campaign maintains.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum DestinationsSpec {
-    /// `--destinations N` — the `N` lowest node ids.
-    Count(u32),
-    /// `--destinations all-pairs` — every node is a destination.
-    AllPairs,
-}
-
-impl DestinationsSpec {
-    /// Parses `N` or `all-pairs`.
-    pub fn parse(s: &str) -> Result<Self, ParseError> {
-        if s == "all-pairs" || s == "all" {
-            return Ok(DestinationsSpec::AllPairs);
-        }
-        let n: u32 = s.parse().map_err(|_| {
-            err(format!(
-                "invalid destination count: {s} (want N or all-pairs)"
-            ))
-        })?;
-        if n == 0 {
-            return Err(err("--destinations must be at least 1"));
-        }
-        Ok(DestinationsSpec::Count(n))
-    }
 }
 
 /// A fault selector, e.g. `corrupt:9:1`, `fail-node:5`, `loop:8`.
@@ -119,6 +63,23 @@ pub enum Command {
         seed: u64,
         /// Print the per-node action timeline.
         timeline: bool,
+    },
+    /// `run <file.toml>`: compile and run a declarative scenario file.
+    RunScenario {
+        /// Path to the scenario file.
+        path: String,
+        /// Worker threads (the report is byte-identical for every value).
+        jobs: usize,
+    },
+    /// `scenario check`: parse and statically expand scenario files.
+    ScenarioCheck {
+        /// Paths to validate.
+        paths: Vec<String>,
+    },
+    /// `scenario expand`: print one line per compiled cell.
+    ScenarioExpand {
+        /// Path to the scenario file.
+        path: String,
     },
     /// `compare`: run the same scenario on all three protocols.
     Compare {
@@ -225,50 +186,6 @@ fn parse_node(s: &str) -> Result<NodeId, ParseError> {
     Ok(NodeId::new(parse_u32(raw, "node id")?))
 }
 
-impl TopologySpec {
-    /// Parses a `kind[:args]` topology selector.
-    pub fn parse(s: &str) -> Result<Self, ParseError> {
-        let mut parts = s.split(':');
-        let kind = parts.next().unwrap_or_default();
-        let rest: Vec<&str> = parts.collect();
-        match (kind, rest.as_slice()) {
-            ("grid", [wh]) => {
-                let (w, h) = wh
-                    .split_once('x')
-                    .ok_or_else(|| err(format!("grid wants WxH, got {wh}")))?;
-                Ok(TopologySpec::Grid(
-                    parse_u32(w, "grid width")?,
-                    parse_u32(h, "grid height")?,
-                ))
-            }
-            ("ring", [n]) => Ok(TopologySpec::Ring(parse_u32(n, "ring size")?)),
-            ("path", [n]) => Ok(TopologySpec::Path(parse_u32(n, "path size")?)),
-            ("er", [n, p]) => Ok(TopologySpec::ErdosRenyi(
-                parse_u32(n, "node count")?,
-                p.parse()
-                    .map_err(|_| err(format!("invalid probability: {p}")))?,
-            )),
-            ("geo", [n, r]) => Ok(TopologySpec::Geometric(
-                parse_u32(n, "node count")?,
-                r.parse().map_err(|_| err(format!("invalid radius: {r}")))?,
-            )),
-            ("ba", [n, m]) => Ok(TopologySpec::PreferentialAttachment(
-                parse_u32(n, "node count")?,
-                parse_u32(m, "attachment degree")?,
-            )),
-            ("lollipop", [tail, ring]) => Ok(TopologySpec::Lollipop(
-                parse_u32(tail, "tail length")?,
-                parse_u32(ring, "loop length")?,
-            )),
-            ("fig1", []) => Ok(TopologySpec::Fig1),
-            _ => Err(err(format!(
-                "unknown topology '{s}' (try grid:8x8, ring:32, path:16, er:40:0.1, \
-                 geo:60:0.18, ba:50:2, lollipop:2:8, fig1)"
-            ))),
-        }
-    }
-}
-
 impl FaultSpec {
     /// Parses a `kind[:args]` fault selector.
     pub fn parse(s: &str) -> Result<Self, ParseError> {
@@ -309,6 +226,61 @@ impl FaultSpec {
     }
 }
 
+/// Parses the `scenario check|expand` subcommands.
+fn parse_scenario<I: Iterator<Item = String>>(mut args: I) -> Result<Command, ParseError> {
+    let action = args
+        .next()
+        .ok_or_else(|| err("`lsrp scenario` wants an action: check or expand"))?;
+    let rest: Vec<String> = args.collect();
+    if rest.iter().any(|a| a.starts_with('-')) {
+        return Err(err("`lsrp scenario` takes scenario files, not flags"));
+    }
+    match action.as_str() {
+        "check" => {
+            if rest.is_empty() {
+                return Err(err(
+                    "`lsrp scenario check` wants at least one scenario file",
+                ));
+            }
+            Ok(Command::ScenarioCheck { paths: rest })
+        }
+        "expand" => match rest.as_slice() {
+            [path] => Ok(Command::ScenarioExpand { path: path.clone() }),
+            _ => Err(err(
+                "`lsrp scenario expand` wants exactly one scenario file",
+            )),
+        },
+        other => Err(err(format!(
+            "unknown scenario action '{other}' (check, expand)"
+        ))),
+    }
+}
+
+/// Parses `run <file.toml> [--jobs N]`.
+fn parse_run_scenario<I: Iterator<Item = String>>(
+    path: String,
+    mut args: I,
+) -> Result<Command, ParseError> {
+    let mut jobs = 1usize;
+    while let Some(flag) = args.next() {
+        match flag.as_str() {
+            "--jobs" | "-j" => {
+                let v = args
+                    .next()
+                    .ok_or_else(|| err("--jobs expects a job count"))?;
+                jobs = v.parse().map_err(|_| err("invalid job count"))?;
+                jobs = check::jobs(jobs).map_err(|e| err(format!("--jobs {e}")))?;
+            }
+            other => {
+                return Err(err(format!(
+                    "unknown flag '{other}' (a scenario run takes only --jobs N)"
+                )))
+            }
+        }
+    }
+    Ok(Command::RunScenario { path, jobs })
+}
+
 impl Command {
     /// Parses the full argument list (excluding the program name).
     pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Self, ParseError> {
@@ -316,6 +288,17 @@ impl Command {
         let sub = args.next().unwrap_or_else(|| "help".to_string());
         if sub == "help" || sub == "--help" || sub == "-h" {
             return Ok(Command::Help);
+        }
+        if sub == "scenario" {
+            return parse_scenario(args);
+        }
+        if sub == "run" {
+            // `lsrp run <scenario.toml>`: a positional argument switches
+            // to the declarative path.
+            if args.peek().is_some_and(|a| !a.starts_with('-')) {
+                let path = args.next().expect("peeked");
+                return parse_run_scenario(path, args);
+            }
         }
 
         let mut topology = None;
@@ -344,7 +327,9 @@ impl Command {
                     .ok_or_else(|| err(format!("{flag} expects a {what}")))
             };
             match flag.as_str() {
-                "--topology" | "-t" => topology = Some(TopologySpec::parse(&value("topology")?)?),
+                "--topology" | "-t" => {
+                    topology = Some(TopologySpec::parse(&value("topology")?).map_err(err)?);
+                }
                 "--dest" | "-d" => dest = Some(parse_node(&value("node id")?)?),
                 "--protocol" | "-p" => {
                     protocol = match value("protocol")?.as_str() {
@@ -364,88 +349,60 @@ impl Command {
                     runs = value("run count")?
                         .parse()
                         .map_err(|_| err("invalid run count"))?;
-                    if runs == 0 {
-                        return Err(err("--runs must be at least 1"));
-                    }
+                    runs = check::runs(runs).map_err(|e| err(format!("--runs {e}")))?;
                 }
                 "--jobs" | "-j" => {
                     jobs = value("job count")?
                         .parse()
                         .map_err(|_| err("invalid job count"))?;
-                    if jobs == 0 {
-                        return Err(err("--jobs must be at least 1"));
-                    }
+                    jobs = check::jobs(jobs).map_err(|e| err(format!("--jobs {e}")))?;
                 }
                 "--destinations" | "-D" => {
-                    destinations = Some(DestinationsSpec::parse(&value("destination count")?)?);
+                    destinations =
+                        Some(DestinationsSpec::parse(&value("destination count")?).map_err(err)?);
                 }
                 "--horizon" => {
-                    horizon = value("horizon")?
+                    let h: f64 = value("horizon")?
                         .parse()
                         .map_err(|_| err("invalid horizon"))?;
-                    if !(horizon > 0.0 && horizon.is_finite()) {
-                        return Err(err("--horizon must be positive and finite"));
-                    }
+                    horizon = check::positive(h).map_err(|e| err(format!("--horizon {e}")))?;
                 }
                 "--workload" | "-w" => {
-                    let w = value("workload")?;
-                    workload = WorkloadKind::parse(&w).ok_or_else(|| {
-                        err(format!(
-                            "unknown workload '{w}' (try poisson, all-pairs, hotspot)"
-                        ))
-                    })?;
+                    workload = parse_workload(&value("workload")?).map_err(err)?;
                 }
                 "--flows" => {
                     flows = value("flow count")?
                         .parse()
                         .map_err(|_| err("invalid flow count"))?;
-                    if flows == 0 {
-                        return Err(err("--flows must be at least 1"));
-                    }
+                    flows = check::flows(flows).map_err(|e| err(format!("--flows {e}")))?;
                 }
                 "--duration" => {
-                    duration = value("duration")?
+                    let d: f64 = value("duration")?
                         .parse()
                         .map_err(|_| err("invalid duration"))?;
-                    if !(duration > 0.0 && duration.is_finite()) {
-                        return Err(err("--duration must be positive and finite"));
-                    }
+                    duration = check::positive(d).map_err(|e| err(format!("--duration {e}")))?;
                 }
                 "--exact" => exact = true,
                 "--link-rate" => {
                     let r: f64 = value("rate")?
                         .parse()
                         .map_err(|_| err("invalid link rate"))?;
-                    if !(r > 0.0 && r.is_finite()) {
-                        return Err(err("--link-rate must be positive and finite"));
-                    }
-                    link_rate = Some(r);
+                    link_rate =
+                        Some(check::positive(r).map_err(|e| err(format!("--link-rate {e}")))?);
                 }
                 "--queue-cap" => {
                     let c: u64 = value("capacity")?
                         .parse()
                         .map_err(|_| err("invalid queue capacity"))?;
-                    if c == 0 {
-                        return Err(err("--queue-cap must be at least 1"));
-                    }
-                    queue_cap = Some(c);
+                    queue_cap =
+                        Some(check::queue_cap(c).map_err(|e| err(format!("--queue-cap {e}")))?);
                 }
                 "--discipline" => {
-                    let d = value("discipline")?;
-                    discipline = DisciplineKind::parse(&d).ok_or_else(|| {
-                        err(format!(
-                            "unknown discipline '{d}' (try drop-tail, ecn, pause)"
-                        ))
-                    })?;
+                    discipline = parse_discipline(&value("discipline")?).map_err(err)?;
                     discipline_set = true;
                 }
                 "--cc" => {
-                    let a = value("congestion control")?;
-                    cc = Some(CongAlgKind::parse(&a).ok_or_else(|| {
-                        err(format!(
-                            "unknown congestion control '{a}' (try fixed, aimd)"
-                        ))
-                    })?);
+                    cc = Some(parse_cong_alg(&value("congestion control")?).map_err(err)?);
                 }
                 other => return Err(err(format!("unknown flag '{other}'"))),
             }
@@ -464,12 +421,7 @@ impl Command {
                 "--link-rate/--queue-cap/--discipline/--cc are only valid with `lsrp traffic`",
             ));
         }
-        if (queue_cap.is_some() || discipline_set) && link_rate.is_none() {
-            return Err(err(
-                "--queue-cap and --discipline need --link-rate (the congestion lane is off \
-                 while links are infinitely fast)",
-            ));
-        }
+        check::congestion_shape(link_rate, queue_cap, discipline_set).map_err(err)?;
         match sub.as_str() {
             "run" => Ok(Command::Run {
                 topology,
@@ -513,7 +465,7 @@ impl Command {
                 cc,
             }),
             other => Err(err(format!(
-                "unknown command '{other}' (run, compare, topo, chaos, traffic, help)"
+                "unknown command '{other}' (run, scenario, compare, topo, chaos, traffic, help)"
             ))),
         }
     }
@@ -524,8 +476,11 @@ pub const HELP: &str = "\
 lsrp — drive LSRP (and baselines) through fault scenarios
 
 USAGE:
+  lsrp run     FILE.toml [--jobs N]
   lsrp run     --topology SPEC [--protocol lsrp|dbf|dual|pv] [--dest N]
                [--fault SPEC]... [--seed N] [--timeline]
+  lsrp scenario check FILE.toml...
+  lsrp scenario expand FILE.toml
   lsrp compare --topology SPEC [--dest N] [--fault SPEC]... [--seed N]
   lsrp topo    --topology SPEC [--seed N]
   lsrp chaos   --topology SPEC [--dest N] [--seed N] [--runs N] [--jobs N]
@@ -540,6 +495,14 @@ TOPOLOGIES:  grid:8x8  ring:32  path:16  er:40:0.1  geo:60:0.18
              ba:50:2  lollipop:2:8  fig1
 FAULTS:      corrupt:NODE[:D|inf]  fail-node:N  fail-edge:A:B
              join-edge:A:B:W  weight:A:B:W  loop  (lollipop only)
+
+`run FILE.toml` compiles a declarative scenario file (see DESIGN.md §13
+and the checked-in `scenarios/` corpus) into concrete experiment cells,
+fans them out over `--jobs` worker threads and prints the report —
+byte-identical for every `--jobs` value, and byte-identical to the
+hand-coded experiment the file replaced. `scenario check` parses and
+statically expands files without running them; `scenario expand` prints
+one line per compiled cell.
 
 `chaos` replays seeded random fault campaigns (link flaps, node churn,
 partition-and-heal, state corruption) with online invariant monitors
@@ -570,6 +533,8 @@ fixed-window or AIMD congestion control, adding weighted goodput,
 retransmissions, timeouts and flow-completion times.
 
 EXAMPLES:
+  lsrp run scenarios/e21_congested_recovery.toml --jobs 4
+  lsrp scenario check scenarios/*.toml
   lsrp run --topology fig1 --protocol lsrp --fault corrupt:9:1 --timeline
   lsrp compare --topology grid:12x12 --fault corrupt:13:0
   lsrp run --topology lollipop:2:16 --fault loop --timeline
@@ -613,6 +578,50 @@ mod tests {
             }
             other => panic!("wrong command: {other:?}"),
         }
+    }
+
+    #[test]
+    fn parses_a_scenario_run() {
+        let c = Command::parse(argv("run scenarios/e6_scaling.toml --jobs 4")).unwrap();
+        assert_eq!(
+            c,
+            Command::RunScenario {
+                path: "scenarios/e6_scaling.toml".to_string(),
+                jobs: 4,
+            }
+        );
+        let c = Command::parse(argv("run x.toml")).unwrap();
+        assert_eq!(
+            c,
+            Command::RunScenario {
+                path: "x.toml".to_string(),
+                jobs: 1,
+            }
+        );
+        assert!(Command::parse(argv("run x.toml --jobs 0")).is_err());
+        assert!(Command::parse(argv("run x.toml --timeline")).is_err());
+    }
+
+    #[test]
+    fn parses_scenario_check_and_expand() {
+        let c = Command::parse(argv("scenario check a.toml b.toml")).unwrap();
+        assert_eq!(
+            c,
+            Command::ScenarioCheck {
+                paths: vec!["a.toml".to_string(), "b.toml".to_string()],
+            }
+        );
+        let c = Command::parse(argv("scenario expand a.toml")).unwrap();
+        assert_eq!(
+            c,
+            Command::ScenarioExpand {
+                path: "a.toml".to_string(),
+            }
+        );
+        assert!(Command::parse(argv("scenario")).is_err());
+        assert!(Command::parse(argv("scenario check")).is_err());
+        assert!(Command::parse(argv("scenario expand a.toml b.toml")).is_err());
+        assert!(Command::parse(argv("scenario validate a.toml")).is_err());
     }
 
     #[test]

@@ -1,45 +1,35 @@
 //! Scenario driver: builds topologies and protocols from parsed args,
 //! injects faults, runs and reports.
+//!
+//! The `chaos` and `traffic` subcommands are thin shells over the
+//! scenario compiler's [`lsrp_scenario::exec::run_chaos`] and
+//! [`lsrp_scenario::exec::run_traffic`] lowerings — a flag invocation
+//! and the equivalent scenario file produce byte-identical reports.
 
 use std::collections::BTreeSet;
 use std::fmt::Write as _;
+use std::fs;
 
-use lsrp_analysis::{chaos, measure_recovery, table::fmt_f64, timeline, RoutingSimulation, Table};
+use lsrp_analysis::{measure_recovery, table::fmt_f64, timeline, RoutingSimulation, Table};
 use lsrp_baselines::{
     BaselineSimulation, DbfConfig, DbfSimulation, DualConfig, DualSimulation, PvConfig,
     PvSimulation,
 };
+use lsrp_bench::scenario_runner::BenchRunner;
 use lsrp_core::{InitialState, LsrpSimulation, LsrpSimulationExt};
 use lsrp_graph::{generators, topologies, Graph, NodeId};
-use lsrp_sim::{CongestionConfig, EngineConfig};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-
-use crate::args::{
-    Command, DestinationsSpec, FaultSpec, ParseError, ProtocolChoice, TopologySpec, HELP,
+use lsrp_scenario::exec::{run_chaos, run_traffic};
+use lsrp_scenario::schema::{
+    CampaignScenario, CongestionSection, FaultsSection, TrafficScenario, WorkloadSection,
 };
+use lsrp_scenario::{expand_list, load_str, run_scenario_with, Scenario, ScenarioResult};
+use lsrp_sim::EngineConfig;
+
+use crate::args::{Command, FaultSpec, ParseError, ProtocolChoice, TopologySpec, HELP};
 
 /// Builds the topology and its natural destination.
 pub fn build_topology(spec: &TopologySpec, seed: u64) -> (Graph, NodeId) {
-    let mut rng = StdRng::seed_from_u64(seed);
-    match *spec {
-        TopologySpec::Grid(w, h) => (generators::grid(w, h, 1), NodeId::new(0)),
-        TopologySpec::Ring(n) => (generators::ring(n, 1), NodeId::new(0)),
-        TopologySpec::Path(n) => (generators::path(n, 1), NodeId::new(0)),
-        TopologySpec::ErdosRenyi(n, p) => (
-            generators::connected_erdos_renyi(n, p, 4, &mut rng),
-            NodeId::new(0),
-        ),
-        TopologySpec::Geometric(n, r) => {
-            (generators::random_geometric(n, r, &mut rng), NodeId::new(0))
-        }
-        TopologySpec::PreferentialAttachment(n, m) => (
-            generators::preferential_attachment(n, m, &mut rng),
-            NodeId::new(0),
-        ),
-        TopologySpec::Lollipop(tail, ring) => (generators::lollipop(tail, ring, 1), NodeId::new(0)),
-        TopologySpec::Fig1 => (topologies::paper_fig1(), topologies::FIG1_DESTINATION),
-    }
+    spec.build(seed)
 }
 
 fn build_protocol(
@@ -249,12 +239,19 @@ fn run_one(
     Ok(())
 }
 
+/// Reads and parses a scenario file, prefixing errors with the path.
+fn load_scenario_file(path: &str) -> Result<Scenario, ParseError> {
+    let src = fs::read_to_string(path).map_err(|e| ParseError(format!("{path}: {e}")))?;
+    load_str(&src).map_err(|e| ParseError(format!("{path}: {e}")))
+}
+
 /// Executes a parsed command; returns the report text.
 ///
 /// # Errors
 ///
 /// Returns a [`ParseError`]-style message for semantic errors (unknown
-/// nodes, fault/topology mismatches).
+/// nodes, fault/topology mismatches, unreadable or invalid scenario
+/// files, failed scenario expectations).
 pub fn run_command(cmd: &Command) -> Result<String, ParseError> {
     let mut out = String::new();
     match cmd {
@@ -284,6 +281,46 @@ pub fn run_command(cmd: &Command) -> Result<String, ParseError> {
         } => run_one(
             *protocol, topology, *dest, faults, *seed, *timeline, &mut out,
         )?,
+        Command::RunScenario { path, jobs } => {
+            let s = load_scenario_file(path)?;
+            let outcome = run_scenario_with(&s, *jobs, Some(&BenchRunner)).map_err(ParseError)?;
+            match &outcome.result {
+                // A table report matches the experiments binary's
+                // `println!("{table}")` framing.
+                ScenarioResult::Table(t) => {
+                    let _ = writeln!(out, "{t}");
+                }
+                ScenarioResult::Text(text) => out.push_str(text),
+            }
+            if !outcome.failures.is_empty() {
+                // The report still belongs on stdout; the failures ride
+                // the error path so the exit code goes nonzero.
+                print!("{out}");
+                let mut msg = format!(
+                    "{}: {} expectation(s) failed",
+                    s.name,
+                    outcome.failures.len()
+                );
+                for f in &outcome.failures {
+                    let _ = write!(msg, "\n  {f}");
+                }
+                return Err(ParseError(msg));
+            }
+        }
+        Command::ScenarioCheck { paths } => {
+            for path in paths {
+                let s = load_scenario_file(path)?;
+                let cells = expand_list(&s).map_err(|e| ParseError(format!("{path}: {e}")))?;
+                let _ = writeln!(out, "{path}: ok ({}, {} cells)", s.name, cells.len());
+            }
+        }
+        Command::ScenarioExpand { path } => {
+            let s = load_scenario_file(path)?;
+            let cells = expand_list(&s).map_err(|e| ParseError(format!("{path}: {e}")))?;
+            for line in cells {
+                let _ = writeln!(out, "{line}");
+            }
+        }
         Command::Chaos {
             topology,
             dest,
@@ -293,71 +330,18 @@ pub fn run_command(cmd: &Command) -> Result<String, ParseError> {
             jobs,
             destinations,
         } => {
-            let (graph, natural_dest) = build_topology(topology, *seed);
-            let dest = dest.unwrap_or(natural_dest);
-            if !graph.has_node(dest) {
-                return Err(ParseError(format!(
-                    "destination {dest} is not in the topology"
-                )));
-            }
-            let config = chaos::ChaosConfig {
+            let c = CampaignScenario {
+                topology: topology.clone(),
+                topology_seed: None,
+                destination: *dest,
+                destinations: *destinations,
+                seed: *seed,
+                runs: *runs,
                 horizon: *horizon,
-                ..chaos::ChaosConfig::default()
+                faults: FaultsSection::default(),
             };
-            if let Some(spec) = destinations {
-                // Multi-destination campaign on the dense plane: verdicts
-                // are quiescence + per-tree route correctness; there is no
-                // monitor minimizer on this path.
-                let dests: Vec<NodeId> = match *spec {
-                    DestinationsSpec::AllPairs => graph.nodes().collect(),
-                    DestinationsSpec::Count(n) => {
-                        if n as usize > graph.node_count() {
-                            return Err(ParseError(format!(
-                                "--destinations {n} exceeds the topology's {} nodes",
-                                graph.node_count()
-                            )));
-                        }
-                        graph.nodes().take(n as usize).collect()
-                    }
-                };
-                let campaign = lsrp_analysis::multi_chaos_campaign_with_jobs(
-                    &graph,
-                    &dests,
-                    &topology.to_string(),
-                    &config,
-                    *seed,
-                    *runs,
-                    *jobs,
-                );
-                out.push_str(&campaign.report());
-                return Ok(out);
-            }
-            let campaign = lsrp_analysis::chaos_campaign_with_jobs(
-                &graph,
-                dest,
-                &topology.to_string(),
-                &config,
-                *seed,
-                *runs,
-                *jobs,
-            );
-            out.push_str(&campaign.report());
-            for run in campaign.violating() {
-                let (minimized, violation) = chaos::minimize_run(&graph, dest, &config, run);
-                let repro = chaos::ReproCase {
-                    topology: topology.to_string(),
-                    topology_seed: *seed,
-                    destination: dest,
-                    seed: run.seed,
-                    schedule: minimized,
-                };
-                let _ = write!(
-                    out,
-                    "\nminimized repro for seed {} ({violation}):\n{}",
-                    run.seed,
-                    repro.to_text()
-                );
-            }
+            let (text, _violating) = run_chaos(&c, *jobs).map_err(ParseError)?;
+            out.push_str(&text);
         }
         Command::Traffic {
             topology,
@@ -376,72 +360,33 @@ pub fn run_command(cmd: &Command) -> Result<String, ParseError> {
             discipline,
             cc,
         } => {
-            let (graph, natural_dest) = build_topology(topology, *seed);
-            let dest = dest.unwrap_or(natural_dest);
-            if !graph.has_node(dest) {
-                return Err(ParseError(format!(
-                    "destination {dest} is not in the topology"
-                )));
-            }
-            let config = lsrp_analysis::TrafficConfig {
-                chaos: chaos::ChaosConfig {
+            let t = TrafficScenario {
+                base: CampaignScenario {
+                    topology: topology.clone(),
+                    topology_seed: None,
+                    destination: *dest,
+                    destinations: *destinations,
+                    seed: *seed,
+                    runs: *runs,
                     horizon: *horizon,
-                    engine: EngineConfig::default().with_congestion(CongestionConfig {
-                        link_rate: *link_rate,
-                        queue_capacity: *queue_cap,
-                        discipline: *discipline,
-                    }),
-                    ..chaos::ChaosConfig::default()
+                    faults: FaultsSection::default(),
                 },
-                transport: *cc,
-                workload: lsrp_analysis::WorkloadSpec {
+                workload: WorkloadSection {
                     kind: *workload,
-                    mode: if *exact {
-                        lsrp_analysis::TrafficMode::Exact
-                    } else {
-                        lsrp_analysis::TrafficMode::default()
-                    },
                     flows: *flows,
-                    ..lsrp_analysis::WorkloadSpec::default()
+                    exact: *exact,
+                    ..WorkloadSection::default()
                 },
                 duration: *duration,
-                ..lsrp_analysis::TrafficConfig::default()
+                congestion: CongestionSection {
+                    link_rate: *link_rate,
+                    queue_cap: *queue_cap,
+                    discipline: *discipline,
+                    cc: *cc,
+                },
             };
-            if let Some(spec) = destinations {
-                let dests: Vec<NodeId> = match *spec {
-                    DestinationsSpec::AllPairs => graph.nodes().collect(),
-                    DestinationsSpec::Count(n) => {
-                        if n as usize > graph.node_count() {
-                            return Err(ParseError(format!(
-                                "--destinations {n} exceeds the topology's {} nodes",
-                                graph.node_count()
-                            )));
-                        }
-                        graph.nodes().take(n as usize).collect()
-                    }
-                };
-                let campaign = lsrp_analysis::multi_traffic_campaign_with_jobs(
-                    &graph,
-                    &dests,
-                    &topology.to_string(),
-                    &config,
-                    *seed,
-                    *runs,
-                    *jobs,
-                );
-                out.push_str(&campaign.report());
-                return Ok(out);
-            }
-            let campaign = lsrp_analysis::traffic_campaign_with_jobs(
-                &graph,
-                dest,
-                &topology.to_string(),
-                &config,
-                *seed,
-                *runs,
-                *jobs,
-            );
-            out.push_str(&campaign.report());
+            let (text, _violating) = run_traffic(&t, *jobs).map_err(ParseError)?;
+            out.push_str(&text);
         }
         Command::Compare {
             topology,
@@ -520,6 +465,7 @@ mod tests {
         let out = run("help").unwrap();
         assert!(out.contains("USAGE"));
         assert!(out.contains("chaos"));
+        assert!(out.contains("scenario check"));
     }
 
     #[test]
@@ -663,5 +609,76 @@ mod tests {
         assert!(run("traffic --topology grid:3x3 --workload bursty").is_err());
         assert!(run("traffic --topology grid:3x3 --dest 99 --runs 1").is_err());
         assert!(run("traffic --topology grid:3x3 --destinations 99 --runs 1").is_err());
+    }
+
+    // -----------------------------------------------------------------
+    // Scenario subcommands
+    // -----------------------------------------------------------------
+
+    /// Writes a scenario to a temp file and returns its path.
+    fn temp_scenario(name: &str, body: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("lsrp-cli-tests");
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(name);
+        fs::write(&path, body).unwrap();
+        path
+    }
+
+    const CHAOS_SCENARIO: &str = r#"
+[scenario]
+name = "cli-chaos"
+kind = "chaos"
+expect = ["violating == 0"]
+
+[topology]
+spec = "grid:3x3"
+
+[campaign]
+seed = 5
+runs = 2
+"#;
+
+    #[test]
+    fn scenario_run_matches_the_flag_invocation() {
+        let path = temp_scenario("chaos.toml", CHAOS_SCENARIO);
+        let via_flags = run("chaos --topology grid:3x3 --runs 2 --seed 5").unwrap();
+        let via_file = run(&format!("run {}", path.display())).unwrap();
+        assert_eq!(via_flags, via_file);
+    }
+
+    #[test]
+    fn scenario_run_is_byte_identical_across_jobs() {
+        let path = temp_scenario("chaos_jobs.toml", CHAOS_SCENARIO);
+        let serial = run(&format!("run {} --jobs 1", path.display())).unwrap();
+        for jobs in [2, 4] {
+            let parallel = run(&format!("run {} --jobs {jobs}", path.display())).unwrap();
+            assert_eq!(serial, parallel, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn scenario_check_and_expand_report_cells() {
+        let path = temp_scenario("check.toml", CHAOS_SCENARIO);
+        let out = run(&format!("scenario check {}", path.display())).unwrap();
+        assert!(out.contains("ok (cli-chaos, 1 cells)"), "{out}");
+        let out = run(&format!("scenario expand {}", path.display())).unwrap();
+        assert!(out.contains("chaos campaign: topology grid:3x3"), "{out}");
+    }
+
+    #[test]
+    fn scenario_errors_name_the_file() {
+        let e = run("run no-such-scenario.toml").unwrap_err();
+        assert!(e.0.contains("no-such-scenario.toml"), "{e:?}");
+        let path = temp_scenario("bad.toml", "[scenario]\nname = \"x\"\n");
+        let e = run(&format!("scenario check {}", path.display())).unwrap_err();
+        assert!(e.0.contains("bad.toml"), "{e:?}");
+    }
+
+    #[test]
+    fn scenario_expectation_failures_exit_nonzero() {
+        let failing = CHAOS_SCENARIO.replace("violating == 0", "violating >= 1");
+        let path = temp_scenario("failing.toml", &failing);
+        let e = run(&format!("run {}", path.display())).unwrap_err();
+        assert!(e.0.contains("expectation"), "{e:?}");
     }
 }

@@ -1,15 +1,20 @@
 //! Command-line driver for LSRP scenarios.
 //!
 //! ```text
+//! lsrp run scenarios/e21_congested_recovery.toml --jobs 4
+//! lsrp scenario check scenarios/*.toml
 //! lsrp run --topology grid:8x8 --protocol lsrp --fault corrupt:9:0 --timeline
-//! lsrp run --topology fig1 --protocol dbf --fault corrupt:9:1
 //! lsrp compare --topology grid:12x12 --fault corrupt:13:0
 //! lsrp topo --topology ba:60:2
 //! ```
 //!
 //! Argument parsing is hand-rolled (no extra dependencies); see
-//! [`args::Command::parse`] for the grammar. The library half exists so
-//! the parser and scenario driver are unit-testable.
+//! [`args::Command::parse`] for the grammar. The flag vocabulary
+//! (topologies, destination sets, workloads, congestion knobs) is shared
+//! with the declarative scenario loader via [`lsrp_scenario::spec`], and
+//! the `chaos`/`traffic` subcommands run through the same campaign
+//! lowering as `lsrp run <file.toml>`. The library half exists so the
+//! parser and scenario driver are unit-testable.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -32,6 +32,7 @@ enum MarkerKind {
     NodeChurn,
     Partition,
     Corruption,
+    WeightDrift,
 }
 
 /// A pending restore: faults to re-apply when an outage ends.
@@ -40,6 +41,7 @@ struct PendingRestore {
     at: f64,
     crashed_node: Option<(NodeId, Vec<(NodeId, Weight)>)>,
     edges: Vec<(NodeId, NodeId, Weight)>,
+    weights: Vec<(NodeId, NodeId, Weight)>,
 }
 
 /// A seeded random fault-schedule generator.
@@ -54,6 +56,8 @@ pub struct FaultProcess {
     pub partitions: u32,
     /// Number of single-node state corruptions.
     pub corruptions: u32,
+    /// Number of link-weight drift (re-cost + later restore) events.
+    pub weight_drifts: u32,
     /// Shortest outage (time between a fail and its restore).
     pub min_outage: f64,
     /// Longest outage.
@@ -68,6 +72,7 @@ impl FaultProcess {
             node_churn: 2,
             partitions: 1,
             corruptions: 3,
+            weight_drifts: 0,
             min_outage: 20.0,
             max_outage: 120.0,
         }
@@ -80,6 +85,7 @@ impl FaultProcess {
             node_churn: 0,
             partitions: 0,
             corruptions,
+            weight_drifts: 0,
             min_outage: 20.0,
             max_outage: 120.0,
         }
@@ -87,7 +93,7 @@ impl FaultProcess {
 
     /// Total chaos events this process injects.
     pub fn event_count(&self) -> u32 {
-        self.link_flaps + self.node_churn + self.partitions + self.corruptions
+        self.link_flaps + self.node_churn + self.partitions + self.corruptions + self.weight_drifts
     }
 
     /// Validates the configuration.
@@ -134,11 +140,15 @@ impl FaultProcess {
         // Draw each chaos event's start time up front, then walk them in
         // time order against a model of the evolving topology.
         let mut markers: Vec<(f64, MarkerKind)> = Vec::new();
+        // `WeightDrift` is drawn last so a zero-count process consumes the
+        // exact RNG stream older configs did — existing seeds replay
+        // byte-identically.
         let classes = [
             (self.link_flaps, MarkerKind::LinkFlap),
             (self.node_churn, MarkerKind::NodeChurn),
             (self.partitions, MarkerKind::Partition),
             (self.corruptions, MarkerKind::Corruption),
+            (self.weight_drifts, MarkerKind::WeightDrift),
         ];
         for (count, kind) in classes {
             for _ in 0..count {
@@ -175,6 +185,7 @@ impl FaultProcess {
                         at: at + outage,
                         crashed_node: None,
                         edges: vec![(a, b, w)],
+                        weights: Vec::new(),
                     });
                 }
                 MarkerKind::NodeChurn => {
@@ -190,6 +201,7 @@ impl FaultProcess {
                         at: at + outage,
                         crashed_node: Some((victim, edges)),
                         edges: Vec::new(),
+                        weights: Vec::new(),
                     });
                 }
                 MarkerKind::Partition => {
@@ -205,6 +217,7 @@ impl FaultProcess {
                         at: at + outage,
                         crashed_node: None,
                         edges: cut,
+                        weights: Vec::new(),
                     });
                 }
                 MarkerKind::Corruption => {
@@ -252,6 +265,36 @@ impl FaultProcess {
                     };
                     schedule.push(at, Fault::Corrupt { node: victim, kind });
                 }
+                MarkerKind::WeightDrift => {
+                    // Re-cost one live edge (a metric change, not an
+                    // outage): the drifted weight holds for the outage
+                    // duration, then the original cost is restored — two
+                    // legitimate-state perturbations per drift event.
+                    // Edges with a restore still pending are excluded, so
+                    // "original" always means the pre-drift cost and every
+                    // drift unwinds fully.
+                    let drifting = |a: NodeId, b: NodeId| {
+                        restores
+                            .iter()
+                            .any(|r| r.weights.iter().any(|&(x, y, _)| (x, y) == (a, b)))
+                    };
+                    let candidates: Vec<(NodeId, NodeId, Weight)> =
+                        model.edges().filter(|&(a, b, _)| !drifting(a, b)).collect();
+                    let Some(&(a, b, w)) = candidates.choose(&mut rng) else {
+                        continue;
+                    };
+                    let drifted = w + rng.gen_range(1..=9u64);
+                    model
+                        .set_weight(a, b, drifted)
+                        .expect("edge came from the model");
+                    schedule.push(at, Fault::SetWeight(a, b, drifted));
+                    restores.push(PendingRestore {
+                        at: at + outage,
+                        crashed_node: None,
+                        edges: Vec::new(),
+                        weights: vec![(a, b, w)],
+                    });
+                }
             }
         }
         Self::apply_due_restores(&mut model, &mut schedule, &mut restores, f64::INFINITY);
@@ -292,6 +335,15 @@ impl FaultProcess {
                 if model.has_node(a) && model.has_node(b) && !model.has_edge(a, b) {
                     model.add_edge(a, b, w).expect("checked endpoints");
                     schedule.push(at, Fault::JoinEdge(a, b, w));
+                }
+            }
+            for (a, b, w) in r.weights {
+                // A drifted edge may have flapped or lost an endpoint in
+                // the meantime; restore the cost only while it is up (the
+                // rejoin path re-adds edges at their original weight).
+                if model.has_edge(a, b) {
+                    model.set_weight(a, b, w).expect("checked edge");
+                    schedule.push(at, Fault::SetWeight(a, b, w));
                 }
             }
         }
@@ -360,6 +412,7 @@ mod tests {
             node_churn: 10,
             partitions: 3,
             corruptions: 10,
+            weight_drifts: 2,
             min_outage: 5.0,
             max_outage: 30.0,
         };
@@ -410,6 +463,49 @@ mod tests {
         // All outages healed, so the final topology is the original and
         // LSRP must have stabilized back to correct routes.
         assert!(sim.routes_correct());
+    }
+
+    #[test]
+    fn weight_drifts_recost_and_restore() {
+        let g = generators::grid(4, 4, 1);
+        let p = FaultProcess {
+            link_flaps: 0,
+            node_churn: 0,
+            partitions: 0,
+            corruptions: 0,
+            weight_drifts: 4,
+            ..FaultProcess::standard()
+        };
+        let s = p.generate(&g, v(0), 400.0, 11);
+        let drifts: Vec<_> = s
+            .events
+            .iter()
+            .filter_map(|e| match e.fault {
+                Fault::SetWeight(a, b, w) => Some((a, b, w)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(drifts.len(), 8, "each drift must pair with a restore");
+        // Every drifted edge ends back at its original unit cost.
+        let mut model = g.clone();
+        for &(a, b, w) in &drifts {
+            model.set_weight(a, b, w).expect("edge is live");
+        }
+        assert!(model.edges().all(|(_, _, w)| w == 1));
+    }
+
+    #[test]
+    fn zero_weight_drifts_preserve_existing_schedules() {
+        // Appending the class must not disturb the RNG stream older
+        // configs consume: standard() schedules replay byte-identically.
+        let g = generators::grid(4, 4, 1);
+        let a = FaultProcess::standard().generate(&g, v(0), 500.0, 7);
+        let b = FaultProcess {
+            weight_drifts: 0,
+            ..FaultProcess::standard()
+        }
+        .generate(&g, v(0), 500.0, 7);
+        assert_eq!(a, b);
     }
 
     #[test]

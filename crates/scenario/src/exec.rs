@@ -1,0 +1,1031 @@
+//! The campaign compiler: expands a parsed [`Scenario`] into concrete
+//! cells, runs them on the deterministic sharded runner and renders the
+//! exact report the hand-coded experiment paths produced.
+//!
+//! Every cell is a pure function of its spec, and [`run_sharded`]
+//! merges shard results back in cell-index order — so the rendered
+//! report is byte-identical for any `--jobs` value, and byte-identical
+//! to the legacy serial loops the scenario files replaced.
+
+use std::fmt::Write as _;
+
+use lsrp_analysis::table::fmt_f64;
+use lsrp_analysis::{
+    chaos, chaos_campaign_with_jobs, multi_chaos_campaign_with_jobs,
+    multi_traffic_campaign_with_jobs, run_sharded, traffic_campaign_with_jobs, ChaosConfig, Table,
+    TrafficConfig, TrafficMode, WorkloadSpec,
+};
+use lsrp_sim::EngineConfig;
+
+use crate::cells::{
+    live_hijack_cell, multi_recovery_cell, recovery_cell, snapshot_hijack_cell, EngineModel,
+    LiveHijackSpec, Protocol, RecoveryCellSpec,
+};
+use crate::schema::{
+    Binding, CampaignScenario, Expectation, HijackMode, HijackScenario, Plane, RecoveryScenario,
+    Rhs, Scenario, ScenarioBody, SeedMode, SweepValue, TrafficScenario, WorkloadSection,
+};
+use crate::spec::DestinationsSpec;
+
+/// Column keys a single-plane recovery scenario may report.
+pub const RECOVERY_COLUMNS: &[&str] = &[
+    "protocol",
+    "grid_n",
+    "p",
+    "stab_time",
+    "range",
+    "contaminated",
+    "messages",
+    "flaps",
+    "actions",
+    "routes_correct",
+    "loss",
+];
+
+/// Column keys a multi-plane recovery scenario may report.
+pub const RECOVERY_MULTI_COLUMNS: &[&str] = &[
+    "grid_n",
+    "trees",
+    "p",
+    "stab_time",
+    "messages_delivered",
+    "adverts_delivered",
+    "acting",
+];
+
+/// Column keys a live hijack scenario may report.
+pub const HIJACK_LIVE_COLUMNS: &[&str] = &[
+    "p",
+    "delivered",
+    "min_window",
+    "lost",
+    "mean_stretch",
+    "max_stretch",
+    "goodput",
+    "queue_drops",
+    "blackholed",
+    "peak_queue",
+    "retransmitted",
+    "timeouts",
+    "fct_mean",
+    "fct_max",
+];
+
+/// Column keys a snapshot hijack scenario may report.
+pub const HIJACK_SNAPSHOT_COLUMNS: &[&str] = &["protocol", "min_avail", "degraded", "lost_avail"];
+
+/// The exact legacy header a column key renders as.
+///
+/// # Panics
+///
+/// Panics on a key outside the vocabulary (the schema validates keys at
+/// parse time, so this is unreachable from a loaded scenario).
+pub fn column_header(key: &str) -> &'static str {
+    match key {
+        "protocol" => "protocol",
+        "grid_n" => "n (grid)",
+        "p" => "perturbation p",
+        "stab_time" => "stabilization time",
+        "range" => "contamination range",
+        "contaminated" => "contaminated nodes",
+        "messages" => "messages",
+        "flaps" => "healthy-node route flaps",
+        "actions" => "protocol actions",
+        "routes_correct" => "routes correct",
+        "loss" => "loss rate",
+        "trees" => "destination trees",
+        "messages_delivered" => "messages delivered",
+        "adverts_delivered" => "adverts delivered",
+        "acting" => "acting nodes",
+        "delivered" => "delivered fraction",
+        "min_window" => "min window availability",
+        "lost" => "packets lost",
+        "mean_stretch" => "mean stretch",
+        "max_stretch" => "max stretch",
+        "goodput" => "goodput fraction",
+        "queue_drops" => "queue drops",
+        "blackholed" => "blackholed",
+        "peak_queue" => "peak queue depth",
+        "retransmitted" => "retransmitted",
+        "timeouts" => "flow timeouts",
+        "fct_mean" => "mean FCT",
+        "fct_max" => "max FCT",
+        "min_avail" => "min availability",
+        "degraded" => "degraded seconds",
+        "lost_avail" => "availability-seconds lost",
+        other => panic!("column key '{other}' escaped schema validation"),
+    }
+}
+
+/// The expectation metrics a scenario body can evaluate.
+pub fn expect_vocabulary(body: &ScenarioBody) -> &'static [&'static str] {
+    match body {
+        ScenarioBody::Chaos(_) | ScenarioBody::Traffic(_) => &["violating", "runs"],
+        ScenarioBody::Recovery(r) if r.plane == Plane::Multi => &[
+            "stabilization_time",
+            "messages_delivered",
+            "adverts_delivered",
+            "acting",
+        ],
+        ScenarioBody::Recovery(_) => &[
+            "stabilization_time",
+            "contamination_range",
+            "max_contamination",
+            "contaminated",
+            "messages",
+            "actions",
+            "flaps",
+            "routes_correct",
+            "quiescent",
+        ],
+        ScenarioBody::Hijack(h) if h.mode == HijackMode::Snapshot => {
+            &["min_availability", "degraded_seconds", "lost_availability"]
+        }
+        ScenarioBody::Hijack(_) => &[
+            "delivered_fraction",
+            "min_window_availability",
+            "goodput",
+            "lost",
+            "queue_drops",
+            "blackholed",
+            "peak_queue",
+            "retransmitted",
+            "timeouts",
+            "mean_fct",
+            "max_fct",
+            "mean_stretch",
+            "max_stretch",
+        ],
+        ScenarioBody::Builtin(_) => &[],
+    }
+}
+
+/// A runner for `builtin` scenarios: resolves an experiment id to the
+/// hand-coded implementation (the bench crate registers one covering
+/// E1–E19's non-sweep experiments).
+pub trait BuiltinRunner {
+    /// Runs experiment `id` with the scenario's `[params]` and returns
+    /// its rendered report.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message for unknown ids or bad parameters.
+    fn run(
+        &self,
+        id: &str,
+        params: &[(String, crate::schema::ParamValue)],
+    ) -> Result<String, String>;
+}
+
+/// A scenario's rendered result.
+#[derive(Debug, Clone)]
+pub enum ScenarioResult {
+    /// A report table (recovery/hijack kinds and most builtins).
+    Table(Table),
+    /// Pre-rendered text (chaos/traffic campaigns, multi-table builtins).
+    Text(String),
+}
+
+/// The outcome of running a scenario: the report plus any expectation
+/// failures. Expectations are silent on pass so the report stays
+/// byte-identical to the legacy path.
+#[derive(Debug, Clone)]
+pub struct ScenarioOutcome {
+    /// The rendered report.
+    pub result: ScenarioResult,
+    /// One message per failed expectation (empty on success).
+    pub failures: Vec<String>,
+}
+
+impl ScenarioOutcome {
+    /// Renders the report text (without expectation failures).
+    pub fn report(&self) -> String {
+        match &self.result {
+            ScenarioResult::Table(t) => t.to_string(),
+            ScenarioResult::Text(s) => s.clone(),
+        }
+    }
+
+    /// Unwraps the table result.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the scenario rendered text instead of a table.
+    pub fn into_table(self) -> Table {
+        match self.result {
+            ScenarioResult::Table(t) => t,
+            ScenarioResult::Text(_) => panic!("scenario rendered text, not a table"),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Binding helpers
+// ---------------------------------------------------------------------
+
+fn bind<'a>(binding: &'a Binding, key: &str) -> Option<&'a SweepValue> {
+    binding.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+}
+
+fn bind_usize(binding: &Binding, key: &str) -> Result<Option<usize>, String> {
+    match bind(binding, key) {
+        None => Ok(None),
+        Some(SweepValue::Int(i)) => usize::try_from(*i)
+            .map(Some)
+            .map_err(|_| format!("sweep axis '{key}' value {i} is out of range")),
+        Some(other) => Err(format!(
+            "sweep axis '{key}' needs integer values, got {other}"
+        )),
+    }
+}
+
+fn bind_f64(binding: &Binding, key: &str) -> Result<Option<f64>, String> {
+    match bind(binding, key) {
+        None => Ok(None),
+        Some(SweepValue::Float(x)) => Ok(Some(*x)),
+        #[allow(clippy::cast_precision_loss)]
+        Some(SweepValue::Int(i)) => Ok(Some(*i as f64)),
+        Some(other) => Err(format!(
+            "sweep axis '{key}' needs number values, got {other}"
+        )),
+    }
+}
+
+fn bind_protocol(binding: &Binding, key: &str) -> Result<Option<Protocol>, String> {
+    match bind(binding, key) {
+        None => Ok(None),
+        Some(SweepValue::Str(s)) => Protocol::parse(s)
+            .map(Some)
+            .map_err(|e| format!("sweep axis '{key}': {e}")),
+        Some(other) => Err(format!(
+            "sweep axis '{key}' needs protocol names, got {other}"
+        )),
+    }
+}
+
+fn render_title(template: &str, subs: &[(&str, String)]) -> String {
+    let mut out = template.to_string();
+    for (k, v) in subs {
+        out = out.replace(&format!("{{{k}}}"), v);
+    }
+    out
+}
+
+fn workload_spec(w: &WorkloadSection) -> WorkloadSpec {
+    WorkloadSpec {
+        kind: w.kind,
+        mode: if w.exact {
+            TrafficMode::Exact
+        } else {
+            TrafficMode::default()
+        },
+        flows: w.flows,
+        rate: w.rate,
+    }
+}
+
+// ---------------------------------------------------------------------
+// Expectation evaluation
+// ---------------------------------------------------------------------
+
+fn eval_expectations(
+    expect: &[Expectation],
+    metrics: &[(&str, f64)],
+    vars: &[(&str, f64)],
+    cell: &str,
+    failures: &mut Vec<String>,
+) {
+    for exp in expect {
+        let Some(&(_, lhs)) = metrics.iter().find(|(k, _)| *k == exp.metric) else {
+            failures.push(format!(
+                "{cell}: expectation '{exp}' — metric '{}' is not produced by this scenario",
+                exp.metric
+            ));
+            continue;
+        };
+        let rhs = match &exp.rhs {
+            Rhs::Number(x) => *x,
+            Rhs::Bool(b) => {
+                if *b {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            Rhs::Var(name) => match vars.iter().find(|(k, _)| k == name) {
+                Some(&(_, v)) => v,
+                None => {
+                    failures.push(format!(
+                        "{cell}: expectation '{exp}' — unknown variable '{name}'"
+                    ));
+                    continue;
+                }
+            },
+        };
+        if !exp.op.holds(lhs, rhs) {
+            failures.push(format!(
+                "{cell}: expectation '{exp}' failed ({} = {})",
+                exp.metric,
+                fmt_f64(lhs)
+            ));
+        }
+    }
+}
+
+fn bool_metric(b: bool) -> f64 {
+    if b {
+        1.0
+    } else {
+        0.0
+    }
+}
+
+// ---------------------------------------------------------------------
+// Chaos / traffic lowering (shared with the CLI driver)
+// ---------------------------------------------------------------------
+
+/// Lowers and runs a `chaos` scenario: exactly the `lsrp chaos` path,
+/// including the minimized-repro appendix for violating runs.
+///
+/// # Errors
+///
+/// Returns a message when the destination is absent or a destination
+/// count exceeds the topology.
+pub fn run_chaos(c: &CampaignScenario, jobs: usize) -> Result<(String, u64), String> {
+    let (graph, natural_dest) = c.topology.build(c.topology_seed());
+    let dest = c.destination.unwrap_or(natural_dest);
+    if !graph.has_node(dest) {
+        return Err(format!("destination {dest} is not in the topology"));
+    }
+    let config = ChaosConfig {
+        horizon: c.horizon,
+        fault_window: c.faults.window,
+        process: c.faults.process,
+        ..ChaosConfig::default()
+    };
+    if let Some(spec) = c.destinations {
+        let dests = spec.resolve(&graph)?;
+        let campaign = multi_chaos_campaign_with_jobs(
+            &graph,
+            &dests,
+            &c.topology.to_string(),
+            &config,
+            c.seed,
+            c.runs,
+            jobs,
+        );
+        let bad = campaign.violating().count() as u64;
+        return Ok((campaign.report(), bad));
+    }
+    let campaign = chaos_campaign_with_jobs(
+        &graph,
+        dest,
+        &c.topology.to_string(),
+        &config,
+        c.seed,
+        c.runs,
+        jobs,
+    );
+    let mut out = campaign.report();
+    let bad = campaign.violating().count() as u64;
+    for run in campaign.violating() {
+        let (minimized, violation) = chaos::minimize_run(&graph, dest, &config, run);
+        let repro = chaos::ReproCase {
+            topology: c.topology.to_string(),
+            topology_seed: c.topology_seed(),
+            destination: dest,
+            seed: run.seed,
+            schedule: minimized,
+        };
+        let _ = write!(
+            out,
+            "\nminimized repro for seed {} ({violation}):\n{}",
+            run.seed,
+            repro.to_text()
+        );
+    }
+    Ok((out, bad))
+}
+
+/// Lowers and runs a `traffic` scenario: exactly the `lsrp traffic`
+/// path.
+///
+/// # Errors
+///
+/// Returns a message when the destination is absent or a destination
+/// count exceeds the topology.
+pub fn run_traffic(t: &TrafficScenario, jobs: usize) -> Result<(String, u64), String> {
+    let c = &t.base;
+    let (graph, natural_dest) = c.topology.build(c.topology_seed());
+    let dest = c.destination.unwrap_or(natural_dest);
+    if !graph.has_node(dest) {
+        return Err(format!("destination {dest} is not in the topology"));
+    }
+    let config = TrafficConfig {
+        chaos: ChaosConfig {
+            horizon: c.horizon,
+            fault_window: c.faults.window,
+            process: c.faults.process,
+            engine: EngineConfig::default().with_congestion(t.congestion.config()),
+            ..ChaosConfig::default()
+        },
+        transport: t.congestion.cc,
+        workload: workload_spec(&t.workload),
+        duration: t.duration,
+        ..TrafficConfig::default()
+    };
+    if let Some(spec) = c.destinations {
+        let dests = spec.resolve(&graph)?;
+        let campaign = multi_traffic_campaign_with_jobs(
+            &graph,
+            &dests,
+            &c.topology.to_string(),
+            &config,
+            c.seed,
+            c.runs,
+            jobs,
+        );
+        let bad = campaign.violating().count() as u64;
+        return Ok((campaign.report(), bad));
+    }
+    let campaign = traffic_campaign_with_jobs(
+        &graph,
+        dest,
+        &c.topology.to_string(),
+        &config,
+        c.seed,
+        c.runs,
+        jobs,
+    );
+    let bad = campaign.violating().count() as u64;
+    Ok((campaign.report(), bad))
+}
+
+// ---------------------------------------------------------------------
+// Recovery execution
+// ---------------------------------------------------------------------
+
+/// One resolved recovery cell (fixed fields + sweep binding applied).
+#[derive(Debug, Clone, Copy)]
+struct RCell {
+    protocol: Option<Protocol>,
+    width: u32,
+    p: usize,
+    loss: f64,
+    trees: usize,
+    seed: u64,
+    model: EngineModel,
+}
+
+impl RCell {
+    fn describe(&self, plane: Plane) -> String {
+        let mut s = String::new();
+        if let Some(p) = self.protocol {
+            let _ = write!(s, "protocol={} ", p.as_str());
+        }
+        let _ = write!(s, "width={} p={}", self.width, self.p);
+        if plane == Plane::Multi {
+            let _ = write!(s, " trees={}", self.trees);
+        }
+        if let EngineModel::Lossy { loss, .. } = self.model {
+            let _ = write!(s, " loss={}", crate::toml::fmt_float(loss));
+        }
+        let _ = write!(s, " seed={}", self.seed);
+        s
+    }
+}
+
+fn sweep_has(r: &RecoveryScenario, key: &str) -> bool {
+    r.sweep.axes.iter().any(|(k, _)| k == key)
+        || r.sweep
+            .cases
+            .iter()
+            .any(|c| c.iter().any(|(k, _)| k == key))
+}
+
+fn expand_recovery(r: &RecoveryScenario) -> Result<Vec<RCell>, String> {
+    let lossy = r.engine.loss.is_some() || r.engine.syn_period.is_some() || sweep_has(r, "loss");
+    let mut cells = Vec::new();
+    for binding in r.sweep.expand() {
+        let protocol = bind_protocol(&binding, "protocol")?.or(r.protocol);
+        if protocol.is_none() && r.plane == Plane::Single {
+            return Err(
+                "recovery cell needs a protocol (set [recovery] protocol or sweep it)".to_string(),
+            );
+        }
+        let width = match bind_usize(&binding, "width")? {
+            Some(w) => u32::try_from(w)
+                .map_err(|_| format!("sweep axis 'width' value {w} is out of range"))?,
+            None => r
+                .width
+                .ok_or("recovery cell needs a width (set [recovery] width or sweep it)")?,
+        };
+        let p = match bind_usize(&binding, "p")? {
+            Some(p) => p,
+            None => {
+                r.p.ok_or("recovery cell needs a p (set [recovery] p or sweep it)")?
+            }
+        };
+        let loss = bind_f64(&binding, "loss")?.or(r.engine.loss).unwrap_or(0.0);
+        let seed = match r.seed_mode {
+            SeedMode::Fixed => r.seed,
+            SeedMode::PlusWidth => r.seed + u64::from(width),
+        };
+        let model = if let (Some(jitter), Some(rho)) = (r.engine.jitter, r.engine.clock_rho) {
+            EngineModel::Harsh { jitter, rho }
+        } else if lossy {
+            EngineModel::Lossy {
+                loss,
+                syn_period: r.engine.syn_period.unwrap_or(5.0),
+            }
+        } else {
+            EngineModel::Ideal
+        };
+        let n = (width * width) as usize;
+        let trees = match r.destinations {
+            None | Some(DestinationsSpec::AllPairs) => n,
+            Some(DestinationsSpec::Count(c)) => (c as usize).min(n),
+        };
+        cells.push(RCell {
+            protocol,
+            width,
+            p,
+            loss,
+            trees,
+            seed,
+            model,
+        });
+    }
+    Ok(cells)
+}
+
+fn recovery_col(key: &str, cell: &RCell, m: &lsrp_analysis::RecoveryMetrics) -> String {
+    match key {
+        "protocol" => m.protocol.to_string(),
+        "grid_n" => format!("{}", cell.width * cell.width),
+        "p" => cell.p.to_string(),
+        "stab_time" => fmt_f64(m.stabilization_time),
+        "range" => m.contamination_range.to_string(),
+        "contaminated" => m.contaminated.len().to_string(),
+        "messages" => m.messages.to_string(),
+        "flaps" => m.healthy_route_flaps.to_string(),
+        "actions" => m.actions.to_string(),
+        "routes_correct" => m.routes_correct.to_string(),
+        "loss" => format!("{:.0}%", cell.loss * 100.0),
+        other => panic!("column key '{other}' escaped schema validation"),
+    }
+}
+
+fn recovery_title_subs(r: &RecoveryScenario) -> Vec<(&'static str, String)> {
+    let mut subs = Vec::new();
+    if let Some(w) = r.width {
+        subs.push(("width", w.to_string()));
+    }
+    if let Some(p) = r.p {
+        subs.push(("p", p.to_string()));
+    }
+    let dests = match r.destinations {
+        None | Some(DestinationsSpec::AllPairs) => "all-pairs".to_string(),
+        Some(DestinationsSpec::Count(n)) => n.to_string(),
+    };
+    subs.push(("dests", dests));
+    subs
+}
+
+fn run_recovery(
+    r: &RecoveryScenario,
+    jobs: usize,
+    expect: &[Expectation],
+) -> Result<ScenarioOutcome, String> {
+    let cells = expand_recovery(r)?;
+    let headers: Vec<&str> = r.report.columns.iter().map(|c| column_header(c)).collect();
+    let title = render_title(&r.report.title, &recovery_title_subs(r));
+    let mut table = Table::new(title, &headers);
+    let mut failures = Vec::new();
+    match r.plane {
+        Plane::Single => {
+            let specs: Vec<RecoveryCellSpec> = cells
+                .iter()
+                .map(|c| RecoveryCellSpec {
+                    protocol: c.protocol.expect("checked in expand_recovery"),
+                    width: c.width,
+                    p: c.p,
+                    seed: c.seed,
+                    fault: r.fault,
+                    model: c.model,
+                })
+                .collect();
+            let results = {
+                let specs = specs.clone();
+                run_sharded(jobs, specs.len(), move |i| recovery_cell(&specs[i]))
+            };
+            for (cell, m) in cells.iter().zip(&results) {
+                if r.require_correct {
+                    let (protocol, w, p) = (
+                        cell.protocol.expect("checked in expand_recovery"),
+                        cell.width,
+                        cell.p,
+                    );
+                    assert!(m.quiescent && m.routes_correct, "{protocol:?} w={w} p={p}");
+                }
+                let row: Vec<String> = r
+                    .report
+                    .columns
+                    .iter()
+                    .map(|key| recovery_col(key, cell, m))
+                    .collect();
+                table.row(&row);
+                #[allow(clippy::cast_precision_loss)]
+                let metrics: Vec<(&str, f64)> = vec![
+                    ("stabilization_time", m.stabilization_time),
+                    ("contamination_range", m.contamination_range as f64),
+                    ("max_contamination", m.contaminated.len() as f64),
+                    ("contaminated", m.contaminated.len() as f64),
+                    ("messages", m.messages as f64),
+                    ("actions", m.actions as f64),
+                    ("flaps", m.healthy_route_flaps as f64),
+                    ("routes_correct", bool_metric(m.routes_correct)),
+                    ("quiescent", bool_metric(m.quiescent)),
+                ];
+                #[allow(clippy::cast_precision_loss)]
+                let vars: Vec<(&str, f64)> = vec![
+                    ("width", f64::from(cell.width)),
+                    ("p", cell.p as f64),
+                    ("loss", cell.loss),
+                ];
+                eval_expectations(
+                    expect,
+                    &metrics,
+                    &vars,
+                    &cell.describe(Plane::Single),
+                    &mut failures,
+                );
+            }
+        }
+        Plane::Multi => {
+            let args: Vec<(u32, usize, usize, u64)> = cells
+                .iter()
+                .map(|c| (c.width, c.p, c.trees, c.seed))
+                .collect();
+            let results = {
+                let args = args.clone();
+                run_sharded(jobs, args.len(), move |i| {
+                    let (w, p, trees, seed) = args[i];
+                    multi_recovery_cell(w, p, trees, seed)
+                })
+            };
+            for (cell, (stab, messages, adverts, acting)) in cells.iter().zip(&results) {
+                let row: Vec<String> = r
+                    .report
+                    .columns
+                    .iter()
+                    .map(|key| match key.as_str() {
+                        "grid_n" => format!("{}", cell.width * cell.width),
+                        "trees" => cell.trees.to_string(),
+                        "p" => cell.p.to_string(),
+                        "stab_time" => fmt_f64(*stab),
+                        "messages_delivered" => messages.to_string(),
+                        "adverts_delivered" => adverts.to_string(),
+                        "acting" => acting.to_string(),
+                        other => panic!("column key '{other}' escaped schema validation"),
+                    })
+                    .collect();
+                table.row(&row);
+                #[allow(clippy::cast_precision_loss)]
+                let metrics: Vec<(&str, f64)> = vec![
+                    ("stabilization_time", *stab),
+                    ("messages_delivered", *messages as f64),
+                    ("adverts_delivered", *adverts as f64),
+                    ("acting", *acting as f64),
+                ];
+                #[allow(clippy::cast_precision_loss)]
+                let vars: Vec<(&str, f64)> = vec![
+                    ("width", f64::from(cell.width)),
+                    ("p", cell.p as f64),
+                    ("trees", cell.trees as f64),
+                ];
+                eval_expectations(
+                    expect,
+                    &metrics,
+                    &vars,
+                    &cell.describe(Plane::Multi),
+                    &mut failures,
+                );
+            }
+        }
+    }
+    Ok(ScenarioOutcome {
+        result: ScenarioResult::Table(table),
+        failures,
+    })
+}
+
+// ---------------------------------------------------------------------
+// Hijack execution
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone, Copy)]
+struct HCell {
+    protocol: Option<Protocol>,
+    p: usize,
+}
+
+fn expand_hijack(h: &HijackScenario) -> Result<Vec<HCell>, String> {
+    let mut cells = Vec::new();
+    for binding in h.sweep.expand() {
+        let protocol = bind_protocol(&binding, "protocol")?.or(h.protocol);
+        if protocol.is_none() && h.mode == HijackMode::Snapshot {
+            return Err(
+                "snapshot hijack cell needs a protocol (set [hijack] protocol or sweep it)"
+                    .to_string(),
+            );
+        }
+        let p = match bind_usize(&binding, "p")? {
+            Some(p) => p,
+            None => {
+                h.p.ok_or("hijack cell needs a p (set [hijack] p or sweep it)")?
+            }
+        };
+        cells.push(HCell { protocol, p });
+    }
+    Ok(cells)
+}
+
+/// Lowers a live-mode hijack scenario into the concrete cell specs the
+/// sharded runner executes, in sweep order. Exposed so the perf-smoke
+/// harness can time exactly the cell a scenario file compiles to.
+///
+/// # Errors
+///
+/// Returns a message when the scenario is not in live mode or a sweep
+/// cell fails to resolve.
+pub fn live_hijack_specs(h: &HijackScenario) -> Result<Vec<LiveHijackSpec>, String> {
+    if h.mode != HijackMode::Live {
+        return Err("live_hijack_specs wants a live-mode hijack scenario".to_string());
+    }
+    Ok(expand_hijack(h)?
+        .iter()
+        .map(|c| LiveHijackSpec {
+            width: h.width,
+            p: c.p,
+            seed: h.seed,
+            workload: workload_spec(&h.workload),
+            duration: h.duration,
+            prefault: h.prefault,
+            window: h.window,
+            congestion: h
+                .congestion
+                .as_ref()
+                .map(super::schema::CongestionSection::config),
+            transport: h.congestion.as_ref().and_then(|c| c.cc),
+        })
+        .collect())
+}
+
+fn run_hijack(
+    h: &HijackScenario,
+    jobs: usize,
+    expect: &[Expectation],
+) -> Result<ScenarioOutcome, String> {
+    let cells = expand_hijack(h)?;
+    let headers: Vec<&str> = h.report.columns.iter().map(|c| column_header(c)).collect();
+    let mut subs = vec![("width", h.width.to_string())];
+    if let Some(p) = h.p {
+        subs.push(("p", p.to_string()));
+    }
+    let title = render_title(&h.report.title, &subs);
+    let mut table = Table::new(title, &headers);
+    let mut failures = Vec::new();
+    match h.mode {
+        HijackMode::Snapshot => {
+            let args: Vec<(Protocol, usize)> = cells
+                .iter()
+                .map(|c| (c.protocol.expect("checked in expand_hijack"), c.p))
+                .collect();
+            let (w, seed, sample_every) = (h.width, h.seed, h.sample_every);
+            let results = {
+                let args = args.clone();
+                run_sharded(jobs, args.len(), move |i| {
+                    let (protocol, p) = args[i];
+                    snapshot_hijack_cell(protocol, w, p, seed, sample_every)
+                })
+            };
+            for ((protocol, p), a) in args.iter().zip(&results) {
+                let row: Vec<String> = h
+                    .report
+                    .columns
+                    .iter()
+                    .map(|key| match key.as_str() {
+                        "protocol" => format!("{protocol:?}"),
+                        "min_avail" => format!("{:.3}", a.min),
+                        "degraded" => fmt_f64(a.degraded_time),
+                        "lost_avail" => format!("{:.1}", a.lost),
+                        other => panic!("column key '{other}' escaped schema validation"),
+                    })
+                    .collect();
+                table.row(&row);
+                let metrics: Vec<(&str, f64)> = vec![
+                    ("min_availability", a.min),
+                    ("degraded_seconds", a.degraded_time),
+                    ("lost_availability", a.lost),
+                ];
+                #[allow(clippy::cast_precision_loss)]
+                let vars: Vec<(&str, f64)> = vec![("width", f64::from(h.width)), ("p", *p as f64)];
+                eval_expectations(
+                    expect,
+                    &metrics,
+                    &vars,
+                    &format!("protocol={} p={p}", protocol.as_str()),
+                    &mut failures,
+                );
+            }
+        }
+        HijackMode::Live => {
+            let specs = live_hijack_specs(h)?;
+            let results = {
+                let specs = specs.clone();
+                run_sharded(jobs, specs.len(), move |i| live_hijack_cell(&specs[i]))
+            };
+            for (cell, outcome) in specs.iter().zip(&results) {
+                let s = &outcome.summary;
+                let lost = s.counts.injected - s.counts.delivered;
+                let row: Vec<String> = h
+                    .report
+                    .columns
+                    .iter()
+                    .map(|key| match key.as_str() {
+                        "p" => cell.p.to_string(),
+                        "delivered" => format!("{:.4}", s.delivered_fraction()),
+                        "min_window" => format!("{:.4}", s.min_window_availability),
+                        "lost" => lost.to_string(),
+                        "mean_stretch" => format!("{:.3}", s.mean_stretch),
+                        "max_stretch" => format!("{:.3}", s.max_stretch),
+                        "goodput" => format!("{:.4}", s.goodput_fraction()),
+                        "queue_drops" => s.counts.queue_dropped.to_string(),
+                        "blackholed" => s.counts.black_holed.to_string(),
+                        "peak_queue" => s.congestion.peak_port_occupancy.to_string(),
+                        "retransmitted" => s.congestion.flow_retransmit_weight.to_string(),
+                        "timeouts" => s.congestion.flow_timeouts.to_string(),
+                        "fct_mean" => format!("{:.1}", s.mean_fct),
+                        "fct_max" => format!("{:.1}", s.max_fct),
+                        other => panic!("column key '{other}' escaped schema validation"),
+                    })
+                    .collect();
+                table.row(&row);
+                #[allow(clippy::cast_precision_loss)]
+                let metrics: Vec<(&str, f64)> = vec![
+                    ("delivered_fraction", s.delivered_fraction()),
+                    ("min_window_availability", s.min_window_availability),
+                    ("goodput", s.goodput_fraction()),
+                    ("lost", lost as f64),
+                    ("queue_drops", s.counts.queue_dropped as f64),
+                    ("blackholed", s.counts.black_holed as f64),
+                    ("peak_queue", s.congestion.peak_port_occupancy as f64),
+                    ("retransmitted", s.congestion.flow_retransmit_weight as f64),
+                    ("timeouts", s.congestion.flow_timeouts as f64),
+                    ("mean_fct", s.mean_fct),
+                    ("max_fct", s.max_fct),
+                    ("mean_stretch", s.mean_stretch),
+                    ("max_stretch", s.max_stretch),
+                ];
+                #[allow(clippy::cast_precision_loss)]
+                let vars: Vec<(&str, f64)> =
+                    vec![("width", f64::from(h.width)), ("p", cell.p as f64)];
+                eval_expectations(
+                    expect,
+                    &metrics,
+                    &vars,
+                    &format!("p={}", cell.p),
+                    &mut failures,
+                );
+            }
+        }
+    }
+    Ok(ScenarioOutcome {
+        result: ScenarioResult::Table(table),
+        failures,
+    })
+}
+
+// ---------------------------------------------------------------------
+// Entry points
+// ---------------------------------------------------------------------
+
+/// Runs a scenario with `jobs` worker shards and an optional builtin
+/// runner. The report is byte-identical for any `jobs` value.
+///
+/// # Errors
+///
+/// Returns a message when the scenario cannot be lowered (bad cell
+/// resolution, missing runner) or a campaign rejects its inputs.
+pub fn run_scenario_with(
+    s: &Scenario,
+    jobs: usize,
+    runner: Option<&dyn BuiltinRunner>,
+) -> Result<ScenarioOutcome, String> {
+    match &s.body {
+        ScenarioBody::Chaos(c) => {
+            let (text, bad) = run_chaos(c, jobs)?;
+            let mut failures = Vec::new();
+            #[allow(clippy::cast_precision_loss)]
+            let metrics: Vec<(&str, f64)> =
+                vec![("violating", bad as f64), ("runs", f64::from(c.runs))];
+            eval_expectations(&s.expect, &metrics, &[], "campaign", &mut failures);
+            Ok(ScenarioOutcome {
+                result: ScenarioResult::Text(text),
+                failures,
+            })
+        }
+        ScenarioBody::Traffic(t) => {
+            let (text, bad) = run_traffic(t, jobs)?;
+            let mut failures = Vec::new();
+            #[allow(clippy::cast_precision_loss)]
+            let metrics: Vec<(&str, f64)> =
+                vec![("violating", bad as f64), ("runs", f64::from(t.base.runs))];
+            eval_expectations(&s.expect, &metrics, &[], "campaign", &mut failures);
+            Ok(ScenarioOutcome {
+                result: ScenarioResult::Text(text),
+                failures,
+            })
+        }
+        ScenarioBody::Recovery(r) => run_recovery(r, jobs, &s.expect),
+        ScenarioBody::Hijack(h) => run_hijack(h, jobs, &s.expect),
+        ScenarioBody::Builtin(b) => {
+            let Some(runner) = runner else {
+                return Err(format!(
+                    "scenario '{}' has kind 'builtin' (id {}) but no experiment runner is wired in",
+                    s.name, b.id
+                ));
+            };
+            let text = runner.run(&b.id, &b.params)?;
+            Ok(ScenarioOutcome {
+                result: ScenarioResult::Text(text),
+                failures: Vec::new(),
+            })
+        }
+    }
+}
+
+/// Runs a scenario without a builtin runner (recovery/hijack/chaos/
+/// traffic kinds only).
+///
+/// # Errors
+///
+/// As [`run_scenario_with`]; additionally errors on `builtin` kinds.
+pub fn run_scenario(s: &Scenario, jobs: usize) -> Result<ScenarioOutcome, String> {
+    run_scenario_with(s, jobs, None)
+}
+
+/// Statically expands a scenario into one human-readable line per cell
+/// (the `lsrp scenario expand` output). Also serves as the deep
+/// validation pass behind `lsrp scenario check`: every sweep binding is
+/// resolved against the fixed fields without running anything.
+///
+/// # Errors
+///
+/// Returns the same cell-resolution errors `run` would hit.
+pub fn expand_list(s: &Scenario) -> Result<Vec<String>, String> {
+    match &s.body {
+        ScenarioBody::Chaos(c) => Ok(vec![format!(
+            "chaos campaign: topology {} destination {} runs {} seed {} horizon {}",
+            c.topology,
+            c.destination
+                .map_or_else(|| "auto".to_string(), |d| d.to_string()),
+            c.runs,
+            c.seed,
+            crate::toml::fmt_float(c.horizon)
+        )]),
+        ScenarioBody::Traffic(t) => Ok(vec![format!(
+            "traffic campaign: topology {} runs {} seed {} duration {} flows {}",
+            t.base.topology,
+            t.base.runs,
+            t.base.seed,
+            crate::toml::fmt_float(t.duration),
+            t.workload.flows
+        )]),
+        ScenarioBody::Recovery(r) => {
+            let cells = expand_recovery(r)?;
+            Ok(cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("cell {i}: {}", c.describe(r.plane)))
+                .collect())
+        }
+        ScenarioBody::Hijack(h) => {
+            let cells = expand_hijack(h)?;
+            Ok(cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| {
+                    let mut s = format!("cell {i}: ");
+                    if let Some(p) = c.protocol {
+                        let _ = write!(s, "protocol={} ", p.as_str());
+                    }
+                    let _ = write!(s, "width={} p={} seed={}", h.width, c.p, h.seed);
+                    s
+                })
+                .collect())
+        }
+        ScenarioBody::Builtin(b) => Ok(vec![format!("builtin experiment {}", b.id)]),
+    }
+}

@@ -1,0 +1,1634 @@
+//! The declarative scenario schema: typed sections parsed out of a
+//! scenario file's [`crate::toml`] tree, with line/field diagnostics.
+//!
+//! A scenario file is one `[scenario]` header plus kind-specific
+//! sections. Five kinds exist:
+//!
+//! - `chaos` — a randomized fault-process campaign (the `lsrp chaos`
+//!   shape): `[topology]`, `[campaign]`, `[faults]`.
+//! - `traffic` — a chaos campaign with a live workload (the
+//!   `lsrp traffic` shape): adds `[workload]` and `[congestion]`.
+//! - `recovery` — an E6-family sweep of recovery cells over
+//!   `(protocol, width, p, loss)`: `[recovery]`, `[engine]`,
+//!   `[report]`, `[sweep]` / `[[case]]`.
+//! - `hijack` — a prefix-hijack availability experiment, snapshot
+//!   (E13) or live (E20/E21): `[hijack]`, `[workload]`,
+//!   `[congestion]`, `[report]`, `[sweep]` / `[[case]]`.
+//! - `builtin` — dispatch to a registered hand-coded experiment by id
+//!   with a free-form `[params]` table.
+//!
+//! Every parse error names the offending line and field. Unknown
+//! fields and sections are rejected, so a typo never silently falls
+//! back to a default.
+
+use std::fmt;
+
+use lsrp_analysis::WorkloadKind;
+use lsrp_faults::FaultProcess;
+use lsrp_graph::NodeId;
+use lsrp_sim::{CongAlgKind, CongestionConfig, DisciplineKind};
+
+use crate::cells::{Protocol, RegionFault};
+use crate::spec::{
+    check, parse_cong_alg, parse_discipline, parse_workload, DestinationsSpec, TopologySpec,
+};
+use crate::toml::{self, Entry, Spanned, Table, Value};
+
+/// A parsed scenario: name, kind-specific body and expectations.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Scenario {
+    /// Short identifier (used in reports and logs).
+    pub name: String,
+    /// Optional human-readable summary.
+    pub description: Option<String>,
+    /// The kind-specific configuration.
+    pub body: ScenarioBody,
+    /// Post-run checks (silent on pass; reported on failure).
+    pub expect: Vec<Expectation>,
+}
+
+/// The kind-specific configuration of a [`Scenario`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum ScenarioBody {
+    /// A randomized fault-process campaign.
+    Chaos(CampaignScenario),
+    /// A chaos campaign with a live traffic workload.
+    Traffic(TrafficScenario),
+    /// A sweep of region-perturbation recovery cells.
+    Recovery(RecoveryScenario),
+    /// A prefix-hijack availability experiment.
+    Hijack(HijackScenario),
+    /// A registered hand-coded experiment.
+    Builtin(BuiltinScenario),
+}
+
+impl Scenario {
+    /// The scenario's kind spelling (as written in the file).
+    pub fn kind(&self) -> &'static str {
+        match self.body {
+            ScenarioBody::Chaos(_) => "chaos",
+            ScenarioBody::Traffic(_) => "traffic",
+            ScenarioBody::Recovery(_) => "recovery",
+            ScenarioBody::Hijack(_) => "hijack",
+            ScenarioBody::Builtin(_) => "builtin",
+        }
+    }
+}
+
+/// The campaign core shared by the `chaos` and `traffic` kinds.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignScenario {
+    /// Topology under test.
+    pub topology: TopologySpec,
+    /// Seed for randomized topology generators; defaults to `seed`.
+    pub topology_seed: Option<u64>,
+    /// Destination override (`None` = the topology's natural one).
+    pub destination: Option<NodeId>,
+    /// Dense multi-destination plane (`None` = single tree).
+    pub destinations: Option<DestinationsSpec>,
+    /// Base seed; run `i` uses `seed + 1 + i`.
+    pub seed: u64,
+    /// Number of runs.
+    pub runs: u32,
+    /// Hard stop per run, simulated seconds.
+    pub horizon: f64,
+    /// The stochastic fault process.
+    pub faults: FaultsSection,
+}
+
+impl CampaignScenario {
+    /// The seed used to build randomized topologies.
+    pub fn topology_seed(&self) -> u64 {
+        self.topology_seed.unwrap_or(self.seed)
+    }
+}
+
+/// The `[faults]` section: a [`FaultProcess`] plus the fault window.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultsSection {
+    /// Event counts and outage bounds.
+    pub process: FaultProcess,
+    /// Faults land within this many seconds after initial convergence.
+    pub window: f64,
+}
+
+impl Default for FaultsSection {
+    fn default() -> Self {
+        FaultsSection {
+            process: FaultProcess::standard(),
+            window: 600.0,
+        }
+    }
+}
+
+/// The `[workload]` section.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadSection {
+    /// Traffic shape.
+    pub kind: WorkloadKind,
+    /// Number of flows.
+    pub flows: usize,
+    /// Packets per second per flow.
+    pub rate: f64,
+    /// Exact per-packet injection instead of aggregation.
+    pub exact: bool,
+}
+
+impl Default for WorkloadSection {
+    fn default() -> Self {
+        WorkloadSection {
+            kind: WorkloadKind::Poisson,
+            flows: 64,
+            rate: 25.0,
+            exact: false,
+        }
+    }
+}
+
+/// The `[congestion]` section: data-plane limits plus the transport.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct CongestionSection {
+    /// Link serialization rate (weight/s); `None` = infinitely fast.
+    pub link_rate: Option<f64>,
+    /// Bounded egress queues (weight); `None` = unbounded.
+    pub queue_cap: Option<u64>,
+    /// Queue admission policy.
+    pub discipline: DisciplineKind,
+    /// Go-Back-N transport algorithm (`None` = fire-and-forget).
+    pub cc: Option<CongAlgKind>,
+}
+
+impl CongestionSection {
+    /// The engine-level congestion config this section lowers to.
+    pub fn config(&self) -> CongestionConfig {
+        CongestionConfig {
+            link_rate: self.link_rate,
+            queue_capacity: self.queue_cap,
+            discipline: self.discipline,
+        }
+    }
+}
+
+/// The `traffic` kind: a campaign plus its offered workload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrafficScenario {
+    /// Topology, seeds, runs and fault process.
+    pub base: CampaignScenario,
+    /// The offered traffic.
+    pub workload: WorkloadSection,
+    /// Injection duration, simulated seconds.
+    pub duration: f64,
+    /// Data-plane limits and transport.
+    pub congestion: CongestionSection,
+}
+
+/// How a recovery cell's seed derives from the scenario seed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SeedMode {
+    /// Every cell uses the scenario seed.
+    Fixed,
+    /// Cell seed is `seed + width` (the E6 convention, so different
+    /// grid sizes draw different corruption plans).
+    PlusWidth,
+}
+
+/// Which control plane a recovery sweep runs on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Plane {
+    /// One destination tree.
+    Single,
+    /// The dense multi-destination plane (one LSRP instance per tree).
+    Multi,
+}
+
+/// The `[engine]` section of a recovery scenario: which link/clock
+/// model the cells run under.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct EngineSection {
+    /// Jittered link delay bounds `(min, max)`.
+    pub jitter: Option<(f64, f64)>,
+    /// Adversarial alternating clock drift bound.
+    pub clock_rho: Option<f64>,
+    /// Fixed i.i.d. message-loss probability (swept via a `loss` axis
+    /// instead when the sweep declares one).
+    pub loss: Option<f64>,
+    /// Periodic `SYN` refresh period; presence selects the lossy-model
+    /// build even at zero loss.
+    pub syn_period: Option<f64>,
+}
+
+/// The `[report]` section: table title and column keys.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReportSection {
+    /// Table title; `{width}`, `{p}` and `{dests}` placeholders are
+    /// substituted from the fixed fields at run time.
+    pub title: String,
+    /// Column keys (kind-specific vocabulary; see DESIGN.md §13).
+    pub columns: Vec<String>,
+}
+
+/// The `recovery` kind: an E6-family sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecoveryScenario {
+    /// Fixed protocol (unless swept).
+    pub protocol: Option<Protocol>,
+    /// Fixed grid width (unless swept).
+    pub width: Option<u32>,
+    /// Fixed perturbation size (unless swept).
+    pub p: Option<usize>,
+    /// Scenario seed.
+    pub seed: u64,
+    /// How cell seeds derive from the scenario seed.
+    pub seed_mode: SeedMode,
+    /// How the region is perturbed.
+    pub fault: RegionFault,
+    /// Single-tree or dense multi-destination plane.
+    pub plane: Plane,
+    /// Destination trees on the multi plane (`None` = all-pairs).
+    pub destinations: Option<DestinationsSpec>,
+    /// Assert quiescence + correct routes per cell.
+    pub require_correct: bool,
+    /// Link/clock model.
+    pub engine: EngineSection,
+    /// Table shape.
+    pub report: ReportSection,
+    /// The sweep axes.
+    pub sweep: Sweep,
+}
+
+/// Snapshot or live hijack measurement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HijackMode {
+    /// Forwarding availability sampled from frozen route tables (E13).
+    Snapshot,
+    /// In-flight packets racing the recovery waves (E20/E21).
+    Live,
+}
+
+/// The `hijack` kind: prefix-hijack availability experiments.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HijackScenario {
+    /// Snapshot or live.
+    pub mode: HijackMode,
+    /// Grid width.
+    pub width: u32,
+    /// Fixed perturbation size (unless swept).
+    pub p: Option<usize>,
+    /// Fixed protocol for snapshot mode (unless swept).
+    pub protocol: Option<Protocol>,
+    /// Engine + workload seed.
+    pub seed: u64,
+    /// Clean streaming time before the hijack (live).
+    pub prefault: f64,
+    /// Availability window (live).
+    pub window: f64,
+    /// Sampling period (snapshot).
+    pub sample_every: f64,
+    /// Injection duration (live).
+    pub duration: f64,
+    /// The offered traffic (live).
+    pub workload: WorkloadSection,
+    /// Data-plane limits and transport (live; `None` = unlimited
+    /// links, fire-and-forget probes).
+    pub congestion: Option<CongestionSection>,
+    /// Table shape.
+    pub report: ReportSection,
+    /// The sweep axes.
+    pub sweep: Sweep,
+}
+
+/// The `builtin` kind: a registered hand-coded experiment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BuiltinScenario {
+    /// Experiment id (e.g. `e7`), resolved by a
+    /// [`crate::exec::BuiltinRunner`].
+    pub id: String,
+    /// Free-form parameters passed through to the runner.
+    pub params: Vec<(String, ParamValue)>,
+}
+
+/// A line-free scalar or list for builtin parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ParamValue {
+    /// A string.
+    Str(String),
+    /// An integer.
+    Int(i64),
+    /// A float.
+    Float(f64),
+    /// A boolean.
+    Bool(bool),
+    /// A homogeneous-or-not list.
+    List(Vec<ParamValue>),
+}
+
+/// A sweep-axis value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SweepValue {
+    /// An integer.
+    Int(i64),
+    /// A float.
+    Float(f64),
+    /// A string (e.g. a protocol name).
+    Str(String),
+    /// A boolean.
+    Bool(bool),
+}
+
+impl fmt::Display for SweepValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SweepValue::Int(i) => write!(f, "{i}"),
+            SweepValue::Float(x) => write!(f, "{}", toml::fmt_float(*x)),
+            SweepValue::Str(s) => write!(f, "{s}"),
+            SweepValue::Bool(b) => write!(f, "{b}"),
+        }
+    }
+}
+
+/// One cell's variable bindings, in axis order.
+pub type Binding = Vec<(String, SweepValue)>;
+
+/// The sweep declaration: cartesian axes or explicit cases.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Sweep {
+    /// `[sweep]` axes in declaration order; the cartesian product
+    /// nests the first axis outermost.
+    pub axes: Vec<(String, Vec<SweepValue>)>,
+    /// `[[case]]` explicit bindings (mutually exclusive with axes).
+    pub cases: Vec<Binding>,
+}
+
+impl Sweep {
+    /// Expands to one [`Binding`] per cell. An empty sweep yields a
+    /// single cell with no bindings.
+    pub fn expand(&self) -> Vec<Binding> {
+        if !self.cases.is_empty() {
+            return self.cases.clone();
+        }
+        let mut out: Vec<Binding> = vec![Vec::new()];
+        for (name, values) in &self.axes {
+            let mut next = Vec::with_capacity(out.len() * values.len());
+            for prefix in &out {
+                for v in values {
+                    let mut b = prefix.clone();
+                    b.push((name.clone(), v.clone()));
+                    next.push(b);
+                }
+            }
+            out = next;
+        }
+        out
+    }
+
+    /// Replaces (or appends) one axis, preserving declaration order —
+    /// the hook the thin Rust wrappers use to re-parameterize a
+    /// checked-in scenario file.
+    pub fn set_axis(&mut self, name: &str, values: Vec<SweepValue>) {
+        if let Some(axis) = self.axes.iter_mut().find(|(n, _)| n == name) {
+            axis.1 = values;
+        } else {
+            self.axes.push((name.to_string(), values));
+        }
+    }
+}
+
+/// A comparison operator in an expectation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    /// `>=`
+    Ge,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `<`
+    Lt,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+}
+
+impl CmpOp {
+    fn as_str(self) -> &'static str {
+        match self {
+            CmpOp::Ge => ">=",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Lt => "<",
+            CmpOp::Eq => "==",
+            CmpOp::Ne => "!=",
+        }
+    }
+
+    /// Applies the comparison to two floats.
+    pub fn holds(self, lhs: f64, rhs: f64) -> bool {
+        match self {
+            CmpOp::Ge => lhs >= rhs,
+            CmpOp::Le => lhs <= rhs,
+            CmpOp::Gt => lhs > rhs,
+            CmpOp::Lt => lhs < rhs,
+            CmpOp::Eq => lhs == rhs,
+            CmpOp::Ne => lhs != rhs,
+        }
+    }
+}
+
+/// The right-hand side of an expectation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Rhs {
+    /// A literal number.
+    Number(f64),
+    /// A literal boolean (compared as 1/0).
+    Bool(bool),
+    /// A cell variable (e.g. `p`), resolved per cell.
+    Var(String),
+}
+
+/// One `expect` entry: `metric op value`, evaluated per cell (or per
+/// campaign for the chaos/traffic kinds).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Expectation {
+    /// Metric name (kind-specific vocabulary).
+    pub metric: String,
+    /// Comparison.
+    pub op: CmpOp,
+    /// Literal or cell-variable right-hand side.
+    pub rhs: Rhs,
+}
+
+impl fmt::Display for Expectation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let rhs = match &self.rhs {
+            Rhs::Number(x) => toml::fmt_float(*x),
+            Rhs::Bool(b) => b.to_string(),
+            Rhs::Var(v) => v.clone(),
+        };
+        write!(f, "{} {} {}", self.metric, self.op.as_str(), rhs)
+    }
+}
+
+impl Expectation {
+    /// Parses `metric op value`.
+    pub fn parse(s: &str) -> Result<Expectation, String> {
+        let parts: Vec<&str> = s.split_whitespace().collect();
+        let [metric, op, value] = parts.as_slice() else {
+            return Err(format!(
+                "expectation '{s}' must have the form 'metric op value' (e.g. 'goodput >= 0.9')"
+            ));
+        };
+        let op = match *op {
+            ">=" => CmpOp::Ge,
+            "<=" => CmpOp::Le,
+            ">" => CmpOp::Gt,
+            "<" => CmpOp::Lt,
+            "==" => CmpOp::Eq,
+            "!=" => CmpOp::Ne,
+            other => {
+                return Err(format!(
+                    "expectation '{s}' has unknown operator '{other}' (try >=, <=, >, <, ==, !=)"
+                ))
+            }
+        };
+        let rhs = match *value {
+            "true" => Rhs::Bool(true),
+            "false" => Rhs::Bool(false),
+            v => match v.parse::<f64>() {
+                Ok(x) if x.is_finite() => Rhs::Number(x),
+                _ if v.chars().all(|c| c.is_ascii_alphanumeric() || c == '_') => {
+                    Rhs::Var(v.to_string())
+                }
+                _ => return Err(format!("expectation '{s}' has unparseable value '{v}'")),
+            },
+        };
+        Ok(Expectation {
+            metric: (*metric).to_string(),
+            op,
+            rhs,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------
+// Parsing machinery
+// ---------------------------------------------------------------------
+
+/// A typed field reader over one section's table: records every key it
+/// reads so `finish()` can reject the rest as unknown.
+struct Fields<'a> {
+    section: &'a str,
+    table: &'a Table,
+    taken: Vec<String>,
+}
+
+impl<'a> Fields<'a> {
+    fn new(section: &'a str, table: &'a Table) -> Self {
+        Fields {
+            section,
+            table,
+            taken: Vec::new(),
+        }
+    }
+
+    fn raw(&mut self, key: &str) -> Option<&'a Entry> {
+        self.taken.push(key.to_string());
+        self.table.get(key)
+    }
+
+    fn scalar(&mut self, key: &str, want: &str) -> Result<Option<&'a Spanned>, String> {
+        match self.raw(key) {
+            None => Ok(None),
+            Some(Entry::Value(sp)) => Ok(Some(sp)),
+            Some(Entry::Table(t)) => Err(format!(
+                "line {}: [{}] field '{key}' must be a {want}, got a table",
+                t.line, self.section
+            )),
+            Some(Entry::Tables(ts)) => Err(format!(
+                "line {}: [{}] field '{key}' must be a {want}, got an array of tables",
+                ts.first().map_or(0, |t| t.line),
+                self.section
+            )),
+        }
+    }
+
+    fn mismatch(&self, key: &str, want: &str, sp: &Spanned) -> String {
+        format!(
+            "line {}: [{}] field '{key}' must be a {want}, got {}",
+            sp.line,
+            self.section,
+            sp.value.type_name()
+        )
+    }
+
+    fn str(&mut self, key: &str) -> Result<Option<(String, usize)>, String> {
+        match self.scalar(key, "string")? {
+            None => Ok(None),
+            Some(sp) => match &sp.value {
+                Value::Str(s) => Ok(Some((s.clone(), sp.line))),
+                _ => Err(self.mismatch(key, "string", sp)),
+            },
+        }
+    }
+
+    fn int(&mut self, key: &str) -> Result<Option<(i64, usize)>, String> {
+        match self.scalar(key, "integer")? {
+            None => Ok(None),
+            Some(sp) => match &sp.value {
+                Value::Int(i) => Ok(Some((*i, sp.line))),
+                _ => Err(self.mismatch(key, "integer", sp)),
+            },
+        }
+    }
+
+    fn unsigned(&mut self, key: &str) -> Result<Option<(u64, usize)>, String> {
+        match self.int(key)? {
+            None => Ok(None),
+            Some((i, line)) => u64::try_from(i)
+                .map(|u| Some((u, line)))
+                .map_err(|_| format!("line {line}: [{}] field '{key}' must be >= 0", self.section)),
+        }
+    }
+
+    fn float(&mut self, key: &str) -> Result<Option<(f64, usize)>, String> {
+        match self.scalar(key, "float")? {
+            None => Ok(None),
+            Some(sp) => match &sp.value {
+                Value::Float(x) => Ok(Some((*x, sp.line))),
+                #[allow(clippy::cast_precision_loss)]
+                Value::Int(i) => Ok(Some((*i as f64, sp.line))),
+                _ => Err(self.mismatch(key, "float", sp)),
+            },
+        }
+    }
+
+    fn boolean(&mut self, key: &str) -> Result<Option<(bool, usize)>, String> {
+        match self.scalar(key, "boolean")? {
+            None => Ok(None),
+            Some(sp) => match &sp.value {
+                Value::Bool(b) => Ok(Some((*b, sp.line))),
+                _ => Err(self.mismatch(key, "boolean", sp)),
+            },
+        }
+    }
+
+    fn str_list(&mut self, key: &str) -> Result<Option<(Vec<String>, usize)>, String> {
+        match self.scalar(key, "array of strings")? {
+            None => Ok(None),
+            Some(sp) => match &sp.value {
+                Value::Array(items) => {
+                    let mut out = Vec::with_capacity(items.len());
+                    for item in items {
+                        match &item.value {
+                            Value::Str(s) => out.push(s.clone()),
+                            other => {
+                                return Err(format!(
+                                    "line {}: [{}] field '{key}' must contain strings, got {}",
+                                    item.line,
+                                    self.section,
+                                    other.type_name()
+                                ))
+                            }
+                        }
+                    }
+                    Ok(Some((out, sp.line)))
+                }
+                _ => Err(self.mismatch(key, "array of strings", sp)),
+            },
+        }
+    }
+
+    /// Validates a parsed value with a `check::*` helper, prefixing the
+    /// section/field context onto its plain message.
+    fn checked<T>(&self, key: &str, line: usize, result: Result<T, String>) -> Result<T, String> {
+        result.map_err(|msg| format!("line {line}: [{}] field '{key}' {msg}", self.section))
+    }
+
+    fn finish(self) -> Result<(), String> {
+        for (key, entry) in &self.table.entries {
+            if !self.taken.iter().any(|t| t == key) {
+                let line = match entry {
+                    Entry::Value(sp) => sp.line,
+                    Entry::Table(t) => t.line,
+                    Entry::Tables(ts) => ts.first().map_or(0, |t| t.line),
+                };
+                return Err(format!(
+                    "line {line}: unknown field '{key}' in [{}]",
+                    self.section
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Looks up a top-level section table, recording it as seen.
+fn section<'a>(
+    root: &'a Table,
+    name: &str,
+    seen: &mut Vec<&'static str>,
+    stat: &'static str,
+) -> Result<Option<&'a Table>, String> {
+    seen.push(stat);
+    match root.get(name) {
+        None => Ok(None),
+        Some(Entry::Table(t)) => Ok(Some(t)),
+        Some(Entry::Value(sp)) => Err(format!(
+            "line {}: '{name}' must be a [{name}] section, got {}",
+            sp.line,
+            sp.value.type_name()
+        )),
+        Some(Entry::Tables(ts)) => Err(format!(
+            "line {}: [{name}] must be a single section, not an array of tables",
+            ts.first().map_or(0, |t| t.line)
+        )),
+    }
+}
+
+fn sweep_value(section: &str, key: &str, sp: &Spanned) -> Result<SweepValue, String> {
+    Ok(match &sp.value {
+        Value::Int(i) => SweepValue::Int(*i),
+        Value::Float(x) => SweepValue::Float(*x),
+        Value::Str(s) => SweepValue::Str(s.clone()),
+        Value::Bool(b) => SweepValue::Bool(*b),
+        Value::Array(_) => {
+            return Err(format!(
+                "line {}: [{section}] axis '{key}' must not nest arrays",
+                sp.line
+            ))
+        }
+    })
+}
+
+/// Parses the `[sweep]` section and `[[case]]` tables; rejects files
+/// declaring both.
+fn parse_sweep(
+    root: &Table,
+    seen: &mut Vec<&'static str>,
+    allowed_axes: &[&str],
+    kind: &str,
+) -> Result<Sweep, String> {
+    let mut sweep = Sweep::default();
+    if let Some(table) = section(root, "sweep", seen, "sweep")? {
+        for (key, entry) in &table.entries {
+            let values = match entry {
+                Entry::Value(sp) => match &sp.value {
+                    Value::Array(items) => items
+                        .iter()
+                        .map(|it| sweep_value("sweep", key, it))
+                        .collect::<Result<Vec<_>, _>>()?,
+                    _ => vec![sweep_value("sweep", key, sp)?],
+                },
+                Entry::Table(t) => {
+                    return Err(format!(
+                        "line {}: [sweep] axis '{key}' must be a scalar or array, got a table",
+                        t.line
+                    ))
+                }
+                Entry::Tables(ts) => {
+                    return Err(format!(
+                        "line {}: [sweep] axis '{key}' must be a scalar or array, got an array of tables",
+                        ts.first().map_or(0, |t| t.line)
+                    ))
+                }
+            };
+            if !allowed_axes.contains(&key.as_str()) {
+                let line = match entry {
+                    Entry::Value(sp) => sp.line,
+                    Entry::Table(t) => t.line,
+                    Entry::Tables(ts) => ts.first().map_or(0, |t| t.line),
+                };
+                return Err(format!(
+                    "line {line}: unknown sweep axis '{key}' for kind '{kind}' (try {})",
+                    allowed_axes.join(", ")
+                ));
+            }
+            if values.is_empty() {
+                return Err(format!("[sweep] axis '{key}' must list at least one value"));
+            }
+            sweep.axes.push((key.clone(), values));
+        }
+    }
+    seen.push("case");
+    if let Some(entry) = root.get("case") {
+        let tables = match entry {
+            Entry::Tables(ts) => ts,
+            Entry::Table(t) => {
+                return Err(format!(
+                    "line {}: [case] must be an array of tables ([[case]])",
+                    t.line
+                ))
+            }
+            Entry::Value(sp) => {
+                return Err(format!(
+                    "line {}: 'case' must be [[case]] tables, got {}",
+                    sp.line,
+                    sp.value.type_name()
+                ))
+            }
+        };
+        if !sweep.axes.is_empty() {
+            return Err(format!(
+                "line {}: contradictory sweep axes: [sweep] and [[case]] are mutually exclusive",
+                tables.first().map_or(0, |t| t.line)
+            ));
+        }
+        for t in tables {
+            let mut binding: Binding = Vec::new();
+            for (key, entry) in &t.entries {
+                let Entry::Value(sp) = entry else {
+                    return Err(format!(
+                        "line {}: [[case]] field '{key}' must be a scalar",
+                        t.line
+                    ));
+                };
+                if !allowed_axes.contains(&key.as_str()) {
+                    return Err(format!(
+                        "line {}: unknown sweep axis '{key}' for kind '{kind}' (try {})",
+                        sp.line,
+                        allowed_axes.join(", ")
+                    ));
+                }
+                binding.push((key.clone(), sweep_value("case", key, sp)?));
+            }
+            sweep.cases.push(binding);
+        }
+    }
+    Ok(sweep)
+}
+
+fn parse_faults(root: &Table, seen: &mut Vec<&'static str>) -> Result<FaultsSection, String> {
+    let mut out = FaultsSection::default();
+    let Some(table) = section(root, "faults", seen, "faults")? else {
+        return Ok(out);
+    };
+    let mut f = Fields::new("faults", table);
+    let count = |f: &mut Fields<'_>, key: &str, slot: &mut u32| -> Result<(), String> {
+        if let Some((v, line)) = f.unsigned(key)? {
+            *slot = u32::try_from(v)
+                .map_err(|_| format!("line {line}: [faults] field '{key}' is out of range"))?;
+        }
+        Ok(())
+    };
+    count(&mut f, "link_flaps", &mut out.process.link_flaps)?;
+    count(&mut f, "node_churn", &mut out.process.node_churn)?;
+    count(&mut f, "partitions", &mut out.process.partitions)?;
+    count(&mut f, "corruptions", &mut out.process.corruptions)?;
+    count(&mut f, "weight_drifts", &mut out.process.weight_drifts)?;
+    if let Some((v, line)) = f.float("min_outage")? {
+        out.process.min_outage = f.checked("min_outage", line, check::positive(v))?;
+    }
+    if let Some((v, line)) = f.float("max_outage")? {
+        out.process.max_outage = f.checked("max_outage", line, check::positive(v))?;
+    }
+    if let Some((v, line)) = f.float("window")? {
+        out.window = f.checked("window", line, check::positive(v))?;
+    }
+    f.finish()?;
+    Ok(out)
+}
+
+fn parse_workload_section(
+    root: &Table,
+    seen: &mut Vec<&'static str>,
+) -> Result<WorkloadSection, String> {
+    let mut out = WorkloadSection::default();
+    let Some(table) = section(root, "workload", seen, "workload")? else {
+        return Ok(out);
+    };
+    let mut f = Fields::new("workload", table);
+    if let Some((s, line)) = f.str("kind")? {
+        out.kind = f.checked("kind", line, parse_workload(&s))?;
+    }
+    if let Some((v, line)) = f.unsigned("flows")? {
+        out.flows = f.checked("flows", line, check::flows(v as usize))?;
+    }
+    if let Some((v, line)) = f.float("rate")? {
+        out.rate = f.checked("rate", line, check::positive(v))?;
+    }
+    if let Some((b, _)) = f.boolean("exact")? {
+        out.exact = b;
+    }
+    f.finish()?;
+    Ok(out)
+}
+
+fn parse_congestion(
+    root: &Table,
+    seen: &mut Vec<&'static str>,
+) -> Result<Option<CongestionSection>, String> {
+    let Some(table) = section(root, "congestion", seen, "congestion")? else {
+        return Ok(None);
+    };
+    let mut out = CongestionSection::default();
+    let mut f = Fields::new("congestion", table);
+    if let Some((v, line)) = f.float("link_rate")? {
+        out.link_rate = Some(f.checked("link_rate", line, check::positive(v))?);
+    }
+    if let Some((v, line)) = f.unsigned("queue_cap")? {
+        out.queue_cap = Some(f.checked("queue_cap", line, check::queue_cap(v))?);
+    }
+    if let Some((s, line)) = f.str("discipline")? {
+        out.discipline = f.checked("discipline", line, parse_discipline(&s))?;
+    }
+    if let Some((s, line)) = f.str("cc")? {
+        out.cc = Some(f.checked("cc", line, parse_cong_alg(&s))?);
+    }
+    f.finish()?;
+    let line = table.line;
+    check::congestion_shape(
+        out.link_rate,
+        out.queue_cap,
+        out.discipline != DisciplineKind::DropTail,
+    )
+    .map_err(|msg| format!("line {line}: [congestion] {msg}"))?;
+    Ok(Some(out))
+}
+
+fn parse_campaign(root: &Table, seen: &mut Vec<&'static str>) -> Result<CampaignScenario, String> {
+    let Some(topo_table) = section(root, "topology", seen, "topology")? else {
+        return Err("missing required [topology] section".to_string());
+    };
+    let mut f = Fields::new("topology", topo_table);
+    let Some((spec, line)) = f.str("spec")? else {
+        return Err(format!(
+            "line {}: [topology] needs a 'spec' field (e.g. spec = \"grid:8x8\")",
+            topo_table.line
+        ));
+    };
+    let topology = f.checked("spec", line, TopologySpec::parse(&spec))?;
+    let topology_seed = f.unsigned("seed")?.map(|(v, _)| v);
+    let destination = f
+        .unsigned("destination")?
+        .map(|(v, line)| {
+            u32::try_from(v)
+                .map(NodeId::new)
+                .map_err(|_| format!("line {line}: [topology] field 'destination' is out of range"))
+        })
+        .transpose()?;
+    f.finish()?;
+
+    let mut runs = 5_u32;
+    let mut seed = 0_u64;
+    let mut horizon = 100_000.0_f64;
+    let mut destinations = None;
+    if let Some(table) = section(root, "campaign", seen, "campaign")? {
+        let mut f = Fields::new("campaign", table);
+        if let Some((v, line)) = f.unsigned("runs")? {
+            let v = u32::try_from(v)
+                .map_err(|_| format!("line {line}: [campaign] field 'runs' is out of range"))?;
+            runs = f.checked("runs", line, check::runs(v))?;
+        }
+        if let Some((v, _)) = f.unsigned("seed")? {
+            seed = v;
+        }
+        if let Some((v, line)) = f.float("horizon")? {
+            horizon = f.checked("horizon", line, check::positive(v))?;
+        }
+        if let Some((s, line)) = f.str("destinations")? {
+            destinations = Some(f.checked("destinations", line, DestinationsSpec::parse(&s))?);
+        }
+        f.finish()?;
+    }
+    let faults = parse_faults(root, seen)?;
+    Ok(CampaignScenario {
+        topology,
+        topology_seed,
+        destination,
+        destinations,
+        seed,
+        runs,
+        horizon,
+        faults,
+    })
+}
+
+fn parse_report(
+    root: &Table,
+    seen: &mut Vec<&'static str>,
+    columns_vocab: &[&str],
+    kind: &str,
+) -> Result<ReportSection, String> {
+    let Some(table) = section(root, "report", seen, "report")? else {
+        return Err("missing required [report] section".to_string());
+    };
+    let mut f = Fields::new("report", table);
+    let Some((title, _)) = f.str("title")? else {
+        return Err(format!(
+            "line {}: [report] needs a 'title' field",
+            table.line
+        ));
+    };
+    let Some((columns, cols_line)) = f.str_list("columns")? else {
+        return Err(format!(
+            "line {}: [report] needs a 'columns' field",
+            table.line
+        ));
+    };
+    f.finish()?;
+    if columns.is_empty() {
+        return Err(format!(
+            "line {cols_line}: [report] 'columns' must list at least one column"
+        ));
+    }
+    for c in &columns {
+        if !columns_vocab.contains(&c.as_str()) {
+            return Err(format!(
+                "line {cols_line}: unknown column '{c}' for kind '{kind}' (try {})",
+                columns_vocab.join(", ")
+            ));
+        }
+    }
+    Ok(ReportSection { title, columns })
+}
+
+fn parse_protocol_field(f: &mut Fields<'_>) -> Result<Option<Protocol>, String> {
+    match f.str("protocol")? {
+        None => Ok(None),
+        Some((s, line)) => Ok(Some(f.checked("protocol", line, Protocol::parse(&s))?)),
+    }
+}
+
+fn parse_recovery(root: &Table, seen: &mut Vec<&'static str>) -> Result<RecoveryScenario, String> {
+    let Some(table) = section(root, "recovery", seen, "recovery")? else {
+        return Err("missing required [recovery] section".to_string());
+    };
+    let mut f = Fields::new("recovery", table);
+    let protocol = parse_protocol_field(&mut f)?;
+    let width =
+        f.unsigned("width")?
+            .map(|(v, line)| {
+                u32::try_from(v).ok().filter(|&w| w >= 2).ok_or_else(|| {
+                    format!("line {line}: [recovery] field 'width' must be at least 2")
+                })
+            })
+            .transpose()?;
+    let p = f.unsigned("p")?.map(|(v, _)| v as usize);
+    let seed = f.unsigned("seed")?.map_or(0, |(v, _)| v);
+    let seed_mode = match f.str("seed_mode")? {
+        None => SeedMode::Fixed,
+        Some((s, line)) => match s.as_str() {
+            "fixed" => SeedMode::Fixed,
+            "plus-width" => SeedMode::PlusWidth,
+            other => {
+                return Err(format!(
+                    "line {line}: [recovery] field 'seed_mode' must be 'fixed' or 'plus-width', got '{other}'"
+                ))
+            }
+        },
+    };
+    let fault = match f.str("fault")? {
+        None => RegionFault::CorruptPlan,
+        Some((s, line)) => match s.as_str() {
+            "corrupt-region" => RegionFault::CorruptPlan,
+            "blackhole-region" => RegionFault::Blackhole,
+            other => {
+                return Err(format!(
+                    "line {line}: [recovery] field 'fault' must be 'corrupt-region' or 'blackhole-region', got '{other}'"
+                ))
+            }
+        },
+    };
+    let plane = match f.str("plane")? {
+        None => Plane::Single,
+        Some((s, line)) => match s.as_str() {
+            "single" => Plane::Single,
+            "multi" => Plane::Multi,
+            other => {
+                return Err(format!(
+                "line {line}: [recovery] field 'plane' must be 'single' or 'multi', got '{other}'"
+            ))
+            }
+        },
+    };
+    let destinations = match f.str("destinations")? {
+        None => None,
+        Some((s, line)) => {
+            if plane != Plane::Multi {
+                return Err(format!(
+                    "line {line}: [recovery] field 'destinations' requires plane = \"multi\""
+                ));
+            }
+            Some(f.checked("destinations", line, DestinationsSpec::parse(&s))?)
+        }
+    };
+    let require_correct = f.boolean("require_correct")?.is_none_or(|(b, _)| b);
+    f.finish()?;
+
+    let mut engine = EngineSection::default();
+    if let Some(table) = section(root, "engine", seen, "engine")? {
+        let mut f = Fields::new("engine", table);
+        if let Some((sp, line)) = f
+            .scalar("jitter", "array of two floats")?
+            .map(|sp| (sp, sp.line))
+        {
+            let Value::Array(items) = &sp.value else {
+                return Err(f.mismatch("jitter", "array of two floats", sp));
+            };
+            let nums: Vec<f64> = items
+                .iter()
+                .map(|it| match it.value {
+                    Value::Float(x) => Ok(x),
+                    #[allow(clippy::cast_precision_loss)]
+                    Value::Int(i) => Ok(i as f64),
+                    _ => Err(format!(
+                        "line {}: [engine] field 'jitter' must contain numbers",
+                        it.line
+                    )),
+                })
+                .collect::<Result<_, _>>()?;
+            let [lo, hi] = nums.as_slice() else {
+                return Err(format!(
+                    "line {line}: [engine] field 'jitter' must be [min, max]"
+                ));
+            };
+            if !(lo.is_finite() && hi.is_finite() && *lo > 0.0 && hi >= lo) {
+                return Err(format!(
+                    "line {line}: [engine] field 'jitter' needs 0 < min <= max"
+                ));
+            }
+            engine.jitter = Some((*lo, *hi));
+        }
+        if let Some((v, line)) = f.float("clock_rho")? {
+            if !(v.is_finite() && v >= 1.0) {
+                return Err(format!(
+                    "line {line}: [engine] field 'clock_rho' must be >= 1"
+                ));
+            }
+            engine.clock_rho = Some(v);
+        }
+        if let Some((v, line)) = f.float("loss")? {
+            engine.loss = Some(f.checked("loss", line, check::loss(v))?);
+        }
+        if let Some((v, line)) = f.float("syn_period")? {
+            engine.syn_period = Some(f.checked("syn_period", line, check::positive(v))?);
+        }
+        f.finish()?;
+        if engine.jitter.is_some() != engine.clock_rho.is_some() {
+            return Err(format!(
+                "line {}: [engine] 'jitter' and 'clock_rho' must be set together (the harsh model needs both)",
+                table.line
+            ));
+        }
+    }
+
+    let vocab = if plane == Plane::Multi {
+        crate::exec::RECOVERY_MULTI_COLUMNS
+    } else {
+        crate::exec::RECOVERY_COLUMNS
+    };
+    let report = parse_report(root, seen, vocab, "recovery")?;
+    let axes: &[&str] = if plane == Plane::Multi {
+        &["width", "p"]
+    } else {
+        &["protocol", "width", "p", "loss"]
+    };
+    let sweep = parse_sweep(root, seen, axes, "recovery")?;
+    Ok(RecoveryScenario {
+        protocol,
+        width,
+        p,
+        seed,
+        seed_mode,
+        fault,
+        plane,
+        destinations,
+        require_correct,
+        engine,
+        report,
+        sweep,
+    })
+}
+
+fn parse_hijack(root: &Table, seen: &mut Vec<&'static str>) -> Result<HijackScenario, String> {
+    let Some(table) = section(root, "hijack", seen, "hijack")? else {
+        return Err("missing required [hijack] section".to_string());
+    };
+    let mut f = Fields::new("hijack", table);
+    let mode = match f.str("mode")? {
+        None => HijackMode::Live,
+        Some((s, line)) => match s.as_str() {
+            "live" => HijackMode::Live,
+            "snapshot" => HijackMode::Snapshot,
+            other => {
+                return Err(format!(
+                    "line {line}: [hijack] field 'mode' must be 'live' or 'snapshot', got '{other}'"
+                ))
+            }
+        },
+    };
+    let Some((width, width_line)) = f.unsigned("width")? else {
+        return Err(format!(
+            "line {}: [hijack] needs a 'width' field",
+            table.line
+        ));
+    };
+    let width = u32::try_from(width)
+        .ok()
+        .filter(|&w| w >= 2)
+        .ok_or_else(|| format!("line {width_line}: [hijack] field 'width' must be at least 2"))?;
+    let p = f.unsigned("p")?.map(|(v, _)| v as usize);
+    let protocol = parse_protocol_field(&mut f)?;
+    let seed = f.unsigned("seed")?.map_or(0, |(v, _)| v);
+    let mut prefault = 30.0;
+    if let Some((v, line)) = f.float("prefault")? {
+        prefault = f.checked("prefault", line, check::positive(v))?;
+    }
+    let mut window = 10.0;
+    if let Some((v, line)) = f.float("window")? {
+        window = f.checked("window", line, check::positive(v))?;
+    }
+    let mut sample_every = 1.0;
+    if let Some((v, line)) = f.float("sample_every")? {
+        sample_every = f.checked("sample_every", line, check::positive(v))?;
+    }
+    let mut duration = 240.0;
+    if let Some((v, line)) = f.float("duration")? {
+        duration = f.checked("duration", line, check::positive(v))?;
+    }
+    f.finish()?;
+
+    let workload = parse_workload_section(root, seen)?;
+    let congestion = parse_congestion(root, seen)?;
+    let vocab = match mode {
+        HijackMode::Live => crate::exec::HIJACK_LIVE_COLUMNS,
+        HijackMode::Snapshot => crate::exec::HIJACK_SNAPSHOT_COLUMNS,
+    };
+    let report = parse_report(root, seen, vocab, "hijack")?;
+    let axes: &[&str] = match mode {
+        HijackMode::Live => &["p"],
+        HijackMode::Snapshot => &["protocol", "p"],
+    };
+    let sweep = parse_sweep(root, seen, axes, "hijack")?;
+    Ok(HijackScenario {
+        mode,
+        width,
+        p,
+        protocol,
+        seed,
+        prefault,
+        window,
+        sample_every,
+        duration,
+        workload,
+        congestion,
+        report,
+        sweep,
+    })
+}
+
+fn param_value(sp: &Spanned) -> ParamValue {
+    match &sp.value {
+        Value::Str(s) => ParamValue::Str(s.clone()),
+        Value::Int(i) => ParamValue::Int(*i),
+        Value::Float(x) => ParamValue::Float(*x),
+        Value::Bool(b) => ParamValue::Bool(*b),
+        Value::Array(items) => ParamValue::List(items.iter().map(param_value).collect()),
+    }
+}
+
+fn parse_builtin(root: &Table, seen: &mut Vec<&'static str>) -> Result<BuiltinScenario, String> {
+    let Some(table) = section(root, "builtin", seen, "builtin")? else {
+        return Err("missing required [builtin] section".to_string());
+    };
+    let mut f = Fields::new("builtin", table);
+    let Some((id, _)) = f.str("id")? else {
+        return Err(format!(
+            "line {}: [builtin] needs an 'id' field (e.g. id = \"e7\")",
+            table.line
+        ));
+    };
+    f.finish()?;
+    let mut params = Vec::new();
+    if let Some(ptable) = section(root, "params", seen, "params")? {
+        for (key, entry) in &ptable.entries {
+            let Entry::Value(sp) = entry else {
+                return Err(format!(
+                    "line {}: [params] field '{key}' must be a scalar or array",
+                    ptable.line
+                ));
+            };
+            params.push((key.clone(), param_value(sp)));
+        }
+    }
+    Ok(BuiltinScenario { id, params })
+}
+
+/// Parses a scenario file's text.
+///
+/// # Errors
+///
+/// Returns a `line N: ...` diagnostic naming the offending field for
+/// syntax errors, unknown fields/sections, type mismatches, out-of-range
+/// values and contradictory sweep declarations.
+pub fn load_str(src: &str) -> Result<Scenario, String> {
+    let root = toml::parse(src).map_err(|e| e.to_string())?;
+    let mut seen: Vec<&'static str> = Vec::new();
+    let Some(header) = section(&root, "scenario", &mut seen, "scenario")? else {
+        return Err("missing required [scenario] section".to_string());
+    };
+    let mut f = Fields::new("scenario", header);
+    let Some((name, _)) = f.str("name")? else {
+        return Err(format!(
+            "line {}: [scenario] needs a 'name' field",
+            header.line
+        ));
+    };
+    let Some((kind, kind_line)) = f.str("kind")? else {
+        return Err(format!(
+            "line {}: [scenario] needs a 'kind' field (chaos, traffic, recovery, hijack, builtin)",
+            header.line
+        ));
+    };
+    let description = f.str("description")?.map(|(s, _)| s);
+    let expect_raw = f.str_list("expect")?;
+    f.finish()?;
+
+    let body = match kind.as_str() {
+        "chaos" => ScenarioBody::Chaos(parse_campaign(&root, &mut seen)?),
+        "traffic" => {
+            let base = parse_campaign(&root, &mut seen)?;
+            let workload = parse_workload_section(&root, &mut seen)?;
+            let congestion = parse_congestion(&root, &mut seen)?.unwrap_or_default();
+            let mut duration = 600.0;
+            seen.push("traffic");
+            if let Some(table) = section(&root, "traffic", &mut seen, "traffic")? {
+                let mut f = Fields::new("traffic", table);
+                if let Some((v, line)) = f.float("duration")? {
+                    duration = f.checked("duration", line, check::positive(v))?;
+                }
+                f.finish()?;
+            }
+            ScenarioBody::Traffic(TrafficScenario {
+                base,
+                workload,
+                duration,
+                congestion,
+            })
+        }
+        "recovery" => ScenarioBody::Recovery(parse_recovery(&root, &mut seen)?),
+        "hijack" => ScenarioBody::Hijack(parse_hijack(&root, &mut seen)?),
+        "builtin" => ScenarioBody::Builtin(parse_builtin(&root, &mut seen)?),
+        other => {
+            return Err(format!(
+                "line {kind_line}: unknown scenario kind '{other}' (try chaos, traffic, recovery, hijack, builtin)"
+            ))
+        }
+    };
+
+    // Reject sections that do not belong to this kind.
+    for (key, entry) in &root.entries {
+        if !seen.iter().any(|s| s == key) {
+            let line = match entry {
+                Entry::Value(sp) => sp.line,
+                Entry::Table(t) => t.line,
+                Entry::Tables(ts) => ts.first().map_or(0, |t| t.line),
+            };
+            return Err(format!(
+                "line {line}: unknown section [{key}] for kind '{kind}'"
+            ));
+        }
+    }
+
+    let mut expect = Vec::new();
+    if let Some((raw, line)) = expect_raw {
+        let vocab = crate::exec::expect_vocabulary(&body);
+        for s in raw {
+            let e = Expectation::parse(&s).map_err(|msg| format!("line {line}: {msg}"))?;
+            if !vocab.contains(&e.metric.as_str()) {
+                return Err(format!(
+                    "line {line}: unknown expectation metric '{}' for kind '{kind}' (try {})",
+                    e.metric,
+                    vocab.join(", ")
+                ));
+            }
+            expect.push(e);
+        }
+    }
+
+    Ok(Scenario {
+        name,
+        description,
+        body,
+        expect,
+    })
+}
+
+// ---------------------------------------------------------------------
+// Canonical emission (round-trip oracle)
+// ---------------------------------------------------------------------
+
+struct Emitter {
+    out: String,
+}
+
+impl Emitter {
+    fn new() -> Self {
+        Emitter { out: String::new() }
+    }
+
+    fn sect(&mut self, name: &str) {
+        if !self.out.is_empty() {
+            self.out.push('\n');
+        }
+        self.out.push_str(&format!("[{name}]\n"));
+    }
+
+    fn kv(&mut self, key: &str, value: &str) {
+        self.out.push_str(&format!("{key} = {value}\n"));
+    }
+
+    fn string(&mut self, key: &str, s: &str) {
+        self.kv(key, &toml::escape(s));
+    }
+
+    fn int(&mut self, key: &str, v: impl fmt::Display) {
+        self.kv(key, &v.to_string());
+    }
+
+    fn float(&mut self, key: &str, x: f64) {
+        self.kv(key, &toml::fmt_float(x));
+    }
+
+    fn boolean(&mut self, key: &str, b: bool) {
+        self.kv(key, &b.to_string());
+    }
+}
+
+fn emit_sweep_value(v: &SweepValue) -> String {
+    match v {
+        SweepValue::Int(i) => i.to_string(),
+        SweepValue::Float(x) => toml::fmt_float(*x),
+        SweepValue::Str(s) => toml::escape(s),
+        SweepValue::Bool(b) => b.to_string(),
+    }
+}
+
+fn emit_param_value(v: &ParamValue) -> String {
+    match v {
+        ParamValue::Str(s) => toml::escape(s),
+        ParamValue::Int(i) => i.to_string(),
+        ParamValue::Float(x) => toml::fmt_float(*x),
+        ParamValue::Bool(b) => b.to_string(),
+        ParamValue::List(items) => {
+            let inner: Vec<String> = items.iter().map(emit_param_value).collect();
+            format!("[{}]", inner.join(", "))
+        }
+    }
+}
+
+fn emit_campaign(e: &mut Emitter, c: &CampaignScenario) {
+    e.sect("topology");
+    e.string("spec", &c.topology.to_string());
+    if let Some(seed) = c.topology_seed {
+        e.int("seed", seed);
+    }
+    if let Some(dest) = c.destination {
+        e.int("destination", dest.raw());
+    }
+    e.sect("campaign");
+    e.int("runs", c.runs);
+    e.int("seed", c.seed);
+    e.float("horizon", c.horizon);
+    if let Some(d) = c.destinations {
+        e.string("destinations", &d.to_string());
+    }
+    e.sect("faults");
+    e.int("link_flaps", c.faults.process.link_flaps);
+    e.int("node_churn", c.faults.process.node_churn);
+    e.int("partitions", c.faults.process.partitions);
+    e.int("corruptions", c.faults.process.corruptions);
+    e.int("weight_drifts", c.faults.process.weight_drifts);
+    e.float("min_outage", c.faults.process.min_outage);
+    e.float("max_outage", c.faults.process.max_outage);
+    e.float("window", c.faults.window);
+}
+
+fn emit_workload(e: &mut Emitter, w: &WorkloadSection) {
+    e.sect("workload");
+    let kind = match w.kind {
+        WorkloadKind::Poisson => "poisson",
+        WorkloadKind::AllPairs => "all-pairs",
+        WorkloadKind::Hotspot => "hotspot",
+    };
+    e.string("kind", kind);
+    e.int("flows", w.flows);
+    e.float("rate", w.rate);
+    e.boolean("exact", w.exact);
+}
+
+fn emit_congestion(e: &mut Emitter, c: &CongestionSection) {
+    e.sect("congestion");
+    if let Some(r) = c.link_rate {
+        e.float("link_rate", r);
+    }
+    if let Some(q) = c.queue_cap {
+        e.int("queue_cap", q);
+    }
+    let discipline = match c.discipline {
+        DisciplineKind::DropTail => "drop-tail",
+        DisciplineKind::Ecn { .. } => "ecn",
+        DisciplineKind::Pause { .. } => "pause",
+    };
+    e.string("discipline", discipline);
+    if let Some(cc) = c.cc {
+        let name = match cc {
+            CongAlgKind::FixedWindow { .. } => "fixed",
+            CongAlgKind::Aimd { .. } => "aimd",
+        };
+        e.string("cc", name);
+    }
+}
+
+fn emit_report(e: &mut Emitter, r: &ReportSection) {
+    e.sect("report");
+    e.string("title", &r.title);
+    let cols: Vec<String> = r.columns.iter().map(|c| toml::escape(c)).collect();
+    e.kv("columns", &format!("[{}]", cols.join(", ")));
+}
+
+fn emit_sweep(e: &mut Emitter, s: &Sweep) {
+    if !s.axes.is_empty() {
+        e.sect("sweep");
+        for (name, values) in &s.axes {
+            let vals: Vec<String> = values.iter().map(emit_sweep_value).collect();
+            e.kv(name, &format!("[{}]", vals.join(", ")));
+        }
+    }
+    for case in &s.cases {
+        e.sect("[case]");
+        for (name, v) in case {
+            e.kv(name, &emit_sweep_value(v));
+        }
+    }
+}
+
+impl Scenario {
+    /// Canonical TOML emission: `load_str(s.to_toml())` parses back to
+    /// an equal `Scenario` (the round-trip oracle the golden tests
+    /// assert for every checked-in file).
+    pub fn to_toml(&self) -> String {
+        let mut e = Emitter::new();
+        e.sect("scenario");
+        e.string("name", &self.name);
+        e.string("kind", self.kind());
+        if let Some(d) = &self.description {
+            e.string("description", d);
+        }
+        if !self.expect.is_empty() {
+            let items: Vec<String> = self
+                .expect
+                .iter()
+                .map(|x| toml::escape(&x.to_string()))
+                .collect();
+            e.kv("expect", &format!("[{}]", items.join(", ")));
+        }
+        match &self.body {
+            ScenarioBody::Chaos(c) => emit_campaign(&mut e, c),
+            ScenarioBody::Traffic(t) => {
+                emit_campaign(&mut e, &t.base);
+                emit_workload(&mut e, &t.workload);
+                emit_congestion(&mut e, &t.congestion);
+                e.sect("traffic");
+                e.float("duration", t.duration);
+            }
+            ScenarioBody::Recovery(r) => {
+                e.sect("recovery");
+                if let Some(p) = r.protocol {
+                    e.string("protocol", p.as_str());
+                }
+                if let Some(w) = r.width {
+                    e.int("width", w);
+                }
+                if let Some(p) = r.p {
+                    e.int("p", p);
+                }
+                e.int("seed", r.seed);
+                e.string(
+                    "seed_mode",
+                    match r.seed_mode {
+                        SeedMode::Fixed => "fixed",
+                        SeedMode::PlusWidth => "plus-width",
+                    },
+                );
+                e.string(
+                    "fault",
+                    match r.fault {
+                        RegionFault::CorruptPlan => "corrupt-region",
+                        RegionFault::Blackhole => "blackhole-region",
+                    },
+                );
+                e.string(
+                    "plane",
+                    match r.plane {
+                        Plane::Single => "single",
+                        Plane::Multi => "multi",
+                    },
+                );
+                if let Some(d) = r.destinations {
+                    e.string("destinations", &d.to_string());
+                }
+                e.boolean("require_correct", r.require_correct);
+                if r.engine != EngineSection::default() {
+                    e.sect("engine");
+                    if let Some((lo, hi)) = r.engine.jitter {
+                        e.kv(
+                            "jitter",
+                            &format!("[{}, {}]", toml::fmt_float(lo), toml::fmt_float(hi)),
+                        );
+                    }
+                    if let Some(rho) = r.engine.clock_rho {
+                        e.float("clock_rho", rho);
+                    }
+                    if let Some(loss) = r.engine.loss {
+                        e.float("loss", loss);
+                    }
+                    if let Some(s) = r.engine.syn_period {
+                        e.float("syn_period", s);
+                    }
+                }
+                emit_report(&mut e, &r.report);
+                emit_sweep(&mut e, &r.sweep);
+            }
+            ScenarioBody::Hijack(h) => {
+                e.sect("hijack");
+                e.string(
+                    "mode",
+                    match h.mode {
+                        HijackMode::Snapshot => "snapshot",
+                        HijackMode::Live => "live",
+                    },
+                );
+                e.int("width", h.width);
+                if let Some(p) = h.p {
+                    e.int("p", p);
+                }
+                if let Some(p) = h.protocol {
+                    e.string("protocol", p.as_str());
+                }
+                e.int("seed", h.seed);
+                e.float("prefault", h.prefault);
+                e.float("window", h.window);
+                e.float("sample_every", h.sample_every);
+                e.float("duration", h.duration);
+                emit_workload(&mut e, &h.workload);
+                if let Some(c) = &h.congestion {
+                    emit_congestion(&mut e, c);
+                }
+                emit_report(&mut e, &h.report);
+                emit_sweep(&mut e, &h.sweep);
+            }
+            ScenarioBody::Builtin(b) => {
+                e.sect("builtin");
+                e.string("id", &b.id);
+                if !b.params.is_empty() {
+                    e.sect("params");
+                    for (key, v) in &b.params {
+                        e.kv(key, &emit_param_value(v));
+                    }
+                }
+            }
+        }
+        e.out
+    }
+}

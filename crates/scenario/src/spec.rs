@@ -1,0 +1,373 @@
+//! Shared parse/validation vocabulary for CLI flags and scenario
+//! fields.
+//!
+//! `lsrp`'s flag surface (`--topology`, `--workload`, `--link-rate`,
+//! ...) and the scenario schema describe the same configuration space.
+//! Both layers parse and validate through the helpers here, so a value
+//! accepted on the command line is accepted in a scenario file with the
+//! same spelling and the same diagnostics — the two cannot drift apart.
+//!
+//! Every helper returns `Result<_, String>` with a plain message; the
+//! caller prefixes its own context (the flag name, or the scenario
+//! field path plus line).
+
+use std::fmt;
+
+use lsrp_analysis::traffic::WorkloadKind;
+use lsrp_graph::{generators, topologies, Graph, NodeId};
+use lsrp_sim::{CongAlgKind, DisciplineKind};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A topology selector, e.g. `grid:8x8`, `ring:32`, `fig1`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TopologySpec {
+    /// `grid:WxH`
+    Grid(u32, u32),
+    /// `ring:N`
+    Ring(u32),
+    /// `path:N`
+    Path(u32),
+    /// `er:N:P` — connected Erdős–Rényi with extra-edge probability `P`.
+    ErdosRenyi(u32, f64),
+    /// `geo:N:R` — connected random geometric with radius `R`.
+    Geometric(u32, f64),
+    /// `ba:N:M` — preferential attachment, `M` edges per newcomer.
+    PreferentialAttachment(u32, u32),
+    /// `lollipop:TAIL:LOOP`
+    Lollipop(u32, u32),
+    /// `fig1` — the paper's Figure-1 network (destination v2).
+    Fig1,
+}
+
+impl fmt::Display for TopologySpec {
+    /// The canonical spec string; [`TopologySpec::parse`] round-trips it.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TopologySpec::Grid(w, h) => write!(f, "grid:{w}x{h}"),
+            TopologySpec::Ring(n) => write!(f, "ring:{n}"),
+            TopologySpec::Path(n) => write!(f, "path:{n}"),
+            TopologySpec::ErdosRenyi(n, p) => write!(f, "er:{n}:{p}"),
+            TopologySpec::Geometric(n, r) => write!(f, "geo:{n}:{r}"),
+            TopologySpec::PreferentialAttachment(n, m) => write!(f, "ba:{n}:{m}"),
+            TopologySpec::Lollipop(tail, ring) => write!(f, "lollipop:{tail}:{ring}"),
+            TopologySpec::Fig1 => write!(f, "fig1"),
+        }
+    }
+}
+
+fn parse_u32(s: &str, what: &str) -> Result<u32, String> {
+    s.parse().map_err(|_| format!("invalid {what}: {s}"))
+}
+
+impl TopologySpec {
+    /// Parses a `kind[:args]` topology selector.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the accepted spellings.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        let mut parts = s.split(':');
+        let kind = parts.next().unwrap_or_default();
+        let rest: Vec<&str> = parts.collect();
+        match (kind, rest.as_slice()) {
+            ("grid", [wh]) => {
+                let (w, h) = wh
+                    .split_once('x')
+                    .ok_or_else(|| format!("grid wants WxH, got {wh}"))?;
+                Ok(TopologySpec::Grid(
+                    parse_u32(w, "grid width")?,
+                    parse_u32(h, "grid height")?,
+                ))
+            }
+            ("ring", [n]) => Ok(TopologySpec::Ring(parse_u32(n, "ring size")?)),
+            ("path", [n]) => Ok(TopologySpec::Path(parse_u32(n, "path size")?)),
+            ("er", [n, p]) => Ok(TopologySpec::ErdosRenyi(
+                parse_u32(n, "node count")?,
+                p.parse().map_err(|_| format!("invalid probability: {p}"))?,
+            )),
+            ("geo", [n, r]) => Ok(TopologySpec::Geometric(
+                parse_u32(n, "node count")?,
+                r.parse().map_err(|_| format!("invalid radius: {r}"))?,
+            )),
+            ("ba", [n, m]) => Ok(TopologySpec::PreferentialAttachment(
+                parse_u32(n, "node count")?,
+                parse_u32(m, "attachment degree")?,
+            )),
+            ("lollipop", [tail, ring]) => Ok(TopologySpec::Lollipop(
+                parse_u32(tail, "tail length")?,
+                parse_u32(ring, "loop length")?,
+            )),
+            ("fig1", []) => Ok(TopologySpec::Fig1),
+            _ => Err(format!(
+                "unknown topology '{s}' (try grid:8x8, ring:32, path:16, er:40:0.1, \
+                 geo:60:0.18, ba:50:2, lollipop:2:8, fig1)"
+            )),
+        }
+    }
+
+    /// Builds the topology and its natural destination.
+    pub fn build(&self, seed: u64) -> (Graph, NodeId) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        match *self {
+            TopologySpec::Grid(w, h) => (generators::grid(w, h, 1), NodeId::new(0)),
+            TopologySpec::Ring(n) => (generators::ring(n, 1), NodeId::new(0)),
+            TopologySpec::Path(n) => (generators::path(n, 1), NodeId::new(0)),
+            TopologySpec::ErdosRenyi(n, p) => (
+                generators::connected_erdos_renyi(n, p, 4, &mut rng),
+                NodeId::new(0),
+            ),
+            TopologySpec::Geometric(n, r) => {
+                (generators::random_geometric(n, r, &mut rng), NodeId::new(0))
+            }
+            TopologySpec::PreferentialAttachment(n, m) => (
+                generators::preferential_attachment(n, m, &mut rng),
+                NodeId::new(0),
+            ),
+            TopologySpec::Lollipop(tail, ring) => {
+                (generators::lollipop(tail, ring, 1), NodeId::new(0))
+            }
+            TopologySpec::Fig1 => (topologies::paper_fig1(), topologies::FIG1_DESTINATION),
+        }
+    }
+}
+
+/// How many routing destinations a multi-destination campaign maintains.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DestinationsSpec {
+    /// `N` — the `N` lowest node ids.
+    Count(u32),
+    /// `all-pairs` — every node is a destination.
+    AllPairs,
+}
+
+impl fmt::Display for DestinationsSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DestinationsSpec::Count(n) => write!(f, "{n}"),
+            DestinationsSpec::AllPairs => write!(f, "all-pairs"),
+        }
+    }
+}
+
+impl DestinationsSpec {
+    /// Parses `N` or `all-pairs`.
+    ///
+    /// # Errors
+    ///
+    /// Rejects zero and non-numeric counts.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        if s == "all-pairs" || s == "all" {
+            return Ok(DestinationsSpec::AllPairs);
+        }
+        let n: u32 = s
+            .parse()
+            .map_err(|_| format!("invalid destination count: {s} (want N or all-pairs)"))?;
+        if n == 0 {
+            return Err("destination count must be at least 1".to_string());
+        }
+        Ok(DestinationsSpec::Count(n))
+    }
+
+    /// Resolves to concrete destination nodes over `graph`.
+    ///
+    /// # Errors
+    ///
+    /// Rejects a count exceeding the topology's node count.
+    pub fn resolve(&self, graph: &Graph) -> Result<Vec<NodeId>, String> {
+        match *self {
+            DestinationsSpec::AllPairs => Ok(graph.nodes().collect()),
+            DestinationsSpec::Count(n) => {
+                if n as usize > graph.node_count() {
+                    return Err(format!(
+                        "destination count {n} exceeds the topology's {} nodes",
+                        graph.node_count()
+                    ));
+                }
+                Ok(graph.nodes().take(n as usize).collect())
+            }
+        }
+    }
+}
+
+/// Parses a workload kind, with the same message as `--workload`.
+///
+/// # Errors
+///
+/// Names the accepted spellings.
+pub fn parse_workload(s: &str) -> Result<WorkloadKind, String> {
+    WorkloadKind::parse(s)
+        .ok_or_else(|| format!("unknown workload '{s}' (try poisson, all-pairs, hotspot)"))
+}
+
+/// Parses a queue discipline, with the same message as `--discipline`.
+///
+/// # Errors
+///
+/// Names the accepted spellings.
+pub fn parse_discipline(s: &str) -> Result<DisciplineKind, String> {
+    DisciplineKind::parse(s)
+        .ok_or_else(|| format!("unknown discipline '{s}' (try drop-tail, ecn, pause)"))
+}
+
+/// Parses a congestion-control algorithm, with the same message as
+/// `--cc`.
+///
+/// # Errors
+///
+/// Names the accepted spellings.
+pub fn parse_cong_alg(s: &str) -> Result<CongAlgKind, String> {
+    CongAlgKind::parse(s)
+        .ok_or_else(|| format!("unknown congestion control '{s}' (try fixed, aimd)"))
+}
+
+/// Shared range checks. Each takes an already-typed value and returns
+/// it unchanged or a message like "must be at least 1"; the caller adds
+/// the flag or field name.
+pub mod check {
+    /// Run counts must be at least 1.
+    ///
+    /// # Errors
+    ///
+    /// Rejects zero.
+    pub fn runs(n: u32) -> Result<u32, String> {
+        if n == 0 {
+            return Err("must be at least 1".to_string());
+        }
+        Ok(n)
+    }
+
+    /// Worker counts must be at least 1.
+    ///
+    /// # Errors
+    ///
+    /// Rejects zero.
+    pub fn jobs(n: usize) -> Result<usize, String> {
+        if n == 0 {
+            return Err("must be at least 1".to_string());
+        }
+        Ok(n)
+    }
+
+    /// Flow counts must be at least 1.
+    ///
+    /// # Errors
+    ///
+    /// Rejects zero.
+    pub fn flows(n: usize) -> Result<usize, String> {
+        if n == 0 {
+            return Err("must be at least 1".to_string());
+        }
+        Ok(n)
+    }
+
+    /// Horizons, durations, rates and windows must be positive and
+    /// finite.
+    ///
+    /// # Errors
+    ///
+    /// Rejects zero, negatives, NaN and infinities.
+    pub fn positive(x: f64) -> Result<f64, String> {
+        if !(x > 0.0 && x.is_finite()) {
+            return Err("must be positive and finite".to_string());
+        }
+        Ok(x)
+    }
+
+    /// Queue capacities must be at least 1.
+    ///
+    /// # Errors
+    ///
+    /// Rejects zero.
+    pub fn queue_cap(c: u64) -> Result<u64, String> {
+        if c == 0 {
+            return Err("must be at least 1".to_string());
+        }
+        Ok(c)
+    }
+
+    /// Loss rates are probabilities.
+    ///
+    /// # Errors
+    ///
+    /// Rejects values outside `[0, 1]`.
+    pub fn loss(x: f64) -> Result<f64, String> {
+        if !(0.0..=1.0).contains(&x) {
+            return Err("must be a probability in [0, 1]".to_string());
+        }
+        Ok(x)
+    }
+
+    /// Queue knobs require a finite link rate.
+    ///
+    /// # Errors
+    ///
+    /// Rejects a queue capacity or non-default discipline while links
+    /// are infinitely fast.
+    pub fn congestion_shape(
+        link_rate: Option<f64>,
+        queue_cap: Option<u64>,
+        discipline_set: bool,
+    ) -> Result<(), String> {
+        if (queue_cap.is_some() || discipline_set) && link_rate.is_none() {
+            return Err(
+                "queue capacity and discipline need a link rate (the congestion lane is off \
+                 while links are infinitely fast)"
+                    .to_string(),
+            );
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn topology_specs_round_trip_through_display() {
+        for s in [
+            "grid:8x8",
+            "ring:32",
+            "path:16",
+            "er:40:0.1",
+            "geo:60:0.18",
+            "ba:50:2",
+            "lollipop:2:8",
+            "fig1",
+        ] {
+            let spec = TopologySpec::parse(s).unwrap();
+            assert_eq!(spec.to_string(), s);
+        }
+        assert!(TopologySpec::parse("mesh:3").is_err());
+        assert!(TopologySpec::parse("grid:8").is_err());
+    }
+
+    #[test]
+    fn destinations_parse_and_resolve() {
+        assert_eq!(
+            DestinationsSpec::parse("all-pairs").unwrap(),
+            DestinationsSpec::AllPairs
+        );
+        assert_eq!(
+            DestinationsSpec::parse("4").unwrap(),
+            DestinationsSpec::Count(4)
+        );
+        assert!(DestinationsSpec::parse("0").is_err());
+        assert!(DestinationsSpec::parse("x").is_err());
+        let (g, _) = TopologySpec::Grid(3, 3).build(0);
+        assert_eq!(DestinationsSpec::AllPairs.resolve(&g).unwrap().len(), 9);
+        assert!(DestinationsSpec::Count(99).resolve(&g).is_err());
+    }
+
+    #[test]
+    fn checks_reject_out_of_range_values() {
+        assert!(check::runs(0).is_err());
+        assert!(check::positive(-1.0).is_err());
+        assert!(check::positive(f64::INFINITY).is_err());
+        assert!(check::queue_cap(0).is_err());
+        assert!(check::loss(1.5).is_err());
+        assert!(check::congestion_shape(None, Some(10), false).is_err());
+        assert!(check::congestion_shape(Some(10.0), Some(10), true).is_ok());
+    }
+}

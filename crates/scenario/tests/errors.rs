@@ -1,0 +1,194 @@
+//! Error-snapshot tests: the loader's diagnostics name the offending
+//! line and field, exactly.
+
+use lsrp_scenario::schema::load_str;
+
+fn err(src: &str) -> String {
+    load_str(src).expect_err("scenario should be rejected")
+}
+
+#[test]
+fn unknown_field_names_line_and_section() {
+    let src = "[scenario]\n\
+               name = \"x\"\n\
+               kind = \"chaos\"\n\
+               [topology]\n\
+               spec = \"grid:4x4\"\n\
+               [faults]\n\
+               link_flapz = 3\n";
+    assert_eq!(err(src), "line 7: unknown field 'link_flapz' in [faults]");
+}
+
+#[test]
+fn type_mismatch_names_expected_and_actual_types() {
+    let src = "[scenario]\n\
+               name = \"x\"\n\
+               kind = \"traffic\"\n\
+               [topology]\n\
+               spec = \"grid:4x4\"\n\
+               [workload]\n\
+               flows = \"many\"\n";
+    assert_eq!(
+        err(src),
+        "line 7: [workload] field 'flows' must be a integer, got string"
+    );
+}
+
+#[test]
+fn out_of_range_rate_is_rejected_with_the_shared_check_message() {
+    let src = "[scenario]\n\
+               name = \"x\"\n\
+               kind = \"traffic\"\n\
+               [topology]\n\
+               spec = \"grid:4x4\"\n\
+               [workload]\n\
+               rate = -5.0\n";
+    assert_eq!(
+        err(src),
+        "line 7: [workload] field 'rate' must be positive and finite"
+    );
+}
+
+#[test]
+fn contradictory_sweep_axes_are_rejected() {
+    let src = "[scenario]\n\
+               name = \"x\"\n\
+               kind = \"recovery\"\n\
+               [recovery]\n\
+               protocol = \"lsrp\"\n\
+               width = 8\n\
+               p = 2\n\
+               [report]\n\
+               title = \"t\"\n\
+               columns = [\"p\"]\n\
+               [sweep]\n\
+               p = [1, 2]\n\
+               [[case]]\n\
+               p = 1\n";
+    assert_eq!(
+        err(src),
+        "line 13: contradictory sweep axes: [sweep] and [[case]] are mutually exclusive"
+    );
+}
+
+#[test]
+fn unknown_sweep_axis_lists_the_kind_vocabulary() {
+    let src = "[scenario]\n\
+               name = \"x\"\n\
+               kind = \"recovery\"\n\
+               [recovery]\n\
+               protocol = \"lsrp\"\n\
+               width = 8\n\
+               p = 2\n\
+               [report]\n\
+               title = \"t\"\n\
+               columns = [\"p\"]\n\
+               [sweep]\n\
+               duration = [1, 2]\n";
+    assert_eq!(
+        err(src),
+        "line 12: unknown sweep axis 'duration' for kind 'recovery' (try protocol, width, p, loss)"
+    );
+}
+
+#[test]
+fn sections_outside_the_kind_are_rejected() {
+    let src = "[scenario]\n\
+               name = \"x\"\n\
+               kind = \"chaos\"\n\
+               [topology]\n\
+               spec = \"grid:4x4\"\n\
+               [workload]\n\
+               flows = 8\n";
+    assert_eq!(
+        err(src),
+        "line 6: unknown section [workload] for kind 'chaos'"
+    );
+}
+
+#[test]
+fn unknown_report_column_lists_the_mode_vocabulary() {
+    let src = "[scenario]\n\
+               name = \"x\"\n\
+               kind = \"hijack\"\n\
+               [hijack]\n\
+               mode = \"snapshot\"\n\
+               width = 8\n\
+               p = 2\n\
+               protocol = \"lsrp\"\n\
+               [report]\n\
+               title = \"t\"\n\
+               columns = [\"goodput\"]\n";
+    assert_eq!(
+        err(src),
+        "line 11: unknown column 'goodput' for kind 'hijack' (try protocol, min_avail, degraded, lost_avail)"
+    );
+}
+
+#[test]
+fn unknown_expectation_metric_lists_the_kind_vocabulary() {
+    let src = "[scenario]\n\
+               name = \"x\"\n\
+               kind = \"chaos\"\n\
+               expect = [\"goodput >= 0.9\"]\n\
+               [topology]\n\
+               spec = \"grid:4x4\"\n";
+    assert_eq!(
+        err(src),
+        "line 4: unknown expectation metric 'goodput' for kind 'chaos' (try violating, runs)"
+    );
+}
+
+#[test]
+fn malformed_expectations_are_rejected() {
+    let src = "[scenario]\n\
+               name = \"x\"\n\
+               kind = \"chaos\"\n\
+               expect = [\"violating ~ 0\"]\n\
+               [topology]\n\
+               spec = \"grid:4x4\"\n";
+    assert_eq!(
+        err(src),
+        "line 4: expectation 'violating ~ 0' has unknown operator '~' (try >=, <=, >, <, ==, !=)"
+    );
+}
+
+#[test]
+fn jitter_without_clock_rho_is_rejected() {
+    let src = "[scenario]\n\
+               name = \"x\"\n\
+               kind = \"recovery\"\n\
+               [recovery]\n\
+               protocol = \"lsrp\"\n\
+               width = 8\n\
+               p = 2\n\
+               [engine]\n\
+               jitter = [0.5, 1.5]\n\
+               [report]\n\
+               title = \"t\"\n\
+               columns = [\"p\"]\n";
+    assert_eq!(
+        err(src),
+        "line 8: [engine] 'jitter' and 'clock_rho' must be set together (the harsh model needs both)"
+    );
+}
+
+#[test]
+fn unknown_kind_is_rejected_at_the_kind_line() {
+    let src = "[scenario]\n\
+               name = \"x\"\n\
+               kind = \"stress\"\n";
+    assert_eq!(
+        err(src),
+        "line 3: unknown scenario kind 'stress' (try chaos, traffic, recovery, hijack, builtin)"
+    );
+}
+
+#[test]
+fn toml_syntax_errors_carry_the_line() {
+    assert_eq!(err("[scenario\n"), "line 1: unclosed `[` table header");
+    assert_eq!(
+        err("[scenario]\nname = oops\n"),
+        "line 2: invalid value `oops` (strings need quotes)"
+    );
+}

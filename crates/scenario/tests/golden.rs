@@ -1,0 +1,98 @@
+//! Golden tests over the checked-in `scenarios/` corpus: every file
+//! must parse, survive a canonical-emission round trip, and expand to
+//! at least one cell.
+
+use lsrp_scenario::schema::load_str;
+use lsrp_scenario::{expand_list, ScenarioBody};
+
+fn corpus() -> Vec<(String, String)> {
+    let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/../../scenarios");
+    let mut files: Vec<_> = std::fs::read_dir(dir)
+        .expect("scenarios/ directory exists")
+        .map(|e| e.expect("readable dir entry").path())
+        .filter(|p| p.extension().is_some_and(|x| x == "toml"))
+        .collect();
+    files.sort();
+    assert!(
+        files.len() >= 20,
+        "scenarios/ corpus shrank to {} files",
+        files.len()
+    );
+    files
+        .into_iter()
+        .map(|p| {
+            let name = p.file_name().unwrap().to_string_lossy().into_owned();
+            let text = std::fs::read_to_string(&p).expect("readable scenario file");
+            (name, text)
+        })
+        .collect()
+}
+
+#[test]
+fn every_scenario_file_parses() {
+    for (name, text) in corpus() {
+        load_str(&text).unwrap_or_else(|e| panic!("{name}: {e}"));
+    }
+}
+
+#[test]
+fn every_scenario_file_round_trips_through_canonical_emission() {
+    for (name, text) in corpus() {
+        let parsed = load_str(&text).unwrap_or_else(|e| panic!("{name}: {e}"));
+        let emitted = parsed.to_toml();
+        let reparsed = load_str(&emitted).unwrap_or_else(|e| {
+            panic!("{name}: canonical emission failed to re-parse: {e}\n{emitted}")
+        });
+        assert_eq!(parsed, reparsed, "{name}: round trip changed the scenario");
+        // The emission is a fixpoint: emitting the re-parse is identical.
+        assert_eq!(
+            emitted,
+            reparsed.to_toml(),
+            "{name}: emission not canonical"
+        );
+    }
+}
+
+#[test]
+fn every_scenario_file_expands() {
+    for (name, text) in corpus() {
+        let parsed = load_str(&text).unwrap_or_else(|e| panic!("{name}: {e}"));
+        let cells = expand_list(&parsed).unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert!(!cells.is_empty(), "{name}: expanded to zero cells");
+    }
+}
+
+#[test]
+fn corpus_covers_every_experiment() {
+    // E1–E21 from EXPERIMENTS.md, with E1/E2 sharing one scenario file.
+    let corpus = corpus();
+    let mut builtin_ids = Vec::new();
+    let mut names = Vec::new();
+    for (_, text) in &corpus {
+        let s = load_str(text).unwrap();
+        names.push(s.name.clone());
+        if let ScenarioBody::Builtin(b) = &s.body {
+            builtin_ids.push(b.id.clone());
+        }
+    }
+    for id in [
+        "e1", "e3", "e4", "e5", "e7", "e8", "e9", "e10", "e11", "e12", "e15", "e17", "e19",
+    ] {
+        assert!(
+            builtin_ids.iter().any(|b| b == id),
+            "no builtin scenario for {id}"
+        );
+    }
+    for name in [
+        "e6-scaling",
+        "e6-multi",
+        "e13-availability",
+        "e14-robustness",
+        "e16-route-stability",
+        "e18-message-loss",
+        "e20-live-availability",
+        "e21-congested-recovery",
+    ] {
+        assert!(names.iter().any(|n| n == name), "no scenario named {name}");
+    }
+}

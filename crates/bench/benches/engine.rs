@@ -227,6 +227,48 @@ fn bench_traffic_grid(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_wakeup_scheduler(c: &mut Criterion) {
+    // Guards the multi-instance wakeup scheduler's bulk re-arm path: a
+    // neighbor change marks every instance dirty, and the next guard
+    // evaluation recomputes all of them and re-arms their clock wakeups
+    // in one batch (rebuilding the heap instead of N push/sift rounds).
+    use std::collections::BTreeMap;
+    use std::sync::Arc;
+
+    use lsrp_core::{LsrpState, TimingConfig};
+    use lsrp_multi::{DestTable, MultiLsrpNode};
+    use lsrp_sim::{Effects, EnabledSet, ProtocolNode};
+
+    const DESTS: u32 = 256;
+    let id = NodeId::new(0);
+    let neighbors = BTreeMap::from([(NodeId::new(1), 1u64), (NodeId::new(2), 1u64)]);
+    let dests = DestTable::new((0..DESTS).map(NodeId::new));
+    let build = || {
+        MultiLsrpNode::new(
+            id,
+            TimingConfig::paper_example(1.0),
+            Arc::clone(&dests),
+            (0..DESTS).map(|d| LsrpState::fresh(id, NodeId::new(d), neighbors.clone())),
+        )
+    };
+
+    let mut g = c.benchmark_group("multi_wakeup_scheduler");
+    g.throughput(Throughput::Elements(u64::from(DESTS)));
+    g.bench_function("mark_all_dirty_then_evaluate_256", |b| {
+        let mut node = build();
+        let mut set = EnabledSet::none();
+        let mut now = 0.0;
+        b.iter(|| {
+            let mut fx = Effects::detached();
+            node.on_neighbors_changed(&neighbors, now, &mut fx);
+            node.enabled_actions_into(now, &mut set);
+            now += 1.0;
+            std::hint::black_box(set.actions.len())
+        })
+    });
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_delivery_throughput,
@@ -234,6 +276,7 @@ criterion_group!(
     bench_event_rate,
     bench_monitored_chaos,
     bench_traffic_grid,
-    bench_allpairs_grid
+    bench_allpairs_grid,
+    bench_wakeup_scheduler
 );
 criterion_main!(benches);

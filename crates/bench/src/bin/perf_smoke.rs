@@ -2,17 +2,15 @@
 //! `BENCH_engine.json` at the repository root, and fail if events/sec
 //! falls below a deliberately generous floor.
 //!
-//! The floor is ~20x below the throughput measured on an unremarkable
-//! development container, so it only trips on order-of-magnitude
-//! regressions (an accidental O(n) scan on the hot path, a deep clone per
-//! broadcast fan-out copy), never on machine noise.
+//! Floors are per-scenario (see [`events_per_sec_floor`]) and sit far
+//! below the throughput measured on an unremarkable development
+//! container, so they only trip on order-of-magnitude regressions (an
+//! accidental O(n) scan on the hot path, a deep clone per broadcast
+//! fan-out copy), never on machine noise.
 
 use std::path::Path;
 
-use lsrp_bench::engine_perf::{measure_all, to_json};
-
-/// Generous events/sec floor; see module docs.
-const EVENTS_PER_SEC_FLOOR: f64 = 20_000.0;
+use lsrp_bench::engine_perf::{events_per_sec_floor, measure_all, to_json};
 
 fn main() {
     let results = measure_all();
@@ -22,9 +20,10 @@ fn main() {
     print!("{doc}");
     let mut failed = false;
     for r in &results {
-        let ok = r.events_per_sec >= EVENTS_PER_SEC_FLOOR;
+        let floor = events_per_sec_floor(r.scenario);
+        let ok = r.events_per_sec >= floor;
         eprintln!(
-            "perf-smoke {}: {:.0} events/sec (floor {EVENTS_PER_SEC_FLOOR:.0}), \
+            "perf-smoke {}: {:.0} events/sec (floor {floor:.0}), \
              peak queue {} — {}",
             r.scenario,
             r.events_per_sec,

@@ -492,7 +492,8 @@ USAGE:
                [--discipline drop-tail|ecn|pause] [--cc fixed|aimd]
 
 TOPOLOGIES:  grid:8x8  ring:32  path:16  er:40:0.1  geo:60:0.18
-             ba:50:2  lollipop:2:8  fig1
+             ba:50:2  lollipop:2:8  waxman:1000:0.05:0.7  cliques:8:6
+             fattree:8  fig1
 FAULTS:      corrupt:NODE[:D|inf]  fail-node:N  fail-edge:A:B
              join-edge:A:B:W  weight:A:B:W  loop  (lollipop only)
 
@@ -633,6 +634,12 @@ mod tests {
             ("geo:60:0.18", TopologySpec::Geometric(60, 0.18)),
             ("ba:50:2", TopologySpec::PreferentialAttachment(50, 2)),
             ("lollipop:2:8", TopologySpec::Lollipop(2, 8)),
+            (
+                "waxman:1000:0.05:0.7",
+                TopologySpec::Waxman(1000, 0.05, 0.7),
+            ),
+            ("cliques:8:6", TopologySpec::RingOfCliques(8, 6)),
+            ("fattree:8", TopologySpec::FatTree(8)),
             ("fig1", TopologySpec::Fig1),
         ] {
             assert_eq!(TopologySpec::parse(s).unwrap(), expect, "{s}");

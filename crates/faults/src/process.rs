@@ -487,7 +487,7 @@ mod tests {
             .collect();
         assert_eq!(drifts.len(), 8, "each drift must pair with a restore");
         // Every drifted edge ends back at its original unit cost.
-        let mut model = g.clone();
+        let mut model = g;
         for &(a, b, w) in &drifts {
             model.set_weight(a, b, w).expect("edge is live");
         }

@@ -293,6 +293,274 @@ pub fn preferential_attachment<R: Rng>(n: u32, m: u32, rng: &mut R) -> Graph {
     g
 }
 
+/// A Waxman random graph: `n` points uniform in the unit square, each
+/// pair `(u, v)` linked with probability
+/// `beta * exp(-d(u, v) / (alpha * L))` where `L = sqrt(2)` is the
+/// diagonal — the classic Internet-topology model (RFC 2903-era
+/// transit-stub studies), patched to connectivity like
+/// [`random_geometric`]. Weights are 1.
+///
+/// Pairs whose link probability falls below a fixed cutoff (`1e-9`) are
+/// never linked; that truncation is what lets the generator run a
+/// spatial hash over candidate pairs instead of the O(n²) sweep, so
+/// 100k-node graphs build in seconds. With the small `alpha` values
+/// such sizes need (long links are exponentially suppressed), the
+/// truncated model is the Waxman model for every practical purpose.
+///
+/// # Panics
+///
+/// Panics if `n == 0`, `alpha <= 0`, or `beta` is not in `(0, 1]`.
+pub fn waxman<R: Rng>(n: u32, alpha: f64, beta: f64, rng: &mut R) -> Graph {
+    assert!(n > 0, "waxman graph needs at least one node");
+    assert!(alpha > 0.0, "alpha must be positive");
+    assert!(beta > 0.0 && beta <= 1.0, "beta must be in (0, 1]");
+    let l = std::f64::consts::SQRT_2;
+    // Distance beyond which p(u, v) < CUTOFF: never linked, never drawn.
+    const CUTOFF: f64 = 1e-9;
+    let radius = (alpha * l * (beta / CUTOFF).ln()).min(l);
+    let points: Vec<(f64, f64)> = (0..n)
+        .map(|_| (rng.gen::<f64>(), rng.gen::<f64>()))
+        .collect();
+    let cells = SpatialHash::new(&points, radius);
+    let mut g = Graph::new();
+    for i in 0..n {
+        g.add_node(v(i));
+    }
+    let d = |a: usize, b: usize| {
+        let (ax, ay) = points[a];
+        let (bx, by) = points[b];
+        ((ax - bx).powi(2) + (ay - by).powi(2)).sqrt()
+    };
+    // Candidate pairs in ascending (i, j) order so the RNG consumption
+    // order — hence the graph — is a pure function of the seed.
+    let mut candidates: Vec<u32> = Vec::new();
+    for i in 0..n as usize {
+        cells.neighbors_within(i, &points, radius, &mut candidates);
+        candidates.retain(|&j| j as usize > i);
+        candidates.sort_unstable();
+        for &j in &candidates {
+            let p = beta * (-d(i, j as usize) / (alpha * l)).exp();
+            if p >= CUTOFF && rng.gen_bool(p.min(1.0)) {
+                g.add_edge(v(i as u32), v(j), 1).expect("fresh edge");
+            }
+        }
+    }
+    patch_connectivity(&mut g, &points, &cells);
+    g
+}
+
+/// A uniform grid of buckets over the unit square, sized so that any two
+/// points within `radius` share a bucket or sit in adjacent ones.
+struct SpatialHash {
+    side: usize,
+    buckets: Vec<Vec<u32>>,
+}
+
+impl SpatialHash {
+    fn new(points: &[(f64, f64)], radius: f64) -> Self {
+        // At least 1 cell; cap the resolution so tiny radii on few points
+        // don't allocate millions of empty buckets.
+        let max_side = ((points.len() as f64).sqrt().ceil() as usize).max(1);
+        let side = ((1.0 / radius).floor() as usize).clamp(1, max_side);
+        let mut buckets = vec![Vec::new(); side * side];
+        for (i, &(x, y)) in points.iter().enumerate() {
+            buckets[Self::cell(side, x, y)].push(i as u32);
+        }
+        SpatialHash { side, buckets }
+    }
+
+    fn cell(side: usize, x: f64, y: f64) -> usize {
+        let cx = ((x * side as f64) as usize).min(side - 1);
+        let cy = ((y * side as f64) as usize).min(side - 1);
+        cy * side + cx
+    }
+
+    /// Collects (into `out`) every point within `radius` of point `i`,
+    /// excluding `i` itself. Order is unspecified; callers sort.
+    fn neighbors_within(&self, i: usize, points: &[(f64, f64)], radius: f64, out: &mut Vec<u32>) {
+        out.clear();
+        let (x, y) = points[i];
+        let r2 = radius * radius;
+        let span = (radius * self.side as f64).ceil() as isize;
+        let cx = ((x * self.side as f64) as isize).min(self.side as isize - 1);
+        let cy = ((y * self.side as f64) as isize).min(self.side as isize - 1);
+        for by in (cy - span).max(0)..=(cy + span).min(self.side as isize - 1) {
+            for bx in (cx - span).max(0)..=(cx + span).min(self.side as isize - 1) {
+                for &j in &self.buckets[by as usize * self.side + bx as usize] {
+                    if j as usize == i {
+                        continue;
+                    }
+                    let (jx, jy) = points[j as usize];
+                    if (jx - x).powi(2) + (jy - y).powi(2) <= r2 {
+                        out.push(j);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Links every stranded component to the geometrically nearest node of
+/// the component containing the smallest node id, using an expanding
+/// ring search over `cells` (ties broken by node id, so the patch is
+/// deterministic). Unlike the O(n² · components) scan in
+/// [`random_geometric`], this stays feasible at 100k nodes.
+fn patch_connectivity(g: &mut Graph, points: &[(f64, f64)], cells: &SpatialHash) {
+    // Union the components in ascending min-id order: each later
+    // component attaches to the nearest node already absorbed.
+    let mut comp = vec![u32::MAX; points.len()];
+    let mut comps: Vec<Vec<u32>> = Vec::new();
+    for start in g.nodes() {
+        if comp[start.raw() as usize] != u32::MAX {
+            continue;
+        }
+        let c = comps.len() as u32;
+        let mut stack = vec![start];
+        let mut members = Vec::new();
+        comp[start.raw() as usize] = c;
+        while let Some(u) = stack.pop() {
+            members.push(u.raw());
+            for (nb, _) in g.neighbors(u) {
+                if comp[nb.raw() as usize] == u32::MAX {
+                    comp[nb.raw() as usize] = c;
+                    stack.push(nb);
+                }
+            }
+        }
+        comps.push(members);
+    }
+    if comps.len() <= 1 {
+        return;
+    }
+    // `absorbed[i]`: whether point i is in the growing main component.
+    let mut absorbed = vec![false; points.len()];
+    for &i in &comps[0] {
+        absorbed[i as usize] = true;
+    }
+    let side = cells.side as isize;
+    for members in &comps[1..] {
+        // Nearest (absorbed, stranded) pair over the whole component,
+        // found by expanding the bucket ring around each member.
+        let mut best: Option<(f64, u32, u32)> = None; // (dist², absorbed, member)
+        for &m in members {
+            let (x, y) = points[m as usize];
+            let cx = ((x * side as f64) as isize).min(side - 1);
+            let cy = ((y * side as f64) as isize).min(side - 1);
+            'rings: for ring in 0..side.max(1) {
+                for by in (cy - ring).max(0)..=(cy + ring).min(side - 1) {
+                    for bx in (cx - ring).max(0)..=(cx + ring).min(side - 1) {
+                        if (by - cy).abs() < ring && (bx - cx).abs() < ring {
+                            continue; // interior: already scanned
+                        }
+                        for &j in &cells.buckets[(by * side + bx) as usize] {
+                            if !absorbed[j as usize] {
+                                continue;
+                            }
+                            let (jx, jy) = points[j as usize];
+                            let d2 = (jx - x).powi(2) + (jy - y).powi(2);
+                            let key = (d2, j, m);
+                            if best.is_none_or(|(bd, bj, bm)| key < (bd, bj, bm)) {
+                                best = Some(key);
+                            }
+                        }
+                    }
+                }
+                // A hit one ring out can still beat the current best by
+                // Euclidean distance, so scan one extra ring past the
+                // first hit before stopping.
+                if let Some((bd, _, _)) = best {
+                    let ring_dist = (ring.max(0) as f64 - 1.0).max(0.0) / side as f64;
+                    if bd.sqrt() <= ring_dist {
+                        break 'rings;
+                    }
+                }
+            }
+        }
+        let (_, a, m) = best.expect("main component is non-empty");
+        g.add_edge(v(a), v(m), 1)
+            .expect("cross-component edge is fresh");
+        for &i in members {
+            absorbed[i as usize] = true;
+        }
+    }
+}
+
+/// A ring of `k` cliques of `m` nodes each: clique `c` spans ids
+/// `c*m ..= c*m + m - 1` as a complete subgraph, and consecutive cliques
+/// are joined by a single edge between their first nodes. High local
+/// redundancy with narrow inter-region cuts — the worst case for
+/// perturbation containment (a fault next to a cut contaminates the
+/// gateway immediately).
+///
+/// # Panics
+///
+/// Panics if `k < 3`, `m < 2`, or `weight == 0`.
+pub fn ring_of_cliques(k: u32, m: u32, weight: Weight) -> Graph {
+    assert!(k >= 3, "ring of cliques needs at least three cliques");
+    assert!(m >= 2, "cliques need at least two nodes");
+    let mut g = Graph::new();
+    for c in 0..k {
+        let base = c * m;
+        for a in 0..m {
+            for b in (a + 1)..m {
+                g.add_edge(v(base + a), v(base + b), weight)
+                    .expect("fresh edge");
+            }
+        }
+    }
+    for c in 0..k {
+        g.add_edge(v(c * m), v(((c + 1) % k) * m), weight)
+            .expect("fresh edge");
+    }
+    g
+}
+
+/// A three-tier k-ary fat-tree (Clos) with hosts — the standard
+/// datacenter fabric: `(k/2)²` core switches; `k` pods of `k/2`
+/// aggregation and `k/2` edge switches; `k/2` hosts per edge switch.
+/// Aggregation switch `j` of each pod uplinks to cores
+/// `j*(k/2) .. (j+1)*(k/2)` and downlinks to every edge switch in its
+/// pod; hosts hang off their edge switch. Total `5k²/4 + k³/4` nodes
+/// (`k = 76` ≈ 117k nodes), diameter 6, all weights 1.
+///
+/// Id layout: cores `0 .. (k/2)²`, then pod switches (per pod: `k/2`
+/// aggregation then `k/2` edge), then hosts grouped by edge switch.
+///
+/// # Panics
+///
+/// Panics if `k < 2` or `k` is odd.
+pub fn fat_tree(k: u32) -> Graph {
+    assert!(
+        k >= 2 && k.is_multiple_of(2),
+        "fat-tree arity must be even and >= 2"
+    );
+    let half = k / 2;
+    let cores = half * half;
+    let pod_base = |p: u32| cores + p * k;
+    let host_base = cores + k * k;
+    let mut g = Graph::new();
+    for p in 0..k {
+        for j in 0..half {
+            let agg = pod_base(p) + j;
+            for c in (j * half)..((j + 1) * half) {
+                g.add_edge(v(agg), v(c), 1).expect("fresh edge");
+            }
+            for e in 0..half {
+                let edge = pod_base(p) + half + e;
+                g.add_edge(v(agg), v(edge), 1).expect("fresh edge");
+            }
+        }
+        for e in 0..half {
+            let edge = pod_base(p) + half + e;
+            for h in 0..half {
+                let host = host_base + ((p * half + e) * half) + h;
+                g.add_edge(v(edge), v(host), 1).expect("fresh edge");
+            }
+        }
+    }
+    g
+}
+
 /// Shuffles node labels of a graph (relabeling by a random permutation)
 /// while keeping ids dense. Useful in property tests to rule out
 /// id-ordering artifacts.
@@ -423,5 +691,71 @@ mod tests {
     #[should_panic(expected = "ring needs at least three nodes")]
     fn tiny_ring_panics() {
         let _ = ring(2, 1);
+    }
+
+    #[test]
+    fn waxman_is_connected_and_deterministic() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let a = waxman(200, 0.08, 0.7, &mut rng);
+        assert_eq!(a.node_count(), 200);
+        assert!(a.is_connected());
+        let mut rng2 = StdRng::seed_from_u64(5);
+        let b = waxman(200, 0.08, 0.7, &mut rng2);
+        assert_eq!(a, b, "same seed must give the same graph");
+        let mut rng3 = StdRng::seed_from_u64(6);
+        let c = waxman(200, 0.08, 0.7, &mut rng3);
+        assert_ne!(a, c, "different seeds should differ");
+    }
+
+    #[test]
+    fn waxman_locality_suppresses_long_links() {
+        // With small alpha nearly all edges are short: mean degree stays
+        // modest even with beta = 1.
+        let mut rng = StdRng::seed_from_u64(42);
+        let g = waxman(2000, 0.01, 1.0, &mut rng);
+        assert!(g.is_connected());
+        let mean_degree = 2.0 * g.edge_count() as f64 / g.node_count() as f64;
+        assert!(
+            mean_degree < 12.0,
+            "alpha=0.01 should stay sparse, got mean degree {mean_degree}"
+        );
+    }
+
+    #[test]
+    fn ring_of_cliques_shape() {
+        let g = ring_of_cliques(4, 5, 1);
+        assert_eq!(g.node_count(), 20);
+        // 4 cliques of C(5,2)=10 edges + 4 ring edges.
+        assert_eq!(g.edge_count(), 4 * 10 + 4);
+        assert!(g.is_connected());
+        // Gateways have clique degree (m-1) + 2 ring edges.
+        assert_eq!(g.degree(v(0)), 6);
+        assert_eq!(g.degree(v(1)), 4);
+        assert!(g.has_edge(v(15), v(0)), "ring closes");
+    }
+
+    #[test]
+    fn fat_tree_shape() {
+        let k = 4u32;
+        let g = fat_tree(k);
+        // (k/2)^2 cores + k^2 pod switches + k^3/4 hosts.
+        assert_eq!(g.node_count(), 4 + 16 + 16);
+        // Edges: k*(k/2)*(k/2) core links + k*(k/2)*(k/2) agg-edge links
+        //        + k^3/4 host links.
+        assert_eq!(g.edge_count() as u32, 16 + 16 + 16);
+        assert!(g.is_connected());
+        assert_eq!(g.hop_diameter(), Some(6), "host-to-host across pods");
+        // Every core has degree k (one uplink from each pod).
+        for c in 0..4 {
+            assert_eq!(g.degree(v(c)), 4);
+        }
+        // Hosts are leaves.
+        assert_eq!(g.degree(v(35)), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "fat-tree arity must be even")]
+    fn odd_fat_tree_panics() {
+        let _ = fat_tree(3);
     }
 }

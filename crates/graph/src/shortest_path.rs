@@ -6,16 +6,26 @@
 //! next-hop is one of [`ShortestPaths::parents`].
 
 use std::cmp::Reverse;
-use std::collections::{BTreeMap, BinaryHeap};
+use std::collections::BinaryHeap;
 
 use crate::graph::Graph;
 use crate::id::{Distance, NodeId};
 
 /// Result of a single-destination shortest-path computation.
+///
+/// Distances live in a dense `NodeId`-indexed vec rather than an ordered
+/// map: the all-pairs oracle checks at 100k-node scale run one Dijkstra
+/// per destination, and the dense layout makes each relaxation an array
+/// index instead of a tree probe.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ShortestPaths {
     destination: NodeId,
-    dist: BTreeMap<NodeId, Distance>,
+    /// The graph's node ids, ascending (drives [`ShortestPaths::iter`]).
+    nodes: Vec<NodeId>,
+    /// Distance indexed by raw node id. Ids absent from the graph hold
+    /// `Infinite`, which is exactly what [`ShortestPaths::distance`]
+    /// reports for unknown nodes.
+    dist: Vec<Distance>,
 }
 
 impl ShortestPaths {
@@ -25,28 +35,34 @@ impl ShortestPaths {
     /// [`Distance::Infinite`]. Edge weights are positive by construction of
     /// [`Graph`], so the classic algorithm applies.
     pub fn dijkstra(graph: &Graph, destination: NodeId) -> Self {
-        let mut dist: BTreeMap<NodeId, Distance> =
-            graph.nodes().map(|v| (v, Distance::Infinite)).collect();
+        let nodes: Vec<NodeId> = graph.nodes().collect();
+        let len = graph.max_node_id().map_or(0, |m| m.raw() as usize + 1);
+        let mut dist = vec![Distance::Infinite; len];
         let mut heap = BinaryHeap::new();
         if graph.has_node(destination) {
-            dist.insert(destination, Distance::ZERO);
+            dist[destination.raw() as usize] = Distance::ZERO;
             heap.push(Reverse((0u64, destination)));
         }
         while let Some(Reverse((d, v))) = heap.pop() {
-            if dist[&v] != Distance::Finite(d) {
+            if dist[v.raw() as usize] != Distance::Finite(d) {
                 continue; // stale entry
             }
             for (n, w) in graph.neighbors(v) {
                 let candidate = Distance::Finite(d).plus(w);
-                if candidate < dist[&n] {
-                    dist.insert(n, candidate);
+                let slot = &mut dist[n.raw() as usize];
+                if candidate < *slot {
+                    *slot = candidate;
                     if let Some(c) = candidate.as_finite() {
                         heap.push(Reverse((c, n)));
                     }
                 }
             }
         }
-        ShortestPaths { destination, dist }
+        ShortestPaths {
+            destination,
+            nodes,
+            dist,
+        }
     }
 
     /// The destination these distances are rooted at.
@@ -57,12 +73,17 @@ impl ShortestPaths {
     /// Shortest distance from `v` to the destination
     /// ([`Distance::Infinite`] for unreachable or unknown nodes).
     pub fn distance(&self, v: NodeId) -> Distance {
-        self.dist.get(&v).copied().unwrap_or(Distance::Infinite)
+        self.dist
+            .get(v.raw() as usize)
+            .copied()
+            .unwrap_or(Distance::Infinite)
     }
 
     /// Iterates over `(node, distance)` pairs in ascending node order.
     pub fn iter(&self) -> impl Iterator<Item = (NodeId, Distance)> + '_ {
-        self.dist.iter().map(|(&v, &d)| (v, d))
+        self.nodes
+            .iter()
+            .map(move |&v| (v, self.dist[v.raw() as usize]))
     }
 
     /// The neighbors of `v` that lie on *some* shortest path from `v` to the

@@ -131,6 +131,12 @@ struct Sched {
     active: Vec<u32>,
     /// Lazy min-heap of `(wakeup_local, instance)` entries.
     wakeups: BinaryHeap<Reverse<(Wake, u32)>>,
+    /// Wakeup arms staged by [`Sched::recompute`] during a dirty drain
+    /// and flushed by [`Sched::flush_wakeup_arms`]. Drained in place and
+    /// reused, so steady-state maintenance passes allocate nothing; a
+    /// bulk drain (every instance dirty after a topology change) flushes
+    /// as one O(n) heap rebuild instead of n O(log n) pushes.
+    arm_scratch: Vec<(Wake, u32)>,
     /// Number of instances whose synced ghost flag is set.
     ghosts: usize,
     /// Instance guard evaluations performed (the O(dirty) observable:
@@ -146,6 +152,7 @@ impl Sched {
             is_dirty: vec![true; n],
             active: Vec::new(),
             wakeups: BinaryHeap::new(),
+            arm_scratch: Vec::new(),
             ghosts: 0,
             evals: 0,
         }
@@ -202,7 +209,30 @@ impl Sched {
         if let Some(w) = c.set.wakeup_local {
             if c.heap_wake.is_none_or(|hw| w < hw) {
                 c.heap_wake = Some(w);
-                self.wakeups.push(Reverse((Wake(w), idx as u32)));
+                self.arm_scratch.push((Wake(w), idx as u32));
+            }
+        }
+    }
+
+    /// Moves the wakeup arms staged by [`Sched::recompute`] into the
+    /// heap. A handful push individually; a bulk batch (at least the
+    /// heap's own size — the mark-all-dirty maintenance passes) rebuilds
+    /// the heap in one O(n) heapify, dropping stale lazy-deletion
+    /// entries while at it. Pop order only depends on the live-entry
+    /// values, so the flush strategy can never change behavior.
+    fn flush_wakeup_arms(&mut self) {
+        if self.arm_scratch.is_empty() {
+            return;
+        }
+        if self.arm_scratch.len() > 16 && self.arm_scratch.len() >= self.wakeups.len() {
+            let mut entries = std::mem::take(&mut self.wakeups).into_vec();
+            entries
+                .retain(|&Reverse((Wake(w), idx))| self.cache[idx as usize].heap_wake == Some(w));
+            entries.extend(self.arm_scratch.drain(..).map(Reverse));
+            self.wakeups = BinaryHeap::from(entries);
+        } else {
+            for e in self.arm_scratch.drain(..) {
+                self.wakeups.push(Reverse(e));
             }
         }
     }
@@ -225,6 +255,7 @@ impl Sched {
             if live {
                 // Due: the guard is a function of the clock, re-evaluate.
                 self.recompute(instances, i, now_local);
+                self.flush_wakeup_arms();
             } else if let Some(w2) = self.cache[i].set.wakeup_local {
                 // The cached wakeup moved; re-arm the heap for it.
                 self.cache[i].heap_wake = Some(w2);
@@ -341,11 +372,13 @@ impl ProtocolNode for MultiLsrpNode {
     fn enabled_actions_into(&self, now_local: f64, out: &mut EnabledSet) {
         let mut sched = self.sched.borrow_mut();
         let s = &mut *sched;
-        // 1) Refresh the caches of touched instances.
+        // 1) Refresh the caches of touched instances, then arm their
+        //    wakeups in one batch.
         while let Some(idx) = s.dirty.pop() {
             s.is_dirty[idx as usize] = false;
             s.recompute(&self.instances, idx as usize, now_local);
         }
+        s.flush_wakeup_arms();
         // 2) Re-evaluate instances whose clock wakeup came due; the rest
         //    of the heap yields the node-level min-wakeup.
         let next_wake = s.service_wakeups(&self.instances, now_local);

@@ -615,10 +615,8 @@ fn run_recovery(
                     model: c.model,
                 })
                 .collect();
-            let results = {
-                let specs = specs.clone();
-                run_sharded(jobs, specs.len(), move |i| recovery_cell(&specs[i]))
-            };
+            let n_cells = specs.len();
+            let results = run_sharded(jobs, n_cells, move |i| recovery_cell(&specs[i]));
             for (cell, m) in cells.iter().zip(&results) {
                 if r.require_correct {
                     let (protocol, w, p) = (
@@ -667,13 +665,11 @@ fn run_recovery(
                 .iter()
                 .map(|c| (c.width, c.p, c.trees, c.seed))
                 .collect();
-            let results = {
-                let args = args.clone();
-                run_sharded(jobs, args.len(), move |i| {
-                    let (w, p, trees, seed) = args[i];
-                    multi_recovery_cell(w, p, trees, seed)
-                })
-            };
+            let n_cells = args.len();
+            let results = run_sharded(jobs, n_cells, move |i| {
+                let (w, p, trees, seed) = args[i];
+                multi_recovery_cell(w, p, trees, seed)
+            });
             for (cell, (stab, messages, adverts, acting)) in cells.iter().zip(&results) {
                 let row: Vec<String> = r
                     .report

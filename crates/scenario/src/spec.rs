@@ -36,6 +36,13 @@ pub enum TopologySpec {
     PreferentialAttachment(u32, u32),
     /// `lollipop:TAIL:LOOP`
     Lollipop(u32, u32),
+    /// `waxman:N:ALPHA:BETA` — Waxman random graph (long links
+    /// exponentially suppressed by `ALPHA`, density scaled by `BETA`).
+    Waxman(u32, f64, f64),
+    /// `cliques:K:M` — ring of `K` cliques of `M` nodes.
+    RingOfCliques(u32, u32),
+    /// `fattree:K` — three-tier k-ary fat-tree with hosts.
+    FatTree(u32),
     /// `fig1` — the paper's Figure-1 network (destination v2).
     Fig1,
 }
@@ -51,6 +58,9 @@ impl fmt::Display for TopologySpec {
             TopologySpec::Geometric(n, r) => write!(f, "geo:{n}:{r}"),
             TopologySpec::PreferentialAttachment(n, m) => write!(f, "ba:{n}:{m}"),
             TopologySpec::Lollipop(tail, ring) => write!(f, "lollipop:{tail}:{ring}"),
+            TopologySpec::Waxman(n, a, b) => write!(f, "waxman:{n}:{a}:{b}"),
+            TopologySpec::RingOfCliques(k, m) => write!(f, "cliques:{k}:{m}"),
+            TopologySpec::FatTree(k) => write!(f, "fattree:{k}"),
             TopologySpec::Fig1 => write!(f, "fig1"),
         }
     }
@@ -98,10 +108,21 @@ impl TopologySpec {
                 parse_u32(tail, "tail length")?,
                 parse_u32(ring, "loop length")?,
             )),
+            ("waxman", [n, a, b]) => Ok(TopologySpec::Waxman(
+                parse_u32(n, "node count")?,
+                a.parse().map_err(|_| format!("invalid alpha: {a}"))?,
+                b.parse().map_err(|_| format!("invalid beta: {b}"))?,
+            )),
+            ("cliques", [k, m]) => Ok(TopologySpec::RingOfCliques(
+                parse_u32(k, "clique count")?,
+                parse_u32(m, "clique size")?,
+            )),
+            ("fattree", [k]) => Ok(TopologySpec::FatTree(parse_u32(k, "fat-tree arity")?)),
             ("fig1", []) => Ok(TopologySpec::Fig1),
             _ => Err(format!(
                 "unknown topology '{s}' (try grid:8x8, ring:32, path:16, er:40:0.1, \
-                 geo:60:0.18, ba:50:2, lollipop:2:8, fig1)"
+                 geo:60:0.18, ba:50:2, lollipop:2:8, waxman:1000:0.05:0.7, \
+                 cliques:8:6, fattree:8, fig1)"
             )),
         }
     }
@@ -127,6 +148,13 @@ impl TopologySpec {
             TopologySpec::Lollipop(tail, ring) => {
                 (generators::lollipop(tail, ring, 1), NodeId::new(0))
             }
+            TopologySpec::Waxman(n, a, b) => {
+                (generators::waxman(n, a, b, &mut rng), NodeId::new(0))
+            }
+            TopologySpec::RingOfCliques(k, m) => {
+                (generators::ring_of_cliques(k, m, 1), NodeId::new(0))
+            }
+            TopologySpec::FatTree(k) => (generators::fat_tree(k), NodeId::new(0)),
             TopologySpec::Fig1 => (topologies::paper_fig1(), topologies::FIG1_DESTINATION),
         }
     }
@@ -334,6 +362,9 @@ mod tests {
             "geo:60:0.18",
             "ba:50:2",
             "lollipop:2:8",
+            "waxman:1000:0.05:0.7",
+            "cliques:8:6",
+            "fattree:8",
             "fig1",
         ] {
             let spec = TopologySpec::parse(s).unwrap();

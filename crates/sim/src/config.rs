@@ -3,6 +3,7 @@
 
 use crate::clock::ClockConfig;
 use crate::congestion::CongestionConfig;
+use crate::sched::SchedulerKind;
 use crate::sink::SinkKind;
 
 /// Parameters of the two-state Gilbert–Elliott bursty-loss channel.
@@ -231,6 +232,11 @@ pub struct EngineConfig {
     /// plane never reads this, so zero-traffic trajectories are identical
     /// for every setting.
     pub congestion: CongestionConfig,
+    /// Which event-queue backend orders the run (see
+    /// [`crate::sched::SchedulerKind`]). Both backends dequeue in exact
+    /// `(time, seq)` order, so this can never change a trajectory — the
+    /// heap is kept as the determinism oracle for the calendar queue.
+    pub scheduler: SchedulerKind,
 }
 
 impl EngineConfig {
@@ -274,6 +280,13 @@ impl EngineConfig {
         self.congestion = congestion;
         self
     }
+
+    /// Sets the event-queue backend (builder style).
+    #[must_use]
+    pub fn with_scheduler(mut self, scheduler: SchedulerKind) -> Self {
+        self.scheduler = scheduler;
+        self
+    }
 }
 
 impl Default for EngineConfig {
@@ -286,6 +299,7 @@ impl Default for EngineConfig {
             record_trace: true,
             sink: SinkKind::Full,
             congestion: CongestionConfig::default(),
+            scheduler: SchedulerKind::Wheel,
         }
     }
 }

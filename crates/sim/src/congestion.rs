@@ -34,7 +34,6 @@ use std::collections::VecDeque;
 use std::fmt;
 
 use crate::time::SimTime;
-use crate::traffic::Packet;
 
 /// Verdict of a [`QueueDiscipline`] on one arriving packet.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -297,9 +296,16 @@ pub struct CongestionCounts {
 /// One packet parked in a port queue, with its pre-drawn propagation
 /// delay (drawn at enqueue so the traffic RNG consumption order stays
 /// deterministic regardless of drain timing).
+///
+/// The packet itself lives in the engine's [`crate::traffic::PacketArena`];
+/// the queue holds only its slab index, plus a copy of the weight so the
+/// serialization-time and occupancy arithmetic never touch the arena.
 #[derive(Debug, Clone, Copy)]
 pub(crate) struct QueuedPacket {
-    pub packet: Packet,
+    /// Arena index of the parked packet.
+    pub packet: u32,
+    /// The packet's weight ([`crate::traffic::Packet::weight`]).
+    pub weight: u64,
     pub prop_delay: f64,
 }
 

@@ -14,8 +14,7 @@
 //! send allocates one `Arc` and every queue entry holds a handle, so
 //! fan-out never deep-copies the message.
 
-use std::cmp::Reverse;
-use std::collections::{BTreeMap, BinaryHeap};
+use std::collections::BTreeMap;
 use std::fmt;
 use std::sync::Arc;
 
@@ -30,11 +29,12 @@ use crate::congestion::{CongestionCounts, PortState, QueueDiscipline, QueuedPack
 use crate::effects::{Effects, SendTarget};
 use crate::flow::{FlowConfig, FlowRecord, FlowState, FlowTag};
 use crate::node::{ActionId, EnabledSet, ProtocolNode};
+use crate::sched::EventQueue;
 use crate::sink::TraceSink;
 use crate::slots::{EdgeSlots, NodeSlots};
 use crate::time::SimTime;
 use crate::trace::{ActionRecord, Trace};
-use crate::traffic::{Packet, PacketRecord, PacketStatus, TrafficCounts};
+use crate::traffic::{Packet, PacketArena, PacketRecord, PacketStatus, TrafficCounts};
 use crate::view::{RouteCursor, RouteDelta, RouteView, ViewEntry};
 
 /// What [`Engine::trace`] returns when the configured sink keeps no trace.
@@ -178,8 +178,10 @@ enum Event<M> {
     Wakeup {
         node: NodeId,
     },
+    /// A data-plane packet (addressed by its [`PacketArena`] index)
+    /// arrives at its current holder.
     PacketHop {
-        packet: Packet,
+        packet: u32,
     },
     /// The head of port `(from, to)` finished serializing (congestion
     /// lane): release it onto the wire and start the next one.
@@ -199,29 +201,6 @@ enum Event<M> {
         flow: u32,
         generation: u64,
     },
-}
-
-struct QueueEntry<M> {
-    time: SimTime,
-    seq: u64,
-    event: Event<M>,
-}
-
-impl<M> PartialEq for QueueEntry<M> {
-    fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
-    }
-}
-impl<M> Eq for QueueEntry<M> {}
-impl<M> PartialOrd for QueueEntry<M> {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl<M> Ord for QueueEntry<M> {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.time.cmp(&other.time).then(self.seq.cmp(&other.seq))
-    }
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -265,14 +244,13 @@ pub struct Engine<P: ProtocolNode> {
     graph: Graph,
     config: EngineConfig,
     slots: NodeSlots<Slot<P>>,
-    queue: BinaryHeap<Reverse<QueueEntry<P::Msg>>>,
+    queue: EventQueue<Event<P::Msg>>,
     links: EdgeSlots<LinkState>,
     inflight: u64,
     stats: EngineStats,
     sink: Box<dyn TraceSink>,
     rng: StdRng,
     now: SimTime,
-    seq: u64,
     generation: u64,
     last_effective: SimTime,
     factory: NodeFactory<P>,
@@ -306,6 +284,9 @@ pub struct Engine<P: ProtocolNode> {
     packets_in_flight_weight: u64,
     /// Completed packets awaiting [`Engine::drain_completed_packets`].
     completed_packets: Vec<PacketRecord>,
+    /// Slab storage for in-flight packets; `PacketHop` events and port
+    /// queues hold `u32` indices into it.
+    arena: PacketArena,
     /// Per-directed-edge egress queues (congestion lane; empty while the
     /// lane is disabled).
     ports: EdgeSlots<PortState>,
@@ -344,6 +325,7 @@ impl<P: ProtocolNode> Engine<P> {
         config.link.validate();
         config.congestion.validate();
         let discipline = config.congestion.discipline.build();
+        let scheduler = config.scheduler;
         let mut engine = Engine {
             graph,
             rng: StdRng::seed_from_u64(config.seed),
@@ -353,12 +335,11 @@ impl<P: ProtocolNode> Engine<P> {
             sink: config.sink.build(),
             config,
             slots: NodeSlots::new(),
-            queue: BinaryHeap::new(),
+            queue: EventQueue::new(scheduler),
             links: EdgeSlots::new(),
             inflight: 0,
             stats: EngineStats::default(),
             now: SimTime::ZERO,
-            seq: 0,
             generation: 0,
             last_effective: SimTime::ZERO,
             factory: Box::new(factory),
@@ -371,6 +352,7 @@ impl<P: ProtocolNode> Engine<P> {
             packets_in_flight: 0,
             packets_in_flight_weight: 0,
             completed_packets: Vec::new(),
+            arena: PacketArena::default(),
             ports: EdgeSlots::new(),
             discipline,
             flows: Vec::new(),
@@ -579,12 +561,8 @@ impl<P: ProtocolNode> Engine<P> {
         self.stats.traffic.injected += weight;
         self.packets_in_flight += 1;
         self.packets_in_flight_weight += weight;
-        self.push(
-            at,
-            Event::PacketHop {
-                packet: Packet::new(src, dest, ttl, weight, at),
-            },
-        );
+        let packet = self.arena.alloc(Packet::new(src, dest, ttl, weight, at));
+        self.push(at, Event::PacketHop { packet });
     }
 
     /// Packet probes currently queued (unweighted count).
@@ -715,7 +693,8 @@ impl<P: ProtocolNode> Engine<P> {
         } else {
             // Unlimited PR-5 lane: a hop is one propagation delay.
             let at = self.now + delay;
-            self.push(at, Event::PacketHop { packet: p });
+            let packet = self.arena.alloc(p);
+            self.push(at, Event::PacketHop { packet });
         }
     }
 
@@ -756,14 +735,17 @@ impl<P: ProtocolNode> Engine<P> {
             self.stats.congestion.ecn_marks += p.weight;
         }
         let ser = p.weight as f64 / rate;
+        let weight = p.weight;
+        let packet = self.arena.alloc(p);
         let port = self.ports.entry(from, to);
-        port.occupancy += p.weight;
+        port.occupancy += weight;
         debug_assert!(
             capacity.is_none_or(|cap| port.occupancy <= cap),
             "port occupancy exceeded capacity — discipline bug"
         );
         port.queue.push_back(QueuedPacket {
-            packet: p,
+            packet,
+            weight,
             prop_delay,
         });
         let occupancy = port.occupancy;
@@ -807,7 +789,8 @@ impl<P: ProtocolNode> Engine<P> {
             port.occupancy = 0;
             port.draining = false;
             for q in flushed {
-                self.complete_packet(q.packet, PacketStatus::LinkDown { at: from });
+                let p = self.arena.take(q.packet);
+                self.complete_packet(p, PacketStatus::LinkDown { at: from });
             }
             return;
         }
@@ -819,8 +802,8 @@ impl<P: ProtocolNode> Engine<P> {
             return;
         }
         let q = port.queue.pop_front().expect("checked non-empty");
-        port.occupancy -= q.packet.weight;
-        let next_ser = port.queue.front().map(|h| h.packet.weight as f64 / rate);
+        port.occupancy -= q.weight;
+        let next_ser = port.queue.front().map(|h| h.weight as f64 / rate);
         if next_ser.is_none() {
             port.draining = false;
         }
@@ -1056,7 +1039,8 @@ impl<P: ProtocolNode> Engine<P> {
             self.packets_in_flight_weight += weight;
             let mut p = Packet::new(src, dest, ttl, weight, t);
             p.flow = Some(FlowTag { flow: id, seq });
-            self.push(t, Event::PacketHop { packet: p });
+            let packet = self.arena.alloc(p);
+            self.push(t, Event::PacketHop { packet });
         }
     }
 
@@ -1207,7 +1191,7 @@ impl<P: ProtocolNode> Engine<P> {
 
     /// The time of the earliest queued event, if any.
     pub fn next_event_time(&self) -> Option<SimTime> {
-        self.queue.peek().map(|Reverse(e)| e.time)
+        self.queue.peek_time()
     }
 
     /// Processes exactly one event (the earliest) and returns its time —
@@ -1215,10 +1199,10 @@ impl<P: ProtocolNode> Engine<P> {
     /// every intermediate state) are built on. Returns `None` when the
     /// queue is empty.
     pub fn step(&mut self) -> Option<SimTime> {
-        let Reverse(entry) = self.queue.pop()?;
-        self.now = self.now.max(entry.time);
+        let (time, _, event) = self.queue.pop()?;
+        self.now = self.now.max(time);
         let t = self.now;
-        self.dispatch(entry.event);
+        self.dispatch(event);
         Some(t)
     }
 
@@ -1231,16 +1215,16 @@ impl<P: ProtocolNode> Engine<P> {
     /// runs out.
     pub fn run_until(&mut self, until: SimTime) -> Result<RunReport, EngineError> {
         let mut events = 0u64;
-        while let Some(Reverse(entry)) = self.queue.peek() {
-            if entry.time > until {
+        while let Some(next) = self.queue.peek_time() {
+            if next > until {
                 break;
             }
             if events >= self.config.max_events {
                 return Err(EngineError::EventBudgetExhausted { at: self.now });
             }
-            let Reverse(entry) = self.queue.pop().expect("peeked");
-            self.now = self.now.max(entry.time);
-            self.dispatch(entry.event);
+            let (time, _, event) = self.queue.pop().expect("peeked");
+            self.now = self.now.max(time);
+            self.dispatch(event);
             events += 1;
         }
         self.now = self.now.max(until);
@@ -1272,7 +1256,7 @@ impl<P: ProtocolNode> Engine<P> {
     ) -> Result<RunReport, EngineError> {
         let mut events = 0u64;
         loop {
-            let Some(Reverse(next)) = self.queue.peek() else {
+            let Some(next_time) = self.queue.peek_time() else {
                 // Queue drained: truly quiescent.
                 return Ok(RunReport {
                     end: self.now,
@@ -1282,7 +1266,7 @@ impl<P: ProtocolNode> Engine<P> {
                 });
             };
             if settle > 0.0
-                && next.time.seconds() > self.last_effective.seconds() + settle
+                && next_time.seconds() > self.last_effective.seconds() + settle
                 && !self.any_enabled_non_maintenance()
             {
                 // Nothing effective for a whole settle window and no
@@ -1300,7 +1284,7 @@ impl<P: ProtocolNode> Engine<P> {
                     events,
                 });
             }
-            if next.time > horizon {
+            if next_time > horizon {
                 self.now = horizon;
                 return Ok(RunReport {
                     end: self.now,
@@ -1312,9 +1296,9 @@ impl<P: ProtocolNode> Engine<P> {
             if events >= self.config.max_events {
                 return Err(EngineError::EventBudgetExhausted { at: self.now });
             }
-            let Reverse(entry) = self.queue.pop().expect("peeked");
-            self.now = self.now.max(entry.time);
-            self.dispatch(entry.event);
+            let (time, _, event) = self.queue.pop().expect("peeked");
+            self.now = self.now.max(time);
+            self.dispatch(event);
             events += 1;
         }
     }
@@ -1396,7 +1380,10 @@ impl<P: ProtocolNode> Engine<P> {
                     _ => {}
                 }
             }
-            Event::PacketHop { packet } => self.dispatch_packet(packet),
+            Event::PacketHop { packet } => {
+                let p = self.arena.take(packet);
+                self.dispatch_packet(p);
+            }
             Event::PortDrain { from, to } => {
                 self.stats.events.port_drains += 1;
                 self.drain_port(from, to);
@@ -1537,12 +1524,7 @@ impl<P: ProtocolNode> Engine<P> {
     }
 
     fn push(&mut self, time: SimTime, event: Event<P::Msg>) {
-        self.seq += 1;
-        self.queue.push(Reverse(QueueEntry {
-            time,
-            seq: self.seq,
-            event,
-        }));
+        self.queue.schedule(time, event);
         self.stats.peak_queue_depth = self.stats.peak_queue_depth.max(self.queue.len());
     }
 

@@ -39,6 +39,7 @@ pub mod engine;
 pub mod flow;
 pub mod harness;
 pub mod node;
+pub mod sched;
 pub mod sink;
 pub mod slots;
 pub mod time;
@@ -68,6 +69,7 @@ pub use crate::engine::{Engine, EngineError, EngineStats, EventCounts, RunReport
 pub use crate::flow::{Aimd, CongAlg, CongAlgKind, FixedWindow, FlowConfig, FlowRecord, FlowTag};
 pub use crate::harness::{ForgedAdvert, HarnessProtocol, SimHarness};
 pub use crate::node::{ActionId, EnabledSet, ProtocolNode};
+pub use crate::sched::{EventQueue, SchedulerKind};
 pub use crate::sink::{CountsOnly, FullTrace, NullSink, SinkKind, TraceSink};
 pub use crate::slots::{EdgeSlots, NodeSlots};
 pub use crate::time::SimTime;

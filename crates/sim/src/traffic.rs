@@ -228,6 +228,62 @@ impl TrafficCounts {
     }
 }
 
+/// Slab storage for in-flight packets, so `PacketHop` events and port
+/// queues carry a `u32` index instead of the full [`Packet`].
+///
+/// Invariants:
+///
+/// * Every index handed out by [`PacketArena::alloc`] is owned by exactly
+///   one holder (a `PacketHop` event or a port-queue entry) until it is
+///   returned through [`PacketArena::take`]; taking transfers the packet
+///   out and recycles the slot.
+/// * The free list is LIFO, so a hop that takes a packet and immediately
+///   re-allocates its forwarded copy reuses the same slot — steady-state
+///   traffic runs at a fixed arena footprint equal to the in-flight peak.
+/// * Indices never influence event ordering, RNG draws, or any recorded
+///   observable, so trajectories are byte-identical to the by-value lane.
+#[derive(Debug, Default)]
+pub(crate) struct PacketArena {
+    slots: Vec<Packet>,
+    free: Vec<u32>,
+}
+
+impl PacketArena {
+    /// Stores `p`, returning its slot index.
+    pub(crate) fn alloc(&mut self, p: Packet) -> u32 {
+        match self.free.pop() {
+            Some(i) => {
+                self.slots[i as usize] = p;
+                i
+            }
+            None => {
+                let i = u32::try_from(self.slots.len()).expect("more than u32::MAX live packets");
+                self.slots.push(p);
+                i
+            }
+        }
+    }
+
+    /// Removes and returns the packet at `i`, recycling the slot. The
+    /// index must have come from [`PacketArena::alloc`] and not have been
+    /// taken already (the slot's stale contents make double-takes
+    /// undetectable — holders own their index uniquely).
+    pub(crate) fn take(&mut self, i: u32) -> Packet {
+        debug_assert!(
+            !self.free.contains(&i),
+            "packet arena double-take of slot {i}"
+        );
+        self.free.push(i);
+        self.slots[i as usize]
+    }
+
+    /// Live packets currently parked in the arena.
+    #[cfg(test)]
+    pub(crate) fn live(&self) -> usize {
+        self.slots.len() - self.free.len()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -263,5 +319,22 @@ mod tests {
         };
         assert_eq!(c.completed(), 10);
         assert!((c.delivered_fraction() - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn arena_recycles_slots_lifo() {
+        let mut a = PacketArena::default();
+        let p = |w| Packet::new(NodeId::new(1), NodeId::new(2), 8, w, SimTime::ZERO);
+        let i0 = a.alloc(p(10));
+        let i1 = a.alloc(p(20));
+        assert_ne!(i0, i1);
+        assert_eq!(a.live(), 2);
+        assert_eq!(a.take(i0).weight, 10);
+        // LIFO reuse: the freed slot is handed right back.
+        let i2 = a.alloc(p(30));
+        assert_eq!(i2, i0);
+        assert_eq!(a.take(i2).weight, 30);
+        assert_eq!(a.take(i1).weight, 20);
+        assert_eq!(a.live(), 0);
     }
 }

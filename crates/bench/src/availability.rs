@@ -13,8 +13,8 @@ use lsrp_analysis::Table;
 use lsrp_scenario::cells::{
     recovery_cell, snapshot_hijack_cell, EngineModel, RecoveryCellSpec, RegionFault,
 };
-use lsrp_scenario::run_scenario;
 use lsrp_scenario::schema::{ScenarioBody, SweepValue};
+use lsrp_scenario::{run_scenario, ExecOptions};
 
 use crate::build::Protocol;
 use crate::scaling::load_scenario;
@@ -44,7 +44,7 @@ pub fn e13_availability(w: u32, p: usize) -> Table {
         h.width = w;
         h.p = Some(p);
     }
-    run_scenario(&s, default_jobs())
+    run_scenario(&s, ExecOptions::sharded(default_jobs()))
         .expect("e13 scenario runs")
         .into_table()
 }
@@ -82,7 +82,7 @@ pub fn e14_robustness(w: u32, sizes: &[usize]) -> Table {
             sizes.iter().map(|&p| SweepValue::Int(p as i64)).collect(),
         );
     }
-    run_scenario(&s, default_jobs())
+    run_scenario(&s, ExecOptions::sharded(default_jobs()))
         .expect("e14 scenario runs")
         .into_table()
 }
@@ -114,7 +114,7 @@ pub fn e18_message_loss(rates: &[f64]) -> Table {
             rates.iter().map(|&x| SweepValue::Float(x)).collect(),
         );
     }
-    run_scenario(&s, default_jobs())
+    run_scenario(&s, ExecOptions::sharded(default_jobs()))
         .expect("e18 scenario runs")
         .into_table()
 }

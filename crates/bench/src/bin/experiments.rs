@@ -14,7 +14,9 @@ use std::env;
 
 use lsrp_bench::scenario_runner::BenchRunner;
 use lsrp_scenario::schema::ScenarioBody;
-use lsrp_scenario::{load_str, run_scenario_with, DestinationsSpec, Scenario, ScenarioResult};
+use lsrp_scenario::{
+    load_str, run_scenario_with, DestinationsSpec, ExecOptions, Scenario, ScenarioResult,
+};
 
 /// (answering ids, scenario file) in EXPERIMENTS.md order.
 const EXPERIMENTS: &[(&[&str], &str)] = &[
@@ -127,7 +129,7 @@ fn take_destinations(args: &mut Vec<String>) -> Option<Option<usize>> {
 /// Runs one scenario and prints its report; returns the number of failed
 /// expectations.
 fn run_one(s: &Scenario, jobs: usize) -> usize {
-    match run_scenario_with(s, jobs, Some(&BenchRunner)) {
+    match run_scenario_with(s, ExecOptions::sharded(jobs), Some(&BenchRunner)) {
         Ok(outcome) => {
             match &outcome.result {
                 ScenarioResult::Table(t) => println!("{t}"),

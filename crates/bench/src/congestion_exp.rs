@@ -17,8 +17,8 @@
 
 use lsrp_analysis::{Table, TrafficSummary, WorkloadKind, WorkloadSpec};
 use lsrp_scenario::cells::{live_hijack_cell, LiveHijackSpec};
-use lsrp_scenario::run_scenario;
 use lsrp_scenario::schema::{ScenarioBody, SweepValue};
+use lsrp_scenario::{run_scenario, ExecOptions};
 use lsrp_sim::{CongAlgKind, CongestionConfig};
 
 use crate::scaling::load_scenario;
@@ -74,7 +74,7 @@ pub fn e21_congested_recovery(w: u32, sizes: &[usize]) -> Table {
     }
     run_scenario(
         &s,
-        std::thread::available_parallelism().map_or(1, |n| n.get()),
+        ExecOptions::sharded(std::thread::available_parallelism().map_or(1, |n| n.get())),
     )
     .expect("e21 scenario runs")
     .into_table()

@@ -460,6 +460,38 @@ pub fn scale_waxman_100k_sim() -> LsrpSimulation {
         .build()
 }
 
+/// Worker count for the region-parallel scale scenarios: one per
+/// hardware thread, floored at 1 (the determinism guarantee makes the
+/// count invisible in every output except wall-clock).
+fn par_jobs() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// [`scale_bigswitch_sim`] under the region-parallel executor
+/// (DESIGN.md §15): 8 regions, one worker per hardware thread. Even on
+/// a single core this beats the sequential run — eight region-local
+/// calendar wheels each hold an eighth of the ~325k in-flight timers,
+/// so bucket scans touch a far smaller working set per event.
+pub fn scale_bigswitch_par_sim() -> LsrpSimulation {
+    LsrpSimulation::builder(generators::fat_tree(76), NodeId::new(0))
+        .initial_state(InitialState::Fresh)
+        .engine_config(engine_config().with_regions(8).with_jobs(par_jobs()))
+        .build()
+}
+
+/// [`scale_waxman_100k_sim`] under the region-parallel executor —
+/// the irregular-degree counterpart of [`scale_bigswitch_par_sim`].
+pub fn scale_waxman_100k_par_sim() -> LsrpSimulation {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    let mut rng = StdRng::seed_from_u64(PERF_SEED);
+    let graph = generators::waxman(100_000, 0.001, 1.0, &mut rng);
+    LsrpSimulation::builder(graph, NodeId::new(0))
+        .initial_state(InitialState::Fresh)
+        .engine_config(engine_config().with_regions(8).with_jobs(par_jobs()))
+        .build()
+}
+
 /// The all-pairs grid scenario's fixed inputs: a 6x6 unit grid with every
 /// node a destination (1296 protocol instances) and a full-table
 /// corruption at a central node.
@@ -563,7 +595,13 @@ fn measure_core() -> Vec<EnginePerf> {
 pub fn measure_all() -> Vec<EnginePerf> {
     let mut results = measure_core();
     results.push(measure("scale_bigswitch", 1, scale_bigswitch_sim));
+    results.push(measure("scale_bigswitch_par", 1, scale_bigswitch_par_sim));
     results.push(measure("scale_waxman_100k", 1, scale_waxman_100k_sim));
+    results.push(measure(
+        "scale_waxman_100k_par",
+        1,
+        scale_waxman_100k_par_sim,
+    ));
     results
 }
 
@@ -580,7 +618,7 @@ pub fn measure_all() -> Vec<EnginePerf> {
 #[must_use]
 pub fn events_per_sec_floor(scenario: &str) -> f64 {
     match scenario {
-        "scale_bigswitch" => 5_000.0,
+        "scale_bigswitch" | "scale_bigswitch_par" => 5_000.0,
         _ => 20_000.0,
     }
 }

@@ -17,7 +17,7 @@ use lsrp_faults::{CorruptionKind, Fault, FaultPlan, RecurringFault};
 use lsrp_graph::{generators, Distance, NodeId};
 use lsrp_scenario::cells::{recovery_cell, EngineModel, RecoveryCellSpec, RegionFault};
 use lsrp_scenario::schema::{Scenario, ScenarioBody, SweepValue};
-use lsrp_scenario::{load_str, run_scenario, DestinationsSpec};
+use lsrp_scenario::{load_str, run_scenario, DestinationsSpec, ExecOptions};
 
 pub use lsrp_scenario::cells::apply_plan_generic;
 
@@ -72,7 +72,7 @@ pub fn e6_scaling(widths: &[u32], sizes: &[usize]) -> Table {
             sizes.iter().map(|&p| SweepValue::Int(p as i64)).collect(),
         );
     }
-    run_scenario(&s, default_jobs())
+    run_scenario(&s, ExecOptions::sharded(default_jobs()))
         .expect("e6 scenario runs")
         .into_table()
 }
@@ -111,7 +111,7 @@ pub fn e6_scaling_multi(
             sizes.iter().map(|&p| SweepValue::Int(p as i64)).collect(),
         );
     }
-    run_scenario(&s, jobs)
+    run_scenario(&s, ExecOptions::sharded(jobs))
         .expect("e6 multi scenario runs")
         .into_table()
 }
@@ -130,7 +130,7 @@ pub fn e16_route_stability(width: u32, sizes: &[usize]) -> Table {
             sizes.iter().map(|&p| SweepValue::Int(p as i64)).collect(),
         );
     }
-    run_scenario(&s, default_jobs())
+    run_scenario(&s, ExecOptions::sharded(default_jobs()))
         .expect("e16 scenario runs")
         .into_table()
 }

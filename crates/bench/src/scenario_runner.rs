@@ -8,7 +8,7 @@ use std::fmt::Write as _;
 
 use lsrp_scenario::{BuiltinRunner, ParamValue};
 
-use crate::{figures, loops_exp, multi_exp, overhead, regions_exp, scaling, selfstab, waves};
+use crate::{figures, loops_exp, multi_exp, overhead, scaling, selfstab, waves};
 
 /// Runs builtin experiment ids E1–E19 with scenario `[params]`.
 #[derive(Debug, Default, Clone, Copy)]
@@ -93,11 +93,6 @@ impl BuiltinRunner for BenchRunner {
                 let sizes: Vec<u32> = take_int_list(p, "sizes", &[16, 32, 64])?;
                 let runs: u64 = take_int(p, "runs", 10)?;
                 format!("{}\n", selfstab::e5_selfstab(&sizes, runs))
-            }
-            "e7" => {
-                let n: u32 = take_int(p, "n", 64)?;
-                let size: usize = take_int(p, "p", 4)?;
-                format!("{}\n", regions_exp::e7_regions(n, size))
             }
             "e8" => {
                 let width: u32 = take_int(p, "width", 14)?;

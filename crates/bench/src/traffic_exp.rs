@@ -15,8 +15,8 @@
 
 use lsrp_analysis::{Table, TrafficSummary, WorkloadSpec};
 use lsrp_scenario::cells::{live_hijack_cell, LiveHijackSpec};
-use lsrp_scenario::run_scenario;
 use lsrp_scenario::schema::{ScenarioBody, SweepValue};
+use lsrp_scenario::{run_scenario, ExecOptions};
 
 use crate::scaling::load_scenario;
 
@@ -62,7 +62,7 @@ pub fn e20_live_availability(w: u32, sizes: &[usize]) -> Table {
     }
     run_scenario(
         &s,
-        std::thread::available_parallelism().map_or(1, |n| n.get()),
+        ExecOptions::sharded(std::thread::available_parallelism().map_or(1, |n| n.get())),
     )
     .expect("e20 scenario runs")
     .into_table()

@@ -70,6 +70,9 @@ pub enum Command {
         path: String,
         /// Worker threads (the report is byte-identical for every value).
         jobs: usize,
+        /// Region partitions for each cell's engine (byte-identical for
+        /// every value; 1 is the sequential engine).
+        regions: usize,
     },
     /// `scenario check`: parse and statically expand scenario files.
     ScenarioCheck {
@@ -256,12 +259,13 @@ fn parse_scenario<I: Iterator<Item = String>>(mut args: I) -> Result<Command, Pa
     }
 }
 
-/// Parses `run <file.toml> [--jobs N]`.
+/// Parses `run <file.toml> [--jobs N] [--regions N]`.
 fn parse_run_scenario<I: Iterator<Item = String>>(
     path: String,
     mut args: I,
 ) -> Result<Command, ParseError> {
     let mut jobs = 1usize;
+    let mut regions = 1usize;
     while let Some(flag) = args.next() {
         match flag.as_str() {
             "--jobs" | "-j" => {
@@ -271,14 +275,25 @@ fn parse_run_scenario<I: Iterator<Item = String>>(
                 jobs = v.parse().map_err(|_| err("invalid job count"))?;
                 jobs = check::jobs(jobs).map_err(|e| err(format!("--jobs {e}")))?;
             }
+            "--regions" => {
+                let v = args
+                    .next()
+                    .ok_or_else(|| err("--regions expects a region count"))?;
+                regions = v.parse().map_err(|_| err("invalid region count"))?;
+                regions = check::regions(regions).map_err(|e| err(format!("--regions {e}")))?;
+            }
             other => {
                 return Err(err(format!(
-                    "unknown flag '{other}' (a scenario run takes only --jobs N)"
+                    "unknown flag '{other}' (a scenario run takes only --jobs N and --regions N)"
                 )))
             }
         }
     }
-    Ok(Command::RunScenario { path, jobs })
+    Ok(Command::RunScenario {
+        path,
+        jobs,
+        regions,
+    })
 }
 
 impl Command {
@@ -476,7 +491,7 @@ pub const HELP: &str = "\
 lsrp — drive LSRP (and baselines) through fault scenarios
 
 USAGE:
-  lsrp run     FILE.toml [--jobs N]
+  lsrp run     FILE.toml [--jobs N] [--regions N]
   lsrp run     --topology SPEC [--protocol lsrp|dbf|dual|pv] [--dest N]
                [--fault SPEC]... [--seed N] [--timeline]
   lsrp scenario check FILE.toml...
@@ -501,9 +516,12 @@ FAULTS:      corrupt:NODE[:D|inf]  fail-node:N  fail-edge:A:B
 and the checked-in `scenarios/` corpus) into concrete experiment cells,
 fans them out over `--jobs` worker threads and prints the report —
 byte-identical for every `--jobs` value, and byte-identical to the
-hand-coded experiment the file replaced. `scenario check` parses and
-statically expands files without running them; `scenario expand` prints
-one line per compiled cell.
+hand-coded experiment the file replaced. `--regions N` additionally
+partitions the engine *inside* each chaos/traffic cell into N regions
+executed concurrently in conservative time windows (DESIGN.md §15);
+the report stays byte-identical for every region count. `scenario
+check` parses and statically expands files without running them;
+`scenario expand` prints one line per compiled cell.
 
 `chaos` replays seeded random fault campaigns (link flaps, node churn,
 partition-and-heal, state corruption) with online invariant monitors
@@ -589,6 +607,7 @@ mod tests {
             Command::RunScenario {
                 path: "scenarios/e6_scaling.toml".to_string(),
                 jobs: 4,
+                regions: 1,
             }
         );
         let c = Command::parse(argv("run x.toml")).unwrap();
@@ -597,9 +616,21 @@ mod tests {
             Command::RunScenario {
                 path: "x.toml".to_string(),
                 jobs: 1,
+                regions: 1,
+            }
+        );
+        let c = Command::parse(argv("run x.toml --regions 4 --jobs 2")).unwrap();
+        assert_eq!(
+            c,
+            Command::RunScenario {
+                path: "x.toml".to_string(),
+                jobs: 2,
+                regions: 4,
             }
         );
         assert!(Command::parse(argv("run x.toml --jobs 0")).is_err());
+        assert!(Command::parse(argv("run x.toml --regions 0")).is_err());
+        assert!(Command::parse(argv("run x.toml --regions")).is_err());
         assert!(Command::parse(argv("run x.toml --timeline")).is_err());
     }
 

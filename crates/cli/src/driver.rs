@@ -22,7 +22,9 @@ use lsrp_scenario::exec::{run_chaos, run_traffic};
 use lsrp_scenario::schema::{
     CampaignScenario, CongestionSection, FaultsSection, TrafficScenario, WorkloadSection,
 };
-use lsrp_scenario::{expand_list, load_str, run_scenario_with, Scenario, ScenarioResult};
+use lsrp_scenario::{
+    expand_list, load_str, run_scenario_with, ExecOptions, Scenario, ScenarioResult,
+};
 use lsrp_sim::EngineConfig;
 
 use crate::args::{Command, FaultSpec, ParseError, ProtocolChoice, TopologySpec, HELP};
@@ -281,9 +283,14 @@ pub fn run_command(cmd: &Command) -> Result<String, ParseError> {
         } => run_one(
             *protocol, topology, *dest, faults, *seed, *timeline, &mut out,
         )?,
-        Command::RunScenario { path, jobs } => {
+        Command::RunScenario {
+            path,
+            jobs,
+            regions,
+        } => {
             let s = load_scenario_file(path)?;
-            let outcome = run_scenario_with(&s, *jobs, Some(&BenchRunner)).map_err(ParseError)?;
+            let opts = ExecOptions::sharded(*jobs).with_regions(*regions);
+            let outcome = run_scenario_with(&s, opts, Some(&BenchRunner)).map_err(ParseError)?;
             match &outcome.result {
                 // A table report matches the experiments binary's
                 // `println!("{table}")` framing.
@@ -340,7 +347,8 @@ pub fn run_command(cmd: &Command) -> Result<String, ParseError> {
                 horizon: *horizon,
                 faults: FaultsSection::default(),
             };
-            let (text, _violating) = run_chaos(&c, *jobs).map_err(ParseError)?;
+            let (text, _violating) =
+                run_chaos(&c, ExecOptions::sharded(*jobs)).map_err(ParseError)?;
             out.push_str(&text);
         }
         Command::Traffic {
@@ -385,7 +393,8 @@ pub fn run_command(cmd: &Command) -> Result<String, ParseError> {
                     cc: *cc,
                 },
             };
-            let (text, _violating) = run_traffic(&t, *jobs).map_err(ParseError)?;
+            let (text, _violating) =
+                run_traffic(&t, ExecOptions::sharded(*jobs)).map_err(ParseError)?;
             out.push_str(&text);
         }
         Command::Compare {
@@ -654,6 +663,55 @@ runs = 2
             let parallel = run(&format!("run {} --jobs {jobs}", path.display())).unwrap();
             assert_eq!(serial, parallel, "jobs={jobs}");
         }
+    }
+
+    #[test]
+    fn scenario_run_is_byte_identical_across_regions() {
+        // The CI determinism job in yaml form: the region-parallel
+        // engine inside each cell may not change a byte of the report.
+        let path = temp_scenario("chaos_regions.toml", CHAOS_SCENARIO);
+        let serial = run(&format!("run {}", path.display())).unwrap();
+        for (regions, jobs) in [(2, 1), (4, 4)] {
+            let par = run(&format!(
+                "run {} --regions {regions} --jobs {jobs}",
+                path.display()
+            ))
+            .unwrap();
+            assert_eq!(serial, par, "regions={regions} jobs={jobs}");
+        }
+    }
+
+    const CONGESTED_SCENARIO: &str = r#"
+[scenario]
+name = "cli-congested"
+kind = "traffic"
+
+[topology]
+spec = "grid:3x3"
+
+[campaign]
+seed = 5
+runs = 2
+
+[workload]
+flows = 6
+
+[traffic]
+duration = 80.0
+
+[congestion]
+link_rate = 200.0
+queue_cap = 2000
+discipline = "ecn"
+cc = "aimd"
+"#;
+
+    #[test]
+    fn congested_scenario_run_is_byte_identical_across_regions() {
+        let path = temp_scenario("congested_regions.toml", CONGESTED_SCENARIO);
+        let serial = run(&format!("run {}", path.display())).unwrap();
+        let par = run(&format!("run {} --regions 4 --jobs 4", path.display())).unwrap();
+        assert_eq!(serial, par);
     }
 
     #[test]

@@ -259,18 +259,24 @@ pub fn lollipop_ring(tail_len: u32, loop_len: u32) -> Vec<NodeId> {
     (0..loop_len).map(|i| v(tail_len + 1 + i)).collect()
 }
 
-/// A Barabási–Albert-style preferential-attachment graph: `n` nodes, each
-/// newcomer attaching to `m` existing nodes chosen with probability
-/// proportional to their degree. Produces the heavy-tailed degree
-/// distributions of Internet-like topologies (hub routers), complementing
-/// the geometric sensor-network model of §VI-A.
+/// The Barabási–Albert power-law graph: growth plus preferential
+/// attachment. Starting from a complete core of `m + 1` nodes, each
+/// newcomer attaches to `m` distinct existing nodes chosen with
+/// probability proportional to their current degree, yielding the
+/// heavy-tailed `P(k) ~ k^-3` degree distributions of Internet-like
+/// topologies (hub routers) — the power-law end of the topology zoo,
+/// complementing the geometric sensor-network model of §VI-A and the
+/// Waxman transit-stub model.
 ///
-/// Weights are 1.
+/// Degree-proportional sampling is by endpoint pool (every node appears
+/// once per incident edge), the textbook O(1)-per-draw construction.
+/// The result is always connected: the core is complete and every
+/// newcomer links into it. Weights are 1.
 ///
 /// # Panics
 ///
 /// Panics if `m == 0` or `n <= m`.
-pub fn preferential_attachment<R: Rng>(n: u32, m: u32, rng: &mut R) -> Graph {
+pub fn barabasi_albert<R: Rng>(n: u32, m: u32, rng: &mut R) -> Graph {
     assert!(m >= 1, "each newcomer needs at least one edge");
     assert!(n > m, "need more nodes than attachment edges");
     let mut g = complete(m + 1, 1);
@@ -291,6 +297,13 @@ pub fn preferential_attachment<R: Rng>(n: u32, m: u32, rng: &mut R) -> Graph {
         }
     }
     g
+}
+
+/// Historical alias for [`barabasi_albert`] (the construction has always
+/// been the BA model; the canonical name landed with the region-parallel
+/// engine's topology-zoo pass). Prefer [`barabasi_albert`] in new code.
+pub fn preferential_attachment<R: Rng>(n: u32, m: u32, rng: &mut R) -> Graph {
+    barabasi_albert(n, m, rng)
 }
 
 /// A Waxman random graph: `n` points uniform in the unit square, each

@@ -31,6 +31,7 @@ pub mod contamination;
 pub mod generators;
 pub mod graph;
 pub mod id;
+pub mod partition;
 pub mod regions;
 pub mod shortest_path;
 pub mod spt;

@@ -1,0 +1,266 @@
+//! Deterministic edge-cut partitioning of a topology into connected
+//! regions — the static decomposition under the region-parallel engine.
+//!
+//! The paper's locality theorem is what makes a partition useful at all:
+//! a fault's contamination is confined to an O(p) neighborhood, so two
+//! regions only interact through the edges that cross the cut, and only
+//! at link-latency timescales. The executor exploits exactly that — each
+//! region simulates independently inside a lookahead window bounded by
+//! the minimum cut-edge latency — so the partitioner's job is to produce
+//! *connected*, roughly balanced regions with a well-defined cut, and to
+//! do so **deterministically**: the same graph and region count must
+//! yield the same assignment on every rebuild, because region identity
+//! participates in the engine's canonical event order only through node
+//! ids, never through iteration accidents.
+//!
+//! The algorithm is seedless (pure function of the graph):
+//!
+//! 1. **Seed spread** — the first seed is the lowest node id; each
+//!    further seed is the node maximizing the hop distance to the seeds
+//!    already chosen (ties to the lowest id). Nodes in components no
+//!    seed has touched count as infinitely far, so every component gets
+//!    a seed before any component gets two.
+//! 2. **Round-robin BFS growth** — regions claim one node per turn from
+//!    their BFS frontier, so regions grow at equal rates and stay
+//!    connected (every claimed node joins via an edge to its region).
+//! 3. **Stragglers** — nodes no frontier reached (more components than
+//!    regions) join the region of their lowest-id claimed neighbor,
+//!    iterated to a fixpoint; isolated leftovers fall to region 0.
+
+use std::collections::VecDeque;
+
+use crate::graph::Graph;
+use crate::id::NodeId;
+
+/// A region assignment over a graph: which region owns each node, the
+/// per-region member lists, and every edge crossing the cut.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Partition {
+    /// Region index per raw node id (`u32::MAX` for ids not in the
+    /// graph). Indexed by `NodeId::raw`.
+    pub region_of: Vec<u32>,
+    /// Member nodes of each region, ascending by id. Regions beyond the
+    /// node count are empty.
+    pub regions: Vec<Vec<NodeId>>,
+    /// Every undirected edge whose endpoints live in different regions,
+    /// as `(low, high)` pairs ascending.
+    pub cut_edges: Vec<(NodeId, NodeId)>,
+}
+
+impl Partition {
+    /// The region owning `v`, or `None` if `v` is not in the graph.
+    #[must_use]
+    pub fn region(&self, v: NodeId) -> Option<u32> {
+        let r = *self.region_of.get(v.raw() as usize)?;
+        (r != u32::MAX).then_some(r)
+    }
+
+    /// Number of regions (including empty ones).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.regions.len()
+    }
+
+    /// Whether the partition has no regions (empty graph, zero count).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.regions.is_empty()
+    }
+}
+
+/// Dense adjacency scratch: sorted neighbor ids per raw id.
+fn adjacency(graph: &Graph, slots: usize) -> Vec<Vec<u32>> {
+    let mut adj = vec![Vec::new(); slots];
+    for v in graph.nodes() {
+        let mut ns: Vec<u32> = graph.neighbors(v).map(|(w, _)| w.raw()).collect();
+        ns.sort_unstable();
+        adj[v.raw() as usize] = ns;
+    }
+    adj
+}
+
+/// Farthest-point seed spread: BFS hop distances from the chosen seed
+/// set, picking the (farthest, lowest-id) node each round. Unreached
+/// nodes count as infinitely far.
+fn spread_seeds(adj: &[Vec<u32>], members: &[u32], count: usize) -> Vec<u32> {
+    let mut seeds = vec![members[0]];
+    let mut dist = vec![usize::MAX; adj.len()];
+    let mut frontier = VecDeque::new();
+    let seed_bfs = |from: u32, dist: &mut Vec<usize>, frontier: &mut VecDeque<u32>| {
+        dist[from as usize] = 0;
+        frontier.push_back(from);
+        while let Some(u) = frontier.pop_front() {
+            let d = dist[u as usize] + 1;
+            for &w in &adj[u as usize] {
+                if d < dist[w as usize] {
+                    dist[w as usize] = d;
+                    frontier.push_back(w);
+                }
+            }
+        }
+    };
+    seed_bfs(members[0], &mut dist, &mut frontier);
+    while seeds.len() < count {
+        // Farthest first, lowest id on ties; members is ascending so the
+        // strict `>` keeps the earliest maximum.
+        let mut best = members[0];
+        let mut best_d = 0usize;
+        let mut found = false;
+        for &v in members {
+            let d = dist[v as usize];
+            if d > 0 && (!found || d > best_d) {
+                best = v;
+                best_d = d;
+                found = true;
+            }
+        }
+        if !found {
+            break; // fewer distinct sites than requested regions
+        }
+        seeds.push(best);
+        seed_bfs(best, &mut dist, &mut frontier);
+    }
+    seeds
+}
+
+/// Partitions `graph` into at most `regions` connected regions (see the
+/// module docs for the algorithm and its determinism contract).
+///
+/// `regions == 0` is treated as 1. The result always has exactly
+/// `max(regions, 1)` region slots; trailing slots beyond the reachable
+/// seed count are empty.
+#[must_use]
+pub fn partition(graph: &Graph, regions: usize) -> Partition {
+    let regions = regions.max(1);
+    let slots = graph.max_node_id().map_or(0, |v| v.raw() as usize + 1);
+    let mut region_of = vec![u32::MAX; slots];
+    let members: Vec<u32> = graph.nodes().map(NodeId::raw).collect();
+    if members.is_empty() {
+        return Partition {
+            region_of,
+            regions: vec![Vec::new(); regions],
+            cut_edges: Vec::new(),
+        };
+    }
+    let adj = adjacency(graph, slots);
+    if regions == 1 {
+        for &v in &members {
+            region_of[v as usize] = 0;
+        }
+    } else {
+        let seeds = spread_seeds(&adj, &members, regions);
+        // Round-robin BFS growth: one claim per region per turn.
+        let mut frontiers: Vec<VecDeque<u32>> =
+            seeds.iter().map(|&s| VecDeque::from([s])).collect();
+        let mut remaining = members.len();
+        while remaining > 0 {
+            let mut progressed = false;
+            for (r, frontier) in frontiers.iter_mut().enumerate() {
+                while let Some(u) = frontier.pop_front() {
+                    if region_of[u as usize] != u32::MAX {
+                        continue; // claimed by an earlier turn
+                    }
+                    region_of[u as usize] = r as u32;
+                    remaining -= 1;
+                    progressed = true;
+                    for &w in &adj[u as usize] {
+                        if region_of[w as usize] == u32::MAX {
+                            frontier.push_back(w);
+                        }
+                    }
+                    break; // one claim per turn keeps growth balanced
+                }
+            }
+            if !progressed {
+                break; // frontiers exhausted: disconnected stragglers remain
+            }
+        }
+        // Stragglers: attach to the lowest-id claimed neighbor's region,
+        // iterating so chains attach hop by hop; isolated leftovers
+        // (components no seed or claimed node touches) fall to region 0.
+        if remaining > 0 {
+            loop {
+                let mut attached = false;
+                for &v in &members {
+                    if region_of[v as usize] != u32::MAX {
+                        continue;
+                    }
+                    if let Some(&w) = adj[v as usize]
+                        .iter()
+                        .find(|&&w| region_of[w as usize] != u32::MAX)
+                    {
+                        region_of[v as usize] = region_of[w as usize];
+                        remaining -= 1;
+                        attached = true;
+                    }
+                }
+                if !attached || remaining == 0 {
+                    break;
+                }
+            }
+            for &v in &members {
+                if region_of[v as usize] == u32::MAX {
+                    region_of[v as usize] = 0;
+                }
+            }
+        }
+    }
+    let mut region_lists = vec![Vec::new(); regions];
+    for &v in &members {
+        region_lists[region_of[v as usize] as usize].push(NodeId::new(v));
+    }
+    let mut cut_edges: Vec<(NodeId, NodeId)> = graph
+        .edges()
+        .filter(|&(a, b, _)| region_of[a.raw() as usize] != region_of[b.raw() as usize])
+        .map(|(a, b, _)| if a.raw() <= b.raw() { (a, b) } else { (b, a) })
+        .collect();
+    cut_edges.sort_unstable();
+    Partition {
+        region_of,
+        regions: region_lists,
+        cut_edges,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn single_region_owns_everything() {
+        let g = generators::grid(4, 4, 1);
+        let p = partition(&g, 1);
+        assert_eq!(p.regions.len(), 1);
+        assert_eq!(p.regions[0].len(), 16);
+        assert!(p.cut_edges.is_empty());
+        assert_eq!(p.region(NodeId::new(7)), Some(0));
+    }
+
+    #[test]
+    fn grid_quarters_are_connected_and_cover() {
+        let g = generators::grid(8, 8, 1);
+        let p = partition(&g, 4);
+        let total: usize = p.regions.iter().map(Vec::len).sum();
+        assert_eq!(total, 64);
+        for (r, nodes) in p.regions.iter().enumerate() {
+            assert!(!nodes.is_empty(), "region {r} is empty");
+        }
+        assert!(!p.cut_edges.is_empty());
+    }
+
+    #[test]
+    fn more_regions_than_nodes_leaves_trailing_empty() {
+        let g = generators::path(3, 1);
+        let p = partition(&g, 8);
+        assert_eq!(p.regions.len(), 8);
+        let total: usize = p.regions.iter().map(Vec::len).sum();
+        assert_eq!(total, 3);
+    }
+
+    #[test]
+    fn rebuild_is_identical() {
+        let g = generators::grid(6, 5, 1);
+        assert_eq!(partition(&g, 4), partition(&g, 4));
+    }
+}

@@ -1,0 +1,140 @@
+//! Property tests for the region partitioner: the invariants the
+//! region-parallel engine's determinism rests on.
+//!
+//! Three properties, over a zoo of random topologies (grids, rings of
+//! cliques, BA power-law graphs, Waxman graphs, random trees, and
+//! deliberately disconnected unions):
+//!
+//! 1. **Exact cover** — every node lands in exactly one region, and the
+//!    member lists agree with the dense `region_of` map.
+//! 2. **Complete cut discovery** — `cut_edges` is exactly the set of
+//!    edges whose endpoints differ in region, recomputed independently.
+//! 3. **Rebuild stability** — partitioning the same graph again (and a
+//!    freshly regenerated identical graph) yields the identical
+//!    assignment; the partition is a pure function of the topology.
+//!
+//! Plus the structural guarantee the executor's window argument uses:
+//! on connected inputs every region is itself connected and non-empty
+//! (for region counts up to the node count).
+
+use std::collections::BTreeSet;
+
+use lsrp_graph::partition::{partition, Partition};
+use lsrp_graph::{generators, Graph, NodeId};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Expands a case seed into one of the topology shapes under test.
+fn gen_graph(seed: u64) -> Graph {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x9E37_79B9);
+    match seed % 6 {
+        0 => generators::grid(3 + (seed % 9) as u32, 2 + (seed % 7) as u32, 1),
+        1 => generators::ring_of_cliques(3 + (seed % 6) as u32, 3 + (seed % 4) as u32, 1),
+        2 => generators::barabasi_albert(20 + (seed % 60) as u32, 1 + (seed % 3) as u32, &mut rng),
+        3 => generators::waxman(40 + (seed % 80) as u32, 0.15, 0.9, &mut rng),
+        4 => generators::random_tree(2 + (seed % 50) as u32, 3, &mut rng),
+        _ => {
+            // A disconnected union: two trees with disjoint id ranges and
+            // no interconnecting edge — exercises the straggler rule.
+            let a = generators::random_tree(2 + (seed % 20) as u32, 2, &mut rng);
+            let b = generators::random_tree(2 + (seed % 13) as u32, 2, &mut rng);
+            let offset = a.max_node_id().expect("non-empty").raw() + 1;
+            let mut g = Graph::new();
+            for (x, y, w) in a.edges() {
+                g.add_edge(x, y, w).expect("fresh edge");
+            }
+            for (x, y, w) in b.edges() {
+                let (x, y) = (NodeId::new(x.raw() + offset), NodeId::new(y.raw() + offset));
+                g.add_edge(x, y, w).expect("fresh edge");
+            }
+            if g.node_count() == 0 {
+                g.add_node(NodeId::new(0));
+            }
+            g
+        }
+    }
+}
+
+/// Exact cover: every node in exactly one region, lists consistent with
+/// the dense map, nothing invented.
+fn check_cover(g: &Graph, p: &Partition) {
+    let mut seen = BTreeSet::new();
+    for (r, members) in p.regions.iter().enumerate() {
+        for &v in members {
+            assert!(g.has_node(v), "region {r} invented node {v:?}");
+            assert!(seen.insert(v), "node {v:?} appears in two regions");
+            assert_eq!(
+                p.region(v),
+                Some(r as u32),
+                "member list and region_of disagree on {v:?}"
+            );
+        }
+    }
+    assert_eq!(seen.len(), g.node_count(), "partition must cover all nodes");
+}
+
+/// Complete cut discovery: `cut_edges` equals the independently
+/// recomputed set of cross-region edges.
+fn check_cut(g: &Graph, p: &Partition) {
+    let expected: BTreeSet<(NodeId, NodeId)> = g
+        .edges()
+        .filter(|&(a, b, _)| p.region(a) != p.region(b))
+        .map(|(a, b, _)| if a.raw() <= b.raw() { (a, b) } else { (b, a) })
+        .collect();
+    let got: BTreeSet<(NodeId, NodeId)> = p.cut_edges.iter().copied().collect();
+    assert_eq!(got.len(), p.cut_edges.len(), "cut edges must be unique");
+    assert_eq!(got, expected, "cut discovery must be exact");
+}
+
+/// Connected inputs: every region non-empty (up to the node count) and
+/// internally connected.
+fn check_connected_regions(g: &Graph, p: &Partition, regions: usize) {
+    if !g.is_connected() {
+        return;
+    }
+    for (r, members) in p.regions.iter().enumerate() {
+        if r < regions.min(g.node_count()) {
+            assert!(!members.is_empty(), "region {r} empty on a connected graph");
+        }
+        let Some(&start) = members.first() else {
+            continue;
+        };
+        // BFS inside the region only.
+        let in_region: BTreeSet<NodeId> = members.iter().copied().collect();
+        let mut reached = BTreeSet::from([start]);
+        let mut frontier = vec![start];
+        while let Some(u) = frontier.pop() {
+            for (w, _) in g.neighbors(u) {
+                if in_region.contains(&w) && reached.insert(w) {
+                    frontier.push(w);
+                }
+            }
+        }
+        assert_eq!(
+            reached.len(),
+            members.len(),
+            "region {r} must induce a connected subgraph"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn partition_invariants(seed in 0u64..1_000_000) {
+        let g = gen_graph(seed);
+        for regions in [1usize, 2, 3, 4, 8] {
+            let p = partition(&g, regions);
+            prop_assert_eq!(p.len(), regions.max(1));
+            check_cover(&g, &p);
+            check_cut(&g, &p);
+            check_connected_regions(&g, &p, regions);
+            // Rebuild stability: same graph, and a regenerated twin.
+            prop_assert!(p == partition(&g, regions), "re-partition diverged");
+            let twin = gen_graph(seed);
+            prop_assert!(p == partition(&twin, regions), "rebuilt-graph partition diverged");
+        }
+    }
+}

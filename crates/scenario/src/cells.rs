@@ -341,6 +341,46 @@ pub fn recovery_cell(spec: &RecoveryCellSpec) -> RecoveryMetrics {
     }
 }
 
+/// One concurrent-regions case (E7, Lemmas 2–3): every listed region —
+/// a `(seed node, size)` pair grown into a contiguous patch away from
+/// `dest` — is corrupted by its own seeded plan *in the same run*, and
+/// the joint recovery is measured. A port of the former hand-coded E7
+/// builtin loop: one RNG seeded with `seed` draws the plans in region
+/// order, so the reported bytes match the builtin's.
+///
+/// # Panics
+///
+/// Panics if the topology cannot fit a region of the requested size.
+pub fn region_case_cell(
+    protocol: Protocol,
+    graph: &Graph,
+    dest: NodeId,
+    regions: &[(NodeId, usize)],
+    seed: u64,
+) -> RecoveryMetrics {
+    let mut perturbed: std::collections::BTreeSet<NodeId> = std::collections::BTreeSet::new();
+    let sp = lsrp_graph::shortest_path::ShortestPaths::dijkstra(graph, dest);
+    let mut sim = build(protocol, graph.clone(), dest, None, seed);
+    let table = sim.route_table();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut plans = Vec::new();
+    for &(node, size) in regions {
+        let region = contiguous_region(graph, node, size, dest);
+        assert_eq!(
+            region.len(),
+            size,
+            "topology too small for a region of {size} at {node}"
+        );
+        plans.push(corrupt_region_plan(graph, &region, &sp, &table, &mut rng));
+        perturbed.extend(region);
+    }
+    measure_recovery(sim.as_mut(), &perturbed, HORIZON, |s| {
+        for plan in &plans {
+            apply_plan_generic(s, plan);
+        }
+    })
+}
+
 /// One multi-destination recovery cell on the dense plane: a contiguous
 /// region of `p` nodes near the corner has *every* instance table
 /// hijacked, and the run is judged on all `dests` trees at once.

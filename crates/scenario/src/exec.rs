@@ -17,9 +17,11 @@ use lsrp_analysis::{
 };
 use lsrp_sim::EngineConfig;
 
+use lsrp_graph::NodeId;
+
 use crate::cells::{
-    live_hijack_cell, multi_recovery_cell, recovery_cell, snapshot_hijack_cell, EngineModel,
-    LiveHijackSpec, Protocol, RecoveryCellSpec,
+    live_hijack_cell, multi_recovery_cell, recovery_cell, region_case_cell, snapshot_hijack_cell,
+    EngineModel, LiveHijackSpec, Protocol, RecoveryCellSpec,
 };
 use crate::schema::{
     Binding, CampaignScenario, Expectation, HijackMode, HijackScenario, Plane, RecoveryScenario,
@@ -40,6 +42,19 @@ pub const RECOVERY_COLUMNS: &[&str] = &[
     "actions",
     "routes_correct",
     "loss",
+];
+
+/// Column keys a `[[fault.region]]` multi-region recovery scenario may
+/// report (one row per case).
+pub const REGION_CASE_COLUMNS: &[&str] = &[
+    "case",
+    "perturbed",
+    "stab_time",
+    "range",
+    "contaminated",
+    "messages",
+    "actions",
+    "routes_correct",
 ];
 
 /// Column keys a multi-plane recovery scenario may report.
@@ -85,6 +100,8 @@ pub fn column_header(key: &str) -> &'static str {
         "protocol" => "protocol",
         "grid_n" => "n (grid)",
         "p" => "perturbation p",
+        "case" => "scenario",
+        "perturbed" => "total perturbed",
         "stab_time" => "stabilization time",
         "range" => "contamination range",
         "contaminated" => "contaminated nodes",
@@ -132,6 +149,7 @@ pub fn expect_vocabulary(body: &ScenarioBody) -> &'static [&'static str] {
             "contamination_range",
             "max_contamination",
             "contaminated",
+            "perturbed",
             "messages",
             "actions",
             "flaps",
@@ -344,6 +362,59 @@ fn bool_metric(b: bool) -> f64 {
 // Chaos / traffic lowering (shared with the CLI driver)
 // ---------------------------------------------------------------------
 
+/// How a scenario run is executed: `jobs` worker shards fan cells out
+/// across threads, and `regions` partitions the engine *inside* each
+/// cell (the region-parallel executor). Both default to 1 — fully
+/// sequential — and neither may change the rendered report: cell
+/// sharding merges in cell-index order, and the region executor is
+/// observationally byte-identical to the sequential engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExecOptions {
+    /// Worker shards for the cell fan-out (the `--jobs` flag).
+    pub jobs: usize,
+    /// Region partitions for each cell's engine (the `--regions` flag).
+    /// Applies to the engine-backed chaos/traffic lowerings; recovery
+    /// and hijack cells stay sequential.
+    pub regions: usize,
+}
+
+impl Default for ExecOptions {
+    fn default() -> Self {
+        Self {
+            jobs: 1,
+            regions: 1,
+        }
+    }
+}
+
+impl ExecOptions {
+    /// Sequential engines fanned over `jobs` cell shards — the
+    /// historical `--jobs N` behavior.
+    #[must_use]
+    pub fn sharded(jobs: usize) -> Self {
+        Self { jobs, regions: 1 }
+    }
+
+    /// Partitions each cell's engine into `regions` (clamped to ≥ 1).
+    #[must_use]
+    pub fn with_regions(mut self, regions: usize) -> Self {
+        self.regions = regions.max(1);
+        self
+    }
+
+    /// Applies the in-run knobs to a cell's engine config. The engine's
+    /// window workers reuse the shard count only when the engine is
+    /// actually partitioned, so sequential cells never pay for thread
+    /// spawns.
+    fn engine(self, base: EngineConfig) -> EngineConfig {
+        if self.regions > 1 {
+            base.with_regions(self.regions).with_jobs(self.jobs.max(1))
+        } else {
+            base
+        }
+    }
+}
+
 /// Lowers and runs a `chaos` scenario: exactly the `lsrp chaos` path,
 /// including the minimized-repro appendix for violating runs.
 ///
@@ -351,7 +422,7 @@ fn bool_metric(b: bool) -> f64 {
 ///
 /// Returns a message when the destination is absent or a destination
 /// count exceeds the topology.
-pub fn run_chaos(c: &CampaignScenario, jobs: usize) -> Result<(String, u64), String> {
+pub fn run_chaos(c: &CampaignScenario, opts: ExecOptions) -> Result<(String, u64), String> {
     let (graph, natural_dest) = c.topology.build(c.topology_seed());
     let dest = c.destination.unwrap_or(natural_dest);
     if !graph.has_node(dest) {
@@ -361,6 +432,7 @@ pub fn run_chaos(c: &CampaignScenario, jobs: usize) -> Result<(String, u64), Str
         horizon: c.horizon,
         fault_window: c.faults.window,
         process: c.faults.process,
+        engine: opts.engine(EngineConfig::default()),
         ..ChaosConfig::default()
     };
     if let Some(spec) = c.destinations {
@@ -372,7 +444,7 @@ pub fn run_chaos(c: &CampaignScenario, jobs: usize) -> Result<(String, u64), Str
             &config,
             c.seed,
             c.runs,
-            jobs,
+            opts.jobs,
         );
         let bad = campaign.violating().count() as u64;
         return Ok((campaign.report(), bad));
@@ -384,7 +456,7 @@ pub fn run_chaos(c: &CampaignScenario, jobs: usize) -> Result<(String, u64), Str
         &config,
         c.seed,
         c.runs,
-        jobs,
+        opts.jobs,
     );
     let mut out = campaign.report();
     let bad = campaign.violating().count() as u64;
@@ -414,7 +486,7 @@ pub fn run_chaos(c: &CampaignScenario, jobs: usize) -> Result<(String, u64), Str
 ///
 /// Returns a message when the destination is absent or a destination
 /// count exceeds the topology.
-pub fn run_traffic(t: &TrafficScenario, jobs: usize) -> Result<(String, u64), String> {
+pub fn run_traffic(t: &TrafficScenario, opts: ExecOptions) -> Result<(String, u64), String> {
     let c = &t.base;
     let (graph, natural_dest) = c.topology.build(c.topology_seed());
     let dest = c.destination.unwrap_or(natural_dest);
@@ -426,7 +498,7 @@ pub fn run_traffic(t: &TrafficScenario, jobs: usize) -> Result<(String, u64), St
             horizon: c.horizon,
             fault_window: c.faults.window,
             process: c.faults.process,
-            engine: EngineConfig::default().with_congestion(t.congestion.config()),
+            engine: opts.engine(EngineConfig::default().with_congestion(t.congestion.config())),
             ..ChaosConfig::default()
         },
         transport: t.congestion.cc,
@@ -443,7 +515,7 @@ pub fn run_traffic(t: &TrafficScenario, jobs: usize) -> Result<(String, u64), St
             &config,
             c.seed,
             c.runs,
-            jobs,
+            opts.jobs,
         );
         let bad = campaign.violating().count() as u64;
         return Ok((campaign.report(), bad));
@@ -455,7 +527,7 @@ pub fn run_traffic(t: &TrafficScenario, jobs: usize) -> Result<(String, u64), St
         &config,
         c.seed,
         c.runs,
-        jobs,
+        opts.jobs,
     );
     let bad = campaign.violating().count() as u64;
     Ok((campaign.report(), bad))
@@ -592,11 +664,104 @@ fn recovery_title_subs(r: &RecoveryScenario) -> Vec<(&'static str, String)> {
     subs
 }
 
+/// One `[[fault.region]]` table row: the case label plus its concurrent
+/// `(seed node, size)` regions.
+type RegionCase = (String, Vec<(NodeId, usize)>);
+
+/// Groups `[[fault.region]]` entries into `(case label, regions)` rows
+/// in first-appearance order, applying the `[recovery]` `p` default
+/// size.
+fn region_cases(r: &RecoveryScenario) -> Result<Vec<RegionCase>, String> {
+    let mut cases: Vec<RegionCase> = Vec::new();
+    for reg in &r.regions {
+        let size = reg.size.or(r.p).ok_or_else(|| {
+            format!(
+                "[[fault.region]] '{}' needs a 'size' (or a [recovery] p default)",
+                reg.case
+            )
+        })?;
+        match cases.iter_mut().find(|(c, _)| *c == reg.case) {
+            Some((_, v)) => v.push((reg.seed_node, size)),
+            None => cases.push((reg.case.clone(), vec![(reg.seed_node, size)])),
+        }
+    }
+    Ok(cases)
+}
+
+/// Runs the `[[fault.region]]` path of a recovery scenario: one row per
+/// case, each case corrupting all its regions concurrently in a single
+/// run (E7, Lemmas 2–3).
+fn run_region_cases(
+    r: &RecoveryScenario,
+    jobs: usize,
+    expect: &[Expectation],
+) -> Result<ScenarioOutcome, String> {
+    let spec = r.topology.as_ref().expect("validated at parse time");
+    let (graph, dest) = spec.build(r.topology_seed.unwrap_or(r.seed));
+    let cases = region_cases(r)?;
+    let protocol = r.protocol.unwrap_or(Protocol::Lsrp);
+    let headers: Vec<&str> = r.report.columns.iter().map(|c| column_header(c)).collect();
+    let title = render_title(&r.report.title, &recovery_title_subs(r));
+    let mut table = Table::new(title, &headers);
+    let mut failures = Vec::new();
+    let seed = r.seed;
+    let specs: Vec<Vec<(NodeId, usize)>> = cases.iter().map(|(_, v)| v.clone()).collect();
+    let g = graph.clone();
+    let results = run_sharded(jobs, specs.len(), move |i| {
+        region_case_cell(protocol, &g, dest, &specs[i], seed)
+    });
+    for ((label, regions), m) in cases.iter().zip(&results) {
+        if r.require_correct {
+            assert!(m.quiescent && m.routes_correct, "{label}");
+        }
+        let row: Vec<String> = r
+            .report
+            .columns
+            .iter()
+            .map(|key| match key.as_str() {
+                "case" => label.clone(),
+                "perturbed" => m.perturbation_size.to_string(),
+                "stab_time" => fmt_f64(m.stabilization_time),
+                "range" => m.contamination_range.to_string(),
+                "contaminated" => m.contaminated.len().to_string(),
+                "messages" => m.messages.to_string(),
+                "actions" => m.actions.to_string(),
+                "routes_correct" => m.routes_correct.to_string(),
+                other => panic!("column key '{other}' escaped schema validation"),
+            })
+            .collect();
+        table.row(&row);
+        #[allow(clippy::cast_precision_loss)]
+        let metrics: Vec<(&str, f64)> = vec![
+            ("stabilization_time", m.stabilization_time),
+            ("contamination_range", m.contamination_range as f64),
+            ("max_contamination", m.contaminated.len() as f64),
+            ("contaminated", m.contaminated.len() as f64),
+            ("perturbed", m.perturbation_size as f64),
+            ("messages", m.messages as f64),
+            ("actions", m.actions as f64),
+            ("flaps", m.healthy_route_flaps as f64),
+            ("routes_correct", bool_metric(m.routes_correct)),
+            ("quiescent", bool_metric(m.quiescent)),
+        ];
+        #[allow(clippy::cast_precision_loss)]
+        let vars: Vec<(&str, f64)> = vec![("regions", regions.len() as f64)];
+        eval_expectations(expect, &metrics, &vars, label, &mut failures);
+    }
+    Ok(ScenarioOutcome {
+        result: ScenarioResult::Table(table),
+        failures,
+    })
+}
+
 fn run_recovery(
     r: &RecoveryScenario,
     jobs: usize,
     expect: &[Expectation],
 ) -> Result<ScenarioOutcome, String> {
+    if !r.regions.is_empty() {
+        return run_region_cases(r, jobs, expect);
+    }
     let cells = expand_recovery(r)?;
     let headers: Vec<&str> = r.report.columns.iter().map(|c| column_header(c)).collect();
     let title = render_title(&r.report.title, &recovery_title_subs(r));
@@ -639,6 +804,7 @@ fn run_recovery(
                     ("contamination_range", m.contamination_range as f64),
                     ("max_contamination", m.contaminated.len() as f64),
                     ("contaminated", m.contaminated.len() as f64),
+                    ("perturbed", m.perturbation_size as f64),
                     ("messages", m.messages as f64),
                     ("actions", m.actions as f64),
                     ("flaps", m.healthy_route_flaps as f64),
@@ -907,8 +1073,9 @@ fn run_hijack(
 // Entry points
 // ---------------------------------------------------------------------
 
-/// Runs a scenario with `jobs` worker shards and an optional builtin
-/// runner. The report is byte-identical for any `jobs` value.
+/// Runs a scenario under the given execution options and an optional
+/// builtin runner. The report is byte-identical for any `jobs` and
+/// `regions` value.
 ///
 /// # Errors
 ///
@@ -916,12 +1083,12 @@ fn run_hijack(
 /// resolution, missing runner) or a campaign rejects its inputs.
 pub fn run_scenario_with(
     s: &Scenario,
-    jobs: usize,
+    opts: ExecOptions,
     runner: Option<&dyn BuiltinRunner>,
 ) -> Result<ScenarioOutcome, String> {
     match &s.body {
         ScenarioBody::Chaos(c) => {
-            let (text, bad) = run_chaos(c, jobs)?;
+            let (text, bad) = run_chaos(c, opts)?;
             let mut failures = Vec::new();
             #[allow(clippy::cast_precision_loss)]
             let metrics: Vec<(&str, f64)> =
@@ -933,7 +1100,7 @@ pub fn run_scenario_with(
             })
         }
         ScenarioBody::Traffic(t) => {
-            let (text, bad) = run_traffic(t, jobs)?;
+            let (text, bad) = run_traffic(t, opts)?;
             let mut failures = Vec::new();
             #[allow(clippy::cast_precision_loss)]
             let metrics: Vec<(&str, f64)> =
@@ -944,8 +1111,8 @@ pub fn run_scenario_with(
                 failures,
             })
         }
-        ScenarioBody::Recovery(r) => run_recovery(r, jobs, &s.expect),
-        ScenarioBody::Hijack(h) => run_hijack(h, jobs, &s.expect),
+        ScenarioBody::Recovery(r) => run_recovery(r, opts.jobs, &s.expect),
+        ScenarioBody::Hijack(h) => run_hijack(h, opts.jobs, &s.expect),
         ScenarioBody::Builtin(b) => {
             let Some(runner) = runner else {
                 return Err(format!(
@@ -968,8 +1135,8 @@ pub fn run_scenario_with(
 /// # Errors
 ///
 /// As [`run_scenario_with`]; additionally errors on `builtin` kinds.
-pub fn run_scenario(s: &Scenario, jobs: usize) -> Result<ScenarioOutcome, String> {
-    run_scenario_with(s, jobs, None)
+pub fn run_scenario(s: &Scenario, opts: ExecOptions) -> Result<ScenarioOutcome, String> {
+    run_scenario_with(s, opts, None)
 }
 
 /// Statically expands a scenario into one human-readable line per cell
@@ -1000,6 +1167,24 @@ pub fn expand_list(s: &Scenario) -> Result<Vec<String>, String> {
             t.workload.flows
         )]),
         ScenarioBody::Recovery(r) => {
+            if !r.regions.is_empty() {
+                let spec = r.topology.as_ref().expect("validated at parse time");
+                return Ok(region_cases(r)?
+                    .iter()
+                    .enumerate()
+                    .map(|(i, (label, regions))| {
+                        let parts: Vec<String> = regions
+                            .iter()
+                            .map(|(node, size)| format!("{node}+{size}"))
+                            .collect();
+                        format!(
+                            "case {i}: {label} — topology {spec} regions [{}] seed {}",
+                            parts.join(", "),
+                            r.seed
+                        )
+                    })
+                    .collect());
+            }
             let cells = expand_recovery(r)?;
             Ok(cells
                 .iter()

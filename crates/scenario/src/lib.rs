@@ -34,7 +34,8 @@ pub mod toml;
 
 pub use cells::{Protocol, ALL_PROTOCOLS};
 pub use exec::{
-    expand_list, run_scenario, run_scenario_with, BuiltinRunner, ScenarioOutcome, ScenarioResult,
+    expand_list, run_scenario, run_scenario_with, BuiltinRunner, ExecOptions, ScenarioOutcome,
+    ScenarioResult,
 };
 pub use schema::{load_str, ParamValue, Scenario, ScenarioBody};
 pub use spec::{DestinationsSpec, TopologySpec};

@@ -236,6 +236,15 @@ pub struct RecoveryScenario {
     pub width: Option<u32>,
     /// Fixed perturbation size (unless swept).
     pub p: Option<usize>,
+    /// Explicit topology for `[[fault.region]]` cases; the classic
+    /// sweep path builds a `width` × `width` grid instead.
+    pub topology: Option<TopologySpec>,
+    /// Seed for random topologies (defaults to the scenario seed).
+    pub topology_seed: Option<u64>,
+    /// Concurrent perturbed regions (`[[fault.region]]`); regions
+    /// sharing a `case` label are corrupted in the same run, one table
+    /// row per case. Empty for the classic single-region sweep.
+    pub regions: Vec<FaultRegion>,
     /// Scenario seed.
     pub seed: u64,
     /// How cell seeds derive from the scenario seed.
@@ -254,6 +263,20 @@ pub struct RecoveryScenario {
     pub report: ReportSection,
     /// The sweep axes.
     pub sweep: Sweep,
+}
+
+/// One concurrent perturbed region of a multi-region recovery case
+/// (`[[fault.region]]`, E7 Lemmas 2–3): a contiguous patch grown from
+/// `seed_node` away from the destination. Regions sharing a `case`
+/// label are corrupted concurrently in the same run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultRegion {
+    /// The table row this region belongs to.
+    pub case: String,
+    /// Node the contiguous region grows from.
+    pub seed_node: NodeId,
+    /// Region size; defaults to the `[recovery]` `p`.
+    pub size: Option<usize>,
 }
 
 /// Snapshot or live hijack measurement.
@@ -1055,6 +1078,46 @@ fn parse_recovery(root: &Table, seen: &mut Vec<&'static str>) -> Result<Recovery
     let require_correct = f.boolean("require_correct")?.is_none_or(|(b, _)| b);
     f.finish()?;
 
+    // Optional explicit topology + [[fault.region]] cases (E7).
+    let mut topology = None;
+    let mut topology_seed = None;
+    if let Some(table) = section(root, "topology", seen, "topology")? {
+        let mut f = Fields::new("topology", table);
+        let Some((spec, line)) = f.str("spec")? else {
+            return Err(format!(
+                "line {}: [topology] needs a 'spec' field (e.g. spec = \"ring:64\")",
+                table.line
+            ));
+        };
+        topology = Some(f.checked("spec", line, TopologySpec::parse(&spec))?);
+        topology_seed = f.unsigned("seed")?.map(|(v, _)| v);
+        f.finish()?;
+    }
+    let regions = parse_fault_regions(root, seen)?;
+    if !regions.is_empty() {
+        let line = table.line;
+        if topology.is_none() {
+            return Err(format!(
+                "line {line}: [[fault.region]] cases need a [topology] section"
+            ));
+        }
+        if width.is_some() {
+            return Err(format!(
+                "line {line}: [recovery] 'width' does not apply to [[fault.region]] cases (set [topology] spec instead)"
+            ));
+        }
+        if plane != Plane::Single {
+            return Err(format!(
+                "line {line}: [[fault.region]] cases run on the single-tree plane"
+            ));
+        }
+    } else if topology.is_some() {
+        return Err(format!(
+            "line {}: [topology] on a recovery scenario needs [[fault.region]] cases (the sweep path builds a grid from 'width')",
+            table.line
+        ));
+    }
+
     let mut engine = EngineSection::default();
     if let Some(table) = section(root, "engine", seen, "engine")? {
         let mut f = Fields::new("engine", table);
@@ -1114,6 +1177,8 @@ fn parse_recovery(root: &Table, seen: &mut Vec<&'static str>) -> Result<Recovery
 
     let vocab = if plane == Plane::Multi {
         crate::exec::RECOVERY_MULTI_COLUMNS
+    } else if !regions.is_empty() {
+        crate::exec::REGION_CASE_COLUMNS
     } else {
         crate::exec::RECOVERY_COLUMNS
     };
@@ -1124,10 +1189,19 @@ fn parse_recovery(root: &Table, seen: &mut Vec<&'static str>) -> Result<Recovery
         &["protocol", "width", "p", "loss"]
     };
     let sweep = parse_sweep(root, seen, axes, "recovery")?;
+    if !regions.is_empty() && (!sweep.axes.is_empty() || !sweep.cases.is_empty()) {
+        return Err(
+            "[[fault.region]] cases and a [sweep] cannot be combined (each case is already one row)"
+                .to_string(),
+        );
+    }
     Ok(RecoveryScenario {
         protocol,
         width,
         p,
+        topology,
+        topology_seed,
+        regions,
         seed,
         seed_mode,
         fault,
@@ -1138,6 +1212,76 @@ fn parse_recovery(root: &Table, seen: &mut Vec<&'static str>) -> Result<Recovery
         report,
         sweep,
     })
+}
+
+/// Parses the `[[fault.region]]` array: each entry is one concurrent
+/// perturbed region tagged with the `case` (table row) it belongs to.
+fn parse_fault_regions(
+    root: &Table,
+    seen: &mut Vec<&'static str>,
+) -> Result<Vec<FaultRegion>, String> {
+    seen.push("fault");
+    let Some(entry) = root.get("fault") else {
+        return Ok(Vec::new());
+    };
+    let Entry::Table(fault) = entry else {
+        return Err("'fault' must hold [[fault.region]] tables".to_string());
+    };
+    let mut regions = Vec::new();
+    for (key, entry) in &fault.entries {
+        if key != "region" {
+            return Err(format!(
+                "unknown key '{key}' under [fault] (only [[fault.region]] tables are recognized)"
+            ));
+        }
+        let tables: &[Table] = match entry {
+            Entry::Tables(ts) => ts,
+            Entry::Table(t) => std::slice::from_ref(t),
+            Entry::Value(sp) => {
+                return Err(format!(
+                    "line {}: 'fault.region' must be [[fault.region]] tables, got {}",
+                    sp.line,
+                    sp.value.type_name()
+                ))
+            }
+        };
+        for t in tables {
+            let mut f = Fields::new("fault.region", t);
+            let Some((case, _)) = f.str("case")? else {
+                return Err(format!(
+                    "line {}: [[fault.region]] needs a 'case' label (regions with the same label run concurrently)",
+                    t.line
+                ));
+            };
+            let Some((node, line)) = f.unsigned("seed_node")? else {
+                return Err(format!(
+                    "line {}: [[fault.region]] needs a 'seed_node'",
+                    t.line
+                ));
+            };
+            let seed_node = u32::try_from(node).map(NodeId::new).map_err(|_| {
+                format!("line {line}: [[fault.region]] field 'seed_node' is out of range")
+            })?;
+            let size = f
+                .unsigned("size")?
+                .map(|(v, line)| {
+                    if v == 0 {
+                        return Err(format!(
+                            "line {line}: [[fault.region]] field 'size' must be at least 1"
+                        ));
+                    }
+                    Ok(v as usize)
+                })
+                .transpose()?;
+            f.finish()?;
+            regions.push(FaultRegion {
+                case,
+                seed_node,
+                size,
+            });
+        }
+    }
+    Ok(regions)
 }
 
 fn parse_hijack(root: &Table, seen: &mut Vec<&'static str>) -> Result<HijackScenario, String> {
@@ -1393,6 +1537,13 @@ impl Emitter {
     fn boolean(&mut self, key: &str, b: bool) {
         self.kv(key, &b.to_string());
     }
+
+    fn arr_sect(&mut self, name: &str) {
+        if !self.out.is_empty() {
+            self.out.push('\n');
+        }
+        self.out.push_str(&format!("[[{name}]]\n"));
+    }
 }
 
 fn emit_sweep_value(v: &SweepValue) -> String {
@@ -1533,6 +1684,13 @@ impl Scenario {
                 e.float("duration", t.duration);
             }
             ScenarioBody::Recovery(r) => {
+                if let Some(t) = &r.topology {
+                    e.sect("topology");
+                    e.string("spec", &t.to_string());
+                    if let Some(seed) = r.topology_seed {
+                        e.int("seed", seed);
+                    }
+                }
                 e.sect("recovery");
                 if let Some(p) = r.protocol {
                     e.string("protocol", p.as_str());
@@ -1569,6 +1727,14 @@ impl Scenario {
                     e.string("destinations", &d.to_string());
                 }
                 e.boolean("require_correct", r.require_correct);
+                for region in &r.regions {
+                    e.arr_sect("fault.region");
+                    e.string("case", &region.case);
+                    e.int("seed_node", region.seed_node.raw());
+                    if let Some(size) = region.size {
+                        e.int("size", size);
+                    }
+                }
                 if r.engine != EngineSection::default() {
                     e.sect("engine");
                     if let Some((lo, hi)) = r.engine.jitter {

@@ -141,10 +141,9 @@ impl TopologySpec {
             TopologySpec::Geometric(n, r) => {
                 (generators::random_geometric(n, r, &mut rng), NodeId::new(0))
             }
-            TopologySpec::PreferentialAttachment(n, m) => (
-                generators::preferential_attachment(n, m, &mut rng),
-                NodeId::new(0),
-            ),
+            TopologySpec::PreferentialAttachment(n, m) => {
+                (generators::barabasi_albert(n, m, &mut rng), NodeId::new(0))
+            }
             TopologySpec::Lollipop(tail, ring) => {
                 (generators::lollipop(tail, ring, 1), NodeId::new(0))
             }
@@ -271,6 +270,18 @@ pub mod check {
     ///
     /// Rejects zero.
     pub fn jobs(n: usize) -> Result<usize, String> {
+        if n == 0 {
+            return Err("must be at least 1".to_string());
+        }
+        Ok(n)
+    }
+
+    /// Region counts must be at least 1 (1 is the sequential engine).
+    ///
+    /// # Errors
+    ///
+    /// Rejects zero.
+    pub fn regions(n: usize) -> Result<usize, String> {
         if n == 0 {
             return Err("must be at least 1".to_string());
         }

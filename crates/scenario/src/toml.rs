@@ -241,17 +241,15 @@ fn open_table(root: &mut Table, path: &[String], line: usize) -> Result<(), Toml
 /// Appends a new element to the array of tables at `path`.
 fn open_array_table(root: &mut Table, path: &[String], line: usize) -> Result<(), TomlError> {
     let (last, prefix) = path.split_last().expect("header has a component");
-    open_table(root, prefix, line).or_else(|e| {
-        // The prefix may legitimately already exist; only final-component
-        // redefinition errors from `open_table` are real conflicts here.
-        if prefix.is_empty() {
-            Ok(())
-        } else {
-            Err(e)
-        }
-    })?;
+    // Walk/create the prefix tables. Unlike a `[prefix]` header, an
+    // already-existing prefix is legitimate here — every `[[a.b]]`
+    // after the first appends under the same `a`.
     let mut t = root;
     for key in prefix {
+        if t.get(key).is_none() {
+            t.entries
+                .push((key.clone(), Entry::Table(Table::new(line))));
+        }
         t = match t.entries.iter_mut().find(|(k, _)| k == key) {
             Some((_, Entry::Table(sub))) => sub,
             Some((_, Entry::Tables(subs))) => subs.last_mut().expect("non-empty"),
@@ -515,6 +513,32 @@ mod tests {
             panic!("missing [[case]]");
         };
         assert_eq!(cases.len(), 2);
+    }
+
+    #[test]
+    fn repeated_dotted_array_tables_share_a_prefix() {
+        let doc = parse(
+            "[[fault.region]]\n\
+             case = \"a\"\n\
+             [[fault.region]]\n\
+             case = \"b\"\n\
+             [[fault.region]]\n\
+             case = \"c\"\n",
+        )
+        .unwrap();
+        let Some(Entry::Table(fault)) = doc.get("fault") else {
+            panic!("missing implicit [fault] prefix table");
+        };
+        let Some(Entry::Tables(regions)) = fault.get("region") else {
+            panic!("missing [[fault.region]]");
+        };
+        assert_eq!(regions.len(), 3);
+        for (t, want) in regions.iter().zip(["a", "b", "c"]) {
+            assert!(matches!(
+                t.get("case"),
+                Some(Entry::Value(Spanned { value: Value::Str(s), .. })) if s == want
+            ));
+        }
     }
 
     #[test]

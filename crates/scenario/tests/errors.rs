@@ -192,3 +192,74 @@ fn toml_syntax_errors_carry_the_line() {
         "line 2: invalid value `oops` (strings need quotes)"
     );
 }
+
+#[test]
+fn fault_regions_without_topology_are_rejected() {
+    let src = "[scenario]\n\
+               name = \"x\"\n\
+               kind = \"recovery\"\n\
+               [recovery]\n\
+               p = 4\n\
+               seed = 5\n\
+               [[fault.region]]\n\
+               case = \"a\"\n\
+               seed_node = 16\n";
+    assert_eq!(
+        err(src),
+        "line 4: [[fault.region]] cases need a [topology] section"
+    );
+}
+
+#[test]
+fn fault_regions_reject_the_width_sweep_knob() {
+    let src = "[scenario]\n\
+               name = \"x\"\n\
+               kind = \"recovery\"\n\
+               [topology]\n\
+               spec = \"ring:64\"\n\
+               [recovery]\n\
+               width = 8\n\
+               p = 4\n\
+               seed = 5\n\
+               [[fault.region]]\n\
+               case = \"a\"\n\
+               seed_node = 16\n";
+    assert_eq!(
+        err(src),
+        "line 6: [recovery] 'width' does not apply to [[fault.region]] cases (set [topology] spec instead)"
+    );
+}
+
+#[test]
+fn fault_region_without_a_case_label_is_rejected() {
+    let src = "[scenario]\n\
+               name = \"x\"\n\
+               kind = \"recovery\"\n\
+               [topology]\n\
+               spec = \"ring:64\"\n\
+               [recovery]\n\
+               p = 4\n\
+               seed = 5\n\
+               [[fault.region]]\n\
+               seed_node = 16\n";
+    assert_eq!(
+        err(src),
+        "line 9: [[fault.region]] needs a 'case' label (regions with the same label run concurrently)"
+    );
+}
+
+#[test]
+fn topology_without_fault_regions_is_rejected() {
+    let src = "[scenario]\n\
+               name = \"x\"\n\
+               kind = \"recovery\"\n\
+               [topology]\n\
+               spec = \"ring:64\"\n\
+               [recovery]\n\
+               p = 4\n\
+               seed = 5\n";
+    assert_eq!(
+        err(src),
+        "line 6: [topology] on a recovery scenario needs [[fault.region]] cases (the sweep path builds a grid from 'width')"
+    );
+}

@@ -237,6 +237,17 @@ pub struct EngineConfig {
     /// `(time, seq)` order, so this can never change a trajectory — the
     /// heap is kept as the determinism oracle for the calendar queue.
     pub scheduler: SchedulerKind,
+    /// Number of topology regions the engine partitions the graph into
+    /// (see [`lsrp_graph::partition`]). Each region runs its own event
+    /// queue inside conservative lookahead windows; results are
+    /// byte-identical for every region count. `1` (the default) is the
+    /// plain sequential engine.
+    pub regions: usize,
+    /// Worker threads executing regions inside a window. `1` (the
+    /// default) runs regions inline on the calling thread; higher values
+    /// fan out over `std::thread::scope`. Like `regions`, this can never
+    /// change a trajectory.
+    pub jobs: usize,
 }
 
 impl EngineConfig {
@@ -287,6 +298,20 @@ impl EngineConfig {
         self.scheduler = scheduler;
         self
     }
+
+    /// Sets the region count (builder style). Zero is treated as 1.
+    #[must_use]
+    pub fn with_regions(mut self, regions: usize) -> Self {
+        self.regions = regions.max(1);
+        self
+    }
+
+    /// Sets the worker-thread count (builder style). Zero is treated as 1.
+    #[must_use]
+    pub fn with_jobs(mut self, jobs: usize) -> Self {
+        self.jobs = jobs.max(1);
+        self
+    }
 }
 
 impl Default for EngineConfig {
@@ -300,6 +325,8 @@ impl Default for EngineConfig {
             sink: SinkKind::Full,
             congestion: CongestionConfig::default(),
             scheduler: SchedulerKind::Wheel,
+            regions: 1,
+            jobs: 1,
         }
     }
 }

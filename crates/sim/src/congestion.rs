@@ -68,7 +68,7 @@ impl Admission {
 /// capacity (`None` = unbounded). Disciplines are pure policy: they never
 /// see the queue itself, so they cannot break the occupancy invariant the
 /// engine enforces.
-pub trait QueueDiscipline: fmt::Debug + Send {
+pub trait QueueDiscipline: fmt::Debug + Send + Sync {
     /// Decides the fate of a packet of weight `weight` arriving at a port
     /// holding `occupancy` weighted packets out of `capacity`.
     fn admit(&self, occupancy: u64, weight: u64, capacity: Option<u64>) -> Admission;

@@ -1,37 +1,62 @@
-//! The discrete-event engine.
+//! The discrete-event engine, region-parallel edition.
 //!
-//! See the crate docs for the model. The engine owns the topology, one
-//! [`ProtocolNode`] per up node, per-node clocks, the event queue and a
-//! pluggable [`TraceSink`] for the execution trace. Faults are injected
-//! *between* runs: drive the engine with [`Engine::run_until`], mutate
-//! state/topology through [`Engine::with_node_mut`] /
-//! [`Engine::fail_node`] / etc., then continue.
+//! See the crate docs for the model. The engine partitions the topology
+//! into connected *regions* ([`lsrp_graph::partition`], count set by
+//! [`EngineConfig::regions`]) and gives each region its own event queue,
+//! node slab, link state, packet arena and counters. Regions execute
+//! concurrently inside **conservative time windows** of width
+//! `W = link.delay_min`: every cross-region interaction rides a link and
+//! therefore arrives at least `W` after it was emitted, so all events in
+//! `[t, t + W)` are causally independent across regions and can run in
+//! parallel. Cross-region events produced inside a window are *staged*
+//! into per-region buffers and merged into the target queues at the
+//! window barrier; queues order by the canonical `(SimTime, EventKey)`
+//! key, so the merged schedule — and hence the whole trajectory — is
+//! byte-identical for every region count and worker count (DESIGN.md
+//! §15 gives the full determinism argument).
 //!
-//! Per-node bookkeeping (protocol state, clock, guard tracking, pending
-//! wakeup) lives in one dense [`NodeSlots`] slab indexed by raw node id;
-//! per-directed-edge link state (FIFO front, Gilbert–Elliott chain state)
-//! lives in one [`EdgeSlots`] map. Broadcast payloads are shared: each
-//! send allocates one `Arc` and every queue entry holds a handle, so
-//! fan-out never deep-copies the message.
+//! Observability is split in two streams so the sink and route view stay
+//! strictly sequential: order-free tallies ([`CountOp`]) are applied
+//! unsorted at each barrier, while ordered records ([`ObsOp`]: actions,
+//! variable changes, view updates, packet/flow completions) carry their
+//! originating `(time, key, seq)` and are sorted before application —
+//! reproducing exactly the order a single-queue engine would have
+//! produced them in.
+//!
+//! Worker threads come from `std::thread::scope`, not the vendored
+//! `threadpool` crate: the pool's `execute` requires `'static` closures,
+//! which would force the per-region state behind `Arc<Mutex<_>>` (or
+//! `unsafe` lifetime laundering, forbidden by the crate's
+//! `#![forbid(unsafe_code)]`). Scoped threads borrow the region slabs
+//! directly for the duration of one window and cost one spawn per
+//! window, which the windows' granularity amortizes.
+//!
+//! One discipline cannot be windowed: PFC pause writes the *upstream*
+//! port's `paused_until` at the instant the frame is emitted — a
+//! zero-lookahead cross-region effect. With `regions > 1` and a
+//! [`DisciplineKind::Pause`] discipline the engine therefore falls back
+//! to conservative lockstep (one globally-minimal event at a time, still
+//! via the per-region queues), which is exactly the sequential schedule.
 
 use std::collections::BTreeMap;
 use std::fmt;
 use std::sync::Arc;
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-
+use lsrp_graph::partition::partition;
 use lsrp_graph::{Distance, Graph, GraphError, NodeId, RouteTable, Weight};
 
 use crate::clock::Clock;
 use crate::config::{EngineConfig, LossModel};
-use crate::congestion::{CongestionCounts, PortState, QueueDiscipline, QueuedPacket};
+use crate::congestion::{
+    CongestionCounts, DisciplineKind, PortState, QueueDiscipline, QueuedPacket,
+};
 use crate::effects::{Effects, SendTarget};
 use crate::flow::{FlowConfig, FlowRecord, FlowState, FlowTag};
 use crate::node::{ActionId, EnabledSet, ProtocolNode};
-use crate::sched::EventQueue;
+use crate::rng;
+use crate::sched::{EventKey, EventQueue};
 use crate::sink::TraceSink;
-use crate::slots::{EdgeSlots, NodeSlots};
+use crate::slots::{EdgeSlots, NodeSlots, RegionMap};
 use crate::time::SimTime;
 use crate::trace::{ActionRecord, Trace};
 use crate::traffic::{Packet, PacketArena, PacketRecord, PacketStatus, TrafficCounts};
@@ -51,13 +76,22 @@ static EMPTY_TRACE: Trace = Trace {
     sent_counts: BTreeMap::new(),
 };
 
+/// Flush ordered observability at least this often on the single-region
+/// fast path, bounding buffer growth on long uninterrupted runs.
+const OBS_CHUNK: u64 = 65_536;
+
 /// Errors surfaced by engine runs.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum EngineError {
     /// The per-run event budget was exhausted — almost always a zero-hold
     /// action livelock in the protocol under test.
     EventBudgetExhausted {
-        /// Simulated time at which the budget ran out.
+        /// Simulated time at which the budget ran out. With one region
+        /// this is the time of the last processed event, exactly as the
+        /// sequential engine reported; with several regions the budget is
+        /// enforced per region inside a window, so the run may overshoot
+        /// by up to `regions ×` before erroring and `at` is the latest
+        /// exhausted region's clock (error-path-only divergence).
         at: SimTime,
     },
 }
@@ -97,10 +131,27 @@ pub struct EventCounts {
     pub flow_timers: u64,
 }
 
+impl EventCounts {
+    fn absorb(&mut self, o: &EventCounts) {
+        self.deliveries += o.deliveries;
+        self.guard_timers += o.guard_timers;
+        self.guard_fires += o.guard_fires;
+        self.wakeups += o.wakeups;
+        self.packet_hops += o.packet_hops;
+        self.port_drains += o.port_drains;
+        self.flow_acks += o.flow_acks;
+        self.flow_timers += o.flow_timers;
+    }
+}
+
 /// Always-on engine health statistics, independent of the configured
 /// [`TraceSink`] — a handful of scalar counters the hot path maintains
 /// unconditionally, so throughput reports exist even when the sink
-/// records nothing.
+/// records nothing. Counters are kept per region and summed on read;
+/// every field is region-count-invariant except `peak_queue_depth`,
+/// which is the *sum of per-region queue peaks* (with one region this is
+/// the old global high-water mark; with several it bounds it from
+/// above).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct EngineStats {
     /// Processed events by kind.
@@ -123,7 +174,8 @@ pub struct EngineStats {
     pub dropped_lossy_link: u64,
     /// Messages dropped on dead edges/receivers.
     pub dropped_dead_receiver: u64,
-    /// High-water mark of the event-queue length.
+    /// Sum of per-region event-queue high-water marks (see the struct
+    /// docs; not region-count-invariant).
     pub peak_queue_depth: usize,
     /// Weighted data-plane packet counters (see [`TrafficCounts`]).
     pub traffic: TrafficCounts,
@@ -143,6 +195,38 @@ impl EngineStats {
             + self.events.port_drains
             + self.events.flow_acks
             + self.events.flow_timers
+    }
+
+    fn absorb(&mut self, o: &EngineStats) {
+        self.events.absorb(&o.events);
+        self.messages_sent += o.messages_sent;
+        self.messages_delivered += o.messages_delivered;
+        self.adverts_sent += o.adverts_sent;
+        self.adverts_delivered += o.adverts_delivered;
+        self.messages_duplicated += o.messages_duplicated;
+        self.dropped_lossy_link += o.dropped_lossy_link;
+        self.dropped_dead_receiver += o.dropped_dead_receiver;
+        self.peak_queue_depth += o.peak_queue_depth;
+        let t = &mut self.traffic;
+        let ot = &o.traffic;
+        t.injected += ot.injected;
+        t.delivered += ot.delivered;
+        t.black_holed += ot.black_holed;
+        t.link_down += ot.link_down;
+        t.looped += ot.looped;
+        t.ttl_expired += ot.ttl_expired;
+        t.lost += ot.lost;
+        t.queue_dropped += ot.queue_dropped;
+        t.delivered_hops += ot.delivered_hops;
+        let c = &mut self.congestion;
+        let oc = &o.congestion;
+        c.peak_port_occupancy = c.peak_port_occupancy.max(oc.peak_port_occupancy);
+        c.ecn_marks += oc.ecn_marks;
+        c.pause_frames += oc.pause_frames;
+        c.flow_offered_weight += oc.flow_offered_weight;
+        c.flow_acked_weight += oc.flow_acked_weight;
+        c.flow_retransmit_weight += oc.flow_retransmit_weight;
+        c.flow_timeouts += oc.flow_timeouts;
     }
 }
 
@@ -209,7 +293,8 @@ struct GuardTrack {
     fingerprint: u64,
 }
 
-/// Everything the engine keeps per live node, stored densely by id.
+/// Everything the engine keeps per live node, stored densely by the
+/// node's *local* (in-region) id.
 struct Slot<P> {
     node: P,
     clock: Clock,
@@ -224,90 +309,1372 @@ struct Slot<P> {
     pending_wakeup: Option<(SimTime, f64)>,
 }
 
-/// Per-directed-edge link state.
+/// Per-directed-edge link state, owned by the tail node's region.
 #[derive(Debug, Clone, Copy, Default)]
 struct LinkState {
     /// Scheduled arrival of the most recent delivery on this edge (FIFO
     /// ordering clamps later arrivals to at least this time; the `(time,
-    /// seq)` queue key then preserves send order among equal times).
+    /// key)` queue order then preserves send order among equal times).
     fifo_last: Option<SimTime>,
     /// Gilbert–Elliott chain state (`true` = bad/burst). Edges never sent
     /// on are in the good state.
     ge_bad: bool,
+    /// Control-plane draws consumed on this edge (counter-hash RNG
+    /// stream index; see [`crate::rng`]).
+    ctrl_draws: u64,
+    /// Data-plane draws consumed on this edge.
+    data_draws: u64,
 }
 
 /// Factory producing a protocol node from its id and initial neighbor map.
 type NodeFactory<P> = Box<dyn FnMut(NodeId, &BTreeMap<NodeId, Weight>) -> P>;
 
-/// The discrete-event simulator for one protocol over one topology.
-pub struct Engine<P: ProtocolNode> {
-    graph: Graph,
+/// Order-free sink tallies, buffered per region and applied (unsorted) at
+/// each barrier — tallies commute, so they skip the ordered-merge cost.
+enum CountOp {
+    Sent(NodeId),
+    Delivered,
+    DroppedLossy,
+    DroppedDead,
+    Duplicated,
+}
+
+/// Ordered observability operations: everything whose *application order*
+/// is observable (trace records, route-view updates and their deltas,
+/// packet/flow completion order).
+enum ObsOp {
+    Action(ActionRecord),
+    ReceiveChange(SimTime, NodeId),
+    View(NodeId, Option<ViewEntry>),
+    PacketDone(PacketRecord),
+    FlowDone(FlowRecord),
+}
+
+/// One ordered observability record: the `(time, key)` of the event that
+/// produced it plus a per-region sequence number breaking ties *within*
+/// that event. Sorting merged records by `(time, key, seq)` reproduces
+/// the sequential application order exactly (event keys are globally
+/// unique, so records from different regions never tie).
+struct ObsRec {
+    time: SimTime,
+    key: EventKey,
+    seq: u64,
+    op: ObsOp,
+}
+
+/// A cross-region effect produced inside a window, applied at the
+/// barrier. Event-carrying variants hold the *scheduled* `(time, key)`;
+/// conservative lookahead guarantees `time` lies beyond the window that
+/// staged it. Packets travel by value (arenas are region-local).
+enum Staged<M> {
+    Deliver {
+        time: SimTime,
+        key: EventKey,
+        region: u32,
+        from: NodeId,
+        to: NodeId,
+        msg: Arc<M>,
+    },
+    Packet {
+        time: SimTime,
+        key: EventKey,
+        region: u32,
+        packet: Packet,
+    },
+    FlowAck {
+        time: SimTime,
+        key: EventKey,
+        region: u32,
+        flow: u32,
+        ack: u64,
+        marked: bool,
+    },
+    /// PFC pause of the remote upstream port `(upstream, from)` — only
+    /// ever staged in lockstep mode (see the module docs), where `at` is
+    /// the globally current instant.
+    Pause {
+        region: u32,
+        upstream: NodeId,
+        from: NodeId,
+        at: SimTime,
+        quantum: f64,
+    },
+}
+
+/// Admission bound of one conservative window: `limit` plus whether the
+/// limit itself is admitted. Windows start exclusive at `t + W`;
+/// stop-condition caps (`until`, `horizon`, `last_effective + settle`)
+/// only ever *shrink* the admitted set, so conservative lookahead safety
+/// is preserved under every cap.
+#[derive(Debug, Clone, Copy)]
+struct WindowBound {
+    limit: SimTime,
+    inclusive: bool,
+}
+
+impl WindowBound {
+    fn exclusive(limit: SimTime) -> Self {
+        WindowBound {
+            limit,
+            inclusive: false,
+        }
+    }
+
+    fn inclusive(limit: SimTime) -> Self {
+        WindowBound {
+            limit,
+            inclusive: true,
+        }
+    }
+
+    fn admits(&self, t: SimTime) -> bool {
+        if self.inclusive {
+            t <= self.limit
+        } else {
+            t < self.limit
+        }
+    }
+
+    /// Caps the bound at `at` (inclusive) if that shrinks it. `at <
+    /// limit` implies `{t : t <= at} ⊂ {t : t < limit}`, so a cap never
+    /// admits a time the original bound rejected.
+    fn cap(self, at: SimTime) -> Self {
+        if at < self.limit {
+            WindowBound::inclusive(at)
+        } else {
+            self
+        }
+    }
+}
+
+/// State shared read-only by every region during a window.
+struct Shared {
     config: EngineConfig,
-    slots: NodeSlots<Slot<P>>,
+    /// The instantiated queue discipline (stateless; see
+    /// [`QueueDiscipline`]).
+    discipline: Box<dyn QueueDiscipline>,
+    /// Sticky raw-id → `(region, local)` addressing (see [`RegionMap`]).
+    map: RegionMap,
+    /// Liveness by raw id — the cross-region replacement for "is this
+    /// node in some region's slab", used by flow abort checks.
+    alive: Vec<bool>,
+    /// Home region of every flow ever started (indexed by flow id):
+    /// where its [`FlowState`] lives and its ACKs are routed.
+    flow_home: Vec<u32>,
+}
+
+/// One region: an independent event queue plus every piece of engine
+/// state its nodes own. All hot-path state is indexed by *local* id, so
+/// a region's working set is proportional to its own size — on one core
+/// this is also why several small calendar wheels can beat one huge one.
+struct Core<P: ProtocolNode> {
+    index: u32,
     queue: EventQueue<Event<P::Msg>>,
+    slots: NodeSlots<Slot<P>>,
+    /// Link state by (local tail, global head).
     links: EdgeSlots<LinkState>,
-    inflight: u64,
-    stats: EngineStats,
-    sink: Box<dyn TraceSink>,
-    rng: StdRng,
+    /// Egress port state by (local tail, global head); congestion lane.
+    ports: EdgeSlots<PortState>,
+    arena: PacketArena,
+    /// Flow sender state for flows homed here, by flow id.
+    flows: BTreeMap<u32, FlowState>,
+    /// Go-Back-N receiver cursors (`recv_next`) for flows *delivering*
+    /// here, by flow id — receiver state lives with the destination.
+    flow_recv: BTreeMap<u32, u64>,
+    /// Per-local-node control-lane emission counters (event keys).
+    ctrl_emit: Vec<u64>,
+    /// Per-local-node traffic-lane emission counters (event keys).
+    traffic_emit: Vec<u64>,
+    /// Per-local-node guard generations; persist across fail/rejoin so a
+    /// stale timer can never collide with a fresh track.
+    guard_gen: Vec<u64>,
+    /// Key counters for events attributed to nodes that were never
+    /// mapped (flows/packets naming ids outside the topology — such
+    /// contexts always land in region 0).
+    orphan_ctrl: u64,
+    orphan_traffic: u64,
     now: SimTime,
-    generation: u64,
+    /// `(time, key)` of the event currently being processed — the order
+    /// tag stamped on every [`ObsRec`] this event produces.
+    cur_time: SimTime,
+    cur_key: EventKey,
+    opseq: u64,
+    stats: EngineStats,
     last_effective: SimTime,
-    factory: NodeFactory<P>,
+    /// Count of tracked non-maintenance guards in this region (O(1)
+    /// quiescence checks).
+    enabled_non_maintenance: usize,
+    /// Signed in-flight message delta (cross-region messages increment at
+    /// the sender's region, decrement at the receiver's; the global sum
+    /// is the true count).
+    inflight: i64,
+    packets_in_flight: i64,
+    packets_in_flight_weight: i64,
+    active_flows: usize,
+    staged: Vec<Staged<P::Msg>>,
+    obs: Vec<ObsRec>,
+    counts: Vec<CountOp>,
     /// Reusable neighbor buffer for broadcast fan-out.
     scratch: Vec<NodeId>,
-    /// Reusable effects collector — one per engine, cleared between
-    /// events, so the hot path never allocates a fresh send buffer.
+    /// Reusable effects collector — cleared between events, so the hot
+    /// path never allocates a fresh send buffer.
     fx_scratch: Effects<P::Msg>,
-    /// Reusable guard-evaluation buffer for [`Engine::reevaluate_floored`].
+    /// Reusable guard-evaluation buffer for [`Core::reevaluate_floored`].
     enabled_scratch: EnabledSet,
-    /// Reusable hold-timer scheduling buffer for
-    /// [`Engine::reevaluate_floored`].
+    /// Reusable hold-timer scheduling buffer.
     schedule_scratch: Vec<(ActionId, SimTime, u64)>,
-    /// Count of currently tracked non-maintenance guards, maintained at
-    /// every guard insert/removal so
-    /// [`Engine::any_enabled_non_maintenance`] is O(1) instead of a scan
-    /// over every node's guard map.
-    enabled_non_maintenance: usize,
-    /// The always-current dense route view (see [`crate::view`]).
+}
+
+impl<P: ProtocolNode> Core<P> {
+    fn new(index: u32, config: &EngineConfig) -> Self {
+        Core {
+            index,
+            queue: EventQueue::new(config.scheduler),
+            slots: NodeSlots::new(),
+            links: EdgeSlots::new(),
+            ports: EdgeSlots::new(),
+            arena: PacketArena::default(),
+            flows: BTreeMap::new(),
+            flow_recv: BTreeMap::new(),
+            ctrl_emit: Vec::new(),
+            traffic_emit: Vec::new(),
+            guard_gen: Vec::new(),
+            orphan_ctrl: 0,
+            orphan_traffic: 0,
+            now: SimTime::ZERO,
+            cur_time: SimTime::ZERO,
+            cur_key: EventKey::driver(u64::MAX),
+            opseq: 0,
+            stats: EngineStats::default(),
+            last_effective: SimTime::ZERO,
+            enabled_non_maintenance: 0,
+            inflight: 0,
+            packets_in_flight: 0,
+            packets_in_flight_weight: 0,
+            active_flows: 0,
+            staged: Vec::new(),
+            obs: Vec::new(),
+            counts: Vec::new(),
+            scratch: Vec::new(),
+            fx_scratch: Effects::new(),
+            enabled_scratch: EnabledSet::none(),
+            schedule_scratch: Vec::new(),
+        }
+    }
+
+    /// `v`'s local id, if this region owns it.
+    fn local_checked(&self, shared: &Shared, v: NodeId) -> Option<u32> {
+        match shared.map.region(v) {
+            Some(r) if r == self.index => Some(shared.map.local(v)),
+            _ => None,
+        }
+    }
+
+    fn slot(&self, shared: &Shared, v: NodeId) -> Option<&Slot<P>> {
+        let l = self.local_checked(shared, v)?;
+        self.slots.get(NodeId::new(l))
+    }
+
+    fn slot_mut(&mut self, shared: &Shared, v: NodeId) -> Option<&mut Slot<P>> {
+        let l = self.local_checked(shared, v)?;
+        self.slots.get_mut(NodeId::new(l))
+    }
+
+    /// Allocates the next event key attributed to `v`. Lane layout:
+    /// bit 0 separates control from traffic emissions (the two planes
+    /// count independently, preserving their mutual independence), bit 1
+    /// flags never-mapped orphan attributions, and the per-node counter
+    /// occupies the high bits. Keys are globally unique: counters are
+    /// per-(node, lane) and persist across fail/rejoin.
+    fn lane_key(&mut self, shared: &Shared, v: NodeId, traffic: bool) -> EventKey {
+        match self.local_checked(shared, v) {
+            Some(l) => {
+                let lanes = if traffic {
+                    &mut self.traffic_emit
+                } else {
+                    &mut self.ctrl_emit
+                };
+                let li = l as usize;
+                if li >= lanes.len() {
+                    lanes.resize(li + 1, 0);
+                }
+                let n = lanes[li];
+                lanes[li] = n + 1;
+                EventKey {
+                    src: v.raw(),
+                    k: (n << 2) | u64::from(traffic),
+                }
+            }
+            None => {
+                let ctr = if traffic {
+                    &mut self.orphan_traffic
+                } else {
+                    &mut self.orphan_ctrl
+                };
+                let n = *ctr;
+                *ctr += 1;
+                EventKey {
+                    src: v.raw(),
+                    k: (n << 2) | 2 | u64::from(traffic),
+                }
+            }
+        }
+    }
+
+    fn push_local(&mut self, time: SimTime, key: EventKey, event: Event<P::Msg>) {
+        self.queue.schedule(time, key, event);
+        self.stats.peak_queue_depth = self.stats.peak_queue_depth.max(self.queue.len());
+    }
+
+    fn obs(&mut self, op: ObsOp) {
+        let seq = self.opseq;
+        self.opseq += 1;
+        self.obs.push(ObsRec {
+            time: self.cur_time,
+            key: self.cur_key,
+            seq,
+            op,
+        });
+    }
+
+    /// Enters driver context: observability produced until the next event
+    /// is tagged `(now, DRIVER, seq)` with `seq` threaded across regions
+    /// by the engine, so multi-region driver mutations replay in call
+    /// order.
+    fn begin_driver(&mut self, now: SimTime, opseq: u64) {
+        self.now = self.now.max(now);
+        self.cur_time = now;
+        self.cur_key = EventKey::driver(u64::MAX);
+        self.opseq = self.opseq.max(opseq);
+    }
+
+    fn mark_effective(&mut self) {
+        self.last_effective = self.now;
+    }
+
+    /// Processes every queued event admitted by `bound`, up to `budget`
+    /// events. Returns `(processed, exhausted_at)`: `exhausted_at` is
+    /// set when the budget ran out with an admitted event still pending
+    /// (the caller decides whether that is a real budget error or just a
+    /// flush chunk boundary).
+    fn run_window(&mut self, shared: &Shared, bound: WindowBound, budget: u64) -> WindowOutcome {
+        let mut done = 0u64;
+        while let Some((time, _)) = self.queue.peek() {
+            if !bound.admits(time) {
+                break;
+            }
+            if done >= budget {
+                return (done, Some(self.now));
+            }
+            let (time, key, event) = self.queue.pop().expect("peeked");
+            self.now = self.now.max(time);
+            self.cur_time = self.now;
+            self.cur_key = key;
+            self.dispatch(shared, event);
+            done += 1;
+        }
+        (done, None)
+    }
+
+    /// Pops and processes exactly one event (the region's earliest),
+    /// returning its time. Callers guarantee the queue is non-empty.
+    fn step_one(&mut self, shared: &Shared) -> SimTime {
+        let (time, key, event) = self.queue.pop().expect("step_one on an empty region");
+        self.now = self.now.max(time);
+        self.cur_time = self.now;
+        self.cur_key = key;
+        self.dispatch(shared, event);
+        self.now
+    }
+
+    fn dispatch(&mut self, shared: &Shared, event: Event<P::Msg>) {
+        match event {
+            Event::Deliver { from, to, msg } => {
+                self.stats.events.deliveries += 1;
+                self.inflight -= 1;
+                // Liveness check via the receiver's cached neighbor map:
+                // one dense-slot lookup instead of a graph adjacency query
+                // per delivery (the cache is re-synced on topology change).
+                let live = self
+                    .slot(shared, to)
+                    .is_some_and(|s| s.neighbors.contains_key(&from));
+                if !live {
+                    self.stats.dropped_dead_receiver += 1;
+                    self.counts.push(CountOp::DroppedDead);
+                    return;
+                }
+                self.stats.messages_delivered += 1;
+                self.stats.adverts_delivered += P::advert_count(msg.as_ref());
+                self.counts.push(CountOp::Delivered);
+                let l = self.local_checked(shared, to).expect("slot checked above");
+                let now = self.now;
+                let mut fx = std::mem::take(&mut self.fx_scratch);
+                let slot = self
+                    .slots
+                    .get_mut(NodeId::new(l))
+                    .expect("slot checked above");
+                let now_local = slot.clock.local(now);
+                slot.node.on_receive(from, msg.as_ref(), now_local, &mut fx);
+                self.apply_effects(shared, to, &mut fx, None);
+                fx.clear();
+                self.fx_scratch = fx;
+                self.reevaluate(shared, to);
+            }
+            Event::GuardTimer {
+                node,
+                action,
+                generation,
+            } => {
+                self.stats.events.guard_timers += 1;
+                let Some(l) = self.local_checked(shared, node) else {
+                    return; // node failed in the meantime
+                };
+                let now = self.now;
+                let Some(slot) = self.slots.get_mut(NodeId::new(l)) else {
+                    return; // node failed in the meantime
+                };
+                let Some(track) = slot.guards.get(&action) else {
+                    return; // guard was disabled in the meantime
+                };
+                if track.generation != generation {
+                    return; // guard was disabled and re-enabled later
+                }
+                // Continuously enabled for the hold-time: execute.
+                self.stats.events.guard_fires += 1;
+                slot.guards.remove(&action);
+                if !P::is_maintenance(action) {
+                    self.enabled_non_maintenance -= 1;
+                }
+                let now_local = slot.clock.local(now);
+                let mut fx = std::mem::take(&mut self.fx_scratch);
+                slot.node.execute(action, now_local, &mut fx);
+                self.apply_effects(shared, node, &mut fx, Some(action));
+                fx.clear();
+                self.fx_scratch = fx;
+                self.reevaluate(shared, node);
+            }
+            Event::Wakeup { node } => {
+                self.stats.events.wakeups += 1;
+                // Only the wakeup matching the pending schedule is live;
+                // anything else is a stale duplicate (superseded by an
+                // earlier re-request) and must NOT re-evaluate — a stale
+                // wakeup that re-evaluates pushes yet another wakeup, and
+                // duplicates then multiply exponentially (a "wakeup
+                // storm", caught by the determinism test under drifting
+                // clocks).
+                let now = self.now;
+                let Some(slot) = self.slot_mut(shared, node) else {
+                    return;
+                };
+                match slot.pending_wakeup {
+                    Some((t, wl)) if t == now => {
+                        slot.pending_wakeup = None;
+                        self.reevaluate_floored(shared, node, Some(wl));
+                    }
+                    _ => {}
+                }
+            }
+            Event::PacketHop { packet } => {
+                let p = self.arena.take(packet);
+                self.dispatch_packet(shared, p);
+            }
+            Event::PortDrain { from, to } => {
+                self.stats.events.port_drains += 1;
+                self.drain_port(shared, from, to);
+            }
+            Event::FlowAck { flow, ack, marked } => {
+                self.stats.events.flow_acks += 1;
+                self.flow_on_ack(shared, flow, ack, marked);
+            }
+            Event::FlowTimer { flow, generation } => {
+                self.stats.events.flow_timers += 1;
+                self.flow_on_timer(shared, flow, generation);
+            }
+        }
+    }
+
+    /// Re-syncs `v`'s route-view entry through the ordered observability
+    /// stream (applied at the barrier, in canonical order).
+    fn refresh_view(&mut self, shared: &Shared, v: NodeId) {
+        let entry = self.slot(shared, v).map(|s| ViewEntry {
+            route: s.node.route_entry(),
+            containment: s.node.in_containment(),
+        });
+        self.obs(ObsOp::View(v, entry));
+    }
+
+    fn apply_effects(
+        &mut self,
+        shared: &Shared,
+        from: NodeId,
+        fx: &mut Effects<P::Msg>,
+        action: Option<ActionId>,
+    ) {
+        let effective =
+            fx.var_changed || fx.mirror_changed || action.is_some_and(|a| !P::is_maintenance(a));
+        if let Some(a) = action {
+            self.obs(ObsOp::Action(ActionRecord {
+                time: self.now,
+                node: from,
+                action: a,
+                name: P::action_name(a),
+                maintenance: P::is_maintenance(a),
+                var_changed: fx.var_changed,
+            }));
+        } else if fx.var_changed {
+            self.obs(ObsOp::ReceiveChange(self.now, from));
+        }
+        if effective {
+            self.mark_effective();
+            self.refresh_view(shared, from);
+        }
+        for (target, msg) in fx.sends.drain(..) {
+            match target {
+                SendTarget::Broadcast => {
+                    // One allocation per send: every fan-out copy holds a
+                    // handle to the same payload. Fan-out reads the
+                    // sender's cached neighbor map, not graph adjacency.
+                    let msg = Arc::new(msg);
+                    let mut scratch = std::mem::take(&mut self.scratch);
+                    if let Some(slot) = self.slot(shared, from) {
+                        scratch.extend(slot.neighbors.keys().copied());
+                    }
+                    for &n in &scratch {
+                        self.schedule_delivery(shared, from, n, Arc::clone(&msg));
+                    }
+                    scratch.clear();
+                    self.scratch = scratch;
+                }
+                SendTarget::To(n) => {
+                    if self
+                        .slot(shared, from)
+                        .is_some_and(|s| s.neighbors.contains_key(&n))
+                    {
+                        self.schedule_delivery(shared, from, n, Arc::new(msg));
+                    }
+                }
+            }
+        }
+    }
+
+    fn schedule_delivery(&mut self, shared: &Shared, from: NodeId, to: NodeId, msg: Arc<P::Msg>) {
+        self.stats.messages_sent += 1;
+        self.stats.adverts_sent += P::advert_count(msg.as_ref());
+        self.counts.push(CountOp::Sent(from));
+        let lf = NodeId::new(shared.map.local(from));
+        let seed = shared.config.seed;
+        let loss_probability = match shared.config.link.loss {
+            LossModel::Iid(p) => p,
+            LossModel::GilbertElliott(ge) => {
+                // Advance the edge's chain one step, then lose by state.
+                let state = self.links.entry(lf, to);
+                let flip = if state.ge_bad {
+                    ge.p_bad_to_good
+                } else {
+                    ge.p_good_to_bad
+                };
+                if flip > 0.0 {
+                    let bits = rng::draw(
+                        seed,
+                        rng::DOMAIN_CTRL,
+                        from.raw(),
+                        to.raw(),
+                        state.ctrl_draws,
+                    );
+                    state.ctrl_draws += 1;
+                    if rng::chance(bits, flip) {
+                        state.ge_bad = !state.ge_bad;
+                    }
+                }
+                if state.ge_bad {
+                    ge.loss_bad
+                } else {
+                    ge.loss_good
+                }
+            }
+        };
+        if loss_probability > 0.0 {
+            let state = self.links.entry(lf, to);
+            let bits = rng::draw(
+                seed,
+                rng::DOMAIN_CTRL,
+                from.raw(),
+                to.raw(),
+                state.ctrl_draws,
+            );
+            state.ctrl_draws += 1;
+            if rng::chance(bits, loss_probability) {
+                self.stats.dropped_lossy_link += 1;
+                self.counts.push(CountOp::DroppedLossy);
+                return;
+            }
+        }
+        let dup_p = shared.config.link.duplicate_probability;
+        let duplicate = dup_p > 0.0 && {
+            let state = self.links.entry(lf, to);
+            let bits = rng::draw(
+                seed,
+                rng::DOMAIN_CTRL,
+                from.raw(),
+                to.raw(),
+                state.ctrl_draws,
+            );
+            state.ctrl_draws += 1;
+            rng::chance(bits, dup_p)
+        };
+        if duplicate {
+            self.stats.messages_duplicated += 1;
+            self.counts.push(CountOp::Duplicated);
+            let at = self.link_arrival_time(shared, lf, from, to);
+            self.emit_deliver(shared, at, from, to, Arc::clone(&msg));
+        }
+        let at = self.link_arrival_time(shared, lf, from, to);
+        self.emit_deliver(shared, at, from, to, msg);
+    }
+
+    /// Routes one delivery to its receiver's region: local pushes go
+    /// straight into this queue, remote ones are staged for the barrier.
+    fn emit_deliver(
+        &mut self,
+        shared: &Shared,
+        at: SimTime,
+        from: NodeId,
+        to: NodeId,
+        msg: Arc<P::Msg>,
+    ) {
+        let key = self.lane_key(shared, from, false);
+        self.inflight += 1;
+        let region = shared.map.region(to).unwrap_or(0);
+        if region == self.index {
+            self.push_local(at, key, Event::Deliver { from, to, msg });
+        } else {
+            self.staged.push(Staged::Deliver {
+                time: at,
+                key,
+                region,
+                from,
+                to,
+                msg,
+            });
+        }
+    }
+
+    /// Samples one copy's arrival time: uniform delay in the configured
+    /// bounds, clamped to the edge's previous delivery when FIFO is on.
+    /// Equal arrival times are fine — the `(time, key)` queue order
+    /// delivers them in send order. The result is always at least
+    /// `now + delay_min`, which is what makes the window width `W =
+    /// delay_min` a safe lookahead.
+    fn link_arrival_time(
+        &mut self,
+        shared: &Shared,
+        lf: NodeId,
+        from: NodeId,
+        to: NodeId,
+    ) -> SimTime {
+        let link = &shared.config.link;
+        let delay = if link.delay_min == link.delay_max {
+            link.delay_min
+        } else {
+            let state = self.links.entry(lf, to);
+            let bits = rng::draw(
+                shared.config.seed,
+                rng::DOMAIN_CTRL,
+                from.raw(),
+                to.raw(),
+                state.ctrl_draws,
+            );
+            state.ctrl_draws += 1;
+            rng::range(bits, link.delay_min, link.delay_max)
+        };
+        let mut at = self.now + delay;
+        if link.fifo {
+            let state = self.links.entry(lf, to);
+            if let Some(last) = state.fifo_last {
+                at = at.max(last);
+            }
+            state.fifo_last = Some(at);
+        }
+        at
+    }
+
+    /// Re-evaluates the guards of `v` against its current state, updating
+    /// continuous-enablement tracking and (re)scheduling hold timers and
+    /// wakeups.
+    fn reevaluate(&mut self, shared: &Shared, v: NodeId) {
+        self.reevaluate_floored(shared, v, None);
+    }
+
+    /// [`Core::reevaluate`], with the node's local clock reading floored
+    /// to `floor` when given. Used when a wakeup fires: the node asked to
+    /// be re-evaluated at local reading `wl`, but the conversion back from
+    /// real time can round a hair *below* `wl`, leaving the guard still
+    /// "not yet due" and re-requesting the same wakeup forever. Flooring
+    /// the reading to the requested value guarantees the guard sees the
+    /// instant it asked for.
+    fn reevaluate_floored(&mut self, shared: &Shared, v: NodeId, floor: Option<f64>) {
+        let Some(local) = self.local_checked(shared, v) else {
+            return;
+        };
+        let lid = NodeId::new(local);
+        if local as usize >= self.guard_gen.len() {
+            self.guard_gen.resize(local as usize + 1, 0);
+        }
+        let Some(slot) = self.slots.get(lid) else {
+            return;
+        };
+        let clock = slot.clock;
+        let mut now_local = clock.local(self.now);
+        if let Some(f) = floor {
+            now_local = now_local.max(f);
+        }
+        let mut set = std::mem::take(&mut self.enabled_scratch);
+        set.clear();
+        slot.node.enabled_actions_into(now_local, &mut set);
+        let counter = &mut self.enabled_non_maintenance;
+        let slot = self.slots.get_mut(lid).expect("checked above");
+        let tracked = &mut slot.guards;
+        // An action stays "continuously enabled" only while its guard is
+        // true AND its fingerprint (the values the guard witnesses) is
+        // unchanged; otherwise the hold restarts. Guard sets are a
+        // handful of entries, so membership and fingerprint lookups are
+        // linear scans — no per-call set allocation.
+        tracked.retain(|id, track| {
+            let keep = set.is_enabled(*id)
+                && set.fingerprint_of(*id).unwrap_or(track.fingerprint) == track.fingerprint;
+            if !keep && !P::is_maintenance(*id) {
+                *counter -= 1;
+            }
+            keep
+        });
+        let mut to_schedule = std::mem::take(&mut self.schedule_scratch);
+        for &(id, hold) in &set.actions {
+            if let std::collections::btree_map::Entry::Vacant(e) = tracked.entry(id) {
+                self.guard_gen[local as usize] += 1;
+                let generation = self.guard_gen[local as usize];
+                let fingerprint = set.fingerprint_of(id).unwrap_or(0);
+                e.insert(GuardTrack {
+                    generation,
+                    fingerprint,
+                });
+                if !P::is_maintenance(id) {
+                    *counter += 1;
+                }
+                let fire = self.now + clock.real_duration(hold.max(0.0));
+                to_schedule.push((id, fire, generation));
+            }
+        }
+        for &(id, fire, generation) in &to_schedule {
+            let key = self.lane_key(shared, v, false);
+            self.push_local(
+                fire,
+                key,
+                Event::GuardTimer {
+                    node: v,
+                    action: id,
+                    generation,
+                },
+            );
+        }
+        to_schedule.clear();
+        self.schedule_scratch = to_schedule;
+        if let Some(wl) = set.wakeup_local {
+            // `real_time_at_local` never returns a time before `now`; a
+            // wakeup may therefore land *at* `now` (same instant, later in
+            // `(time, key)` order), where the floored re-evaluation above
+            // guarantees progress instead of an epsilon nudge.
+            let t = clock.real_time_at_local(wl, self.now);
+            let now = self.now;
+            let slot = self.slots.get_mut(lid).expect("checked above");
+            let earlier_pending = slot
+                .pending_wakeup
+                .is_some_and(|(pending, _)| pending <= t && pending >= now);
+            if !earlier_pending {
+                slot.pending_wakeup = Some((t, wl));
+                let key = self.lane_key(shared, v, false);
+                self.push_local(t, key, Event::Wakeup { node: v });
+            }
+        }
+        set.clear();
+        self.enabled_scratch = set;
+    }
+
+    // ------------------------------------------------------------------
+    // Data plane: the packet lane.
+    // ------------------------------------------------------------------
+
+    fn complete_packet(&mut self, shared: &Shared, p: Packet, status: PacketStatus) {
+        self.packets_in_flight -= 1;
+        self.packets_in_flight_weight -= p.weight as i64;
+        let t = &mut self.stats.traffic;
+        let w = p.weight;
+        match status {
+            PacketStatus::Delivered => {
+                t.delivered += w;
+                t.delivered_hops += w * u64::from(p.hops);
+            }
+            PacketStatus::BlackHoled { .. } => t.black_holed += w,
+            PacketStatus::LinkDown { .. } => t.link_down += w,
+            PacketStatus::Looped { .. } => t.looped += w,
+            PacketStatus::TtlExpired => t.ttl_expired += w,
+            PacketStatus::Lost { .. } => t.lost += w,
+            PacketStatus::QueueDropped { .. } => t.queue_dropped += w,
+        }
+        self.obs(ObsOp::PacketDone(PacketRecord {
+            src: p.src,
+            dest: p.dest,
+            status,
+            hops: p.hops,
+            cost: p.cost,
+            weight: w,
+            injected_at: p.injected_at,
+            completed_at: self.now,
+            marked: p.marked,
+            flow: p.flow,
+        }));
+        // A delivered flow segment reaches the Go-Back-N receiver.
+        if status == PacketStatus::Delivered {
+            if let Some(tag) = p.flow {
+                self.flow_on_delivery(shared, tag, p.dest, p.marked, p.injected_at);
+            }
+        }
+    }
+
+    /// The loss probability a packet faces on `from -> to` right now.
+    /// Reads the Gilbert–Elliott chain state without advancing it — the
+    /// chain belongs to the control plane's message stream.
+    fn packet_loss_probability(&self, shared: &Shared, lf: NodeId, to: NodeId) -> f64 {
+        match shared.config.link.loss {
+            LossModel::Iid(p) => p,
+            LossModel::GilbertElliott(ge) => {
+                let bad = self.links.get(lf, to).is_some_and(|s| s.ge_bad);
+                if bad {
+                    ge.loss_bad
+                } else {
+                    ge.loss_good
+                }
+            }
+        }
+    }
+
+    /// One data-plane hop: the packet has arrived at `p.at`; deliver it,
+    /// drop it, or forward it one hop along the live route table.
+    fn dispatch_packet(&mut self, shared: &Shared, mut p: Packet) {
+        self.stats.events.packet_hops += 1;
+        // The node holding the packet fail-stopped while it was in flight.
+        let Some(slot) = self.slot(shared, p.at) else {
+            let at = p.at;
+            return self.complete_packet(shared, p, PacketStatus::LinkDown { at });
+        };
+        if p.at == p.dest {
+            return self.complete_packet(shared, p, PacketStatus::Delivered);
+        }
+        // Next hop from the node's *live* route state toward this packet's
+        // destination (multi-destination planes override the lookup).
+        let next = match slot.node.route_entry_toward(p.dest) {
+            Some(e) if e.distance != Distance::Infinite && e.parent != p.at => e.parent,
+            _ => {
+                let at = p.at;
+                return self.complete_packet(shared, p, PacketStatus::BlackHoled { at });
+            }
+        };
+        // The route may point across an edge that no longer exists.
+        let Some(&edge_weight) = slot.neighbors.get(&next) else {
+            let at = p.at;
+            return self.complete_packet(shared, p, PacketStatus::LinkDown { at });
+        };
+        if p.hops >= p.ttl {
+            return self.complete_packet(shared, p, PacketStatus::TtlExpired);
+        }
+        if let Some(cycle_len) = p.brent_step(next) {
+            return self.complete_packet(shared, p, PacketStatus::Looped { cycle_len });
+        }
+        let lf = NodeId::new(shared.map.local(p.at));
+        let seed = shared.config.seed;
+        let loss = self.packet_loss_probability(shared, lf, next);
+        if loss > 0.0 {
+            let state = self.links.entry(lf, next);
+            let bits = rng::draw(
+                seed,
+                rng::DOMAIN_DATA,
+                p.at.raw(),
+                next.raw(),
+                state.data_draws,
+            );
+            state.data_draws += 1;
+            if rng::chance(bits, loss) {
+                let at = p.at;
+                return self.complete_packet(shared, p, PacketStatus::Lost { at });
+            }
+        }
+        let link = &shared.config.link;
+        let delay = if link.delay_min == link.delay_max {
+            link.delay_min
+        } else {
+            let state = self.links.entry(lf, next);
+            let bits = rng::draw(
+                seed,
+                rng::DOMAIN_DATA,
+                p.at.raw(),
+                next.raw(),
+                state.data_draws,
+            );
+            state.data_draws += 1;
+            rng::range(bits, link.delay_min, link.delay_max)
+        };
+        // `upstream` is the node that forwarded the packet *into* `p.at` —
+        // the port a PFC pause frame from here must silence.
+        let upstream = p.came_from;
+        let from = p.at;
+        p.came_from = Some(from);
+        p.at = next;
+        p.hops += 1;
+        p.cost += edge_weight;
+        if shared.config.congestion.enabled() {
+            // Congestion lane: the packet must first win a slot in the
+            // egress queue of port `(from, next)` and serialize at the
+            // link rate; the propagation delay starts when serialization
+            // completes. Loss and delay were drawn above, in the same
+            // stream order as the unlimited lane.
+            self.enqueue_packet(shared, from, next, upstream, p, delay);
+        } else {
+            // Unlimited lane: a hop is one propagation delay.
+            let at = self.now + delay;
+            self.emit_packet(shared, at, from, p);
+        }
+    }
+
+    /// Routes a forwarded packet to the region owning its next node:
+    /// local packets re-enter this arena, remote ones travel by value.
+    fn emit_packet(&mut self, shared: &Shared, at: SimTime, from: NodeId, p: Packet) {
+        let key = self.lane_key(shared, from, true);
+        let region = shared.map.region(p.at).unwrap_or(0);
+        if region == self.index {
+            let packet = self.arena.alloc(p);
+            self.push_local(at, key, Event::PacketHop { packet });
+        } else {
+            self.staged.push(Staged::Packet {
+                time: at,
+                key,
+                region,
+                packet: p,
+            });
+        }
+    }
+
+    /// Admits a forwarded packet into the egress queue of port
+    /// `(from, to)` under the configured discipline, scheduling a drain
+    /// when the port is idle (congestion lane only).
+    fn enqueue_packet(
+        &mut self,
+        shared: &Shared,
+        from: NodeId,
+        to: NodeId,
+        upstream: Option<NodeId>,
+        mut p: Packet,
+        prop_delay: f64,
+    ) {
+        let capacity = shared.config.congestion.queue_capacity;
+        let rate = shared
+            .config
+            .congestion
+            .link_rate
+            .expect("enqueue_packet requires a finite link rate");
+        let lf = NodeId::new(shared.map.local(from));
+        let occupancy = self.ports.get(lf, to).map_or(0, |s| s.occupancy);
+        let verdict = shared.discipline.admit(occupancy, p.weight, capacity);
+        if verdict.pause_upstream > 0.0 {
+            // Backpressure one hop upstream (802.3x-style pause quanta);
+            // packets injected *at* `from` have no upstream port to pause.
+            if let Some(u) = upstream {
+                self.stats.congestion.pause_frames += 1;
+                let region = shared.map.region(u).unwrap_or(0);
+                if region == self.index {
+                    let lu = NodeId::new(shared.map.local(u));
+                    let port = self.ports.entry(lu, from);
+                    let base = port.paused_until.max(self.now);
+                    port.paused_until = base + verdict.pause_upstream;
+                } else {
+                    // Zero-lookahead cross-region write: only reachable in
+                    // lockstep mode, where the barrier applies it before
+                    // the next event anywhere.
+                    self.staged.push(Staged::Pause {
+                        region,
+                        upstream: u,
+                        from,
+                        at: self.now,
+                        quantum: verdict.pause_upstream,
+                    });
+                }
+            }
+        }
+        if !verdict.admit {
+            return self.complete_packet(shared, p, PacketStatus::QueueDropped { at: from });
+        }
+        if verdict.mark {
+            p.marked = true;
+            self.stats.congestion.ecn_marks += p.weight;
+        }
+        let ser = p.weight as f64 / rate;
+        let weight = p.weight;
+        let packet = self.arena.alloc(p);
+        let now = self.now;
+        let port = self.ports.entry(lf, to);
+        port.occupancy += weight;
+        debug_assert!(
+            capacity.is_none_or(|cap| port.occupancy <= cap),
+            "port occupancy exceeded capacity — discipline bug"
+        );
+        port.queue.push_back(QueuedPacket {
+            packet,
+            weight,
+            prop_delay,
+        });
+        let occupancy = port.occupancy;
+        let idle = !port.draining;
+        let start = port.paused_until.max(now);
+        if idle {
+            port.draining = true;
+        }
+        self.stats.congestion.peak_port_occupancy =
+            self.stats.congestion.peak_port_occupancy.max(occupancy);
+        if idle {
+            // The arriving packet is the head: it finishes serializing
+            // one `weight / rate` after the port is free to transmit.
+            let key = self.lane_key(shared, from, true);
+            self.push_local(start + ser, key, Event::PortDrain { from, to });
+        }
+    }
+
+    /// The head of port `(from, to)` finished serializing: release it
+    /// onto the wire (its propagation delay starts now) and schedule the
+    /// next serialization, honoring any PFC pause in force.
+    fn drain_port(&mut self, shared: &Shared, from: NodeId, to: NodeId) {
+        let rate = shared
+            .config
+            .congestion
+            .link_rate
+            .expect("port drain on an unlimited link");
+        let alive = self
+            .slot(shared, from)
+            .is_some_and(|s| s.neighbors.contains_key(&to));
+        let lf = NodeId::new(shared.map.local(from));
+        let port = self.ports.entry(lf, to);
+        if port.queue.is_empty() {
+            port.draining = false;
+            return;
+        }
+        if !alive {
+            // The transmitting node or the edge died while packets were
+            // queued: nothing will ever serialize again — flush the whole
+            // queue as link-down losses.
+            let flushed = std::mem::take(&mut port.queue);
+            port.occupancy = 0;
+            port.draining = false;
+            for q in flushed {
+                let p = self.arena.take(q.packet);
+                self.complete_packet(shared, p, PacketStatus::LinkDown { at: from });
+            }
+            return;
+        }
+        if self.now < port.paused_until {
+            // Paused mid-queue: defer the head's release to the pause
+            // horizon (pause frames arriving later extend it again).
+            let t = port.paused_until;
+            let key = self.lane_key(shared, from, true);
+            self.push_local(t, key, Event::PortDrain { from, to });
+            return;
+        }
+        let q = port.queue.pop_front().expect("checked non-empty");
+        port.occupancy -= q.weight;
+        let next_ser = port.queue.front().map(|h| h.weight as f64 / rate);
+        if next_ser.is_none() {
+            port.draining = false;
+        }
+        if let Some(ser) = next_ser {
+            let key = self.lane_key(shared, from, true);
+            self.push_local(self.now + ser, key, Event::PortDrain { from, to });
+        }
+        // Release: re-route by the packet's (already-advanced) holder —
+        // the hop may land in another region.
+        let p = self.arena.take(q.packet);
+        let at = self.now + q.prop_delay;
+        self.emit_packet(shared, at, from, p);
+    }
+
+    // ------------------------------------------------------------------
+    // Data plane: Go-Back-N flows.
+    // ------------------------------------------------------------------
+
+    /// A delivered segment reaches the Go-Back-N receiver (this region
+    /// owns the destination): advance `recv_next` on in-order arrival
+    /// (out-of-order segments are discarded — that is Go-Back-N), then
+    /// return a cumulative ACK to the sender's home region. The ACK's
+    /// reverse-path delay mirrors the data packet's own one-way latency
+    /// (symmetric-path model); ACKs are pure control and not subject to
+    /// loss or queueing. The receiver no longer consults sender-side
+    /// `done` state (it lives in another region): segments delivered
+    /// after full coverage still ACK, and the sender ignores them.
+    fn flow_on_delivery(
+        &mut self,
+        shared: &Shared,
+        tag: FlowTag,
+        dest: NodeId,
+        marked: bool,
+        injected_at: SimTime,
+    ) {
+        let recv_next = self.flow_recv.entry(tag.flow).or_insert(0);
+        if tag.seq == *recv_next {
+            *recv_next += 1;
+        }
+        let ack = *recv_next;
+        let delay = self
+            .now
+            .since(injected_at)
+            .max(shared.config.link.delay_min);
+        let at = self.now + delay;
+        let key = self.lane_key(shared, dest, true);
+        let region = shared
+            .flow_home
+            .get(tag.flow as usize)
+            .copied()
+            .unwrap_or(0);
+        if region == self.index {
+            self.push_local(
+                at,
+                key,
+                Event::FlowAck {
+                    flow: tag.flow,
+                    ack,
+                    marked,
+                },
+            );
+        } else {
+            self.staged.push(Staged::FlowAck {
+                time: at,
+                key,
+                region,
+                flow: tag.flow,
+                ack,
+                marked,
+            });
+        }
+    }
+
+    /// A cumulative ACK reaches the sender: slide the window, feed the
+    /// congestion algorithm, restart the retransmit timer while data is
+    /// outstanding, and complete the flow on full coverage.
+    fn flow_on_ack(&mut self, shared: &Shared, id: u32, ack: u64, marked: bool) {
+        let Some(f) = self.flows.get_mut(&id) else {
+            return;
+        };
+        if f.done {
+            return;
+        }
+        if marked {
+            f.marks += 1;
+            f.cc.on_mark();
+        }
+        let mut arm_timer = None;
+        let src = f.src;
+        if ack > f.base {
+            let advanced = ack - f.base;
+            f.base = ack;
+            self.stats.congestion.flow_acked_weight += advanced * f.config.seg_weight;
+            for _ in 0..advanced {
+                f.cc.on_ack();
+            }
+            // Fresh evidence of a live path: reset the backoff.
+            f.rto = f.config.rto_initial;
+            f.timer_generation += 1;
+            if f.base >= f.config.segments {
+                return self.finish_flow(id);
+            }
+            arm_timer = Some((f.rto, f.timer_generation));
+        }
+        if let Some((rto, generation)) = arm_timer {
+            let at = self.now + rto;
+            let key = self.lane_key(shared, src, true);
+            self.push_local(
+                at,
+                key,
+                Event::FlowTimer {
+                    flow: id,
+                    generation,
+                },
+            );
+        }
+        self.flow_pump(shared, id);
+    }
+
+    /// The retransmit timer fires: exponential backoff, congestion
+    /// response, and the Go-Back-N resend of everything outstanding.
+    fn flow_on_timer(&mut self, shared: &Shared, id: u32, generation: u64) {
+        let Some(f) = self.flows.get_mut(&id) else {
+            return;
+        };
+        if f.done || f.timer_generation != generation {
+            return;
+        }
+        // An endpoint fail-stopped: the flow can never complete — abort
+        // it instead of backing off forever. Liveness comes from the
+        // shared map (the endpoints may live in other regions).
+        let up = |v: NodeId| shared.alive.get(v.raw() as usize).copied().unwrap_or(false);
+        if !up(f.src) || !up(f.dest) {
+            return self.finish_flow(id);
+        }
+        f.timeouts += 1;
+        self.stats.congestion.flow_timeouts += 1;
+        f.cc.on_timeout();
+        f.rto = (f.rto * 2.0).min(f.config.rto_max);
+        let outstanding = f.next_seq - f.base;
+        f.retransmitted += outstanding * f.config.seg_weight;
+        self.stats.congestion.flow_retransmit_weight += outstanding * f.config.seg_weight;
+        f.next_seq = f.base;
+        f.timer_generation += 1;
+        let generation = f.timer_generation;
+        let src = f.src;
+        let at = self.now + f.rto;
+        let key = self.lane_key(shared, src, true);
+        self.push_local(
+            at,
+            key,
+            Event::FlowTimer {
+                flow: id,
+                generation,
+            },
+        );
+        self.flow_pump(shared, id);
+    }
+
+    /// Transmits segments while the congestion window has room. Segments
+    /// start at the flow's source, which is owned by this region (flows
+    /// are homed where their source lives), so pumping never stages.
+    fn flow_pump(&mut self, shared: &Shared, id: u32) {
+        loop {
+            let Some(f) = self.flows.get_mut(&id) else {
+                return;
+            };
+            if f.done {
+                return;
+            }
+            let limit = (f.base + f.cc.window()).min(f.config.segments);
+            if f.next_seq >= limit {
+                return;
+            }
+            let seq = f.next_seq;
+            f.next_seq += 1;
+            let (src, dest, ttl, weight) = (f.src, f.dest, f.config.ttl, f.config.seg_weight);
+            // Flows scheduled ahead of the event loop transmit their
+            // initial window at the flow's start time, not "now".
+            let t = self.now.max(f.started_at);
+            self.stats.traffic.injected += weight;
+            self.packets_in_flight += 1;
+            self.packets_in_flight_weight += weight as i64;
+            let mut p = Packet::new(src, dest, ttl, weight, t);
+            p.flow = Some(FlowTag { flow: id, seq });
+            self.emit_packet(shared, t, src, p);
+        }
+    }
+
+    /// Terminal transition: records the flow and stales its timer.
+    fn finish_flow(&mut self, id: u32) {
+        let f = self.flows.get_mut(&id).expect("finishing an unknown flow");
+        f.done = true;
+        f.timer_generation += 1;
+        let record = FlowRecord {
+            id,
+            src: f.src,
+            dest: f.dest,
+            segments: f.config.segments,
+            seg_weight: f.config.seg_weight,
+            acked_segments: f.base,
+            started_at: f.started_at,
+            finished_at: self.now,
+            retransmitted: f.retransmitted,
+            timeouts: f.timeouts,
+            marks: f.marks,
+        };
+        self.active_flows -= 1;
+        self.obs(ObsOp::FlowDone(record));
+    }
+
+    /// Re-syncs `v`'s neighbor cache from the graph and lets the node
+    /// observe the change (driver context only — the graph is engine
+    /// state).
+    fn neighbors_changed(&mut self, shared: &Shared, graph: &Graph, v: NodeId) {
+        let Some(l) = self.local_checked(shared, v) else {
+            return;
+        };
+        let now = self.now;
+        let mut fx = std::mem::take(&mut self.fx_scratch);
+        let Some(slot) = self.slots.get_mut(NodeId::new(l)) else {
+            self.fx_scratch = fx;
+            return;
+        };
+        slot.neighbors.clear();
+        slot.neighbors.extend(graph.neighbors(v));
+        let now_local = slot.clock.local(now);
+        let Slot {
+            node, neighbors, ..
+        } = slot;
+        node.on_neighbors_changed(neighbors, now_local, &mut fx);
+        self.apply_effects(shared, v, &mut fx, None);
+        fx.clear();
+        self.fx_scratch = fx;
+        self.reevaluate(shared, v);
+    }
+}
+
+/// `(events processed, budget-exhausted at)` for one region's window.
+type WindowOutcome = (u64, Option<SimTime>);
+
+/// The region-parallel discrete-event engine (see the module docs for
+/// the execution model; the public API is unchanged from the sequential
+/// engine, plus [`Engine::regions`]).
+pub struct Engine<P: ProtocolNode> {
+    graph: Graph,
+    shared: Shared,
+    cores: Vec<Core<P>>,
+    sink: Box<dyn TraceSink>,
+    /// The always-current dense route view (see [`crate::view`]),
+    /// updated only through the ordered observability stream.
     view: RouteView,
-    /// Dedicated data-plane RNG. Packet delays and loss draw from this
-    /// stream (never from `rng`) and Gilbert–Elliott chains are read
-    /// without being advanced, so the control-plane trajectory is
-    /// byte-identical with and without traffic.
-    rng_traffic: StdRng,
-    /// Packet probes currently queued (unweighted).
-    packets_in_flight: u64,
-    /// Represented packets currently in flight (weighted): the exact gap
-    /// between `traffic.injected` and `traffic.completed()`, maintained
-    /// independently so packet conservation is a checkable invariant.
-    packets_in_flight_weight: u64,
-    /// Completed packets awaiting [`Engine::drain_completed_packets`].
+    now: SimTime,
+    /// Last effective instant caused by a *driver* mutation (faults,
+    /// state corruption); per-event effectiveness lives in the cores.
+    last_effective_driver: SimTime,
+    factory: NodeFactory<P>,
+    /// Driver-context observability sequence, threaded across cores so
+    /// multi-region driver mutations replay in call order.
+    driver_opseq: u64,
+    /// Conservative lockstep mode (PFC pause with several regions; see
+    /// the module docs).
+    lockstep: bool,
+    /// Conservative window width `W = link.delay_min`.
+    window: f64,
+    /// Completed packets awaiting [`Engine::drain_completed_packets`],
+    /// in canonical completion order.
     completed_packets: Vec<PacketRecord>,
-    /// Slab storage for in-flight packets; `PacketHop` events and port
-    /// queues hold `u32` indices into it.
-    arena: PacketArena,
-    /// Per-directed-edge egress queues (congestion lane; empty while the
-    /// lane is disabled).
-    ports: EdgeSlots<PortState>,
-    /// The instantiated queue discipline.
-    discipline: Box<dyn QueueDiscipline>,
-    /// All flows ever started, indexed by flow id (terminal flows keep
-    /// their slot so ids stay stable).
-    flows: Vec<FlowState>,
-    /// Flows not yet completed or aborted.
-    active_flows: usize,
     /// Finished flows awaiting [`Engine::drain_completed_flows`].
     completed_flows: Vec<FlowRecord>,
+    /// Reusable drain buffer for staged cross-region effects.
+    staged_merge: Vec<Staged<P::Msg>>,
 }
 
 impl<P: ProtocolNode> fmt::Debug for Engine<P> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("Engine")
             .field("now", &self.now)
-            .field("nodes", &self.slots.len())
-            .field("inflight", &self.inflight)
-            .field("queued_events", &self.queue.len())
+            .field(
+                "nodes",
+                &self.cores.iter().map(|c| c.slots.len()).sum::<usize>(),
+            )
+            .field("inflight", &self.inflight_messages())
+            .field(
+                "queued_events",
+                &self.cores.iter().map(|c| c.queue.len()).sum::<usize>(),
+            )
             .finish_non_exhaustive()
     }
 }
@@ -317,6 +1684,9 @@ impl<P: ProtocolNode> Engine<P> {
     /// graph node via `factory` (which receives the node id and its initial
     /// neighbor/weight map). Guards are evaluated immediately, so actions
     /// enabled at the initial state start their hold timers at time 0.
+    /// The topology is partitioned into [`EngineConfig::regions`] connected
+    /// regions up front; nodes joining later are homed with their first
+    /// mapped neighbor.
     pub fn new(
         graph: Graph,
         config: EngineConfig,
@@ -325,50 +1695,62 @@ impl<P: ProtocolNode> Engine<P> {
         config.link.validate();
         config.congestion.validate();
         let discipline = config.congestion.discipline.build();
-        let scheduler = config.scheduler;
+        let sink = config.sink.build();
+        let part = partition(&graph, config.regions.max(1));
+        let mut map = RegionMap::new(part.regions.len());
+        for (r, nodes) in part.regions.iter().enumerate() {
+            for &v in nodes {
+                map.assign(v, r as u32);
+            }
+        }
+        let lockstep = part.regions.len() > 1
+            && config.congestion.enabled()
+            && matches!(config.congestion.discipline, DisciplineKind::Pause { .. });
+        let window = config.link.delay_min;
+        let cores = (0..part.regions.len())
+            .map(|i| Core::new(i as u32, &config))
+            .collect();
+        let shared = Shared {
+            config,
+            discipline,
+            map,
+            alive: Vec::new(),
+            flow_home: Vec::new(),
+        };
         let mut engine = Engine {
             graph,
-            rng: StdRng::seed_from_u64(config.seed),
-            // Domain-separated from the control-plane stream: same seed,
-            // different generator, so traffic never perturbs convergence.
-            rng_traffic: StdRng::seed_from_u64(config.seed ^ 0x5452_4146_4643_u64),
-            sink: config.sink.build(),
-            config,
-            slots: NodeSlots::new(),
-            queue: EventQueue::new(scheduler),
-            links: EdgeSlots::new(),
-            inflight: 0,
-            stats: EngineStats::default(),
-            now: SimTime::ZERO,
-            generation: 0,
-            last_effective: SimTime::ZERO,
-            factory: Box::new(factory),
-            scratch: Vec::new(),
-            fx_scratch: Effects::new(),
-            enabled_scratch: EnabledSet::none(),
-            schedule_scratch: Vec::new(),
-            enabled_non_maintenance: 0,
+            shared,
+            cores,
+            sink,
             view: RouteView::default(),
-            packets_in_flight: 0,
-            packets_in_flight_weight: 0,
+            now: SimTime::ZERO,
+            last_effective_driver: SimTime::ZERO,
+            factory: Box::new(factory),
+            driver_opseq: 0,
+            lockstep,
+            window,
             completed_packets: Vec::new(),
-            arena: PacketArena::default(),
-            ports: EdgeSlots::new(),
-            discipline,
-            flows: Vec::new(),
-            active_flows: 0,
             completed_flows: Vec::new(),
+            staged_merge: Vec::new(),
         };
         let ids: Vec<NodeId> = engine.graph.nodes().collect();
         for &v in &ids {
             engine.spawn_node(v);
         }
         for v in ids {
-            engine.reevaluate(v);
+            let r = engine.shared.map.region(v).expect("spawned above") as usize;
+            let opseq = engine.driver_opseq;
+            let core = &mut engine.cores[r];
+            core.begin_driver(SimTime::ZERO, opseq);
+            core.reevaluate(&engine.shared, v);
+            engine.driver_opseq = core.opseq;
         }
+        engine.end_driver();
         engine
     }
 
+    /// Instantiates `v`'s protocol node and installs its slot in its home
+    /// region (the region assignment must already exist).
     fn spawn_node(&mut self, v: NodeId) {
         let neighbors: BTreeMap<NodeId, Weight> = self.graph.neighbors(v).collect();
         let node = (self.factory)(v, &neighbors);
@@ -379,16 +1761,44 @@ impl<P: ProtocolNode> Engine<P> {
                 containment: node.in_containment(),
             }),
         );
-        self.slots.insert(
-            v,
+        let idx = v.raw() as usize;
+        if idx >= self.shared.alive.len() {
+            self.shared.alive.resize(idx + 1, false);
+        }
+        self.shared.alive[idx] = true;
+        let r = self
+            .shared
+            .map
+            .region(v)
+            .expect("node assigned to a region before spawn") as usize;
+        let local = NodeId::new(self.shared.map.local(v));
+        let clock = self
+            .shared
+            .config
+            .clocks
+            .clock_for(v, self.shared.config.seed);
+        self.cores[r].slots.insert(
+            local,
             Slot {
                 node,
-                clock: self.config.clocks.clock_for(v, self.config.seed),
+                clock,
                 guards: BTreeMap::new(),
                 neighbors,
                 pending_wakeup: None,
             },
         );
+    }
+
+    /// Closes a driver-context mutation: staged cross-region effects
+    /// enter their target queues and buffered observability is applied
+    /// in canonical order.
+    fn end_driver(&mut self) {
+        self.ingest_staged(None);
+        self.flush();
+    }
+
+    fn mark_effective(&mut self) {
+        self.last_effective_driver = self.now;
     }
 
     /// Current simulated time.
@@ -399,6 +1809,12 @@ impl<P: ProtocolNode> Engine<P> {
     /// The current topology.
     pub fn graph(&self) -> &Graph {
         &self.graph
+    }
+
+    /// Number of regions the topology was partitioned into (1 = fully
+    /// sequential execution).
+    pub fn regions(&self) -> usize {
+        self.cores.len()
     }
 
     /// The execution trace so far. When the configured sink keeps no trace
@@ -427,18 +1843,34 @@ impl<P: ProtocolNode> Engine<P> {
 
     /// Read access to a protocol node.
     pub fn node(&self, v: NodeId) -> Option<&P> {
-        self.slots.get(v).map(|s| &s.node)
+        let r = self.shared.map.region(v)? as usize;
+        let l = NodeId::new(self.shared.map.local(v));
+        self.cores.get(r)?.slots.get(l).map(|s| &s.node)
     }
 
     /// Mutates a node's state in place (the *state corruption* fault class)
     /// and re-evaluates its guards. Does nothing for unknown nodes.
     pub fn with_node_mut(&mut self, v: NodeId, f: impl FnOnce(&mut P)) {
-        if let Some(slot) = self.slots.get_mut(v) {
-            f(&mut slot.node);
-            self.refresh_view(v);
-            self.mark_effective();
-            self.reevaluate(v);
+        let Some(r) = self.shared.map.region(v) else {
+            return;
+        };
+        let l = NodeId::new(self.shared.map.local(v));
+        if self.cores[r as usize].slots.get(l).is_none() {
+            return;
         }
+        let now = self.now;
+        let opseq = self.driver_opseq;
+        let core = &mut self.cores[r as usize];
+        core.begin_driver(now, opseq);
+        if let Some(slot) = core.slots.get_mut(l) {
+            f(&mut slot.node);
+        }
+        core.refresh_view(&self.shared, v);
+        core.mark_effective();
+        core.reevaluate(&self.shared, v);
+        self.driver_opseq = core.opseq;
+        self.last_effective_driver = now;
+        self.end_driver();
     }
 
     /// The current route table (each node's `(d.v, p.v)`), served from the
@@ -475,54 +1907,62 @@ impl<P: ProtocolNode> Engine<P> {
         self.view.trim(cursor);
     }
 
-    /// Re-syncs `v`'s view entry from its protocol node (no-op when
-    /// nothing observable changed).
-    fn refresh_view(&mut self, v: NodeId) {
-        let new = self.slots.get(v).map(|s| ViewEntry {
-            route: s.node.route_entry(),
-            containment: s.node.in_containment(),
-        });
-        self.view.record(v, new);
-    }
-
     /// Whether any node is currently involved in a containment wave.
     pub fn any_in_containment(&self) -> bool {
-        self.slots.values().any(|s| s.node.in_containment())
+        self.cores
+            .iter()
+            .flat_map(|c| c.slots.values())
+            .any(|s| s.node.in_containment())
     }
 
-    /// Number of messages currently in flight.
+    /// Number of messages currently in flight. Cross-region messages
+    /// increment at the sender's region and decrement at the receiver's;
+    /// the global sum is the true count.
     pub fn inflight_messages(&self) -> u64 {
-        self.inflight
+        let sum: i64 = self.cores.iter().map(|c| c.inflight).sum();
+        u64::try_from(sum.max(0)).unwrap_or(0)
     }
 
     /// Whether any non-maintenance guard is currently enabled somewhere.
-    /// O(1): the engine maintains the count at every guard insert/removal.
+    /// O(regions): each region maintains its count at every guard
+    /// insert/removal.
     pub fn any_enabled_non_maintenance(&self) -> bool {
+        let total: usize = self.cores.iter().map(|c| c.enabled_non_maintenance).sum();
         debug_assert_eq!(
-            self.enabled_non_maintenance,
-            self.slots
-                .values()
+            total,
+            self.cores
+                .iter()
+                .flat_map(|c| c.slots.values())
                 .flat_map(|s| s.guards.keys())
                 .filter(|&&a| !P::is_maintenance(a))
                 .count(),
             "non-maintenance guard counter drifted"
         );
-        self.enabled_non_maintenance > 0
+        total > 0
     }
 
-    /// The last time an effective event occurred.
+    /// The last time an effective event occurred (anywhere).
     pub fn last_effective(&self) -> SimTime {
-        self.last_effective
+        let mut le = self.last_effective_driver;
+        for core in &self.cores {
+            le = le.max(core.last_effective);
+        }
+        le
     }
 
     /// Processed-event counts by kind (see [`EventCounts`]).
     pub fn event_counts(&self) -> EventCounts {
-        self.stats.events
+        self.stats().events
     }
 
-    /// Always-on engine health statistics (see [`EngineStats`]).
+    /// Always-on engine health statistics, merged across regions (see
+    /// [`EngineStats`]).
     pub fn stats(&self) -> EngineStats {
-        self.stats
+        let mut s = EngineStats::default();
+        for core in &self.cores {
+            s.absorb(&core.stats);
+        }
+        s
     }
 
     // ------------------------------------------------------------------
@@ -558,274 +1998,49 @@ impl<P: ProtocolNode> Engine<P> {
     ) {
         assert!(weight > 0, "packet probes must represent >= 1 packet");
         let at = at.max(self.now);
-        self.stats.traffic.injected += weight;
-        self.packets_in_flight += 1;
-        self.packets_in_flight_weight += weight;
-        let packet = self.arena.alloc(Packet::new(src, dest, ttl, weight, at));
-        self.push(at, Event::PacketHop { packet });
+        let r = self.shared.map.region(src).unwrap_or(0) as usize;
+        let now = self.now;
+        let opseq = self.driver_opseq;
+        let core = &mut self.cores[r];
+        core.begin_driver(now, opseq);
+        core.stats.traffic.injected += weight;
+        core.packets_in_flight += 1;
+        core.packets_in_flight_weight += weight as i64;
+        let key = core.lane_key(&self.shared, src, true);
+        let packet = core.arena.alloc(Packet::new(src, dest, ttl, weight, at));
+        core.push_local(at, key, Event::PacketHop { packet });
+        self.driver_opseq = core.opseq;
     }
 
     /// Packet probes currently queued (unweighted count).
     pub fn packets_in_flight(&self) -> u64 {
-        self.packets_in_flight
+        let sum: i64 = self.cores.iter().map(|c| c.packets_in_flight).sum();
+        u64::try_from(sum.max(0)).unwrap_or(0)
     }
 
     /// Represented packets currently in flight (weighted). Packet
     /// conservation — `injected == completed() + packets_in_flight_weight`
     /// at every instant — is an engine invariant the congestion tests pin.
     pub fn packets_in_flight_weight(&self) -> u64 {
-        self.packets_in_flight_weight
+        let sum: i64 = self.cores.iter().map(|c| c.packets_in_flight_weight).sum();
+        u64::try_from(sum.max(0)).unwrap_or(0)
     }
 
-    /// Takes every packet completed since the last drain, in completion
-    /// order. Consumers driving traffic should drain regularly — records
-    /// accumulate until taken.
+    /// Takes every packet completed since the last drain, in canonical
+    /// completion order. Consumers driving traffic should drain regularly
+    /// — records accumulate until taken.
     pub fn drain_completed_packets(&mut self) -> Vec<PacketRecord> {
         std::mem::take(&mut self.completed_packets)
-    }
-
-    fn complete_packet(&mut self, p: Packet, status: PacketStatus) {
-        self.packets_in_flight -= 1;
-        self.packets_in_flight_weight -= p.weight;
-        let t = &mut self.stats.traffic;
-        let w = p.weight;
-        match status {
-            PacketStatus::Delivered => {
-                t.delivered += w;
-                t.delivered_hops += w * u64::from(p.hops);
-            }
-            PacketStatus::BlackHoled { .. } => t.black_holed += w,
-            PacketStatus::LinkDown { .. } => t.link_down += w,
-            PacketStatus::Looped { .. } => t.looped += w,
-            PacketStatus::TtlExpired => t.ttl_expired += w,
-            PacketStatus::Lost { .. } => t.lost += w,
-            PacketStatus::QueueDropped { .. } => t.queue_dropped += w,
-        }
-        self.completed_packets.push(PacketRecord {
-            src: p.src,
-            dest: p.dest,
-            status,
-            hops: p.hops,
-            cost: p.cost,
-            weight: w,
-            injected_at: p.injected_at,
-            completed_at: self.now,
-            marked: p.marked,
-            flow: p.flow,
-        });
-        // A delivered flow segment reaches the Go-Back-N receiver.
-        if status == PacketStatus::Delivered {
-            if let Some(tag) = p.flow {
-                self.flow_on_delivery(tag, p.marked, p.injected_at);
-            }
-        }
-    }
-
-    /// The loss probability a packet faces on `from -> to` right now.
-    /// Reads the Gilbert–Elliott chain state without advancing it — the
-    /// chain belongs to the control plane's message stream.
-    fn packet_loss_probability(&self, from: NodeId, to: NodeId) -> f64 {
-        match self.config.link.loss {
-            LossModel::Iid(p) => p,
-            LossModel::GilbertElliott(ge) => {
-                let bad = self.links.get(from, to).is_some_and(|s| s.ge_bad);
-                if bad {
-                    ge.loss_bad
-                } else {
-                    ge.loss_good
-                }
-            }
-        }
-    }
-
-    /// One data-plane hop: the packet has arrived at `p.at`; deliver it,
-    /// drop it, or forward it one hop along the live route table.
-    fn dispatch_packet(&mut self, mut p: Packet) {
-        self.stats.events.packet_hops += 1;
-        // The node holding the packet fail-stopped while it was in flight.
-        let Some(slot) = self.slots.get(p.at) else {
-            return self.complete_packet(p, PacketStatus::LinkDown { at: p.at });
-        };
-        if p.at == p.dest {
-            return self.complete_packet(p, PacketStatus::Delivered);
-        }
-        // Next hop from the node's *live* route state toward this packet's
-        // destination (multi-destination planes override the lookup).
-        let next = match slot.node.route_entry_toward(p.dest) {
-            Some(e) if e.distance != Distance::Infinite && e.parent != p.at => e.parent,
-            _ => return self.complete_packet(p, PacketStatus::BlackHoled { at: p.at }),
-        };
-        // The route may point across an edge that no longer exists.
-        let Some(&edge_weight) = slot.neighbors.get(&next) else {
-            return self.complete_packet(p, PacketStatus::LinkDown { at: p.at });
-        };
-        if p.hops >= p.ttl {
-            return self.complete_packet(p, PacketStatus::TtlExpired);
-        }
-        if let Some(cycle_len) = p.brent_step(next) {
-            return self.complete_packet(p, PacketStatus::Looped { cycle_len });
-        }
-        let loss = self.packet_loss_probability(p.at, next);
-        if loss > 0.0 && self.rng_traffic.gen_bool(loss) {
-            return self.complete_packet(p, PacketStatus::Lost { at: p.at });
-        }
-        let delay = if self.config.link.delay_min == self.config.link.delay_max {
-            self.config.link.delay_min
-        } else {
-            self.rng_traffic
-                .gen_range(self.config.link.delay_min..=self.config.link.delay_max)
-        };
-        // `upstream` is the node that forwarded the packet *into* `p.at` —
-        // the port a PFC pause frame from here must silence.
-        let upstream = p.came_from;
-        let from = p.at;
-        p.came_from = Some(from);
-        p.at = next;
-        p.hops += 1;
-        p.cost += edge_weight;
-        if self.config.congestion.enabled() {
-            // Congestion lane: the packet must first win a slot in the
-            // egress queue of port `(from, next)` and serialize at the
-            // link rate; the propagation delay starts when serialization
-            // completes. Loss and delay were drawn above, in the same RNG
-            // order as the unlimited lane.
-            self.enqueue_packet(from, next, upstream, p, delay);
-        } else {
-            // Unlimited PR-5 lane: a hop is one propagation delay.
-            let at = self.now + delay;
-            let packet = self.arena.alloc(p);
-            self.push(at, Event::PacketHop { packet });
-        }
-    }
-
-    /// Admits a forwarded packet into the egress queue of port
-    /// `(from, to)` under the configured discipline, scheduling a drain
-    /// when the port is idle (congestion lane only).
-    fn enqueue_packet(
-        &mut self,
-        from: NodeId,
-        to: NodeId,
-        upstream: Option<NodeId>,
-        mut p: Packet,
-        prop_delay: f64,
-    ) {
-        let capacity = self.config.congestion.queue_capacity;
-        let rate = self
-            .config
-            .congestion
-            .link_rate
-            .expect("enqueue_packet requires a finite link rate");
-        let occupancy = self.ports.get(from, to).map_or(0, |s| s.occupancy);
-        let verdict = self.discipline.admit(occupancy, p.weight, capacity);
-        if verdict.pause_upstream > 0.0 {
-            // Backpressure one hop upstream (802.3x-style pause quanta);
-            // packets injected *at* `from` have no upstream port to pause.
-            if let Some(u) = upstream {
-                self.stats.congestion.pause_frames += 1;
-                let port = self.ports.entry(u, from);
-                let base = port.paused_until.max(self.now);
-                port.paused_until = base + verdict.pause_upstream;
-            }
-        }
-        if !verdict.admit {
-            return self.complete_packet(p, PacketStatus::QueueDropped { at: from });
-        }
-        if verdict.mark {
-            p.marked = true;
-            self.stats.congestion.ecn_marks += p.weight;
-        }
-        let ser = p.weight as f64 / rate;
-        let weight = p.weight;
-        let packet = self.arena.alloc(p);
-        let port = self.ports.entry(from, to);
-        port.occupancy += weight;
-        debug_assert!(
-            capacity.is_none_or(|cap| port.occupancy <= cap),
-            "port occupancy exceeded capacity — discipline bug"
-        );
-        port.queue.push_back(QueuedPacket {
-            packet,
-            weight,
-            prop_delay,
-        });
-        let occupancy = port.occupancy;
-        let idle = !port.draining;
-        let start = port.paused_until.max(self.now);
-        if idle {
-            port.draining = true;
-        }
-        self.stats.congestion.peak_port_occupancy =
-            self.stats.congestion.peak_port_occupancy.max(occupancy);
-        if idle {
-            // The arriving packet is the head: it finishes serializing
-            // one `weight / rate` after the port is free to transmit.
-            self.push(start + ser, Event::PortDrain { from, to });
-        }
-    }
-
-    /// The head of port `(from, to)` finished serializing: release it
-    /// onto the wire (its propagation delay starts now) and schedule the
-    /// next serialization, honoring any PFC pause in force.
-    fn drain_port(&mut self, from: NodeId, to: NodeId) {
-        let rate = self
-            .config
-            .congestion
-            .link_rate
-            .expect("port drain on an unlimited link");
-        let alive = self
-            .slots
-            .get(from)
-            .is_some_and(|s| s.neighbors.contains_key(&to));
-        let port = self.ports.entry(from, to);
-        if port.queue.is_empty() {
-            port.draining = false;
-            return;
-        }
-        if !alive {
-            // The transmitting node or the edge died while packets were
-            // queued: nothing will ever serialize again — flush the whole
-            // queue as link-down losses.
-            let flushed = std::mem::take(&mut port.queue);
-            port.occupancy = 0;
-            port.draining = false;
-            for q in flushed {
-                let p = self.arena.take(q.packet);
-                self.complete_packet(p, PacketStatus::LinkDown { at: from });
-            }
-            return;
-        }
-        if self.now < port.paused_until {
-            // Paused mid-queue: defer the head's release to the pause
-            // horizon (pause frames arriving later extend it again).
-            let t = port.paused_until;
-            self.push(t, Event::PortDrain { from, to });
-            return;
-        }
-        let q = port.queue.pop_front().expect("checked non-empty");
-        port.occupancy -= q.weight;
-        let next_ser = port.queue.front().map(|h| h.weight as f64 / rate);
-        if next_ser.is_none() {
-            port.draining = false;
-        }
-        if let Some(ser) = next_ser {
-            self.push(self.now + ser, Event::PortDrain { from, to });
-        }
-        self.push(
-            self.now + q.prop_delay,
-            Event::PacketHop { packet: q.packet },
-        );
     }
 
     // ------------------------------------------------------------------
     // Data plane: Go-Back-N flows.
     // ------------------------------------------------------------------
 
-    /// Starts a stateful Go-Back-N flow transferring
-    /// `config.segments` segments of weight `config.seg_weight` from
-    /// `src` to `dest`, returning its id. The initial window is sent
-    /// immediately and the retransmit timer armed; from here the flow
-    /// drives itself through the event queue until every segment is
-    /// cumulatively acknowledged (see [`crate::flow`]).
+    /// Starts a Go-Back-N flow of `config.segments` segments from `src`
+    /// to `dest` at the current time, returning its id. The flow is homed
+    /// in `src`'s region: its sender state, timers and ACK processing all
+    /// live there.
     ///
     /// # Panics
     ///
@@ -854,33 +2069,45 @@ impl<P: ProtocolNode> Engine<P> {
         config.validate();
         assert!(src != dest, "a flow needs two distinct endpoints");
         assert!(at >= self.now, "flow start times cannot be in the past");
-        let id = u32::try_from(self.flows.len()).expect("flow ids fit u32");
-        self.stats.congestion.flow_offered_weight += config.segments * config.seg_weight;
-        self.flows.push(FlowState {
-            src,
-            dest,
-            cc: config.cc.build(),
-            base: 0,
-            next_seq: 0,
-            recv_next: 0,
-            rto: config.rto_initial,
-            timer_generation: 1,
-            retransmitted: 0,
-            timeouts: 0,
-            marks: 0,
-            started_at: at,
-            done: false,
-            config,
-        });
-        self.active_flows += 1;
-        self.push(
+        let id = u32::try_from(self.shared.flow_home.len()).expect("flow ids fit u32");
+        let home = self.shared.map.region(src).unwrap_or(0);
+        self.shared.flow_home.push(home);
+        let now = self.now;
+        let opseq = self.driver_opseq;
+        let core = &mut self.cores[home as usize];
+        core.begin_driver(now, opseq);
+        core.stats.congestion.flow_offered_weight += config.segments * config.seg_weight;
+        core.flows.insert(
+            id,
+            FlowState {
+                src,
+                dest,
+                cc: config.cc.build(),
+                base: 0,
+                next_seq: 0,
+                rto: config.rto_initial,
+                timer_generation: 1,
+                retransmitted: 0,
+                timeouts: 0,
+                marks: 0,
+                started_at: at,
+                done: false,
+                config,
+            },
+        );
+        core.active_flows += 1;
+        let key = core.lane_key(&self.shared, src, true);
+        core.push_local(
             at + config.rto_initial,
+            key,
             Event::FlowTimer {
                 flow: id,
                 generation: 1,
             },
         );
-        self.flow_pump(id);
+        core.flow_pump(&self.shared, id);
+        self.driver_opseq = core.opseq;
+        self.end_driver();
         id
     }
 
@@ -888,11 +2115,11 @@ impl<P: ProtocolNode> Engine<P> {
     /// treat a run with active flows as not-yet-drained, exactly like
     /// `packets_in_flight() > 0`.
     pub fn flows_active(&self) -> usize {
-        self.active_flows
+        self.cores.iter().map(|c| c.active_flows).sum()
     }
 
-    /// Takes every flow finished since the last drain, in completion
-    /// order.
+    /// Takes every flow finished since the last drain, in canonical
+    /// completion order.
     pub fn drain_completed_flows(&mut self) -> Vec<FlowRecord> {
         std::mem::take(&mut self.completed_flows)
     }
@@ -902,168 +2129,11 @@ impl<P: ProtocolNode> Engine<P> {
     /// contributes to `acked` exactly once, when the cumulative ACK first
     /// covers it.
     pub fn flow_goodput(&self) -> (u64, u64) {
+        let s = self.stats();
         (
-            self.stats.congestion.flow_acked_weight,
-            self.stats.congestion.flow_offered_weight,
+            s.congestion.flow_acked_weight,
+            s.congestion.flow_offered_weight,
         )
-    }
-
-    /// A delivered segment reaches the Go-Back-N receiver: advance
-    /// `recv_next` on in-order arrival (out-of-order segments are
-    /// discarded — that is Go-Back-N), then return a cumulative ACK to
-    /// the sender. The ACK's reverse-path delay mirrors the data
-    /// packet's own one-way latency (symmetric-path model); ACKs are
-    /// pure control and not subject to loss or queueing.
-    fn flow_on_delivery(&mut self, tag: FlowTag, marked: bool, injected_at: SimTime) {
-        let Some(f) = self.flows.get_mut(tag.flow as usize) else {
-            return;
-        };
-        if f.done {
-            return;
-        }
-        if tag.seq == f.recv_next {
-            f.recv_next += 1;
-        }
-        let ack = f.recv_next;
-        let delay = self.now.since(injected_at).max(self.config.link.delay_min);
-        let at = self.now + delay;
-        self.push(
-            at,
-            Event::FlowAck {
-                flow: tag.flow,
-                ack,
-                marked,
-            },
-        );
-    }
-
-    /// A cumulative ACK reaches the sender: slide the window, feed the
-    /// congestion algorithm, restart the retransmit timer while data is
-    /// outstanding, and complete the flow on full coverage.
-    fn flow_on_ack(&mut self, id: u32, ack: u64, marked: bool) {
-        let Some(f) = self.flows.get_mut(id as usize) else {
-            return;
-        };
-        if f.done {
-            return;
-        }
-        if marked {
-            f.marks += 1;
-            f.cc.on_mark();
-        }
-        let mut arm_timer = None;
-        if ack > f.base {
-            let advanced = ack - f.base;
-            f.base = ack;
-            self.stats.congestion.flow_acked_weight += advanced * f.config.seg_weight;
-            for _ in 0..advanced {
-                f.cc.on_ack();
-            }
-            // Fresh evidence of a live path: reset the backoff.
-            f.rto = f.config.rto_initial;
-            f.timer_generation += 1;
-            if f.base >= f.config.segments {
-                return self.finish_flow(id);
-            }
-            arm_timer = Some((f.rto, f.timer_generation));
-        }
-        if let Some((rto, generation)) = arm_timer {
-            let at = self.now + rto;
-            self.push(
-                at,
-                Event::FlowTimer {
-                    flow: id,
-                    generation,
-                },
-            );
-        }
-        self.flow_pump(id);
-    }
-
-    /// The retransmit timer fires: exponential backoff, congestion
-    /// response, and the Go-Back-N resend of everything outstanding.
-    fn flow_on_timer(&mut self, id: u32, generation: u64) {
-        let Some(f) = self.flows.get_mut(id as usize) else {
-            return;
-        };
-        if f.done || f.timer_generation != generation {
-            return;
-        }
-        // An endpoint fail-stopped: the flow can never complete — abort
-        // it instead of backing off forever.
-        if !self.slots.contains(f.src) || !self.slots.contains(f.dest) {
-            return self.finish_flow(id);
-        }
-        f.timeouts += 1;
-        self.stats.congestion.flow_timeouts += 1;
-        f.cc.on_timeout();
-        f.rto = (f.rto * 2.0).min(f.config.rto_max);
-        let outstanding = f.next_seq - f.base;
-        f.retransmitted += outstanding * f.config.seg_weight;
-        self.stats.congestion.flow_retransmit_weight += outstanding * f.config.seg_weight;
-        f.next_seq = f.base;
-        f.timer_generation += 1;
-        let generation = f.timer_generation;
-        let at = self.now + f.rto;
-        self.push(
-            at,
-            Event::FlowTimer {
-                flow: id,
-                generation,
-            },
-        );
-        self.flow_pump(id);
-    }
-
-    /// Transmits segments while the congestion window has room.
-    fn flow_pump(&mut self, id: u32) {
-        loop {
-            let Some(f) = self.flows.get_mut(id as usize) else {
-                return;
-            };
-            if f.done {
-                return;
-            }
-            let limit = (f.base + f.cc.window()).min(f.config.segments);
-            if f.next_seq >= limit {
-                return;
-            }
-            let seq = f.next_seq;
-            f.next_seq += 1;
-            let (src, dest, ttl, weight) = (f.src, f.dest, f.config.ttl, f.config.seg_weight);
-            // Flows scheduled ahead of the event loop transmit their
-            // initial window at the flow's start time, not "now".
-            let t = self.now.max(f.started_at);
-            self.stats.traffic.injected += weight;
-            self.packets_in_flight += 1;
-            self.packets_in_flight_weight += weight;
-            let mut p = Packet::new(src, dest, ttl, weight, t);
-            p.flow = Some(FlowTag { flow: id, seq });
-            let packet = self.arena.alloc(p);
-            self.push(t, Event::PacketHop { packet });
-        }
-    }
-
-    /// Terminal transition: records the flow and stales its timer.
-    fn finish_flow(&mut self, id: u32) {
-        let f = &mut self.flows[id as usize];
-        f.done = true;
-        f.timer_generation += 1;
-        let record = FlowRecord {
-            id,
-            src: f.src,
-            dest: f.dest,
-            segments: f.config.segments,
-            seg_weight: f.config.seg_weight,
-            acked_segments: f.base,
-            started_at: f.started_at,
-            finished_at: self.now,
-            retransmitted: f.retransmitted,
-            timeouts: f.timeouts,
-            marks: f.marks,
-        };
-        self.active_flows -= 1;
-        self.completed_flows.push(record);
     }
 
     // ------------------------------------------------------------------
@@ -1079,23 +2149,33 @@ impl<P: ProtocolNode> Engine<P> {
     pub fn fail_node(&mut self, v: NodeId) -> Result<(), GraphError> {
         let neighbors: Vec<NodeId> = self.graph.neighbors(v).map(|(n, _)| n).collect();
         self.graph.remove_node(v)?;
-        if let Some(slot) = self.slots.remove(v) {
-            self.enabled_non_maintenance -= slot
-                .guards
-                .keys()
-                .filter(|&&a| !P::is_maintenance(a))
-                .count();
+        if let Some(r) = self.shared.map.region(v) {
+            let l = NodeId::new(self.shared.map.local(v));
+            let core = &mut self.cores[r as usize];
+            if let Some(slot) = core.slots.remove(l) {
+                core.enabled_non_maintenance -= slot
+                    .guards
+                    .keys()
+                    .filter(|&&a| !P::is_maintenance(a))
+                    .count();
+            }
+        }
+        if let Some(s) = self.shared.alive.get_mut(v.raw() as usize) {
+            *s = false;
         }
         self.view.record(v, None);
         self.mark_effective();
         for n in neighbors {
             self.notify_neighbors_changed(n);
         }
+        self.end_driver();
         Ok(())
     }
 
     /// Joins a new node with the given edges; it and its neighbors observe
-    /// the change.
+    /// the change. A first-time joiner is homed with its lowest-id mapped
+    /// neighbor (region 0 when isolated); a rejoining node keeps its
+    /// original region — assignments are sticky.
     ///
     /// # Errors
     ///
@@ -1111,12 +2191,19 @@ impl<P: ProtocolNode> Engine<P> {
                 return Err(e);
             }
         }
+        let home = edges
+            .iter()
+            .filter_map(|&(n, _)| self.shared.map.region(n).map(|r| (n, r)))
+            .min_by_key(|&(n, _)| n)
+            .map_or(0, |(_, r)| r);
+        self.shared.map.assign(v, home);
         self.spawn_node(v);
         self.mark_effective();
         self.notify_neighbors_changed(v);
         for &(n, _) in edges {
             self.notify_neighbors_changed(n);
         }
+        self.end_driver();
         Ok(())
     }
 
@@ -1130,6 +2217,7 @@ impl<P: ProtocolNode> Engine<P> {
         self.mark_effective();
         self.notify_neighbors_changed(a);
         self.notify_neighbors_changed(b);
+        self.end_driver();
         Ok(())
     }
 
@@ -1149,6 +2237,7 @@ impl<P: ProtocolNode> Engine<P> {
         self.mark_effective();
         self.notify_neighbors_changed(a);
         self.notify_neighbors_changed(b);
+        self.end_driver();
         Ok(())
     }
 
@@ -1162,48 +2251,73 @@ impl<P: ProtocolNode> Engine<P> {
         self.mark_effective();
         self.notify_neighbors_changed(a);
         self.notify_neighbors_changed(b);
+        self.end_driver();
         Ok(())
     }
 
+    /// Routes a driver-context neighbor-change notification to `v`'s
+    /// region (no-op for unmapped or failed nodes).
     fn notify_neighbors_changed(&mut self, v: NodeId) {
-        let Some(slot) = self.slots.get_mut(v) else {
+        let Some(r) = self.shared.map.region(v) else {
             return;
         };
-        // Re-sync the slot's neighbor cache, then hand the node a
-        // reference to it — no per-call map rebuild on the protocol side.
-        slot.neighbors.clear();
-        slot.neighbors.extend(self.graph.neighbors(v));
-        let now_local = slot.clock.local(self.now);
-        let mut fx = std::mem::take(&mut self.fx_scratch);
-        let Slot {
-            node, neighbors, ..
-        } = slot;
-        node.on_neighbors_changed(neighbors, now_local, &mut fx);
-        self.apply_effects(v, &mut fx, None);
-        fx.clear();
-        self.fx_scratch = fx;
-        self.reevaluate(v);
+        let now = self.now;
+        let opseq = self.driver_opseq;
+        let core = &mut self.cores[r as usize];
+        core.begin_driver(now, opseq);
+        core.neighbors_changed(&self.shared, &self.graph, v);
+        self.driver_opseq = core.opseq;
     }
 
     // ------------------------------------------------------------------
     // Running.
     // ------------------------------------------------------------------
 
-    /// The time of the earliest queued event, if any.
-    pub fn next_event_time(&self) -> Option<SimTime> {
-        self.queue.peek_time()
+    /// The globally earliest queued `(time, key)` and its region.
+    fn global_next(&self) -> Option<(SimTime, usize)> {
+        let mut best: Option<(SimTime, EventKey, usize)> = None;
+        for (i, core) in self.cores.iter().enumerate() {
+            if let Some((t, k)) = core.queue.peek() {
+                let better = match best {
+                    None => true,
+                    Some((bt, bk, _)) => (t, k) < (bt, bk),
+                };
+                if better {
+                    best = Some((t, k, i));
+                }
+            }
+        }
+        best.map(|(t, _, i)| (t, i))
     }
 
-    /// Processes exactly one event (the earliest) and returns its time —
-    /// the hook fine-grained observers (e.g. the loop monitor checking
-    /// every intermediate state) are built on. Returns `None` when the
-    /// queue is empty.
+    fn queues_empty(&self) -> bool {
+        self.cores.iter().all(|c| c.queue.is_empty())
+    }
+
+    /// Raises the engine clock to the furthest region clock.
+    fn sync_now(&mut self) {
+        for core in &self.cores {
+            self.now = self.now.max(core.now);
+        }
+    }
+
+    /// The time of the earliest queued event, if any.
+    pub fn next_event_time(&self) -> Option<SimTime> {
+        self.global_next().map(|(t, _)| t)
+    }
+
+    /// Processes exactly one event (the globally earliest) and returns
+    /// the clock after it — the hook fine-grained observers (e.g. the
+    /// loop monitor checking every intermediate state) are built on.
+    /// Returns `None` when all queues are empty. Stepping is always
+    /// sequential (a one-event window with an immediate barrier).
     pub fn step(&mut self) -> Option<SimTime> {
-        let (time, _, event) = self.queue.pop()?;
-        self.now = self.now.max(time);
-        let t = self.now;
-        self.dispatch(event);
-        Some(t)
+        let (_, i) = self.global_next()?;
+        let t = self.cores[i].step_one(&self.shared);
+        self.ingest_staged(None);
+        self.flush();
+        self.now = self.now.max(t);
+        Some(self.now)
     }
 
     /// Processes all events up to and including `until`, then advances the
@@ -1215,23 +2329,71 @@ impl<P: ProtocolNode> Engine<P> {
     /// runs out.
     pub fn run_until(&mut self, until: SimTime) -> Result<RunReport, EngineError> {
         let mut events = 0u64;
-        while let Some(next) = self.queue.peek_time() {
-            if next > until {
-                break;
+        let max_events = self.shared.config.max_events;
+        if self.cores.len() == 1 {
+            // Single region: admit the whole span in one window (chunked
+            // so ordered observability flushes periodically). This is
+            // exactly the sequential event loop.
+            let bound = WindowBound::inclusive(until);
+            loop {
+                let budget = max_events.saturating_sub(events).min(OBS_CHUNK);
+                let (done, exhausted) = self.cores[0].run_window(&self.shared, bound, budget);
+                events += done;
+                self.flush();
+                self.sync_now();
+                match exhausted {
+                    Some(at) if events >= max_events => {
+                        return Err(EngineError::EventBudgetExhausted {
+                            at: at.max(self.now),
+                        });
+                    }
+                    Some(_) => continue,
+                    None => break,
+                }
             }
-            if events >= self.config.max_events {
-                return Err(EngineError::EventBudgetExhausted { at: self.now });
+        } else if self.lockstep {
+            // Conservative lockstep: one globally-minimal event per
+            // barrier (see the module docs).
+            while let Some((t, i)) = self.global_next() {
+                if t > until {
+                    break;
+                }
+                if events >= max_events {
+                    return Err(EngineError::EventBudgetExhausted { at: self.now });
+                }
+                let tdone = self.cores[i].step_one(&self.shared);
+                self.ingest_staged(None);
+                self.flush();
+                self.now = self.now.max(tdone);
+                events += 1;
             }
-            let (time, _, event) = self.queue.pop().expect("peeked");
-            self.now = self.now.max(time);
-            self.dispatch(event);
-            events += 1;
+        } else {
+            while let Some((t, _)) = self.global_next() {
+                if t > until {
+                    break;
+                }
+                if events >= max_events {
+                    return Err(EngineError::EventBudgetExhausted { at: self.now });
+                }
+                let bound = WindowBound::exclusive(t + self.window).cap(until);
+                let budget = max_events.saturating_sub(events);
+                let (done, exhausted) = self.execute_window(bound, budget);
+                events += done;
+                self.ingest_staged(Some(bound));
+                self.flush();
+                self.sync_now();
+                if let Some(at) = exhausted {
+                    return Err(EngineError::EventBudgetExhausted {
+                        at: at.max(self.now),
+                    });
+                }
+            }
         }
         self.now = self.now.max(until);
         Ok(RunReport {
             end: self.now,
-            quiescent: self.queue.is_empty(),
-            last_effective: self.last_effective,
+            quiescent: self.queues_empty(),
+            last_effective: self.last_effective(),
             events,
         })
     }
@@ -1239,12 +2401,20 @@ impl<P: ProtocolNode> Engine<P> {
     /// Runs until the system settles or `horizon` passes.
     ///
     /// With `settle = 0` (appropriate when no periodic maintenance action
-    /// is configured), the run ends when the event queue drains. With
+    /// is configured), the run ends when the event queues drain. With
     /// `settle > 0`, the run ends once no *effective* event (state or
     /// mirror change, or non-maintenance execution) has occurred for
     /// `settle` simulated seconds — use a window larger than
     /// `rho * syn_period + delay_max` so periodic refreshes that change
     /// nothing do not keep the system "live".
+    ///
+    /// Windows are capped at `last_effective + settle` and `horizon`, so
+    /// no event a sequential engine would have left unprocessed at its
+    /// stop point is ever executed — stop decisions, event counts and end
+    /// times are region-count-invariant. When a cap lands before the
+    /// window's first event (settle boundary crossed while guards are
+    /// still enabled), the engine degrades to single-event steps until
+    /// the boundary resolves.
     ///
     /// # Errors
     ///
@@ -1255,18 +2425,20 @@ impl<P: ProtocolNode> Engine<P> {
         settle: f64,
     ) -> Result<RunReport, EngineError> {
         let mut events = 0u64;
+        let max_events = self.shared.config.max_events;
         loop {
-            let Some(next_time) = self.queue.peek_time() else {
-                // Queue drained: truly quiescent.
+            let Some((t, i)) = self.global_next() else {
+                // Queues drained: truly quiescent.
                 return Ok(RunReport {
                     end: self.now,
                     quiescent: true,
-                    last_effective: self.last_effective,
+                    last_effective: self.last_effective(),
                     events,
                 });
             };
+            let le = self.last_effective();
             if settle > 0.0
-                && next_time.seconds() > self.last_effective.seconds() + settle
+                && t.seconds() > le.seconds() + settle
                 && !self.any_enabled_non_maintenance()
             {
                 // Nothing effective for a whole settle window and no
@@ -1276,349 +2448,242 @@ impl<P: ProtocolNode> Engine<P> {
                 // divergent mirror would have produced an effective
                 // refresh within the window — callers must use
                 // settle > rho * syn_period + delay_max).
-                self.now = self.now.max(self.last_effective + settle);
+                self.now = self.now.max(le + settle);
                 return Ok(RunReport {
                     end: self.now,
                     quiescent: true,
-                    last_effective: self.last_effective,
+                    last_effective: le,
                     events,
                 });
             }
-            if next_time > horizon {
+            if t > horizon {
                 self.now = horizon;
                 return Ok(RunReport {
                     end: self.now,
                     quiescent: false,
-                    last_effective: self.last_effective,
+                    last_effective: le,
                     events,
                 });
             }
-            if events >= self.config.max_events {
+            if events >= max_events {
                 return Err(EngineError::EventBudgetExhausted { at: self.now });
             }
-            let (time, _, event) = self.queue.pop().expect("peeked");
-            self.now = self.now.max(time);
-            self.dispatch(event);
-            events += 1;
-        }
-    }
-
-    fn dispatch(&mut self, event: Event<P::Msg>) {
-        match event {
-            Event::Deliver { from, to, msg } => {
-                self.stats.events.deliveries += 1;
-                self.inflight -= 1;
-                // Liveness check via the receiver's cached neighbor map:
-                // one dense-slot lookup instead of a graph adjacency query
-                // per delivery (the cache is re-synced on topology change).
-                let Some(slot) = self
-                    .slots
-                    .get_mut(to)
-                    .filter(|s| s.neighbors.contains_key(&from))
-                else {
-                    self.stats.dropped_dead_receiver += 1;
-                    self.sink.count_dropped_dead();
-                    return;
-                };
-                self.stats.messages_delivered += 1;
-                self.stats.adverts_delivered += P::advert_count(msg.as_ref());
-                self.sink.count_delivered();
-                let now_local = slot.clock.local(self.now);
-                let mut fx = std::mem::take(&mut self.fx_scratch);
-                slot.node.on_receive(from, msg.as_ref(), now_local, &mut fx);
-                self.apply_effects(to, &mut fx, None);
-                fx.clear();
-                self.fx_scratch = fx;
-                self.reevaluate(to);
+            let mut bound = WindowBound::exclusive(t + self.window).cap(horizon);
+            if settle > 0.0 {
+                bound = bound.cap(le + settle);
             }
-            Event::GuardTimer {
-                node,
-                action,
-                generation,
-            } => {
-                self.stats.events.guard_timers += 1;
-                let Some(slot) = self.slots.get_mut(node) else {
-                    return; // node failed in the meantime
-                };
-                let Some(track) = slot.guards.get(&action) else {
-                    return; // guard was disabled in the meantime
-                };
-                if track.generation != generation {
-                    return; // guard was disabled and re-enabled later
-                }
-                // Continuously enabled for the hold-time: execute.
-                self.stats.events.guard_fires += 1;
-                slot.guards.remove(&action);
-                if !P::is_maintenance(action) {
-                    self.enabled_non_maintenance -= 1;
-                }
-                let now_local = slot.clock.local(self.now);
-                let mut fx = std::mem::take(&mut self.fx_scratch);
-                slot.node.execute(action, now_local, &mut fx);
-                self.apply_effects(node, &mut fx, Some(action));
-                fx.clear();
-                self.fx_scratch = fx;
-                self.reevaluate(node);
+            if self.lockstep || !bound.admits(t) {
+                // Lockstep discipline, or a stop-condition cap landed
+                // before the window's first event: one sequential step,
+                // then re-check the stop conditions.
+                let tdone = self.cores[i].step_one(&self.shared);
+                self.ingest_staged(None);
+                self.flush();
+                self.now = self.now.max(tdone);
+                events += 1;
+                continue;
             }
-            Event::Wakeup { node } => {
-                self.stats.events.wakeups += 1;
-                // Only the wakeup matching the pending schedule is live;
-                // anything else is a stale duplicate (superseded by an
-                // earlier re-request) and must NOT re-evaluate — a stale
-                // wakeup that re-evaluates pushes yet another wakeup, and
-                // duplicates then multiply exponentially (a "wakeup
-                // storm", caught by the determinism test under drifting
-                // clocks).
-                let Some(slot) = self.slots.get_mut(node) else {
-                    return;
-                };
-                match slot.pending_wakeup {
-                    Some((t, wl)) if t == self.now => {
-                        slot.pending_wakeup = None;
-                        self.reevaluate_floored(node, Some(wl));
-                    }
-                    _ => {}
-                }
-            }
-            Event::PacketHop { packet } => {
-                let p = self.arena.take(packet);
-                self.dispatch_packet(p);
-            }
-            Event::PortDrain { from, to } => {
-                self.stats.events.port_drains += 1;
-                self.drain_port(from, to);
-            }
-            Event::FlowAck { flow, ack, marked } => {
-                self.stats.events.flow_acks += 1;
-                self.flow_on_ack(flow, ack, marked);
-            }
-            Event::FlowTimer { flow, generation } => {
-                self.stats.events.flow_timers += 1;
-                self.flow_on_timer(flow, generation);
-            }
-        }
-    }
-
-    fn apply_effects(&mut self, from: NodeId, fx: &mut Effects<P::Msg>, action: Option<ActionId>) {
-        let effective =
-            fx.var_changed || fx.mirror_changed || action.is_some_and(|a| !P::is_maintenance(a));
-        if let Some(a) = action {
-            self.sink.record_action(
-                ActionRecord {
-                    time: self.now,
-                    node: from,
-                    action: a,
-                    name: P::action_name(a),
-                    maintenance: P::is_maintenance(a),
-                    var_changed: fx.var_changed,
-                },
-                self.config.record_trace,
-            );
-        } else if fx.var_changed {
-            self.sink.record_receive_change(self.now, from);
-        }
-        if effective {
-            self.mark_effective();
-            self.refresh_view(from);
-        }
-        for (target, msg) in fx.sends.drain(..) {
-            match target {
-                SendTarget::Broadcast => {
-                    // One allocation per send: every fan-out copy holds a
-                    // handle to the same payload. Fan-out reads the
-                    // sender's cached neighbor map, not graph adjacency.
-                    let msg = Arc::new(msg);
-                    let mut scratch = std::mem::take(&mut self.scratch);
-                    if let Some(slot) = self.slots.get(from) {
-                        scratch.extend(slot.neighbors.keys().copied());
-                    }
-                    for &n in &scratch {
-                        self.schedule_delivery(from, n, Arc::clone(&msg));
-                    }
-                    scratch.clear();
-                    self.scratch = scratch;
-                }
-                SendTarget::To(n) => {
-                    if self
-                        .slots
-                        .get(from)
-                        .is_some_and(|s| s.neighbors.contains_key(&n))
-                    {
-                        self.schedule_delivery(from, n, Arc::new(msg));
-                    }
-                }
-            }
-        }
-    }
-
-    fn schedule_delivery(&mut self, from: NodeId, to: NodeId, msg: Arc<P::Msg>) {
-        self.stats.messages_sent += 1;
-        self.stats.adverts_sent += P::advert_count(msg.as_ref());
-        self.sink.count_sent(from);
-        let loss_probability = match self.config.link.loss {
-            LossModel::Iid(p) => p,
-            LossModel::GilbertElliott(ge) => {
-                // Advance the edge's chain one step, then lose by state.
-                let state = self.links.entry(from, to);
-                let flip = if state.ge_bad {
-                    ge.p_bad_to_good
-                } else {
-                    ge.p_good_to_bad
-                };
-                if flip > 0.0 && self.rng.gen_bool(flip) {
-                    state.ge_bad = !state.ge_bad;
-                }
-                if state.ge_bad {
-                    ge.loss_bad
-                } else {
-                    ge.loss_good
-                }
-            }
-        };
-        if loss_probability > 0.0 && self.rng.gen_bool(loss_probability) {
-            self.stats.dropped_lossy_link += 1;
-            self.sink.count_dropped_lossy();
-            return;
-        }
-        let duplicate = self.config.link.duplicate_probability > 0.0
-            && self.rng.gen_bool(self.config.link.duplicate_probability);
-        if duplicate {
-            self.stats.messages_duplicated += 1;
-            self.sink.count_duplicated();
-            let at = self.link_arrival_time(from, to);
-            self.inflight += 1;
-            self.push(
-                at,
-                Event::Deliver {
-                    from,
-                    to,
-                    msg: Arc::clone(&msg),
-                },
-            );
-        }
-        let at = self.link_arrival_time(from, to);
-        self.inflight += 1;
-        self.push(at, Event::Deliver { from, to, msg });
-    }
-
-    /// Samples one copy's arrival time: uniform delay in the configured
-    /// bounds, clamped to the edge's previous delivery when FIFO is on.
-    /// Equal arrival times are fine — the `(time, seq)` queue key delivers
-    /// them in send order.
-    fn link_arrival_time(&mut self, from: NodeId, to: NodeId) -> SimTime {
-        let delay = if self.config.link.delay_min == self.config.link.delay_max {
-            self.config.link.delay_min
-        } else {
-            self.rng
-                .gen_range(self.config.link.delay_min..=self.config.link.delay_max)
-        };
-        let mut at = self.now + delay;
-        if self.config.link.fifo {
-            let state = self.links.entry(from, to);
-            if let Some(last) = state.fifo_last {
-                at = at.max(last);
-            }
-            state.fifo_last = Some(at);
-        }
-        at
-    }
-
-    fn push(&mut self, time: SimTime, event: Event<P::Msg>) {
-        self.queue.schedule(time, event);
-        self.stats.peak_queue_depth = self.stats.peak_queue_depth.max(self.queue.len());
-    }
-
-    fn mark_effective(&mut self) {
-        self.last_effective = self.now;
-    }
-
-    /// Re-evaluates the guards of `v` against its current state, updating
-    /// continuous-enablement tracking and (re)scheduling hold timers and
-    /// wakeups.
-    fn reevaluate(&mut self, v: NodeId) {
-        self.reevaluate_floored(v, None);
-    }
-
-    /// [`Engine::reevaluate`], with the node's local clock reading floored
-    /// to `floor` when given. Used when a wakeup fires: the node asked to
-    /// be re-evaluated at local reading `wl`, but the conversion back from
-    /// real time can round a hair *below* `wl`, leaving the guard still
-    /// "not yet due" and re-requesting the same wakeup forever. Flooring
-    /// the reading to the requested value guarantees the guard sees the
-    /// instant it asked for.
-    fn reevaluate_floored(&mut self, v: NodeId, floor: Option<f64>) {
-        let Some(slot) = self.slots.get(v) else {
-            return;
-        };
-        let clock = slot.clock;
-        let mut now_local = clock.local(self.now);
-        if let Some(f) = floor {
-            now_local = now_local.max(f);
-        }
-        let mut set = std::mem::take(&mut self.enabled_scratch);
-        set.clear();
-        slot.node.enabled_actions_into(now_local, &mut set);
-        let counter = &mut self.enabled_non_maintenance;
-        let slot = self.slots.get_mut(v).expect("checked above");
-        let tracked = &mut slot.guards;
-        // An action stays "continuously enabled" only while its guard is
-        // true AND its fingerprint (the values the guard witnesses) is
-        // unchanged; otherwise the hold restarts. Guard sets are a
-        // handful of entries, so membership and fingerprint lookups are
-        // linear scans — no per-call set allocation.
-        tracked.retain(|id, track| {
-            let keep = set.is_enabled(*id)
-                && set.fingerprint_of(*id).unwrap_or(track.fingerprint) == track.fingerprint;
-            if !keep && !P::is_maintenance(*id) {
-                *counter -= 1;
-            }
-            keep
-        });
-        let mut to_schedule = std::mem::take(&mut self.schedule_scratch);
-        for &(id, hold) in &set.actions {
-            if let std::collections::btree_map::Entry::Vacant(e) = tracked.entry(id) {
-                self.generation += 1;
-                let generation = self.generation;
-                let fingerprint = set.fingerprint_of(id).unwrap_or(0);
-                e.insert(GuardTrack {
-                    generation,
-                    fingerprint,
+            let budget = max_events.saturating_sub(events);
+            let (done, exhausted) = self.execute_window(bound, budget);
+            events += done;
+            self.ingest_staged(Some(bound));
+            self.flush();
+            self.sync_now();
+            if let Some(at) = exhausted {
+                return Err(EngineError::EventBudgetExhausted {
+                    at: at.max(self.now),
                 });
-                if !P::is_maintenance(id) {
-                    *counter += 1;
+            }
+        }
+    }
+
+    /// Runs one conservative window on every region, concurrently when
+    /// `jobs > 1`. Regions are split into contiguous chunks, one scoped
+    /// worker thread per chunk; joining in spawn order makes the fold
+    /// deterministic (and the per-region results are order-free anyway).
+    fn execute_window(&mut self, bound: WindowBound, budget: u64) -> WindowOutcome {
+        let Engine { cores, shared, .. } = self;
+        let shared = &*shared;
+        let jobs = shared.config.jobs.max(1).min(cores.len());
+        let outcomes: Vec<WindowOutcome> = if jobs <= 1 {
+            cores
+                .iter_mut()
+                .map(|c| c.run_window(shared, bound, budget))
+                .collect()
+        } else {
+            let chunk = cores.len().div_ceil(jobs);
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = cores
+                    .chunks_mut(chunk)
+                    .map(|part| {
+                        scope.spawn(move || {
+                            part.iter_mut()
+                                .map(|c| c.run_window(shared, bound, budget))
+                                .collect::<Vec<_>>()
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .flat_map(|h| h.join().expect("window worker panicked"))
+                    .collect()
+            })
+        };
+        let mut done = 0u64;
+        let mut exhausted: Option<SimTime> = None;
+        for (d, e) in outcomes {
+            done += d;
+            if let Some(at) = e {
+                exhausted = Some(match exhausted {
+                    Some(prev) => prev.max(at),
+                    None => at,
+                });
+            }
+        }
+        (done, exhausted)
+    }
+
+    /// Moves every staged cross-region effect into its target region at a
+    /// barrier. Event-carrying effects land in the target queue under
+    /// their canonical `(time, key)`; conservative lookahead guarantees
+    /// they lie beyond the window that staged them (asserted when the
+    /// window's bound is known).
+    fn ingest_staged(&mut self, bound: Option<WindowBound>) {
+        let mut buf = std::mem::take(&mut self.staged_merge);
+        for i in 0..self.cores.len() {
+            if self.cores[i].staged.is_empty() {
+                continue;
+            }
+            std::mem::swap(&mut buf, &mut self.cores[i].staged);
+            for s in buf.drain(..) {
+                match s {
+                    Staged::Deliver {
+                        time,
+                        key,
+                        region,
+                        from,
+                        to,
+                        msg,
+                    } => {
+                        debug_assert!(
+                            bound.is_none_or(|b| !b.admits(time)),
+                            "staged delivery inside its own window"
+                        );
+                        self.cores[region as usize].push_local(
+                            time,
+                            key,
+                            Event::Deliver { from, to, msg },
+                        );
+                    }
+                    Staged::Packet {
+                        time,
+                        key,
+                        region,
+                        packet,
+                    } => {
+                        debug_assert!(
+                            bound.is_none_or(|b| !b.admits(time)),
+                            "staged packet inside its own window"
+                        );
+                        let core = &mut self.cores[region as usize];
+                        let idx = core.arena.alloc(packet);
+                        core.push_local(time, key, Event::PacketHop { packet: idx });
+                    }
+                    Staged::FlowAck {
+                        time,
+                        key,
+                        region,
+                        flow,
+                        ack,
+                        marked,
+                    } => {
+                        debug_assert!(
+                            bound.is_none_or(|b| !b.admits(time)),
+                            "staged flow ack inside its own window"
+                        );
+                        self.cores[region as usize].push_local(
+                            time,
+                            key,
+                            Event::FlowAck { flow, ack, marked },
+                        );
+                    }
+                    Staged::Pause {
+                        region,
+                        upstream,
+                        from,
+                        at,
+                        quantum,
+                    } => {
+                        debug_assert!(bound.is_none(), "cross-region pause outside lockstep mode");
+                        let l = NodeId::new(self.shared.map.local(upstream));
+                        let port = self.cores[region as usize].ports.entry(l, from);
+                        let base = port.paused_until.max(at);
+                        port.paused_until = base + quantum;
+                    }
                 }
-                let fire = self.now + clock.real_duration(hold.max(0.0));
-                to_schedule.push((id, fire, generation));
             }
         }
-        for &(id, fire, generation) in &to_schedule {
-            self.push(
-                fire,
-                Event::GuardTimer {
-                    node: v,
-                    action: id,
-                    generation,
-                },
-            );
-        }
-        to_schedule.clear();
-        self.schedule_scratch = to_schedule;
-        if let Some(wl) = set.wakeup_local {
-            // `real_time_at_local` never returns a time before `now`; a
-            // wakeup may therefore land *at* `now` (same instant, later in
-            // `(time, seq)` order), where the floored re-evaluation above
-            // guarantees progress instead of an epsilon nudge.
-            let t = clock.real_time_at_local(wl, self.now);
-            let slot = self.slots.get_mut(v).expect("checked above");
-            let earlier_pending = slot
-                .pending_wakeup
-                .is_some_and(|(pending, _)| pending <= t && pending >= self.now);
-            if !earlier_pending {
-                slot.pending_wakeup = Some((t, wl));
-                self.push(t, Event::Wakeup { node: v });
+        self.staged_merge = buf;
+    }
+
+    /// Applies buffered observability at a barrier: order-free tallies
+    /// drain unsorted into the sink; ordered records are applied via a
+    /// greedy k-way merge of the per-region streams, always taking the
+    /// stream whose head has the smallest `(time, key, seq)`.
+    ///
+    /// The merge deliberately preserves each region's *execution* order
+    /// rather than globally sorting: an event may schedule a same-time
+    /// follow-up on its own node under a smaller key (e.g. a zero-hold
+    /// guard timer scheduled while delivering a higher-keyed message), so
+    /// a region's stream is not sorted by key — but the single-queue
+    /// engine's pop order *is* exactly this merge (the global queue
+    /// minimum is always some region's next event), which is what makes
+    /// the merged order identical for every region count.
+    fn flush(&mut self) {
+        let Engine {
+            cores,
+            sink,
+            view,
+            completed_packets,
+            completed_flows,
+            shared,
+            ..
+        } = self;
+        for core in cores.iter_mut() {
+            for op in core.counts.drain(..) {
+                match op {
+                    CountOp::Sent(v) => sink.count_sent(v),
+                    CountOp::Delivered => sink.count_delivered(),
+                    CountOp::DroppedLossy => sink.count_dropped_lossy(),
+                    CountOp::DroppedDead => sink.count_dropped_dead(),
+                    CountOp::Duplicated => sink.count_duplicated(),
+                }
             }
         }
-        set.clear();
-        self.enabled_scratch = set;
+        let mut streams: Vec<_> = cores
+            .iter_mut()
+            .filter(|c| !c.obs.is_empty())
+            .map(|c| c.obs.drain(..).peekable())
+            .collect();
+        loop {
+            let mut best: Option<(usize, (SimTime, EventKey, u64))> = None;
+            for (i, s) in streams.iter_mut().enumerate() {
+                if let Some(rec) = s.peek() {
+                    let k = (rec.time, rec.key, rec.seq);
+                    if best.is_none_or(|(_, bk)| k < bk) {
+                        best = Some((i, k));
+                    }
+                }
+            }
+            let Some((i, _)) = best else { break };
+            let rec = streams[i].next().expect("peeked");
+            match rec.op {
+                ObsOp::Action(r) => sink.record_action(r, shared.config.record_trace),
+                ObsOp::ReceiveChange(t, v) => sink.record_receive_change(t, v),
+                ObsOp::View(v, e) => view.record(v, e),
+                ObsOp::PacketDone(r) => completed_packets.push(r),
+                ObsOp::FlowDone(r) => completed_flows.push(r),
+            }
+        }
     }
 }

@@ -294,10 +294,10 @@ pub(crate) struct FlowState {
     pub cc: Box<dyn CongAlg>,
     /// Sender: lowest unacknowledged sequence number.
     pub base: u64,
-    /// Sender: next sequence number to transmit.
+    /// Sender: next sequence number to transmit. (The receiver cursor
+    /// lives with the *destination's* region — see the engine's
+    /// `flow_recv` — so delivery processing never touches sender state.)
     pub next_seq: u64,
-    /// Receiver: next in-order sequence number expected.
-    pub recv_next: u64,
     /// Current retransmit timeout (doubles per timeout, capped).
     pub rto: f64,
     /// Live retransmit-timer generation; `FlowTimer` events carrying any

@@ -39,6 +39,7 @@ pub mod engine;
 pub mod flow;
 pub mod harness;
 pub mod node;
+pub(crate) mod rng;
 pub mod sched;
 pub mod sink;
 pub mod slots;
@@ -69,9 +70,9 @@ pub use crate::engine::{Engine, EngineError, EngineStats, EventCounts, RunReport
 pub use crate::flow::{Aimd, CongAlg, CongAlgKind, FixedWindow, FlowConfig, FlowRecord, FlowTag};
 pub use crate::harness::{ForgedAdvert, HarnessProtocol, SimHarness};
 pub use crate::node::{ActionId, EnabledSet, ProtocolNode};
-pub use crate::sched::{EventQueue, SchedulerKind};
+pub use crate::sched::{EventKey, EventQueue, SchedulerKind};
 pub use crate::sink::{CountsOnly, FullTrace, NullSink, SinkKind, TraceSink};
-pub use crate::slots::{EdgeSlots, NodeSlots};
+pub use crate::slots::{EdgeSlots, NodeSlots, RegionMap};
 pub use crate::time::SimTime;
 pub use crate::trace::{ActionRecord, Trace};
 pub use crate::traffic::{Packet, PacketRecord, PacketStatus, TrafficCounts};

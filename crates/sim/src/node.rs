@@ -155,9 +155,15 @@ impl EnabledSet {
 /// * [`ProtocolNode::on_receive`] runs atomically per message;
 /// * statements' sends are delivered reliably (while the edge stays up)
 ///   with bounded delay and per-edge FIFO order.
-pub trait ProtocolNode {
+///
+/// Node state and messages must be [`Send`] (messages also [`Sync`], as
+/// broadcast fan-out shares one `Arc` payload across regions): the
+/// region-parallel executor moves per-region state across worker threads
+/// at window boundaries. Protocol state is plain data, so these bounds
+/// are satisfied structurally in practice.
+pub trait ProtocolNode: Send {
     /// Message payload exchanged between neighbors.
-    type Msg: Clone + fmt::Debug;
+    type Msg: Clone + fmt::Debug + Send + Sync;
 
     /// Evaluates all guards against the current state. `now_local` is the
     /// node's clock reading.

@@ -1,0 +1,95 @@
+//! Counter-hash randomness for the region-parallel engine.
+//!
+//! The sequential engine drew link jitter, loss, and duplication from two
+//! `StdRng` streams in global event order. That is exactly what a
+//! region-parallel executor cannot reproduce: two regions interleave
+//! their draws differently for every region count. The fix is to make
+//! every draw a *pure function* of where it happens — a splitmix64-style
+//! hash of `(seed, domain, edge, per-edge counter)` — so the value a
+//! draw produces depends only on the simulation's trajectory, never on
+//! the order unrelated edges reached the generator. Per-directed-edge
+//! counters live in the edge's owning region, and all draws on an edge
+//! happen while processing events at its tail node, so the counter
+//! sequence itself is region-invariant.
+//!
+//! The mixer is the splitmix64 finalizer (Steele et al.), applied to the
+//! four words folded together with distinct odd constants. It is not
+//! cryptographic; it is a statistical-quality, collision-spreading hash,
+//! which is all a simulation needs.
+
+/// Domain tag for control-plane draws (message loss, jitter, duplication,
+/// Gilbert–Elliott transitions).
+pub(crate) const DOMAIN_CTRL: u64 = 0x4354_524C;
+/// Domain tag for data-plane draws (packet loss and per-hop delay).
+pub(crate) const DOMAIN_DATA: u64 = 0x4441_5441;
+
+/// splitmix64 finalizer: bijective on `u64`, excellent avalanche.
+#[inline]
+fn mix(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// One raw 64-bit draw for counter `n` of stream
+/// `(seed, domain, from -> to)`.
+#[inline]
+pub(crate) fn draw(seed: u64, domain: u64, from: u32, to: u32, n: u64) -> u64 {
+    let edge = (u64::from(from) << 32) | u64::from(to);
+    let mut z = seed ^ mix(domain.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    z = mix(z ^ edge.wrapping_mul(0xC2B2_AE3D_27D4_EB4F));
+    mix(z.wrapping_add(n.wrapping_mul(0x165667B19E3779F9)))
+}
+
+/// Maps a raw draw to a uniform `f64` in `[0, 1)` (53 mantissa bits).
+#[inline]
+pub(crate) fn u01(bits: u64) -> f64 {
+    (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Bernoulli trial with probability `p` from a raw draw.
+#[inline]
+pub(crate) fn chance(bits: u64, p: f64) -> bool {
+    u01(bits) < p
+}
+
+/// Uniform sample in `[min, max]` from a raw draw.
+#[inline]
+pub(crate) fn range(bits: u64, min: f64, max: f64) -> f64 {
+    min + u01(bits) * (max - min)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn draws_are_deterministic_and_stream_separated() {
+        let a = draw(7, DOMAIN_CTRL, 1, 2, 0);
+        assert_eq!(a, draw(7, DOMAIN_CTRL, 1, 2, 0));
+        assert_ne!(a, draw(7, DOMAIN_CTRL, 1, 2, 1));
+        assert_ne!(a, draw(7, DOMAIN_DATA, 1, 2, 0));
+        assert_ne!(a, draw(7, DOMAIN_CTRL, 2, 1, 0));
+        assert_ne!(a, draw(8, DOMAIN_CTRL, 1, 2, 0));
+    }
+
+    #[test]
+    fn u01_is_a_unit_uniform() {
+        let mut sum = 0.0;
+        for n in 0..10_000u64 {
+            let u = u01(draw(3, DOMAIN_DATA, 5, 9, n));
+            assert!((0.0..1.0).contains(&u));
+            sum += u;
+        }
+        let mean = sum / 10_000.0;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean} off for uniform");
+    }
+
+    #[test]
+    fn range_hits_the_bounds_window() {
+        for n in 0..1000u64 {
+            let x = range(draw(1, DOMAIN_DATA, 0, 1, n), 2.0, 5.0);
+            assert!((2.0..=5.0).contains(&x));
+        }
+    }
+}

@@ -1,14 +1,20 @@
 //! Pluggable event schedulers: a calendar queue (hierarchical timing
 //! wheel) and the classic binary heap it replaces.
 //!
-//! The engine orders every event by the key `(SimTime, seq)` — time
-//! first, then a monotonically increasing sequence number breaking ties
-//! in scheduling order. That total order *is* the determinism contract:
-//! two schedulers that dequeue the same multiset of entries in the same
-//! `(time, seq)` order drive byte-identical trajectories. [`EventQueue`]
-//! therefore owns the sequence counter and exposes the scheduler choice
-//! as data ([`SchedulerKind`]), so the heap stays available as an oracle
-//! the equivalence suite diffs the wheel against.
+//! The engine orders every event by the key `(SimTime, EventKey)` —
+//! time first, then a *canonical* per-event key breaking ties. An
+//! [`EventKey`] is `(src, k)`: the raw id of the node whose handler
+//! emitted the event (`u32::MAX` for driver-side emissions) and a
+//! per-emitter counter value. Unlike the global sequence number this
+//! replaced, the key depends only on *which handler emitted the event
+//! and how many events that handler had emitted before* — never on the
+//! interleaving of other nodes' handlers. That makes the total order
+//! identical whether events are drawn from one global queue or merged
+//! from per-region queues at window barriers: the determinism contract
+//! of the region-parallel executor. Two schedulers that dequeue the
+//! same multiset of entries in the same `(time, key)` order drive
+//! byte-identical trajectories, so the heap stays available as an
+//! oracle the equivalence suite diffs the wheel against.
 //!
 //! # The calendar queue
 //!
@@ -16,7 +22,7 @@
 //! (`day = floor(time / width)`) across three tiers:
 //!
 //! * **`current`** — every pending entry with `day <= cur_day`, kept in
-//!   a `(time, seq)` min-heap. Because any entry with a later day has
+//!   a `(time, key)` min-heap. Because any entry with a later day has
 //!   `time >= (cur_day + 1) * width`, the top of `current` is always
 //!   the global minimum whenever `current` is non-empty. A heap rather
 //!   than a sorted vec keeps same-day insert at O(log c) in the day's
@@ -30,7 +36,7 @@
 //!   rotation horizon go to the overflow), so advancing the cursor
 //!   drains exactly one day per bucket and sorts only what it drained.
 //! * **overflow** — entries with `day >= rotation_end` (hold timers,
-//!   flow RTOs, far-future wakeups) sit in a `(time, seq)`-ordered
+//!   flow RTOs, far-future wakeups) sit in a `(time, key)`-ordered
 //!   binary heap until a rotation pulls them into the near tier.
 //!
 //! When the near tier and `current` are both empty, the cursor *jumps*
@@ -57,7 +63,7 @@ use crate::time::SimTime;
 
 /// Which data structure orders the engine's event queue.
 ///
-/// Both produce the exact `(time, seq)` dequeue order, so the choice can
+/// Both produce the exact `(time, key)` dequeue order, so the choice can
 /// never affect a trajectory — only throughput. The wheel is the default;
 /// the heap is kept as the determinism oracle (and as a fallback while
 /// profiling).
@@ -72,17 +78,51 @@ pub enum SchedulerKind {
     Heap,
 }
 
-/// One queued entry. Ordered by `(time, seq)` only; the payload never
+/// The canonical tie-breaking key of one event: the raw id of the node
+/// whose handler emitted it (`u32::MAX` for driver-side emissions) and
+/// that emitter's private counter value at emission.
+///
+/// Keys are globally unique — two events can share `src` only with
+/// distinct `k` — so `(time, key)` is a total order. Because a key
+/// depends only on its emitter's local history, the order is invariant
+/// under region partitioning: per-region queues merged at a barrier
+/// produce exactly the sequence a single global queue would.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct EventKey {
+    /// Raw id of the emitting node, or `u32::MAX` for the driver.
+    pub src: u32,
+    /// The emitter's counter value (even = control lane, odd = traffic
+    /// lane; the engine keeps separate counters so a traffic plane can
+    /// be added without perturbing control-plane tie order).
+    pub k: u64,
+}
+
+impl EventKey {
+    /// The emitter id the engine uses for driver-side scheduling
+    /// (external workload injections, test harness pushes).
+    pub const DRIVER: u32 = u32::MAX;
+
+    /// A key for a driver-side emission.
+    #[must_use]
+    pub fn driver(k: u64) -> Self {
+        EventKey {
+            src: Self::DRIVER,
+            k,
+        }
+    }
+}
+
+/// One queued entry. Ordered by `(time, key)` only; the payload never
 /// participates in comparisons.
 struct Entry<T> {
     time: SimTime,
-    seq: u64,
+    key: EventKey,
     item: T,
 }
 
 impl<T> PartialEq for Entry<T> {
     fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
+        self.time == other.time && self.key == other.key
     }
 }
 impl<T> Eq for Entry<T> {}
@@ -93,7 +133,7 @@ impl<T> PartialOrd for Entry<T> {
 }
 impl<T> Ord for Entry<T> {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.time.cmp(&other.time).then(self.seq.cmp(&other.seq))
+        self.time.cmp(&other.time).then(self.key.cmp(&other.key))
     }
 }
 
@@ -123,11 +163,11 @@ struct Calendar<T> {
     /// Exclusive horizon of the near tier; `day >= rotation_end` goes to
     /// the overflow.
     rotation_end: u64,
-    /// Entries with `day <= cur_day`, min-ordered by `(time, seq)` (the
+    /// Entries with `day <= cur_day`, min-ordered by `(time, key)` (the
     /// minimum is at the top; see the module docs for why this tier is a
     /// heap rather than a sorted vec).
     current: BinaryHeap<Reverse<Entry<T>>>,
-    /// Far-future tier, min-ordered by `(time, seq)`.
+    /// Far-future tier, min-ordered by `(time, key)`.
     overflow: BinaryHeap<Reverse<Entry<T>>>,
     /// Latest event time ever enqueued (monotone; feeds the re-width
     /// span estimate — a deliberate overestimate once events pop).
@@ -289,18 +329,18 @@ enum Inner<T> {
     Wheel(Calendar<T>),
 }
 
-/// The engine's event queue: a `(time, seq)`-ordered priority queue with
+/// The engine's event queue: a `(time, key)`-ordered priority queue with
 /// a pluggable backend (see [`SchedulerKind`] and the module docs).
 ///
-/// Owns the sequence counter: [`EventQueue::schedule`] stamps each entry
-/// with the next `seq`, and dequeue order is exactly ascending
-/// `(time, seq)` for both backends.
+/// The caller supplies each entry's [`EventKey`]; dequeue order is
+/// exactly ascending `(time, key)` for both backends. Keys must be
+/// unique among pending entries (the engine's per-emitter counters
+/// guarantee this).
 pub struct EventQueue<T> {
     inner: Inner<T>,
-    seq: u64,
     len: usize,
-    /// Tombstoned sequence numbers (see [`EventQueue::cancel`]).
-    cancelled: BTreeSet<u64>,
+    /// Tombstoned keys (see [`EventQueue::cancel`]).
+    cancelled: BTreeSet<EventKey>,
 }
 
 impl<T> fmt::Debug for EventQueue<T> {
@@ -308,7 +348,6 @@ impl<T> fmt::Debug for EventQueue<T> {
         f.debug_struct("EventQueue")
             .field("kind", &self.kind())
             .field("len", &self.len)
-            .field("next_seq", &(self.seq + 1))
             .finish()
     }
 }
@@ -321,7 +360,6 @@ impl<T> EventQueue<T> {
                 SchedulerKind::Heap => Inner::Heap(BinaryHeap::new()),
                 SchedulerKind::Wheel => Inner::Wheel(Calendar::new()),
             },
-            seq: 0,
             len: 0,
             cancelled: BTreeSet::new(),
         }
@@ -346,41 +384,36 @@ impl<T> EventQueue<T> {
         self.len == 0
     }
 
-    /// Enqueues `item` at `time`, returning the sequence number that
-    /// disambiguates it among equal times (and addresses
-    /// [`EventQueue::cancel`]).
-    pub fn schedule(&mut self, time: SimTime, item: T) -> u64 {
-        self.seq += 1;
-        let seq = self.seq;
-        let e = Entry { time, seq, item };
+    /// Enqueues `item` at `time` under the canonical `key`.
+    pub fn schedule(&mut self, time: SimTime, key: EventKey, item: T) {
+        let e = Entry { time, key, item };
         match &mut self.inner {
             Inner::Heap(h) => h.push(Reverse(e)),
             Inner::Wheel(w) => w.insert(e),
         }
         self.len += 1;
         self.normalize();
-        seq
     }
 
-    /// Cancels the pending entry scheduled as `seq`. The entry is
+    /// Cancels the pending entry scheduled under `key`. The entry is
     /// tombstoned in place and physically discarded when it surfaces as
-    /// the minimum. Cancelling a sequence number that was never issued,
-    /// or that is already tombstoned (and not yet collected), is a no-op;
-    /// a sequence number that has already been *popped* must not be
-    /// cancelled — the queue cannot tell it apart from a pending one
-    /// without tracking every seq it ever returned.
-    pub fn cancel(&mut self, seq: u64) {
-        if seq == 0 || seq > self.seq || !self.cancelled.insert(seq) {
+    /// the minimum. Cancelling a key that is already tombstoned (and not
+    /// yet collected) is a no-op; a key that is not pending — never
+    /// scheduled, or already popped — must not be cancelled, because the
+    /// queue cannot tell it apart from a pending one without tracking
+    /// every key it ever saw.
+    pub fn cancel(&mut self, key: EventKey) {
+        if !self.cancelled.insert(key) {
             return;
         }
-        debug_assert!(self.len > 0, "cancelled an already-popped entry");
+        debug_assert!(self.len > 0, "cancelled an entry that is not pending");
         self.len -= 1;
         self.normalize();
     }
 
-    /// The earliest pending `(time, seq)`, or `None` when empty. O(1):
+    /// The earliest pending `(time, key)`, or `None` when empty. O(1):
     /// every mutating operation leaves the minimum surfaced and live.
-    pub fn peek(&self) -> Option<(SimTime, u64)> {
+    pub fn peek(&self) -> Option<(SimTime, EventKey)> {
         if self.len == 0 {
             return None;
         }
@@ -389,8 +422,8 @@ impl<T> EventQueue<T> {
             Inner::Wheel(w) => w.current.peek().map(|Reverse(e)| e),
         };
         let e = e.expect("non-empty queue has a surfaced minimum");
-        debug_assert!(!self.cancelled.contains(&e.seq), "minimum not normalized");
-        Some((e.time, e.seq))
+        debug_assert!(!self.cancelled.contains(&e.key), "minimum not normalized");
+        Some((e.time, e.key))
     }
 
     /// The earliest pending time, or `None` when empty.
@@ -399,15 +432,15 @@ impl<T> EventQueue<T> {
     }
 
     /// Dequeues the earliest pending entry.
-    pub fn pop(&mut self) -> Option<(SimTime, u64, T)> {
+    pub fn pop(&mut self) -> Option<(SimTime, EventKey, T)> {
         if self.len == 0 {
             return None;
         }
         let e = self.pop_raw().expect("len > 0");
-        debug_assert!(!self.cancelled.contains(&e.seq), "minimum not normalized");
+        debug_assert!(!self.cancelled.contains(&e.key), "minimum not normalized");
         self.len -= 1;
         self.normalize();
-        Some((e.time, e.seq, e.item))
+        Some((e.time, e.key, e.item))
     }
 
     /// Pops the physical minimum, live or tombstoned. `current` must be
@@ -428,17 +461,17 @@ impl<T> EventQueue<T> {
     /// wheel's `current` tier) and collects tombstones off the top.
     fn normalize(&mut self) {
         loop {
-            let min_seq = match &mut self.inner {
-                Inner::Heap(h) => h.peek().map(|Reverse(e)| e.seq),
+            let min_key = match &mut self.inner {
+                Inner::Heap(h) => h.peek().map(|Reverse(e)| e.key),
                 Inner::Wheel(w) => {
                     if w.current.is_empty() && !w.is_empty() {
                         w.advance();
                     }
-                    w.current.peek().map(|Reverse(e)| e.seq)
+                    w.current.peek().map(|Reverse(e)| e.key)
                 }
             };
-            match min_seq {
-                Some(seq) if self.cancelled.remove(&seq) => {
+            match min_key {
+                Some(key) if self.cancelled.remove(&key) => {
                     self.pop_raw();
                 }
                 _ => break,
@@ -458,22 +491,27 @@ impl<T> EventQueue<T> {
 mod tests {
     use super::*;
 
+    /// A test key from node 0 with counter `k`.
+    fn key(k: u64) -> EventKey {
+        EventKey { src: 0, k }
+    }
+
     fn drain(q: &mut EventQueue<u32>) -> Vec<(f64, u64, u32)> {
         let mut out = Vec::new();
-        while let Some((t, s, x)) = q.pop() {
-            out.push((t.seconds(), s, x));
+        while let Some((t, key, x)) = q.pop() {
+            out.push((t.seconds(), key.k, x));
         }
         out
     }
 
     #[test]
-    fn both_backends_pop_in_time_seq_order() {
+    fn both_backends_pop_in_time_key_order() {
         for kind in [SchedulerKind::Heap, SchedulerKind::Wheel] {
             let mut q = EventQueue::new(kind);
-            q.schedule(SimTime::new(3.0), 30);
-            q.schedule(SimTime::new(1.0), 10);
-            q.schedule(SimTime::new(2.0), 20);
-            q.schedule(SimTime::new(1.0), 11); // same time, later seq
+            q.schedule(SimTime::new(3.0), key(1), 30);
+            q.schedule(SimTime::new(1.0), key(2), 10);
+            q.schedule(SimTime::new(2.0), key(3), 20);
+            q.schedule(SimTime::new(1.0), key(4), 11); // same time, later k
             assert_eq!(q.len(), 4);
             assert_eq!(q.peek_time(), Some(SimTime::new(1.0)));
             let order: Vec<u32> = drain(&mut q).iter().map(|&(_, _, x)| x).collect();
@@ -483,13 +521,28 @@ mod tests {
     }
 
     #[test]
+    fn same_time_ties_break_on_src_before_k() {
+        for kind in [SchedulerKind::Heap, SchedulerKind::Wheel] {
+            let mut q = EventQueue::new(kind);
+            // Node 5 scheduled first, but node 2's key sorts earlier;
+            // the driver key (src = u32::MAX) sorts last.
+            q.schedule(SimTime::new(1.0), EventKey { src: 5, k: 0 }, 50);
+            q.schedule(SimTime::new(1.0), EventKey::driver(0), 99);
+            q.schedule(SimTime::new(1.0), EventKey { src: 2, k: 7 }, 27);
+            q.schedule(SimTime::new(1.0), EventKey { src: 2, k: 3 }, 23);
+            let order: Vec<u32> = drain(&mut q).iter().map(|&(_, _, x)| x).collect();
+            assert_eq!(order, vec![23, 27, 50, 99], "{kind:?}");
+        }
+    }
+
+    #[test]
     fn far_future_overflow_and_rotation() {
         let mut q = EventQueue::new(SchedulerKind::Wheel);
         // Far beyond the initial 64-bucket * 0.5s window: overflow tier.
-        q.schedule(SimTime::new(1_000_000.0), 1);
-        q.schedule(SimTime::new(5.0), 2);
-        q.schedule(SimTime::new(999_999.5), 3);
-        q.schedule(SimTime::new(1_000_000.0), 4);
+        q.schedule(SimTime::new(1_000_000.0), key(1), 1);
+        q.schedule(SimTime::new(5.0), key(2), 2);
+        q.schedule(SimTime::new(999_999.5), key(3), 3);
+        q.schedule(SimTime::new(1_000_000.0), key(4), 4);
         let got = drain(&mut q);
         assert_eq!(
             got,
@@ -509,7 +562,7 @@ mod tests {
         let mut q = EventQueue::new(SchedulerKind::Wheel);
         let times = [0.0, 0.5, 0.5, 1.0, 31.5, 32.0, 32.5, 64.0];
         for (i, &t) in times.iter().enumerate() {
-            q.schedule(SimTime::new(t), i as u32);
+            q.schedule(SimTime::new(t), key(i as u64), i as u32);
         }
         let got: Vec<u32> = drain(&mut q).iter().map(|&(_, _, x)| x).collect();
         assert_eq!(got, (0..times.len() as u32).collect::<Vec<_>>());
@@ -520,14 +573,19 @@ mod tests {
         // The engine's shape: pop an event, push successors at the same
         // or slightly later time, repeat.
         let mut q = EventQueue::new(SchedulerKind::Wheel);
-        q.schedule(SimTime::new(0.0), 0);
+        let mut next_k = 0u64;
+        let mut k = || {
+            next_k += 1;
+            key(next_k)
+        };
+        q.schedule(SimTime::new(0.0), k(), 0);
         let mut popped = Vec::new();
         let mut injected = 1u32;
         while let Some((t, _, x)) = q.pop() {
             popped.push((t.seconds(), x));
             if injected <= 64 {
-                q.schedule(t + 1.0, injected);
-                q.schedule(t + 1.0, injected + 1000); // same-time tie
+                q.schedule(t + 1.0, k(), injected);
+                q.schedule(t + 1.0, k(), injected + 1000); // same-time tie
                 injected += 1;
             }
         }
@@ -542,16 +600,16 @@ mod tests {
     fn cancel_tombstones_any_tier() {
         for kind in [SchedulerKind::Heap, SchedulerKind::Wheel] {
             let mut q = EventQueue::new(kind);
-            let a = q.schedule(SimTime::new(1.0), 1);
-            let b = q.schedule(SimTime::new(2.0), 2);
-            let c = q.schedule(SimTime::new(1_000_000.0), 3); // overflow
+            let (a, b, c) = (key(1), key(2), key(3));
+            q.schedule(SimTime::new(1.0), a, 1);
+            q.schedule(SimTime::new(2.0), b, 2);
+            q.schedule(SimTime::new(1_000_000.0), c, 3); // overflow
             q.cancel(a); // cancels the surfaced minimum
             q.cancel(c); // cancels deep in the far tier
             q.cancel(c); // double cancel before collection: no-op
-            q.cancel(99); // never issued: no-op
             assert_eq!(q.len(), 1);
             assert_eq!(q.peek(), Some((SimTime::new(2.0), b)));
-            assert_eq!(drain(&mut q), vec![(2.0, b, 2)]);
+            assert_eq!(drain(&mut q), vec![(2.0, 2, 2)]);
             assert!(q.is_empty());
         }
     }
@@ -559,12 +617,12 @@ mod tests {
     #[test]
     fn empty_reset_keeps_working_after_drain() {
         let mut q = EventQueue::new(SchedulerKind::Wheel);
-        q.schedule(SimTime::new(10_000.0), 1);
+        q.schedule(SimTime::new(10_000.0), key(1), 1);
         assert_eq!(drain(&mut q).len(), 1);
         // Re-use after drain from a large time: the cursor reset means a
         // small time is not "in the past" for the wheel.
-        q.schedule(SimTime::new(0.25), 2);
-        q.schedule(SimTime::new(9_999.0), 3);
+        q.schedule(SimTime::new(0.25), key(2), 2);
+        q.schedule(SimTime::new(9_999.0), key(3), 3);
         let got: Vec<u32> = drain(&mut q).iter().map(|&(_, _, x)| x).collect();
         assert_eq!(got, vec![2, 3]);
     }
@@ -576,9 +634,9 @@ mod tests {
         // this — pushes are at `time >= now` — but the property test
         // does, and correctness must not depend on the caller).
         let mut q = EventQueue::new(SchedulerKind::Wheel);
-        q.schedule(SimTime::new(500.0), 1);
+        q.schedule(SimTime::new(500.0), key(1), 1);
         assert_eq!(q.peek_time(), Some(SimTime::new(500.0)));
-        q.schedule(SimTime::new(1.0), 2);
+        q.schedule(SimTime::new(1.0), key(2), 2);
         let got: Vec<u32> = drain(&mut q).iter().map(|&(_, _, x)| x).collect();
         assert_eq!(got, vec![2, 1]);
     }

@@ -145,6 +145,79 @@ impl<T: Default> EdgeSlots<T> {
     }
 }
 
+/// The region-parallel engine's node addressing map: which region owns
+/// each raw node id, and the node's dense *local* id inside that region.
+///
+/// Per-region state (slots, links, ports, emission counters) is indexed
+/// by local id so a region's working set stays proportional to its own
+/// size, not the global id space. Assignments are sticky: a node that
+/// fails and later rejoins keeps its `(region, local)` pair, so its
+/// emission counters continue where they left off — a prerequisite for
+/// globally unique event keys across the node's whole lifetime.
+#[derive(Debug, Clone, Default)]
+pub struct RegionMap {
+    /// Region per raw id (`u32::MAX` = never seen).
+    region_of: Vec<u32>,
+    /// Local id per raw id (`u32::MAX` = never seen).
+    local_of: Vec<u32>,
+    /// Next free local id per region.
+    next_local: Vec<u32>,
+}
+
+impl RegionMap {
+    /// An empty map with `regions` region slots (at least one).
+    pub fn new(regions: usize) -> Self {
+        RegionMap {
+            region_of: Vec::new(),
+            local_of: Vec::new(),
+            next_local: vec![0; regions.max(1)],
+        }
+    }
+
+    /// Number of regions.
+    pub fn regions(&self) -> usize {
+        self.next_local.len()
+    }
+
+    /// The region owning `v`, or `None` if `v` was never assigned.
+    pub fn region(&self, v: NodeId) -> Option<u32> {
+        let r = *self.region_of.get(v.raw() as usize)?;
+        (r != u32::MAX).then_some(r)
+    }
+
+    /// `v`'s dense local id inside its region.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` was never assigned.
+    pub fn local(&self, v: NodeId) -> u32 {
+        let l = self.local_of[v.raw() as usize];
+        assert!(l != u32::MAX, "node {v:?} has no region assignment");
+        l
+    }
+
+    /// Assigns `v` to `region`, returning its local id. Re-assigning an
+    /// already-mapped node is a no-op that keeps (and returns) the
+    /// original mapping — region identity is sticky across fail/rejoin.
+    pub fn assign(&mut self, v: NodeId, region: u32) -> u32 {
+        let idx = v.raw() as usize;
+        if idx >= self.region_of.len() {
+            self.region_of.resize(idx + 1, u32::MAX);
+            self.local_of.resize(idx + 1, u32::MAX);
+        }
+        if self.region_of[idx] != u32::MAX {
+            return self.local_of[idx];
+        }
+        let r = region as usize;
+        assert!(r < self.next_local.len(), "region {region} out of range");
+        let l = self.next_local[r];
+        self.next_local[r] = l + 1;
+        self.region_of[idx] = region;
+        self.local_of[idx] = l;
+        l
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -207,18 +207,29 @@ fn ecn_marks_ride_the_packet_records() {
 
 #[test]
 fn pfc_pause_backpressures_the_upstream_port_without_drops() {
-    // Traffic 2 -> 1 -> 0; the (1,0) port crossing its pause threshold
-    // silences (2,1), pushing queue buildup upstream instead of dropping.
-    let g = generators::path(3, 1);
+    // Sources 2 and 3 converge on node 1: the (1,0) port fills at twice
+    // its drain rate, crosses its pause threshold, and silences the
+    // upstream ports, pushing queue buildup upstream instead of dropping.
+    let mut g = Graph::new();
+    for i in 0..4 {
+        g.add_node(v(i));
+    }
+    g.add_edge(v(0), v(1), 1).unwrap();
+    g.add_edge(v(1), v(2), 1).unwrap();
+    g.add_edge(v(1), v(3), 1).unwrap();
+    let mut entries = path_entries(2, 1);
+    entries.insert(v(2), RouteEntry::new(Distance::Finite(2), v(1)));
+    entries.insert(v(3), RouteEntry::new(Distance::Finite(2), v(1)));
     let config = EngineConfig::default().with_congestion(
         CongestionConfig::limited(1.0, 4).with_discipline(DisciplineKind::Pause {
             pause_at: 0.5,
             quantum: 2.0,
         }),
     );
-    let mut engine = static_engine(g, config, path_entries(3, 1));
-    for i in 0..6 {
+    let mut engine = static_engine(g, config, entries);
+    for i in 0..3 {
         engine.inject_packet_at(SimTime::new(f64::from(i)), v(2), v(0), 16, 1);
+        engine.inject_packet_at(SimTime::new(f64::from(i)), v(3), v(0), 16, 1);
     }
     drive(&mut engine);
     let stats = engine.stats();

@@ -135,8 +135,10 @@ fn black_holes_on_routeless_and_self_parent_nodes() {
     engine.inject_packet(v(1), v(0), 16, 1);
     drive(&mut engine);
     let recs = engine.drain_completed_packets();
-    assert_eq!(recs[0].status, PacketStatus::BlackHoled { at: v(2) });
-    assert_eq!(recs[1].status, PacketStatus::BlackHoled { at: v(1) });
+    // Both die at t=0; completion order follows the canonical event key
+    // order, which runs v1's hop (lower node id) first.
+    assert_eq!(recs[0].status, PacketStatus::BlackHoled { at: v(1) });
+    assert_eq!(recs[1].status, PacketStatus::BlackHoled { at: v(2) });
     assert_eq!(engine.stats().traffic.black_holed, 2);
 }
 

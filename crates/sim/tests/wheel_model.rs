@@ -3,8 +3,9 @@
 //! cancel, and pop.
 //!
 //! The model is the specification itself — a totally ordered set of
-//! `(time, seq, payload)` triples popped in ascending `(time, seq)`
-//! order. Times are drawn from mixed magnitudes (sub-second bursts up
+//! `(time, key, payload)` triples popped in ascending `(time, key)`
+//! order, where the key is the engine's canonical `(src, k)` pair.
+//! Times are drawn from mixed magnitudes (sub-second bursts up
 //! to ~1e12) so runs cross bucket boundaries, spill into the sorted
 //! overflow tier, and force rotations and bucket re-widths; pops
 //! interleave with inserts so the cursor also walks backwards past
@@ -17,7 +18,7 @@
 
 use std::collections::BTreeSet;
 
-use lsrp_sim::{EventQueue, SchedulerKind, SimTime};
+use lsrp_sim::{EventKey, EventQueue, SchedulerKind, SimTime};
 use proptest::prelude::*;
 
 #[derive(Debug, Clone, Copy)]
@@ -33,36 +34,47 @@ enum Op {
 
 /// Totally ordered reference queue. Times are finite and non-negative,
 /// so the IEEE-754 bit pattern orders exactly like the number and the
-/// set pops in `(time, seq)` order.
+/// set pops in `(time, src, k)` order.
 #[derive(Default)]
 struct Model {
-    pending: BTreeSet<(u64, u64, u32)>,
+    pending: BTreeSet<(u64, u32, u64, u32)>,
 }
 
 impl Model {
-    fn schedule(&mut self, time: f64, seq: u64, payload: u32) {
-        self.pending.insert((time.to_bits(), seq, payload));
+    fn schedule(&mut self, time: f64, key: EventKey, payload: u32) {
+        self.pending
+            .insert((time.to_bits(), key.src, key.k, payload));
     }
 
     /// Picks the `idx % len`-th pending entry (in pop order) and removes
-    /// it, returning its seq. `None` when empty.
-    fn cancel_nth(&mut self, idx: usize) -> Option<u64> {
+    /// it, returning its key. `None` when empty.
+    fn cancel_nth(&mut self, idx: usize) -> Option<EventKey> {
         let &entry = self.pending.iter().nth(idx % self.pending.len().max(1))?;
         self.pending.remove(&entry);
-        Some(entry.1)
+        Some(EventKey {
+            src: entry.1,
+            k: entry.2,
+        })
     }
 
-    fn pop(&mut self) -> Option<(SimTime, u64, u32)> {
+    fn pop(&mut self) -> Option<(SimTime, EventKey, u32)> {
         let &entry = self.pending.iter().next()?;
         self.pending.remove(&entry);
-        Some((SimTime::new(f64::from_bits(entry.0)), entry.1, entry.2))
+        Some((
+            SimTime::new(f64::from_bits(entry.0)),
+            EventKey {
+                src: entry.1,
+                k: entry.2,
+            },
+            entry.3,
+        ))
     }
 
     fn peek_time(&self) -> Option<SimTime> {
         self.pending
             .iter()
             .next()
-            .map(|&(t, _, _)| SimTime::new(f64::from_bits(t)))
+            .map(|&(t, _, _, _)| SimTime::new(f64::from_bits(t)))
     }
 }
 
@@ -105,12 +117,18 @@ fn check_backend(kind: SchedulerKind, ops: &[Op]) {
         match *op {
             Op::Schedule(time) => {
                 let payload = i as u32;
-                let seq = queue.schedule(SimTime::new(time), payload);
-                model.schedule(time, seq, payload);
+                // Cycle the src id so same-time ties exercise the
+                // src-before-k ordering, with k unique per op.
+                let key = EventKey {
+                    src: (i % 3) as u32,
+                    k: i as u64,
+                };
+                queue.schedule(SimTime::new(time), key, payload);
+                model.schedule(time, key, payload);
             }
             Op::Cancel(idx) => {
-                if let Some(seq) = model.cancel_nth(idx) {
-                    queue.cancel(seq);
+                if let Some(key) = model.cancel_nth(idx) {
+                    queue.cancel(key);
                 }
             }
             Op::Pop => {

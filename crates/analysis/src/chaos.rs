@@ -169,11 +169,12 @@ pub fn replay(
 /// Runs one seeded chaos run: generates the schedule from the fault
 /// process (offset past initial convergence) and replays it.
 pub fn chaos_run(graph: &Graph, destination: NodeId, config: &ChaosConfig, seed: u64) -> ChaosRun {
-    // The schedule must start after the fault-free fixpoint; the settle
-    // time is deterministic per seed, so probe it with a throwaway sim.
-    let t0 = settled_sim(graph, destination, config, seed)
-        .now()
-        .seconds();
+    // Settle once and keep the simulation: the schedule starts after the
+    // fault-free fixpoint, and driving the *same* engine keeps one-shot
+    // streaming sinks (see `EngineConfig::sink_factory`) attached to the
+    // run they trace. Determinism makes this equivalent to re-building.
+    let mut sim = settled_sim(graph, destination, config, seed);
+    let t0 = sim.now().seconds();
     let raw = config
         .process
         .generate(graph, destination, config.fault_window, seed);
@@ -181,7 +182,9 @@ pub fn chaos_run(graph: &Graph, destination: NodeId, config: &ChaosConfig, seed:
     for e in &raw.events {
         schedule.push(t0 + e.at, e.fault.clone());
     }
-    let report = replay(graph, destination, config, seed, &schedule);
+    let timing = *sim.timing();
+    let mut monitors = standard_monitors(&timing, graph.node_count());
+    let report = run_monitored(&mut sim, &schedule, config.horizon, &mut monitors);
     ChaosRun {
         seed,
         schedule,
@@ -198,11 +201,25 @@ pub fn chaos_campaign(
     base_seed: u64,
     runs: u32,
 ) -> ChaosCampaign {
+    // A one-shot streaming sink traces the campaign's *first* run only;
+    // every other run gets a config with the factory stripped so the
+    // fallback kind is chosen deterministically, not by build order.
+    let stripped = config.engine.sink_factory.is_some().then(|| {
+        let mut c = config.clone();
+        c.engine = c.engine.clone().without_sink_factory();
+        c
+    });
     ChaosCampaign {
         topology: topology.to_string(),
         destination,
         runs: (0..u64::from(runs))
-            .map(|i| chaos_run(graph, destination, config, base_seed + i))
+            .map(|i| {
+                let cfg = match (&stripped, i) {
+                    (Some(s), i) if i > 0 => s,
+                    _ => config,
+                };
+                chaos_run(graph, destination, cfg, base_seed + i)
+            })
             .collect(),
     }
 }

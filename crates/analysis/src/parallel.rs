@@ -76,8 +76,20 @@ pub fn chaos_campaign_with_jobs(
     }
     let graph = graph.clone();
     let config = config.clone();
+    // Under parallel sharding a one-shot streaming sink must still land
+    // on run 0 — not on whichever worker builds first — so every other
+    // run gets a factory-stripped config.
+    let stripped = config.engine.sink_factory.is_some().then(|| {
+        let mut c = config.clone();
+        c.engine = c.engine.clone().without_sink_factory();
+        c
+    });
     let run_results = run_sharded(jobs, runs as usize, move |i| {
-        chaos_run(&graph, destination, &config, base_seed + i as u64)
+        let cfg = match (&stripped, i) {
+            (Some(s), i) if i > 0 => s,
+            _ => &config,
+        };
+        chaos_run(&graph, destination, cfg, base_seed + i as u64)
     });
     ChaosCampaign {
         topology: topology.to_string(),

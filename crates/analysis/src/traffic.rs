@@ -966,8 +966,20 @@ pub fn traffic_campaign_with_jobs(
 ) -> TrafficCampaign {
     let g = graph.clone();
     let cfg = config.clone();
+    // A one-shot streaming sink traces run 0 only; every other run gets
+    // a factory-stripped config so sink assignment is deterministic no
+    // matter which worker builds first.
+    let stripped = cfg.chaos.engine.sink_factory.is_some().then(|| {
+        let mut c = cfg.clone();
+        c.chaos.engine = c.chaos.engine.clone().without_sink_factory();
+        c
+    });
     let run_results = run_sharded(jobs, runs as usize, move |i| {
-        traffic_run(&g, destination, &cfg, base_seed + i as u64)
+        let run_cfg = match (&stripped, i) {
+            (Some(s), i) if i > 0 => s,
+            _ => &cfg,
+        };
+        traffic_run(&g, destination, run_cfg, base_seed + i as u64)
     });
     TrafficCampaign {
         topology: topology.to_string(),

@@ -32,6 +32,20 @@ fn main() {
         );
         failed |= !ok;
     }
+    let find = |name: &str| results.iter().find(|r| r.scenario == name);
+    if let (Some(null), Some(traced)) = (find("trace_overhead_null"), find("trace_overhead")) {
+        // The streaming sink's budget: at most 15% events/sec overhead
+        // against the NullSink baseline on the identical workload.
+        let overhead = 1.0 - traced.events_per_sec / null.events_per_sec;
+        let ok = traced.events_per_sec >= null.events_per_sec * 0.85;
+        eprintln!(
+            "perf-smoke trace_overhead ratio: {:.1}% sink overhead vs NullSink \
+             (budget 15%) — {}",
+            overhead * 100.0,
+            if ok { "ok" } else { "OVER BUDGET" },
+        );
+        failed |= !ok;
+    }
     if failed {
         eprintln!("perf-smoke: engine throughput regressed past the generous floor");
         std::process::exit(1);

@@ -572,10 +572,107 @@ pub fn measure_allpairs_grid_reference(iters: u32) -> EnginePerf {
     measure_allpairs("allpairs_grid_ref", iters, allpairs_grid_reference_sim)
 }
 
+/// Scratch file the `trace_overhead` scenario streams into (recreated —
+/// truncated — by every traced iteration).
+fn trace_scratch_path() -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("lsrp-perf-smoke");
+    std::fs::create_dir_all(&dir).ok();
+    dir.join(format!("trace-overhead-{}.jsonl", std::process::id()))
+}
+
+/// The trace-overhead workload: a 1000-node grid cold start, the
+/// frame-heaviest regime (every action writes `act` + `wave` + `rt`
+/// frames). Baseline flavor: a plain [`SinkKind::Null`] sink.
+pub fn trace_overhead_null_sim() -> LsrpSimulation {
+    LsrpSimulation::builder(generators::grid(40, 25, 1), NodeId::new(0))
+        .initial_state(InitialState::Fresh)
+        .engine_config(
+            EngineConfig::default()
+                .with_seed(PERF_SEED)
+                .with_sink(SinkKind::Null),
+        )
+        .build()
+}
+
+/// The same workload as [`trace_overhead_null_sim`] with the streaming
+/// sink writing full JSONL over the null inner sink — the pair isolates
+/// the per-event cost of trace export. `perf_smoke` holds the traced
+/// flavor to the absolute floor *and* to ≤15% overhead relative to the
+/// null baseline.
+pub fn trace_overhead_sim() -> LsrpSimulation {
+    let factory = lsrp_trace::streaming_factory(
+        lsrp_trace::TraceConfig::new(trace_scratch_path()),
+        SinkKind::Null,
+    )
+    .expect("scratch trace file opens");
+    LsrpSimulation::builder(generators::grid(40, 25, 1), NodeId::new(0))
+        .initial_state(InitialState::Fresh)
+        .engine_config(
+            EngineConfig::default()
+                .with_seed(PERF_SEED)
+                .with_sink(SinkKind::Null)
+                .with_sink_factory(factory),
+        )
+        .build()
+}
+
+/// Interleaved paired measurement of the trace-overhead flavors. The
+/// two flavors alternate iteration by iteration (so clock drift and
+/// neighbor load hit both equally) and each flavor's elapsed time is
+/// its *minimum* iteration time scaled to the iteration count — noise
+/// only ever adds time, so the minimum is the robust throughput
+/// estimate and the traced/null ratio stays stable on busy CI runners.
+///
+/// # Panics
+///
+/// Panics if an iteration fails to settle.
+pub fn measure_trace_overhead(iters: u32) -> (EnginePerf, EnginePerf) {
+    let one = |build: &dyn Fn() -> LsrpSimulation| {
+        let mut sim = build();
+        let start = Instant::now();
+        let report = sim.run_to_quiescence(1_000_000.0);
+        let dt = start.elapsed();
+        assert!(report.quiescent, "trace-overhead run must settle");
+        (dt, sim.stats())
+    };
+    let acc = |scenario: &'static str, runs: &[(Duration, lsrp_sim::EngineStats)]| {
+        let events: u64 = runs.iter().map(|(_, s)| s.total_events()).sum();
+        let delivered: u64 = runs.iter().map(|(_, s)| s.messages_delivered).sum();
+        let peak = runs
+            .iter()
+            .map(|(_, s)| s.peak_queue_depth)
+            .max()
+            .unwrap_or(0);
+        let min = runs.iter().map(|(d, _)| *d).min().unwrap_or(Duration::ZERO);
+        let secs = (min.as_secs_f64() * f64::from(runs.len() as u32)).max(f64::MIN_POSITIVE);
+        EnginePerf {
+            scenario,
+            events,
+            messages_delivered: delivered,
+            adverts_delivered: delivered,
+            peak_queue_depth: peak,
+            elapsed_secs: secs,
+            events_per_sec: events as f64 / secs,
+            deliveries_per_sec: delivered as f64 / secs,
+        }
+    };
+    let mut null_runs = Vec::new();
+    let mut traced_runs = Vec::new();
+    for _ in 0..iters {
+        null_runs.push(one(&trace_overhead_null_sim));
+        traced_runs.push(one(&trace_overhead_sim));
+    }
+    (
+        acc("trace_overhead_null", &null_runs),
+        acc("trace_overhead", &traced_runs),
+    )
+}
+
 /// The cheap scenarios — each sized for a sub-second release-mode run
 /// (the unit tests exercise this list in debug mode, so the 100k-node
 /// scale scenarios live only in [`measure_all`]).
 fn measure_core() -> Vec<EnginePerf> {
+    let (trace_null, trace_streaming) = measure_trace_overhead(20);
     vec![
         measure("fig1_benign", 20, fig1_sim),
         measure("grid200_benign", 3, grid200_sim),
@@ -586,6 +683,8 @@ fn measure_core() -> Vec<EnginePerf> {
         measure_traffic_scenario(2),
         measure_allpairs_grid(3),
         measure_allpairs_grid_reference(1),
+        trace_null,
+        trace_streaming,
     ]
 }
 

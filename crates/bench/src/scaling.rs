@@ -8,13 +8,7 @@
 //! runs it through the campaign compiler — so `lsrp run` on the same
 //! file produces byte-identical output.
 
-use std::collections::BTreeSet;
-
-use lsrp_analysis::{table::fmt_f64, RecoveryMetrics, Table};
-use lsrp_core::{LsrpSimulation, LsrpSimulationExt};
-use lsrp_faults::corruption::contiguous_region;
-use lsrp_faults::{CorruptionKind, Fault, FaultPlan, RecurringFault};
-use lsrp_graph::{generators, Distance, NodeId};
+use lsrp_analysis::{RecoveryMetrics, Table};
 use lsrp_scenario::cells::{recovery_cell, EngineModel, RecoveryCellSpec, RegionFault};
 use lsrp_scenario::schema::{Scenario, ScenarioBody, SweepValue};
 use lsrp_scenario::{load_str, run_scenario, DestinationsSpec, ExecOptions};
@@ -22,11 +16,6 @@ use lsrp_scenario::{load_str, run_scenario, DestinationsSpec, ExecOptions};
 pub use lsrp_scenario::cells::apply_plan_generic;
 
 use crate::build::Protocol;
-use crate::HORIZON;
-
-fn v(i: u32) -> NodeId {
-    NodeId::new(i)
-}
 
 fn default_jobs() -> usize {
     std::thread::available_parallelism().map_or(1, |n| n.get())
@@ -137,57 +126,32 @@ pub fn e16_route_stability(width: u32, sizes: &[usize]) -> Table {
 
 /// E10 — Corollary 4 / Theorem 5: a fault recurring with a sufficiently
 /// large interval stays locally contained; contamination is measured over
-/// the *whole* multi-occurrence run.
+/// the *whole* multi-occurrence run. A thin wrapper over
+/// `scenarios/e10_continuous.toml` with its period axis narrowed.
 pub fn e10_continuous(intervals: &[f64]) -> Table {
-    let mut t = Table::new(
-        "E10 — Corollary 4: recurring corruption (grid 12x12, p = 2, 5 occurrences)",
-        &[
-            "interval",
-            "contamination range",
-            "contaminated nodes",
-            "routes correct at end",
-        ],
-    );
-    for &interval in intervals {
-        let graph = generators::grid(12, 12, 1);
-        let dest = v(0);
-        let region = contiguous_region(&graph, v(13), 2, dest);
-        let mut sim = LsrpSimulation::builder(graph.clone(), dest)
-            .timing(crate::build::paper_timing())
-            .build();
-        let plan: FaultPlan = region
-            .iter()
-            .map(|&node| Fault::Corrupt {
-                node,
-                kind: CorruptionKind::Distance(Distance::ZERO),
-            })
-            .collect();
-        let recurring = RecurringFault::new(plan, interval, 5);
-        sim.engine_mut().reset_trace();
-        let t0 = sim.now();
-        let report = recurring
-            .drive_lsrp(&mut sim, HORIZON)
-            .expect("plan applies");
-        let acted = sim.engine().trace().acted_nodes_since(t0);
-        let contaminated: BTreeSet<NodeId> = acted.difference(&region).copied().collect();
-        let range =
-            lsrp_graph::contamination::range_of_contamination(sim.graph(), &region, &contaminated);
-        assert!(report.quiescent);
-        t.row(&[
-            fmt_f64(interval),
-            range.to_string(),
-            contaminated.len().to_string(),
-            sim.routes_correct().to_string(),
-        ]);
+    let mut s = load_scenario(include_str!("../../../scenarios/e10_continuous.toml"));
+    if let ScenarioBody::Recovery(r) = &mut s.body {
+        r.sweep.set_axis(
+            "period",
+            intervals.iter().map(|&x| SweepValue::Float(x)).collect(),
+        );
     }
-    t
+    run_scenario(&s, ExecOptions::sharded(default_jobs()))
+        .expect("e10 scenario runs")
+        .into_table()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::build::ALL_PROTOCOLS;
-    use lsrp_analysis::measure_recovery;
+    use lsrp_analysis::{measure_recovery, table::fmt_f64};
+    use lsrp_faults::corruption::contiguous_region;
+    use lsrp_graph::{generators, Distance, NodeId};
+
+    fn v(i: u32) -> NodeId {
+        NodeId::new(i)
+    }
 
     #[test]
     fn sharded_e6_sweep_is_reproducible() {

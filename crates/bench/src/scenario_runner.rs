@@ -8,7 +8,7 @@ use std::fmt::Write as _;
 
 use lsrp_scenario::{BuiltinRunner, ParamValue};
 
-use crate::{figures, loops_exp, multi_exp, overhead, scaling, selfstab, waves};
+use crate::{figures, loops_exp, multi_exp, overhead, selfstab, waves};
 
 /// Runs builtin experiment ids E1–E19 with scenario `[params]`.
 #[derive(Debug, Default, Clone, Copy)]
@@ -103,10 +103,6 @@ impl BuiltinRunner for BenchRunner {
                 let loops: Vec<u32> = take_int_list(p, "loops", &[4, 8, 16, 32, 64])?;
                 format!("{}\n", loops_exp::e9_loop_breakage(&loops))
             }
-            "e10" => {
-                let intervals = take_float_list(p, "intervals", &[40.0, 120.0, 400.0])?;
-                format!("{}\n", scaling::e10_continuous(&intervals))
-            }
             "e11" => {
                 let widths: Vec<u32> = take_int_list(p, "widths", &[8, 16, 24])?;
                 let sizes: Vec<usize> = take_int_list(p, "sizes", &[2])?;
@@ -132,7 +128,7 @@ impl BuiltinRunner for BenchRunner {
             }
             other => {
                 return Err(format!(
-                    "unknown builtin experiment id '{other}' (the bench runner covers e1, e3, e4, e5, e7, e8, e9, e10, e11, e12, e15, e17, e19)"
+                    "unknown builtin experiment id '{other}' (the bench runner covers e1, e3, e4, e5, e7, e8, e9, e11, e12, e15, e17, e19)"
                 ))
             }
         };

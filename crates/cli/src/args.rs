@@ -73,6 +73,9 @@ pub enum Command {
         /// Region partitions for each cell's engine (byte-identical for
         /// every value; 1 is the sequential engine).
         regions: usize,
+        /// Stream a structured event trace of the first run to this
+        /// path (overrides the scenario's `[trace]` path if present).
+        trace_out: Option<String>,
     },
     /// `scenario check`: parse and statically expand scenario files.
     ScenarioCheck {
@@ -121,6 +124,8 @@ pub enum Command {
         /// Route toward many destinations (the dense multi-destination
         /// plane) instead of the single `--dest`.
         destinations: Option<DestinationsSpec>,
+        /// Stream a structured event trace of the first run to this path.
+        trace_out: Option<String>,
     },
     /// `traffic`: a chaos campaign with live packet forwarding riding the
     /// same engine — workload generators inject packets that hop against
@@ -159,6 +164,16 @@ pub enum Command {
         /// Promote flows to stateful Go-Back-N transfers under this
         /// congestion-control algorithm.
         cc: Option<CongAlgKind>,
+        /// Stream a structured event trace of the first run to this path.
+        trace_out: Option<String>,
+    },
+    /// `viz <trace file>`: render a structured trace into a
+    /// self-contained SVG/HTML visualization.
+    Viz {
+        /// Path to the trace file (JSONL or binary).
+        input: String,
+        /// Output path; defaults to the input with an `.html` extension.
+        out: Option<String>,
     },
     /// `help`
     Help,
@@ -259,13 +274,14 @@ fn parse_scenario<I: Iterator<Item = String>>(mut args: I) -> Result<Command, Pa
     }
 }
 
-/// Parses `run <file.toml> [--jobs N] [--regions N]`.
+/// Parses `run <file.toml> [--jobs N] [--regions N] [--trace-out PATH]`.
 fn parse_run_scenario<I: Iterator<Item = String>>(
     path: String,
     mut args: I,
 ) -> Result<Command, ParseError> {
     let mut jobs = 1usize;
     let mut regions = 1usize;
+    let mut trace_out = None;
     while let Some(flag) = args.next() {
         match flag.as_str() {
             "--jobs" | "-j" => {
@@ -282,9 +298,16 @@ fn parse_run_scenario<I: Iterator<Item = String>>(
                 regions = v.parse().map_err(|_| err("invalid region count"))?;
                 regions = check::regions(regions).map_err(|e| err(format!("--regions {e}")))?;
             }
+            "--trace-out" => {
+                let v = args
+                    .next()
+                    .ok_or_else(|| err("--trace-out expects a file path"))?;
+                trace_out = Some(v);
+            }
             other => {
                 return Err(err(format!(
-                    "unknown flag '{other}' (a scenario run takes only --jobs N and --regions N)"
+                    "unknown flag '{other}' (a scenario run takes only --jobs N, \
+                     --regions N and --trace-out PATH)"
                 )))
             }
         }
@@ -293,7 +316,31 @@ fn parse_run_scenario<I: Iterator<Item = String>>(
         path,
         jobs,
         regions,
+        trace_out,
     })
+}
+
+/// Parses `viz <trace file> [-o OUT]`.
+fn parse_viz<I: Iterator<Item = String>>(mut args: I) -> Result<Command, ParseError> {
+    let mut input = None;
+    let mut out = None;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "-o" | "--out" => {
+                let v = args.next().ok_or_else(|| err("-o expects a file path"))?;
+                out = Some(v);
+            }
+            flag if flag.starts_with('-') => {
+                return Err(err(format!(
+                    "unknown flag '{flag}' (viz takes a trace file and -o OUT)"
+                )))
+            }
+            _ if input.is_none() => input = Some(arg),
+            _ => return Err(err("viz wants exactly one trace file")),
+        }
+    }
+    let input = input.ok_or_else(|| err("viz wants a trace file (from --trace-out)"))?;
+    Ok(Command::Viz { input, out })
 }
 
 impl Command {
@@ -306,6 +353,9 @@ impl Command {
         }
         if sub == "scenario" {
             return parse_scenario(args);
+        }
+        if sub == "viz" {
+            return parse_viz(args);
         }
         if sub == "run" {
             // `lsrp run <scenario.toml>`: a positional argument switches
@@ -335,6 +385,7 @@ impl Command {
         let mut discipline = DisciplineKind::DropTail;
         let mut discipline_set = false;
         let mut cc = None;
+        let mut trace_out = None;
 
         while let Some(flag) = args.next() {
             let mut value = |what: &str| {
@@ -419,6 +470,7 @@ impl Command {
                 "--cc" => {
                     cc = Some(parse_cong_alg(&value("congestion control")?).map_err(err)?);
                 }
+                "--trace-out" => trace_out = Some(value("file path")?),
                 other => return Err(err(format!("unknown flag '{other}'"))),
             }
         }
@@ -434,6 +486,11 @@ impl Command {
         {
             return Err(err(
                 "--link-rate/--queue-cap/--discipline/--cc are only valid with `lsrp traffic`",
+            ));
+        }
+        if trace_out.is_some() && sub != "chaos" && sub != "traffic" {
+            return Err(err(
+                "--trace-out is only valid with `lsrp chaos`, `lsrp traffic` or a scenario run",
             ));
         }
         check::congestion_shape(link_rate, queue_cap, discipline_set).map_err(err)?;
@@ -461,6 +518,7 @@ impl Command {
                 horizon,
                 jobs,
                 destinations,
+                trace_out,
             }),
             "traffic" => Ok(Command::Traffic {
                 topology,
@@ -478,9 +536,10 @@ impl Command {
                 queue_cap,
                 discipline,
                 cc,
+                trace_out,
             }),
             other => Err(err(format!(
-                "unknown command '{other}' (run, scenario, compare, topo, chaos, traffic, help)"
+                "unknown command '{other}' (run, scenario, compare, topo, chaos, traffic, viz, help)"
             ))),
         }
     }
@@ -491,7 +550,7 @@ pub const HELP: &str = "\
 lsrp — drive LSRP (and baselines) through fault scenarios
 
 USAGE:
-  lsrp run     FILE.toml [--jobs N] [--regions N]
+  lsrp run     FILE.toml [--jobs N] [--regions N] [--trace-out PATH]
   lsrp run     --topology SPEC [--protocol lsrp|dbf|dual|pv] [--dest N]
                [--fault SPEC]... [--seed N] [--timeline]
   lsrp scenario check FILE.toml...
@@ -499,12 +558,14 @@ USAGE:
   lsrp compare --topology SPEC [--dest N] [--fault SPEC]... [--seed N]
   lsrp topo    --topology SPEC [--seed N]
   lsrp chaos   --topology SPEC [--dest N] [--seed N] [--runs N] [--jobs N]
-               [--horizon T] [--destinations N|all-pairs]
+               [--horizon T] [--destinations N|all-pairs] [--trace-out PATH]
   lsrp traffic --topology SPEC [--dest N] [--seed N] [--runs N] [--jobs N]
                [--horizon T] [--destinations N|all-pairs]
                [--workload poisson|all-pairs|hotspot] [--flows N]
                [--duration T] [--exact] [--link-rate R] [--queue-cap C]
                [--discipline drop-tail|ecn|pause] [--cc fixed|aimd]
+               [--trace-out PATH]
+  lsrp viz     TRACE [-o OUT.html|OUT.svg]
 
 TOPOLOGIES:  grid:8x8  ring:32  path:16  er:40:0.1  geo:60:0.18
              ba:50:2  lollipop:2:8  waxman:1000:0.05:0.7  cliques:8:6
@@ -551,6 +612,16 @@ Go-Back-N transfer with retransmit timers and exponential backoff under
 fixed-window or AIMD congestion control, adding weighted goodput,
 retransmissions, timeouts and flow-completion times.
 
+`--trace-out PATH` (on `chaos`, `traffic`, and scenario runs) streams a
+versioned structured event log of the campaign's first run to PATH:
+wave fronts, route deltas, queue depths, packet and flow fates, in JSONL
+(or length-prefixed binary via a scenario `[trace]` section, DESIGN.md
+§16). The trace is byte-identical for every `--jobs`/`--regions` value,
+and omitting it keeps every report byte-identical to the untraced
+engine. `viz` renders a trace into a self-contained HTML page — wave
+heatmap over the topology, availability/goodput/queue time series,
+route-flap strip — or just the heatmap SVG with `-o out.svg`.
+
 EXAMPLES:
   lsrp run scenarios/e21_congested_recovery.toml --jobs 4
   lsrp scenario check scenarios/*.toml
@@ -558,6 +629,8 @@ EXAMPLES:
   lsrp compare --topology grid:12x12 --fault corrupt:13:0
   lsrp run --topology lollipop:2:16 --fault loop --timeline
   lsrp chaos --topology grid:6x6 --runs 10 --seed 1
+  lsrp run scenarios/flap_storm.toml --trace-out storm.jsonl
+  lsrp viz storm.jsonl -o storm.html
   lsrp chaos --topology grid:6x6 --destinations all-pairs --runs 5 --jobs 4
   lsrp traffic --topology grid:6x6 --runs 5 --workload hotspot --jobs 4
   lsrp traffic --topology grid:4x4 --destinations 4 --workload all-pairs
@@ -608,6 +681,7 @@ mod tests {
                 path: "scenarios/e6_scaling.toml".to_string(),
                 jobs: 4,
                 regions: 1,
+                trace_out: None,
             }
         );
         let c = Command::parse(argv("run x.toml")).unwrap();
@@ -617,6 +691,7 @@ mod tests {
                 path: "x.toml".to_string(),
                 jobs: 1,
                 regions: 1,
+                trace_out: None,
             }
         );
         let c = Command::parse(argv("run x.toml --regions 4 --jobs 2")).unwrap();
@@ -626,12 +701,65 @@ mod tests {
                 path: "x.toml".to_string(),
                 jobs: 2,
                 regions: 4,
+                trace_out: None,
+            }
+        );
+        let c = Command::parse(argv("run x.toml --trace-out t.jsonl")).unwrap();
+        assert_eq!(
+            c,
+            Command::RunScenario {
+                path: "x.toml".to_string(),
+                jobs: 1,
+                regions: 1,
+                trace_out: Some("t.jsonl".to_string()),
             }
         );
         assert!(Command::parse(argv("run x.toml --jobs 0")).is_err());
         assert!(Command::parse(argv("run x.toml --regions 0")).is_err());
         assert!(Command::parse(argv("run x.toml --regions")).is_err());
+        assert!(Command::parse(argv("run x.toml --trace-out")).is_err());
         assert!(Command::parse(argv("run x.toml --timeline")).is_err());
+    }
+
+    #[test]
+    fn parses_viz() {
+        let c = Command::parse(argv("viz t.jsonl -o out.html")).unwrap();
+        assert_eq!(
+            c,
+            Command::Viz {
+                input: "t.jsonl".to_string(),
+                out: Some("out.html".to_string()),
+            }
+        );
+        let c = Command::parse(argv("viz t.bin")).unwrap();
+        assert_eq!(
+            c,
+            Command::Viz {
+                input: "t.bin".to_string(),
+                out: None,
+            }
+        );
+        assert!(Command::parse(argv("viz")).is_err());
+        assert!(Command::parse(argv("viz a b")).is_err());
+        assert!(Command::parse(argv("viz t.jsonl --bogus")).is_err());
+    }
+
+    #[test]
+    fn trace_out_rejected_off_campaigns() {
+        assert!(
+            Command::parse(argv("topo --topology ring:8 --trace-out t.jsonl")).is_err(),
+            "--trace-out must be chaos/traffic/scenario-run only"
+        );
+        match Command::parse(argv(
+            "chaos --topology grid:4x4 --runs 1 --trace-out t.jsonl",
+        ))
+        .unwrap()
+        {
+            Command::Chaos { trace_out, .. } => {
+                assert_eq!(trace_out.as_deref(), Some("t.jsonl"));
+            }
+            other => panic!("wrong command: {other:?}"),
+        }
     }
 
     #[test]

@@ -20,7 +20,8 @@ use lsrp_core::{InitialState, LsrpSimulation, LsrpSimulationExt};
 use lsrp_graph::{generators, topologies, Graph, NodeId};
 use lsrp_scenario::exec::{run_chaos, run_traffic};
 use lsrp_scenario::schema::{
-    CampaignScenario, CongestionSection, FaultsSection, TrafficScenario, WorkloadSection,
+    CampaignScenario, CongestionSection, FaultsSection, ScenarioBody, TraceSection,
+    TrafficScenario, WorkloadSection,
 };
 use lsrp_scenario::{
     expand_list, load_str, run_scenario_with, ExecOptions, Scenario, ScenarioResult,
@@ -247,6 +248,34 @@ fn load_scenario_file(path: &str) -> Result<Scenario, ParseError> {
     load_str(&src).map_err(|e| ParseError(format!("{path}: {e}")))
 }
 
+/// Applies `--trace-out PATH` to a loaded scenario: overrides the
+/// `[trace]` path when the file has one, otherwise attaches a default
+/// JSONL trace section. Only chaos and traffic scenarios stream traces.
+fn set_trace_out(s: &mut Scenario, path: &str) -> Result<(), String> {
+    let base =
+        match &mut s.body {
+            ScenarioBody::Chaos(c) => c,
+            ScenarioBody::Traffic(t) => &mut t.base,
+            _ => return Err(
+                "--trace-out needs a chaos or traffic scenario (other kinds have no event stream)"
+                    .to_string(),
+            ),
+        };
+    match &mut base.trace {
+        Some(trace) => trace.path = path.to_string(),
+        None => base.trace = Some(TraceSection::new(path)),
+    }
+    Ok(())
+}
+
+/// `viz` output default: the input path with its extension swapped.
+fn default_viz_out(input: &str, ext: &str) -> String {
+    match input.rsplit_once('.') {
+        Some((stem, old)) if !old.contains('/') => format!("{stem}.{ext}"),
+        _ => format!("{input}.{ext}"),
+    }
+}
+
 /// Executes a parsed command; returns the report text.
 ///
 /// # Errors
@@ -258,6 +287,21 @@ pub fn run_command(cmd: &Command) -> Result<String, ParseError> {
     let mut out = String::new();
     match cmd {
         Command::Help => out.push_str(HELP),
+        Command::Viz { input, out: dest } => {
+            let html = dest.as_deref().is_none_or(|p| !p.ends_with(".svg"));
+            let target = dest
+                .clone()
+                .unwrap_or_else(|| default_viz_out(input, "html"));
+            let rendered = if html {
+                lsrp_viz::render_html_file(input)
+            } else {
+                lsrp_viz::render_svg_file(input)
+            }
+            .map_err(|e| ParseError(format!("{input}: {e}")))?;
+            fs::write(&target, rendered)
+                .map_err(|e| ParseError(format!("cannot write '{target}': {e}")))?;
+            let _ = writeln!(out, "wrote {target}");
+        }
         Command::Topo { topology, seed } => {
             let (g, dest) = build_topology(topology, *seed);
             let mut t = Table::new(format!("{topology:?}"), &["metric", "value"]);
@@ -287,8 +331,13 @@ pub fn run_command(cmd: &Command) -> Result<String, ParseError> {
             path,
             jobs,
             regions,
+            trace_out,
         } => {
-            let s = load_scenario_file(path)?;
+            let mut s = load_scenario_file(path)?;
+            if let Some(trace_path) = trace_out {
+                set_trace_out(&mut s, trace_path).map_err(ParseError)?;
+            }
+            let s = s;
             let opts = ExecOptions::sharded(*jobs).with_regions(*regions);
             let outcome = run_scenario_with(&s, opts, Some(&BenchRunner)).map_err(ParseError)?;
             match &outcome.result {
@@ -336,6 +385,7 @@ pub fn run_command(cmd: &Command) -> Result<String, ParseError> {
             horizon,
             jobs,
             destinations,
+            trace_out,
         } => {
             let c = CampaignScenario {
                 topology: topology.clone(),
@@ -346,6 +396,7 @@ pub fn run_command(cmd: &Command) -> Result<String, ParseError> {
                 runs: *runs,
                 horizon: *horizon,
                 faults: FaultsSection::default(),
+                trace: trace_out.clone().map(TraceSection::new),
             };
             let (text, _violating) =
                 run_chaos(&c, ExecOptions::sharded(*jobs)).map_err(ParseError)?;
@@ -367,6 +418,7 @@ pub fn run_command(cmd: &Command) -> Result<String, ParseError> {
             queue_cap,
             discipline,
             cc,
+            trace_out,
         } => {
             let t = TrafficScenario {
                 base: CampaignScenario {
@@ -378,6 +430,7 @@ pub fn run_command(cmd: &Command) -> Result<String, ParseError> {
                     runs: *runs,
                     horizon: *horizon,
                     faults: FaultsSection::default(),
+                    trace: trace_out.clone().map(TraceSection::new),
                 },
                 workload: WorkloadSection {
                     kind: *workload,

@@ -4,10 +4,13 @@
 use lsrp_core::LsrpSimulation;
 use lsrp_graph::GraphError;
 use lsrp_sim::RunReport;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
 use crate::plan::FaultPlan;
 
-/// A fault plan that re-occurs every `interval` simulated seconds.
+/// A fault plan that re-occurs every `interval` simulated seconds,
+/// optionally with a seeded uniform jitter on each gap.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RecurringFault {
     /// The faults applied at each occurrence.
@@ -16,20 +19,45 @@ pub struct RecurringFault {
     pub interval: f64,
     /// Number of occurrences.
     pub occurrences: u32,
+    /// Uniform jitter half-width: each gap is drawn from
+    /// `interval ± jitter`. Zero (the default) keeps the schedule exactly
+    /// periodic — and the drive byte-identical to the pre-jitter code.
+    pub jitter: f64,
+    /// Seed for the jitter draws (unused when `jitter == 0`).
+    pub jitter_seed: u64,
 }
 
 impl RecurringFault {
-    /// Creates a recurring fault.
+    /// Creates a recurring fault with an exactly periodic schedule.
     pub fn new(plan: FaultPlan, interval: f64, occurrences: u32) -> Self {
         assert!(interval > 0.0, "interval must be positive");
         RecurringFault {
             plan,
             interval,
             occurrences,
+            jitter: 0.0,
+            jitter_seed: 0,
         }
     }
 
-    /// Drives `sim` through all occurrences: apply, run for `interval`,
+    /// Adds a seeded uniform jitter of `± jitter` seconds to every gap.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `jitter` is negative or not smaller than the interval
+    /// (a gap must stay positive).
+    #[must_use]
+    pub fn with_jitter(mut self, jitter: f64, seed: u64) -> Self {
+        assert!(
+            jitter >= 0.0 && jitter < self.interval,
+            "jitter must satisfy 0 <= jitter < interval"
+        );
+        self.jitter = jitter;
+        self.jitter_seed = seed;
+        self
+    }
+
+    /// Drives `sim` through all occurrences: apply, run for one gap,
     /// repeat; then run to quiescence until `horizon`.
     ///
     /// # Errors
@@ -44,9 +72,14 @@ impl RecurringFault {
         sim: &mut LsrpSimulation,
         horizon: f64,
     ) -> Result<RunReport, GraphError> {
+        let mut rng = (self.jitter > 0.0).then(|| StdRng::seed_from_u64(self.jitter_seed));
         for _ in 0..self.occurrences {
             self.plan.apply_lsrp(sim)?;
-            let next = sim.now().seconds() + self.interval;
+            let gap = match &mut rng {
+                Some(rng) => self.interval + rng.gen_range(-self.jitter..=self.jitter),
+                None => self.interval,
+            };
+            let next = sim.now().seconds() + gap;
             sim.run_until(next);
         }
         Ok(sim.run_to_quiescence(horizon))
@@ -91,5 +124,30 @@ mod tests {
     #[should_panic(expected = "interval must be positive")]
     fn zero_interval_rejected() {
         let _ = RecurringFault::new(FaultPlan::new(), 0.0, 1);
+    }
+
+    #[test]
+    fn jittered_schedule_is_seeded_and_still_repaired() {
+        let plan = FaultPlan::new().with(Fault::Corrupt {
+            node: v(10),
+            kind: CorruptionKind::Distance(Distance::ZERO),
+        });
+        let run = |seed: u64| {
+            let mut sim = LsrpSimulation::builder(generators::grid(4, 4, 1), v(0)).build();
+            let rec = RecurringFault::new(plan.clone(), 50.0, 4).with_jitter(20.0, seed);
+            let report = rec.drive_lsrp(&mut sim, 100_000.0).unwrap();
+            assert!(report.quiescent);
+            assert!(sim.routes_correct());
+            sim.now().seconds()
+        };
+        // Same seed → same schedule; different seed → different draw.
+        assert_eq!(run(7).to_bits(), run(7).to_bits());
+        assert_ne!(run(7).to_bits(), run(8).to_bits());
+    }
+
+    #[test]
+    #[should_panic(expected = "jitter must satisfy")]
+    fn jitter_wider_than_interval_rejected() {
+        let _ = RecurringFault::new(FaultPlan::new(), 10.0, 1).with_jitter(10.0, 0);
     }
 }

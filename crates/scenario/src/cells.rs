@@ -381,6 +381,94 @@ pub fn region_case_cell(
     })
 }
 
+/// One recurring-fault cell (E10, Corollary 4 / Theorem 5): the listed
+/// regions black-hole (`d := 0`) together every `period` seconds for
+/// `occurrences` rounds, and contamination is measured over the *whole*
+/// multi-occurrence run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecurringCellSpec {
+    /// Grid width (the network is `width` x `width`).
+    pub width: u32,
+    /// The recurring regions, as `(seed node, size)` pairs.
+    pub regions: Vec<(NodeId, usize)>,
+    /// Seconds between occurrences.
+    pub period: f64,
+    /// Uniform jitter half-width on each gap; 0 keeps the schedule
+    /// exactly periodic (and the cell byte-identical to the former
+    /// hand-coded E10 loop).
+    pub jitter: f64,
+    /// Number of occurrences.
+    pub occurrences: u32,
+    /// Jitter seed (unused when `jitter == 0`).
+    pub seed: u64,
+}
+
+/// A recurring-fault cell's outcome.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecurringMetrics {
+    /// Hop-distance of the farthest contaminated node from the regions.
+    pub contamination_range: usize,
+    /// Nodes outside the perturbed regions that executed any action.
+    pub contaminated: usize,
+    /// Whether every route was correct after the final recovery.
+    pub routes_correct: bool,
+    /// Whether the run reached quiescence before the horizon.
+    pub quiescent: bool,
+}
+
+/// Runs one recurring-fault cell: build the grid under paper timing,
+/// then apply the regions' black-hole plan every period (via
+/// [`lsrp_faults::RecurringFault`]) and measure contamination across
+/// all occurrences.
+///
+/// # Panics
+///
+/// Panics if the grid cannot fit a listed region.
+pub fn recurring_cell(spec: &RecurringCellSpec) -> RecurringMetrics {
+    let graph = generators::grid(spec.width, spec.width, 1);
+    let dest = v(0);
+    let mut region: std::collections::BTreeSet<NodeId> = std::collections::BTreeSet::new();
+    for &(node, size) in &spec.regions {
+        let r = contiguous_region(&graph, node, size, dest);
+        assert_eq!(
+            r.len(),
+            size,
+            "grid too small for a region of {size} at {node}"
+        );
+        region.extend(r);
+    }
+    let mut sim = LsrpSimulation::builder(graph.clone(), dest)
+        .timing(paper_timing())
+        .build();
+    let plan: FaultPlan = region
+        .iter()
+        .map(|&node| Fault::Corrupt {
+            node,
+            kind: CorruptionKind::Distance(Distance::ZERO),
+        })
+        .collect();
+    let mut recurring = lsrp_faults::RecurringFault::new(plan, spec.period, spec.occurrences);
+    if spec.jitter > 0.0 {
+        recurring = recurring.with_jitter(spec.jitter, spec.seed);
+    }
+    sim.engine_mut().reset_trace();
+    let t0 = sim.now();
+    let report = recurring
+        .drive_lsrp(&mut sim, HORIZON)
+        .expect("plan applies");
+    let acted = sim.engine().trace().acted_nodes_since(t0);
+    let contaminated: std::collections::BTreeSet<NodeId> =
+        acted.difference(&region).copied().collect();
+    let range =
+        lsrp_graph::contamination::range_of_contamination(sim.graph(), &region, &contaminated);
+    RecurringMetrics {
+        contamination_range: range,
+        contaminated: contaminated.len(),
+        routes_correct: sim.routes_correct(),
+        quiescent: report.quiescent,
+    }
+}
+
 /// One multi-destination recovery cell on the dense plane: a contiguous
 /// region of `p` nodes near the corner has *every* instance table
 /// hijacked, and the run is judged on all `dests` trees at once.

@@ -20,8 +20,9 @@ use lsrp_sim::EngineConfig;
 use lsrp_graph::NodeId;
 
 use crate::cells::{
-    live_hijack_cell, multi_recovery_cell, recovery_cell, region_case_cell, snapshot_hijack_cell,
-    EngineModel, LiveHijackSpec, Protocol, RecoveryCellSpec,
+    live_hijack_cell, multi_recovery_cell, recovery_cell, recurring_cell, region_case_cell,
+    snapshot_hijack_cell, EngineModel, LiveHijackSpec, Protocol, RecoveryCellSpec,
+    RecurringCellSpec,
 };
 use crate::schema::{
     Binding, CampaignScenario, Expectation, HijackMode, HijackScenario, Plane, RecoveryScenario,
@@ -56,6 +57,10 @@ pub const REGION_CASE_COLUMNS: &[&str] = &[
     "actions",
     "routes_correct",
 ];
+
+/// Column keys a `[[fault.recurring]]` recovery scenario may report
+/// (one row per resolved period).
+pub const RECURRING_COLUMNS: &[&str] = &["period", "range", "contaminated", "routes_correct"];
 
 /// Column keys a multi-plane recovery scenario may report.
 pub const RECOVERY_MULTI_COLUMNS: &[&str] = &[
@@ -100,6 +105,7 @@ pub fn column_header(key: &str) -> &'static str {
         "protocol" => "protocol",
         "grid_n" => "n (grid)",
         "p" => "perturbation p",
+        "period" => "interval",
         "case" => "scenario",
         "perturbed" => "total perturbed",
         "stab_time" => "stabilization time",
@@ -143,6 +149,12 @@ pub fn expect_vocabulary(body: &ScenarioBody) -> &'static [&'static str] {
             "messages_delivered",
             "adverts_delivered",
             "acting",
+        ],
+        ScenarioBody::Recovery(r) if !r.recurring.is_empty() => &[
+            "contamination_range",
+            "contaminated",
+            "routes_correct",
+            "quiescent",
         ],
         ScenarioBody::Recovery(_) => &[
             "stabilization_time",
@@ -415,6 +427,32 @@ impl ExecOptions {
     }
 }
 
+/// Installs a `[trace]` section's streaming sink on an engine config.
+/// With no section this is a no-op, keeping the run byte-identical to
+/// the pre-trace engine. The campaign loops hand the one-shot factory
+/// only to run 0, so a traced campaign streams its first run.
+fn install_trace(
+    engine: &mut EngineConfig,
+    c: &CampaignScenario,
+    topology: &str,
+) -> Result<(), String> {
+    let Some(trace) = &c.trace else {
+        return Ok(());
+    };
+    if c.destinations.is_some() {
+        // Parse-time validation catches this for scenario files; the
+        // flag-built CLI path lands here.
+        return Err(
+            "tracing is not supported on multi-destination campaigns (drop --destinations)"
+                .to_string(),
+        );
+    }
+    let factory = lsrp_trace::streaming_factory(trace.config(topology), engine.sink)
+        .map_err(|e| format!("cannot open trace file '{}': {e}", trace.path))?;
+    *engine = engine.clone().with_sink_factory(factory);
+    Ok(())
+}
+
 /// Lowers and runs a `chaos` scenario: exactly the `lsrp chaos` path,
 /// including the minimized-repro appendix for violating runs.
 ///
@@ -428,13 +466,14 @@ pub fn run_chaos(c: &CampaignScenario, opts: ExecOptions) -> Result<(String, u64
     if !graph.has_node(dest) {
         return Err(format!("destination {dest} is not in the topology"));
     }
-    let config = ChaosConfig {
+    let mut config = ChaosConfig {
         horizon: c.horizon,
         fault_window: c.faults.window,
         process: c.faults.process,
         engine: opts.engine(EngineConfig::default()),
         ..ChaosConfig::default()
     };
+    install_trace(&mut config.engine, c, &c.topology.to_string())?;
     if let Some(spec) = c.destinations {
         let dests = spec.resolve(&graph)?;
         let campaign = multi_chaos_campaign_with_jobs(
@@ -493,7 +532,7 @@ pub fn run_traffic(t: &TrafficScenario, opts: ExecOptions) -> Result<(String, u6
     if !graph.has_node(dest) {
         return Err(format!("destination {dest} is not in the topology"));
     }
-    let config = TrafficConfig {
+    let mut config = TrafficConfig {
         chaos: ChaosConfig {
             horizon: c.horizon,
             fault_window: c.faults.window,
@@ -506,6 +545,7 @@ pub fn run_traffic(t: &TrafficScenario, opts: ExecOptions) -> Result<(String, u6
         duration: t.duration,
         ..TrafficConfig::default()
     };
+    install_trace(&mut config.chaos.engine, c, &c.topology.to_string())?;
     if let Some(spec) = c.destinations {
         let dests = spec.resolve(&graph)?;
         let campaign = multi_traffic_campaign_with_jobs(
@@ -754,6 +794,116 @@ fn run_region_cases(
     })
 }
 
+/// Resolves the `[[fault.recurring]]` tables into one cell per resolved
+/// period: every table's region is corrupted together at each
+/// occurrence, and the sweep's `period` axis (when present) overrides
+/// the per-table period.
+fn expand_recurring(r: &RecoveryScenario) -> Result<Vec<RecurringCellSpec>, String> {
+    let width = r.width.expect("validated at parse time");
+    let first = &r.recurring[0];
+    for rec in &r.recurring[1..] {
+        if rec.period != first.period
+            || rec.jitter != first.jitter
+            || rec.occurrences != first.occurrences
+        {
+            return Err(format!(
+                "[[fault.recurring]] tables disagree on the schedule (seed_node {} vs {}): \
+                 period, jitter and occurrences must match across tables",
+                first.seed_node, rec.seed_node
+            ));
+        }
+    }
+    let mut regions = Vec::new();
+    for rec in &r.recurring {
+        let size = rec.size.or(r.p).ok_or_else(|| {
+            format!(
+                "[[fault.recurring]] seed_node {} needs a 'size' (or a [recovery] p default)",
+                rec.seed_node
+            )
+        })?;
+        regions.push((rec.seed_node, size));
+    }
+    let mut cells = Vec::new();
+    for binding in r.sweep.expand() {
+        let period = match bind_f64(&binding, "period")?.or(first.period) {
+            Some(p) if p > 0.0 => p,
+            Some(p) => return Err(format!("recurring fault period must be positive, got {p}")),
+            None => {
+                return Err(
+                    "recurring cell needs a period (set it on [[fault.recurring]] or sweep it)"
+                        .to_string(),
+                )
+            }
+        };
+        if first.jitter >= period {
+            return Err(format!(
+                "recurring fault jitter {} must be smaller than the period {period} \
+                 (a gap must stay positive)",
+                first.jitter
+            ));
+        }
+        cells.push(RecurringCellSpec {
+            width,
+            regions: regions.clone(),
+            period,
+            jitter: first.jitter,
+            occurrences: first.occurrences,
+            seed: r.seed,
+        });
+    }
+    Ok(cells)
+}
+
+/// Runs the `[[fault.recurring]]` path of a recovery scenario: one row
+/// per resolved period, each driving the recurring-corruption schedule
+/// to quiescence (E10, Corollary 4).
+fn run_recurring(
+    r: &RecoveryScenario,
+    jobs: usize,
+    expect: &[Expectation],
+) -> Result<ScenarioOutcome, String> {
+    let cells = expand_recurring(r)?;
+    let headers: Vec<&str> = r.report.columns.iter().map(|c| column_header(c)).collect();
+    let title = render_title(&r.report.title, &recovery_title_subs(r));
+    let mut table = Table::new(title, &headers);
+    let mut failures = Vec::new();
+    let specs = cells.clone();
+    let results = run_sharded(jobs, specs.len(), move |i| recurring_cell(&specs[i]));
+    for (cell, m) in cells.iter().zip(&results) {
+        assert!(m.quiescent, "period={}", cell.period);
+        if r.require_correct {
+            assert!(m.routes_correct, "period={}", cell.period);
+        }
+        let row: Vec<String> = r
+            .report
+            .columns
+            .iter()
+            .map(|key| match key.as_str() {
+                "period" => fmt_f64(cell.period),
+                "range" => m.contamination_range.to_string(),
+                "contaminated" => m.contaminated.to_string(),
+                "routes_correct" => m.routes_correct.to_string(),
+                other => panic!("column key '{other}' escaped schema validation"),
+            })
+            .collect();
+        table.row(&row);
+        #[allow(clippy::cast_precision_loss)]
+        let metrics: Vec<(&str, f64)> = vec![
+            ("contamination_range", m.contamination_range as f64),
+            ("contaminated", m.contaminated as f64),
+            ("routes_correct", bool_metric(m.routes_correct)),
+            ("quiescent", bool_metric(m.quiescent)),
+        ];
+        let vars: Vec<(&str, f64)> = vec![("period", cell.period)];
+        let label = format!("period={}", fmt_f64(cell.period));
+        eval_expectations(expect, &metrics, &vars, &label, &mut failures);
+    }
+    Ok(ScenarioOutcome {
+        result: ScenarioResult::Table(table),
+        failures,
+    })
+}
+
 fn run_recovery(
     r: &RecoveryScenario,
     jobs: usize,
@@ -761,6 +911,9 @@ fn run_recovery(
 ) -> Result<ScenarioOutcome, String> {
     if !r.regions.is_empty() {
         return run_region_cases(r, jobs, expect);
+    }
+    if !r.recurring.is_empty() {
+        return run_recurring(r, jobs, expect);
     }
     let cells = expand_recovery(r)?;
     let headers: Vec<&str> = r.report.columns.iter().map(|c| column_header(c)).collect();
@@ -1182,6 +1335,31 @@ pub fn expand_list(s: &Scenario) -> Result<Vec<String>, String> {
                             parts.join(", "),
                             r.seed
                         )
+                    })
+                    .collect());
+            }
+            if !r.recurring.is_empty() {
+                return Ok(expand_recurring(r)?
+                    .iter()
+                    .enumerate()
+                    .map(|(i, c)| {
+                        let parts: Vec<String> = c
+                            .regions
+                            .iter()
+                            .map(|(node, size)| format!("{node}+{size}"))
+                            .collect();
+                        let mut s = format!(
+                            "cell {i}: width={} regions [{}] period={} occurrences={}",
+                            c.width,
+                            parts.join(", "),
+                            crate::toml::fmt_float(c.period),
+                            c.occurrences
+                        );
+                        if c.jitter > 0.0 {
+                            let _ = write!(s, " jitter={}", crate::toml::fmt_float(c.jitter));
+                        }
+                        let _ = write!(s, " seed={}", c.seed);
+                        s
                     })
                     .collect());
             }

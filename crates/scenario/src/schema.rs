@@ -5,12 +5,14 @@
 //! sections. Five kinds exist:
 //!
 //! - `chaos` — a randomized fault-process campaign (the `lsrp chaos`
-//!   shape): `[topology]`, `[campaign]`, `[faults]`.
+//!   shape): `[topology]`, `[campaign]`, `[faults]`, optional `[trace]`.
 //! - `traffic` — a chaos campaign with a live workload (the
 //!   `lsrp traffic` shape): adds `[workload]` and `[congestion]`.
 //! - `recovery` — an E6-family sweep of recovery cells over
 //!   `(protocol, width, p, loss)`: `[recovery]`, `[engine]`,
-//!   `[report]`, `[sweep]` / `[[case]]`.
+//!   `[report]`, `[sweep]` / `[[case]]`; or the `[[fault.region]]`
+//!   concurrent-regions and `[[fault.recurring]]` recurring-fault
+//!   shapes.
 //! - `hijack` — a prefix-hijack availability experiment, snapshot
 //!   (E13) or live (E20/E21): `[hijack]`, `[workload]`,
 //!   `[congestion]`, `[report]`, `[sweep]` / `[[case]]`.
@@ -94,12 +96,65 @@ pub struct CampaignScenario {
     pub horizon: f64,
     /// The stochastic fault process.
     pub faults: FaultsSection,
+    /// Structured trace export (`[trace]`); `None` keeps the run
+    /// byte-identical to the pre-trace engine.
+    pub trace: Option<TraceSection>,
 }
 
 impl CampaignScenario {
     /// The seed used to build randomized topologies.
     pub fn topology_seed(&self) -> u64 {
         self.topology_seed.unwrap_or(self.seed)
+    }
+}
+
+/// The `[trace]` section: where and how a campaign's first run streams
+/// its structured event trace (DESIGN.md §16). Only run 0 of a campaign
+/// is traced — the sink is a one-shot factory — so the file captures one
+/// complete, deterministic run regardless of `runs` or `--jobs`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceSection {
+    /// Output file path.
+    pub path: String,
+    /// On-disk encoding: `"jsonl"` (default) or `"binary"`.
+    pub format: String,
+    /// Event-class filter (`None` = all classes); validated against the
+    /// `lsrp-trace` vocabulary at parse time.
+    pub classes: Option<Vec<String>>,
+    /// Ordered-event frames between `snap` frames (`None` = the
+    /// `lsrp-trace` default).
+    pub snapshot_every: Option<u64>,
+}
+
+impl TraceSection {
+    /// A default-everything section writing JSONL to `path`.
+    pub fn new(path: impl Into<String>) -> TraceSection {
+        TraceSection {
+            path: path.into(),
+            format: "jsonl".to_string(),
+            classes: None,
+            snapshot_every: None,
+        }
+    }
+
+    /// Lowers to the `lsrp-trace` config, stamping the topology label.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an invalid format or class list (both are validated at
+    /// parse time, so this is unreachable from a loaded scenario).
+    pub fn config(&self, topology: &str) -> lsrp_trace::TraceConfig {
+        let mut cfg = lsrp_trace::TraceConfig::new(&self.path);
+        cfg.format = lsrp_trace::TraceFormat::parse(&self.format).expect("validated at parse time");
+        if let Some(classes) = &self.classes {
+            cfg.classes =
+                lsrp_trace::EventClasses::from_names(classes).expect("validated at parse time");
+        }
+        if let Some(n) = self.snapshot_every {
+            cfg.snapshot_every = n;
+        }
+        cfg.topology = Some(topology.to_string());
+        cfg
     }
 }
 
@@ -245,6 +300,10 @@ pub struct RecoveryScenario {
     /// sharing a `case` label are corrupted in the same run, one table
     /// row per case. Empty for the classic single-region sweep.
     pub regions: Vec<FaultRegion>,
+    /// Recurring perturbations (`[[fault.recurring]]`, Corollary 4 /
+    /// Theorem 5): the same regions black-hole again every period.
+    /// Empty for the one-shot paths.
+    pub recurring: Vec<FaultRecurring>,
     /// Scenario seed.
     pub seed: u64,
     /// How cell seeds derive from the scenario seed.
@@ -277,6 +336,27 @@ pub struct FaultRegion {
     pub seed_node: NodeId,
     /// Region size; defaults to the `[recovery]` `p`.
     pub size: Option<usize>,
+}
+
+/// One recurring perturbation (`[[fault.recurring]]`, Corollary 4 /
+/// Theorem 5): a contiguous region grown from `seed_node` away from the
+/// destination black-holes (`d := 0`) on every occurrence. All entries
+/// of a scenario recur together in the same run; one table row per
+/// resolved period.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultRecurring {
+    /// Node the contiguous region grows from.
+    pub seed_node: NodeId,
+    /// Region size; defaults to the `[recovery]` `p`.
+    pub size: Option<usize>,
+    /// Seconds between occurrences; `None` defers to a `period` sweep
+    /// axis.
+    pub period: Option<f64>,
+    /// Uniform jitter half-width on each gap (seconds); 0 keeps the
+    /// schedule exactly periodic.
+    pub jitter: f64,
+    /// Number of occurrences.
+    pub occurrences: u32,
 }
 
 /// Snapshot or live hijack measurement.
@@ -954,6 +1034,13 @@ fn parse_campaign(root: &Table, seen: &mut Vec<&'static str>) -> Result<Campaign
         f.finish()?;
     }
     let faults = parse_faults(root, seen)?;
+    let trace = parse_trace(root, seen)?;
+    if trace.is_some() && destinations.is_some() {
+        return Err(
+            "[trace] is not supported on multi-destination campaigns (drop 'destinations' or the [trace] section)"
+                .to_string(),
+        );
+    }
     Ok(CampaignScenario {
         topology,
         topology_seed,
@@ -963,7 +1050,39 @@ fn parse_campaign(root: &Table, seen: &mut Vec<&'static str>) -> Result<Campaign
         runs,
         horizon,
         faults,
+        trace,
     })
+}
+
+fn parse_trace(root: &Table, seen: &mut Vec<&'static str>) -> Result<Option<TraceSection>, String> {
+    let Some(table) = section(root, "trace", seen, "trace")? else {
+        return Ok(None);
+    };
+    let mut f = Fields::new("trace", table);
+    let Some((path, _)) = f.str("path")? else {
+        return Err(format!(
+            "line {}: [trace] needs a 'path' field (the output file)",
+            table.line
+        ));
+    };
+    let mut out = TraceSection::new(path);
+    if let Some((s, line)) = f.str("format")? {
+        f.checked("format", line, lsrp_trace::TraceFormat::parse(&s))?;
+        out.format = s;
+    }
+    if let Some((classes, line)) = f.str_list("classes")? {
+        f.checked(
+            "classes",
+            line,
+            lsrp_trace::EventClasses::from_names(&classes),
+        )?;
+        out.classes = Some(classes);
+    }
+    if let Some((v, _)) = f.unsigned("snapshot_every")? {
+        out.snapshot_every = Some(v);
+    }
+    f.finish()?;
+    Ok(Some(out))
 }
 
 fn parse_report(
@@ -1093,7 +1212,36 @@ fn parse_recovery(root: &Table, seen: &mut Vec<&'static str>) -> Result<Recovery
         topology_seed = f.unsigned("seed")?.map(|(v, _)| v);
         f.finish()?;
     }
-    let regions = parse_fault_regions(root, seen)?;
+    let (regions, recurring) = parse_fault_tables(root, seen)?;
+    if !regions.is_empty() && !recurring.is_empty() {
+        return Err(format!(
+            "line {}: [[fault.region]] and [[fault.recurring]] are mutually exclusive",
+            table.line
+        ));
+    }
+    if !recurring.is_empty() {
+        let line = table.line;
+        if width.is_none() {
+            return Err(format!(
+                "line {line}: [[fault.recurring]] needs a fixed [recovery] 'width' (the run builds a width x width grid)"
+            ));
+        }
+        if topology.is_some() {
+            return Err(format!(
+                "line {line}: [topology] does not apply to [[fault.recurring]] (the grid is built from 'width')"
+            ));
+        }
+        if plane != Plane::Single {
+            return Err(format!(
+                "line {line}: [[fault.recurring]] runs on the single-tree plane"
+            ));
+        }
+        if protocol.is_some_and(|p| p != Protocol::Lsrp) {
+            return Err(format!(
+                "line {line}: [[fault.recurring]] drives the LSRP simulation (set protocol = \"lsrp\" or omit it)"
+            ));
+        }
+    }
     if !regions.is_empty() {
         let line = table.line;
         if topology.is_none() {
@@ -1111,7 +1259,7 @@ fn parse_recovery(root: &Table, seen: &mut Vec<&'static str>) -> Result<Recovery
                 "line {line}: [[fault.region]] cases run on the single-tree plane"
             ));
         }
-    } else if topology.is_some() {
+    } else if recurring.is_empty() && topology.is_some() {
         return Err(format!(
             "line {}: [topology] on a recovery scenario needs [[fault.region]] cases (the sweep path builds a grid from 'width')",
             table.line
@@ -1179,11 +1327,15 @@ fn parse_recovery(root: &Table, seen: &mut Vec<&'static str>) -> Result<Recovery
         crate::exec::RECOVERY_MULTI_COLUMNS
     } else if !regions.is_empty() {
         crate::exec::REGION_CASE_COLUMNS
+    } else if !recurring.is_empty() {
+        crate::exec::RECURRING_COLUMNS
     } else {
         crate::exec::RECOVERY_COLUMNS
     };
     let report = parse_report(root, seen, vocab, "recovery")?;
-    let axes: &[&str] = if plane == Plane::Multi {
+    let axes: &[&str] = if !recurring.is_empty() {
+        &["period"]
+    } else if plane == Plane::Multi {
         &["width", "p"]
     } else {
         &["protocol", "width", "p", "loss"]
@@ -1195,6 +1347,24 @@ fn parse_recovery(root: &Table, seen: &mut Vec<&'static str>) -> Result<Recovery
                 .to_string(),
         );
     }
+    if !recurring.is_empty() {
+        let swept = sweep.axes.iter().any(|(k, _)| k == "period")
+            || sweep
+                .cases
+                .iter()
+                .all(|c| c.iter().any(|(k, _)| k == "period"))
+                && !sweep.cases.is_empty();
+        if !swept {
+            for rec in &recurring {
+                if rec.period.is_none() {
+                    return Err(format!(
+                        "[[fault.recurring]] seed_node {} needs a 'period' (or sweep one with [sweep] period)",
+                        rec.seed_node
+                    ));
+                }
+            }
+        }
+    }
     Ok(RecoveryScenario {
         protocol,
         width,
@@ -1202,6 +1372,7 @@ fn parse_recovery(root: &Table, seen: &mut Vec<&'static str>) -> Result<Recovery
         topology,
         topology_seed,
         regions,
+        recurring,
         seed,
         seed_mode,
         fault,
@@ -1214,24 +1385,27 @@ fn parse_recovery(root: &Table, seen: &mut Vec<&'static str>) -> Result<Recovery
     })
 }
 
-/// Parses the `[[fault.region]]` array: each entry is one concurrent
-/// perturbed region tagged with the `case` (table row) it belongs to.
-fn parse_fault_regions(
+/// Parses the `[[fault.region]]` and `[[fault.recurring]]` arrays:
+/// each `region` entry is one concurrent perturbed region tagged with
+/// the `case` (table row) it belongs to; each `recurring` entry is one
+/// periodically re-perturbed region.
+fn parse_fault_tables(
     root: &Table,
     seen: &mut Vec<&'static str>,
-) -> Result<Vec<FaultRegion>, String> {
+) -> Result<(Vec<FaultRegion>, Vec<FaultRecurring>), String> {
     seen.push("fault");
     let Some(entry) = root.get("fault") else {
-        return Ok(Vec::new());
+        return Ok((Vec::new(), Vec::new()));
     };
     let Entry::Table(fault) = entry else {
-        return Err("'fault' must hold [[fault.region]] tables".to_string());
+        return Err("'fault' must hold [[fault.region]] or [[fault.recurring]] tables".to_string());
     };
     let mut regions = Vec::new();
+    let mut recurring = Vec::new();
     for (key, entry) in &fault.entries {
-        if key != "region" {
+        if key != "region" && key != "recurring" {
             return Err(format!(
-                "unknown key '{key}' under [fault] (only [[fault.region]] tables are recognized)"
+                "unknown key '{key}' under [fault] (only [[fault.region]] and [[fault.recurring]] tables are recognized)"
             ));
         }
         let tables: &[Table] = match entry {
@@ -1239,49 +1413,107 @@ fn parse_fault_regions(
             Entry::Table(t) => std::slice::from_ref(t),
             Entry::Value(sp) => {
                 return Err(format!(
-                    "line {}: 'fault.region' must be [[fault.region]] tables, got {}",
+                    "line {}: 'fault.{key}' must be [[fault.{key}]] tables, got {}",
                     sp.line,
                     sp.value.type_name()
                 ))
             }
         };
         for t in tables {
-            let mut f = Fields::new("fault.region", t);
-            let Some((case, _)) = f.str("case")? else {
-                return Err(format!(
-                    "line {}: [[fault.region]] needs a 'case' label (regions with the same label run concurrently)",
-                    t.line
-                ));
-            };
-            let Some((node, line)) = f.unsigned("seed_node")? else {
-                return Err(format!(
-                    "line {}: [[fault.region]] needs a 'seed_node'",
-                    t.line
-                ));
-            };
-            let seed_node = u32::try_from(node).map(NodeId::new).map_err(|_| {
-                format!("line {line}: [[fault.region]] field 'seed_node' is out of range")
-            })?;
-            let size = f
-                .unsigned("size")?
-                .map(|(v, line)| {
-                    if v == 0 {
-                        return Err(format!(
-                            "line {line}: [[fault.region]] field 'size' must be at least 1"
-                        ));
-                    }
-                    Ok(v as usize)
-                })
-                .transpose()?;
-            f.finish()?;
-            regions.push(FaultRegion {
-                case,
-                seed_node,
-                size,
-            });
+            if key == "region" {
+                regions.push(parse_one_region(t)?);
+            } else {
+                recurring.push(parse_one_recurring(t)?);
+            }
         }
     }
-    Ok(regions)
+    Ok((regions, recurring))
+}
+
+fn region_size(f: &mut Fields<'_>, section: &str) -> Result<Option<usize>, String> {
+    f.unsigned("size")?
+        .map(|(v, line)| {
+            if v == 0 {
+                return Err(format!(
+                    "line {line}: [[{section}]] field 'size' must be at least 1"
+                ));
+            }
+            Ok(v as usize)
+        })
+        .transpose()
+}
+
+fn region_seed_node(f: &mut Fields<'_>, t: &Table, section: &str) -> Result<NodeId, String> {
+    let Some((node, line)) = f.unsigned("seed_node")? else {
+        return Err(format!(
+            "line {}: [[{section}]] needs a 'seed_node'",
+            t.line
+        ));
+    };
+    u32::try_from(node)
+        .map(NodeId::new)
+        .map_err(|_| format!("line {line}: [[{section}]] field 'seed_node' is out of range"))
+}
+
+fn parse_one_region(t: &Table) -> Result<FaultRegion, String> {
+    let mut f = Fields::new("fault.region", t);
+    let Some((case, _)) = f.str("case")? else {
+        return Err(format!(
+            "line {}: [[fault.region]] needs a 'case' label (regions with the same label run concurrently)",
+            t.line
+        ));
+    };
+    let seed_node = region_seed_node(&mut f, t, "fault.region")?;
+    let size = region_size(&mut f, "fault.region")?;
+    f.finish()?;
+    Ok(FaultRegion {
+        case,
+        seed_node,
+        size,
+    })
+}
+
+fn parse_one_recurring(t: &Table) -> Result<FaultRecurring, String> {
+    let mut f = Fields::new("fault.recurring", t);
+    let seed_node = region_seed_node(&mut f, t, "fault.recurring")?;
+    let size = region_size(&mut f, "fault.recurring")?;
+    let period = f
+        .float("period")?
+        .map(|(v, line)| f.checked("period", line, check::positive(v)))
+        .transpose()?;
+    let jitter = match f.float("jitter")? {
+        None => 0.0,
+        Some((v, line)) => {
+            if !(v.is_finite() && v >= 0.0) {
+                return Err(format!(
+                    "line {line}: [fault.recurring] field 'jitter' must be >= 0"
+                ));
+            }
+            v
+        }
+    };
+    let occurrences = match f.unsigned("occurrences")? {
+        None => 5,
+        Some((v, line)) => {
+            let v = u32::try_from(v).map_err(|_| {
+                format!("line {line}: [fault.recurring] field 'occurrences' is out of range")
+            })?;
+            if v == 0 {
+                return Err(format!(
+                    "line {line}: [fault.recurring] field 'occurrences' must be at least 1"
+                ));
+            }
+            v
+        }
+    };
+    f.finish()?;
+    Ok(FaultRecurring {
+        seed_node,
+        size,
+        period,
+        jitter,
+        occurrences,
+    })
 }
 
 fn parse_hijack(root: &Table, seen: &mut Vec<&'static str>) -> Result<HijackScenario, String> {
@@ -1593,6 +1825,18 @@ fn emit_campaign(e: &mut Emitter, c: &CampaignScenario) {
     e.float("min_outage", c.faults.process.min_outage);
     e.float("max_outage", c.faults.process.max_outage);
     e.float("window", c.faults.window);
+    if let Some(t) = &c.trace {
+        e.sect("trace");
+        e.string("path", &t.path);
+        e.string("format", &t.format);
+        if let Some(classes) = &t.classes {
+            let items: Vec<String> = classes.iter().map(|c| toml::escape(c)).collect();
+            e.kv("classes", &format!("[{}]", items.join(", ")));
+        }
+        if let Some(n) = t.snapshot_every {
+            e.int("snapshot_every", n);
+        }
+    }
 }
 
 fn emit_workload(e: &mut Emitter, w: &WorkloadSection) {
@@ -1734,6 +1978,20 @@ impl Scenario {
                     if let Some(size) = region.size {
                         e.int("size", size);
                     }
+                }
+                for rec in &r.recurring {
+                    e.arr_sect("fault.recurring");
+                    e.int("seed_node", rec.seed_node.raw());
+                    if let Some(size) = rec.size {
+                        e.int("size", size);
+                    }
+                    if let Some(p) = rec.period {
+                        e.float("period", p);
+                    }
+                    if rec.jitter != 0.0 {
+                        e.float("jitter", rec.jitter);
+                    }
+                    e.int("occurrences", rec.occurrences);
                 }
                 if r.engine != EngineSection::default() {
                     e.sect("engine");

@@ -76,7 +76,7 @@ fn corpus_covers_every_experiment() {
         }
     }
     for id in [
-        "e1", "e3", "e4", "e5", "e8", "e9", "e10", "e11", "e12", "e15", "e17", "e19",
+        "e1", "e3", "e4", "e5", "e8", "e9", "e11", "e12", "e15", "e17", "e19",
     ] {
         assert!(
             builtin_ids.iter().any(|b| b == id),
@@ -87,6 +87,7 @@ fn corpus_covers_every_experiment() {
         "e6-scaling",
         "e6-multi",
         "e7-regions",
+        "e10-continuous",
         "e13-availability",
         "e14-robustness",
         "e16-route-stability",

@@ -1,0 +1,113 @@
+//! Trace-file region equivalence: a `[trace]`-enabled campaign must
+//! write byte-identical trace files whether its engines run
+//! sequentially or partitioned into regions over worker threads. The
+//! streaming sink consumes only the ordered observability merge (and
+//! commutative message totals), so the file — like the report — is a
+//! pure function of the scenario.
+
+use std::path::Path;
+
+use lsrp_scenario::schema::load_str;
+use lsrp_scenario::{run_scenario, ExecOptions};
+
+fn chaos_scenario(trace_path: &Path) -> String {
+    format!(
+        r#"
+[scenario]
+name = "trace-equiv"
+kind = "chaos"
+description = "Trace byte-equivalence probe"
+
+[topology]
+spec = "grid:6x6"
+
+[campaign]
+runs = 2
+seed = 11
+
+[faults]
+link_flaps = 6
+node_churn = 1
+partitions = 0
+corruptions = 2
+min_outage = 4.0
+max_outage = 20.0
+
+[trace]
+path = "{}"
+"#,
+        trace_path.display()
+    )
+}
+
+fn traffic_scenario(trace_path: &Path) -> String {
+    format!(
+        r#"
+[scenario]
+name = "trace-equiv-traffic"
+kind = "traffic"
+description = "Traffic trace byte-equivalence probe"
+
+[topology]
+spec = "grid:6x6"
+
+[campaign]
+runs = 1
+seed = 3
+
+[faults]
+link_flaps = 3
+node_churn = 0
+partitions = 0
+corruptions = 1
+min_outage = 4.0
+max_outage = 15.0
+
+[workload]
+flows = 6
+
+[traffic]
+duration = 40.0
+
+[trace]
+path = "{}"
+"#,
+        trace_path.display()
+    )
+}
+
+fn run_both(make: impl Fn(&Path) -> String, stem: &str) {
+    let dir = std::env::temp_dir().join("lsrp-scenario-trace-equiv");
+    std::fs::create_dir_all(&dir).unwrap();
+    let serial_path = dir.join(format!("{stem}-serial.jsonl"));
+    let region_path = dir.join(format!("{stem}-regions.jsonl"));
+
+    let serial = load_str(&make(&serial_path)).unwrap();
+    let serial_out = run_scenario(&serial, ExecOptions::default()).unwrap();
+
+    let region = load_str(&make(&region_path)).unwrap();
+    let region_out = run_scenario(&region, ExecOptions::sharded(4).with_regions(4)).unwrap();
+
+    assert_eq!(
+        serial_out.report(),
+        region_out.report(),
+        "{stem}: report text diverged between serial and --regions 4 --jobs 4"
+    );
+    let a = std::fs::read(&serial_path).unwrap();
+    let b = std::fs::read(&region_path).unwrap();
+    assert!(!a.is_empty(), "{stem}: serial trace file is empty");
+    assert_eq!(
+        a, b,
+        "{stem}: trace files diverged between serial and --regions 4 --jobs 4"
+    );
+}
+
+#[test]
+fn chaos_trace_is_byte_identical_across_region_splits() {
+    run_both(chaos_scenario, "chaos");
+}
+
+#[test]
+fn traffic_trace_is_byte_identical_across_region_splits() {
+    run_both(traffic_scenario, "traffic");
+}

@@ -4,7 +4,7 @@
 use crate::clock::ClockConfig;
 use crate::congestion::CongestionConfig;
 use crate::sched::SchedulerKind;
-use crate::sink::SinkKind;
+use crate::sink::{SinkFactory, SinkKind};
 
 /// Parameters of the two-state Gilbert–Elliott bursty-loss channel.
 ///
@@ -227,6 +227,13 @@ pub struct EngineConfig {
     /// observability stream through. Sink choice never affects simulation
     /// behavior, only what is recorded.
     pub sink: SinkKind,
+    /// Optional custom sink constructor, consulted before `sink`. When
+    /// present and it yields a sink, the engine installs that instead of
+    /// building one from `sink` (a one-shot factory that arms exactly one
+    /// engine per campaign is the usual pattern — see `lsrp-trace`).
+    /// `None` (the default) changes nothing. Like `sink`, this can never
+    /// affect simulation behavior, only what is recorded.
+    pub sink_factory: Option<SinkFactory>,
     /// Data-plane resource limits (link rate, port queue bound,
     /// discipline). The default is the unlimited PR-5 lane; the control
     /// plane never reads this, so zero-traffic trajectories are identical
@@ -285,6 +292,21 @@ impl EngineConfig {
         self
     }
 
+    /// Sets a custom sink constructor (builder style).
+    #[must_use]
+    pub fn with_sink_factory(mut self, factory: SinkFactory) -> Self {
+        self.sink_factory = Some(factory);
+        self
+    }
+
+    /// Drops any custom sink constructor (builder style) — campaigns use
+    /// this to restrict tracing to a single designated run.
+    #[must_use]
+    pub fn without_sink_factory(mut self) -> Self {
+        self.sink_factory = None;
+        self
+    }
+
     /// Sets the data-plane congestion limits (builder style).
     #[must_use]
     pub fn with_congestion(mut self, congestion: CongestionConfig) -> Self {
@@ -323,6 +345,7 @@ impl Default for EngineConfig {
             max_events: 50_000_000,
             record_trace: true,
             sink: SinkKind::Full,
+            sink_factory: None,
             congestion: CongestionConfig::default(),
             scheduler: SchedulerKind::Wheel,
             regions: 1,

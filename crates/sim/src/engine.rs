@@ -55,7 +55,7 @@ use crate::flow::{FlowConfig, FlowRecord, FlowState, FlowTag};
 use crate::node::{ActionId, EnabledSet, ProtocolNode};
 use crate::rng;
 use crate::sched::{EventKey, EventQueue};
-use crate::sink::TraceSink;
+use crate::sink::{MarkerKind, TraceSink};
 use crate::slots::{EdgeSlots, NodeSlots, RegionMap};
 use crate::time::SimTime;
 use crate::trace::{ActionRecord, Trace};
@@ -148,10 +148,11 @@ impl EventCounts {
 /// [`TraceSink`] — a handful of scalar counters the hot path maintains
 /// unconditionally, so throughput reports exist even when the sink
 /// records nothing. Counters are kept per region and summed on read;
-/// every field is region-count-invariant except `peak_queue_depth`,
-/// which is the *sum of per-region queue peaks* (with one region this is
-/// the old global high-water mark; with several it bounds it from
-/// above).
+/// every field is region-count-invariant, including `peak_queue_depth`,
+/// which the engine samples as the *total* pending-event count (summed
+/// across regions) at region-invariant logical points — engine
+/// construction, every driver mutation, every data-plane injection and
+/// every single-stepped event — rather than inside region-local pushes.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct EngineStats {
     /// Processed events by kind.
@@ -174,8 +175,9 @@ pub struct EngineStats {
     pub dropped_lossy_link: u64,
     /// Messages dropped on dead edges/receivers.
     pub dropped_dead_receiver: u64,
-    /// Sum of per-region event-queue high-water marks (see the struct
-    /// docs; not region-count-invariant).
+    /// High-water mark of total pending events across all region queues,
+    /// sampled at region-invariant points (see the struct docs). Injected
+    /// by [`Engine::stats`]; per-core stats leave it zero.
     pub peak_queue_depth: usize,
     /// Weighted data-plane packet counters (see [`TrafficCounts`]).
     pub traffic: TrafficCounts,
@@ -206,7 +208,6 @@ impl EngineStats {
         self.messages_duplicated += o.messages_duplicated;
         self.dropped_lossy_link += o.dropped_lossy_link;
         self.dropped_dead_receiver += o.dropped_dead_receiver;
-        self.peak_queue_depth += o.peak_queue_depth;
         let t = &mut self.traffic;
         let ot = &o.traffic;
         t.injected += ot.injected;
@@ -348,6 +349,15 @@ enum ObsOp {
     View(NodeId, Option<ViewEntry>),
     PacketDone(PacketRecord),
     FlowDone(FlowRecord),
+    /// A bounded egress port's occupancy transition (emitted only when
+    /// the installed sink asked for queue samples — never affects
+    /// scheduling, so the gate cannot change a trajectory).
+    Queue {
+        from: NodeId,
+        to: NodeId,
+        occupancy: u64,
+        dropped: bool,
+    },
 }
 
 /// One ordered observability record: the `(time, key)` of the event that
@@ -514,6 +524,11 @@ struct Core<P: ProtocolNode> {
     staged: Vec<Staged<P::Msg>>,
     obs: Vec<ObsRec>,
     counts: Vec<CountOp>,
+    /// Whether bounded-port occupancy transitions are recorded as
+    /// [`ObsOp::Queue`] observations. Mirrors the installed sink's
+    /// [`TraceSink::wants_queue_samples`] answer; observation-only, so
+    /// the gate can never alter a trajectory.
+    emit_queue_obs: bool,
     /// Reusable neighbor buffer for broadcast fan-out.
     scratch: Vec<NodeId>,
     /// Reusable effects collector — cleared between events, so the hot
@@ -555,6 +570,7 @@ impl<P: ProtocolNode> Core<P> {
             staged: Vec::new(),
             obs: Vec::new(),
             counts: Vec::new(),
+            emit_queue_obs: false,
             scratch: Vec::new(),
             fx_scratch: Effects::new(),
             enabled_scratch: EnabledSet::none(),
@@ -623,7 +639,6 @@ impl<P: ProtocolNode> Core<P> {
 
     fn push_local(&mut self, time: SimTime, key: EventKey, event: Event<P::Msg>) {
         self.queue.schedule(time, key, event);
-        self.stats.peak_queue_depth = self.stats.peak_queue_depth.max(self.queue.len());
     }
 
     fn obs(&mut self, op: ObsOp) {
@@ -1309,6 +1324,14 @@ impl<P: ProtocolNode> Core<P> {
             }
         }
         if !verdict.admit {
+            if self.emit_queue_obs {
+                self.obs(ObsOp::Queue {
+                    from,
+                    to,
+                    occupancy,
+                    dropped: true,
+                });
+            }
             return self.complete_packet(shared, p, PacketStatus::QueueDropped { at: from });
         }
         if verdict.mark {
@@ -1344,6 +1367,14 @@ impl<P: ProtocolNode> Core<P> {
             let key = self.lane_key(shared, from, true);
             self.push_local(start + ser, key, Event::PortDrain { from, to });
         }
+        if self.emit_queue_obs {
+            self.obs(ObsOp::Queue {
+                from,
+                to,
+                occupancy,
+                dropped: false,
+            });
+        }
     }
 
     /// The head of port `(from, to)` finished serializing: release it
@@ -1371,6 +1402,14 @@ impl<P: ProtocolNode> Core<P> {
             let flushed = std::mem::take(&mut port.queue);
             port.occupancy = 0;
             port.draining = false;
+            if self.emit_queue_obs && !flushed.is_empty() {
+                self.obs(ObsOp::Queue {
+                    from,
+                    to,
+                    occupancy: 0,
+                    dropped: false,
+                });
+            }
             for q in flushed {
                 let p = self.arena.take(q.packet);
                 self.complete_packet(shared, p, PacketStatus::LinkDown { at: from });
@@ -1387,6 +1426,7 @@ impl<P: ProtocolNode> Core<P> {
         }
         let q = port.queue.pop_front().expect("checked non-empty");
         port.occupancy -= q.weight;
+        let occupancy = port.occupancy;
         let next_ser = port.queue.front().map(|h| h.weight as f64 / rate);
         if next_ser.is_none() {
             port.draining = false;
@@ -1394,6 +1434,14 @@ impl<P: ProtocolNode> Core<P> {
         if let Some(ser) = next_ser {
             let key = self.lane_key(shared, from, true);
             self.push_local(self.now + ser, key, Event::PortDrain { from, to });
+        }
+        if self.emit_queue_obs {
+            self.obs(ObsOp::Queue {
+                from,
+                to,
+                occupancy,
+                dropped: false,
+            });
         }
         // Release: re-route by the packet's (already-advanced) holder —
         // the hop may land in another region.
@@ -1648,6 +1696,12 @@ pub struct Engine<P: ProtocolNode> {
     /// Driver-context observability sequence, threaded across cores so
     /// multi-region driver mutations replay in call order.
     driver_opseq: u64,
+    /// High-water mark of total pending events (summed across regions),
+    /// sampled only at region-invariant logical points — construction,
+    /// driver mutations, data-plane injections, and single-stepped
+    /// events — so serial and regioned runs agree (see
+    /// [`EngineStats::peak_queue_depth`]).
+    peak_queue_depth: usize,
     /// Conservative lockstep mode (PFC pause with several regions; see
     /// the module docs).
     lockstep: bool,
@@ -1695,7 +1749,15 @@ impl<P: ProtocolNode> Engine<P> {
         config.link.validate();
         config.congestion.validate();
         let discipline = config.congestion.discipline.build();
-        let sink = config.sink.build();
+        // A one-shot factory (streaming export) takes precedence over the
+        // plain kind; once consumed — or absent — the kind builds the sink.
+        let mut sink = config
+            .sink_factory
+            .as_ref()
+            .and_then(|f| f.build())
+            .unwrap_or_else(|| config.sink.build());
+        sink.attach(&graph, config.seed);
+        let emit_queue_obs = sink.wants_queue_samples();
         let part = partition(&graph, config.regions.max(1));
         let mut map = RegionMap::new(part.regions.len());
         for (r, nodes) in part.regions.iter().enumerate() {
@@ -1707,9 +1769,12 @@ impl<P: ProtocolNode> Engine<P> {
             && config.congestion.enabled()
             && matches!(config.congestion.discipline, DisciplineKind::Pause { .. });
         let window = config.link.delay_min;
-        let cores = (0..part.regions.len())
+        let mut cores: Vec<Core<P>> = (0..part.regions.len())
             .map(|i| Core::new(i as u32, &config))
             .collect();
+        for c in &mut cores {
+            c.emit_queue_obs = emit_queue_obs;
+        }
         let shared = Shared {
             config,
             discipline,
@@ -1727,6 +1792,7 @@ impl<P: ProtocolNode> Engine<P> {
             last_effective_driver: SimTime::ZERO,
             factory: Box::new(factory),
             driver_opseq: 0,
+            peak_queue_depth: 0,
             lockstep,
             window,
             completed_packets: Vec::new(),
@@ -1754,13 +1820,12 @@ impl<P: ProtocolNode> Engine<P> {
     fn spawn_node(&mut self, v: NodeId) {
         let neighbors: BTreeMap<NodeId, Weight> = self.graph.neighbors(v).collect();
         let node = (self.factory)(v, &neighbors);
-        self.view.record(
-            v,
-            Some(ViewEntry {
-                route: node.route_entry(),
-                containment: node.in_containment(),
-            }),
-        );
+        let entry = ViewEntry {
+            route: node.route_entry(),
+            containment: node.in_containment(),
+        };
+        self.view.record(v, Some(entry));
+        self.sink.record_view_update(self.now, v, Some(entry));
         let idx = v.raw() as usize;
         if idx >= self.shared.alive.len() {
             self.shared.alive.resize(idx + 1, false);
@@ -1794,7 +1859,16 @@ impl<P: ProtocolNode> Engine<P> {
     /// in canonical order.
     fn end_driver(&mut self) {
         self.ingest_staged(None);
+        self.sample_queue_depth();
         self.flush();
+    }
+
+    /// Folds the current total pending-event count into the engine-level
+    /// high-water mark. Called only at region-invariant logical points,
+    /// where the pending multiset is identical regardless of region count.
+    fn sample_queue_depth(&mut self) {
+        let depth: usize = self.cores.iter().map(|c| c.queue.len()).sum();
+        self.peak_queue_depth = self.peak_queue_depth.max(depth);
     }
 
     fn mark_effective(&mut self) {
@@ -1831,13 +1905,20 @@ impl<P: ProtocolNode> Engine<P> {
     }
 
     /// Replaces the trace sink (e.g. to stop recording after a warm-up).
-    pub fn set_sink(&mut self, sink: Box<dyn TraceSink>) {
+    pub fn set_sink(&mut self, mut sink: Box<dyn TraceSink>) {
+        sink.attach(&self.graph, self.shared.config.seed);
+        let want = sink.wants_queue_samples();
+        for c in &mut self.cores {
+            c.emit_queue_obs = want;
+        }
         self.sink = sink;
     }
 
     /// Clears the trace (counters and records) — typically right after a
     /// warm-up phase, so measurements cover only the perturbation.
     pub fn reset_trace(&mut self) {
+        self.sink
+            .record_marker(self.now, MarkerKind::Reset, None, None);
         self.sink.reset();
     }
 
@@ -1858,6 +1939,8 @@ impl<P: ProtocolNode> Engine<P> {
         if self.cores[r as usize].slots.get(l).is_none() {
             return;
         }
+        self.sink
+            .record_marker(self.now, MarkerKind::Mutate, Some(v), None);
         let now = self.now;
         let opseq = self.driver_opseq;
         let core = &mut self.cores[r as usize];
@@ -1962,6 +2045,7 @@ impl<P: ProtocolNode> Engine<P> {
         for core in &self.cores {
             s.absorb(&core.stats);
         }
+        s.peak_queue_depth = self.peak_queue_depth;
         s
     }
 
@@ -2010,6 +2094,7 @@ impl<P: ProtocolNode> Engine<P> {
         let packet = core.arena.alloc(Packet::new(src, dest, ttl, weight, at));
         core.push_local(at, key, Event::PacketHop { packet });
         self.driver_opseq = core.opseq;
+        self.sample_queue_depth();
     }
 
     /// Packet probes currently queued (unweighted count).
@@ -2149,6 +2234,8 @@ impl<P: ProtocolNode> Engine<P> {
     pub fn fail_node(&mut self, v: NodeId) -> Result<(), GraphError> {
         let neighbors: Vec<NodeId> = self.graph.neighbors(v).map(|(n, _)| n).collect();
         self.graph.remove_node(v)?;
+        self.sink
+            .record_marker(self.now, MarkerKind::FailNode, Some(v), None);
         if let Some(r) = self.shared.map.region(v) {
             let l = NodeId::new(self.shared.map.local(v));
             let core = &mut self.cores[r as usize];
@@ -2164,6 +2251,7 @@ impl<P: ProtocolNode> Engine<P> {
             *s = false;
         }
         self.view.record(v, None);
+        self.sink.record_view_update(self.now, v, None);
         self.mark_effective();
         for n in neighbors {
             self.notify_neighbors_changed(n);
@@ -2197,6 +2285,8 @@ impl<P: ProtocolNode> Engine<P> {
             .min_by_key(|&(n, _)| n)
             .map_or(0, |(_, r)| r);
         self.shared.map.assign(v, home);
+        self.sink
+            .record_marker(self.now, MarkerKind::JoinNode, Some(v), None);
         self.spawn_node(v);
         self.mark_effective();
         self.notify_neighbors_changed(v);
@@ -2214,6 +2304,8 @@ impl<P: ProtocolNode> Engine<P> {
     /// Returns [`GraphError::MissingEdge`] for unknown edges.
     pub fn fail_edge(&mut self, a: NodeId, b: NodeId) -> Result<(), GraphError> {
         self.graph.remove_edge(a, b)?;
+        self.sink
+            .record_marker(self.now, MarkerKind::FailEdge, Some(a), Some(b));
         self.mark_effective();
         self.notify_neighbors_changed(a);
         self.notify_neighbors_changed(b);
@@ -2234,6 +2326,8 @@ impl<P: ProtocolNode> Engine<P> {
             return Err(GraphError::MissingNode(b));
         }
         self.graph.add_edge(a, b, w)?;
+        self.sink
+            .record_marker(self.now, MarkerKind::JoinEdge, Some(a), Some(b));
         self.mark_effective();
         self.notify_neighbors_changed(a);
         self.notify_neighbors_changed(b);
@@ -2248,6 +2342,8 @@ impl<P: ProtocolNode> Engine<P> {
     /// Returns a [`GraphError`] for unknown edges or zero weight.
     pub fn set_weight(&mut self, a: NodeId, b: NodeId, w: Weight) -> Result<(), GraphError> {
         self.graph.set_weight(a, b, w)?;
+        self.sink
+            .record_marker(self.now, MarkerKind::SetWeight, Some(a), Some(b));
         self.mark_effective();
         self.notify_neighbors_changed(a);
         self.notify_neighbors_changed(b);
@@ -2315,6 +2411,7 @@ impl<P: ProtocolNode> Engine<P> {
         let (_, i) = self.global_next()?;
         let t = self.cores[i].step_one(&self.shared);
         self.ingest_staged(None);
+        self.sample_queue_depth();
         self.flush();
         self.now = self.now.max(t);
         Some(self.now)
@@ -2680,9 +2777,24 @@ impl<P: ProtocolNode> Engine<P> {
             match rec.op {
                 ObsOp::Action(r) => sink.record_action(r, shared.config.record_trace),
                 ObsOp::ReceiveChange(t, v) => sink.record_receive_change(t, v),
-                ObsOp::View(v, e) => view.record(v, e),
-                ObsOp::PacketDone(r) => completed_packets.push(r),
-                ObsOp::FlowDone(r) => completed_flows.push(r),
+                ObsOp::View(v, e) => {
+                    sink.record_view_update(rec.time, v, e);
+                    view.record(v, e);
+                }
+                ObsOp::PacketDone(r) => {
+                    sink.record_packet_done(&r);
+                    completed_packets.push(r);
+                }
+                ObsOp::FlowDone(r) => {
+                    sink.record_flow_done(&r);
+                    completed_flows.push(r);
+                }
+                ObsOp::Queue {
+                    from,
+                    to,
+                    occupancy,
+                    dropped,
+                } => sink.record_queue_sample(rec.time, from, to, occupancy, dropped),
             }
         }
     }

@@ -71,7 +71,9 @@ pub use crate::flow::{Aimd, CongAlg, CongAlgKind, FixedWindow, FlowConfig, FlowR
 pub use crate::harness::{ForgedAdvert, HarnessProtocol, SimHarness};
 pub use crate::node::{ActionId, EnabledSet, ProtocolNode};
 pub use crate::sched::{EventKey, EventQueue, SchedulerKind};
-pub use crate::sink::{CountsOnly, FullTrace, NullSink, SinkKind, TraceSink};
+pub use crate::sink::{
+    CountsOnly, FullTrace, MarkerKind, NullSink, SinkFactory, SinkKind, TraceSink,
+};
 pub use crate::slots::{EdgeSlots, NodeSlots, RegionMap};
 pub use crate::time::SimTime;
 pub use crate::trace::{ActionRecord, Trace};

@@ -17,10 +17,54 @@
 //! through the sink: they are a handful of scalar increments the engine
 //! always maintains, so throughput reports exist even with a [`NullSink`].
 
-use lsrp_graph::NodeId;
+use lsrp_graph::{Graph, NodeId};
 
+use crate::flow::FlowRecord;
 use crate::time::SimTime;
 use crate::trace::{ActionRecord, Trace};
+use crate::traffic::PacketRecord;
+use crate::view::ViewEntry;
+
+/// What kind of driver mutation a [`TraceSink::record_marker`] marks.
+///
+/// Markers are emitted from the engine's *driver* context — fault
+/// injection, topology churn, protocol-state mutation — which is
+/// deterministic and region-invariant, so streaming sinks can anchor
+/// wave epochs and fault annotations on them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MarkerKind {
+    /// A node fail-stopped ([`crate::engine::Engine::fail_node`]).
+    FailNode,
+    /// A node rejoined ([`crate::engine::Engine::join_node`]).
+    JoinNode,
+    /// An edge went down ([`crate::engine::Engine::fail_edge`]).
+    FailEdge,
+    /// An edge came up ([`crate::engine::Engine::join_edge`]).
+    JoinEdge,
+    /// An edge weight changed ([`crate::engine::Engine::set_weight`]).
+    SetWeight,
+    /// Protocol state was mutated in place
+    /// ([`crate::engine::Engine::with_node_mut`] — corruption, route
+    /// injection, mirror poisoning).
+    Mutate,
+    /// The sink was reset mid-run ([`crate::engine::Engine::reset_trace`]).
+    Reset,
+}
+
+impl MarkerKind {
+    /// The wire spelling used by structured trace streams.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            MarkerKind::FailNode => "fail_node",
+            MarkerKind::JoinNode => "join_node",
+            MarkerKind::FailEdge => "fail_edge",
+            MarkerKind::JoinEdge => "join_edge",
+            MarkerKind::SetWeight => "set_weight",
+            MarkerKind::Mutate => "mutate",
+            MarkerKind::Reset => "reset",
+        }
+    }
+}
 
 /// A consumer of the engine's observability stream.
 ///
@@ -61,6 +105,81 @@ pub trait TraceSink: Send {
 
     /// The scalar counters, if this sink is a [`CountsOnly`].
     fn counts(&self) -> Option<&CountsOnly> {
+        None
+    }
+
+    // -----------------------------------------------------------------
+    // Streaming hooks. All default to no-ops so the three built-in
+    // sinks — and the zero-trace fast path — are untouched; a streaming
+    // sink (e.g. `lsrp-trace`'s `StreamingSink`) overrides them. Every
+    // hook below is fed exclusively from region-invariant engine points
+    // (the ordered ObsOps merge, or the serial driver context), so the
+    // emitted stream is byte-identical for every `--regions` value.
+    // -----------------------------------------------------------------
+
+    /// Called once when the sink is installed into an engine, before any
+    /// events run: the topology and the engine seed, for header frames.
+    fn attach(&mut self, graph: &Graph, seed: u64) {
+        let _ = (graph, seed);
+    }
+
+    /// A driver mutation landed at `time` (see [`MarkerKind`]). `a`/`b`
+    /// identify the touched node(s) where applicable.
+    fn record_marker(
+        &mut self,
+        time: SimTime,
+        kind: MarkerKind,
+        a: Option<NodeId>,
+        b: Option<NodeId>,
+    ) {
+        let _ = (time, kind, a, b);
+    }
+
+    /// `node`'s route-view entry was (re)published at `time`. Callers do
+    /// not dedup; sinks interested in route *deltas* keep their own
+    /// last-seen cache (exactly like [`crate::view::RouteView`] does).
+    fn record_view_update(&mut self, time: SimTime, node: NodeId, entry: Option<ViewEntry>) {
+        let _ = (time, node, entry);
+    }
+
+    /// A packet completed (delivered, dropped or expired).
+    fn record_packet_done(&mut self, rec: &PacketRecord) {
+        let _ = rec;
+    }
+
+    /// A Go-Back-N flow finished (or was aborted).
+    fn record_flow_done(&mut self, rec: &FlowRecord) {
+        let _ = rec;
+    }
+
+    /// A bounded egress port's occupancy changed: `occupancy` is the
+    /// post-transition weighted depth of the `from -> to` port;
+    /// `dropped` is set when the transition was an admission drop.
+    /// Only emitted when [`TraceSink::wants_queue_samples`] returned
+    /// `true` at installation time.
+    fn record_queue_sample(
+        &mut self,
+        time: SimTime,
+        from: NodeId,
+        to: NodeId,
+        occupancy: u64,
+        dropped: bool,
+    ) {
+        let _ = (time, from, to, occupancy, dropped);
+    }
+
+    /// Whether the engine should thread per-port queue transitions
+    /// through the ordered observability stream. Queried once at sink
+    /// installation; `false` (the default) keeps the congestion lane's
+    /// hot path free of extra observability records.
+    fn wants_queue_samples(&self) -> bool {
+        false
+    }
+
+    /// Retained-state footprint in bytes, if this sink accounts one
+    /// (streaming sinks do, so bounded-memory tests can assert it
+    /// stays flat as the event stream grows).
+    fn footprint(&self) -> Option<usize> {
         None
     }
 }
@@ -213,6 +332,50 @@ impl SinkKind {
             SinkKind::CountsOnly => Box::new(CountsOnly::default()),
             SinkKind::Null => Box::new(NullSink),
         }
+    }
+}
+
+/// A shared sink constructor carried by [`crate::EngineConfig`]:
+/// lets callers inject a custom [`TraceSink`] (e.g. a file-backed
+/// streaming sink) into an engine built deep inside a campaign, without
+/// the `sim` crate depending on the sink's crate.
+///
+/// The closure returns `None` when it declines to produce a sink (the
+/// usual pattern is a one-shot factory that arms exactly one engine);
+/// the engine then falls back to [`EngineConfig::sink`]'s kind.
+///
+/// Equality is pointer identity ([`std::sync::Arc::ptr_eq`]) — two
+/// configs compare equal only when they share the same factory object —
+/// so [`crate::EngineConfig`] keeps its derived `PartialEq`.
+///
+/// [`EngineConfig::sink`]: crate::EngineConfig
+#[derive(Clone)]
+pub struct SinkFactory(pub std::sync::Arc<dyn Fn() -> Option<Box<dyn TraceSink>> + Send + Sync>);
+
+impl SinkFactory {
+    /// Wraps a sink constructor.
+    pub fn new<F>(f: F) -> Self
+    where
+        F: Fn() -> Option<Box<dyn TraceSink>> + Send + Sync + 'static,
+    {
+        SinkFactory(std::sync::Arc::new(f))
+    }
+
+    /// Invokes the factory.
+    pub fn build(&self) -> Option<Box<dyn TraceSink>> {
+        (self.0)()
+    }
+}
+
+impl std::fmt::Debug for SinkFactory {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("SinkFactory(..)")
+    }
+}
+
+impl PartialEq for SinkFactory {
+    fn eq(&self, other: &Self) -> bool {
+        std::sync::Arc::ptr_eq(&self.0, &other.0)
     }
 }
 

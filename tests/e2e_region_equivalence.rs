@@ -9,11 +9,10 @@
 //! cartesian slice as the scheduler-equivalence suite (topology shapes ×
 //! seeds × chaos fault schedules × congested data-plane traffic), for
 //! regions ∈ {1, 2, 4, 8} under varying `jobs`, including the PFC-pause
-//! lockstep fallback.
-//!
-//! The only engine statistic excluded from the fingerprint is
-//! `peak_queue_depth`: it is the *sum of per-region* event-queue
-//! high-water marks, documented as not region-count-invariant.
+//! lockstep fallback. Every engine statistic participates —
+//! `peak_queue_depth` is sampled at region-invariant points (window
+//! barriers and the driver boundaries), so it too must match the
+//! sequential engine exactly.
 
 use lsrp::analysis::{run_monitored, standard_monitors, WorkloadDriver, WorkloadSpec};
 use lsrp::core::{InitialState, LsrpSimulation, LsrpSimulationExt, TimingConfig};
@@ -45,10 +44,9 @@ fn topologies() -> Vec<(&'static str, Graph)> {
     ]
 }
 
-/// Region-invariant statistics view: everything except the per-region
-/// queue high-water sum.
-fn stats_fingerprint(mut stats: EngineStats) -> String {
-    stats.peak_queue_depth = 0;
+/// Region-invariant statistics view — the full `EngineStats`, including
+/// the event-queue high-water mark.
+fn stats_fingerprint(stats: EngineStats) -> String {
     format!("{stats:?}")
 }
 
